@@ -1,0 +1,562 @@
+//! Scalar expressions, comparison operators and sublink expressions.
+//!
+//! Sublinks are the algebraic representation of the SQL constructs `ANY`,
+//! `ALL`, `EXISTS` and scalar subqueries (Figure 1 of the paper):
+//!
+//! * `A op ANY Tsub  ⇔  ∃ t ∈ Tsub : A op t`
+//! * `A op ALL Tsub  ⇔  ∀ t ∈ Tsub : A op t`
+//! * `EXISTS Tsub    ⇔  |Tsub| > 0`
+//! * `Tsub` (scalar) — `Tsub` must produce at most one attribute/tuple and
+//!   evaluates to that value (or NULL when empty).
+//!
+//! Column references are resolved *by name* at execution time against a
+//! stack of binding scopes: the current operator input first, then the
+//! inputs of enclosing operators (this is how correlated attribute references
+//! are parameterised by the outer tuple, Section 2.2).
+
+use crate::plan::Plan;
+use perm_storage::Value;
+use std::fmt;
+
+/// SQL comparison operators usable in sublink tests (`A op ANY Tsub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    /// The negated comparison (`¬(a < b) ⇔ a >= b`).
+    pub fn negate(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Neq,
+            CompareOp::Neq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+
+    /// The mirrored comparison (`a < b ⇔ b > a`).
+    pub fn flip(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Neq => CompareOp::Neq,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators over scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    // arithmetic
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    // comparisons (three-valued logic)
+    Cmp(CompareOp),
+    /// Null-safe equality `=n` used by the Gen strategy to join provenance
+    /// attributes with the `CrossBase` (NULL matches NULL).
+    NullSafeEq,
+    // boolean connectives
+    And,
+    Or,
+    /// SQL `LIKE` with `%` and `_` wildcards.
+    Like,
+    /// SQL `NOT LIKE`.
+    NotLike,
+    /// String concatenation `||`.
+    Concat,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryOp::Add => write!(f, "+"),
+            BinaryOp::Sub => write!(f, "-"),
+            BinaryOp::Mul => write!(f, "*"),
+            BinaryOp::Div => write!(f, "/"),
+            BinaryOp::Mod => write!(f, "%"),
+            BinaryOp::Cmp(op) => write!(f, "{op}"),
+            BinaryOp::NullSafeEq => write!(f, "=n"),
+            BinaryOp::And => write!(f, "AND"),
+            BinaryOp::Or => write!(f, "OR"),
+            BinaryOp::Like => write!(f, "LIKE"),
+            BinaryOp::NotLike => write!(f, "NOT LIKE"),
+            BinaryOp::Concat => write!(f, "||"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Boolean negation (three-valued).
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// `IS NULL`.
+    IsNull,
+    /// `IS NOT NULL`.
+    IsNotNull,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Not => write!(f, "NOT"),
+            UnaryOp::Neg => write!(f, "-"),
+            UnaryOp::IsNull => write!(f, "IS NULL"),
+            UnaryOp::IsNotNull => write!(f, "IS NOT NULL"),
+        }
+    }
+}
+
+/// Built-in scalar functions needed by the TPC-H workload and the examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncName {
+    /// `substring(string, start, length)` — 1-based start, like SQL.
+    Substring,
+    /// `abs(x)`.
+    Abs,
+    /// `coalesce(a, b, …)` — first non-NULL argument.
+    Coalesce,
+    /// `lower(s)`.
+    Lower,
+    /// `upper(s)`.
+    Upper,
+    /// `length(s)`.
+    Length,
+    /// `date(s)` — parse a `YYYY-MM-DD` literal.
+    Date,
+    /// `year(d)` — extract the year of a date.
+    Year,
+}
+
+impl fmt::Display for FuncName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuncName::Substring => "substring",
+            FuncName::Abs => "abs",
+            FuncName::Coalesce => "coalesce",
+            FuncName::Lower => "lower",
+            FuncName::Upper => "upper",
+            FuncName::Length => "length",
+            FuncName::Date => "date",
+            FuncName::Year => "year",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The four sublink kinds of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SublinkKind {
+    /// `A op ANY (Tsub)` — existential quantification.
+    Any,
+    /// `A op ALL (Tsub)` — universal quantification.
+    All,
+    /// `EXISTS (Tsub)`.
+    Exists,
+    /// Scalar sublink `(Tsub)` used directly as a value.
+    Scalar,
+}
+
+impl fmt::Display for SublinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SublinkKind::Any => "ANY",
+            SublinkKind::All => "ALL",
+            SublinkKind::Exists => "EXISTS",
+            SublinkKind::Scalar => "SCALAR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate functions supported by the [`crate::Plan::Aggregate`] operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    /// `count(*)` — counts tuples regardless of NULLs.
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One aggregate computation of an [`crate::Plan::Aggregate`] operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (ignored for `count(*)`).
+    pub arg: Option<Expr>,
+    /// Whether duplicates are eliminated before aggregating (`sum(DISTINCT x)`).
+    pub distinct: bool,
+    /// Output attribute name.
+    pub alias: String,
+}
+
+impl AggregateExpr {
+    /// Creates an aggregate over an argument expression.
+    pub fn new(func: AggFunc, arg: Expr, alias: impl Into<String>) -> AggregateExpr {
+        AggregateExpr {
+            func,
+            arg: Some(arg),
+            distinct: false,
+            alias: alias.into(),
+        }
+    }
+
+    /// Creates a `count(*)` aggregate.
+    pub fn count_star(alias: impl Into<String>) -> AggregateExpr {
+        AggregateExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+            alias: alias.into(),
+        }
+    }
+
+    /// Marks the aggregate as `DISTINCT`.
+    pub fn distinct(mut self) -> AggregateExpr {
+        self.distinct = true;
+        self
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified (`r.a`). Resolved by name at
+    /// execution time, searching the current scope first and then enclosing
+    /// scopes (correlation).
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Scalar function call.
+    Func { name: FuncName, args: Vec<Expr> },
+    /// `CASE WHEN cond THEN value … ELSE value END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// A sublink (`Csub` in the paper): embeds a query plan `Tsub`.
+    ///
+    /// * `ANY`/`ALL` use `test_expr op ANY/ALL (plan)`.
+    /// * `EXISTS` ignores `test_expr` and `op`.
+    /// * `Scalar` evaluates to the single attribute of the single result
+    ///   tuple of `plan` (NULL when the result is empty).
+    Sublink {
+        kind: SublinkKind,
+        test_expr: Option<Box<Expr>>,
+        op: Option<CompareOp>,
+        plan: Box<Plan>,
+    },
+}
+
+impl Expr {
+    /// The output name a projection would give this expression when no alias
+    /// is provided: column names propagate, everything else becomes a
+    /// generated name.
+    pub fn default_name(&self, position: usize) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Func { name, .. } => name.to_string(),
+            _ => format!("col{position}"),
+        }
+    }
+
+    /// `true` when the expression tree contains at least one sublink.
+    pub fn has_sublink(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Sublink { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order traversal over the expression tree. Does **not** descend
+    /// into sublink plans (those are separate query scopes).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Sublink { .. } => {}
+        }
+    }
+
+    /// Rebuilds the expression bottom-up by applying `f` to every node after
+    /// its children have been transformed. Sublink plans are left untouched.
+    pub fn transform(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(expr.transform(f)),
+            },
+            Expr::Func { name, args } => Expr::Func {
+                name,
+                args: args.into_iter().map(|a| a.transform(f)).collect(),
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (c.transform(f), v.transform(f)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.transform(f))),
+            },
+            other => other,
+        };
+        f(rebuilt)
+    }
+
+    /// Collects references to all sublinks in the expression in left-to-right
+    /// order (not descending into nested sublink plans).
+    pub fn sublinks(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Sublink { .. }) {
+                out.push(e);
+            }
+        });
+        out
+    }
+
+    /// Collects all column references (qualifier, name) in the expression,
+    /// not descending into sublink plans.
+    pub fn column_refs(&self) -> Vec<(Option<String>, String)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Column { qualifier, name } = e {
+                out.push((qualifier.clone(), name.clone()));
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::IsNull | UnaryOp::IsNotNull => write!(f, "({expr} {op})"),
+                _ => write!(f, "({op} {expr})"),
+            },
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Sublink {
+                kind,
+                test_expr,
+                op,
+                ..
+            } => match kind {
+                SublinkKind::Exists => write!(f, "EXISTS (<subquery>)"),
+                SublinkKind::Scalar => write!(f, "(<subquery>)"),
+                _ => {
+                    let test = test_expr
+                        .as_ref()
+                        .map(|t| t.to_string())
+                        .unwrap_or_default();
+                    let op = op.map(|o| o.to_string()).unwrap_or_default();
+                    write!(f, "({test} {op} {kind} (<subquery>))")
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, lit};
+
+    #[test]
+    fn compare_op_negate_and_flip() {
+        assert_eq!(CompareOp::Lt.negate(), CompareOp::Ge);
+        assert_eq!(CompareOp::Eq.negate(), CompareOp::Neq);
+        assert_eq!(CompareOp::Le.flip(), CompareOp::Ge);
+        assert_eq!(CompareOp::Eq.flip(), CompareOp::Eq);
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Neq,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(col("a").default_name(0), "a");
+        assert_eq!(lit(1).default_name(3), "col3");
+    }
+
+    #[test]
+    fn walk_and_column_refs() {
+        let e = Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinaryOp::Cmp(CompareOp::Eq),
+                left: Box::new(col("a")),
+                right: Box::new(lit(3)),
+            }),
+            right: Box::new(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(qcol_expr()),
+            }),
+        };
+        let refs = e.column_refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].1, "a");
+        assert_eq!(refs[1], (Some("r".to_string()), "b".to_string()));
+        assert!(!e.has_sublink());
+    }
+
+    fn qcol_expr() -> Expr {
+        Expr::Column {
+            qualifier: Some("r".into()),
+            name: "b".into(),
+        }
+    }
+
+    #[test]
+    fn transform_rewrites_leaves() {
+        let e = Expr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(col("x")),
+            right: Box::new(lit(1)),
+        };
+        let out = e.transform(&mut |node| match node {
+            Expr::Column { name, .. } if name == "x" => col("y"),
+            other => other,
+        });
+        assert_eq!(out.column_refs()[0].1, "y");
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let e = Expr::Binary {
+            op: BinaryOp::Cmp(CompareOp::Ge),
+            left: Box::new(col("a")),
+            right: Box::new(Expr::Literal(Value::str("x"))),
+        };
+        assert_eq!(e.to_string(), "(a >= 'x')");
+    }
+}

@@ -1,0 +1,447 @@
+//! A small, semantics-preserving plan optimizer.
+//!
+//! The original Perm system hands both the original and the rewritten query
+//! to the PostgreSQL planner, which pushes selections into joins and never
+//! materialises raw cross products. This module provides the two passes the
+//! permrs executor needs to stay within memory and time budgets:
+//!
+//! * [`push_down_selections`] — splits selection predicates into conjuncts
+//!   and pushes them towards the scans: conjuncts referencing only one side
+//!   of a cross product / inner join move into that side, conjuncts
+//!   referencing both sides become the join condition. Conjuncts containing
+//!   sublinks are never moved, so the provenance rewrite rules (which match
+//!   on selections containing sublinks) still see them. Left outer joins are
+//!   left untouched (pushing through them would change semantics).
+//! * [`fuse_select_over_cross`] — turns a residual selection directly above a
+//!   cross product into an inner join so the executor evaluates the predicate
+//!   while enumerating pairs instead of materialising the full product first.
+//!   This is applied to plans that are about to be executed (including
+//!   provenance-rewritten plans, whose `CrossBase` products would otherwise
+//!   be materialised).
+
+use crate::builder::conjunction;
+use crate::expr::{BinaryOp, Expr};
+use crate::plan::{JoinKind, Plan};
+use perm_storage::Schema;
+
+/// Applies [`push_down_selections`] followed by [`fuse_select_over_cross`];
+/// the combination a DBMS planner would always apply before execution.
+pub fn optimize_for_execution(plan: &Plan) -> Plan {
+    fuse_select_over_cross(push_down_selections(plan))
+}
+
+/// Splits a predicate into its top-level conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(expr: &Expr, out: &mut Vec<Expr>) {
+        if let Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } = expr
+        {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(expr.clone());
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Which side(s) of a binary operator a conjunct references.
+#[derive(Debug, PartialEq, Eq)]
+enum Placement {
+    Left,
+    Right,
+    Both,
+    /// References something that is not resolvable against either side
+    /// (correlated attributes, ambiguous names) — keep it where it is.
+    Unknown,
+}
+
+fn classify(conjunct: &Expr, left: &Schema, right: &Schema) -> Placement {
+    if conjunct.has_sublink() {
+        return Placement::Unknown;
+    }
+    let refs = conjunct.column_refs();
+    if refs.is_empty() {
+        // Constant predicates can stay at the top.
+        return Placement::Unknown;
+    }
+    let mut uses_left = false;
+    let mut uses_right = false;
+    for (qualifier, name) in &refs {
+        let in_left = matches!(left.try_resolve(qualifier.as_deref(), name), Ok(Some(_)));
+        let in_right = matches!(right.try_resolve(qualifier.as_deref(), name), Ok(Some(_)));
+        match (in_left, in_right) {
+            (true, false) => uses_left = true,
+            (false, true) => uses_right = true,
+            // Resolvable on both sides (ambiguous) or on neither
+            // (correlated): do not move the conjunct.
+            _ => return Placement::Unknown,
+        }
+    }
+    match (uses_left, uses_right) {
+        (true, false) => Placement::Left,
+        (false, true) => Placement::Right,
+        (true, true) => Placement::Both,
+        (false, false) => Placement::Unknown,
+    }
+}
+
+/// Recursively pushes selection conjuncts towards the scans.
+pub fn push_down_selections(plan: &Plan) -> Plan {
+    rewrite_children(plan, &|p| match p {
+        Plan::Select { input, predicate } => {
+            let conjuncts = split_conjuncts(&predicate);
+            let (pushed, residual) = push_into(*input, conjuncts);
+            if residual.is_empty() {
+                pushed
+            } else {
+                Plan::Select {
+                    input: Box::new(pushed),
+                    predicate: conjunction(residual),
+                }
+            }
+        }
+        other => other,
+    })
+}
+
+/// Pushes the given conjuncts as deep into `plan` as allowed, returning the
+/// rewritten plan and the conjuncts that could not be placed anywhere below.
+fn push_into(plan: Plan, conjuncts: Vec<Expr>) -> (Plan, Vec<Expr>) {
+    match plan {
+        Plan::Select { input, predicate } => {
+            let mut all = conjuncts;
+            all.extend(split_conjuncts(&predicate));
+            push_into(*input, all)
+        }
+        Plan::CrossProduct { left, right } => {
+            push_into_binary(*left, *right, None, conjuncts)
+        }
+        Plan::Join {
+            left,
+            right,
+            kind: JoinKind::Inner,
+            condition,
+        } => push_into_binary(*left, *right, Some(condition), conjuncts),
+        other => (other, conjuncts),
+    }
+}
+
+/// Distributes conjuncts over the two sides of a cross product or inner
+/// join. `existing_condition` is the join condition of an inner join (kept
+/// in place), `None` for a cross product.
+fn push_into_binary(
+    left: Plan,
+    right: Plan,
+    existing_condition: Option<Expr>,
+    conjuncts: Vec<Expr>,
+) -> (Plan, Vec<Expr>) {
+    let left_schema = left.schema();
+    let right_schema = right.schema();
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut join_conjuncts = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in conjuncts {
+        match classify(&conjunct, &left_schema, &right_schema) {
+            Placement::Left => to_left.push(conjunct),
+            Placement::Right => to_right.push(conjunct),
+            Placement::Both => join_conjuncts.push(conjunct),
+            Placement::Unknown => residual.push(conjunct),
+        }
+    }
+
+    let (left, left_rest) = push_into(left, to_left);
+    let left = wrap_select(left, left_rest);
+    let (right, right_rest) = push_into(right, to_right);
+    let right = wrap_select(right, right_rest);
+
+    let plan = match (existing_condition, join_conjuncts.is_empty()) {
+        (None, true) => Plan::CrossProduct {
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+        (None, false) => Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind: JoinKind::Inner,
+            condition: conjunction(join_conjuncts),
+        },
+        (Some(condition), true) => Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind: JoinKind::Inner,
+            condition,
+        },
+        (Some(condition), false) => Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind: JoinKind::Inner,
+            condition: crate::builder::and(condition, conjunction(join_conjuncts)),
+        },
+    };
+    (plan, residual)
+}
+
+fn wrap_select(plan: Plan, residual: Vec<Expr>) -> Plan {
+    if residual.is_empty() {
+        plan
+    } else {
+        Plan::Select {
+            input: Box::new(plan),
+            predicate: conjunction(residual),
+        }
+    }
+}
+
+/// Rebuilds a plan bottom-up, applying `f` to every operator after its
+/// children (and the plans inside its sublink expressions) have been
+/// rebuilt.
+fn rewrite_children(plan: &Plan, f: &dyn Fn(Plan) -> Plan) -> Plan {
+    let rebuilt = match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => plan.clone(),
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => Plan::Project {
+            input: Box::new(rewrite_children(input, f)),
+            items: items
+                .iter()
+                .map(|item| crate::plan::ProjectItem {
+                    expr: rewrite_sublink_plans(&item.expr, f),
+                    alias: item.alias.clone(),
+                    qualifier: item.qualifier.clone(),
+                })
+                .collect(),
+            distinct: *distinct,
+        },
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(rewrite_children(input, f)),
+            predicate: rewrite_sublink_plans(predicate, f),
+        },
+        Plan::CrossProduct { left, right } => Plan::CrossProduct {
+            left: Box::new(rewrite_children(left, f)),
+            right: Box::new(rewrite_children(right, f)),
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => Plan::Join {
+            left: Box::new(rewrite_children(left, f)),
+            right: Box::new(rewrite_children(right, f)),
+            kind: *kind,
+            condition: rewrite_sublink_plans(condition, f),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(rewrite_children(input, f)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Plan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(rewrite_children(left, f)),
+            right: Box::new(rewrite_children(right, f)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(rewrite_children(input, f)),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(rewrite_children(input, f)),
+            limit: *limit,
+        },
+    };
+    f(rebuilt)
+}
+
+/// Applies the plan transformation `f` to every sublink plan inside an
+/// expression.
+fn rewrite_sublink_plans(expr: &Expr, f: &dyn Fn(Plan) -> Plan) -> Expr {
+    expr.clone().transform(&mut |e| match e {
+        Expr::Sublink {
+            kind,
+            test_expr,
+            op,
+            plan,
+        } => Expr::Sublink {
+            kind,
+            test_expr,
+            op,
+            plan: Box::new(rewrite_children(&plan, f)),
+        },
+        other => other,
+    })
+}
+
+/// Turns `Select(CrossProduct(l, r))` into an inner join so the predicate is
+/// evaluated pair-by-pair instead of after materialising the product. Also
+/// merges `Select(Join_inner(...))` into the join condition when the
+/// predicate carries no sublink (sublink predicates are left as selections so
+/// the provenance rewriter can still recognise them — this pass is meant for
+/// plans that will be executed, including already-rewritten ones).
+pub fn fuse_select_over_cross(plan: Plan) -> Plan {
+    rewrite_children(&plan, &|p| match p {
+        Plan::Select { input, predicate } => match *input {
+            // A selection directly above a cross product always becomes a
+            // join — this is the case that would otherwise materialise the
+            // whole product (e.g. the CrossBase products of the Gen
+            // strategy).
+            Plan::CrossProduct { left, right } => Plan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                condition: predicate,
+            },
+            // Merging into an existing inner join is only a win for plain
+            // predicates; sublink predicates stay above so the (already
+            // bounded) join output is computed first and the expensive
+            // sublink is evaluated once per surviving row.
+            Plan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                condition,
+            } if !predicate.has_sublink() => Plan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                condition: crate::builder::and(condition, predicate),
+            },
+            other => Plan::Select {
+                input: Box::new(other),
+                predicate,
+            },
+        },
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, eq, exists_sublink, lit, PlanBuilder};
+    use perm_storage::{Database, Relation, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "r",
+            Relation::empty(Schema::from_names(&["a", "b"]).with_qualifier("r")),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::empty(Schema::from_names(&["c", "d"]).with_qualifier("s")),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn split_conjuncts_flattens_nested_ands() {
+        let e = crate::builder::and(
+            crate::builder::and(eq(col("a"), lit(1)), eq(col("b"), lit(2))),
+            eq(col("c"), lit(3)),
+        );
+        assert_eq!(split_conjuncts(&e).len(), 3);
+    }
+
+    #[test]
+    fn pushdown_turns_cross_product_into_join() {
+        let db = db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .cross(s)
+            .select(crate::builder::and(
+                eq(col("a"), col("c")),
+                crate::builder::and(eq(col("b"), lit(1)), eq(col("d"), lit(2))),
+            ))
+            .build();
+        let optimized = push_down_selections(&q);
+        match optimized {
+            Plan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                ..
+            } => {
+                assert!(matches!(*left, Plan::Select { .. }), "b=1 pushed to the left side");
+                assert!(matches!(*right, Plan::Select { .. }), "d=2 pushed to the right side");
+            }
+            other => panic!("expected a join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_keeps_sublink_conjuncts_in_the_selection() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "s").unwrap().build();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .cross(s)
+            .select(crate::builder::and(
+                eq(col("a"), col("c")),
+                exists_sublink(sub),
+            ))
+            .build();
+        let optimized = push_down_selections(&q);
+        match optimized {
+            Plan::Select { input, predicate } => {
+                assert!(predicate.has_sublink());
+                assert!(matches!(*input, Plan::Join { .. }));
+            }
+            other => panic!("expected a residual selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuse_turns_residual_select_over_cross_into_join() {
+        let db = db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .cross(s)
+            .select(crate::builder::cmp(
+                crate::expr::CompareOp::Lt,
+                col("a"),
+                col("c"),
+            ))
+            .build();
+        let fused = fuse_select_over_cross(q);
+        assert!(matches!(fused, Plan::Join { kind: JoinKind::Inner, .. }));
+    }
+
+    #[test]
+    fn optimization_preserves_the_schema() {
+        let db = db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .cross(s)
+            .select(eq(col("a"), col("c")))
+            .project_columns(&["a", "d"])
+            .build();
+        let optimized = optimize_for_execution(&q);
+        assert_eq!(optimized.schema().names(), q.schema().names());
+    }
+}

@@ -1,0 +1,259 @@
+//! Plan and expression analysis helpers used by the provenance rewriter:
+//! correlation detection, base-relation collection and sublink substitution.
+
+use crate::expr::Expr;
+use crate::plan::Plan;
+use perm_storage::Schema;
+
+/// A reference to a base relation access inside a plan, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseRelationRef {
+    /// Catalog name of the relation.
+    pub table: String,
+    /// Alias used in the query, when present.
+    pub alias: Option<String>,
+}
+
+/// Collects the base relations accessed by `plan` in left-to-right,
+/// depth-first occurrence order. When `include_sublinks` is `true`, base
+/// relations accessed inside sublink plans are included as well (this is
+/// `Base(Tsub)` in the paper, used to build `CrossBase(Tsub)`).
+pub fn collect_base_relations(plan: &Plan, include_sublinks: bool) -> Vec<BaseRelationRef> {
+    let mut out = Vec::new();
+    collect_base_relations_into(plan, include_sublinks, &mut out);
+    out
+}
+
+fn collect_base_relations_into(
+    plan: &Plan,
+    include_sublinks: bool,
+    out: &mut Vec<BaseRelationRef>,
+) {
+    if let Plan::Scan { table, alias, .. } = plan {
+        out.push(BaseRelationRef {
+            table: table.clone(),
+            alias: alias.clone(),
+        });
+    }
+    for child in plan.children() {
+        collect_base_relations_into(child, include_sublinks, out);
+    }
+    if include_sublinks {
+        for expr in plan.expressions() {
+            expr.walk(&mut |e| {
+                if let Expr::Sublink { plan: sub, .. } = e {
+                    collect_base_relations_into(sub, include_sublinks, out);
+                }
+            });
+        }
+    }
+}
+
+/// Column references of `plan` that cannot be resolved against the plan's own
+/// scopes — i.e. the *correlated* attribute references that must be bound by
+/// an enclosing query (Section 2.2: "correlation attribute references have to
+/// reference an attribute from the input of the operator or, in the case of
+/// nested sublinks, an attribute from a containing sublink").
+pub fn free_columns(plan: &Plan) -> Vec<(Option<String>, String)> {
+    let mut out = Vec::new();
+    free_columns_into(plan, &mut out);
+    out
+}
+
+fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
+    // The scope available to this operator's expressions is the concatenation
+    // of its children's output schemas.
+    let scope: Schema = match plan.children().as_slice() {
+        [] => Schema::empty(),
+        [one] => one.schema(),
+        [l, r] => l.schema().concat(&r.schema()),
+        _ => unreachable!("operators have at most two children"),
+    };
+
+    let check = |qualifier: &Option<String>, name: &str, out: &mut Vec<(Option<String>, String)>| {
+        let resolvable = scope
+            .try_resolve(qualifier.as_deref(), name)
+            // Ambiguity means the name *is* present in the scope.
+            .map(|r| r.is_some())
+            .unwrap_or(true);
+        if !resolvable {
+            out.push((qualifier.clone(), name.to_string()));
+        }
+    };
+
+    for expr in plan.expressions() {
+        expr.walk(&mut |e| match e {
+            Expr::Column { qualifier, name } => check(qualifier, name, out),
+            Expr::Sublink { plan: sub, .. } => {
+                // Free columns of the sublink may be bound by this operator's
+                // scope (ordinary correlation); only references that are not
+                // resolvable here escape further outwards.
+                for (q, n) in free_columns(sub) {
+                    check(&q, &n, out);
+                }
+            }
+            _ => {}
+        });
+    }
+    for child in plan.children() {
+        free_columns_into(child, out);
+    }
+}
+
+/// `true` when the plan references attributes of an enclosing query, i.e.
+/// when used as a sublink query it is *correlated*.
+pub fn is_correlated(plan: &Plan) -> bool {
+    !free_columns(plan).is_empty()
+}
+
+/// Replaces the `i`-th sublink (in [`Expr::walk`] order) of `expr` with
+/// `replacements[i]`, leaving everything else untouched. Used by the Move
+/// strategy (rules T1/T2) which moves sublinks into a projection and
+/// references their results by fresh attribute names.
+pub fn replace_sublinks(expr: Expr, replacements: &[Expr]) -> Expr {
+    let mut index = 0usize;
+    replace_sublinks_inner(expr, replacements, &mut index)
+}
+
+fn replace_sublinks_inner(expr: Expr, replacements: &[Expr], index: &mut usize) -> Expr {
+    match expr {
+        Expr::Sublink { .. } => {
+            let replacement = replacements
+                .get(*index)
+                .cloned()
+                .unwrap_or(Expr::Literal(perm_storage::Value::Null));
+            *index += 1;
+            replacement
+        }
+        Expr::Binary { op, left, right } => {
+            // Evaluation order below must match `Expr::walk`: left before right.
+            let left = replace_sublinks_inner(*left, replacements, index);
+            let right = replace_sublinks_inner(*right, replacements, index);
+            Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(replace_sublinks_inner(*expr, replacements, index)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name,
+            args: args
+                .into_iter()
+                .map(|a| replace_sublinks_inner(a, replacements, index))
+                .collect(),
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, v)| {
+                    let c = replace_sublinks_inner(c, replacements, index);
+                    let v = replace_sublinks_inner(v, replacements, index);
+                    (c, v)
+                })
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(replace_sublinks_inner(*e, replacements, index))),
+        },
+        other => other,
+    }
+}
+
+/// Number of sublinks directly contained in `expr`.
+pub fn count_sublinks(expr: &Expr) -> usize {
+    expr.sublinks().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{any_sublink, col, eq, exists_sublink, lit, or, qcol, PlanBuilder};
+    use crate::expr::CompareOp;
+    use perm_storage::{Database, Relation, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("r", Relation::empty(Schema::from_names(&["a", "b"]).with_qualifier("r")))
+            .unwrap();
+        db.create_table("s", Relation::empty(Schema::from_names(&["c", "d"]).with_qualifier("s")))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn collect_base_relations_in_order() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "s").unwrap().build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+        let without = collect_base_relations(&q, false);
+        assert_eq!(without.len(), 1);
+        assert_eq!(without[0].table, "r");
+        let with = collect_base_relations(&q, true);
+        assert_eq!(with.len(), 2);
+        assert_eq!(with[1].table, "s");
+    }
+
+    #[test]
+    fn uncorrelated_sublink_has_no_free_columns() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), lit(3)))
+            .build();
+        assert!(!is_correlated(&sub));
+    }
+
+    #[test]
+    fn correlated_sublink_reports_free_columns() {
+        let db = db();
+        // σ_{c = b}(S): `b` comes from the enclosing query over R.
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), col("b")))
+            .build();
+        assert!(is_correlated(&sub));
+        let free = free_columns(&sub);
+        assert_eq!(free, vec![(None, "b".to_string())]);
+    }
+
+    #[test]
+    fn correlation_resolved_by_enclosing_query_is_not_free_at_the_top() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), qcol("r", "b")))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, sub))
+            .build();
+        // The whole query is closed: the sublink's free column `r.b` is bound
+        // by the selection's input.
+        assert!(!is_correlated(&q));
+    }
+
+    #[test]
+    fn replace_sublinks_in_walk_order() {
+        let db = db();
+        let sub1 = PlanBuilder::scan(&db, "s").unwrap().build();
+        let sub2 = PlanBuilder::scan(&db, "s").unwrap().build();
+        let cond = or(
+            any_sublink(col("a"), CompareOp::Eq, sub1),
+            exists_sublink(sub2),
+        );
+        assert_eq!(count_sublinks(&cond), 2);
+        let replaced = replace_sublinks(cond, &[col("c1"), col("c2")]);
+        assert_eq!(count_sublinks(&replaced), 0);
+        let refs = replaced.column_refs();
+        assert!(refs.contains(&(None, "c1".to_string())));
+        assert!(refs.contains(&(None, "c2".to_string())));
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation: the design choices DESIGN.md calls out.
+//!
+//! * Left vs Move — the cost of duplicating the sublink in the join
+//!   condition `Jsub` versus evaluating it once in a projection.
+//! * Gen with and without the uncorrelated-sublink cache of the executor
+//!   (approximated here by comparing Gen on an uncorrelated and on an
+//!   equivalent correlated formulation of the same query).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_algebra::builder::{any_sublink, eq, qcol, PlanBuilder};
+use perm_algebra::CompareOp;
+use perm_bench::run_provenance_query;
+use perm_core::Strategy;
+use perm_synthetic::queries::{build_database, build_query, random_range, QueryKind};
+
+fn left_vs_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_left_vs_move");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for rows in [200usize, 800] {
+        let db = build_database(rows, rows / 2, 7);
+        let params = random_range(rows, rows / 2, 7);
+        for (kind, name) in [(QueryKind::Q1EqualityAny, "q1"), (QueryKind::Q2InequalityAll, "q2")] {
+            let plan = build_query(&db, params, kind);
+            for strategy in [Strategy::Left, Strategy::Move] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{strategy}"), rows),
+                    &strategy,
+                    |b, &strategy| {
+                        b.iter(|| run_provenance_query(&db, &plan, strategy).expect("query runs"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn gen_correlated_vs_uncorrelated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gen_correlation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let rows = 150usize;
+    let db = build_database(rows, rows / 2, 11);
+    let params = random_range(rows, rows / 2, 11);
+
+    // Uncorrelated: q1 as generated.
+    let uncorrelated = build_query(&db, params, QueryKind::Q1EqualityAny);
+    // Correlated: the semantically equivalent form that pushes the equality
+    // into the sublink (`EXISTS (σ_{r2.a = r1.a ∧ range2}(R2))` expressed as
+    // `r1.a = ANY (σ_{r2.b = r2.b ∧ range2}(R2))` with an extra correlated
+    // conjunct), forcing per-tuple evaluation.
+    let correlated_sub = PlanBuilder::scan(&db, "r2")
+        .expect("r2")
+        .select(eq(qcol("r2", "a"), qcol("r1", "a")))
+        .project_columns(&["a"])
+        .build();
+    let correlated = PlanBuilder::scan(&db, "r1")
+        .expect("r1")
+        .select(any_sublink(qcol("r1", "a"), CompareOp::Eq, correlated_sub))
+        .build();
+
+    group.bench_function(BenchmarkId::new("gen", "uncorrelated"), |b| {
+        b.iter(|| run_provenance_query(&db, &uncorrelated, Strategy::Gen).expect("runs"));
+    });
+    group.bench_function(BenchmarkId::new("gen", "correlated"), |b| {
+        b.iter(|| run_provenance_query(&db, &correlated, Strategy::Gen).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, left_vs_move, gen_correlated_vs_uncorrelated);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7: synthetic workload, varying the size of the input relation R1
+//! while the sublink relation R2 stays fixed at 1000 tuples (scaled down for
+//! the in-memory engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::run_provenance_query;
+use perm_core::{ProvenanceQuery, Strategy};
+use perm_synthetic::queries::{build_database, build_query, random_range, QueryKind};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vary_input");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let r2_rows = 200;
+    for r1_rows in [100usize, 400, 1600] {
+        let db = build_database(r1_rows, r2_rows, 42);
+        let params = random_range(r1_rows, r2_rows, 42);
+        for (kind, name) in [(QueryKind::Q1EqualityAny, "q1"), (QueryKind::Q2InequalityAll, "q2")] {
+            let plan = build_query(&db, params, kind);
+            for strategy in Strategy::ALL {
+                if ProvenanceQuery::new(&db, &plan).strategy(strategy).rewrite().is_err() {
+                    continue;
+                }
+                // Gen grows quadratically; keep its points small so the bench
+                // terminates quickly (the harness covers the full sweep).
+                if strategy == Strategy::Gen && r1_rows > 400 {
+                    continue;
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{strategy}"), r1_rows),
+                    &strategy,
+                    |b, &strategy| {
+                        b.iter(|| run_provenance_query(&db, &plan, strategy).expect("query runs"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 9: synthetic workload, varying the size of both relations together
+//! (scaled down for
+//! the in-memory engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::run_provenance_query;
+use perm_core::{ProvenanceQuery, Strategy};
+use perm_synthetic::queries::{build_database, build_query, random_range, QueryKind};
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_vary_both");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    
+    for rows in [100usize, 400, 1200] {
+        let db = build_database(rows, rows, 42);
+        let params = random_range(rows, rows, 42);
+        for (kind, name) in [(QueryKind::Q1EqualityAny, "q1"), (QueryKind::Q2InequalityAll, "q2")] {
+            let plan = build_query(&db, params, kind);
+            for strategy in Strategy::ALL {
+                if ProvenanceQuery::new(&db, &plan).strategy(strategy).rewrite().is_err() {
+                    continue;
+                }
+                // Gen grows quadratically; keep its points small so the bench
+                // terminates quickly (the harness covers the full sweep).
+                if strategy == Strategy::Gen && rows > 400 {
+                    continue;
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{strategy}"), rows),
+                    &strategy,
+                    |b, &strategy| {
+                        b.iter(|| run_provenance_query(&db, &plan, strategy).expect("query runs"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Rewrite overhead: the cost of the plan-to-plan transformation itself
+//! (parsing + provenance rewriting, no execution). The paper folds this into
+//! the query times; it is negligible compared to execution, which this bench
+//! documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_core::{ProvenanceQuery, Strategy};
+use perm_tpch::{generate, sublink_queries, TpchScale};
+
+fn rewrite_only(c: &mut Criterion) {
+    let db = generate(TpchScale::new(0.0001), 42);
+    let mut group = c.benchmark_group("rewrite_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for template in sublink_queries() {
+        let sql = template.instantiate(42);
+        group.bench_with_input(
+            BenchmarkId::new("parse_bind", format!("Q{}", template.id)),
+            &sql,
+            |b, sql| {
+                b.iter(|| perm_sql::compile(&db, sql).expect("compiles"));
+            },
+        );
+        let (plan, _) = perm_sql::compile(&db, &sql).expect("compiles");
+        for strategy in Strategy::ALL {
+            if ProvenanceQuery::new(&db, &plan)
+                .strategy(strategy)
+                .rewrite()
+                .is_err()
+            {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("rewrite_{strategy}"), format!("Q{}", template.id)),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        ProvenanceQuery::new(&db, plan)
+                            .strategy(strategy)
+                            .rewrite()
+                            .expect("rewrites")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rewrite_only);
+criterion_main!(benches);

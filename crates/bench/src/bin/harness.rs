@@ -1,0 +1,149 @@
+//! The figure/table harness: regenerates every figure of the paper's
+//! evaluation section as text tables.
+//!
+//! ```text
+//! harness fig6 --scale xs [--runs N] [--timeout SECS]   # Figure 6 (one panel per scale)
+//! harness fig7 [--max-rows N]                           # Figure 7: vary input relation
+//! harness fig8 [--max-rows N]                           # Figure 8: vary sublink relation
+//! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
+//! harness ablation [--rows N]                           # rewrite-structure ablation
+//! harness all                                           # everything, at the smallest scale
+//! ```
+
+use perm_bench::{
+    format_table, measure_ablation, measure_fig6, measure_synthetic_sweep, BenchConfig,
+    SyntheticSweep,
+};
+use perm_tpch::TpchScale;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return;
+    }
+    let command = args[0].as_str();
+    let options = Options::parse(&args[1..]);
+    let config = BenchConfig {
+        runs: options.runs,
+        timeout: Duration::from_secs(options.timeout_secs),
+        seed: options.seed,
+    };
+
+    match command {
+        "fig6" => fig6(&options, &config),
+        "fig7" => synthetic(SyntheticSweep::VaryInput, "Figure 7", &options, &config),
+        "fig8" => synthetic(SyntheticSweep::VarySublink, "Figure 8", &options, &config),
+        "fig9" => synthetic(SyntheticSweep::VaryBoth, "Figure 9", &options, &config),
+        "ablation" => ablation(&options, &config),
+        "all" => {
+            fig6(&options, &config);
+            synthetic(SyntheticSweep::VaryInput, "Figure 7", &options, &config);
+            synthetic(SyntheticSweep::VarySublink, "Figure 8", &options, &config);
+            synthetic(SyntheticSweep::VaryBoth, "Figure 9", &options, &config);
+            ablation(&options, &config);
+        }
+        _ => print_usage(),
+    }
+}
+
+struct Options {
+    scale: String,
+    runs: usize,
+    timeout_secs: u64,
+    seed: u64,
+    max_rows: usize,
+    rows: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut options = Options {
+            scale: "xs".to_string(),
+            runs: 3,
+            timeout_secs: 20,
+            seed: 42,
+            max_rows: 2000,
+            rows: 1000,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            match args[i].as_str() {
+                "--scale" => options.scale = value,
+                "--runs" => options.runs = value.parse().unwrap_or(options.runs),
+                "--timeout" => options.timeout_secs = value.parse().unwrap_or(options.timeout_secs),
+                "--seed" => options.seed = value.parse().unwrap_or(options.seed),
+                "--max-rows" => options.max_rows = value.parse().unwrap_or(options.max_rows),
+                "--rows" => options.rows = value.parse().unwrap_or(options.rows),
+                other => {
+                    eprintln!("unknown option {other}");
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        options
+    }
+}
+
+fn fig6(options: &Options, config: &BenchConfig) {
+    let Some(scale) = TpchScale::named(&options.scale) else {
+        eprintln!(
+            "unknown scale `{}` (expected xs, s, m or l — the stand-ins for the paper's 1MB, \
+             10MB, 100MB and 1GB databases)",
+            options.scale
+        );
+        return;
+    };
+    println!(
+        "== Figure 6 ({}) — TPC-H sublink queries, scale factor {} ==",
+        options.scale, scale.factor
+    );
+    println!(
+        "(Gen on all queries; Left/Move/Unn only where applicable. `n/a` = strategy not \
+         applicable, `>Ns` = exceeded the time budget, as in the paper's >6h exclusions.)\n"
+    );
+    let rows = measure_fig6(scale, config);
+    println!("{}", format_table(&rows));
+}
+
+fn synthetic(sweep: SyntheticSweep, title: &str, options: &Options, config: &BenchConfig) {
+    println!(
+        "== {title} — synthetic workload (max {} rows) ==\n",
+        options.max_rows
+    );
+    let rows = measure_synthetic_sweep(sweep, options.max_rows, config);
+    println!("{}", format_table(&rows));
+}
+
+fn ablation(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Ablation — rewritten-plan structure vs. run time ({} rows) ==\n",
+        options.rows
+    );
+    let rows = measure_ablation(options.rows, config);
+    println!(
+        "{:<6} {:<8} {:>10} {:>10} {:>12}",
+        "query", "strategy", "operators", "sublinks", "time [ms]"
+    );
+    for row in rows {
+        println!(
+            "{:<6} {:<8} {:>10} {:>10} {:>12}",
+            row.label,
+            row.strategy.name(),
+            row.operators,
+            row.sublinks,
+            row.measurement.cell()
+        );
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: harness <fig6|fig7|fig8|fig9|ablation|all> [--scale xs|s|m|l] [--runs N] \
+         [--timeout SECS] [--seed N] [--max-rows N] [--rows N]"
+    );
+}

@@ -1,0 +1,93 @@
+//! The **Unn** rewrite strategy (rules U1 and U2 of Figure 5).
+//!
+//! Unn applies classic un-nesting to two specific sublink shapes and turns
+//! the provenance computation into plain joins, for which the standard
+//! rewrite rules are very efficient:
+//!
+//! * **U1** — a selection whose condition is exactly `EXISTS (Tsub)` with an
+//!   uncorrelated `Tsub`: the provenance of an `EXISTS` sublink is all of
+//!   `Tsub`, and the condition only filters when `Tsub` is empty, so
+//!   `(σ_EXISTS Tsub(T))+ = T+ × Tsub+`.
+//! * **U2** — a selection whose condition is exactly `x = ANY (Tsub)` with an
+//!   uncorrelated `Tsub`: the sublink is always `reqtrue`, its provenance is
+//!   `Tsub_true`, and the whole construct becomes an equi-join
+//!   `(σ_{x = ANY(Tsub)}(T))+ = T+ ⋈_{x = res} Tsub+`.
+
+use super::common::{
+    collect_sublinks, keep_columns, output_columns, require_uncorrelated, wrap_sublink_plus,
+};
+use super::{not_applicable, ProvenanceRewriter, RewriteResult};
+use crate::Result;
+use perm_algebra::builder::{col, eq};
+use perm_algebra::{CompareOp, Expr, JoinKind, Plan, SublinkKind};
+
+/// `true` when the Unn strategy has a rule for this selection predicate: the
+/// predicate must be exactly one `EXISTS` sublink or exactly one equality
+/// `ANY` sublink (rules U1 and U2). Correlation is checked separately during
+/// the rewrite.
+pub(crate) fn is_applicable_select(predicate: &Expr) -> bool {
+    match predicate {
+        Expr::Sublink {
+            kind: SublinkKind::Exists,
+            ..
+        } => true,
+        Expr::Sublink {
+            kind: SublinkKind::Any,
+            op: Some(CompareOp::Eq),
+            ..
+        } => true,
+        _ => false,
+    }
+}
+
+/// Rules U1 and U2 (selections only).
+pub(crate) fn rewrite_select(
+    rw: &mut ProvenanceRewriter<'_>,
+    input: &Plan,
+    predicate: &Expr,
+) -> Result<RewriteResult> {
+    if !is_applicable_select(predicate) {
+        return Err(not_applicable(
+            "Unn",
+            "the selection condition is not a single EXISTS sublink or a single equality ANY \
+             sublink (rules U1/U2)",
+        ));
+    }
+
+    let input_rw = rw.rewrite(input)?;
+    let infos = collect_sublinks(rw, std::iter::once(predicate))?;
+    require_uncorrelated("Unn", &infos)?;
+    let info = &infos[0];
+
+    let input_plus_schema = input_rw.plan.schema();
+    let mut descriptor = input_rw.descriptor;
+    descriptor = descriptor.concat(info.descriptor());
+
+    let (wrapped, result_alias) = wrap_sublink_plus(rw, info);
+    let plan = match info.kind {
+        // U1: the EXISTS condition only removes tuples when Tsub is empty, in
+        // which case the cross product is empty as well.
+        SublinkKind::Exists => Plan::CrossProduct {
+            left: Box::new(input_rw.plan),
+            right: Box::new(wrapped),
+        },
+        // U2: the sublink is reqtrue, its provenance is Tsub_true — exactly
+        // the tuples produced by the equi-join on the comparison condition.
+        SublinkKind::Any => {
+            let test = info
+                .test_expr
+                .clone()
+                .expect("ANY sublink carries a test expression");
+            Plan::Join {
+                left: Box::new(input_rw.plan),
+                right: Box::new(wrapped),
+                kind: JoinKind::Inner,
+                condition: eq(test, col(&result_alias)),
+            }
+        }
+        _ => unreachable!("is_applicable_select only admits EXISTS and ANY"),
+    };
+
+    let plan = keep_columns(plan, &output_columns(&input_plus_schema, &infos));
+    Ok(RewriteResult { plan, descriptor })
+}

@@ -1,0 +1,502 @@
+//! Cross-strategy equivalence tests: every applicable rewrite strategy must
+//! produce the same provenance (as a set of extended tuples) as the tracer,
+//! and the rewritten query restricted to the original attributes must
+//! reproduce the original query result (result preservation, Theorem 4).
+
+use perm_algebra::builder::{
+    all_sublink, any_sublink, col, eq, exists_sublink, lit, not, or, qcol, scalar_sublink,
+    PlanBuilder,
+};
+use perm_algebra::{CompareOp, Plan, ProjectItem};
+use perm_core::tracer::Tracer;
+use perm_core::{ProvenanceQuery, Strategy};
+use perm_exec::Executor;
+use perm_storage::{Attribute, DataType, Database, Relation, Schema, Tuple, Value};
+
+/// The example relations of Figure 3 plus a third relation for multi-sublink
+/// queries.
+fn figure3_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("r", "a", DataType::Int),
+                Attribute::qualified("r", "b", DataType::Int),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(1)],
+                vec![Value::Int(3), Value::Int(2)],
+            ],
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("s", "c", DataType::Int),
+                Attribute::qualified("s", "d", DataType::Int),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(4)],
+                vec![Value::Int(4), Value::Int(5)],
+            ],
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "u",
+        Relation::from_rows(
+            Schema::new(vec![Attribute::qualified("u", "e", DataType::Int)]),
+            vec![vec![Value::Int(2)], vec![Value::Int(5)]],
+        ),
+    )
+    .unwrap();
+    db
+}
+
+/// Projects a relation onto the given attribute names (used to reorder the
+/// rewrite output so it can be compared with the tracer output, whose column
+/// order may differ when strategies attach provenance in different orders).
+fn project_named(rel: &Relation, names: &[String]) -> Vec<Vec<Value>> {
+    let positions: Vec<usize> = names
+        .iter()
+        .map(|n| rel.schema().resolve(None, n).unwrap_or_else(|_| panic!("missing column {n}")))
+        .collect();
+    let mut rows: Vec<Vec<Value>> = rel
+        .tuples()
+        .iter()
+        .map(|t| positions.iter().map(|&i| t.get(i).clone()).collect())
+        .collect();
+    rows.sort_by(|a, b| Tuple::new(a.clone()).sort_key(&Tuple::new(b.clone())));
+    rows.dedup_by(|a, b| Tuple::new(a.clone()).null_safe_eq(&Tuple::new(b.clone())));
+    rows
+}
+
+/// Asserts that every applicable strategy produces the same (distinct-set)
+/// provenance as the tracer, and that the original result is preserved.
+fn assert_strategies_match_tracer(db: &Database, plan: &Plan, expect_applicable: &[Strategy]) {
+    let executor = Executor::new(db);
+    let original = executor.execute(plan).expect("original query must run");
+
+    let mut tracer = Tracer::new(db);
+    let traced = tracer.trace(plan).expect("tracer must succeed");
+    let reference_columns = traced.schema().names();
+    let reference_rows = project_named(&traced, &reference_columns);
+
+    let mut applicable = Vec::new();
+    for strategy in Strategy::ALL {
+        let rewritten = match ProvenanceQuery::new(db, plan).strategy(strategy).rewrite() {
+            Ok(r) => r,
+            Err(perm_core::ProvenanceError::NotApplicable { .. }) => continue,
+            Err(other) => panic!("{strategy} failed: {other}"),
+        };
+        applicable.push(strategy);
+        let result = executor
+            .execute(rewritten.plan())
+            .unwrap_or_else(|e| panic!("executing the {strategy} rewrite failed: {e}"));
+
+        // Provenance equivalence (as a set, since strategies may differ in
+        // how often they repeat a provenance combination).
+        let got = project_named(&result, &reference_columns);
+        assert_eq!(
+            got, reference_rows,
+            "strategy {strategy} disagrees with the tracer"
+        );
+
+        // Result preservation: the distinct original tuples are exactly the
+        // distinct rewritten tuples projected on the original attributes.
+        let original_columns = original.schema().names();
+        let mut expected = project_named(&original, &original_columns);
+        expected.dedup_by(|a, b| Tuple::new(a.clone()).null_safe_eq(&Tuple::new(b.clone())));
+        let preserved = project_named(&result, &original_columns);
+        assert_eq!(
+            preserved, expected,
+            "strategy {strategy} does not preserve the original result"
+        );
+    }
+    for strategy in expect_applicable {
+        assert!(
+            applicable.contains(strategy),
+            "expected {strategy} to be applicable, but it was rejected"
+        );
+    }
+}
+
+#[test]
+fn uncorrelated_any_sublink_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .build();
+    assert_strategies_match_tracer(
+        &db,
+        &q,
+        &[Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn],
+    );
+}
+
+#[test]
+fn uncorrelated_all_sublink_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project_columns(&["a"])
+        .build();
+    let q = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(all_sublink(col("c"), CompareOp::Gt, sub))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn uncorrelated_exists_sublink_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), lit(2)))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(sub))
+        .build();
+    assert_strategies_match_tracer(
+        &db,
+        &q,
+        &[Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn],
+    );
+}
+
+#[test]
+fn uncorrelated_exists_over_empty_sublink() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), lit(999)))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(sub))
+        .build();
+    // Empty sublink: no original tuples survive, so the provenance relation
+    // is empty for every strategy.
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn negated_sublink_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(not(any_sublink(col("a"), CompareOp::Eq, sub)))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn figure3_q3_disjunction_with_negated_all() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .select(not(eq(col("c"), lit(1))))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(or(
+            eq(col("a"), lit(3)),
+            not(all_sublink(col("a"), CompareOp::Lt, sub)),
+        ))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn multiple_sublinks_in_one_selection() {
+    // The Section 2.5 shape: a disjunction of an ANY and an ALL sublink over
+    // different relations.
+    let db = figure3_db();
+    let sub_r = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project_columns(&["a"])
+        .build();
+    let sub_s = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .select(or(
+            any_sublink(col("e"), CompareOp::Eq, sub_r),
+            all_sublink(col("e"), CompareOp::Gt, sub_s),
+        ))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn scalar_sublink_in_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .aggregate(vec![], vec![perm_algebra::builder::min(col("c"), "min_c")])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(eq(col("a"), scalar_sublink(sub)))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn correlated_exists_sublink_is_gen_only() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), qcol("r", "a")))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(sub))
+        .build();
+    // Left/Move/Unn must refuse the correlated sublink.
+    for strategy in [Strategy::Left, Strategy::Move, Strategy::Unn] {
+        let err = ProvenanceQuery::new(&db, &q)
+            .strategy(strategy)
+            .rewrite()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            perm_core::ProvenanceError::NotApplicable { .. }
+        ));
+    }
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen]);
+}
+
+#[test]
+fn correlated_any_sublink_selection() {
+    let db = figure3_db();
+    // σ_{a = ANY(σ_{c = b}(Π_c(S)))}(R): nested correlation through a
+    // projection inside the sublink.
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), qcol("r", "b")))
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen]);
+}
+
+#[test]
+fn sublink_in_projection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project(vec![
+            ProjectItem::column("a"),
+            ProjectItem::new(any_sublink(col("a"), CompareOp::Eq, sub), "in_s"),
+        ])
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn correlated_scalar_sublink_in_projection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), qcol("r", "b")))
+        .project_columns(&["d"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project(vec![
+            ProjectItem::column("a"),
+            ProjectItem::new(scalar_sublink(sub), "matched_d"),
+        ])
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen]);
+}
+
+#[test]
+fn nested_sublinks_selection() {
+    let db = figure3_db();
+    // σ_{a = ANY(σ_{c = ANY(Π_e(U))}(Π_c(S)))}(R): a sublink inside a sublink.
+    let inner = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .project_columns(&["e"])
+        .build();
+    let middle = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .select(any_sublink(col("c"), CompareOp::Eq, inner))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, middle))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn sublink_above_aggregation_having_style() {
+    let db = figure3_db();
+    // HAVING-style query: group R by b, keep groups whose sum(a) equals some
+    // value of U.e (an uncorrelated ANY sublink over the aggregate output).
+    let sub = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .project_columns(&["e"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .aggregate(
+            vec![ProjectItem::column("b")],
+            vec![perm_algebra::builder::sum(col("a"), "sum_a")],
+        )
+        .select(any_sublink(col("sum_a"), CompareOp::Eq, sub))
+        .build();
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}
+
+#[test]
+fn sublink_over_join_input() {
+    let db = figure3_db();
+    let joined = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&db, "s").unwrap().build(),
+            eq(col("a"), col("c")),
+        )
+        .build();
+    let sub = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .project_columns(&["e"])
+        .build();
+    let q = PlanBuilder::from_plan(joined)
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .build();
+    assert_strategies_match_tracer(
+        &db,
+        &q,
+        &[Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn],
+    );
+}
+
+#[test]
+fn projection_on_top_of_sublink_selection() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .project_columns(&["b"])
+        .build();
+    assert_strategies_match_tracer(
+        &db,
+        &q,
+        &[Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn],
+    );
+}
+
+#[test]
+fn auto_strategy_always_applies() {
+    let db = figure3_db();
+    let correlated_sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(col("c"), qcol("r", "a")))
+        .build();
+    let uncorrelated_sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    for q in [
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(correlated_sub))
+            .build(),
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, uncorrelated_sub))
+            .build(),
+    ] {
+        let rewritten = ProvenanceQuery::new(&db, &q)
+            .strategy(Strategy::Auto)
+            .rewrite()
+            .expect("Auto must always find an applicable strategy");
+        let executor = Executor::new(&db);
+        let result = executor.execute(rewritten.plan()).unwrap();
+        let mut tracer = Tracer::new(&db);
+        let traced = tracer.trace(&q).unwrap();
+        let columns = traced.schema().names();
+        assert_eq!(project_named(&result, &columns), project_named(&traced, &columns));
+    }
+}
+
+#[test]
+fn provenance_schema_names_follow_the_perm_convention() {
+    let db = figure3_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .build();
+    let rewritten = ProvenanceQuery::new(&db, &q)
+        .strategy(Strategy::Left)
+        .rewrite()
+        .unwrap();
+    assert_eq!(
+        rewritten.plan().schema().names(),
+        vec!["a", "b", "prov_r_a", "prov_r_b", "prov_s_c", "prov_s_d"]
+    );
+    assert_eq!(rewritten.descriptor().entries().len(), 2);
+    assert_eq!(rewritten.original_schema().names(), vec!["a", "b"]);
+}
+
+#[test]
+fn repeated_base_relation_gets_distinct_occurrences() {
+    let db = figure3_db();
+    // σ_{a = ANY(Π_a(R))}(R): the same relation is both the input and the
+    // sublink source; its two accesses must get distinct provenance columns.
+    let sub = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project_columns(&["a"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Eq, sub))
+        .build();
+    let rewritten = ProvenanceQuery::new(&db, &q)
+        .strategy(Strategy::Gen)
+        .rewrite()
+        .unwrap();
+    let names = rewritten.plan().schema().names();
+    assert!(names.contains(&"prov_r_a".to_string()));
+    assert!(names.contains(&"prov_1_r_a".to_string()));
+    assert_strategies_match_tracer(&db, &q, &[Strategy::Gen, Strategy::Left, Strategy::Move]);
+}

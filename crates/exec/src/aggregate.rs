@@ -1,0 +1,161 @@
+//! Aggregate function accumulators used by the `Aggregate` operator.
+
+use perm_algebra::AggFunc;
+use perm_storage::Value;
+
+/// An incremental accumulator for one aggregate function.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    /// Values seen so far when `distinct` is set (kept to drop duplicates).
+    seen: Vec<Value>,
+    count: i64,
+    sum: f64,
+    /// `true` when every summed input so far was an integer, so `sum`/`min`/
+    /// `max` can be reported as integers.
+    integral: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Creates an accumulator for the given function.
+    pub fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        Accumulator {
+            func,
+            distinct,
+            seen: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            integral: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feeds one input value. For `count(*)` the value is ignored except for
+    /// counting; for all other functions SQL semantics skip NULLs.
+    pub fn update(&mut self, value: &Value) {
+        if self.func == AggFunc::CountStar {
+            self.count += 1;
+            return;
+        }
+        if value.is_null() {
+            return;
+        }
+        if self.distinct {
+            if self.seen.iter().any(|v| v.null_safe_eq(value)) {
+                return;
+            }
+            self.seen.push(value.clone());
+        }
+        self.count += 1;
+        if let Some(n) = value.as_f64() {
+            self.sum += n;
+            if !matches!(value, Value::Int(_)) {
+                self.integral = false;
+            }
+        } else {
+            self.integral = false;
+        }
+        let replace_min = match &self.min {
+            None => true,
+            Some(m) => value.sql_cmp(m).map(|o| o.is_lt()).unwrap_or(false),
+        };
+        if replace_min {
+            self.min = Some(value.clone());
+        }
+        let replace_max = match &self.max {
+            None => true,
+            Some(m) => value.sql_cmp(m).map(|o| o.is_gt()).unwrap_or(false),
+        };
+        if replace_max {
+            self.max = Some(value.clone());
+        }
+    }
+
+    /// Produces the aggregate result. Empty inputs yield NULL for every
+    /// function except the counts, which yield `0` (SQL semantics).
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count | AggFunc::CountStar => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.integral {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, distinct: bool, values: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func, distinct);
+        for v in values {
+            acc.update(v);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_and_avg_skip_nulls() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Int(4));
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Float(2.0));
+        assert_eq!(run(AggFunc::Count, false, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::CountStar, false, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_input_yields_null_or_zero() {
+        assert_eq!(run(AggFunc::Sum, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, false, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::CountStar, false, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_over_mixed_numeric() {
+        let vals = vec![Value::Int(5), Value::Float(2.5), Value::Int(9)];
+        assert_eq!(run(AggFunc::Min, false, &vals), Value::Float(2.5));
+        assert_eq!(run(AggFunc::Max, false, &vals), Value::Int(9));
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let vals = vec![Value::str("pear"), Value::str("apple"), Value::str("fig")];
+        assert_eq!(run(AggFunc::Min, false, &vals), Value::str("apple"));
+        assert_eq!(run(AggFunc::Max, false, &vals), Value::str("pear"));
+    }
+
+    #[test]
+    fn distinct_drops_duplicates() {
+        let vals = vec![Value::Int(2), Value::Int(2), Value::Int(3)];
+        assert_eq!(run(AggFunc::Count, true, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Sum, true, &vals), Value::Int(5));
+    }
+
+    #[test]
+    fn sum_switches_to_float_when_needed() {
+        let vals = vec![Value::Int(1), Value::Float(0.5)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Float(1.5));
+    }
+}

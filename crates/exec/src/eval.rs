@@ -1,0 +1,419 @@
+//! Expression evaluation, including sublinks and correlated attribute
+//! references.
+
+use crate::executor::Executor;
+use crate::functions;
+use crate::{ExecError, Result};
+use perm_algebra::{BinaryOp, CompareOp, Expr, FuncName, SublinkKind, UnaryOp};
+use perm_storage::{Schema, Truth, Tuple, Value};
+
+/// An evaluation environment: the current operator's input tuple plus a
+/// chain of enclosing scopes. Column references resolve innermost-first,
+/// which is exactly the SQL scoping rule that makes correlated sublinks work
+/// ("for each tuple t from the algebra expression that is referenced, Tsub is
+/// evaluated for the parameter bound to the value of the referenced
+/// attribute", Section 2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct Env<'a> {
+    /// The enclosing scope, if any.
+    pub parent: Option<&'a Env<'a>>,
+    /// Schema of the current scope.
+    pub schema: &'a Schema,
+    /// Tuple currently bound in this scope.
+    pub tuple: &'a Tuple,
+}
+
+impl<'a> Env<'a> {
+    /// Creates a new innermost scope on top of `parent`.
+    pub fn new(parent: Option<&'a Env<'a>>, schema: &'a Schema, tuple: &'a Tuple) -> Env<'a> {
+        Env {
+            parent,
+            schema,
+            tuple,
+        }
+    }
+
+    /// Resolves a column reference, searching this scope first and then the
+    /// enclosing scopes.
+    pub fn lookup(&self, qualifier: Option<&str>, name: &str) -> Result<Value> {
+        match self.schema.try_resolve(qualifier, name)? {
+            Some(i) => Ok(self.tuple.get(i).clone()),
+            None => match self.parent {
+                Some(p) => p.lookup(qualifier, name),
+                None => Err(ExecError::Storage(
+                    perm_storage::StorageError::UnknownAttribute(name.to_string()),
+                )),
+            },
+        }
+    }
+}
+
+/// Compares two values with a SQL comparison operator under three-valued
+/// logic.
+pub fn compare(op: CompareOp, left: &Value, right: &Value) -> Truth {
+    if left.is_null() || right.is_null() {
+        return Truth::Unknown;
+    }
+    match op {
+        CompareOp::Eq => left.sql_eq(right),
+        CompareOp::Neq => left.sql_eq(right).not(),
+        _ => match left.sql_cmp(right) {
+            None => Truth::Unknown,
+            Some(ord) => Truth::from_bool(match op {
+                CompareOp::Lt => ord.is_lt(),
+                CompareOp::Le => ord.is_le(),
+                CompareOp::Gt => ord.is_gt(),
+                CompareOp::Ge => ord.is_ge(),
+                CompareOp::Eq | CompareOp::Neq => unreachable!(),
+            }),
+        },
+    }
+}
+
+impl Executor<'_> {
+    /// Evaluates an expression to a value in the given environment.
+    pub fn eval_expr(&self, expr: &Expr, env: Option<&Env<'_>>) -> Result<Value> {
+        match expr {
+            Expr::Column { qualifier, name } => match env {
+                Some(e) => e.lookup(qualifier.as_deref(), name),
+                None => Err(ExecError::Storage(
+                    perm_storage::StorageError::UnknownAttribute(name.clone()),
+                )),
+            },
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => self.eval_binary(*op, left, right, env),
+            Expr::Unary { op, expr } => {
+                let v = self.eval_expr(expr, env)?;
+                Ok(match op {
+                    UnaryOp::Not => v.as_truth().not().to_value(),
+                    UnaryOp::Neg => match v {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        _ => return Err(ExecError::Type("cannot negate non-number".into())),
+                    },
+                    UnaryOp::IsNull => Value::Bool(v.is_null()),
+                    UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+                })
+            }
+            Expr::Func { name, args } => self.eval_func(*name, args, env),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if self.eval_predicate(cond, env)?.is_true() {
+                        return self.eval_expr(result, env);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval_expr(e, env),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Sublink {
+                kind,
+                test_expr,
+                op,
+                plan,
+            } => self.eval_sublink(*kind, test_expr.as_deref(), *op, plan, env),
+        }
+    }
+
+    /// Evaluates an expression as a predicate (three-valued).
+    pub fn eval_predicate(&self, expr: &Expr, env: Option<&Env<'_>>) -> Result<Truth> {
+        Ok(self.eval_expr(expr, env)?.as_truth())
+    }
+
+    fn eval_binary(
+        &self,
+        op: BinaryOp,
+        left: &Expr,
+        right: &Expr,
+        env: Option<&Env<'_>>,
+    ) -> Result<Value> {
+        // Boolean connectives get non-strict NULL handling, everything else
+        // evaluates both sides first.
+        if matches!(op, BinaryOp::And | BinaryOp::Or) {
+            let l = self.eval_expr(left, env)?.as_truth();
+            // Short-circuit where three-valued logic allows it; this matters
+            // because the Gen rewrite guards expensive EXISTS sublinks behind
+            // cheap comparisons.
+            if op == BinaryOp::And && l == Truth::False {
+                return Ok(Truth::False.to_value());
+            }
+            if op == BinaryOp::Or && l == Truth::True {
+                return Ok(Truth::True.to_value());
+            }
+            let r = self.eval_expr(right, env)?.as_truth();
+            return Ok(match op {
+                BinaryOp::And => l.and(r),
+                BinaryOp::Or => l.or(r),
+                _ => unreachable!(),
+            }
+            .to_value());
+        }
+
+        let l = self.eval_expr(left, env)?;
+        let r = self.eval_expr(right, env)?;
+        match op {
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                arithmetic(op, &l, &r)
+            }
+            BinaryOp::Cmp(cmp_op) => Ok(compare(cmp_op, &l, &r).to_value()),
+            BinaryOp::NullSafeEq => Ok(Value::Bool(l.null_safe_eq(&r))),
+            BinaryOp::Like => Ok(functions::sql_like(&l, &r).to_value()),
+            BinaryOp::NotLike => Ok(functions::sql_like(&l, &r).not().to_value()),
+            BinaryOp::Concat => match (&l, &r) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                _ => Ok(Value::Str(format!("{l}{r}"))),
+            },
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_func(&self, name: FuncName, args: &[Expr], env: Option<&Env<'_>>) -> Result<Value> {
+        let values: Vec<Value> = args
+            .iter()
+            .map(|a| self.eval_expr(a, env))
+            .collect::<Result<_>>()?;
+        match name {
+            FuncName::Substring => {
+                if values.len() < 2 {
+                    return Err(ExecError::Type("substring needs 2 or 3 arguments".into()));
+                }
+                functions::substring(&values[0], &values[1], values.get(2))
+            }
+            FuncName::Abs => functions::abs(&values[0]),
+            FuncName::Coalesce => Ok(functions::coalesce(&values)),
+            FuncName::Lower => functions::change_case(&values[0], false),
+            FuncName::Upper => functions::change_case(&values[0], true),
+            FuncName::Length => functions::length(&values[0]),
+            FuncName::Date => functions::to_date(&values[0]),
+            FuncName::Year => functions::year(&values[0]),
+        }
+    }
+
+    fn eval_sublink(
+        &self,
+        kind: SublinkKind,
+        test_expr: Option<&Expr>,
+        op: Option<CompareOp>,
+        plan: &perm_algebra::Plan,
+        env: Option<&Env<'_>>,
+    ) -> Result<Value> {
+        let result = self.execute_sublink(plan, env)?;
+        match kind {
+            SublinkKind::Exists => Ok(Value::Bool(!result.is_empty())),
+            SublinkKind::Scalar => {
+                if result.schema().arity() != 1 {
+                    return Err(ExecError::ScalarSublinkCardinality(format!(
+                        "scalar sublink must produce one attribute, got {}",
+                        result.schema().arity()
+                    )));
+                }
+                match result.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(result.tuples()[0].get(0).clone()),
+                    n => Err(ExecError::ScalarSublinkCardinality(format!(
+                        "scalar sublink produced {n} tuples"
+                    ))),
+                }
+            }
+            SublinkKind::Any | SublinkKind::All => {
+                let test = test_expr.ok_or_else(|| {
+                    ExecError::Unsupported("ANY/ALL sublink without test expression".into())
+                })?;
+                let op = op.ok_or_else(|| {
+                    ExecError::Unsupported("ANY/ALL sublink without comparison operator".into())
+                })?;
+                let test_value = self.eval_expr(test, env)?;
+                let mut acc = if kind == SublinkKind::Any {
+                    Truth::False
+                } else {
+                    Truth::True
+                };
+                for row in result.tuples() {
+                    let row_value = row.get(0);
+                    let t = compare(op, &test_value, row_value);
+                    acc = if kind == SublinkKind::Any {
+                        acc.or(t)
+                    } else {
+                        acc.and(t)
+                    };
+                    // Early exit once the quantifier is decided.
+                    if (kind == SublinkKind::Any && acc == Truth::True)
+                        || (kind == SublinkKind::All && acc == Truth::False)
+                    {
+                        break;
+                    }
+                }
+                Ok(acc.to_value())
+            }
+        }
+    }
+}
+
+/// Arithmetic with NULL propagation and integer/float coercion.
+fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let (lf, rf) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(ExecError::Type(format!(
+                "arithmetic over non-numeric values `{l}` and `{r}`"
+            )))
+        }
+    };
+    // Date + integer days keeps the date type (needed for TPC-H interval
+    // predicates like `o_orderdate < date '1995-01-01' + 90`).
+    let date_result = matches!((l, r), (Value::Date(_), _) | (_, Value::Date(_)))
+        && matches!(op, BinaryOp::Add | BinaryOp::Sub);
+    let both_int = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
+    let result = match op {
+        BinaryOp::Add => lf + rf,
+        BinaryOp::Sub => lf - rf,
+        BinaryOp::Mul => lf * rf,
+        BinaryOp::Div => {
+            if rf == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            lf / rf
+        }
+        BinaryOp::Mod => {
+            if rf == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            lf % rf
+        }
+        _ => unreachable!(),
+    };
+    if date_result {
+        Ok(Value::Date(result as i32))
+    } else if both_int && result.fract() == 0.0 {
+        Ok(Value::Int(result as i64))
+    } else {
+        Ok(Value::Float(result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::builder::{col, lit, qcol};
+    use perm_storage::{Database, Schema};
+
+    fn executor_fixture() -> Database {
+        Database::new()
+    }
+
+    #[test]
+    fn env_resolves_innermost_first() {
+        let outer_schema = Schema::from_names(&["a", "b"]).with_qualifier("r");
+        let outer_tuple = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let inner_schema = Schema::from_names(&["c"]).with_qualifier("s");
+        let inner_tuple = Tuple::new(vec![Value::Int(9)]);
+        let outer = Env::new(None, &outer_schema, &outer_tuple);
+        let inner = Env::new(Some(&outer), &inner_schema, &inner_tuple);
+        assert_eq!(inner.lookup(None, "c").unwrap(), Value::Int(9));
+        assert_eq!(inner.lookup(None, "b").unwrap(), Value::Int(2));
+        assert_eq!(inner.lookup(Some("r"), "a").unwrap(), Value::Int(1));
+        assert!(inner.lookup(None, "zz").is_err());
+    }
+
+    #[test]
+    fn comparison_three_valued() {
+        assert_eq!(
+            compare(CompareOp::Lt, &Value::Int(1), &Value::Int(2)),
+            Truth::True
+        );
+        assert_eq!(
+            compare(CompareOp::Ge, &Value::Int(1), &Value::Null),
+            Truth::Unknown
+        );
+        assert_eq!(
+            compare(CompareOp::Neq, &Value::str("a"), &Value::str("a")),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let db = executor_fixture();
+        let ex = Executor::new(&db);
+        let v = ex
+            .eval_expr(
+                &perm_algebra::builder::binary(BinaryOp::Add, lit(1), lit(2)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(v, Value::Int(3));
+        let v = ex
+            .eval_expr(
+                &perm_algebra::builder::binary(BinaryOp::Div, lit(7), lit(2.0)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(v, Value::Float(3.5));
+        assert!(ex
+            .eval_expr(
+                &perm_algebra::builder::binary(BinaryOp::Div, lit(7), lit(0)),
+                None
+            )
+            .is_err());
+        // NULL propagation
+        let v = ex
+            .eval_expr(
+                &perm_algebra::builder::binary(BinaryOp::Mul, lit(7), perm_algebra::builder::null()),
+                None,
+            )
+            .unwrap();
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn and_or_short_circuit_with_three_valued_logic() {
+        let db = executor_fixture();
+        let ex = Executor::new(&db);
+        // FALSE AND <error> would fail if not short-circuited; use a column
+        // reference that cannot be resolved as the "error".
+        let e = perm_algebra::builder::and(lit(false), col("does_not_exist"));
+        assert_eq!(ex.eval_expr(&e, None).unwrap(), Value::Bool(false));
+        let e = perm_algebra::builder::or(lit(true), qcol("x", "y"));
+        assert_eq!(ex.eval_expr(&e, None).unwrap(), Value::Bool(true));
+        // NULL OR TRUE == TRUE, NULL AND TRUE == NULL
+        let e = perm_algebra::builder::or(perm_algebra::builder::null(), lit(true));
+        assert_eq!(ex.eval_expr(&e, None).unwrap(), Value::Bool(true));
+        let e = perm_algebra::builder::and(perm_algebra::builder::null(), lit(true));
+        assert!(ex.eval_expr(&e, None).unwrap().is_null());
+    }
+
+    #[test]
+    fn case_expression() {
+        let db = executor_fixture();
+        let ex = Executor::new(&db);
+        let e = Expr::Case {
+            branches: vec![
+                (perm_algebra::builder::eq(lit(1), lit(2)), lit("no")),
+                (perm_algebra::builder::eq(lit(1), lit(1)), lit("yes")),
+            ],
+            else_expr: Some(Box::new(lit("else"))),
+        };
+        assert_eq!(ex.eval_expr(&e, None).unwrap(), Value::str("yes"));
+    }
+
+    #[test]
+    fn date_interval_arithmetic_keeps_date_type() {
+        let db = executor_fixture();
+        let ex = Executor::new(&db);
+        let d = Expr::Literal(Value::parse_date("1995-01-01").unwrap());
+        let e = perm_algebra::builder::binary(BinaryOp::Add, d, lit(90));
+        let v = ex.eval_expr(&e, None).unwrap();
+        match v {
+            Value::Date(days) => assert_eq!(Value::format_date(days), "1995-04-01"),
+            other => panic!("expected date, got {other:?}"),
+        }
+    }
+}

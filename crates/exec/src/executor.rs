@@ -1,0 +1,896 @@
+//! Plan execution.
+//!
+//! The executor is a straightforward bag-semantics interpreter of the
+//! algebra in Figure 1 of the paper. Two pragmatic optimizations mirror what
+//! the PostgreSQL engine underneath the original Perm system does and are
+//! needed for the benchmark figures to be meaningful:
+//!
+//! * **Uncorrelated sublink caching** (PostgreSQL "InitPlans"): a sublink
+//!   query with no correlated attribute references is materialised once per
+//!   query execution instead of once per outer tuple.
+//! * **Equi-join hashing**: inner and left-outer joins whose condition
+//!   contains column-to-column equality conjuncts are executed as hash
+//!   joins, with the full condition re-checked on each candidate pair. Joins
+//!   whose condition contains sublinks (as produced by the Left strategy)
+//!   fall back to a nested loop, which is exactly the cost profile the paper
+//!   discusses for that strategy.
+
+use crate::eval::Env;
+use crate::{aggregate::Accumulator, ExecError, Result};
+use perm_algebra::visit::is_correlated;
+use perm_algebra::{Expr, JoinKind, Plan, SetOpKind, SortKey};
+use perm_storage::{Database, Relation, Schema, Truth, Tuple, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Executes plans against an in-memory database.
+pub struct Executor<'a> {
+    db: &'a Database,
+    /// Cache of materialised uncorrelated sublink results, keyed by the
+    /// address of the sublink plan node (stable for the lifetime of one
+    /// query execution because plans are borrowed immutably).
+    sublink_cache: RefCell<HashMap<usize, Relation>>,
+    /// Cache of correlation checks per sublink plan.
+    correlation_cache: RefCell<HashMap<usize, bool>>,
+    /// Number of operator evaluations performed (for tests/diagnostics).
+    ops_evaluated: RefCell<u64>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over a database.
+    pub fn new(db: &'a Database) -> Executor<'a> {
+        Executor {
+            db,
+            sublink_cache: RefCell::new(HashMap::new()),
+            correlation_cache: RefCell::new(HashMap::new()),
+            ops_evaluated: RefCell::new(0),
+        }
+    }
+
+    /// The database this executor reads from.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Number of operator invocations so far (diagnostic counter).
+    pub fn operators_evaluated(&self) -> u64 {
+        *self.ops_evaluated.borrow()
+    }
+
+    /// Executes a top-level plan. Residual selections sitting directly on
+    /// cross products are fused into joins first so that large products (in
+    /// particular the `CrossBase` products of the Gen rewrite strategy) are
+    /// never materialised unfiltered.
+    pub fn execute(&self, plan: &Plan) -> Result<Relation> {
+        let fused = perm_algebra::optimize::fuse_select_over_cross(plan.clone());
+        self.execute_with_env(&fused, None)
+    }
+
+    /// Executes a plan exactly as given, without the pre-execution fusing
+    /// pass (useful in tests that exercise specific plan shapes).
+    pub fn execute_unoptimized(&self, plan: &Plan) -> Result<Relation> {
+        self.execute_with_env(plan, None)
+    }
+
+    /// Executes a sublink plan in the given correlation environment. The
+    /// result is cached when the sublink is uncorrelated.
+    pub(crate) fn execute_sublink(&self, plan: &Plan, env: Option<&Env<'_>>) -> Result<Relation> {
+        let key = plan as *const Plan as usize;
+        let correlated = *self
+            .correlation_cache
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| is_correlated(plan));
+        if !correlated {
+            if let Some(cached) = self.sublink_cache.borrow().get(&key) {
+                return Ok(cached.clone());
+            }
+            let result = self.execute_with_env(plan, None)?;
+            self.sublink_cache
+                .borrow_mut()
+                .insert(key, result.clone());
+            return Ok(result);
+        }
+        self.execute_with_env(plan, env)
+    }
+
+    /// Recursive plan evaluation. `env` is the enclosing correlation scope
+    /// (present when this plan is a sublink query of an outer operator).
+    pub fn execute_with_env(&self, plan: &Plan, env: Option<&Env<'_>>) -> Result<Relation> {
+        *self.ops_evaluated.borrow_mut() += 1;
+        match plan {
+            Plan::Scan { table, schema, .. } => {
+                let base = self.db.table(table)?;
+                Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
+            }
+            Plan::Values { schema, rows } => Ok(Relation::new(schema.clone(), rows.clone())?),
+            Plan::Project {
+                input,
+                items,
+                distinct,
+            } => {
+                let child = self.execute_with_env(input, env)?;
+                let child_schema = child.schema().clone();
+                let out_schema = plan.schema();
+                let mut out = Relation::empty(out_schema);
+                for tuple in child.tuples() {
+                    let scope = Env::new(env, &child_schema, tuple);
+                    let mut row = Vec::with_capacity(items.len());
+                    for item in items {
+                        row.push(self.eval_expr(&item.expr, Some(&scope))?);
+                    }
+                    out.push_unchecked(Tuple::new(row));
+                }
+                Ok(if *distinct { out.distinct() } else { out })
+            }
+            Plan::Select { input, predicate } => {
+                let child = self.execute_with_env(input, env)?;
+                let child_schema = child.schema().clone();
+                let mut out = Relation::empty(child_schema.clone());
+                for tuple in child.tuples() {
+                    let scope = Env::new(env, &child_schema, tuple);
+                    if self.eval_predicate(predicate, Some(&scope))?.is_true() {
+                        out.push_unchecked(tuple.clone());
+                    }
+                }
+                Ok(out)
+            }
+            Plan::CrossProduct { left, right } => {
+                let l = self.execute_with_env(left, env)?;
+                let r = self.execute_with_env(right, env)?;
+                let schema = l.schema().concat(r.schema());
+                let mut out = Relation::empty(schema);
+                for lt in l.tuples() {
+                    for rt in r.tuples() {
+                        out.push_unchecked(lt.concat(rt));
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Join {
+                left,
+                right,
+                kind,
+                condition,
+            } => self.execute_join(left, right, *kind, condition, env),
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => self.execute_aggregate(plan, input, group_by, aggregates, env),
+            Plan::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.execute_with_env(left, env)?;
+                let r = self.execute_with_env(right, env)?;
+                if l.schema().arity() != r.schema().arity() {
+                    return Err(ExecError::Unsupported(
+                        "set operation over inputs of different arity".into(),
+                    ));
+                }
+                Ok(match (op, all) {
+                    (SetOpKind::Union, true) => l.bag_union(&r),
+                    (SetOpKind::Union, false) => l.set_union(&r),
+                    (SetOpKind::Intersect, true) => l.bag_intersect(&r),
+                    (SetOpKind::Intersect, false) => l.set_intersect(&r),
+                    (SetOpKind::Except, true) => l.bag_difference(&r),
+                    (SetOpKind::Except, false) => l.set_difference(&r),
+                })
+            }
+            Plan::Sort { input, keys } => {
+                let child = self.execute_with_env(input, env)?;
+                self.execute_sort(child, keys, env)
+            }
+            Plan::Limit { input, limit } => {
+                let child = self.execute_with_env(input, env)?;
+                let schema = child.schema().clone();
+                let tuples = child.into_tuples().into_iter().take(*limit).collect();
+                Ok(Relation::new(schema, tuples)?)
+            }
+        }
+    }
+
+    fn execute_sort(
+        &self,
+        child: Relation,
+        keys: &[SortKey],
+        env: Option<&Env<'_>>,
+    ) -> Result<Relation> {
+        let schema = child.schema().clone();
+        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
+        for tuple in child.tuples() {
+            let scope = Env::new(env, &schema, tuple);
+            let mut key_values = Vec::with_capacity(keys.len());
+            for key in keys {
+                key_values.push(self.eval_expr(&key.expr, Some(&scope))?);
+            }
+            keyed.push((key_values, tuple.clone()));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in keys.iter().enumerate() {
+                let ord = ka[i].sort_key(&kb[i]);
+                let ord = if key.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Relation::new(
+            schema,
+            keyed.into_iter().map(|(_, t)| t).collect(),
+        )?)
+    }
+
+    fn execute_join(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        kind: JoinKind,
+        condition: &Expr,
+        env: Option<&Env<'_>>,
+    ) -> Result<Relation> {
+        let l = self.execute_with_env(left, env)?;
+        let r = self.execute_with_env(right, env)?;
+        let l_schema = l.schema().clone();
+        let r_schema = r.schema().clone();
+        let out_schema = l_schema.concat(&r_schema);
+        let mut out = Relation::empty(out_schema.clone());
+
+        let equi_keys = if condition.has_sublink() {
+            Vec::new()
+        } else {
+            extract_equi_keys(condition, &l_schema, &r_schema)
+        };
+
+        if !equi_keys.is_empty() {
+            // Hash join: bucket the right side by its key values. Rows with a
+            // NULL key under a plain (non-null-safe) equality can never
+            // match and are dropped from the hash table / probe.
+            let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
+            'right: for rt in r.tuples() {
+                let scope = Env::new(env, &r_schema, rt);
+                let mut key_values = Vec::with_capacity(equi_keys.len());
+                for key in &equi_keys {
+                    let v = self.eval_expr(&key.right, Some(&scope))?;
+                    if v.is_null() && !key.null_safe {
+                        continue 'right;
+                    }
+                    key_values.push(v);
+                }
+                buckets.entry(encode_key(&key_values)).or_default().push(rt);
+            }
+            let empty: Vec<&Tuple> = Vec::new();
+            for lt in l.tuples() {
+                let scope = Env::new(env, &l_schema, lt);
+                let mut key_values = Vec::with_capacity(equi_keys.len());
+                let mut has_null_key = false;
+                for key in &equi_keys {
+                    let v = self.eval_expr(&key.left, Some(&scope))?;
+                    if v.is_null() && !key.null_safe {
+                        has_null_key = true;
+                        break;
+                    }
+                    key_values.push(v);
+                }
+                let candidates = if has_null_key {
+                    &empty
+                } else {
+                    buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
+                };
+                let mut matched = false;
+                for rt in candidates {
+                    let joined = lt.concat(rt);
+                    let scope = Env::new(env, &out_schema, &joined);
+                    if self.eval_predicate(condition, Some(&scope))?.is_true() {
+                        matched = true;
+                        out.push_unchecked(joined);
+                    }
+                }
+                if !matched && kind == JoinKind::LeftOuter {
+                    out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; r_schema.arity()])));
+                }
+            }
+            return Ok(out);
+        }
+
+        // Nested-loop join (required when the condition carries sublinks,
+        // e.g. the Jsub conditions of the Left strategy).
+        for lt in l.tuples() {
+            let mut matched = false;
+            for rt in r.tuples() {
+                let joined = lt.concat(rt);
+                let scope = Env::new(env, &out_schema, &joined);
+                if self.eval_predicate(condition, Some(&scope))?.is_true() {
+                    matched = true;
+                    out.push_unchecked(joined);
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; r_schema.arity()])));
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute_aggregate(
+        &self,
+        plan: &Plan,
+        input: &Plan,
+        group_by: &[perm_algebra::ProjectItem],
+        aggregates: &[perm_algebra::AggregateExpr],
+        env: Option<&Env<'_>>,
+    ) -> Result<Relation> {
+        let child = self.execute_with_env(input, env)?;
+        let child_schema = child.schema().clone();
+        let out_schema = plan.schema();
+
+        // Group rows by the encoded grouping key.
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let make_accs = || -> Vec<Accumulator> {
+            aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func, a.distinct))
+                .collect()
+        };
+
+        // A global aggregation (no GROUP BY) over an empty input still
+        // produces one tuple (e.g. `count(*)` = 0); seed the single group.
+        if group_by.is_empty() {
+            groups.push((Vec::new(), make_accs()));
+            index.insert(Vec::new(), 0);
+        }
+
+        for tuple in child.tuples() {
+            let scope = Env::new(env, &child_schema, tuple);
+            let mut key_values = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key_values.push(self.eval_expr(&g.expr, Some(&scope))?);
+            }
+            let key = encode_key(&key_values);
+            let group_index = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push((key_values, make_accs()));
+                    index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            for (acc, agg_expr) in groups[group_index].1.iter_mut().zip(aggregates.iter()) {
+                let value = match &agg_expr.arg {
+                    Some(arg) => self.eval_expr(arg, Some(&scope))?,
+                    None => Value::Int(1),
+                };
+                acc.update(&value);
+            }
+        }
+
+        let mut out = Relation::empty(out_schema);
+        for (key_values, accs) in groups {
+            let mut row = key_values;
+            for acc in &accs {
+                row.push(acc.finish());
+            }
+            out.push_unchecked(Tuple::new(row));
+        }
+        Ok(out)
+    }
+}
+
+/// One hash-join key pair: a left-side expression, a right-side expression
+/// and whether the comparison is null-safe (`=n`, in which case NULL keys
+/// match NULL keys instead of being dropped).
+struct EquiKey {
+    left: Expr,
+    right: Expr,
+    null_safe: bool,
+}
+
+/// Extracts equality conjuncts `colL = colR` (or `colL =n colR`) from a join
+/// condition, where one side resolves only against the left schema and the
+/// other only against the right schema.
+fn extract_equi_keys(condition: &Expr, left: &Schema, right: &Schema) -> Vec<EquiKey> {
+    let mut conjuncts = Vec::new();
+    flatten_conjuncts(condition, &mut conjuncts);
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary { op, left: a, right: b } = c {
+            let null_safe = match op {
+                perm_algebra::BinaryOp::Cmp(perm_algebra::CompareOp::Eq) => false,
+                perm_algebra::BinaryOp::NullSafeEq => true,
+                _ => continue,
+            };
+            if let (Expr::Column { .. }, Expr::Column { .. }) = (a.as_ref(), b.as_ref()) {
+                match (side_of(a, left, right), side_of(b, left, right)) {
+                    (Some(Side::Left), Some(Side::Right)) => keys.push(EquiKey {
+                        left: a.as_ref().clone(),
+                        right: b.as_ref().clone(),
+                        null_safe,
+                    }),
+                    (Some(Side::Right), Some(Side::Left)) => keys.push(EquiKey {
+                        left: b.as_ref().clone(),
+                        right: a.as_ref().clone(),
+                        null_safe,
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+    keys
+}
+
+#[derive(PartialEq)]
+enum Side {
+    Left,
+    Right,
+}
+
+fn side_of(expr: &Expr, left: &Schema, right: &Schema) -> Option<Side> {
+    if let Expr::Column { qualifier, name } = expr {
+        let in_left = matches!(left.try_resolve(qualifier.as_deref(), name), Ok(Some(_)));
+        let in_right = matches!(right.try_resolve(qualifier.as_deref(), name), Ok(Some(_)));
+        match (in_left, in_right) {
+            (true, false) => Some(Side::Left),
+            (false, true) => Some(Side::Right),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+fn flatten_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary {
+        op: perm_algebra::BinaryOp::And,
+        left,
+        right,
+    } = expr
+    {
+        flatten_conjuncts(left, out);
+        flatten_conjuncts(right, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Encodes a list of values into a hashable byte key. Numeric values are
+/// normalised to their `f64` representation so that `Int(3)` and `Float(3.0)`
+/// land in the same group, matching the engine's null-safe equality.
+fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 9);
+    for v in values {
+        match v {
+            Value::Null => out.push(0u8),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+                out.push(2);
+                let f = v.as_f64().unwrap_or(0.0);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Three-valued truth helper re-exported for predicates in tests.
+pub fn truth_of(value: &Value) -> Truth {
+    value.as_truth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::builder::{
+        self, all_sublink, any_sublink, col, count_star, eq, exists_sublink, lit, qcol,
+        scalar_sublink, sum, PlanBuilder,
+    };
+    use perm_algebra::{CompareOp, ProjectItem, SetOpKind};
+    use perm_storage::{Attribute, DataType};
+
+    /// The example relations R(a,b) and S(c,d) from Figure 3 of the paper.
+    fn figure3_db() -> Database {
+        let mut db = Database::new();
+        let r_schema = Schema::new(vec![
+            Attribute::qualified("r", "a", DataType::Int),
+            Attribute::qualified("r", "b", DataType::Int),
+        ]);
+        let s_schema = Schema::new(vec![
+            Attribute::qualified("s", "c", DataType::Int),
+            Attribute::qualified("s", "d", DataType::Int),
+        ]);
+        db.create_table(
+            "r",
+            Relation::from_rows(
+                r_schema,
+                vec![
+                    vec![Value::Int(1), Value::Int(1)],
+                    vec![Value::Int(2), Value::Int(1)],
+                    vec![Value::Int(3), Value::Int(2)],
+                ],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::from_rows(
+                s_schema,
+                vec![
+                    vec![Value::Int(1), Value::Int(3)],
+                    vec![Value::Int(2), Value::Int(4)],
+                    vec![Value::Int(4), Value::Int(5)],
+                ],
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(db: &Database, plan: &Plan) -> Relation {
+        Executor::new(db).execute(plan).unwrap()
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let db = figure3_db();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(eq(col("a"), lit(3)))
+            .project_columns(&["b"])
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0], Tuple::new(vec![Value::Int(2)]));
+    }
+
+    #[test]
+    fn projection_bag_vs_set() {
+        let db = figure3_db();
+        let bag = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project_columns(&["b"])
+            .build();
+        assert_eq!(run(&db, &bag).len(), 3);
+        let set = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project_distinct(vec![ProjectItem::column("b")])
+            .build();
+        assert_eq!(run(&db, &set).len(), 2);
+    }
+
+    #[test]
+    fn cross_product_and_join() {
+        let db = figure3_db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let cross = PlanBuilder::scan(&db, "r").unwrap().cross(s.clone()).build();
+        assert_eq!(run(&db, &cross).len(), 9);
+        let join = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .join(s, eq(col("a"), col("c")))
+            .build();
+        let result = run(&db, &join);
+        assert_eq!(result.len(), 2); // a=1 matches c=1, a=2 matches c=2
+    }
+
+    #[test]
+    fn left_outer_join_pads_with_nulls() {
+        let db = figure3_db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let join = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .left_join(s, eq(col("a"), col("c")))
+            .build();
+        let result = run(&db, &join);
+        assert_eq!(result.len(), 3);
+        let unmatched: Vec<&Tuple> = result
+            .tuples()
+            .iter()
+            .filter(|t| t.get(0) == &Value::Int(3))
+            .collect();
+        assert_eq!(unmatched.len(), 1);
+        assert!(unmatched[0].get(2).is_null());
+        assert!(unmatched[0].get(3).is_null());
+    }
+
+    #[test]
+    fn join_with_non_equi_condition_uses_nested_loop() {
+        let db = figure3_db();
+        let s = PlanBuilder::scan(&db, "s").unwrap().build();
+        let join = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .join(s, builder::cmp(CompareOp::Lt, col("a"), col("c")))
+            .build();
+        let result = run(&db, &join);
+        // pairs with a < c: (1,*)x(2,4),(4,5) ; (2,*)x(4,5); (3,*)x(4,5)
+        assert_eq!(result.len(), 4);
+    }
+
+    #[test]
+    fn aggregate_with_and_without_groups() {
+        let db = figure3_db();
+        let global = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .aggregate(vec![], vec![sum(col("a"), "sum_a"), count_star("cnt")])
+            .build();
+        let result = run(&db, &global);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0], Tuple::new(vec![Value::Int(6), Value::Int(3)]));
+
+        let grouped = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .aggregate(
+                vec![ProjectItem::column("b")],
+                vec![sum(col("a"), "sum_a")],
+            )
+            .build();
+        let result = run(&db, &grouped);
+        assert_eq!(result.len(), 2);
+        let mut rows = result.sorted_tuples();
+        rows.sort_by(|x, y| x.sort_key(y));
+        assert_eq!(rows[0], Tuple::new(vec![Value::Int(1), Value::Int(3)]));
+        assert_eq!(rows[1], Tuple::new(vec![Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn aggregate_over_empty_input_produces_single_row_without_groups() {
+        let db = figure3_db();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(eq(col("a"), lit(999)))
+            .aggregate(vec![], vec![count_star("cnt"), sum(col("a"), "s")])
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0].get(0), &Value::Int(0));
+        assert!(result.tuples()[0].get(1).is_null());
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = figure3_db();
+        let r1 = PlanBuilder::scan(&db, "r").unwrap().project_columns(&["b"]).build();
+        let r2 = PlanBuilder::scan(&db, "r").unwrap().project_columns(&["b"]).build();
+        let union_all = PlanBuilder::from_plan(r1.clone())
+            .set_op(SetOpKind::Union, true, r2.clone())
+            .build();
+        assert_eq!(run(&db, &union_all).len(), 6);
+        let union = PlanBuilder::from_plan(r1.clone())
+            .set_op(SetOpKind::Union, false, r2.clone())
+            .build();
+        assert_eq!(run(&db, &union).len(), 2);
+        let except = PlanBuilder::from_plan(r1)
+            .set_op(SetOpKind::Except, true, r2)
+            .build();
+        assert_eq!(run(&db, &except).len(), 0);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = figure3_db();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .sort(vec![SortKey::desc(col("a"))])
+            .limit(2)
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.tuples()[0].get(0), &Value::Int(3));
+        assert_eq!(result.tuples()[1].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn uncorrelated_any_sublink_in_selection() {
+        let db = figure3_db();
+        // q1 from Figure 3: σ_{a = ANY(Π_c(S))}(R)
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, sub))
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&Tuple::new(vec![Value::Int(1), Value::Int(1)])));
+        assert!(result.contains(&Tuple::new(vec![Value::Int(2), Value::Int(1)])));
+    }
+
+    #[test]
+    fn uncorrelated_all_sublink_in_selection() {
+        let db = figure3_db();
+        // q2 from Figure 3: σ_{c > ALL(Π_a(R))}(S) — only (4,5) qualifies.
+        let sub = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project_columns(&["a"])
+            .build();
+        let q = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(all_sublink(col("c"), CompareOp::Gt, sub))
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 1);
+        assert_eq!(
+            result.tuples()[0],
+            Tuple::new(vec![Value::Int(4), Value::Int(5)])
+        );
+    }
+
+    #[test]
+    fn correlated_exists_sublink() {
+        let db = figure3_db();
+        // σ_{EXISTS(σ_{c = a}(S))}(R): rows of R whose a appears as S.c.
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), qcol("r", "a")))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 2);
+        assert!(!result.contains(&Tuple::new(vec![Value::Int(3), Value::Int(2)])));
+    }
+
+    #[test]
+    fn correlated_scalar_sublink_in_projection() {
+        let db = figure3_db();
+        // Π_{a, (σ_{c=b}(Π_c(S)))}(R): the scalar sublink returns the single
+        // matching c or NULL.
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), qcol("r", "b")))
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project(vec![
+                ProjectItem::column("a"),
+                ProjectItem::new(scalar_sublink(sub), "match_c"),
+            ])
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 3);
+        let rows = result.sorted_tuples();
+        assert_eq!(rows[0], Tuple::new(vec![Value::Int(1), Value::Int(1)]));
+        assert_eq!(rows[1], Tuple::new(vec![Value::Int(2), Value::Int(1)]));
+        assert_eq!(rows[2], Tuple::new(vec![Value::Int(3), Value::Int(2)]));
+    }
+
+    #[test]
+    fn scalar_sublink_cardinality_violation_is_an_error() {
+        let db = figure3_db();
+        let sub = PlanBuilder::scan(&db, "s").unwrap().project_columns(&["c"]).build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project(vec![ProjectItem::new(scalar_sublink(sub), "x")])
+            .build();
+        let err = Executor::new(&db).execute(&q).unwrap_err();
+        assert!(matches!(err, ExecError::ScalarSublinkCardinality(_)));
+    }
+
+    #[test]
+    fn nested_sublinks() {
+        let db = figure3_db();
+        // σ_{a = ANY(σ_{c = ANY(Π_d(S))}(Π_c(S)))}(R):
+        // inner: c values that appear among d values of S -> {4}
+        // outer: rows of R with a = 4 -> none. Then with d replaced by c the
+        // middle level keeps all c's -> rows with a ∈ {1,2,4} -> 2 rows.
+        let inner = PlanBuilder::scan_as(&db, "s", Some("s2"))
+            .unwrap()
+            .project_columns(&["d"])
+            .build();
+        let middle = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(any_sublink(col("c"), CompareOp::Eq, inner))
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, middle))
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 0);
+    }
+
+    #[test]
+    fn null_semantics_in_any_sublink() {
+        // NOT IN with NULLs: x NOT IN (…, NULL, …) is never TRUE when no
+        // element matches — the classic three-valued-logic trap.
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Relation::from_rows(
+                Schema::from_names(&["x"]),
+                vec![vec![Value::Int(1)], vec![Value::Int(5)]],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "u",
+            Relation::from_rows(
+                Schema::from_names(&["y"]),
+                vec![vec![Value::Int(1)], vec![Value::Null]],
+            ),
+        )
+        .unwrap();
+        let sub = PlanBuilder::scan(&db, "u").unwrap().build();
+        let q = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(builder::not(any_sublink(col("x"), CompareOp::Eq, sub)))
+            .build();
+        let result = run(&db, &q);
+        assert_eq!(result.len(), 0, "x NOT IN (1, NULL) must never be TRUE");
+    }
+
+    #[test]
+    fn empty_sublink_results() {
+        let db = figure3_db();
+        let empty_sub = || {
+            PlanBuilder::scan(&db, "s")
+                .unwrap()
+                .select(eq(col("c"), lit(999)))
+                .project_columns(&["c"])
+                .build()
+        };
+        // ANY over empty is FALSE, ALL over empty is TRUE, EXISTS is FALSE.
+        let any_q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, empty_sub()))
+            .build();
+        assert_eq!(run(&db, &any_q).len(), 0);
+        let all_q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(all_sublink(col("a"), CompareOp::Eq, empty_sub()))
+            .build();
+        assert_eq!(run(&db, &all_q).len(), 3);
+        let exists_q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(empty_sub()))
+            .build();
+        assert_eq!(run(&db, &exists_q).len(), 0);
+    }
+
+    #[test]
+    fn values_plan_is_materialised() {
+        let db = Database::new();
+        let plan = Plan::Values {
+            schema: Schema::from_names(&["x"]),
+            rows: vec![Tuple::new(vec![Value::Int(7)]), Tuple::new(vec![Value::Null])],
+        };
+        let result = Executor::new(&db).execute(&plan).unwrap();
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn sublink_cache_reuses_uncorrelated_results() {
+        let db = figure3_db();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, sub))
+            .build();
+        let ex = Executor::new(&db);
+        ex.execute(&q).unwrap();
+        // The uncorrelated sublink plan (project over scan) is evaluated only
+        // once even though R has three tuples: scan r + select + (project +
+        // scan s) = 4 operator invocations.
+        assert_eq!(ex.operators_evaluated(), 4);
+    }
+}

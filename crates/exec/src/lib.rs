@@ -1,0 +1,73 @@
+//! # perm-exec
+//!
+//! A bag-semantics executor for the `perm-algebra` plans, playing the role of
+//! the (unmodified) PostgreSQL execution engine in the original Perm system:
+//! the provenance rewrite rules of `perm-core` produce ordinary algebra plans
+//! which this crate evaluates against an in-memory [`perm_storage::Database`].
+//!
+//! Correlated sublinks are supported by evaluating the sublink plan once per
+//! binding of the correlated attributes (an environment stack of outer
+//! tuples, innermost scope first), exactly as Section 2.2 of the paper
+//! describes the parameterisation of `Tsub`. Uncorrelated sublinks are
+//! materialised once and cached for the duration of a query, mirroring
+//! PostgreSQL's InitPlan behaviour.
+
+pub mod aggregate;
+pub mod eval;
+pub mod executor;
+pub mod functions;
+
+pub use eval::Env;
+pub use executor::Executor;
+
+use perm_storage::StorageError;
+
+/// Errors raised during query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Schema/name resolution or catalog failure.
+    Storage(StorageError),
+    /// A value had the wrong type for an operation.
+    Type(String),
+    /// A scalar sublink produced more than one tuple or more than one
+    /// attribute.
+    ScalarSublinkCardinality(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// The plan is invalid or uses a feature the executor does not support.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::Type(msg) => write!(f, "type error: {msg}"),
+            ExecError::ScalarSublinkCardinality(msg) => {
+                write!(f, "scalar sublink cardinality violation: {msg}")
+            }
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<perm_algebra::AlgebraError> for ExecError {
+    fn from(e: perm_algebra::AlgebraError) -> Self {
+        match e {
+            perm_algebra::AlgebraError::Storage(s) => ExecError::Storage(s),
+            other => ExecError::Unsupported(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for execution.
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,0 +1,259 @@
+//! The SQL abstract syntax tree produced by the parser.
+
+/// A `SELECT` query (possibly nested as a subquery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The select list.
+    pub select: Vec<SelectItem>,
+    /// `FROM` items (implicitly cross-joined when more than one).
+    pub from: Vec<TableRef>,
+    /// `WHERE` condition.
+    pub where_clause: Option<SqlExpr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<SqlExpr>,
+    /// `HAVING` condition.
+    pub having: Option<SqlExpr>,
+    /// `ORDER BY` keys (expression, ascending).
+    pub order_by: Vec<(SqlExpr, bool)>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A base relation with an optional alias.
+    Table { name: String, alias: Option<String> },
+    /// A derived table (subquery) with an alias.
+    Subquery { query: Box<Query>, alias: String },
+    /// An explicit join.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinType,
+        on: SqlExpr,
+    },
+}
+
+/// Join types supported by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+}
+
+/// Binary operators at the SQL level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Like,
+    NotLike,
+    Concat,
+}
+
+/// Quantifier of a quantified comparison (`= ANY (…)`, `< ALL (…)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Any,
+    All,
+}
+
+/// A scalar SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference, optionally qualified.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Numeric literal (kept as text until binding).
+    Number(String),
+    /// String literal.
+    StringLit(String),
+    /// `DATE '…'` literal.
+    DateLit(String),
+    /// `NULL`.
+    Null,
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `*` (only valid inside `count(*)`).
+    Wildcard,
+    /// Binary operation.
+    Binary {
+        op: SqlBinaryOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `- expr`.
+    Neg(Box<SqlExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<SqlExpr>, negated: bool },
+    /// Function call (scalar or aggregate).
+    Func {
+        name: String,
+        args: Vec<SqlExpr>,
+        distinct: bool,
+    },
+    /// `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        branches: Vec<(SqlExpr, SqlExpr)>,
+        else_expr: Option<Box<SqlExpr>>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        expr: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`.
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        expr: Box<SqlExpr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists { query: Box<Query>, negated: bool },
+    /// `expr op ANY/SOME/ALL (SELECT …)`.
+    Quantified {
+        expr: Box<SqlExpr>,
+        op: SqlBinaryOp,
+        quantifier: Quantifier,
+        query: Box<Query>,
+    },
+    /// A scalar subquery used as a value.
+    ScalarSubquery(Box<Query>),
+}
+
+impl SqlExpr {
+    /// Walks the expression tree (not descending into subqueries), applying
+    /// `f` to every node.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SqlExpr)) {
+        f(self);
+        match self {
+            SqlExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            SqlExpr::Not(e) | SqlExpr::Neg(e) => e.walk(f),
+            SqlExpr::IsNull { expr, .. } => expr.walk(f),
+            SqlExpr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            SqlExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            SqlExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for item in list {
+                    item.walk(f);
+                }
+            }
+            SqlExpr::InSubquery { expr, .. } => expr.walk(f),
+            SqlExpr::Quantified { expr, .. } => expr.walk(f),
+            _ => {}
+        }
+    }
+
+    /// `true` when this expression contains an aggregate function call
+    /// (not descending into subqueries).
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let SqlExpr::Func { name, .. } = e {
+                if is_aggregate_name(name) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+/// `true` when the function name denotes an aggregate function.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_aggregate_detects_nested_calls() {
+        let e = SqlExpr::Binary {
+            op: SqlBinaryOp::Mul,
+            left: Box::new(SqlExpr::Number("0.2".into())),
+            right: Box::new(SqlExpr::Func {
+                name: "avg".into(),
+                args: vec![SqlExpr::Column {
+                    qualifier: None,
+                    name: "l_quantity".into(),
+                }],
+                distinct: false,
+            }),
+        };
+        assert!(e.has_aggregate());
+        let plain = SqlExpr::Func {
+            name: "substring".into(),
+            args: vec![],
+            distinct: false,
+        };
+        assert!(!plain.has_aggregate());
+    }
+}

@@ -1,0 +1,228 @@
+//! The SQL lexer: turns query text into a token stream.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (stored upper-cased for keywords comparison; the
+    /// original text is kept for identifiers).
+    Ident(String),
+    /// Numeric literal.
+    Number(String),
+    /// String literal (quotes removed, `''` unescaped).
+    String(String),
+    /// Punctuation and operators.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+    Concat,
+}
+
+impl Token {
+    /// `true` when this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, keyword: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(keyword))
+    }
+}
+
+/// Tokenises a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(&bytes, i)?;
+                tokens.push(Token::String(s));
+                i = next;
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut j = i + 1;
+                let mut out = String::new();
+                while j < bytes.len() && bytes[j] != '"' {
+                    out.push(bytes[j]);
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                tokens.push(Token::Ident(out));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut out = String::new();
+                let mut seen_dot = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == '.' && !seen_dot))
+                {
+                    if bytes[j] == '.' {
+                        seen_dot = true;
+                    }
+                    out.push(bytes[j]);
+                    j += 1;
+                }
+                tokens.push(Token::Number(out));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut out = String::new();
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    out.push(bytes[j]);
+                    j += 1;
+                }
+                tokens.push(Token::Ident(out));
+                i = j;
+            }
+            _ => {
+                let (symbol, advance) = match c {
+                    '(' => (Symbol::LParen, 1),
+                    ')' => (Symbol::RParen, 1),
+                    ',' => (Symbol::Comma, 1),
+                    '.' => (Symbol::Dot, 1),
+                    '*' => (Symbol::Star, 1),
+                    '+' => (Symbol::Plus, 1),
+                    '-' => (Symbol::Minus, 1),
+                    '/' => (Symbol::Slash, 1),
+                    '%' => (Symbol::Percent, 1),
+                    ';' => (Symbol::Semicolon, 1),
+                    '=' => (Symbol::Eq, 1),
+                    '|' if bytes.get(i + 1) == Some(&'|') => (Symbol::Concat, 2),
+                    '<' => match bytes.get(i + 1) {
+                        Some('=') => (Symbol::Le, 2),
+                        Some('>') => (Symbol::Neq, 2),
+                        _ => (Symbol::Lt, 1),
+                    },
+                    '>' => match bytes.get(i + 1) {
+                        Some('=') => (Symbol::Ge, 2),
+                        _ => (Symbol::Gt, 1),
+                    },
+                    '!' if bytes.get(i + 1) == Some(&'=') => (Symbol::Neq, 2),
+                    other => {
+                        return Err(SqlError::Lex {
+                            position: i,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                tokens.push(Token::Symbol(symbol));
+                i += advance;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(bytes: &[char], start: usize) -> Result<(String, usize)> {
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        match bytes.get(i) {
+            None => {
+                return Err(SqlError::Lex {
+                    position: start,
+                    message: "unterminated string literal".into(),
+                })
+            }
+            Some('\'') => {
+                if bytes.get(i + 1) == Some(&'\'') {
+                    out.push('\'');
+                    i += 2;
+                } else {
+                    return Ok((out, i + 1));
+                }
+            }
+            Some(c) => {
+                out.push(*c);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_keywords_numbers_and_strings() {
+        let tokens = tokenize("SELECT a, 4.2 FROM r WHERE name = 'o''brien'").unwrap();
+        assert!(tokens[0].is_keyword("select"));
+        assert_eq!(tokens[1], Token::Ident("a".into()));
+        assert_eq!(tokens[2], Token::Symbol(Symbol::Comma));
+        assert_eq!(tokens[3], Token::Number("4.2".into()));
+        assert_eq!(tokens.last(), Some(&Token::String("o'brien".into())));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let tokens = tokenize("a <= b <> c >= d != e || f").unwrap();
+        let symbols: Vec<Symbol> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            symbols,
+            vec![Symbol::Le, Symbol::Neq, Symbol::Ge, Symbol::Neq, Symbol::Concat]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let tokens = tokenize("SELECT -- comment here\n  1").unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[1], Token::Number("1".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let tokens = tokenize("SELECT \"Weird Name\" FROM r").unwrap();
+        assert_eq!(tokens[1], Token::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        assert!(matches!(
+            tokenize("SELECT 'oops"),
+            Err(SqlError::Lex { .. })
+        ));
+        assert!(matches!(tokenize("SELECT #"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,769 @@
+//! A recursive-descent parser for the supported SQL subset, including the
+//! `SELECT PROVENANCE` extension of the Perm system.
+
+use crate::ast::{
+    JoinType, Query, Quantifier, SelectItem, SqlBinaryOp, SqlExpr, TableRef,
+};
+use crate::lexer::{tokenize, Symbol, Token};
+use crate::{Result, SqlError};
+
+/// A parsed top-level query together with the Perm `PROVENANCE` flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The query itself.
+    pub query: Query,
+    /// `true` when the query was marked with `SELECT PROVENANCE`.
+    pub provenance: bool,
+}
+
+/// Parses a SQL string into a [`ParsedQuery`].
+pub fn parse_query(sql: &str) -> Result<ParsedQuery> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let parsed = parser.parse_top_level()?;
+    parser.expect_end()?;
+    Ok(parsed)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn at_keyword(&self, keyword: &str) -> bool {
+        self.peek().map(|t| t.is_keyword(keyword)).unwrap_or(false)
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.at_keyword(keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<()> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {keyword}, found {:?}", self.peek())))
+        }
+    }
+
+    fn at_symbol(&self, symbol: Symbol) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(s)) if *s == symbol)
+    }
+
+    fn eat_symbol(&mut self, symbol: Symbol) -> bool {
+        if self.at_symbol(symbol) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, symbol: Symbol) -> Result<()> {
+        if self.eat_symbol(symbol) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {symbol:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.eat_symbol(Symbol::Semicolon);
+        if self.pos != self.tokens.len() {
+            return Err(self.error(format!("unexpected trailing input: {:?}", self.peek())));
+        }
+        Ok(())
+    }
+
+    fn parse_identifier(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_top_level(&mut self) -> Result<ParsedQuery> {
+        self.expect_keyword("select")?;
+        let provenance = self.eat_keyword("provenance");
+        let query = self.parse_select_body()?;
+        Ok(ParsedQuery { query, provenance })
+    }
+
+    /// Parses a full query starting *after* the `SELECT` keyword.
+    fn parse_select_body(&mut self) -> Result<Query> {
+        let distinct = self.eat_keyword("distinct");
+        let select = self.parse_select_list()?;
+
+        let mut from = Vec::new();
+        if self.eat_keyword("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                order_by.push((expr, ascending));
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("limit") {
+            match self.advance() {
+                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
+                    self.error(format!("invalid LIMIT value `{n}`"))
+                })?),
+                other => return Err(self.error(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.at_symbol(Symbol::Star) {
+                self.pos += 1;
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_keyword("as") {
+                    Some(self.parse_identifier()?)
+                } else if matches!(self.peek(), Some(Token::Ident(s))
+                    if !is_clause_keyword(s))
+                {
+                    Some(self.parse_identifier()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut table = self.parse_table_primary()?;
+        loop {
+            let kind = if self.at_keyword("join") || self.at_keyword("inner") {
+                self.eat_keyword("inner");
+                self.expect_keyword("join")?;
+                JoinType::Inner
+            } else if self.at_keyword("left") {
+                self.pos += 1;
+                self.eat_keyword("outer");
+                self.expect_keyword("join")?;
+                JoinType::LeftOuter
+            } else {
+                break;
+            };
+            let right = self.parse_table_primary()?;
+            self.expect_keyword("on")?;
+            let on = self.parse_expr()?;
+            table = TableRef::Join {
+                left: Box::new(table),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(table)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef> {
+        if self.eat_symbol(Symbol::LParen) {
+            self.expect_keyword("select")?;
+            let query = self.parse_select_body()?;
+            self.expect_symbol(Symbol::RParen)?;
+            self.eat_keyword("as");
+            let alias = self.parse_identifier()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.parse_identifier()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.parse_identifier()?)
+        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_table_clause_keyword(s)) {
+            Some(self.parse_identifier()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    /// OR-level.
+    pub(crate) fn parse_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let right = self.parse_and()?;
+            left = SqlExpr::Binary {
+                op: SqlBinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let right = self.parse_not()?;
+            left = SqlExpr::Binary {
+                op: SqlBinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<SqlExpr> {
+        if self.eat_keyword("not") {
+            // `NOT EXISTS (…)` parses as Exists{negated}; everything else as
+            // a plain negation.
+            if self.at_keyword("exists") {
+                let mut exists = self.parse_comparison()?;
+                if let SqlExpr::Exists { negated, .. } = &mut exists {
+                    *negated = true;
+                }
+                return Ok(exists);
+            }
+            let inner = self.parse_not()?;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<SqlExpr> {
+        if self.at_keyword("exists") {
+            self.pos += 1;
+            self.expect_symbol(Symbol::LParen)?;
+            self.expect_keyword("select")?;
+            let query = self.parse_select_body()?;
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(SqlExpr::Exists {
+                query: Box::new(query),
+                negated: false,
+            });
+        }
+
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = self.eat_keyword("not");
+        if self.eat_keyword("between") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("and")?;
+            let high = self.parse_additive()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol(Symbol::LParen)?;
+            if self.at_keyword("select") {
+                self.pos += 1;
+                let query = self.parse_select_body()?;
+                self.expect_symbol(Symbol::RParen)?;
+                return Ok(SqlExpr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(SqlExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(SqlExpr::Binary {
+                op: if negated {
+                    SqlBinaryOp::NotLike
+                } else {
+                    SqlBinaryOp::Like
+                },
+                left: Box::new(left),
+                right: Box::new(pattern),
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, IN or LIKE after NOT"));
+        }
+
+        // Plain comparison, possibly quantified (`= ANY (…)`).
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => Some(SqlBinaryOp::Eq),
+            Some(Token::Symbol(Symbol::Neq)) => Some(SqlBinaryOp::Neq),
+            Some(Token::Symbol(Symbol::Lt)) => Some(SqlBinaryOp::Lt),
+            Some(Token::Symbol(Symbol::Le)) => Some(SqlBinaryOp::Le),
+            Some(Token::Symbol(Symbol::Gt)) => Some(SqlBinaryOp::Gt),
+            Some(Token::Symbol(Symbol::Ge)) => Some(SqlBinaryOp::Ge),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return Ok(left);
+        };
+        self.pos += 1;
+
+        // Quantified comparison?
+        let quantifier = if self.eat_keyword("any") || self.eat_keyword("some") {
+            Some(Quantifier::Any)
+        } else if self.eat_keyword("all") {
+            Some(Quantifier::All)
+        } else {
+            None
+        };
+        if let Some(quantifier) = quantifier {
+            self.expect_symbol(Symbol::LParen)?;
+            self.expect_keyword("select")?;
+            let query = self.parse_select_body()?;
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(SqlExpr::Quantified {
+                expr: Box::new(left),
+                op,
+                quantifier,
+                query: Box::new(query),
+            });
+        }
+
+        let right = self.parse_additive()?;
+        Ok(SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Plus) {
+                SqlBinaryOp::Add
+            } else if self.eat_symbol(Symbol::Minus) {
+                SqlBinaryOp::Sub
+            } else if self.eat_symbol(Symbol::Concat) {
+                SqlBinaryOp::Concat
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Star) {
+                SqlBinaryOp::Mul
+            } else if self.eat_symbol(Symbol::Slash) {
+                SqlBinaryOp::Div
+            } else if self.eat_symbol(Symbol::Percent) {
+                SqlBinaryOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_unary()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SqlExpr> {
+        if self.eat_symbol(Symbol::Minus) {
+            return Ok(SqlExpr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_symbol(Symbol::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<SqlExpr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Number(n))
+            }
+            Some(Token::String(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::StringLit(s))
+            }
+            Some(Token::Symbol(Symbol::Star)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Wildcard)
+            }
+            Some(Token::Symbol(Symbol::LParen)) => {
+                self.pos += 1;
+                if self.at_keyword("select") {
+                    self.pos += 1;
+                    let query = self.parse_select_body()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(SqlExpr::ScalarSubquery(Box::new(query)));
+                }
+                let expr = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(expr)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                let lowered = name.to_ascii_lowercase();
+                match lowered.as_str() {
+                    "null" => return Ok(SqlExpr::Null),
+                    "true" => return Ok(SqlExpr::Bool(true)),
+                    "false" => return Ok(SqlExpr::Bool(false)),
+                    "case" => return self.parse_case(),
+                    "date" | "interval" => {
+                        // `date '1995-01-01'` / `interval '90' day` literals.
+                        if let Some(Token::String(text)) = self.peek().cloned() {
+                            self.pos += 1;
+                            if lowered == "date" {
+                                return Ok(SqlExpr::DateLit(text));
+                            }
+                            // Interval: treat as a plain number of days (the
+                            // TPC-H templates only use day intervals).
+                            let days: String = text
+                                .chars()
+                                .take_while(|c| c.is_ascii_digit())
+                                .collect();
+                            self.eat_keyword("day");
+                            return Ok(SqlExpr::Number(days));
+                        }
+                    }
+                    _ => {}
+                }
+                // Function call?
+                if self.at_symbol(Symbol::LParen) {
+                    self.pos += 1;
+                    let distinct = self.eat_keyword("distinct");
+                    let mut args = Vec::new();
+                    if !self.at_symbol(Symbol::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(Symbol::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(SqlExpr::Func {
+                        name: lowered,
+                        args,
+                        distinct,
+                    });
+                }
+                // Qualified column?
+                if self.eat_symbol(Symbol::Dot) {
+                    let column = self.parse_identifier()?;
+                    return Ok(SqlExpr::Column {
+                        qualifier: Some(name),
+                        name: column,
+                    });
+                }
+                Ok(SqlExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<SqlExpr> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("when") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("then")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        let else_expr = if self.eat_keyword("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("end")?;
+        Ok(SqlExpr::Case {
+            branches,
+            else_expr,
+        })
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "from" | "where" | "group" | "having" | "order" | "limit" | "union" | "on" | "join"
+            | "inner" | "left" | "as"
+    )
+}
+
+fn is_table_clause_keyword(word: &str) -> bool {
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "where" | "group" | "having" | "order" | "limit" | "union" | "on" | "join" | "inner"
+            | "left"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_provenance_flag() {
+        let q = parse_query("SELECT PROVENANCE * FROM r").unwrap();
+        assert!(q.provenance);
+        assert_eq!(q.query.select, vec![SelectItem::Wildcard]);
+        let q = parse_query("SELECT * FROM r").unwrap();
+        assert!(!q.provenance);
+    }
+
+    #[test]
+    fn parses_where_with_quantified_comparison() {
+        let q = parse_query("SELECT a FROM r WHERE a = ANY (SELECT c FROM s)").unwrap();
+        match q.query.where_clause.unwrap() {
+            SqlExpr::Quantified {
+                op, quantifier, ..
+            } => {
+                assert_eq!(op, SqlBinaryOp::Eq);
+                assert_eq!(quantifier, Quantifier::Any);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_and_not_in_subqueries() {
+        let q = parse_query("SELECT a FROM r WHERE a NOT IN (SELECT c FROM s) AND b IN (1, 2)")
+            .unwrap();
+        let w = q.query.where_clause.unwrap();
+        match w {
+            SqlExpr::Binary { op: SqlBinaryOp::And, left, right } => {
+                assert!(matches!(*left, SqlExpr::InSubquery { negated: true, .. }));
+                assert!(matches!(*right, SqlExpr::InList { negated: false, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists() {
+        let q = parse_query(
+            "SELECT * FROM orders o WHERE EXISTS (SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey) AND NOT EXISTS (SELECT * FROM lineitem)",
+        )
+        .unwrap();
+        let w = q.query.where_clause.unwrap();
+        match w {
+            SqlExpr::Binary { left, right, .. } => {
+                assert!(matches!(*left, SqlExpr::Exists { negated: false, .. }));
+                assert!(matches!(*right, SqlExpr::Exists { negated: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_having_order_limit() {
+        let q = parse_query(
+            "SELECT b, sum(a) AS total FROM r GROUP BY b HAVING sum(a) > 3 ORDER BY total DESC LIMIT 5",
+        )
+        .unwrap()
+        .query;
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].1);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_joins_and_aliases() {
+        let q = parse_query(
+            "SELECT r.a FROM r JOIN s ON r.a = s.c LEFT JOIN t u ON u.x = r.a, v",
+        )
+        .unwrap()
+        .query;
+        assert_eq!(q.from.len(), 2);
+        match &q.from[0] {
+            TableRef::Join { kind, left, .. } => {
+                assert_eq!(*kind, JoinType::LeftOuter);
+                assert!(matches!(**left, TableRef::Join { kind: JoinType::Inner, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scalar_subquery_and_arithmetic() {
+        let q = parse_query(
+            "SELECT * FROM lineitem WHERE l_quantity < (SELECT 0.2 * avg(l_quantity) FROM lineitem)",
+        )
+        .unwrap()
+        .query;
+        match q.where_clause.unwrap() {
+            SqlExpr::Binary { op: SqlBinaryOp::Lt, right, .. } => {
+                assert!(matches!(*right, SqlExpr::ScalarSubquery(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_date_and_interval_literals() {
+        let q = parse_query(
+            "SELECT * FROM orders WHERE o_orderdate >= date '1995-01-01' AND o_orderdate < date '1995-01-01' + interval '90' day",
+        )
+        .unwrap()
+        .query;
+        let mut dates = 0;
+        q.where_clause.unwrap().walk(&mut |e| {
+            if matches!(e, SqlExpr::DateLit(_)) {
+                dates += 1;
+            }
+        });
+        assert_eq!(dates, 2);
+    }
+
+    #[test]
+    fn parses_between_like_case() {
+        let q = parse_query(
+            "SELECT CASE WHEN a BETWEEN 1 AND 3 THEN 'low' ELSE 'high' END x FROM r WHERE name LIKE '%BRASS' AND other NOT LIKE 'MED%'",
+        );
+        assert!(q.is_ok(), "{q:?}");
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = parse_query(
+            "SELECT total FROM (SELECT sum(a) AS total FROM r GROUP BY b) t WHERE total > 2",
+        )
+        .unwrap()
+        .query;
+        assert!(matches!(q.from[0], TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("SELECT FROM WHERE").is_err());
+        assert!(parse_query("FOO BAR").is_err());
+        assert!(parse_query("SELECT a FROM r extra garbage !!").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The in-memory catalog: a named collection of base relations.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::{Result, StorageError};
+use std::collections::BTreeMap;
+
+/// An in-memory database: a mapping from (case-insensitive) relation names to
+/// base relations. This plays the role of the PostgreSQL catalog + heap in
+/// the original Perm implementation.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Registers a base relation. Fails if the name is already taken.
+    pub fn create_table(&mut self, name: impl Into<String>, relation: Relation) -> Result<()> {
+        let key = name.into().to_ascii_lowercase();
+        if self.relations.contains_key(&key) {
+            return Err(StorageError::DuplicateRelation(key));
+        }
+        self.relations.insert(key, relation);
+        Ok(())
+    }
+
+    /// Registers or replaces a base relation.
+    pub fn create_or_replace_table(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations
+            .insert(name.into().to_ascii_lowercase(), relation);
+    }
+
+    /// Removes a base relation, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a base relation.
+    pub fn table(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up the schema of a base relation.
+    pub fn table_schema(&self, name: &str) -> Result<&Schema> {
+        self.table(name).map(|r| r.schema())
+    }
+
+    /// `true` when a relation with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.relations.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered relations (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Total number of tuples across all relations; handy for reporting the
+    /// "database size" axis of the experiments.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn small_rel() -> Relation {
+        Relation::new(Schema::from_names(&["a"]), vec![tuple![1], tuple![2]]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_and_drop() {
+        let mut db = Database::new();
+        db.create_table("R", small_rel()).unwrap();
+        assert!(db.has_table("r"));
+        assert!(db.has_table("R"));
+        assert_eq!(db.table("R").unwrap().len(), 2);
+        assert_eq!(db.table_schema("r").unwrap().arity(), 1);
+        assert!(db.drop_table("R").is_some());
+        assert!(!db.has_table("r"));
+        assert!(db.table("R").is_err());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut db = Database::new();
+        db.create_table("R", small_rel()).unwrap();
+        assert!(matches!(
+            db.create_table("r", small_rel()),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+        db.create_or_replace_table("r", small_rel());
+    }
+
+    #[test]
+    fn total_tuples_sums_all_tables() {
+        let mut db = Database::new();
+        db.create_table("R", small_rel()).unwrap();
+        db.create_table("S", small_rel()).unwrap();
+        assert_eq!(db.total_tuples(), 4);
+        assert_eq!(db.table_names(), vec!["r".to_string(), "s".to_string()]);
+    }
+}

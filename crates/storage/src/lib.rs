@@ -1,0 +1,63 @@
+//! # perm-storage
+//!
+//! The storage substrate of the `permrs` provenance engine: SQL values with
+//! three-valued logic, tuples, schemas (including the provenance renaming
+//! `P(R)` used by the Perm rewrite rules), bag-semantics relations and an
+//! in-memory catalog.
+//!
+//! The paper ("Provenance for Nested Subqueries", Glavic & Alonso, EDBT 2009)
+//! implements its rewrites inside PostgreSQL. This crate provides the
+//! equivalent data model so the rewritten queries can be executed by the
+//! `perm-exec` crate without any external database.
+
+pub mod catalog;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Database;
+pub use relation::Relation;
+pub use schema::{Attribute, DataType, Schema};
+pub use tuple::Tuple;
+pub use value::{civil_from_days, days_from_civil, Truth, Value};
+
+/// Errors produced by the storage layer and re-used by the rest of the
+/// workspace (expression evaluation, execution, rewriting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute(String),
+    /// An attribute name is ambiguous within a schema.
+    AmbiguousAttribute(String),
+    /// A relation name could not be resolved against the catalog.
+    UnknownRelation(String),
+    /// A relation with the same name already exists in the catalog.
+    DuplicateRelation(String),
+    /// A tuple does not match the arity of the relation schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// A value had an unexpected type for the requested operation.
+    TypeError(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            StorageError::AmbiguousAttribute(name) => write!(f, "ambiguous attribute `{name}`"),
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, found {found}")
+            }
+            StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias used throughout the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;

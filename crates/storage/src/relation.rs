@@ -1,0 +1,325 @@
+//! Bag-semantics relations.
+//!
+//! The algebra of Figure 1 operates on bags (multi-sets). A [`Relation`]
+//! stores its tuples in a `Vec`, so duplicates are represented by repetition;
+//! multiplicity-aware helpers (`multiplicity`, `distinct`, bag
+//! union/intersection/difference) implement the bag operators the executor
+//! needs.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Result, StorageError};
+use std::fmt;
+
+/// A relation: a schema plus a bag of tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from a schema and tuples, validating arity.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.arity(),
+                    found: t.arity(),
+                });
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Creates a relation from rows of values (convenient in tests and data
+    /// generators). Panics on arity mismatch.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Relation {
+        let tuples = rows.into_iter().map(Tuple::new).collect();
+        Relation::new(schema, tuples).expect("row arity must match schema")
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (used by rename operations).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// The tuples (with duplicates).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples including duplicates.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple, validating arity.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.arity(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a tuple without arity validation (hot path for the executor,
+    /// which constructs tuples from the schema it is building).
+    pub fn push_unchecked(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Consumes the relation and returns its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Multiplicity of `tuple` in the bag (null-safe comparison).
+    pub fn multiplicity(&self, tuple: &Tuple) -> usize {
+        self.tuples.iter().filter(|t| t.null_safe_eq(tuple)).count()
+    }
+
+    /// `true` when the bag contains `tuple` at least once.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.iter().any(|t| t.null_safe_eq(tuple))
+    }
+
+    /// Duplicate-removing copy (the set-projection / `DISTINCT` primitive).
+    pub fn distinct(&self) -> Relation {
+        let mut out: Vec<Tuple> = Vec::new();
+        for t in &self.tuples {
+            if !out.iter().any(|o| o.null_safe_eq(t)) {
+                out.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples: out,
+        }
+    }
+
+    /// Bag union (`∪B`): multiplicities add up.
+    pub fn bag_union(&self, other: &Relation) -> Relation {
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Set union (`∪S`): duplicates removed.
+    pub fn set_union(&self, other: &Relation) -> Relation {
+        self.bag_union(other).distinct()
+    }
+
+    /// Bag intersection (`∩B`): multiplicity is the minimum of both sides.
+    pub fn bag_intersect(&self, other: &Relation) -> Relation {
+        let mut remaining: Vec<Tuple> = other.tuples.clone();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
+                remaining.swap_remove(pos);
+                tuples.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Set intersection (`∩S`).
+    pub fn set_intersect(&self, other: &Relation) -> Relation {
+        let mut tuples = Vec::new();
+        for t in self.distinct().tuples {
+            if other.contains(&t) {
+                tuples.push(t);
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Bag difference (`−B`): multiplicities subtract (never below zero).
+    pub fn bag_difference(&self, other: &Relation) -> Relation {
+        let mut remaining: Vec<Tuple> = other.tuples.clone();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
+                remaining.swap_remove(pos);
+            } else {
+                tuples.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Set difference (`−S`).
+    pub fn set_difference(&self, other: &Relation) -> Relation {
+        let mut tuples = Vec::new();
+        for t in self.distinct().tuples {
+            if !other.contains(&t) {
+                tuples.push(t);
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Returns the tuples sorted with [`Tuple::sort_key`]; useful for
+    /// deterministic comparison of results in tests.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut t = self.tuples.clone();
+        t.sort_by(|a, b| a.sort_key(b));
+        t
+    }
+
+    /// Bag equality: same schema arity and same tuples with the same
+    /// multiplicities (order-insensitive).
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() || self.len() != other.len() {
+            return false;
+        }
+        let a = self.sorted_tuples();
+        let b = other.sorted_tuples();
+        a.iter().zip(b.iter()).all(|(x, y)| x.null_safe_eq(y))
+    }
+
+    /// Set equality: same distinct tuples, ignoring multiplicities.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        let a = self.distinct();
+        let b = other.distinct();
+        a.len() == b.len() && a.tuples.iter().all(|t| b.contains(t))
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn rel(rows: Vec<Vec<i64>>) -> Relation {
+        let schema = Schema::from_names(&["a", "b"]);
+        Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn new_validates_arity() {
+        let schema = Schema::from_names(&["a", "b"]);
+        assert!(Relation::new(schema.clone(), vec![tuple![1]]).is_err());
+        assert!(Relation::new(schema, vec![tuple![1, 2]]).is_ok());
+    }
+
+    #[test]
+    fn multiplicity_counts_duplicates() {
+        let r = rel(vec![vec![1, 2], vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.multiplicity(&tuple![1, 2]), 2);
+        assert_eq!(r.multiplicity(&tuple![3, 4]), 1);
+        assert_eq!(r.multiplicity(&tuple![9, 9]), 0);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let r = rel(vec![vec![1, 2], vec![1, 2], vec![3, 4]]);
+        let d = r.distinct();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&tuple![1, 2]));
+        assert!(d.contains(&tuple![3, 4]));
+    }
+
+    #[test]
+    fn bag_union_adds_multiplicities() {
+        let r = rel(vec![vec![1, 2]]);
+        let s = rel(vec![vec![1, 2], vec![3, 4]]);
+        let u = r.bag_union(&s);
+        assert_eq!(u.multiplicity(&tuple![1, 2]), 2);
+        assert_eq!(u.len(), 3);
+        assert_eq!(r.set_union(&s).len(), 2);
+    }
+
+    #[test]
+    fn bag_intersection_takes_minimum() {
+        let r = rel(vec![vec![1, 2], vec![1, 2], vec![5, 6]]);
+        let s = rel(vec![vec![1, 2], vec![7, 8]]);
+        let i = r.bag_intersect(&s);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.multiplicity(&tuple![1, 2]), 1);
+        assert_eq!(r.set_intersect(&s).len(), 1);
+    }
+
+    #[test]
+    fn bag_difference_subtracts_multiplicities() {
+        let r = rel(vec![vec![1, 2], vec![1, 2], vec![5, 6]]);
+        let s = rel(vec![vec![1, 2]]);
+        let d = r.bag_difference(&s);
+        assert_eq!(d.multiplicity(&tuple![1, 2]), 1);
+        assert_eq!(d.multiplicity(&tuple![5, 6]), 1);
+        let sd = r.set_difference(&s);
+        assert_eq!(sd.len(), 1);
+        assert!(sd.contains(&tuple![5, 6]));
+    }
+
+    #[test]
+    fn bag_eq_is_order_insensitive_but_multiplicity_sensitive() {
+        let a = rel(vec![vec![1, 2], vec![3, 4]]);
+        let b = rel(vec![vec![3, 4], vec![1, 2]]);
+        let c = rel(vec![vec![1, 2], vec![1, 2], vec![3, 4]]);
+        assert!(a.bag_eq(&b));
+        assert!(!a.bag_eq(&c));
+        assert!(a.set_eq(&c));
+    }
+
+    #[test]
+    fn null_safe_containment() {
+        let schema = Schema::from_names(&["a"]);
+        let r = Relation::new(schema, vec![Tuple::new(vec![Value::Null])]).unwrap();
+        assert!(r.contains(&Tuple::new(vec![Value::Null])));
+        assert_eq!(r.multiplicity(&Tuple::new(vec![Value::Null])), 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Schemas and attributes, including the provenance renaming `P(R)`.
+//!
+//! The Perm rewrite rules represent the provenance of a query `q` over base
+//! relations `R1 … Rn` as a single relation with schema
+//! `(q, P(R1), …, P(Rn))` where `P(R)` is a *unique renaming* of the
+//! attributes of `R`. The paper abbreviates the renaming with a `p` prefix;
+//! we follow the actual Perm naming scheme more closely and use
+//! `prov_<relation>_<attribute>` plus an occurrence counter when the same
+//! base relation is accessed more than once (`prov_1_<relation>_<attribute>`).
+
+use crate::value::Value;
+use crate::{Result, StorageError};
+use std::fmt;
+
+/// Logical data type of an attribute. The engine is dynamically typed at
+/// execution time; declared types are used by the SQL binder for casting
+/// literals (e.g. date strings) and by the data generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Date,
+    /// Unknown/any type (used for computed expressions).
+    Any,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "text",
+            DataType::Date => "date",
+            DataType::Any => "any",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (`a`, `l_partkey`, `prov_lineitem_l_partkey`, …).
+    pub name: String,
+    /// Optional relation qualifier used for name resolution (`r` in `r.a`).
+    pub qualifier: Option<String>,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    /// Creates an attribute without a qualifier.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Attribute {
+        Attribute {
+            name: name.into(),
+            qualifier: None,
+            dtype,
+        }
+    }
+
+    /// Creates an attribute with a relation qualifier.
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        dtype: DataType,
+    ) -> Attribute {
+        Attribute {
+            name: name.into(),
+            qualifier: Some(qualifier.into()),
+            dtype,
+        }
+    }
+
+    /// `true` when `name` (optionally qualified as `q.n`) refers to this
+    /// attribute.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .map(|aq| aq.eq_ignore_ascii_case(q))
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of attributes.
+    pub fn new(attrs: Vec<Attribute>) -> Schema {
+        Schema { attrs }
+    }
+
+    /// Creates an empty schema.
+    pub fn empty() -> Schema {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Creates a schema of untyped attributes from names; convenient in tests.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Schema {
+        Schema {
+            attrs: names
+                .iter()
+                .map(|n| Attribute::new(n.as_ref(), DataType::Any))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Attribute at position `i`.
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// The attribute names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.attrs.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// Resolves an (optionally qualified) attribute name to its position.
+    ///
+    /// Returns an error if the name is unknown or ambiguous. Ambiguity is
+    /// only reported when the reference is unqualified and more than one
+    /// attribute carries the name; this mirrors SQL scoping.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, attr) in self.attrs.iter().enumerate() {
+            if attr.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(StorageError::AmbiguousAttribute(name.to_string()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| StorageError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Like [`Schema::resolve`] but returns `None` instead of an
+    /// unknown-attribute error (still errors on ambiguity).
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        match self.resolve(qualifier, name) {
+            Ok(i) => Ok(Some(i)),
+            Err(StorageError::UnknownAttribute(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Concatenates two schemas (the `⧺` operator of the paper, used for the
+    /// provenance attribute lists of cross products and joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs.iter().cloned());
+        Schema { attrs }
+    }
+
+    /// Returns a copy with every attribute qualified by `qualifier`.
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attribute {
+                    name: a.name.clone(),
+                    qualifier: Some(qualifier.to_string()),
+                    dtype: a.dtype,
+                })
+                .collect(),
+        }
+    }
+
+    /// The provenance renaming `P(R)` of this schema for base relation
+    /// `relation` and occurrence `occurrence` (0-based). Occurrence 0 maps
+    /// attribute `a` of relation `R` to `prov_r_a`; occurrence `k > 0` maps
+    /// it to `prov_k_r_a` so that multiple references to the same relation
+    /// stay distinguishable, as required by Definition 1 (footnote 1 in the
+    /// paper).
+    pub fn provenance_schema(&self, relation: &str, occurrence: usize) -> Schema {
+        let rel = relation.to_ascii_lowercase();
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attribute {
+                    name: provenance_attr_name(&rel, &a.name, occurrence),
+                    qualifier: None,
+                    dtype: a.dtype,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a suffix to every attribute name; used by the Gen strategy to
+    /// build the fresh names `Tsub'` it compares provenance attributes
+    /// against.
+    pub fn with_suffix(&self, suffix: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attribute {
+                    name: format!("{}{}", a.name, suffix),
+                    qualifier: None,
+                    dtype: a.dtype,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds the provenance attribute name for `relation.attribute` at the given
+/// occurrence of the base relation in the query.
+pub fn provenance_attr_name(relation: &str, attribute: &str, occurrence: usize) -> String {
+    if occurrence == 0 {
+        format!("prov_{relation}_{attribute}")
+    } else {
+        format!("prov_{occurrence}_{relation}_{attribute}")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &a.qualifier {
+                Some(q) => write!(f, "{q}.{}", a.name)?,
+                None => write!(f, "{}", a.name)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Helper producing a NULL tuple matching `schema` — the `null(R)` relation
+/// extension used by the Gen strategy's `CrossBase`.
+pub fn null_row(schema: &Schema) -> Vec<Value> {
+    vec![Value::Null; schema.arity()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> Schema {
+        Schema::new(vec![
+            Attribute::qualified("r", "a", DataType::Int),
+            Attribute::qualified("r", "b", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn resolve_by_name_and_qualifier() {
+        let s = rs();
+        assert_eq!(s.resolve(None, "a").unwrap(), 0);
+        assert_eq!(s.resolve(Some("r"), "b").unwrap(), 1);
+        assert!(matches!(
+            s.resolve(Some("s"), "a"),
+            Err(StorageError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            s.resolve(None, "zzz"),
+            Err(StorageError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_detects_ambiguity() {
+        let s = Schema::new(vec![
+            Attribute::qualified("r", "a", DataType::Int),
+            Attribute::qualified("s", "a", DataType::Int),
+        ]);
+        assert!(matches!(
+            s.resolve(None, "a"),
+            Err(StorageError::AmbiguousAttribute(_))
+        ));
+        assert_eq!(s.resolve(Some("s"), "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive() {
+        let s = rs();
+        assert_eq!(s.resolve(None, "A").unwrap(), 0);
+        assert_eq!(s.resolve(Some("R"), "B").unwrap(), 1);
+    }
+
+    #[test]
+    fn provenance_renaming_is_unique_per_occurrence() {
+        let s = rs();
+        let p0 = s.provenance_schema("R", 0);
+        let p1 = s.provenance_schema("R", 1);
+        assert_eq!(p0.names(), vec!["prov_r_a", "prov_r_b"]);
+        assert_eq!(p1.names(), vec!["prov_1_r_a", "prov_1_r_b"]);
+        assert_ne!(p0.names(), p1.names());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let s = rs();
+        let t = Schema::from_names(&["c"]);
+        assert_eq!(s.concat(&t).names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn null_row_matches_arity() {
+        let s = rs();
+        let row = null_row(&s);
+        assert_eq!(row.len(), 2);
+        assert!(row.iter().all(|v| v.is_null()));
+    }
+
+    #[test]
+    fn try_resolve_distinguishes_missing_from_ambiguous() {
+        let s = rs();
+        assert_eq!(s.try_resolve(None, "nope").unwrap(), None);
+        assert_eq!(s.try_resolve(None, "a").unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Tuples: ordered lists of values.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A tuple (row) of a relation. Fields are positional; names live in the
+/// relation's [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Tuple {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field at position `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All field values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the tuple and returns the values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenates two tuples (used by cross products and joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Tuple { values }
+    }
+
+    /// Projects the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Appends a value, returning a new tuple.
+    pub fn extended(&self, value: Value) -> Tuple {
+        let mut values = self.values.clone();
+        values.push(value);
+        Tuple { values }
+    }
+
+    /// Null-safe tuple equality: each pair of fields compares equal under
+    /// `=n`. This is the notion of tuple identity used for bags, duplicate
+    /// elimination and provenance comparison throughout the engine.
+    pub fn null_safe_eq(&self, other: &Tuple) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(a, b)| a.null_safe_eq(b))
+    }
+
+    /// Total order consistent with [`Tuple::null_safe_eq`]; used for sorting
+    /// output deterministically and for grouping.
+    pub fn sort_key(&self, other: &Tuple) -> Ordering {
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            let ord = a.sort_key(b);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        self.values.len().cmp(&other.values.len())
+    }
+
+    /// `true` when every field is NULL (the `null(R)` padding tuple).
+    pub fn is_all_null(&self) -> bool {
+        self.values.iter().all(|v| v.is_null())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, "x", Value::Null]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let t1 = tuple![1, 2];
+        let t2 = tuple!["x"];
+        let c = t1.concat(&t2);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::str("x"));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p, tuple!["x", 1]);
+    }
+
+    #[test]
+    fn null_safe_eq_on_tuples() {
+        let a = Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let c = Tuple::new(vec![Value::Int(0), Value::Int(1)]);
+        assert!(a.null_safe_eq(&b));
+        assert!(!a.null_safe_eq(&c));
+        assert!(!a.null_safe_eq(&Tuple::new(vec![Value::Null])));
+    }
+
+    #[test]
+    fn is_all_null() {
+        assert!(Tuple::new(vec![Value::Null, Value::Null]).is_all_null());
+        assert!(!tuple![1, 2].is_all_null());
+        assert!(Tuple::empty().is_all_null());
+    }
+
+    #[test]
+    fn sort_key_orders_lexicographically() {
+        let a = tuple![1, 2];
+        let b = tuple![1, 3];
+        assert_eq!(a.sort_key(&b), Ordering::Less);
+        assert_eq!(b.sort_key(&a), Ordering::Greater);
+        assert_eq!(a.sort_key(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn extended_appends() {
+        let t = tuple![1].extended(Value::str("z"));
+        assert_eq!(t, tuple![1, "z"]);
+    }
+}

@@ -1,0 +1,441 @@
+//! SQL values and three-valued logic.
+//!
+//! The algebra of the paper (Figure 1) is defined over bags of tuples whose
+//! fields are ordinary SQL values. Two aspects matter for provenance
+//! computation and therefore get first-class treatment here:
+//!
+//! * **NULL semantics.** The `Gen` rewrite strategy pads provenance
+//!   attributes with NULL when a sublink query produces no provenance and
+//!   compares provenance attributes with the null-safe operator `=n`
+//!   (`a =n b  ⇔  a = b ∨ (a IS NULL ∧ b IS NULL)`). Regular comparisons use
+//!   SQL three-valued logic.
+//! * **Total ordering for grouping.** Aggregation and duplicate elimination
+//!   need to group tuples; [`Value::sort_key`] provides a total order that is
+//!   consistent with SQL equality on non-NULL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Result of a SQL predicate under three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// The predicate is satisfied.
+    True,
+    /// The predicate is not satisfied.
+    False,
+    /// The predicate could not be decided because of NULLs.
+    Unknown,
+}
+
+impl Truth {
+    /// Converts a Rust boolean into a [`Truth`].
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// `true` only when the truth value is [`Truth::True`]; SQL selections
+    /// keep a tuple only in that case.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Three-valued logical AND.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued logical OR.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued logical NOT.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Converts into a nullable boolean [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            Truth::True => Value::Bool(true),
+            Truth::False => Value::Bool(false),
+            Truth::Unknown => Value::Null,
+        }
+    }
+}
+
+/// A SQL value.
+///
+/// Dates are stored as the number of days since 1970-01-01 which is enough
+/// for the date arithmetic used by the TPC-H workload (interval addition and
+/// range comparisons).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision float (also used for SQL `decimal` in this engine).
+    Float(f64),
+    /// Variable-length string.
+    Str(String),
+    /// Date as days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Returns `true` if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Returns the value as a boolean truth value (NULL ⇒ Unknown, non-zero
+    /// numbers are treated as an error rather than coerced).
+    pub fn as_truth(&self) -> Truth {
+        match self {
+            Value::Null => Truth::Unknown,
+            Value::Bool(b) => Truth::from_bool(*b),
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Numeric view used by arithmetic and aggregate functions.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats are truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Date(d) => Some(*d as i64),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality under three-valued logic.
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        if self.is_null() || other.is_null() {
+            return Truth::Unknown;
+        }
+        Truth::from_bool(self.strict_eq(other))
+    }
+
+    /// Null-safe equality `=n` used by the Gen strategy: NULL equals NULL.
+    pub fn null_safe_eq(&self, other: &Value) -> bool {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => self.strict_eq(other),
+        }
+    }
+
+    /// Equality on non-NULL values with numeric coercion between `Int`,
+    /// `Float` and `Date`.
+    fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// SQL ordering comparison under three-valued logic. Returns `None` when
+    /// either side is NULL or the values are not comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// A total order used for grouping, duplicate elimination and
+    /// deterministic output ordering. NULL sorts first; values of different
+    /// types are ordered by a type tag.
+    pub fn sort_key(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) | Value::Date(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        let (ta, tb) = (tag(self), tag(other));
+        if ta != tb {
+            return ta.cmp(&tb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => {
+                let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
+                let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Parses a `YYYY-MM-DD` date literal into days since the epoch.
+    pub fn parse_date(text: &str) -> Option<Value> {
+        let mut parts = text.split('-');
+        let year: i64 = parts.next()?.parse().ok()?;
+        let month: i64 = parts.next()?.parse().ok()?;
+        let day: i64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(Value::Date(days_from_civil(year, month, day) as i32))
+    }
+
+    /// Renders a date value back to `YYYY-MM-DD`.
+    pub fn format_date(days: i32) -> String {
+        let (y, m, d) = civil_from_days(days as i64);
+        format!("{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+pub fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.null_safe_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", Value::format_date(*d)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_and_or_not_tables() {
+        use Truth::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+    }
+
+    #[test]
+    fn sql_eq_with_nulls_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Truth::True);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Truth::False);
+    }
+
+    #[test]
+    fn null_safe_eq_treats_null_as_equal() {
+        assert!(Value::Null.null_safe_eq(&Value::Null));
+        assert!(!Value::Null.null_safe_eq(&Value::Int(0)));
+        assert!(Value::Int(3).null_safe_eq(&Value::Int(3)));
+        assert!(Value::Int(3).null_safe_eq(&Value::Float(3.0)));
+        assert!(!Value::Str("a".into()).null_safe_eq(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_eq(&Value::Int(3)), Truth::True);
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(
+            Value::str("abc").sql_cmp(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("abc").sql_eq(&Value::str("abc")), Truth::True);
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for text in ["1970-01-01", "1992-02-29", "1998-12-01", "2009-03-24"] {
+            let v = Value::parse_date(text).unwrap();
+            match v {
+                Value::Date(d) => assert_eq!(Value::format_date(d), text),
+                _ => panic!("expected date"),
+            }
+        }
+        assert_eq!(Value::parse_date("1970-01-01"), Some(Value::Date(0)));
+        assert_eq!(Value::parse_date("1970-01-02"), Some(Value::Date(1)));
+        assert!(Value::parse_date("not-a-date").is_none());
+        assert!(Value::parse_date("1970-13-01").is_none());
+    }
+
+    #[test]
+    fn date_ordering() {
+        let a = Value::parse_date("1994-01-01").unwrap();
+        let b = Value::parse_date("1994-04-01").unwrap();
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+        // Interval arithmetic: 90 days later.
+        if let (Value::Date(da), Value::Date(db)) = (&a, &b) {
+            assert_eq!(db - da, 90);
+        }
+    }
+
+    #[test]
+    fn sort_key_total_order_with_nulls_first() {
+        let mut vals = vec![
+            Value::Int(3),
+            Value::Null,
+            Value::str("x"),
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
+        vals.sort_by(|a, b| a.sort_key(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(1.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::str("x"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

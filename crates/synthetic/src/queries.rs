@@ -1,0 +1,171 @@
+//! The two parameterised synthetic queries of Section 4.2.2.
+
+use crate::generator::{generate_table, SyntheticConfig};
+use perm_algebra::builder::{all_sublink, any_sublink, between, col, lit, qcol, PlanBuilder};
+use perm_algebra::{CompareOp, Plan};
+use perm_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the two synthetic query shapes to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `q1`: equality `ANY` sublink.
+    Q1EqualityAny,
+    /// `q2`: inequality `ALL` sublink.
+    Q2InequalityAll,
+}
+
+/// The random range predicates applied to both tables (`range` on `R1.b`,
+/// `range2` on `R2.b`), each selecting a window of fixed width.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeParams {
+    /// Lower bound of the `R1` window.
+    pub r1_low: i64,
+    /// Upper bound of the `R1` window.
+    pub r1_high: i64,
+    /// Lower bound of the `R2` window.
+    pub r2_low: i64,
+    /// Upper bound of the `R2` window.
+    pub r2_high: i64,
+}
+
+/// Draws a random range parameterisation for tables of the given sizes: each
+/// window has a fixed relative width so the selected fraction of each table
+/// stays roughly constant as table sizes grow (as in the paper's setup).
+pub fn random_range(r1_rows: usize, r2_rows: usize, seed: u64) -> RangeParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = |rows: usize, rng: &mut StdRng| {
+        let std_dev = 100.0 * rows as f64;
+        // A window of one quarter standard deviation keeps selectivity
+        // roughly constant across sizes.
+        let width = (0.25 * std_dev) as i64;
+        let low = (rng.gen_range(-1.0..1.0) * std_dev) as i64;
+        (low, low + width)
+    };
+    let (r1_low, r1_high) = window(r1_rows, &mut rng);
+    let (r2_low, r2_high) = window(r2_rows, &mut rng);
+    RangeParams {
+        r1_low,
+        r1_high,
+        r2_low,
+        r2_high,
+    }
+}
+
+/// Builds a database with the two synthetic tables `r1` and `r2`.
+pub fn build_database(r1_rows: usize, r2_rows: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.create_or_replace_table("r1", generate_table("r1", SyntheticConfig::new(r1_rows, seed)));
+    db.create_or_replace_table(
+        "r2",
+        generate_table("r2", SyntheticConfig::new(r2_rows, seed.wrapping_add(1))),
+    );
+    db
+}
+
+/// `q1 = σ_{range ∧ a = ANY (Π_a(σ_{range2}(R2)))}(R1)`.
+pub fn query_q1(db: &Database, params: RangeParams) -> Plan {
+    build_query(db, params, QueryKind::Q1EqualityAny)
+}
+
+/// `q2 = σ_{range ∧ a < ALL (Π_a(σ_{range2}(R2)))}(R1)`.
+pub fn query_q2(db: &Database, params: RangeParams) -> Plan {
+    build_query(db, params, QueryKind::Q2InequalityAll)
+}
+
+/// Builds either synthetic query.
+pub fn build_query(db: &Database, params: RangeParams, kind: QueryKind) -> Plan {
+    let sublink_query = PlanBuilder::scan(db, "r2")
+        .expect("r2 must exist")
+        .select(between(
+            qcol("r2", "b"),
+            lit(params.r2_low),
+            lit(params.r2_high),
+        ))
+        .project_columns(&["a"])
+        .build();
+    let sublink = match kind {
+        QueryKind::Q1EqualityAny => any_sublink(qcol("r1", "a"), CompareOp::Eq, sublink_query),
+        QueryKind::Q2InequalityAll => all_sublink(qcol("r1", "a"), CompareOp::Lt, sublink_query),
+    };
+    let range = between(qcol("r1", "b"), lit(params.r1_low), lit(params.r1_high));
+    // The range predicate and the sublink are applied as two stacked
+    // selections (σ_sublink(σ_range(R1))), which is equivalent to the single
+    // conjunctive selection of the paper and lets the Unn rule U2 (whose
+    // pattern is a selection containing *only* the sublink) fire for q1, as
+    // in the paper's experiments.
+    PlanBuilder::scan(db, "r1")
+        .expect("r1 must exist")
+        .select(range)
+        .select(sublink)
+        .build()
+}
+
+/// Convenience re-export used by examples: an unqualified column of `r1`.
+pub fn r1_col(name: &str) -> perm_algebra::Expr {
+    col(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_core::{ProvenanceQuery, Strategy};
+    use perm_exec::Executor;
+
+    #[test]
+    fn queries_execute_and_all_strategies_apply_where_expected() {
+        let db = build_database(200, 100, 9);
+        let params = random_range(200, 100, 5);
+        let q1 = query_q1(&db, params);
+        let q2 = query_q2(&db, params);
+        let executor = Executor::new(&db);
+        executor.execute(&q1).unwrap();
+        executor.execute(&q2).unwrap();
+
+        let q1_strategies = ProvenanceQuery::new(&db, &q1).applicable_strategies();
+        assert_eq!(
+            q1_strategies,
+            vec![Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn]
+        );
+        let q2_strategies = ProvenanceQuery::new(&db, &q2).applicable_strategies();
+        assert_eq!(
+            q2_strategies,
+            vec![Strategy::Gen, Strategy::Left, Strategy::Move]
+        );
+    }
+
+    #[test]
+    fn q1_admits_the_unn_rewrite() {
+        // The Unn rule U2 requires the selection condition to be exactly the
+        // equality ANY sublink; the builder therefore stacks the range
+        // predicate as a separate selection below it.
+        let db = build_database(50, 30, 2);
+        let params = random_range(50, 30, 3);
+        let q1 = query_q1(&db, params);
+        let strategies = ProvenanceQuery::new(&db, &q1).applicable_strategies();
+        assert!(strategies.contains(&Strategy::Unn));
+    }
+
+    #[test]
+    fn provenance_of_q1_points_back_to_matching_r2_tuples() {
+        let db = build_database(80, 60, 21);
+        let params = random_range(80, 60, 22);
+        let q1 = query_q1(&db, params);
+        let rewritten = ProvenanceQuery::new(&db, &q1)
+            .strategy(Strategy::Move)
+            .rewrite()
+            .unwrap();
+        let result = Executor::new(&db).execute(rewritten.plan()).unwrap();
+        let schema = result.schema();
+        let a = schema.resolve(None, "a").unwrap();
+        let prov_a = schema.resolve(None, "prov_r2_a").unwrap();
+        for tuple in result.tuples() {
+            if !tuple.get(prov_a).is_null() {
+                // The contributing R2 tuple must satisfy the equality that
+                // made the ANY sublink true.
+                assert!(tuple.get(a).null_safe_eq(tuple.get(prov_a)));
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: compute the Why-provenance of a query with a nested subquery.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use perm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny orders database: items and a table of flagged item ids.
+    let mut db = Database::new();
+    db.create_table(
+        "items",
+        Relation::from_rows(
+            Schema::from_names(&["id", "name", "price"]).with_qualifier("items"),
+            vec![
+                vec![Value::Int(1), Value::str("keyboard"), Value::Int(30)],
+                vec![Value::Int(2), Value::str("monitor"), Value::Int(220)],
+                vec![Value::Int(3), Value::str("cable"), Value::Int(5)],
+            ],
+        ),
+    )?;
+    db.create_table(
+        "reviews",
+        Relation::from_rows(
+            Schema::from_names(&["item_id", "stars"]).with_qualifier("reviews"),
+            vec![
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Int(2), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ],
+        ),
+    )?;
+
+    // An ordinary query: items that received a bad review (a nested
+    // subquery / sublink in the WHERE clause).
+    let sql = "SELECT name, price FROM items \
+               WHERE id IN (SELECT item_id FROM reviews WHERE stars < 3)";
+    println!("query:\n  {sql}\n");
+    let result = run_sql(&db, sql)?;
+    println!("result:\n{result}");
+
+    // The same query with the Perm `PROVENANCE` keyword: every result tuple
+    // is extended by the contributing tuples of every base relation — here
+    // the item itself and the bad review(s) that put it into the result.
+    let provenance = run_sql(
+        &db,
+        "SELECT PROVENANCE name, price FROM items \
+         WHERE id IN (SELECT item_id FROM reviews WHERE stars < 3)",
+    )?;
+    println!("provenance ({} rows):\n{provenance}", provenance.len());
+
+    // The same computation through the programmatic API, choosing the
+    // rewrite strategy explicitly.
+    for strategy in [Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn] {
+        match perm::provenance_of_sql(&db, sql, strategy) {
+            Ok(rel) => println!("{strategy}: {} provenance rows", rel.len()),
+            Err(e) => println!("{strategy}: not applicable ({e})"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! # perm — Why-provenance for SQL queries with nested subqueries
+//!
+//! A Rust implementation of *Provenance for Nested Subqueries* (Glavic &
+//! Alonso, EDBT 2009): the Perm approach of computing the Why-provenance of a
+//! query by rewriting it — entirely inside the relational model — into a
+//! query that returns every original result tuple together with the input
+//! tuples that contributed to it, including through `ANY`, `ALL`, `EXISTS`
+//! and scalar subqueries (correlated, nested, or several per operator).
+//!
+//! The workspace is organised as a stack:
+//!
+//! * [`perm_storage`] — values, tuples, schemas, relations, catalog;
+//! * [`perm_algebra`] — the relational algebra with sublinks (Figure 1);
+//! * [`perm_exec`] — a bag-semantics executor with correlated-sublink
+//!   support;
+//! * [`perm_sql`] — a SQL front end with the `SELECT PROVENANCE` extension;
+//! * [`perm_core`] — the paper's contribution: contribution definitions,
+//!   influence roles, the provenance tracer, and the Gen / Left / Move / Unn
+//!   rewrite strategies;
+//! * [`perm_tpch`] / [`perm_synthetic`] — the evaluation workloads.
+//!
+//! This facade crate re-exports the pieces a typical user needs and hosts the
+//! runnable examples and cross-crate integration tests.
+//!
+//! ```
+//! use perm::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.create_table("items", Relation::from_rows(
+//!     Schema::from_names(&["id", "price"]).with_qualifier("items"),
+//!     vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(99)]],
+//! )).unwrap();
+//! db.create_table("flagged", Relation::from_rows(
+//!     Schema::from_names(&["item_id"]).with_qualifier("flagged"),
+//!     vec![vec![Value::Int(2)]],
+//! )).unwrap();
+//!
+//! // Which `flagged` rows made an item appear in this result?
+//! let provenance = provenance_of_sql(
+//!     &db,
+//!     "SELECT PROVENANCE id FROM items WHERE id IN (SELECT item_id FROM flagged)",
+//!     Strategy::Auto,
+//! ).unwrap();
+//! assert_eq!(provenance.schema().names(),
+//!            vec!["id", "prov_items_id", "prov_items_price", "prov_flagged_item_id"]);
+//! assert_eq!(provenance.len(), 1);
+//! ```
+
+pub use perm_algebra as algebra;
+pub use perm_core as core;
+pub use perm_exec as exec;
+pub use perm_sql as sql;
+pub use perm_storage as storage;
+pub use perm_synthetic as synthetic;
+pub use perm_tpch as tpch;
+
+pub use perm_core::{ProvenanceError, ProvenanceQuery, RewriteResult, Strategy};
+pub use perm_exec::Executor;
+pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::{
+        provenance_of_plan, provenance_of_sql, run_sql, Database, Executor, ProvenanceQuery,
+        Relation, Schema, Strategy, Tuple, Value,
+    };
+    pub use perm_algebra::{col, lit, qcol, PlanBuilder};
+}
+
+/// Errors surfaced by the high-level helpers.
+#[derive(Debug)]
+pub enum PermError {
+    /// SQL parsing or binding failed.
+    Sql(perm_sql::SqlError),
+    /// Provenance rewriting failed.
+    Provenance(perm_core::ProvenanceError),
+    /// Query execution failed.
+    Exec(perm_exec::ExecError),
+}
+
+impl std::fmt::Display for PermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermError::Sql(e) => write!(f, "{e}"),
+            PermError::Provenance(e) => write!(f, "{e}"),
+            PermError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+impl From<perm_sql::SqlError> for PermError {
+    fn from(e: perm_sql::SqlError) -> Self {
+        PermError::Sql(e)
+    }
+}
+impl From<perm_core::ProvenanceError> for PermError {
+    fn from(e: perm_core::ProvenanceError) -> Self {
+        PermError::Provenance(e)
+    }
+}
+impl From<perm_exec::ExecError> for PermError {
+    fn from(e: perm_exec::ExecError) -> Self {
+        PermError::Exec(e)
+    }
+}
+
+/// Runs an ordinary SQL query and returns its result. If the query carries
+/// the `SELECT PROVENANCE` marker it is rewritten with [`Strategy::Auto`]
+/// before execution, mirroring the behaviour of the Perm system.
+pub fn run_sql(db: &Database, sql: &str) -> Result<Relation, PermError> {
+    let (plan, wants_provenance) = perm_sql::compile(db, sql)?;
+    let plan = if wants_provenance {
+        ProvenanceQuery::new(db, &plan)
+            .strategy(Strategy::Auto)
+            .rewrite()?
+            .plan
+    } else {
+        plan
+    };
+    Ok(Executor::new(db).execute(&plan)?)
+}
+
+/// Computes the provenance of a SQL query with an explicit rewrite strategy.
+/// The `PROVENANCE` keyword is optional — provenance is computed either way.
+pub fn provenance_of_sql(
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+) -> Result<Relation, PermError> {
+    let (plan, _) = perm_sql::compile(db, sql)?;
+    provenance_of_plan(db, &plan, strategy)
+}
+
+/// Computes the provenance of an algebra plan with an explicit strategy.
+pub fn provenance_of_plan(
+    db: &Database,
+    plan: &perm_algebra::Plan,
+    strategy: Strategy,
+) -> Result<Relation, PermError> {
+    let rewritten = ProvenanceQuery::new(db, plan).strategy(strategy).rewrite()?;
+    Ok(Executor::new(db).execute(rewritten.plan())?)
+}
