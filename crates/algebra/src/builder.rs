@@ -130,10 +130,7 @@ pub fn between(expr: Expr, low: Expr, high: Expr) -> Expr {
 /// `expr IN (v1, v2, …)` over literal values, expanded to a disjunction of
 /// equalities (the paper notes `IN` is expressible through `ANY`).
 pub fn in_list(expr: Expr, values: impl IntoIterator<Item = Expr>) -> Expr {
-    let preds: Vec<Expr> = values
-        .into_iter()
-        .map(|v| eq(expr.clone(), v))
-        .collect();
+    let preds: Vec<Expr> = values.into_iter().map(|v| eq(expr.clone(), v)).collect();
     if preds.is_empty() {
         return lit(false);
     }
@@ -200,7 +197,7 @@ pub fn not_in_sublink(test: Expr, plan: Plan) -> Expr {
     not(any_sublink(test, CompareOp::Eq, plan))
 }
 
-/// Aggregate helpers ------------------------------------------------------
+// Aggregate helpers -------------------------------------------------------
 
 /// Generic aggregate.
 pub fn agg(func: AggFunc, arg: Expr, alias: &str) -> AggregateExpr {
@@ -458,7 +455,13 @@ mod tests {
             }
         ));
         let l = in_list(col("a"), vec![lit(1), lit(2), lit(3)]);
-        assert!(matches!(l, Expr::Binary { op: BinaryOp::Or, .. }));
+        assert!(matches!(
+            l,
+            Expr::Binary {
+                op: BinaryOp::Or,
+                ..
+            }
+        ));
         assert_eq!(in_list(col("a"), vec![]), lit(false));
     }
 

@@ -37,7 +37,11 @@ fn render(plan: &Plan, level: usize, out: &mut String) {
             items,
             distinct,
         } => {
-            let kind = if *distinct { "ProjectDistinct" } else { "Project" };
+            let kind = if *distinct {
+                "ProjectDistinct"
+            } else {
+                "Project"
+            };
             let list: Vec<String> = items
                 .iter()
                 .map(|i| format!("{} AS {}", i.expr, i.alias))
@@ -99,13 +103,7 @@ fn render(plan: &Plan, level: usize, out: &mut String) {
         Plan::Sort { input, keys } => {
             let ks: Vec<String> = keys
                 .iter()
-                .map(|k| {
-                    format!(
-                        "{} {}",
-                        k.expr,
-                        if k.ascending { "ASC" } else { "DESC" }
-                    )
-                })
+                .map(|k| format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" }))
                 .collect();
             writeln!(out, "Sort [{}]", ks.join(", ")).unwrap();
             render(input, level + 1, out);
@@ -117,11 +115,7 @@ fn render(plan: &Plan, level: usize, out: &mut String) {
     }
 }
 
-fn render_expr_sublinks<'a>(
-    exprs: impl Iterator<Item = &'a Expr>,
-    level: usize,
-    out: &mut String,
-) {
+fn render_expr_sublinks<'a>(exprs: impl Iterator<Item = &'a Expr>, level: usize, out: &mut String) {
     for expr in exprs {
         for sublink in expr.sublinks() {
             if let Expr::Sublink { kind, plan, .. } = sublink {
@@ -151,7 +145,10 @@ mod tests {
         let q = PlanBuilder::scan(&db, "r")
             .unwrap()
             .select(exists_sublink(sub))
-            .project(vec![ProjectItem::new(col("a"), "a"), ProjectItem::new(lit(1), "one")])
+            .project(vec![
+                ProjectItem::new(col("a"), "a"),
+                ProjectItem::new(lit(1), "one"),
+            ])
             .build();
         let text = explain(&q);
         assert!(text.contains("Project"));

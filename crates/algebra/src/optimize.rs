@@ -119,9 +119,7 @@ fn push_into(plan: Plan, conjuncts: Vec<Expr>) -> (Plan, Vec<Expr>) {
             all.extend(split_conjuncts(&predicate));
             push_into(*input, all)
         }
-        Plan::CrossProduct { left, right } => {
-            push_into_binary(*left, *right, None, conjuncts)
-        }
+        Plan::CrossProduct { left, right } => push_into_binary(*left, *right, None, conjuncts),
         Plan::Join {
             left,
             right,
@@ -384,8 +382,14 @@ mod tests {
                 kind: JoinKind::Inner,
                 ..
             } => {
-                assert!(matches!(*left, Plan::Select { .. }), "b=1 pushed to the left side");
-                assert!(matches!(*right, Plan::Select { .. }), "d=2 pushed to the right side");
+                assert!(
+                    matches!(*left, Plan::Select { .. }),
+                    "b=1 pushed to the left side"
+                );
+                assert!(
+                    matches!(*right, Plan::Select { .. }),
+                    "d=2 pushed to the right side"
+                );
             }
             other => panic!("expected a join, got {other:?}"),
         }
@@ -428,7 +432,13 @@ mod tests {
             ))
             .build();
         let fused = fuse_select_over_cross(q);
-        assert!(matches!(fused, Plan::Join { kind: JoinKind::Inner, .. }));
+        assert!(matches!(
+            fused,
+            Plan::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
     }
 
     #[test]

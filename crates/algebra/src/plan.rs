@@ -178,7 +178,10 @@ pub enum Plan {
         right: Box<Plan>,
     },
     /// Sorting (presentation only — does not affect provenance).
-    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+    },
     /// First-`n` truncation (presentation only).
     Limit { input: Box<Plan>, limit: usize },
 }

@@ -70,16 +70,17 @@ fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
         _ => unreachable!("operators have at most two children"),
     };
 
-    let check = |qualifier: &Option<String>, name: &str, out: &mut Vec<(Option<String>, String)>| {
-        let resolvable = scope
-            .try_resolve(qualifier.as_deref(), name)
-            // Ambiguity means the name *is* present in the scope.
-            .map(|r| r.is_some())
-            .unwrap_or(true);
-        if !resolvable {
-            out.push((qualifier.clone(), name.to_string()));
-        }
-    };
+    let check =
+        |qualifier: &Option<String>, name: &str, out: &mut Vec<(Option<String>, String)>| {
+            let resolvable = scope
+                .try_resolve(qualifier.as_deref(), name)
+                // Ambiguity means the name *is* present in the scope.
+                .map(|r| r.is_some())
+                .unwrap_or(true);
+            if !resolvable {
+                out.push((qualifier.clone(), name.to_string()));
+            }
+        };
 
     for expr in plan.expressions() {
         expr.walk(&mut |e| match e {
@@ -98,6 +99,26 @@ fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
     for child in plan.children() {
         free_columns_into(child, out);
     }
+}
+
+/// The *set* of free correlated column references of `plan`: the distinct
+/// `(qualifier, name)` pairs of [`free_columns`], in first-occurrence order.
+///
+/// This is the correlation signature the executor's plan compiler uses to
+/// parameterise a sublink: the result of executing `plan` as a sublink query
+/// is a pure function of the database and the values bound to exactly these
+/// references, so two outer tuples that agree on them must produce the same
+/// sublink result. Two spellings of the same attribute (`b` and `r.b`) are
+/// reported separately here; the compiler deduplicates them again after slot
+/// resolution.
+pub fn free_correlated_columns(plan: &Plan) -> Vec<(Option<String>, String)> {
+    let mut out: Vec<(Option<String>, String)> = Vec::new();
+    for c in free_columns(plan) {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// `true` when the plan references attributes of an enclosing query, i.e.
@@ -178,10 +199,16 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table("r", Relation::empty(Schema::from_names(&["a", "b"]).with_qualifier("r")))
-            .unwrap();
-        db.create_table("s", Relation::empty(Schema::from_names(&["c", "d"]).with_qualifier("s")))
-            .unwrap();
+        db.create_table(
+            "r",
+            Relation::empty(Schema::from_names(&["a", "b"]).with_qualifier("r")),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::empty(Schema::from_names(&["c", "d"]).with_qualifier("s")),
+        )
+        .unwrap();
         db
     }
 
@@ -222,6 +249,40 @@ mod tests {
         assert!(is_correlated(&sub));
         let free = free_columns(&sub);
         assert_eq!(free, vec![(None, "b".to_string())]);
+    }
+
+    #[test]
+    fn free_correlated_columns_deduplicates_repeated_references() {
+        let db = db();
+        // σ_{c = b ∧ d = b}(S): `b` escapes twice but is one binding.
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(crate::builder::and(
+                eq(col("c"), col("b")),
+                eq(col("d"), col("b")),
+            ))
+            .build();
+        assert_eq!(free_columns(&sub).len(), 2);
+        assert_eq!(free_correlated_columns(&sub), vec![(None, "b".to_string())]);
+    }
+
+    #[test]
+    fn free_correlated_columns_of_nested_sublinks_escape_outwards() {
+        let db = db();
+        // σ_{EXISTS(σ_{c = r.a}(S))}(S as s2): the inner sublink's free `r.a`
+        // is not bound by the middle scan either, so it escapes to the top.
+        let inner = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), qcol("r", "a")))
+            .build();
+        let middle = PlanBuilder::scan_as(&db, "s", Some("s2"))
+            .unwrap()
+            .select(exists_sublink(inner))
+            .build();
+        assert_eq!(
+            free_correlated_columns(&middle),
+            vec![(Some("r".to_string()), "a".to_string())]
+        );
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! The figure/table harness: regenerates every figure of the paper's
-//! evaluation section as text tables.
+//! evaluation section as text tables, and writes each figure additionally
+//! as a machine-readable `BENCH_<figure>.json` artefact (ms and
+//! `operators_evaluated` per point) so the perf trajectory can be tracked
+//! across PRs.
 //!
 //! ```text
 //! harness fig6 --scale xs [--runs N] [--timeout SECS]   # Figure 6 (one panel per scale)
 //! harness fig7 [--max-rows N]                           # Figure 7: vary input relation
 //! harness fig8 [--max-rows N]                           # Figure 8: vary sublink relation
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
+//! harness memo [--max-rows N]                           # sublink memo on/off on q3 (Fig. 7 sweep)
 //! harness ablation [--rows N]                           # rewrite-structure ablation
 //! harness all                                           # everything, at the smallest scale
 //! ```
 
 use perm_bench::{
-    format_table, measure_ablation, measure_fig6, measure_synthetic_sweep, BenchConfig,
-    SyntheticSweep,
+    format_table, measure_ablation, measure_fig6, measure_sublink_memo, measure_synthetic_sweep,
+    memo_results_to_json, results_to_json, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -33,18 +37,65 @@ fn main() {
 
     match command {
         "fig6" => fig6(&options, &config),
-        "fig7" => synthetic(SyntheticSweep::VaryInput, "Figure 7", &options, &config),
-        "fig8" => synthetic(SyntheticSweep::VarySublink, "Figure 8", &options, &config),
-        "fig9" => synthetic(SyntheticSweep::VaryBoth, "Figure 9", &options, &config),
+        "fig7" => synthetic(
+            SyntheticSweep::VaryInput,
+            "fig7",
+            "Figure 7",
+            &options,
+            &config,
+        ),
+        "fig8" => synthetic(
+            SyntheticSweep::VarySublink,
+            "fig8",
+            "Figure 8",
+            &options,
+            &config,
+        ),
+        "fig9" => synthetic(
+            SyntheticSweep::VaryBoth,
+            "fig9",
+            "Figure 9",
+            &options,
+            &config,
+        ),
+        "memo" => memo(&options, &config),
         "ablation" => ablation(&options, &config),
         "all" => {
             fig6(&options, &config);
-            synthetic(SyntheticSweep::VaryInput, "Figure 7", &options, &config);
-            synthetic(SyntheticSweep::VarySublink, "Figure 8", &options, &config);
-            synthetic(SyntheticSweep::VaryBoth, "Figure 9", &options, &config);
+            synthetic(
+                SyntheticSweep::VaryInput,
+                "fig7",
+                "Figure 7",
+                &options,
+                &config,
+            );
+            synthetic(
+                SyntheticSweep::VarySublink,
+                "fig8",
+                "Figure 8",
+                &options,
+                &config,
+            );
+            synthetic(
+                SyntheticSweep::VaryBoth,
+                "fig9",
+                "Figure 9",
+                &options,
+                &config,
+            );
+            memo(&options, &config);
             ablation(&options, &config);
         }
         _ => print_usage(),
+    }
+}
+
+/// Writes a JSON artefact next to the printed table and reports the path.
+fn write_json(figure: &str, json: &str) {
+    let path = format!("BENCH_{figure}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
@@ -108,15 +159,51 @@ fn fig6(options: &Options, config: &BenchConfig) {
     );
     let rows = measure_fig6(scale, config);
     println!("{}", format_table(&rows));
+    write_json(
+        &format!("fig6_{}", options.scale),
+        &results_to_json("fig6", &rows),
+    );
 }
 
-fn synthetic(sweep: SyntheticSweep, title: &str, options: &Options, config: &BenchConfig) {
+fn synthetic(
+    sweep: SyntheticSweep,
+    figure: &str,
+    title: &str,
+    options: &Options,
+    config: &BenchConfig,
+) {
     println!(
         "== {title} — synthetic workload (max {} rows) ==\n",
         options.max_rows
     );
     let rows = measure_synthetic_sweep(sweep, options.max_rows, config);
     println!("{}", format_table(&rows));
+    write_json(figure, &results_to_json(figure, &rows));
+}
+
+fn memo(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Sublink memoization — q3 with the parameterized memo on/off (max {} rows) ==\n",
+        options.max_rows
+    );
+    let rows = measure_sublink_memo(SyntheticSweep::VaryInput, options.max_rows, config);
+    println!(
+        "{:<28} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "workload", "ops on", "ops off", "ratio", "ms on", "ms off"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>10} {:>10} {:>7.1}x {:>12.1} {:>12.1}",
+            row.label,
+            row.ops_memoized,
+            row.ops_unmemoized,
+            row.ops_ratio(),
+            row.ms_memoized,
+            row.ms_unmemoized
+        );
+    }
+    println!();
+    write_json("memo", &memo_results_to_json("memo", &rows));
 }
 
 fn ablation(options: &Options, config: &BenchConfig) {
@@ -143,7 +230,7 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|ablation|all> [--scale xs|s|m|l] [--runs N] \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|ablation|all> [--scale xs|s|m|l] [--runs N] \
          [--timeout SECS] [--seed N] [--max-rows N] [--rows N]"
     );
 }

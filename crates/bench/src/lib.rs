@@ -32,11 +32,14 @@ pub use perm_synthetic::queries::build_database as synthetic_database;
 #[derive(Debug, Clone)]
 pub enum Measurement {
     /// Average wall-clock time over the performed runs, plus the size of the
-    /// produced provenance relation.
+    /// produced provenance relation and the operator-evaluation count of one
+    /// run (the executor's diagnostic counter — the quantity the sublink
+    /// memo bends).
     Completed {
         avg: Duration,
         runs: usize,
         provenance_rows: usize,
+        operators_evaluated: u64,
     },
     /// The strategy cannot rewrite the query (e.g. Left on a correlated
     /// sublink) — reported as "n/a", like the missing bars in Figure 6.
@@ -103,19 +106,37 @@ impl Default for BenchConfig {
     }
 }
 
+/// Statistics of one provenance query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Wall-clock time of the execution (excluding the rewrite).
+    pub elapsed: Duration,
+    /// Number of provenance rows produced.
+    pub provenance_rows: usize,
+    /// Operator evaluations performed by the executor.
+    pub operators_evaluated: u64,
+}
+
 /// Rewrites a plan with the given strategy and executes it once, returning
-/// the elapsed time and the number of provenance rows produced.
+/// elapsed time, provenance rows and operator evaluations.
 pub fn run_provenance_query(
     db: &Database,
     plan: &perm_algebra::Plan,
     strategy: Strategy,
-) -> Result<(Duration, usize), ProvenanceError> {
-    let rewritten: RewriteResult = ProvenanceQuery::new(db, plan).strategy(strategy).rewrite()?;
+) -> Result<RunStats, ProvenanceError> {
+    let rewritten: RewriteResult = ProvenanceQuery::new(db, plan)
+        .strategy(strategy)
+        .rewrite()?;
+    let executor = Executor::new(db);
     let start = Instant::now();
-    let result = Executor::new(db)
+    let result = executor
         .execute(rewritten.plan())
         .map_err(|e| ProvenanceError::Exec(e.to_string()))?;
-    Ok((start.elapsed(), result.len()))
+    Ok(RunStats {
+        elapsed: start.elapsed(),
+        provenance_rows: result.len(),
+        operators_evaluated: executor.operators_evaluated(),
+    })
 }
 
 /// Measures one (plan, strategy) combination under the configured time
@@ -143,11 +164,13 @@ pub fn measure_plan(
     std::thread::spawn(move || {
         let mut total = Duration::ZERO;
         let mut rows = 0usize;
+        let mut ops = 0u64;
         for _ in 0..runs {
             match run_provenance_query(&db_clone, &plan_clone, strategy) {
-                Ok((elapsed, provenance_rows)) => {
-                    total += elapsed;
-                    rows = provenance_rows;
+                Ok(stats) => {
+                    total += stats.elapsed;
+                    rows = stats.provenance_rows;
+                    ops = stats.operators_evaluated;
                 }
                 Err(e) => {
                     let _ = sender.send(Err(e.to_string()));
@@ -155,14 +178,15 @@ pub fn measure_plan(
                 }
             }
         }
-        let _ = sender.send(Ok((total / runs as u32, rows)));
+        let _ = sender.send(Ok((total / runs as u32, rows, ops)));
     });
 
     match receiver.recv_timeout(config.timeout.mul_f64(config.runs as f64)) {
-        Ok(Ok((avg, provenance_rows))) => Measurement::Completed {
+        Ok(Ok((avg, provenance_rows, operators_evaluated))) => Measurement::Completed {
             avg,
             runs,
             provenance_rows,
+            operators_evaluated,
         },
         Ok(Err(e)) => Measurement::Failed(e),
         Err(_) => Measurement::TimedOut(config.timeout),
@@ -252,6 +276,7 @@ pub fn measure_synthetic_sweep(
         for (kind, name) in [
             (QueryKind::Q1EqualityAny, "q1"),
             (QueryKind::Q2InequalityAll, "q2"),
+            (QueryKind::Q3CorrelatedExists, "q3"),
         ] {
             let plan = build_query(&db, params, kind);
             for strategy in Strategy::ALL {
@@ -264,6 +289,109 @@ pub fn measure_synthetic_sweep(
         }
     }
     rows
+}
+
+/// One point of the memoization comparison: the correlated `q3` query
+/// executed with the parameterized sublink memo on and off.
+#[derive(Debug, Clone)]
+pub struct MemoComparison {
+    /// Workload label.
+    pub label: String,
+    /// Outer relation size.
+    pub r1_rows: usize,
+    /// Sublink relation size.
+    pub r2_rows: usize,
+    /// Operator evaluations with the memo enabled.
+    pub ops_memoized: u64,
+    /// Operator evaluations with the memo disabled.
+    pub ops_unmemoized: u64,
+    /// Wall-clock milliseconds with the memo enabled.
+    pub ms_memoized: f64,
+    /// Wall-clock milliseconds with the memo disabled.
+    pub ms_unmemoized: f64,
+    /// Result rows (identical in both modes; asserted).
+    pub result_rows: usize,
+}
+
+impl MemoComparison {
+    /// `ops_unmemoized / ops_memoized` — the factor by which the memo cuts
+    /// operator evaluations.
+    pub fn ops_ratio(&self) -> f64 {
+        self.ops_unmemoized as f64 / self.ops_memoized.max(1) as f64
+    }
+}
+
+/// Measures the executor's correlated-sublink memoization on the `q3`
+/// workload along a Fig. 7-style sweep: for each point the query runs
+/// `config.runs` times with the memo enabled and disabled (each run on a
+/// fresh executor, so every run pays the full per-query cost), averaging
+/// wall-clock time; operator counts are deterministic and taken from one
+/// run. Results are asserted bag-equal, so a disagreement panics rather
+/// than producing silently wrong numbers. Each point runs under the
+/// configured time budget; on timeout the sweep stops early (larger points
+/// would only time out too) with a note on stderr.
+pub fn measure_sublink_memo(
+    sweep: SyntheticSweep,
+    max_rows: usize,
+    config: &BenchConfig,
+) -> Vec<MemoComparison> {
+    let runs = config.runs.max(1);
+    let mut out = Vec::new();
+    for (r1_rows, r2_rows) in sweep.points(max_rows) {
+        let (sender, receiver) = mpsc::channel();
+        let seed = config.seed;
+        std::thread::spawn(move || {
+            let db = build_database(r1_rows, r2_rows, seed);
+            let params = random_range(r1_rows, r2_rows, seed);
+            let plan = build_query(&db, params, QueryKind::Q3CorrelatedExists);
+
+            let measure = |memo: bool| {
+                let mut total_ms = 0.0;
+                let mut ops = 0;
+                let mut result = None;
+                for _ in 0..runs {
+                    let executor = Executor::new(&db).with_sublink_memo(memo);
+                    let start = Instant::now();
+                    let relation = executor.execute(&plan).expect("q3 must run");
+                    total_ms += start.elapsed().as_secs_f64() * 1000.0;
+                    ops = executor.operators_evaluated();
+                    result = Some(relation);
+                }
+                (total_ms / runs as f64, ops, result.expect("runs >= 1"))
+            };
+            let (ms_memoized, ops_memoized, with_memo) = measure(true);
+            let (ms_unmemoized, ops_unmemoized, without_memo) = measure(false);
+            assert!(
+                with_memo.bag_eq(&without_memo),
+                "memoized and unmemoized q3 results must agree"
+            );
+            let _ = sender.send(MemoComparison {
+                label: format!("q3 |R1|={r1_rows} |R2|={r2_rows}"),
+                r1_rows,
+                r2_rows,
+                ops_memoized,
+                ops_unmemoized,
+                ms_memoized,
+                ms_unmemoized,
+                result_rows: with_memo.len(),
+            });
+        });
+        // Budget covers both modes across all runs.
+        match receiver.recv_timeout(config.timeout.mul_f64(2.0 * runs as f64)) {
+            Ok(comparison) => out.push(comparison),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                eprintln!(
+                    "memo point |R1|={r1_rows} |R2|={r2_rows} exceeded the time budget; \
+                     stopping the sweep"
+                );
+                break;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("memo measurement worker for |R1|={r1_rows} |R2|={r2_rows} failed")
+            }
+        }
+    }
+    out
 }
 
 /// Ablation: characterise *why* the strategies differ by reporting structural
@@ -316,11 +444,13 @@ pub fn measure_ablation(rows: usize, config: &BenchConfig) -> Vec<AblationRow> {
     ] {
         let plan = build_query(&db, params, kind);
         for strategy in Strategy::ALL {
-            let (operators, sublinks) =
-                match ProvenanceQuery::new(&db, &plan).strategy(strategy).rewrite() {
-                    Ok(rewritten) => plan_complexity(rewritten.plan()),
-                    Err(_) => (0, 0),
-                };
+            let (operators, sublinks) = match ProvenanceQuery::new(&db, &plan)
+                .strategy(strategy)
+                .rewrite()
+            {
+                Ok(rewritten) => plan_complexity(rewritten.plan()),
+                Err(_) => (0, 0),
+            };
             out.push(AblationRow {
                 label: name.to_string(),
                 strategy,
@@ -361,6 +491,99 @@ pub fn format_table(rows: &[ResultRow]) -> String {
         out.push_str(&line);
         out.push('\n');
     }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders result rows as machine-readable JSON (the `BENCH_fig7.json`-style
+/// artefacts the harness writes so the perf trajectory can be tracked across
+/// PRs). One object per (workload, strategy) point with `ms` and
+/// `operators_evaluated` for completed measurements.
+pub fn results_to_json(figure: &str, rows: &[ResultRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"strategy\":\"{}\",",
+            json_escape(&row.label),
+            row.strategy.name()
+        ));
+        match &row.measurement {
+            Measurement::Completed {
+                avg,
+                runs,
+                provenance_rows,
+                operators_evaluated,
+            } => out.push_str(&format!(
+                "\"status\":\"completed\",\"ms\":{:.3},\"runs\":{},\"provenance_rows\":{},\
+                 \"operators_evaluated\":{}}}",
+                avg.as_secs_f64() * 1000.0,
+                runs,
+                provenance_rows,
+                operators_evaluated
+            )),
+            Measurement::NotApplicable(reason) => out.push_str(&format!(
+                "\"status\":\"not_applicable\",\"reason\":\"{}\"}}",
+                json_escape(reason)
+            )),
+            Measurement::TimedOut(budget) => out.push_str(&format!(
+                "\"status\":\"timed_out\",\"budget_s\":{}}}",
+                budget.as_secs()
+            )),
+            Measurement::Failed(e) => out.push_str(&format!(
+                "\"status\":\"failed\",\"error\":\"{}\"}}",
+                json_escape(e)
+            )),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders memoization comparison points as JSON (`BENCH_memo.json`).
+pub fn memo_results_to_json(figure: &str, rows: &[MemoComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"r1_rows\":{},\"r2_rows\":{},\"ops_memoized\":{},\
+             \"ops_unmemoized\":{},\"ops_ratio\":{:.2},\"ms_memoized\":{:.3},\
+             \"ms_unmemoized\":{:.3},\"result_rows\":{}}}",
+            json_escape(&row.label),
+            row.r1_rows,
+            row.r2_rows,
+            row.ops_memoized,
+            row.ops_unmemoized,
+            row.ops_ratio(),
+            row.ms_memoized,
+            row.ms_unmemoized,
+            row.result_rows
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -408,6 +631,50 @@ mod tests {
         assert!(completed > 0, "at least the fast strategies must complete");
         let table = format_table(&rows);
         assert!(table.contains("Gen [ms]"));
+    }
+
+    #[test]
+    fn memoization_cuts_operator_evaluations_at_least_five_fold_at_the_largest_point() {
+        // The acceptance bar of the compile/memoize work: on a Fig. 7-style
+        // sweep, the largest outer size must show ≥5× fewer operator
+        // evaluations with the sublink memo on than off.
+        let comparisons = measure_sublink_memo(SyntheticSweep::VaryInput, 1000, &quick_config());
+        assert_eq!(comparisons.len(), 6);
+        let largest = comparisons
+            .iter()
+            .max_by_key(|c| c.r1_rows)
+            .expect("sweep is non-empty");
+        assert_eq!(largest.r1_rows, 1000);
+        assert!(
+            largest.ops_unmemoized >= 5 * largest.ops_memoized,
+            "expected ≥5× fewer operators_evaluated with the memo at |R1|={}: {} on vs {} off",
+            largest.r1_rows,
+            largest.ops_memoized,
+            largest.ops_unmemoized
+        );
+        // The ratio grows with the outer size (that is the bent curve).
+        let smallest = comparisons
+            .iter()
+            .min_by_key(|c| c.r1_rows)
+            .expect("sweep is non-empty");
+        assert!(largest.ops_ratio() > smallest.ops_ratio());
+    }
+
+    #[test]
+    fn json_output_carries_ms_and_operator_counts() {
+        let rows = measure_synthetic_sweep(SyntheticSweep::VaryBoth, 40, &quick_config());
+        let json = results_to_json("fig9", &rows);
+        assert!(json.starts_with("{\"figure\":\"fig9\",\"rows\":["));
+        assert!(json.contains("\"operators_evaluated\":"));
+        assert!(json.contains("\"ms\":"));
+        assert!(json.contains("\"status\":\"not_applicable\""));
+
+        let memo = measure_sublink_memo(SyntheticSweep::VaryInput, 100, &quick_config());
+        let json = memo_results_to_json("memo", &memo);
+        assert!(json.contains("\"ops_memoized\":"));
+        assert!(json.contains("\"ops_ratio\":"));
+
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

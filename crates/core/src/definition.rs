@@ -126,7 +126,8 @@ impl<'a> BruteForce<'a> {
             for (j, sublink_expr) in sublink_exprs.iter().enumerate() {
                 let sub_name = &self.sublink_inputs[j];
                 let full = self.db.table(sub_name)?.clone();
-                let reference = self.eval_sublink(sublink_expr, &full, sub_name, input_schema, input_tuple)?;
+                let reference =
+                    self.eval_sublink(sublink_expr, &full, sub_name, input_schema, input_tuple)?;
                 let subset = &subsets[n_inputs + j];
                 for single in subset.tuples() {
                     let single_rel = Relation::new(subset.schema().clone(), vec![single.clone()])
@@ -208,9 +209,9 @@ impl<'a> BruteForce<'a> {
         let maximal: Vec<Witness> = satisfying
             .iter()
             .filter(|w| {
-                !satisfying.iter().any(|other| {
-                    !witness_eq(other, w) && witness_contains(other, w)
-                })
+                !satisfying
+                    .iter()
+                    .any(|other| !witness_eq(other, w) && witness_contains(other, w))
             })
             .cloned()
             .collect();

@@ -57,8 +57,8 @@
 
 pub mod definition;
 pub mod provschema;
-pub mod roles;
 pub mod rewrite;
+pub mod roles;
 pub mod tracer;
 
 pub use provschema::{ProvEntry, ProvenanceDescriptor};
@@ -80,7 +80,10 @@ pub enum ProvenanceError {
     Exec(String),
     /// The requested strategy cannot rewrite this query (e.g. Left/Move/Unn
     /// on a correlated sublink). The caller can fall back to `Gen`.
-    NotApplicable { strategy: &'static str, reason: String },
+    NotApplicable {
+        strategy: &'static str,
+        reason: String,
+    },
     /// The query uses a feature the rewriter does not support.
     Unsupported(String),
 }

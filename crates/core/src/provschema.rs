@@ -114,11 +114,9 @@ mod tests {
 
     #[test]
     fn attr_names_flatten_in_order() {
-        let desc = ProvenanceDescriptor::new(vec![entry("r", 0, &["a", "b"]), entry("s", 0, &["c"])]);
-        assert_eq!(
-            desc.attr_names(),
-            vec!["prov_r_a", "prov_r_b", "prov_s_c"]
-        );
+        let desc =
+            ProvenanceDescriptor::new(vec![entry("r", 0, &["a", "b"]), entry("s", 0, &["c"])]);
+        assert_eq!(desc.attr_names(), vec!["prov_r_a", "prov_r_b", "prov_s_c"]);
         assert_eq!(desc.attr_count(), 3);
         assert_eq!(desc.schema().arity(), 3);
     }

@@ -6,9 +6,7 @@
 use super::{ProvenanceRewriter, RewriteResult};
 use crate::provschema::ProvenanceDescriptor;
 use crate::{ProvenanceError, Result};
-use perm_algebra::builder::{
-    col, conjunction, lit, not, null, null_safe_eq, or, PlanBuilder,
-};
+use perm_algebra::builder::{col, conjunction, lit, not, null, null_safe_eq, or, PlanBuilder};
 use perm_algebra::visit::is_correlated;
 use perm_algebra::{CompareOp, Expr, Plan, ProjectItem, SetOpKind, SublinkKind};
 use perm_storage::{Schema, Tuple, Value};
@@ -79,10 +77,7 @@ pub(crate) fn collect_sublinks<'e>(
 
 /// Fails with [`ProvenanceError::NotApplicable`] when any sublink is
 /// correlated; the Left, Move and Unn strategies call this first.
-pub(crate) fn require_uncorrelated(
-    strategy: &'static str,
-    infos: &[SublinkInfo],
-) -> Result<()> {
+pub(crate) fn require_uncorrelated(strategy: &'static str, infos: &[SublinkInfo]) -> Result<()> {
     if let Some(info) = infos.iter().find(|i| i.correlated) {
         return Err(ProvenanceError::NotApplicable {
             strategy,

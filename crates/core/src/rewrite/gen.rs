@@ -99,4 +99,3 @@ pub(crate) fn rewrite_project(
     };
     Ok(RewriteResult { plan, descriptor })
 }
-

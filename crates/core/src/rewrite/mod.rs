@@ -207,7 +207,7 @@ impl<'a> ProvenanceRewriter<'a> {
             Strategy::Auto => {
                 if items
                     .iter()
-                    .all(|i| i.expr.sublinks().iter().all(|s| sublink_uncorrelated(s)))
+                    .all(|i| i.expr.sublinks().iter().all(sublink_uncorrelated))
                 {
                     move_::rewrite_project(self, input, items, distinct)
                 } else {
@@ -238,7 +238,7 @@ impl<'a> ProvenanceRewriter<'a> {
 
 /// `true` when every sublink directly contained in `expr` is uncorrelated.
 pub(crate) fn sublinks_uncorrelated(expr: &Expr) -> bool {
-    expr.sublinks().iter().all(|s| sublink_uncorrelated(s))
+    expr.sublinks().iter().all(sublink_uncorrelated)
 }
 
 pub(crate) fn sublink_uncorrelated(sublink: &&Expr) -> bool {
@@ -306,4 +306,3 @@ impl<'a> ProvenanceQuery<'a> {
             .collect()
     }
 }
-

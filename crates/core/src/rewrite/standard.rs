@@ -275,9 +275,7 @@ fn rewrite_setop(
                 descriptor: left_rw.descriptor.concat(&right_rw.descriptor),
             })
         }
-        SetOpKind::Intersect | SetOpKind::Except => {
-            join_back(rw, original, left, "set operation")
-        }
+        SetOpKind::Intersect | SetOpKind::Except => join_back(rw, original, left, "set operation"),
     }
 }
 

@@ -26,18 +26,17 @@ use perm_algebra::{CompareOp, Expr, JoinKind, Plan, SublinkKind};
 /// `ANY` sublink (rules U1 and U2). Correlation is checked separately during
 /// the rewrite.
 pub(crate) fn is_applicable_select(predicate: &Expr) -> bool {
-    match predicate {
+    matches!(
+        predicate,
         Expr::Sublink {
             kind: SublinkKind::Exists,
             ..
-        } => true,
-        Expr::Sublink {
+        } | Expr::Sublink {
             kind: SublinkKind::Any,
             op: Some(CompareOp::Eq),
             ..
-        } => true,
-        _ => false,
-    }
+        }
+    )
 }
 
 /// Rules U1 and U2 (selections only).

@@ -130,7 +130,11 @@ mod tests {
             "s",
             Relation::from_rows(
                 Schema::from_names(&["c"]).with_qualifier("s"),
-                vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(4)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                    vec![Value::Int(4)],
+                ],
             ),
         )
         .unwrap();
@@ -210,7 +214,11 @@ mod tests {
         let schema = Schema::from_names(&["c"]);
         let result = Relation::from_rows(
             schema,
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(4)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(4)],
+            ],
         );
         let t = sub_true(&Value::Int(2), CompareOp::Ge, &result);
         let f = sub_false(&Value::Int(2), CompareOp::Ge, &result);

@@ -74,6 +74,10 @@ impl<'a> Tracer<'a> {
     /// the contributing tuple of every base relation access (duplicated per
     /// contributing combination).
     pub fn trace(&mut self, plan: &Plan) -> Result<Relation> {
+        // The interpreter's sublink caches are keyed by plan-node address;
+        // clear them so a plan traced earlier (and since dropped) cannot
+        // leak stale entries into this plan's evaluation.
+        self.executor.reset_interpreter_caches();
         let descriptor = self.descriptor(plan)?;
         let traced = self.trace_plan(plan, None)?;
         let schema = traced.schema.concat(&descriptor.schema());
@@ -97,7 +101,10 @@ impl<'a> Tracer<'a> {
         let descriptor = match plan {
             Plan::Scan { table, schema, .. } => {
                 let occurrence = {
-                    let counter = self.occurrences.entry(table.to_ascii_lowercase()).or_insert(0);
+                    let counter = self
+                        .occurrences
+                        .entry(table.to_ascii_lowercase())
+                        .or_insert(0);
                     let occurrence = *counter;
                     *counter += 1;
                     occurrence
@@ -212,11 +219,7 @@ impl<'a> Tracer<'a> {
     /// scopes, according to Figure 2 under Definition 2. Returns a non-empty,
     /// duplicate-free list of witness tuples over the sublink's descriptor
     /// (a single all-NULL tuple when nothing contributes).
-    fn sublink_witnesses(
-        &mut self,
-        sublink: &Expr,
-        env: Option<&Env<'_>>,
-    ) -> Result<Vec<Tuple>> {
+    fn sublink_witnesses(&mut self, sublink: &Expr, env: Option<&Env<'_>>) -> Result<Vec<Tuple>> {
         let (kind, test_expr, op, sub_plan) = match sublink {
             Expr::Sublink {
                 kind,
@@ -277,7 +280,9 @@ impl<'a> Tracer<'a> {
         match (kind, truth) {
             // ANY true: only the tuples that satisfy the comparison
             // (Tsub_true); ANY false/unknown: the whole sublink result.
-            (SublinkKind::Any, Truth::True) => traced.rows.iter().filter(|r| satisfied(r)).collect(),
+            (SublinkKind::Any, Truth::True) => {
+                traced.rows.iter().filter(|r| satisfied(r)).collect()
+            }
             (SublinkKind::Any, _) => traced.rows.iter().collect(),
             // ALL true: the whole result; ALL false/unknown: the tuples that
             // falsify the comparison (Tsub_false).
@@ -432,7 +437,11 @@ impl<'a> Tracer<'a> {
                 let null_prov = Tuple::new(vec![Value::Null; r_descriptor.attr_count()]);
                 rows.push(TracedRow {
                     tuple: lrow.tuple.concat(&null_right),
-                    witnesses: lrow.witnesses.iter().map(|w| w.concat(&null_prov)).collect(),
+                    witnesses: lrow
+                        .witnesses
+                        .iter()
+                        .map(|w| w.concat(&null_prov))
+                        .collect(),
                 });
             }
         }
@@ -478,10 +487,7 @@ impl<'a> Tracer<'a> {
                 key.push(self.executor.eval_expr(&g.expr, Some(&scope))?);
             }
             let group_index = match groups.iter().position(|g| {
-                g.key
-                    .iter()
-                    .zip(key.iter())
-                    .all(|(a, b)| a.null_safe_eq(b))
+                g.key.iter().zip(key.iter()).all(|(a, b)| a.null_safe_eq(b))
                     && g.key.len() == key.len()
             }) {
                 Some(i) => i,
@@ -506,7 +512,11 @@ impl<'a> Tracer<'a> {
                 acc.update(&value);
             }
             for w in &row.witnesses {
-                if !group.witnesses.iter().any(|existing| existing.null_safe_eq(w)) {
+                if !group
+                    .witnesses
+                    .iter()
+                    .any(|existing| existing.null_safe_eq(w))
+                {
                     group.witnesses.push(w.clone());
                 }
             }
@@ -556,7 +566,11 @@ impl<'a> Tracer<'a> {
                 for row in &l.rows {
                     rows.push(TracedRow {
                         tuple: row.tuple.clone(),
-                        witnesses: row.witnesses.iter().map(|w| w.concat(&null_right)).collect(),
+                        witnesses: row
+                            .witnesses
+                            .iter()
+                            .map(|w| w.concat(&null_right))
+                            .collect(),
                     });
                 }
                 for row in &r.rows {
@@ -615,10 +629,7 @@ impl<'a> Tracer<'a> {
 fn merge_duplicate_rows(rows: Vec<TracedRow>) -> Vec<TracedRow> {
     let mut merged: Vec<TracedRow> = Vec::new();
     for row in rows {
-        match merged
-            .iter_mut()
-            .find(|m| m.tuple.null_safe_eq(&row.tuple))
-        {
+        match merged.iter_mut().find(|m| m.tuple.null_safe_eq(&row.tuple)) {
             Some(existing) => {
                 for w in row.witnesses {
                     if !existing.witnesses.iter().any(|e| e.null_safe_eq(&w)) {

@@ -64,7 +64,11 @@ fn figure3_db() -> Database {
 fn project_named(rel: &Relation, names: &[String]) -> Vec<Vec<Value>> {
     let positions: Vec<usize> = names
         .iter()
-        .map(|n| rel.schema().resolve(None, n).unwrap_or_else(|_| panic!("missing column {n}")))
+        .map(|n| {
+            rel.schema()
+                .resolve(None, n)
+                .unwrap_or_else(|_| panic!("missing column {n}"))
+        })
         .collect();
     let mut rows: Vec<Vec<Value>> = rel
         .tuples()
@@ -77,10 +81,19 @@ fn project_named(rel: &Relation, names: &[String]) -> Vec<Vec<Value>> {
 }
 
 /// Asserts that every applicable strategy produces the same (distinct-set)
-/// provenance as the tracer, and that the original result is preserved.
+/// provenance as the tracer, that the original result is preserved, and
+/// that the compiled+memoized execution path agrees bag-for-bag with the
+/// reference interpreter on every plan it runs.
 fn assert_strategies_match_tracer(db: &Database, plan: &Plan, expect_applicable: &[Strategy]) {
     let executor = Executor::new(db);
     let original = executor.execute(plan).expect("original query must run");
+    let original_interpreted = executor
+        .execute_unoptimized(plan)
+        .expect("original query must run in the interpreter");
+    assert!(
+        original.bag_eq(&original_interpreted),
+        "compiled execution of the original query differs from the interpreter"
+    );
 
     let mut tracer = Tracer::new(db);
     let traced = tracer.trace(plan).expect("tracer must succeed");
@@ -98,6 +111,17 @@ fn assert_strategies_match_tracer(db: &Database, plan: &Plan, expect_applicable:
         let result = executor
             .execute(rewritten.plan())
             .unwrap_or_else(|e| panic!("executing the {strategy} rewrite failed: {e}"));
+
+        // Compiled + memoized execution is cross-checked against the
+        // name-resolving interpreter on every rewritten plan — the rewrites
+        // (Gen especially) are the main source of correlated sublinks.
+        let interpreted = executor
+            .execute_unoptimized(rewritten.plan())
+            .unwrap_or_else(|e| panic!("interpreting the {strategy} rewrite failed: {e}"));
+        assert!(
+            result.bag_eq(&interpreted),
+            "strategy {strategy}: compiled+memoized execution differs from the interpreter"
+        );
 
         // Provenance equivalence (as a set, since strategies may differ in
         // how often they repeat a provenance combination).
@@ -451,7 +475,10 @@ fn auto_strategy_always_applies() {
         let mut tracer = Tracer::new(&db);
         let traced = tracer.trace(&q).unwrap();
         let columns = traced.schema().names();
-        assert_eq!(project_named(&result, &columns), project_named(&traced, &columns));
+        assert_eq!(
+            project_named(&result, &columns),
+            project_named(&traced, &columns)
+        );
     }
 }
 

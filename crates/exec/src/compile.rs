@@ -1,0 +1,1282 @@
+//! Plan compilation: the one-time pass that turns a [`Plan`] into a
+//! [`CompiledPlan`] whose per-tuple work is integer indexing instead of
+//! name lookup.
+//!
+//! Two things happen per operator:
+//!
+//! 1. **Slot resolution.** Every [`Expr::Column`] is resolved against the
+//!    concrete *schema chain* in scope at its location — the operator's own
+//!    input schema innermost, then the scopes of the operators containing
+//!    each enclosing sublink, outermost last — into a [`Slot`] of scope
+//!    depth and attribute index. Resolution order matches the interpreter's
+//!    [`crate::eval::Env::lookup`] exactly: innermost scope first, falling
+//!    outwards only when a name is absent. Names that do not resolve (or are
+//!    ambiguous within the scope that first knows them) compile to a
+//!    deferred error that is raised only if the expression is actually
+//!    evaluated, preserving the interpreter's short-circuit behaviour.
+//! 2. **Correlation signatures.** For every sublink, the free correlated
+//!    columns of its plan ([`free_correlated_columns`]) are resolved against
+//!    the outer chain. When they all resolve, the sublink is *memoizable*:
+//!    its result is a pure function of the database and those binding
+//!    values, so the executor caches it per `(sublink id, encoded binding)`
+//!    — *k* distinct bindings mean *k* executions, however large the outer
+//!    relation is. An uncorrelated sublink has an empty signature and runs
+//!    once per query.
+//!
+//! Compilation never changes semantics: results (including errors) are
+//! identical to [`crate::Executor::execute_unoptimized`]. In particular the
+//! memo key is *type-exact* ([`encode_key_typed`]) — `Int(3)` and
+//! `Float(3.0)` are distinct bindings even though the engine's equality
+//! coerces them — so a memo hit always substitutes the result of a
+//! byte-identical binding.
+
+use crate::eval::{arithmetic, compare};
+use crate::executor::{encode_key, encode_key_typed, extract_equi_keys, Executor};
+use crate::functions;
+use crate::{ExecError, Result};
+use perm_algebra::visit::free_correlated_columns;
+use perm_algebra::{
+    AggFunc, BinaryOp, CompareOp, Expr, FuncName, JoinKind, Plan, SetOpKind, SublinkKind, UnaryOp,
+};
+use perm_storage::{Relation, Schema, StorageError, Truth, Tuple, Value};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// A resolved column reference: how many scopes outwards, and at which
+/// attribute position there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Scope distance: 0 is the innermost (current operator input) scope.
+    pub depth: usize,
+    /// Attribute index within that scope's tuple.
+    pub index: usize,
+}
+
+/// A compiled scalar expression. Structurally mirrors [`Expr`] with column
+/// references replaced by [`Slot`]s and sublinks by [`CompiledSublink`]s.
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    /// A column resolved to a positional slot.
+    Slot(Slot),
+    /// A column that did not resolve at compile time. Evaluating it raises
+    /// the stored error — exactly when the interpreter would have raised it.
+    Unresolved {
+        /// Name as written, for the error message.
+        name: String,
+        /// `true` when the name was ambiguous rather than unknown.
+        ambiguous: bool,
+    },
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        op: BinaryOp,
+        left: Box<CompiledExpr>,
+        right: Box<CompiledExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        op: UnaryOp,
+        expr: Box<CompiledExpr>,
+    },
+    /// Scalar function call.
+    Func {
+        name: FuncName,
+        args: Vec<CompiledExpr>,
+    },
+    /// `CASE WHEN … THEN … ELSE … END`.
+    Case {
+        branches: Vec<(CompiledExpr, CompiledExpr)>,
+        else_expr: Option<Box<CompiledExpr>>,
+    },
+    /// A sublink with its compiled plan and correlation signature.
+    Sublink(Box<CompiledSublink>),
+}
+
+/// A compiled sublink expression.
+#[derive(Debug, Clone)]
+pub struct CompiledSublink {
+    /// Unique id (per [`Executor`]) used in memo keys.
+    pub id: usize,
+    /// The sublink kind (`ANY`, `ALL`, `EXISTS`, scalar).
+    pub kind: SublinkKind,
+    /// Test expression of `ANY`/`ALL` sublinks, compiled against the outer
+    /// scope chain.
+    pub test_expr: Option<CompiledExpr>,
+    /// Comparison operator of `ANY`/`ALL` sublinks.
+    pub op: Option<CompareOp>,
+    /// The compiled sublink query.
+    pub plan: CompiledPlan,
+    /// The correlation signature: outer-scope slots (relative to the
+    /// sublink's use site) whose values parameterise the result. `Some` when
+    /// every free column of the sublink plan resolved statically — the memo
+    /// precondition. Empty means uncorrelated (InitPlan).
+    pub params: Option<Vec<Slot>>,
+}
+
+/// One compiled hash-join key pair (see
+/// [`crate::executor::Executor::execute`]'s equi-join hashing).
+#[derive(Debug, Clone)]
+pub struct CompiledEquiKey {
+    /// Key expression over the left input.
+    pub left: CompiledExpr,
+    /// Key expression over the right input.
+    pub right: CompiledExpr,
+    /// `=n` instead of `=`: NULL keys match NULL keys.
+    pub null_safe: bool,
+}
+
+/// One compiled aggregate computation.
+#[derive(Debug, Clone)]
+pub struct CompiledAggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` for `count(*)`).
+    pub arg: Option<CompiledExpr>,
+    /// Whether duplicates are dropped before aggregating.
+    pub distinct: bool,
+}
+
+/// One compiled `ORDER BY` key.
+#[derive(Debug, Clone)]
+pub struct CompiledSortKey {
+    /// Sort expression.
+    pub expr: CompiledExpr,
+    /// Ascending (`true`) or descending.
+    pub ascending: bool,
+}
+
+/// A compiled plan operator. Every node carries its output schema, computed
+/// once at compile time.
+#[derive(Debug, Clone)]
+pub enum CompiledPlan {
+    /// Base relation access.
+    Scan { table: String, schema: Schema },
+    /// Constant relation.
+    Values { schema: Schema, rows: Vec<Tuple> },
+    /// Projection.
+    Project {
+        input: Box<CompiledPlan>,
+        items: Vec<CompiledExpr>,
+        distinct: bool,
+        schema: Schema,
+    },
+    /// Selection.
+    Select {
+        input: Box<CompiledPlan>,
+        predicate: CompiledExpr,
+        schema: Schema,
+    },
+    /// Cross product.
+    CrossProduct {
+        left: Box<CompiledPlan>,
+        right: Box<CompiledPlan>,
+        schema: Schema,
+    },
+    /// Inner or left-outer join. `equi_keys` is non-empty when the condition
+    /// admits hash execution; the full condition is always rechecked.
+    Join {
+        left: Box<CompiledPlan>,
+        right: Box<CompiledPlan>,
+        kind: JoinKind,
+        condition: CompiledExpr,
+        equi_keys: Vec<CompiledEquiKey>,
+        /// Arity of the right input, for NULL padding of unmatched rows.
+        right_arity: usize,
+        schema: Schema,
+    },
+    /// Grouping and aggregation.
+    Aggregate {
+        input: Box<CompiledPlan>,
+        group_by: Vec<CompiledExpr>,
+        aggregates: Vec<CompiledAggregate>,
+        schema: Schema,
+    },
+    /// Set operation.
+    SetOp {
+        op: SetOpKind,
+        all: bool,
+        left: Box<CompiledPlan>,
+        right: Box<CompiledPlan>,
+        schema: Schema,
+    },
+    /// Sorting.
+    Sort {
+        input: Box<CompiledPlan>,
+        keys: Vec<CompiledSortKey>,
+        schema: Schema,
+    },
+    /// First-`n` truncation.
+    Limit {
+        input: Box<CompiledPlan>,
+        limit: usize,
+        schema: Schema,
+    },
+}
+
+impl CompiledPlan {
+    /// The output schema of this operator.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            CompiledPlan::Scan { schema, .. }
+            | CompiledPlan::Values { schema, .. }
+            | CompiledPlan::Project { schema, .. }
+            | CompiledPlan::Select { schema, .. }
+            | CompiledPlan::CrossProduct { schema, .. }
+            | CompiledPlan::Join { schema, .. }
+            | CompiledPlan::Aggregate { schema, .. }
+            | CompiledPlan::SetOp { schema, .. }
+            | CompiledPlan::Sort { schema, .. }
+            | CompiledPlan::Limit { schema, .. } => schema,
+        }
+    }
+}
+
+/// The compile-time scope chain, innermost scope at the head. Parallel to
+/// the runtime [`Frame`] chain.
+struct Scopes<'a> {
+    parent: Option<&'a Scopes<'a>>,
+    schema: &'a Schema,
+}
+
+impl<'a> Scopes<'a> {
+    fn nest(parent: Option<&'a Scopes<'a>>, schema: &'a Schema) -> Scopes<'a> {
+        Scopes { parent, schema }
+    }
+
+    /// Resolves a name along the chain, innermost first — the compile-time
+    /// mirror of [`crate::eval::Env::lookup`].
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> CompiledExpr {
+        match self.schema.try_resolve(qualifier, name) {
+            Ok(Some(index)) => CompiledExpr::Slot(Slot { depth: 0, index }),
+            Ok(None) => match self.parent {
+                Some(p) => match p.resolve(qualifier, name) {
+                    CompiledExpr::Slot(slot) => CompiledExpr::Slot(Slot {
+                        depth: slot.depth + 1,
+                        index: slot.index,
+                    }),
+                    unresolved => unresolved,
+                },
+                None => CompiledExpr::Unresolved {
+                    name: name.to_string(),
+                    ambiguous: false,
+                },
+            },
+            // Ambiguity in the innermost scope that knows the name stops the
+            // search, exactly like the interpreter.
+            Err(_) => CompiledExpr::Unresolved {
+                name: name.to_string(),
+                ambiguous: true,
+            },
+        }
+    }
+}
+
+/// The runtime scope chain: one borrowed tuple per compile-time scope.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    parent: Option<&'a Frame<'a>>,
+    tuple: &'a Tuple,
+}
+
+impl<'a> Frame<'a> {
+    /// Pushes a new innermost scope.
+    pub fn new(parent: Option<&'a Frame<'a>>, tuple: &'a Tuple) -> Frame<'a> {
+        Frame { parent, tuple }
+    }
+
+    /// Reads the value at a compiled slot.
+    fn get(&self, slot: Slot) -> &Value {
+        let mut frame = self;
+        for _ in 0..slot.depth {
+            frame = frame
+                .parent
+                .expect("compiled slot depth exceeds runtime scope chain");
+        }
+        frame.tuple.get(slot.index)
+    }
+}
+
+/// Compiles a plan with an empty outer scope chain. `next_sublink_id` is
+/// shared so sublink ids stay unique across compilations.
+pub(crate) fn compile_plan(plan: &Plan, next_sublink_id: &Cell<usize>) -> Result<CompiledPlan> {
+    let mut compiler = Compiler { next_sublink_id };
+    compiler.plan(plan, None)
+}
+
+struct Compiler<'c> {
+    next_sublink_id: &'c Cell<usize>,
+}
+
+impl Compiler<'_> {
+    fn plan(&mut self, plan: &Plan, outer: Option<&Scopes<'_>>) -> Result<CompiledPlan> {
+        match plan {
+            Plan::Scan { table, schema, .. } => Ok(CompiledPlan::Scan {
+                table: table.clone(),
+                schema: schema.clone(),
+            }),
+            Plan::Values { schema, rows } => Ok(CompiledPlan::Values {
+                schema: schema.clone(),
+                rows: rows.clone(),
+            }),
+            Plan::Project {
+                input,
+                items,
+                distinct,
+            } => {
+                let child_schema = input.schema();
+                let scope = Scopes::nest(outer, &child_schema);
+                let items = items
+                    .iter()
+                    .map(|item| self.expr(&item.expr, Some(&scope)))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(CompiledPlan::Project {
+                    input: Box::new(self.plan(input, outer)?),
+                    items,
+                    distinct: *distinct,
+                    schema: plan.schema(),
+                })
+            }
+            Plan::Select { input, predicate } => {
+                let child_schema = input.schema();
+                let scope = Scopes::nest(outer, &child_schema);
+                let predicate = self.expr(predicate, Some(&scope))?;
+                Ok(CompiledPlan::Select {
+                    input: Box::new(self.plan(input, outer)?),
+                    predicate,
+                    schema: child_schema,
+                })
+            }
+            Plan::CrossProduct { left, right } => Ok(CompiledPlan::CrossProduct {
+                schema: plan.schema(),
+                left: Box::new(self.plan(left, outer)?),
+                right: Box::new(self.plan(right, outer)?),
+            }),
+            Plan::Join {
+                left,
+                right,
+                kind,
+                condition,
+            } => {
+                let l_schema = left.schema();
+                let r_schema = right.schema();
+                let out_schema = l_schema.concat(&r_schema);
+
+                // Hash keys only for sublink-free conditions, as in the
+                // interpreter. Each side compiles against its own input
+                // scope; the residual condition sees the joined row.
+                let mut equi_keys = Vec::new();
+                if !condition.has_sublink() {
+                    for key in extract_equi_keys(condition, &l_schema, &r_schema) {
+                        let l_scope = Scopes::nest(outer, &l_schema);
+                        let r_scope = Scopes::nest(outer, &r_schema);
+                        equi_keys.push(CompiledEquiKey {
+                            left: self.expr(&key.left, Some(&l_scope))?,
+                            right: self.expr(&key.right, Some(&r_scope))?,
+                            null_safe: key.null_safe,
+                        });
+                    }
+                }
+                let scope = Scopes::nest(outer, &out_schema);
+                let condition = self.expr(condition, Some(&scope))?;
+                Ok(CompiledPlan::Join {
+                    left: Box::new(self.plan(left, outer)?),
+                    right: Box::new(self.plan(right, outer)?),
+                    kind: *kind,
+                    condition,
+                    equi_keys,
+                    right_arity: r_schema.arity(),
+                    schema: out_schema,
+                })
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let child_schema = input.schema();
+                let scope = Scopes::nest(outer, &child_schema);
+                let group_by = group_by
+                    .iter()
+                    .map(|g| self.expr(&g.expr, Some(&scope)))
+                    .collect::<Result<Vec<_>>>()?;
+                let aggregates = aggregates
+                    .iter()
+                    .map(|a| {
+                        Ok(CompiledAggregate {
+                            func: a.func,
+                            arg: a
+                                .arg
+                                .as_ref()
+                                .map(|arg| self.expr(arg, Some(&scope)))
+                                .transpose()?,
+                            distinct: a.distinct,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(CompiledPlan::Aggregate {
+                    input: Box::new(self.plan(input, outer)?),
+                    group_by,
+                    aggregates,
+                    schema: plan.schema(),
+                })
+            }
+            Plan::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => Ok(CompiledPlan::SetOp {
+                op: *op,
+                all: *all,
+                schema: left.schema(),
+                left: Box::new(self.plan(left, outer)?),
+                right: Box::new(self.plan(right, outer)?),
+            }),
+            Plan::Sort { input, keys } => {
+                let child_schema = input.schema();
+                let scope = Scopes::nest(outer, &child_schema);
+                let keys = keys
+                    .iter()
+                    .map(|k| {
+                        Ok(CompiledSortKey {
+                            expr: self.expr(&k.expr, Some(&scope))?,
+                            ascending: k.ascending,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(CompiledPlan::Sort {
+                    input: Box::new(self.plan(input, outer)?),
+                    keys,
+                    schema: child_schema,
+                })
+            }
+            Plan::Limit { input, limit } => Ok(CompiledPlan::Limit {
+                schema: input.schema(),
+                input: Box::new(self.plan(input, outer)?),
+                limit: *limit,
+            }),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr, scopes: Option<&Scopes<'_>>) -> Result<CompiledExpr> {
+        Ok(match expr {
+            Expr::Column { qualifier, name } => match scopes {
+                Some(s) => s.resolve(qualifier.as_deref(), name),
+                None => CompiledExpr::Unresolved {
+                    name: name.clone(),
+                    ambiguous: false,
+                },
+            },
+            Expr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(self.expr(left, scopes)?),
+                right: Box::new(self.expr(right, scopes)?),
+            },
+            Expr::Unary { op, expr } => CompiledExpr::Unary {
+                op: *op,
+                expr: Box::new(self.expr(expr, scopes)?),
+            },
+            Expr::Func { name, args } => CompiledExpr::Func {
+                name: *name,
+                args: args
+                    .iter()
+                    .map(|a| self.expr(a, scopes))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => CompiledExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.expr(c, scopes)?, self.expr(v, scopes)?)))
+                    .collect::<Result<Vec<_>>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.expr(e, scopes)?)),
+                    None => None,
+                },
+            },
+            Expr::Sublink {
+                kind,
+                test_expr,
+                op,
+                plan,
+            } => {
+                let id = self.next_sublink_id.get();
+                self.next_sublink_id.set(id + 1);
+
+                // The correlation signature: every free column of the
+                // sublink plan, resolved against the chain at the use site.
+                // One unresolvable or ambiguous reference disables
+                // memoization for this sublink (it may still execute — the
+                // reference might sit behind a short circuit).
+                let mut params: Option<Vec<Slot>> = Some(Vec::new());
+                for (qualifier, name) in free_correlated_columns(plan) {
+                    let resolved = match scopes {
+                        Some(s) => s.resolve(qualifier.as_deref(), &name),
+                        None => CompiledExpr::Unresolved {
+                            name,
+                            ambiguous: false,
+                        },
+                    };
+                    match resolved {
+                        CompiledExpr::Slot(slot) => {
+                            if let Some(p) = params.as_mut() {
+                                if !p.contains(&slot) {
+                                    p.push(slot);
+                                }
+                            }
+                        }
+                        _ => params = None,
+                    }
+                }
+
+                CompiledExpr::Sublink(Box::new(CompiledSublink {
+                    id,
+                    kind: *kind,
+                    test_expr: test_expr
+                        .as_deref()
+                        .map(|t| self.expr(t, scopes))
+                        .transpose()?,
+                    op: *op,
+                    plan: self.sublink_plan(plan, scopes)?,
+                    params,
+                }))
+            }
+        })
+    }
+
+    /// Compiles a sublink plan. Its outer chain is the scope chain at the
+    /// sublink's use site — operators inside the sublink do *not* see each
+    /// other's scopes, matching the interpreter's environment threading.
+    fn sublink_plan(&mut self, plan: &Plan, scopes: Option<&Scopes<'_>>) -> Result<CompiledPlan> {
+        self.plan(plan, scopes)
+    }
+}
+
+impl Executor<'_> {
+    /// Executes a compiled plan. `frame` is the runtime scope chain for
+    /// correlated slot references (present when this plan is a sublink query
+    /// of an outer operator).
+    pub fn execute_compiled(
+        &self,
+        plan: &CompiledPlan,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Relation> {
+        *self.ops_evaluated.borrow_mut() += 1;
+        match plan {
+            CompiledPlan::Scan { table, schema } => {
+                let base = self.database().table(table)?;
+                Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
+            }
+            CompiledPlan::Values { schema, rows } => {
+                Ok(Relation::new(schema.clone(), rows.clone())?)
+            }
+            CompiledPlan::Project {
+                input,
+                items,
+                distinct,
+                schema,
+            } => {
+                let child = self.execute_compiled(input, frame)?;
+                let mut out = Relation::empty(schema.clone());
+                for tuple in child.tuples() {
+                    let scope = Frame::new(frame, tuple);
+                    let mut row = Vec::with_capacity(items.len());
+                    for item in items {
+                        row.push(self.ceval(item, Some(&scope))?);
+                    }
+                    out.push_unchecked(Tuple::new(row));
+                }
+                Ok(if *distinct { out.distinct() } else { out })
+            }
+            CompiledPlan::Select {
+                input, predicate, ..
+            } => {
+                let child = self.execute_compiled(input, frame)?;
+                let mut out = Relation::empty(child.schema().clone());
+                for tuple in child.tuples() {
+                    let scope = Frame::new(frame, tuple);
+                    if self.ceval(predicate, Some(&scope))?.as_truth().is_true() {
+                        out.push_unchecked(tuple.clone());
+                    }
+                }
+                Ok(out)
+            }
+            CompiledPlan::CrossProduct {
+                left,
+                right,
+                schema,
+            } => {
+                let l = self.execute_compiled(left, frame)?;
+                let r = self.execute_compiled(right, frame)?;
+                let mut out = Relation::empty(schema.clone());
+                for lt in l.tuples() {
+                    for rt in r.tuples() {
+                        out.push_unchecked(lt.concat(rt));
+                    }
+                }
+                Ok(out)
+            }
+            CompiledPlan::Join {
+                left,
+                right,
+                kind,
+                condition,
+                equi_keys,
+                right_arity,
+                schema,
+            } => self.execute_compiled_join(
+                left,
+                right,
+                *kind,
+                condition,
+                equi_keys,
+                *right_arity,
+                schema,
+                frame,
+            ),
+            CompiledPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+                schema,
+            } => self.execute_compiled_aggregate(input, group_by, aggregates, schema, frame),
+            CompiledPlan::SetOp {
+                op,
+                all,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.execute_compiled(left, frame)?;
+                let r = self.execute_compiled(right, frame)?;
+                // Checked at execution time, not compile time, so a
+                // malformed set operation behind a short circuit stays as
+                // unreachable as it is in the interpreter.
+                if l.schema().arity() != r.schema().arity() {
+                    return Err(ExecError::Unsupported(
+                        "set operation over inputs of different arity".into(),
+                    ));
+                }
+                Ok(match (op, all) {
+                    (SetOpKind::Union, true) => l.bag_union(&r),
+                    (SetOpKind::Union, false) => l.set_union(&r),
+                    (SetOpKind::Intersect, true) => l.bag_intersect(&r),
+                    (SetOpKind::Intersect, false) => l.set_intersect(&r),
+                    (SetOpKind::Except, true) => l.bag_difference(&r),
+                    (SetOpKind::Except, false) => l.set_difference(&r),
+                })
+            }
+            CompiledPlan::Sort { input, keys, .. } => {
+                let child = self.execute_compiled(input, frame)?;
+                let schema = child.schema().clone();
+                let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
+                for tuple in child.tuples() {
+                    let scope = Frame::new(frame, tuple);
+                    let mut key_values = Vec::with_capacity(keys.len());
+                    for key in keys {
+                        key_values.push(self.ceval(&key.expr, Some(&scope))?);
+                    }
+                    keyed.push((key_values, tuple.clone()));
+                }
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for (i, key) in keys.iter().enumerate() {
+                        let ord = ka[i].sort_key(&kb[i]);
+                        let ord = if key.ascending { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(Relation::new(
+                    schema,
+                    keyed.into_iter().map(|(_, t)| t).collect(),
+                )?)
+            }
+            CompiledPlan::Limit { input, limit, .. } => {
+                let child = self.execute_compiled(input, frame)?;
+                let schema = child.schema().clone();
+                let tuples = child.into_tuples().into_iter().take(*limit).collect();
+                Ok(Relation::new(schema, tuples)?)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_compiled_join(
+        &self,
+        left: &CompiledPlan,
+        right: &CompiledPlan,
+        kind: JoinKind,
+        condition: &CompiledExpr,
+        equi_keys: &[CompiledEquiKey],
+        right_arity: usize,
+        out_schema: &Schema,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Relation> {
+        let l = self.execute_compiled(left, frame)?;
+        let r = self.execute_compiled(right, frame)?;
+        let mut out = Relation::empty(out_schema.clone());
+
+        if !equi_keys.is_empty() {
+            // Hash join: bucket the right side by its key values. Rows with
+            // a NULL key under a plain (non-null-safe) equality can never
+            // match and are dropped from the hash table / probe.
+            let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
+            'right: for rt in r.tuples() {
+                let scope = Frame::new(frame, rt);
+                let mut key_values = Vec::with_capacity(equi_keys.len());
+                for key in equi_keys {
+                    let v = self.ceval(&key.right, Some(&scope))?;
+                    if v.is_null() && !key.null_safe {
+                        continue 'right;
+                    }
+                    key_values.push(v);
+                }
+                buckets.entry(encode_key(&key_values)).or_default().push(rt);
+            }
+            let empty: Vec<&Tuple> = Vec::new();
+            for lt in l.tuples() {
+                let scope = Frame::new(frame, lt);
+                let mut key_values = Vec::with_capacity(equi_keys.len());
+                let mut has_null_key = false;
+                for key in equi_keys {
+                    let v = self.ceval(&key.left, Some(&scope))?;
+                    if v.is_null() && !key.null_safe {
+                        has_null_key = true;
+                        break;
+                    }
+                    key_values.push(v);
+                }
+                let candidates = if has_null_key {
+                    &empty
+                } else {
+                    buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
+                };
+                let mut matched = false;
+                for rt in candidates {
+                    let joined = lt.concat(rt);
+                    let scope = Frame::new(frame, &joined);
+                    if self.ceval(condition, Some(&scope))?.as_truth().is_true() {
+                        matched = true;
+                        out.push_unchecked(joined);
+                    }
+                }
+                if !matched && kind == JoinKind::LeftOuter {
+                    out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+                }
+            }
+            return Ok(out);
+        }
+
+        // Nested-loop join (required when the condition carries sublinks,
+        // e.g. the Jsub conditions of the Left strategy).
+        for lt in l.tuples() {
+            let mut matched = false;
+            for rt in r.tuples() {
+                let joined = lt.concat(rt);
+                let scope = Frame::new(frame, &joined);
+                if self.ceval(condition, Some(&scope))?.as_truth().is_true() {
+                    matched = true;
+                    out.push_unchecked(joined);
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute_compiled_aggregate(
+        &self,
+        input: &CompiledPlan,
+        group_by: &[CompiledExpr],
+        aggregates: &[CompiledAggregate],
+        out_schema: &Schema,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Relation> {
+        use crate::aggregate::Accumulator;
+
+        let child = self.execute_compiled(input, frame)?;
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let make_accs = || -> Vec<Accumulator> {
+            aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func, a.distinct))
+                .collect()
+        };
+
+        // A global aggregation (no GROUP BY) over an empty input still
+        // produces one tuple (e.g. `count(*)` = 0); seed the single group.
+        if group_by.is_empty() {
+            groups.push((Vec::new(), make_accs()));
+            index.insert(Vec::new(), 0);
+        }
+
+        for tuple in child.tuples() {
+            let scope = Frame::new(frame, tuple);
+            let mut key_values = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key_values.push(self.ceval(g, Some(&scope))?);
+            }
+            let key = encode_key(&key_values);
+            let group_index = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push((key_values, make_accs()));
+                    index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            for (acc, agg) in groups[group_index].1.iter_mut().zip(aggregates.iter()) {
+                let value = match &agg.arg {
+                    Some(arg) => self.ceval(arg, Some(&scope))?,
+                    None => Value::Int(1),
+                };
+                acc.update(&value);
+            }
+        }
+
+        let mut out = Relation::empty(out_schema.clone());
+        for (key_values, accs) in groups {
+            let mut row = key_values;
+            for acc in &accs {
+                row.push(acc.finish());
+            }
+            out.push_unchecked(Tuple::new(row));
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a compiled expression.
+    pub fn ceval(&self, expr: &CompiledExpr, frame: Option<&Frame<'_>>) -> Result<Value> {
+        match expr {
+            CompiledExpr::Slot(slot) => match frame {
+                Some(f) => Ok(f.get(*slot).clone()),
+                None => Err(ExecError::Storage(StorageError::UnknownAttribute(
+                    "<compiled slot without scope>".into(),
+                ))),
+            },
+            CompiledExpr::Unresolved { name, ambiguous } => {
+                Err(ExecError::Storage(if *ambiguous {
+                    StorageError::AmbiguousAttribute(name.clone())
+                } else {
+                    StorageError::UnknownAttribute(name.clone())
+                }))
+            }
+            CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Binary { op, left, right } => self.ceval_binary(*op, left, right, frame),
+            CompiledExpr::Unary { op, expr } => {
+                let v = self.ceval(expr, frame)?;
+                Ok(match op {
+                    UnaryOp::Not => v.as_truth().not().to_value(),
+                    UnaryOp::Neg => match v {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        _ => return Err(ExecError::Type("cannot negate non-number".into())),
+                    },
+                    UnaryOp::IsNull => Value::Bool(v.is_null()),
+                    UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+                })
+            }
+            CompiledExpr::Func { name, args } => {
+                let values: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.ceval(a, frame))
+                    .collect::<Result<_>>()?;
+                crate::eval::apply_func(*name, &values)
+            }
+            CompiledExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if self.ceval(cond, frame)?.as_truth().is_true() {
+                        return self.ceval(result, frame);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.ceval(e, frame),
+                    None => Ok(Value::Null),
+                }
+            }
+            CompiledExpr::Sublink(sublink) => self.ceval_sublink(sublink, frame),
+        }
+    }
+
+    fn ceval_binary(
+        &self,
+        op: BinaryOp,
+        left: &CompiledExpr,
+        right: &CompiledExpr,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Value> {
+        // Boolean connectives get non-strict NULL handling with the same
+        // short-circuiting as the interpreter (a FALSE left conjunct must
+        // shield an unresolvable right conjunct).
+        if matches!(op, BinaryOp::And | BinaryOp::Or) {
+            let l = self.ceval(left, frame)?.as_truth();
+            if op == BinaryOp::And && l == Truth::False {
+                return Ok(Truth::False.to_value());
+            }
+            if op == BinaryOp::Or && l == Truth::True {
+                return Ok(Truth::True.to_value());
+            }
+            let r = self.ceval(right, frame)?.as_truth();
+            return Ok(match op {
+                BinaryOp::And => l.and(r),
+                BinaryOp::Or => l.or(r),
+                _ => unreachable!(),
+            }
+            .to_value());
+        }
+
+        let l = self.ceval(left, frame)?;
+        let r = self.ceval(right, frame)?;
+        match op {
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                arithmetic(op, &l, &r)
+            }
+            BinaryOp::Cmp(cmp_op) => Ok(compare(cmp_op, &l, &r).to_value()),
+            BinaryOp::NullSafeEq => Ok(Value::Bool(l.null_safe_eq(&r))),
+            BinaryOp::Like => Ok(functions::sql_like(&l, &r).to_value()),
+            BinaryOp::NotLike => Ok(functions::sql_like(&l, &r).not().to_value()),
+            BinaryOp::Concat => match (&l, &r) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                _ => Ok(Value::Str(format!("{l}{r}"))),
+            },
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn ceval_sublink(&self, sublink: &CompiledSublink, frame: Option<&Frame<'_>>) -> Result<Value> {
+        let result = self.execute_memoized_sublink(sublink, frame)?;
+        match sublink.kind {
+            SublinkKind::Exists => Ok(Value::Bool(!result.is_empty())),
+            SublinkKind::Scalar => crate::eval::scalar_sublink_value(&result),
+            SublinkKind::Any | SublinkKind::All => {
+                let test = sublink.test_expr.as_ref().ok_or_else(|| {
+                    ExecError::Unsupported("ANY/ALL sublink without test expression".into())
+                })?;
+                let op = sublink.op.ok_or_else(|| {
+                    ExecError::Unsupported("ANY/ALL sublink without comparison operator".into())
+                })?;
+                let test_value = self.ceval(test, frame)?;
+                Ok(
+                    crate::eval::quantified_sublink_truth(sublink.kind, op, &test_value, &result)
+                        .to_value(),
+                )
+            }
+        }
+    }
+
+    /// Executes a compiled sublink plan, consulting the parameterized memo
+    /// when the sublink has a resolved correlation signature. The memo key
+    /// is the sublink id followed by [`encode_key_typed`] over the binding
+    /// values: unlike the join/grouping key, the memo key is *type-exact*
+    /// (`Int(3)`, `Float(3.0)` and `Date(3)` all differ), so a hit can only
+    /// ever substitute the result of a byte-identical binding — coarser
+    /// keying would be wrong for type-sensitive expressions such as string
+    /// concatenation or date arithmetic over the binding. Errors are never
+    /// cached.
+    fn execute_memoized_sublink(
+        &self,
+        sublink: &CompiledSublink,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Relation> {
+        let key = match &sublink.params {
+            Some(slots) if self.memo_enabled.get() => {
+                let bindings: Vec<Value> = slots
+                    .iter()
+                    .map(|&slot| match frame {
+                        Some(f) => Ok(f.get(slot).clone()),
+                        None => Err(ExecError::Storage(StorageError::UnknownAttribute(
+                            "<correlated sublink without outer scope>".into(),
+                        ))),
+                    })
+                    .collect::<Result<_>>()?;
+                let mut key = sublink.id.to_le_bytes().to_vec();
+                key.extend_from_slice(&encode_key_typed(&bindings));
+                Some(key)
+            }
+            _ => None,
+        };
+        if let Some(key) = &key {
+            if let Some(hit) = self.sublink_memo.borrow().get(key) {
+                return Ok(hit.clone());
+            }
+        }
+        let result = self.execute_compiled(&sublink.plan, frame)?;
+        if let Some(key) = key {
+            self.sublink_memo.borrow_mut().insert(key, result.clone());
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::builder::{
+        self, any_sublink, col, eq, exists_sublink, lit, qcol, scalar_sublink, PlanBuilder,
+    };
+    use perm_algebra::ProjectItem;
+    use perm_storage::{Attribute, DataType, Database};
+
+    fn db_with_groups() -> Database {
+        // R(a, g) with a low-cardinality correlation attribute g, and
+        // S(c, g) to correlate against.
+        let mut db = Database::new();
+        let r_rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+            .collect();
+        let s_rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(100 + i), Value::Int(i % 3)])
+            .collect();
+        db.create_table(
+            "r",
+            Relation::from_rows(
+                Schema::new(vec![
+                    Attribute::qualified("r", "a", DataType::Int),
+                    Attribute::qualified("r", "g", DataType::Int),
+                ]),
+                r_rows,
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::from_rows(
+                Schema::new(vec![
+                    Attribute::qualified("s", "c", DataType::Int),
+                    Attribute::qualified("s", "g", DataType::Int),
+                ]),
+                s_rows,
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    fn correlated_exists_query(db: &Database) -> Plan {
+        let sub = PlanBuilder::scan(db, "s")
+            .unwrap()
+            .select(eq(qcol("s", "g"), qcol("r", "g")))
+            .build();
+        PlanBuilder::scan(db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build()
+    }
+
+    #[test]
+    fn compiled_execution_matches_interpreter() {
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let compiled = Executor::new(&db).execute(&q).unwrap();
+        let interpreted = Executor::new(&db).execute_unoptimized(&q).unwrap();
+        assert!(compiled.bag_eq(&interpreted));
+        assert_eq!(compiled.len(), 30);
+    }
+
+    #[test]
+    fn correlated_sublink_runs_once_per_distinct_binding() {
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+
+        let memoized = Executor::new(&db);
+        memoized.execute(&q).unwrap();
+        // scan r + select + 3 distinct g bindings × (select + scan s).
+        assert_eq!(memoized.operators_evaluated(), 2 + 3 * 2);
+
+        let unmemoized = Executor::new(&db).with_sublink_memo(false);
+        unmemoized.execute(&q).unwrap();
+        // Without the memo the sublink runs once per outer tuple.
+        assert_eq!(unmemoized.operators_evaluated(), 2 + 30 * 2);
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_results_agree() {
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let memoized = Executor::new(&db).execute(&q).unwrap();
+        let unmemoized = Executor::new(&db)
+            .with_sublink_memo(false)
+            .execute(&q)
+            .unwrap();
+        assert!(memoized.bag_eq(&unmemoized));
+    }
+
+    #[test]
+    fn uncorrelated_sublink_degenerates_to_initplan() {
+        let db = db_with_groups();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, sub))
+            .build();
+        let ex = Executor::new(&db);
+        ex.execute(&q).unwrap();
+        // scan r + select + one sublink execution (project + scan s).
+        assert_eq!(ex.operators_evaluated(), 4);
+    }
+
+    #[test]
+    fn null_bindings_are_memoized_separately_and_correctly() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("t", "x", DataType::Int)]),
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Null],
+                    vec![Value::Null],
+                    vec![Value::Int(1)],
+                ],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "u",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("u", "y", DataType::Int)]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            ),
+        )
+        .unwrap();
+        // Π_{x, (scalar: count of u rows with y = t.x)}(T) — NULL bindings
+        // produce a 0 count (y = NULL is never true), and must not collide
+        // with the x = 1 binding in the memo.
+        let sub = PlanBuilder::scan(&db, "u")
+            .unwrap()
+            .select(eq(col("y"), qcol("t", "x")))
+            .aggregate(vec![], vec![perm_algebra::builder::count_star("n")])
+            .build();
+        let q = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .project(vec![
+                ProjectItem::column("x"),
+                ProjectItem::new(scalar_sublink(sub), "n"),
+            ])
+            .build();
+        let ex = Executor::new(&db);
+        let result = ex.execute(&q).unwrap();
+        let rows: Vec<(Value, Value)> = result
+            .tuples()
+            .iter()
+            .map(|t| (t.get(0).clone(), t.get(1).clone()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Value::Int(1), Value::Int(1)),
+                (Value::Null, Value::Int(0)),
+                (Value::Null, Value::Int(0)),
+                (Value::Int(1), Value::Int(1)),
+            ]
+        );
+        // 2 distinct bindings (1, NULL) → sublink plan (3 ops) runs twice:
+        // scan t + project + 2 × (aggregate + select + scan u).
+        assert_eq!(ex.operators_evaluated(), 2 + 2 * 3);
+    }
+
+    #[test]
+    fn memo_keys_are_type_exact() {
+        // t(x) holds Int(3) and Float(3.0): null-safe-equal bindings whose
+        // *representations* differ. A correlated sublink that stringifies
+        // its binding must not reuse one binding's cached result for the
+        // other — this is why memo keys use `encode_key_typed`, not the
+        // coarser join/grouping encoding.
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("t", "x", DataType::Any)]),
+                vec![vec![Value::Int(3)], vec![Value::Float(3.0)]],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "one",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("one", "k", DataType::Int)]),
+                vec![vec![Value::Int(0)]],
+            ),
+        )
+        .unwrap();
+        let sub = PlanBuilder::scan(&db, "one")
+            .unwrap()
+            .project(vec![ProjectItem::new(
+                builder::binary(perm_algebra::BinaryOp::Concat, qcol("t", "x"), lit("!")),
+                "s",
+            )])
+            .build();
+        let q = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .project(vec![ProjectItem::new(scalar_sublink(sub), "s")])
+            .build();
+        let compiled = Executor::new(&db).execute(&q).unwrap();
+        let interpreted = Executor::new(&db).execute_unoptimized(&q).unwrap();
+        assert!(compiled.bag_eq(&interpreted));
+        assert_eq!(compiled.tuples()[0].get(0), &Value::str("3!"));
+        assert_eq!(compiled.tuples()[1].get(0), &Value::str("3.0!"));
+    }
+
+    #[test]
+    fn short_circuit_still_shields_unresolvable_columns() {
+        let db = db_with_groups();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(perm_algebra::builder::and(
+                lit(false),
+                eq(col("does_not_exist"), lit(1)),
+            ))
+            .build();
+        let result = Executor::new(&db).execute(&q).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn unresolvable_column_errors_when_evaluated() {
+        let db = db_with_groups();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(eq(col("does_not_exist"), lit(1)))
+            .build();
+        let err = Executor::new(&db).execute(&q).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Storage(StorageError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn sublink_ids_from_repeated_compilations_do_not_collide() {
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let ex = Executor::new(&db);
+        let first = ex.prepare(&q).unwrap();
+        let second = ex.prepare(&q).unwrap();
+        let id_of = |plan: &CompiledPlan| -> usize {
+            match plan {
+                CompiledPlan::Select { predicate, .. } => match predicate {
+                    CompiledExpr::Sublink(s) => s.id,
+                    other => panic!("expected sublink, got {other:?}"),
+                },
+                other => panic!("expected select, got {other:?}"),
+            }
+        };
+        assert_ne!(id_of(&first), id_of(&second));
+    }
+}

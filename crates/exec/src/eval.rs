@@ -5,7 +5,7 @@ use crate::executor::Executor;
 use crate::functions;
 use crate::{ExecError, Result};
 use perm_algebra::{BinaryOp, CompareOp, Expr, FuncName, SublinkKind, UnaryOp};
-use perm_storage::{Schema, Truth, Tuple, Value};
+use perm_storage::{Relation, Schema, Truth, Tuple, Value};
 
 /// An evaluation environment: the current operator's input tuple plus a
 /// chain of enclosing scopes. Column references resolve innermost-first,
@@ -177,21 +177,7 @@ impl Executor<'_> {
             .iter()
             .map(|a| self.eval_expr(a, env))
             .collect::<Result<_>>()?;
-        match name {
-            FuncName::Substring => {
-                if values.len() < 2 {
-                    return Err(ExecError::Type("substring needs 2 or 3 arguments".into()));
-                }
-                functions::substring(&values[0], &values[1], values.get(2))
-            }
-            FuncName::Abs => functions::abs(&values[0]),
-            FuncName::Coalesce => Ok(functions::coalesce(&values)),
-            FuncName::Lower => functions::change_case(&values[0], false),
-            FuncName::Upper => functions::change_case(&values[0], true),
-            FuncName::Length => functions::length(&values[0]),
-            FuncName::Date => functions::to_date(&values[0]),
-            FuncName::Year => functions::year(&values[0]),
-        }
+        apply_func(name, &values)
     }
 
     fn eval_sublink(
@@ -205,21 +191,7 @@ impl Executor<'_> {
         let result = self.execute_sublink(plan, env)?;
         match kind {
             SublinkKind::Exists => Ok(Value::Bool(!result.is_empty())),
-            SublinkKind::Scalar => {
-                if result.schema().arity() != 1 {
-                    return Err(ExecError::ScalarSublinkCardinality(format!(
-                        "scalar sublink must produce one attribute, got {}",
-                        result.schema().arity()
-                    )));
-                }
-                match result.len() {
-                    0 => Ok(Value::Null),
-                    1 => Ok(result.tuples()[0].get(0).clone()),
-                    n => Err(ExecError::ScalarSublinkCardinality(format!(
-                        "scalar sublink produced {n} tuples"
-                    ))),
-                }
-            }
+            SublinkKind::Scalar => scalar_sublink_value(&result),
             SublinkKind::Any | SublinkKind::All => {
                 let test = test_expr.ok_or_else(|| {
                     ExecError::Unsupported("ANY/ALL sublink without test expression".into())
@@ -228,34 +200,84 @@ impl Executor<'_> {
                     ExecError::Unsupported("ANY/ALL sublink without comparison operator".into())
                 })?;
                 let test_value = self.eval_expr(test, env)?;
-                let mut acc = if kind == SublinkKind::Any {
-                    Truth::False
-                } else {
-                    Truth::True
-                };
-                for row in result.tuples() {
-                    let row_value = row.get(0);
-                    let t = compare(op, &test_value, row_value);
-                    acc = if kind == SublinkKind::Any {
-                        acc.or(t)
-                    } else {
-                        acc.and(t)
-                    };
-                    // Early exit once the quantifier is decided.
-                    if (kind == SublinkKind::Any && acc == Truth::True)
-                        || (kind == SublinkKind::All && acc == Truth::False)
-                    {
-                        break;
-                    }
-                }
-                Ok(acc.to_value())
+                Ok(quantified_sublink_truth(kind, op, &test_value, &result).to_value())
             }
         }
     }
 }
 
+/// Applies a scalar function to already-evaluated argument values. Shared by
+/// the interpreter and the compiled evaluator so their dispatch cannot
+/// drift apart.
+pub(crate) fn apply_func(name: FuncName, values: &[Value]) -> Result<Value> {
+    match name {
+        FuncName::Substring => {
+            if values.len() < 2 {
+                return Err(ExecError::Type("substring needs 2 or 3 arguments".into()));
+            }
+            functions::substring(&values[0], &values[1], values.get(2))
+        }
+        FuncName::Abs => functions::abs(&values[0]),
+        FuncName::Coalesce => Ok(functions::coalesce(values)),
+        FuncName::Lower => functions::change_case(&values[0], false),
+        FuncName::Upper => functions::change_case(&values[0], true),
+        FuncName::Length => functions::length(&values[0]),
+        FuncName::Date => functions::to_date(&values[0]),
+        FuncName::Year => functions::year(&values[0]),
+    }
+}
+
+/// Folds a scalar sublink result into its value, enforcing the
+/// one-attribute / at-most-one-tuple cardinality rules. Shared by the
+/// interpreter and the compiled evaluator.
+pub(crate) fn scalar_sublink_value(result: &Relation) -> Result<Value> {
+    if result.schema().arity() != 1 {
+        return Err(ExecError::ScalarSublinkCardinality(format!(
+            "scalar sublink must produce one attribute, got {}",
+            result.schema().arity()
+        )));
+    }
+    match result.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(result.tuples()[0].get(0).clone()),
+        n => Err(ExecError::ScalarSublinkCardinality(format!(
+            "scalar sublink produced {n} tuples"
+        ))),
+    }
+}
+
+/// Folds an `ANY`/`ALL` sublink result under three-valued logic, with early
+/// exit once the quantifier is decided. Shared by the interpreter and the
+/// compiled evaluator.
+pub(crate) fn quantified_sublink_truth(
+    kind: SublinkKind,
+    op: CompareOp,
+    test_value: &Value,
+    result: &Relation,
+) -> Truth {
+    let mut acc = if kind == SublinkKind::Any {
+        Truth::False
+    } else {
+        Truth::True
+    };
+    for row in result.tuples() {
+        let t = compare(op, test_value, row.get(0));
+        acc = if kind == SublinkKind::Any {
+            acc.or(t)
+        } else {
+            acc.and(t)
+        };
+        if (kind == SublinkKind::Any && acc == Truth::True)
+            || (kind == SublinkKind::All && acc == Truth::False)
+        {
+            break;
+        }
+    }
+    acc
+}
+
 /// Arithmetic with NULL propagation and integer/float coercion.
-fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -366,7 +388,11 @@ mod tests {
         // NULL propagation
         let v = ex
             .eval_expr(
-                &perm_algebra::builder::binary(BinaryOp::Mul, lit(7), perm_algebra::builder::null()),
+                &perm_algebra::builder::binary(
+                    BinaryOp::Mul,
+                    lit(7),
+                    perm_algebra::builder::null(),
+                ),
                 None,
             )
             .unwrap();

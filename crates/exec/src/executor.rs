@@ -1,13 +1,41 @@
-//! Plan execution.
+//! Plan execution: a compile/memoize pipeline in front of a bag-semantics
+//! interpreter.
 //!
-//! The executor is a straightforward bag-semantics interpreter of the
-//! algebra in Figure 1 of the paper. Two pragmatic optimizations mirror what
-//! the PostgreSQL engine underneath the original Perm system does and are
-//! needed for the benchmark figures to be meaningful:
+//! Execution of a top-level plan goes through three stages:
 //!
-//! * **Uncorrelated sublink caching** (PostgreSQL "InitPlans"): a sublink
-//!   query with no correlated attribute references is materialised once per
-//!   query execution instead of once per outer tuple.
+//! 1. **Plan-level optimization** — residual selections sitting directly on
+//!    cross products are fused into joins
+//!    ([`perm_algebra::optimize::fuse_select_over_cross`]) so that large
+//!    products (in particular the `CrossBase` products of the Gen rewrite
+//!    strategy) are never materialised unfiltered.
+//! 2. **Compilation** ([`crate::compile`]) — a one-time pass per operator
+//!    that resolves every column reference to a positional *slot*
+//!    (scope depth + attribute index) against the concrete schema chain, so
+//!    the per-tuple evaluator does integer indexing instead of name lookup,
+//!    and computes each sublink's *correlation signature* (its free column
+//!    references, [`perm_algebra::visit::free_correlated_columns`]) resolved
+//!    to outer-scope slots.
+//! 3. **Compiled evaluation** with a **parameterized sublink memo**: a
+//!    sublink result is cached under `(sublink identity, encoded values of
+//!    its correlated bindings)`. A correlated sublink over an outer relation
+//!    with *k* distinct binding values therefore executes *k* times instead
+//!    of once per outer tuple; an uncorrelated sublink (empty signature)
+//!    degenerates to the classic PostgreSQL "InitPlan" behaviour of one
+//!    execution per query. The memo can be switched off with
+//!    [`Executor::with_sublink_memo`] for measurements.
+//!
+//! The uncompiled interpreter ([`Executor::execute_unoptimized`] /
+//! [`Executor::execute_with_env`]) remains available; the tracer in
+//! `perm-core` builds on it, and the strategy-equivalence tests cross-check
+//! compiled against interpreted results.
+//!
+//! Two further interpreter-level optimizations mirror what the PostgreSQL
+//! engine underneath the original Perm system does and are needed for the
+//! benchmark figures to be meaningful:
+//!
+//! * **Uncorrelated sublink caching** (interpreter path): a sublink query
+//!   with no correlated attribute references is materialised once per query
+//!   execution instead of once per outer tuple.
 //! * **Equi-join hashing**: inner and left-outer joins whose condition
 //!   contains column-to-column equality conjuncts are executed as hash
 //!   joins, with the full condition re-checked on each candidate pair. Joins
@@ -15,12 +43,13 @@
 //!   fall back to a nested loop, which is exactly the cost profile the paper
 //!   discusses for that strategy.
 
+use crate::compile::CompiledPlan;
 use crate::eval::Env;
 use crate::{aggregate::Accumulator, ExecError, Result};
 use perm_algebra::visit::is_correlated;
 use perm_algebra::{Expr, JoinKind, Plan, SetOpKind, SortKey};
 use perm_storage::{Database, Relation, Schema, Truth, Tuple, Value};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 /// Executes plans against an in-memory database.
@@ -28,23 +57,45 @@ pub struct Executor<'a> {
     db: &'a Database,
     /// Cache of materialised uncorrelated sublink results, keyed by the
     /// address of the sublink plan node (stable for the lifetime of one
-    /// query execution because plans are borrowed immutably).
+    /// query execution because plans are borrowed immutably). Used by the
+    /// interpreter path only; the compiled path uses `sublink_memo`.
     sublink_cache: RefCell<HashMap<usize, Relation>>,
     /// Cache of correlation checks per sublink plan.
     correlation_cache: RefCell<HashMap<usize, bool>>,
+    /// Parameterized sublink memo for the compiled path: sublink results
+    /// keyed by `(compiled sublink id, encoded correlated binding values)`.
+    pub(crate) sublink_memo: RefCell<HashMap<Vec<u8>, Relation>>,
+    /// Whether the compiled path may reuse memoized sublink results.
+    pub(crate) memo_enabled: Cell<bool>,
+    /// Source of unique ids for compiled sublinks, so memo keys from
+    /// different [`Executor::prepare`] calls never collide.
+    pub(crate) next_sublink_id: Cell<usize>,
     /// Number of operator evaluations performed (for tests/diagnostics).
-    ops_evaluated: RefCell<u64>,
+    pub(crate) ops_evaluated: RefCell<u64>,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor over a database.
+    /// Creates an executor over a database. Sublink memoization is enabled;
+    /// use [`Executor::with_sublink_memo`] to switch it off.
     pub fn new(db: &'a Database) -> Executor<'a> {
         Executor {
             db,
             sublink_cache: RefCell::new(HashMap::new()),
             correlation_cache: RefCell::new(HashMap::new()),
+            sublink_memo: RefCell::new(HashMap::new()),
+            memo_enabled: Cell::new(true),
+            next_sublink_id: Cell::new(0),
             ops_evaluated: RefCell::new(0),
         }
+    }
+
+    /// Enables or disables the parameterized sublink memo of the compiled
+    /// execution path (enabled by default). Disabling it makes every
+    /// correlated sublink execute once per outer tuple again, which is what
+    /// the benchmark harness measures as the "memo off" baseline.
+    pub fn with_sublink_memo(self, enabled: bool) -> Executor<'a> {
+        self.memo_enabled.set(enabled);
+        self
     }
 
     /// The database this executor reads from.
@@ -52,24 +103,56 @@ impl<'a> Executor<'a> {
         self.db
     }
 
-    /// Number of operator invocations so far (diagnostic counter).
+    /// Number of operator invocations so far (diagnostic counter). Both the
+    /// compiled and the interpreted path count one evaluation per operator
+    /// node per invocation; a memo hit counts nothing, which is what makes
+    /// the memoization win measurable.
     pub fn operators_evaluated(&self) -> u64 {
         *self.ops_evaluated.borrow()
     }
 
-    /// Executes a top-level plan. Residual selections sitting directly on
-    /// cross products are fused into joins first so that large products (in
-    /// particular the `CrossBase` products of the Gen rewrite strategy) are
-    /// never materialised unfiltered.
-    pub fn execute(&self, plan: &Plan) -> Result<Relation> {
+    /// Compiles a plan for repeated execution: fuses residual selections
+    /// over cross products, then resolves all column references to slots
+    /// and attaches correlation signatures to sublinks (see
+    /// [`crate::compile`]).
+    pub fn prepare(&self, plan: &Plan) -> Result<CompiledPlan> {
         let fused = perm_algebra::optimize::fuse_select_over_cross(plan.clone());
-        self.execute_with_env(&fused, None)
+        crate::compile::compile_plan(&fused, &self.next_sublink_id)
     }
 
-    /// Executes a plan exactly as given, without the pre-execution fusing
-    /// pass (useful in tests that exercise specific plan shapes).
+    /// Executes a top-level plan through the compile/memoize pipeline.
+    ///
+    /// The sublink memo is cleared first: [`Executor::prepare`] mints fresh
+    /// sublink ids, so entries from earlier `execute` calls could never hit
+    /// again and would only accumulate. Callers that want memo reuse across
+    /// repeated executions of the *same* query should `prepare` once and
+    /// call [`Executor::execute_compiled`] directly.
+    pub fn execute(&self, plan: &Plan) -> Result<Relation> {
+        self.sublink_memo.borrow_mut().clear();
+        let compiled = self.prepare(plan)?;
+        self.execute_compiled(&compiled, None)
+    }
+
+    /// Executes a plan exactly as given with the name-resolving interpreter:
+    /// no fusing pass, no compilation, no parameterized memo (only the
+    /// per-execution InitPlan cache for uncorrelated sublinks). This is the
+    /// reference semantics the compiled path is cross-checked against, and
+    /// it is useful in tests that exercise specific plan shapes.
     pub fn execute_unoptimized(&self, plan: &Plan) -> Result<Relation> {
+        self.reset_interpreter_caches();
         self.execute_with_env(plan, None)
+    }
+
+    /// Clears the interpreter-path sublink caches. They are keyed by plan
+    /// *node address*, which is only stable while that plan is alive — a
+    /// later plan can allocate a sublink node at a freed address and would
+    /// otherwise inherit stale entries. Called automatically at the start of
+    /// [`Executor::execute_unoptimized`]; callers that drive
+    /// [`Executor::execute_with_env`] directly across different plans (e.g.
+    /// the tracer in `perm-core`) must call it between plans themselves.
+    pub fn reset_interpreter_caches(&self) {
+        self.sublink_cache.borrow_mut().clear();
+        self.correlation_cache.borrow_mut().clear();
     }
 
     /// Executes a sublink plan in the given correlation environment. The
@@ -86,9 +169,7 @@ impl<'a> Executor<'a> {
                 return Ok(cached.clone());
             }
             let result = self.execute_with_env(plan, None)?;
-            self.sublink_cache
-                .borrow_mut()
-                .insert(key, result.clone());
+            self.sublink_cache.borrow_mut().insert(key, result.clone());
             return Ok(result);
         }
         self.execute_with_env(plan, env)
@@ -384,21 +465,26 @@ impl<'a> Executor<'a> {
 /// One hash-join key pair: a left-side expression, a right-side expression
 /// and whether the comparison is null-safe (`=n`, in which case NULL keys
 /// match NULL keys instead of being dropped).
-struct EquiKey {
-    left: Expr,
-    right: Expr,
-    null_safe: bool,
+pub(crate) struct EquiKey {
+    pub(crate) left: Expr,
+    pub(crate) right: Expr,
+    pub(crate) null_safe: bool,
 }
 
 /// Extracts equality conjuncts `colL = colR` (or `colL =n colR`) from a join
 /// condition, where one side resolves only against the left schema and the
 /// other only against the right schema.
-fn extract_equi_keys(condition: &Expr, left: &Schema, right: &Schema) -> Vec<EquiKey> {
+pub(crate) fn extract_equi_keys(condition: &Expr, left: &Schema, right: &Schema) -> Vec<EquiKey> {
     let mut conjuncts = Vec::new();
     flatten_conjuncts(condition, &mut conjuncts);
     let mut keys = Vec::new();
     for c in conjuncts {
-        if let Expr::Binary { op, left: a, right: b } = c {
+        if let Expr::Binary {
+            op,
+            left: a,
+            right: b,
+        } = c
+        {
             let null_safe = match op {
                 perm_algebra::BinaryOp::Cmp(perm_algebra::CompareOp::Eq) => false,
                 perm_algebra::BinaryOp::NullSafeEq => true,
@@ -458,21 +544,72 @@ fn flatten_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
     }
 }
 
-/// Encodes a list of values into a hashable byte key. Numeric values are
-/// normalised to their `f64` representation so that `Int(3)` and `Float(3.0)`
-/// land in the same group, matching the engine's null-safe equality.
-fn encode_key(values: &[Value]) -> Vec<u8> {
+/// Encodes a list of values into a hashable byte key.
+///
+/// **Invariant:** `encode_key` equality must *refine and be refined by*
+/// [`Value::null_safe_eq`] on engine-reachable values, i.e. two value lists
+/// encode to the same bytes exactly when they are pairwise `null_safe_eq`.
+/// Both directions are load-bearing:
+///
+/// * *encode equal ⇒ null-safe equal* keeps memoized sublink results and
+///   aggregate groups correct — a memo hit must only ever substitute the
+///   result of a genuinely equal binding.
+/// * *null-safe equal ⇒ encode equal* keeps hash joins complete — two
+///   values that the engine's equality would match must land in the same
+///   bucket, because only bucket-mates are rechecked against the full join
+///   condition.
+///
+/// This is why `Int`, `Float`, `Date` **and `Bool`** share one tag with an
+/// `f64` encoding: [`Value::null_safe_eq`] coerces all four numerically
+/// (`Date(3) = Int(3)` and `Bool(true) = Int(1)` are both TRUE — `strict_eq`
+/// falls through to `as_f64` for every mixed pair), so giving any of them
+/// its own tag would make the encoding *finer* than the engine's equality
+/// and silently drop cross-type join matches. The regression tests below pin
+/// this down. `-0.0` is normalised to `0.0` before taking bits for the same
+/// reason. (NaN never reaches a key: arithmetic errors out on division by
+/// zero instead of producing one.)
+pub(crate) fn encode_key(values: &[Value]) -> Vec<u8> {
+    encode_key_impl(values, false)
+}
+
+/// Type-exact variant of [`encode_key`] used for sublink memo keys: every
+/// value variant gets its own tag and its exact bit pattern, so key equality
+/// means the bindings are *byte-identical*, not merely in the same
+/// [`Value::null_safe_eq`] class. The memo substitutes one binding's cached
+/// result for another's, with no recheck — a coarser key would conflate
+/// `Int(3)` with `Float(3.0)` or `Date(3)`, whose sublink results can differ
+/// in representation (string concatenation, date arithmetic). Extra
+/// fineness only costs a memo miss, never correctness.
+pub(crate) fn encode_key_typed(values: &[Value]) -> Vec<u8> {
+    encode_key_impl(values, true)
+}
+
+fn encode_key_impl(values: &[Value], typed: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 9);
     for v in values {
         match v {
             Value::Null => out.push(0u8),
-            Value::Bool(b) => {
+            Value::Bool(b) if typed => {
                 out.push(1);
                 out.push(*b as u8);
             }
-            Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+            Value::Int(i) if typed => {
+                out.push(4);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) if typed => {
+                out.push(5);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Date(d) if typed => {
+                out.push(6);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Date(_) => {
                 out.push(2);
                 let f = v.as_f64().unwrap_or(0.0);
+                // +0.0 and -0.0 compare equal but differ in bits.
+                let f = if f == 0.0 { 0.0 } else { f };
                 out.extend_from_slice(&f.to_bits().to_le_bytes());
             }
             Value::Str(s) => {
@@ -574,7 +711,10 @@ mod tests {
     fn cross_product_and_join() {
         let db = figure3_db();
         let s = PlanBuilder::scan(&db, "s").unwrap().build();
-        let cross = PlanBuilder::scan(&db, "r").unwrap().cross(s.clone()).build();
+        let cross = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .cross(s.clone())
+            .build();
         assert_eq!(run(&db, &cross).len(), 9);
         let join = PlanBuilder::scan(&db, "r")
             .unwrap()
@@ -626,14 +766,14 @@ mod tests {
             .build();
         let result = run(&db, &global);
         assert_eq!(result.len(), 1);
-        assert_eq!(result.tuples()[0], Tuple::new(vec![Value::Int(6), Value::Int(3)]));
+        assert_eq!(
+            result.tuples()[0],
+            Tuple::new(vec![Value::Int(6), Value::Int(3)])
+        );
 
         let grouped = PlanBuilder::scan(&db, "r")
             .unwrap()
-            .aggregate(
-                vec![ProjectItem::column("b")],
-                vec![sum(col("a"), "sum_a")],
-            )
+            .aggregate(vec![ProjectItem::column("b")], vec![sum(col("a"), "sum_a")])
             .build();
         let result = run(&db, &grouped);
         assert_eq!(result.len(), 2);
@@ -660,8 +800,14 @@ mod tests {
     #[test]
     fn set_operations() {
         let db = figure3_db();
-        let r1 = PlanBuilder::scan(&db, "r").unwrap().project_columns(&["b"]).build();
-        let r2 = PlanBuilder::scan(&db, "r").unwrap().project_columns(&["b"]).build();
+        let r1 = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project_columns(&["b"])
+            .build();
+        let r2 = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project_columns(&["b"])
+            .build();
         let union_all = PlanBuilder::from_plan(r1.clone())
             .set_op(SetOpKind::Union, true, r2.clone())
             .build();
@@ -773,7 +919,10 @@ mod tests {
     #[test]
     fn scalar_sublink_cardinality_violation_is_an_error() {
         let db = figure3_db();
-        let sub = PlanBuilder::scan(&db, "s").unwrap().project_columns(&["c"]).build();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .project_columns(&["c"])
+            .build();
         let q = PlanBuilder::scan(&db, "r")
             .unwrap()
             .project(vec![ProjectItem::new(scalar_sublink(sub), "x")])
@@ -869,10 +1018,144 @@ mod tests {
         let db = Database::new();
         let plan = Plan::Values {
             schema: Schema::from_names(&["x"]),
-            rows: vec![Tuple::new(vec![Value::Int(7)]), Tuple::new(vec![Value::Null])],
+            rows: vec![
+                Tuple::new(vec![Value::Int(7)]),
+                Tuple::new(vec![Value::Null]),
+            ],
         };
         let result = Executor::new(&db).execute(&plan).unwrap();
         assert_eq!(result.len(), 2);
+    }
+
+    /// `encode_key` regression tests: key equality must coincide with
+    /// `null_safe_eq` (see the invariant on [`encode_key`]). The engine's
+    /// equality coerces `Date` numerically, so a `Date`/`Int` hash join must
+    /// find its matches and a `Date`/`Int` group-by must merge its groups —
+    /// this is exactly why `Date` shares the numeric tag instead of getting
+    /// its own.
+    #[test]
+    fn encode_key_coincides_with_null_safe_eq() {
+        let same = [
+            (Value::Int(3), Value::Float(3.0)),
+            (Value::Int(3), Value::Date(3)),
+            (Value::Float(3.0), Value::Date(3)),
+            (Value::Float(0.0), Value::Float(-0.0)),
+            (Value::Bool(true), Value::Int(1)),
+            (Value::Bool(false), Value::Float(0.0)),
+            (Value::Null, Value::Null),
+        ];
+        for (a, b) in same {
+            assert!(a.null_safe_eq(&b), "{a:?} vs {b:?}");
+            assert_eq!(
+                encode_key(std::slice::from_ref(&a)),
+                encode_key(std::slice::from_ref(&b)),
+                "{a:?} vs {b:?} must share a key"
+            );
+        }
+        let different = [
+            (Value::Int(3), Value::Int(4)),
+            (Value::Int(3), Value::Null),
+            (Value::str("3"), Value::Int(3)),
+            (Value::Date(3), Value::Date(4)),
+            (Value::Bool(true), Value::Int(0)),
+            (Value::Bool(true), Value::Bool(false)),
+        ];
+        for (a, b) in different {
+            assert!(!a.null_safe_eq(&b), "{a:?} vs {b:?}");
+            assert_ne!(
+                encode_key(std::slice::from_ref(&a)),
+                encode_key(std::slice::from_ref(&b)),
+                "{a:?} vs {b:?} must not share a key"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_date_keys_against_int_keys() {
+        let mut db = Database::new();
+        db.create_table(
+            "d",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("d", "day", DataType::Date)]),
+                vec![vec![Value::Date(3)], vec![Value::Date(9)]],
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "n",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("n", "num", DataType::Int)]),
+                vec![vec![Value::Int(3)], vec![Value::Int(7)]],
+            ),
+        )
+        .unwrap();
+        let join = PlanBuilder::scan(&db, "d")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&db, "n").unwrap().build(),
+                eq(col("day"), col("num")),
+            )
+            .build();
+        // The condition is a column-to-column equality, so this runs as a
+        // hash join; the Date(3)/Int(3) pair must meet in one bucket because
+        // the engine's equality coerces dates numerically.
+        let hashed = run(&db, &join);
+        assert_eq!(hashed.len(), 1);
+        assert_eq!(
+            hashed.tuples()[0],
+            Tuple::new(vec![Value::Date(3), Value::Int(3)])
+        );
+        // Cross-check against the nested-loop path (interpreter, no fusing,
+        // non-equi shape): σ_{day = num}(d × n) via a literal-guarded
+        // condition would defeat key extraction; simpler is comparing with
+        // the unoptimized interpreter on the same plan, which also hashes —
+        // so force a nested loop by OR-ing an always-false disjunct.
+        let nested = PlanBuilder::scan(&db, "d")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&db, "n").unwrap().build(),
+                builder::or(eq(col("day"), col("num")), eq(lit(1), lit(2))),
+            )
+            .build();
+        assert!(run(&db, &nested).bag_eq(&hashed));
+    }
+
+    #[test]
+    fn aggregate_groups_date_keys_with_equal_int_keys() {
+        let mut db = Database::new();
+        db.create_table(
+            "m",
+            Relation::from_rows(
+                Schema::new(vec![
+                    Attribute::qualified("m", "k", DataType::Any),
+                    Attribute::qualified("m", "v", DataType::Int),
+                ]),
+                vec![
+                    vec![Value::Date(3), Value::Int(10)],
+                    vec![Value::Int(3), Value::Int(20)],
+                    vec![Value::Float(3.0), Value::Int(30)],
+                    vec![Value::Int(4), Value::Int(40)],
+                ],
+            ),
+        )
+        .unwrap();
+        let q = PlanBuilder::scan(&db, "m")
+            .unwrap()
+            .aggregate(vec![ProjectItem::column("k")], vec![sum(col("v"), "s")])
+            .build();
+        let result = run(&db, &q);
+        // Date(3), Int(3) and Float(3.0) are null_safe_eq-equal and must
+        // land in one group.
+        assert_eq!(result.len(), 2);
+        let sums: Vec<i64> = result
+            .tuples()
+            .iter()
+            .map(|t| match t.get(1) {
+                Value::Int(i) => *i,
+                other => panic!("expected int sum, got {other:?}"),
+            })
+            .collect();
+        assert!(sums.contains(&60) && sums.contains(&40));
     }
 
     #[test]

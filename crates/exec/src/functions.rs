@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn like_null_is_unknown() {
         assert_eq!(sql_like(&Value::Null, &Value::str("%")), Truth::Unknown);
-        assert_eq!(
-            sql_like(&Value::str("x"), &Value::str("x")),
-            Truth::True
-        );
+        assert_eq!(sql_like(&Value::str("x"), &Value::str("x")), Truth::True);
     }
 
     #[test]

@@ -8,15 +8,24 @@
 //! Correlated sublinks are supported by evaluating the sublink plan once per
 //! binding of the correlated attributes (an environment stack of outer
 //! tuples, innermost scope first), exactly as Section 2.2 of the paper
-//! describes the parameterisation of `Tsub`. Uncorrelated sublinks are
-//! materialised once and cached for the duration of a query, mirroring
-//! PostgreSQL's InitPlan behaviour.
+//! describes the parameterisation of `Tsub`.
+//!
+//! The default execution path ([`Executor::execute`]) first *compiles* the
+//! plan ([`compile`]): column references become positional slots and every
+//! sublink carries its resolved correlation signature, which feeds a
+//! parameterized memo — a correlated sublink runs once per *distinct*
+//! binding instead of once per outer tuple, and an uncorrelated sublink runs
+//! once per query (PostgreSQL's InitPlan behaviour). The name-resolving
+//! interpreter is retained as [`Executor::execute_unoptimized`] and serves
+//! as the reference semantics in equivalence tests.
 
 pub mod aggregate;
+pub mod compile;
 pub mod eval;
 pub mod executor;
 pub mod functions;
 
+pub use compile::CompiledPlan;
 pub use eval::Env;
 pub use executor::Executor;
 

@@ -1,0 +1,363 @@
+//! Compiled-vs-interpreted equivalence: `Executor::execute` (slot-compiled
+//! expressions + parameterized sublink memo) must produce relations
+//! bag-equal to `Executor::execute_unoptimized` (the name-resolving
+//! reference interpreter) for every sublink kind, correlated or not,
+//! including NULL bindings and empty sublink results — with the memo both
+//! on and off.
+
+use perm_algebra::builder::{
+    self, all_sublink, any_sublink, col, count_star, eq, exists_sublink, lit, not, qcol,
+    scalar_sublink, sum, PlanBuilder,
+};
+use perm_algebra::{CompareOp, Plan, ProjectItem, SetOpKind, SortKey};
+use perm_exec::Executor;
+use perm_storage::{Attribute, DataType, Database, Relation, Schema, Value};
+
+/// R(a, b, g), S(c, d, g) and a tiny U(e): `g` is a low-cardinality
+/// correlation attribute with NULLs mixed in, so memo entries are shared
+/// across outer tuples and NULL bindings are exercised.
+fn test_db() -> Database {
+    let mut db = Database::new();
+    let r_rows: Vec<Vec<Value>> = (0..12)
+        .map(|i| {
+            let g = if i % 5 == 4 {
+                Value::Null
+            } else {
+                Value::Int(i % 3)
+            };
+            vec![Value::Int(i), Value::Int(i % 4), g]
+        })
+        .collect();
+    let s_rows: Vec<Vec<Value>> = (0..8)
+        .map(|i| {
+            let g = if i == 7 {
+                Value::Null
+            } else {
+                Value::Int(i % 3)
+            };
+            vec![Value::Int(100 + i), Value::Int(i % 2), g]
+        })
+        .collect();
+    db.create_table(
+        "r",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("r", "a", DataType::Int),
+                Attribute::qualified("r", "b", DataType::Int),
+                Attribute::qualified("r", "g", DataType::Int),
+            ]),
+            r_rows,
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("s", "c", DataType::Int),
+                Attribute::qualified("s", "d", DataType::Int),
+                Attribute::qualified("s", "g", DataType::Int),
+            ]),
+            s_rows,
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "u",
+        Relation::from_rows(
+            Schema::new(vec![Attribute::qualified("u", "e", DataType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        ),
+    )
+    .unwrap();
+    db
+}
+
+/// Asserts the three execution modes agree on `plan`, and that the memoized
+/// run does no more operator work than the unmemoized one.
+fn assert_execution_modes_agree(db: &Database, plan: &Plan) {
+    let reference = Executor::new(db)
+        .execute_unoptimized(plan)
+        .expect("interpreter must run");
+
+    let memoized_executor = Executor::new(db);
+    let memoized = memoized_executor.execute(plan).expect("compiled must run");
+    let memoized_ops = memoized_executor.operators_evaluated();
+
+    let unmemoized_executor = Executor::new(db).with_sublink_memo(false);
+    let unmemoized = unmemoized_executor
+        .execute(plan)
+        .expect("compiled (memo off) must run");
+    let unmemoized_ops = unmemoized_executor.operators_evaluated();
+
+    assert!(
+        memoized.bag_eq(&reference),
+        "compiled+memoized disagrees with the interpreter"
+    );
+    assert!(
+        unmemoized.bag_eq(&reference),
+        "compiled (memo off) disagrees with the interpreter"
+    );
+    assert!(
+        memoized_ops <= unmemoized_ops,
+        "memoization must never add operator evaluations ({memoized_ops} > {unmemoized_ops})"
+    );
+}
+
+#[test]
+fn correlated_exists_sublink() {
+    let db = test_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(sub))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn correlated_not_exists_sublink() {
+    let db = test_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(not(exists_sublink(sub)))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn correlated_any_sublink() {
+    let db = test_db();
+    // a = ANY(Π_c(σ_{s.g = r.g}(S))) — NULL g rows of R get an empty
+    // sublink, so ANY is FALSE for them.
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(
+            builder::binary(perm_algebra::BinaryOp::Add, col("a"), lit(100)),
+            CompareOp::Eq,
+            sub,
+        ))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn correlated_all_sublink() {
+    let db = test_db();
+    // b < ALL(Π_d(σ_{s.g = r.g}(S))) — ALL over the empty result (NULL g)
+    // is TRUE.
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .project_columns(&["d"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(all_sublink(col("b"), CompareOp::Lt, sub))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn correlated_scalar_sublink_in_projection() {
+    let db = test_db();
+    // The aggregate guarantees a single row per binding, NULL-binding rows
+    // included (count over the empty match set is 0).
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .aggregate(vec![], vec![count_star("n")])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project(vec![
+            ProjectItem::column("a"),
+            ProjectItem::new(scalar_sublink(sub), "n_matches"),
+        ])
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn null_binding_comparison_inside_sublink() {
+    let db = test_db();
+    // The correlated comparison itself sees NULL bindings: g = NULL is
+    // UNKNOWN, never TRUE, and the memo must keep the NULL-binding result
+    // separate from g = 0.
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(builder::or(
+            eq(qcol("s", "g"), qcol("r", "g")),
+            eq(qcol("s", "d"), qcol("r", "b")),
+        ))
+        .project_columns(&["c"])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(any_sublink(col("a"), CompareOp::Le, sub))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn empty_sublink_results_for_every_kind() {
+    let db = test_db();
+    let empty_sub = || {
+        PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), lit(-999)))
+            .project_columns(&["c"])
+            .build()
+    };
+    for q in [
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, empty_sub()))
+            .build(),
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(all_sublink(col("a"), CompareOp::Eq, empty_sub()))
+            .build(),
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(empty_sub()))
+            .build(),
+        PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .project(vec![
+                ProjectItem::column("a"),
+                ProjectItem::new(scalar_sublink(empty_sub()), "nothing"),
+            ])
+            .build(),
+    ] {
+        assert_execution_modes_agree(&db, &q);
+    }
+}
+
+#[test]
+fn nested_correlated_sublinks() {
+    let db = test_db();
+    // EXISTS(σ_{s.g = r.g ∧ EXISTS(σ_{u.e = s.d}(U))}(S)): the inner
+    // sublink correlates one level up (s.d), the outer one two levels out
+    // (r.g escapes through the middle scope).
+    let inner = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .select(eq(col("e"), qcol("s", "d")))
+        .build();
+    let middle = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(builder::and(
+            eq(qcol("s", "g"), qcol("r", "g")),
+            exists_sublink(inner),
+        ))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(middle))
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn correlated_sublink_under_joins_sorts_and_set_ops() {
+    let db = test_db();
+    let correlated_exists = || {
+        exists_sublink(
+            PlanBuilder::scan(&db, "s")
+                .unwrap()
+                .select(eq(qcol("s", "g"), qcol("r", "g")))
+                .build(),
+        )
+    };
+    // Join whose condition carries the sublink (nested-loop path).
+    let join_q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&db, "u").unwrap().build(),
+            builder::and(eq(col("b"), col("e")), correlated_exists()),
+        )
+        .build();
+    assert_execution_modes_agree(&db, &join_q);
+
+    // Sort keyed by a correlated scalar sublink.
+    let sort_q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .sort(vec![
+            SortKey::desc(scalar_sublink(
+                PlanBuilder::scan(&db, "s")
+                    .unwrap()
+                    .select(eq(qcol("s", "g"), qcol("r", "g")))
+                    .aggregate(vec![], vec![count_star("n")])
+                    .build(),
+            )),
+            SortKey::asc(col("a")),
+        ])
+        .limit(5)
+        .build();
+    assert_execution_modes_agree(&db, &sort_q);
+
+    // Set operation over two sublink selections.
+    let left = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(correlated_exists())
+        .project_columns(&["a"])
+        .build();
+    let right = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(not(correlated_exists()))
+        .project_columns(&["a"])
+        .build();
+    let setop_q = PlanBuilder::from_plan(left)
+        .set_op(SetOpKind::Union, true, right)
+        .build();
+    assert_execution_modes_agree(&db, &setop_q);
+}
+
+#[test]
+fn correlated_sublink_in_aggregate_group_and_argument() {
+    let db = test_db();
+    // Group R by g and sum a guard value computed through a correlated
+    // scalar sublink in the aggregate argument.
+    let arg_sub = scalar_sublink(
+        PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(qcol("s", "g"), qcol("r", "g")))
+            .aggregate(vec![], vec![count_star("n")])
+            .build(),
+    );
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .aggregate(vec![ProjectItem::column("g")], vec![sum(arg_sub, "total")])
+        .build();
+    assert_execution_modes_agree(&db, &q);
+}
+
+#[test]
+fn memo_shares_entries_across_equal_bindings_only() {
+    let db = test_db();
+    let sub = PlanBuilder::scan(&db, "s")
+        .unwrap()
+        .select(eq(qcol("s", "g"), qcol("r", "g")))
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .select(exists_sublink(sub))
+        .build();
+    let ex = Executor::new(&db);
+    ex.execute(&q).unwrap();
+    // R has bindings {0, 1, 2, NULL} for g → the 2-operator sublink runs 4
+    // times; scan + select on top.
+    assert_eq!(ex.operators_evaluated(), 2 + 4 * 2);
+}

@@ -5,7 +5,7 @@
 //! nodes carry their schemas.
 
 use crate::ast::{
-    is_aggregate_name, JoinType, Query, Quantifier, SelectItem, SqlBinaryOp, SqlExpr, TableRef,
+    is_aggregate_name, JoinType, Quantifier, Query, SelectItem, SqlBinaryOp, SqlExpr, TableRef,
 };
 use crate::{Result, SqlError};
 use perm_algebra::builder::{
@@ -444,13 +444,13 @@ pub fn bind_expr(db: &Database, expr: &SqlExpr) -> Result<Expr> {
         },
         SqlExpr::Number(text) => {
             if text.contains('.') {
-                lit(text.parse::<f64>().map_err(|_| {
-                    SqlError::Bind(format!("invalid numeric literal `{text}`"))
-                })?)
+                lit(text
+                    .parse::<f64>()
+                    .map_err(|_| SqlError::Bind(format!("invalid numeric literal `{text}`")))?)
             } else {
-                lit(text.parse::<i64>().map_err(|_| {
-                    SqlError::Bind(format!("invalid numeric literal `{text}`"))
-                })?)
+                lit(text
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::Bind(format!("invalid numeric literal `{text}`")))?)
             }
         }
         SqlExpr::StringLit(s) => lit(s.as_str()),
@@ -550,7 +550,11 @@ pub fn bind_expr(db: &Database, expr: &SqlExpr) -> Result<Expr> {
             high,
             negated,
         } => {
-            let b = between(bind_expr(db, expr)?, bind_expr(db, low)?, bind_expr(db, high)?);
+            let b = between(
+                bind_expr(db, expr)?,
+                bind_expr(db, low)?,
+                bind_expr(db, high)?,
+            );
             if *negated {
                 not(b)
             } else {
@@ -688,11 +692,9 @@ mod tests {
 
     #[test]
     fn correlated_exists() {
-        let result =
-            run("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)");
+        let result = run("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)");
         assert_eq!(result.len(), 2);
-        let result =
-            run("SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.c = r.a)");
+        let result = run("SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.c = r.a)");
         assert_eq!(result.len(), 1);
     }
 

@@ -200,7 +200,13 @@ mod tests {
             .collect();
         assert_eq!(
             symbols,
-            vec![Symbol::Le, Symbol::Neq, Symbol::Ge, Symbol::Neq, Symbol::Concat]
+            vec![
+                Symbol::Le,
+                Symbol::Neq,
+                Symbol::Ge,
+                Symbol::Neq,
+                Symbol::Concat
+            ]
         );
     }
 

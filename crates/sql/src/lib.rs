@@ -56,10 +56,7 @@ pub type Result<T> = std::result::Result<T, SqlError>;
 
 /// Convenience: parse a SQL string and bind it against a database, returning
 /// the algebra plan and whether provenance was requested.
-pub fn compile(
-    db: &perm_storage::Database,
-    sql: &str,
-) -> Result<(perm_algebra::Plan, bool)> {
+pub fn compile(db: &perm_storage::Database, sql: &str) -> Result<(perm_algebra::Plan, bool)> {
     let parsed = parse_query(sql)?;
     let provenance = parsed.provenance;
     let bound = bind(db, &parsed)?;

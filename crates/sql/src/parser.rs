@@ -1,9 +1,7 @@
 //! A recursive-descent parser for the supported SQL subset, including the
 //! `SELECT PROVENANCE` extension of the Perm system.
 
-use crate::ast::{
-    JoinType, Query, Quantifier, SelectItem, SqlBinaryOp, SqlExpr, TableRef,
-};
+use crate::ast::{JoinType, Quantifier, Query, SelectItem, SqlBinaryOp, SqlExpr, TableRef};
 use crate::lexer::{tokenize, Symbol, Token};
 use crate::{Result, SqlError};
 
@@ -67,7 +65,10 @@ impl Parser {
         if self.eat_keyword(keyword) {
             Ok(())
         } else {
-            Err(self.error(format!("expected keyword {keyword}, found {:?}", self.peek())))
+            Err(self.error(format!(
+                "expected keyword {keyword}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -172,9 +173,10 @@ impl Parser {
 
         let limit = if self.eat_keyword("limit") {
             match self.advance() {
-                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
-                    self.error(format!("invalid LIMIT value `{n}`"))
-                })?),
+                Some(Token::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| self.error(format!("invalid LIMIT value `{n}`")))?,
+                ),
                 other => return Err(self.error(format!("expected LIMIT count, found {other:?}"))),
             }
         } else {
@@ -201,11 +203,11 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_keyword("as") {
-                    Some(self.parse_identifier()?)
-                } else if matches!(self.peek(), Some(Token::Ident(s))
-                    if !is_clause_keyword(s))
-                {
+                // An alias follows either an explicit AS or directly as a
+                // bare identifier that is not a clause keyword.
+                let has_alias = self.eat_keyword("as")
+                    || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
+                let alias = if has_alias {
                     Some(self.parse_identifier()?)
                 } else {
                     None
@@ -260,9 +262,9 @@ impl Parser {
             });
         }
         let name = self.parse_identifier()?;
-        let alias = if self.eat_keyword("as") {
-            Some(self.parse_identifier()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_table_clause_keyword(s)) {
+        let has_alias = self.eat_keyword("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_table_clause_keyword(s));
+        let alias = if has_alias {
             Some(self.parse_identifier()?)
         } else {
             None
@@ -539,10 +541,8 @@ impl Parser {
                             }
                             // Interval: treat as a plain number of days (the
                             // TPC-H templates only use day intervals).
-                            let days: String = text
-                                .chars()
-                                .take_while(|c| c.is_ascii_digit())
-                                .collect();
+                            let days: String =
+                                text.chars().take_while(|c| c.is_ascii_digit()).collect();
                             self.eat_keyword("day");
                             return Ok(SqlExpr::Number(days));
                         }
@@ -610,15 +610,33 @@ impl Parser {
 fn is_clause_keyword(word: &str) -> bool {
     matches!(
         word.to_ascii_lowercase().as_str(),
-        "from" | "where" | "group" | "having" | "order" | "limit" | "union" | "on" | "join"
-            | "inner" | "left" | "as"
+        "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "union"
+            | "on"
+            | "join"
+            | "inner"
+            | "left"
+            | "as"
     )
 }
 
 fn is_table_clause_keyword(word: &str) -> bool {
     matches!(
         word.to_ascii_lowercase().as_str(),
-        "where" | "group" | "having" | "order" | "limit" | "union" | "on" | "join" | "inner"
+        "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "union"
+            | "on"
+            | "join"
+            | "inner"
             | "left"
     )
 }
@@ -640,9 +658,7 @@ mod tests {
     fn parses_where_with_quantified_comparison() {
         let q = parse_query("SELECT a FROM r WHERE a = ANY (SELECT c FROM s)").unwrap();
         match q.query.where_clause.unwrap() {
-            SqlExpr::Quantified {
-                op, quantifier, ..
-            } => {
+            SqlExpr::Quantified { op, quantifier, .. } => {
                 assert_eq!(op, SqlBinaryOp::Eq);
                 assert_eq!(quantifier, Quantifier::Any);
             }
@@ -656,7 +672,11 @@ mod tests {
             .unwrap();
         let w = q.query.where_clause.unwrap();
         match w {
-            SqlExpr::Binary { op: SqlBinaryOp::And, left, right } => {
+            SqlExpr::Binary {
+                op: SqlBinaryOp::And,
+                left,
+                right,
+            } => {
                 assert!(matches!(*left, SqlExpr::InSubquery { negated: true, .. }));
                 assert!(matches!(*right, SqlExpr::InList { negated: false, .. }));
             }
@@ -696,16 +716,20 @@ mod tests {
 
     #[test]
     fn parses_joins_and_aliases() {
-        let q = parse_query(
-            "SELECT r.a FROM r JOIN s ON r.a = s.c LEFT JOIN t u ON u.x = r.a, v",
-        )
-        .unwrap()
-        .query;
+        let q = parse_query("SELECT r.a FROM r JOIN s ON r.a = s.c LEFT JOIN t u ON u.x = r.a, v")
+            .unwrap()
+            .query;
         assert_eq!(q.from.len(), 2);
         match &q.from[0] {
             TableRef::Join { kind, left, .. } => {
                 assert_eq!(*kind, JoinType::LeftOuter);
-                assert!(matches!(**left, TableRef::Join { kind: JoinType::Inner, .. }));
+                assert!(matches!(
+                    **left,
+                    TableRef::Join {
+                        kind: JoinType::Inner,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -719,7 +743,11 @@ mod tests {
         .unwrap()
         .query;
         match q.where_clause.unwrap() {
-            SqlExpr::Binary { op: SqlBinaryOp::Lt, right, .. } => {
+            SqlExpr::Binary {
+                op: SqlBinaryOp::Lt,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, SqlExpr::ScalarSubquery(_)));
             }
             other => panic!("unexpected {other:?}"),

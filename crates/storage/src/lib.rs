@@ -50,7 +50,10 @@ impl std::fmt::Display for StorageError {
                 write!(f, "relation `{name}` already exists")
             }
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
             }
             StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
         }

@@ -62,6 +62,7 @@ impl Truth {
     }
 
     /// Three-valued logical NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -374,7 +375,10 @@ mod tests {
 
     #[test]
     fn numeric_coercion_in_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Float(3.0).sql_eq(&Value::Int(3)), Truth::True);
     }
 
@@ -415,7 +419,7 @@ mod tests {
 
     #[test]
     fn sort_key_total_order_with_nulls_first() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Int(3),
             Value::Null,
             Value::str("x"),

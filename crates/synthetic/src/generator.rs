@@ -36,13 +36,23 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Generates one synthetic table with schema `(a, b)` qualified by `name`.
-/// Attribute values are Gaussian with the configured mean and a standard
-/// deviation of 100 × the table size, rounded to integers (Section 4.2.2).
+/// Number of distinct values of the low-cardinality correlation attribute
+/// `g`. Correlated sublink workloads (the `q3` query) bind on `g`, so a
+/// memoizing executor runs each sublink at most this many times (plus once
+/// per distinct NULL-free binding absent from the table) however large the
+/// outer relation grows.
+pub const CORRELATION_GROUPS: i64 = 32;
+
+/// Generates one synthetic table with schema `(a, b, g)` qualified by
+/// `name`. `a` and `b` are Gaussian with the configured mean and a standard
+/// deviation of 100 × the table size, rounded to integers (Section 4.2.2);
+/// `g` is uniform over `0..CORRELATION_GROUPS` and parameterises the
+/// correlated-sublink workload.
 pub fn generate_table(name: &str, config: SyntheticConfig) -> Relation {
     let schema = Schema::new(vec![
         Attribute::qualified(name, "a", DataType::Int),
         Attribute::qualified(name, "b", DataType::Int),
+        Attribute::qualified(name, "g", DataType::Int),
     ]);
     let std_dev = 100.0 * config.rows as f64;
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -50,9 +60,11 @@ pub fn generate_table(name: &str, config: SyntheticConfig) -> Relation {
     for _ in 0..config.rows {
         let a = config.mean + standard_normal(&mut rng) * std_dev;
         let b = config.mean + standard_normal(&mut rng) * std_dev;
+        let g = rng.gen_range(0..CORRELATION_GROUPS);
         relation.push_unchecked(Tuple::new(vec![
             Value::Int(a.round() as i64),
             Value::Int(b.round() as i64),
+            Value::Int(g),
         ]));
     }
     relation
@@ -66,7 +78,23 @@ mod tests {
     fn generates_requested_number_of_rows() {
         let r = generate_table("r1", SyntheticConfig::new(250, 7));
         assert_eq!(r.len(), 250);
-        assert_eq!(r.schema().names(), vec!["a", "b"]);
+        assert_eq!(r.schema().names(), vec!["a", "b", "g"]);
+    }
+
+    #[test]
+    fn correlation_attribute_is_low_cardinality() {
+        let r = generate_table("r1", SyntheticConfig::new(1000, 5));
+        let mut groups: Vec<i64> = r
+            .tuples()
+            .iter()
+            .map(|t| t.get(2).as_i64().unwrap())
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        assert!(groups.len() as i64 <= CORRELATION_GROUPS);
+        assert!(groups.iter().all(|g| (0..CORRELATION_GROUPS).contains(g)));
+        // 1000 draws over 32 groups should hit (nearly) all of them.
+        assert!(groups.len() >= 24, "got only {} groups", groups.len());
     }
 
     #[test]
@@ -84,7 +112,11 @@ mod tests {
         // spread of a larger table must be wider.
         let spread = |rows: usize| {
             let r = generate_table("r", SyntheticConfig::new(rows, 11));
-            let values: Vec<i64> = r.tuples().iter().map(|t| t.get(0).as_i64().unwrap()).collect();
+            let values: Vec<i64> = r
+                .tuples()
+                .iter()
+                .map(|t| t.get(0).as_i64().unwrap())
+                .collect();
             (*values.iter().max().unwrap() - *values.iter().min().unwrap()) as f64
         };
         assert!(spread(500) > spread(50));

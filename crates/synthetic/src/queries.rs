@@ -1,19 +1,25 @@
 //! The two parameterised synthetic queries of Section 4.2.2.
 
 use crate::generator::{generate_table, SyntheticConfig};
-use perm_algebra::builder::{all_sublink, any_sublink, between, col, lit, qcol, PlanBuilder};
+use perm_algebra::builder::{
+    all_sublink, and, any_sublink, between, col, eq, exists_sublink, lit, qcol, PlanBuilder,
+};
 use perm_algebra::{CompareOp, Plan};
 use perm_storage::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Which of the two synthetic query shapes to build.
+/// Which of the synthetic query shapes to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryKind {
     /// `q1`: equality `ANY` sublink.
     Q1EqualityAny,
     /// `q2`: inequality `ALL` sublink.
     Q2InequalityAll,
+    /// `q3`: correlated `EXISTS` sublink binding on the low-cardinality
+    /// group attribute `g` — the workload that shows the effect of the
+    /// executor's parameterized sublink memo on a Fig. 7-style sweep.
+    Q3CorrelatedExists,
 }
 
 /// The random range predicates applied to both tables (`range` on `R1.b`,
@@ -56,7 +62,10 @@ pub fn random_range(r1_rows: usize, r2_rows: usize, seed: u64) -> RangeParams {
 /// Builds a database with the two synthetic tables `r1` and `r2`.
 pub fn build_database(r1_rows: usize, r2_rows: usize, seed: u64) -> Database {
     let mut db = Database::new();
-    db.create_or_replace_table("r1", generate_table("r1", SyntheticConfig::new(r1_rows, seed)));
+    db.create_or_replace_table(
+        "r1",
+        generate_table("r1", SyntheticConfig::new(r1_rows, seed)),
+    );
     db.create_or_replace_table(
         "r2",
         generate_table("r2", SyntheticConfig::new(r2_rows, seed.wrapping_add(1))),
@@ -74,8 +83,34 @@ pub fn query_q2(db: &Database, params: RangeParams) -> Plan {
     build_query(db, params, QueryKind::Q2InequalityAll)
 }
 
-/// Builds either synthetic query.
+/// `q3 = σ_{EXISTS(σ_{range2 ∧ g = R1.g}(R2))}(R1)`.
+///
+/// Unlike `q1`/`q2` there is no range predicate on the outer relation: the
+/// point of `q3` is that a naive executor evaluates the correlated sublink
+/// once per outer tuple (cost ∝ |R1|), while a memoizing executor evaluates
+/// it once per distinct `g` binding (cost ∝ min(|R1|,
+/// [`crate::generator::CORRELATION_GROUPS`])).
+pub fn query_q3(db: &Database, params: RangeParams) -> Plan {
+    build_query(db, params, QueryKind::Q3CorrelatedExists)
+}
+
+/// Builds one of the synthetic queries.
 pub fn build_query(db: &Database, params: RangeParams, kind: QueryKind) -> Plan {
+    if kind == QueryKind::Q3CorrelatedExists {
+        // The sublink is *correlated*: it binds R1's group attribute, so
+        // only Gen (and the memoizing executor) can exploit it.
+        let sublink_query = PlanBuilder::scan(db, "r2")
+            .expect("r2 must exist")
+            .select(and(
+                between(qcol("r2", "b"), lit(params.r2_low), lit(params.r2_high)),
+                eq(qcol("r2", "g"), qcol("r1", "g")),
+            ))
+            .build();
+        return PlanBuilder::scan(db, "r1")
+            .expect("r1 must exist")
+            .select(exists_sublink(sublink_query))
+            .build();
+    }
     let sublink_query = PlanBuilder::scan(db, "r2")
         .expect("r2 must exist")
         .select(between(
@@ -88,6 +123,7 @@ pub fn build_query(db: &Database, params: RangeParams, kind: QueryKind) -> Plan 
     let sublink = match kind {
         QueryKind::Q1EqualityAny => any_sublink(qcol("r1", "a"), CompareOp::Eq, sublink_query),
         QueryKind::Q2InequalityAll => all_sublink(qcol("r1", "a"), CompareOp::Lt, sublink_query),
+        QueryKind::Q3CorrelatedExists => unreachable!("handled above"),
     };
     let range = between(qcol("r1", "b"), lit(params.r1_low), lit(params.r1_high));
     // The range predicate and the sublink are applied as two stacked
@@ -119,9 +155,11 @@ mod tests {
         let params = random_range(200, 100, 5);
         let q1 = query_q1(&db, params);
         let q2 = query_q2(&db, params);
+        let q3 = query_q3(&db, params);
         let executor = Executor::new(&db);
         executor.execute(&q1).unwrap();
         executor.execute(&q2).unwrap();
+        executor.execute(&q3).unwrap();
 
         let q1_strategies = ProvenanceQuery::new(&db, &q1).applicable_strategies();
         assert_eq!(
@@ -132,6 +170,31 @@ mod tests {
         assert_eq!(
             q2_strategies,
             vec![Strategy::Gen, Strategy::Left, Strategy::Move]
+        );
+        // q3's sublink is correlated, so only Gen applies.
+        let q3_strategies = ProvenanceQuery::new(&db, &q3).applicable_strategies();
+        assert_eq!(q3_strategies, vec![Strategy::Gen]);
+    }
+
+    #[test]
+    fn q3_memoization_bends_the_operator_count() {
+        let db = build_database(400, 200, 9);
+        let params = random_range(400, 200, 5);
+        let q3 = query_q3(&db, params);
+
+        let memoized = Executor::new(&db);
+        let with_memo = memoized.execute(&q3).unwrap();
+        let ops_on = memoized.operators_evaluated();
+
+        let unmemoized = Executor::new(&db).with_sublink_memo(false);
+        let without_memo = unmemoized.execute(&q3).unwrap();
+        let ops_off = unmemoized.operators_evaluated();
+
+        assert!(with_memo.bag_eq(&without_memo));
+        // 400 outer tuples bind at most CORRELATION_GROUPS distinct values.
+        assert!(
+            ops_off >= 5 * ops_on,
+            "expected ≥5× fewer operator evaluations with the memo: {ops_on} on vs {ops_off} off"
         );
     }
 

@@ -95,7 +95,13 @@ const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED
 const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const SHIP_INSTRUCTIONS: [&str; 4] = [
@@ -105,13 +111,40 @@ const SHIP_INSTRUCTIONS: [&str; 4] = [
     "TAKE BACK RETURN",
 ];
 const NAME_WORDS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
-    "cyan", "forest", "frosted",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "forest",
+    "frosted",
 ];
 const COMMENT_WORDS: [&str; 12] = [
-    "carefully", "quickly", "final", "special", "pending", "regular", "express", "ironic", "bold",
-    "silent", "even", "furious",
+    "carefully",
+    "quickly",
+    "final",
+    "special",
+    "pending",
+    "regular",
+    "express",
+    "ironic",
+    "bold",
+    "silent",
+    "even",
+    "furious",
 ];
 
 /// Generates a complete TPC-H style database at the given scale with a fixed
@@ -150,14 +183,22 @@ pub fn generate(scale: TpchScale, seed: u64) -> Database {
         // A small fraction of suppliers carry the "Customer Complaints"
         // comment pattern that Q16 filters out.
         let s_comment = if rng.gen_bool(0.05) {
-            format!("{} Customer stuff Complaints {}", word(&mut rng), word(&mut rng))
+            format!(
+                "{} Customer stuff Complaints {}",
+                word(&mut rng),
+                word(&mut rng)
+            )
         } else {
             comment(&mut rng)
         };
         supplier.push_unchecked(Tuple::new(vec![
             Value::Int(key as i64),
             Value::str(format!("Supplier#{key:09}")),
-            Value::str(format!("{} street {}", word(&mut rng), rng.gen_range(1..100))),
+            Value::str(format!(
+                "{} street {}",
+                word(&mut rng),
+                rng.gen_range(1..100)
+            )),
             Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
             Value::str(phone(&mut rng)),
             Value::Float(round2(rng.gen_range(-999.99..9999.99))),
@@ -198,7 +239,9 @@ pub fn generate(scale: TpchScale, seed: u64) -> Database {
                 CONTAINER_1[rng.gen_range(0..CONTAINER_1.len())],
                 CONTAINER_2[rng.gen_range(0..CONTAINER_2.len())]
             )),
-            Value::Float(round2(900.0 + (key % 200) as f64 + rng.gen_range(0.0..100.0))),
+            Value::Float(round2(
+                900.0 + (key % 200) as f64 + rng.gen_range(0.0..100.0),
+            )),
             Value::str(comment(&mut rng)),
         ]));
     }
@@ -227,7 +270,11 @@ pub fn generate(scale: TpchScale, seed: u64) -> Database {
         customer.push_unchecked(Tuple::new(vec![
             Value::Int(key as i64),
             Value::str(format!("Customer#{key:09}")),
-            Value::str(format!("{} avenue {}", word(&mut rng), rng.gen_range(1..100))),
+            Value::str(format!(
+                "{} avenue {}",
+                word(&mut rng),
+                rng.gen_range(1..100)
+            )),
             Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
             Value::str(phone(&mut rng)),
             Value::Float(round2(rng.gen_range(-999.99..9999.99))),

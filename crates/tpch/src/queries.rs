@@ -108,14 +108,21 @@ const NATIONS: [&str; 8] = [
 const METALS: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const TYPE_PREFIX: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_MIDDLE: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
-const CONTAINERS: [&str; 6] = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG", "LG CAN"];
+const CONTAINERS: [&str; 6] = [
+    "SM CASE",
+    "LG BOX",
+    "MED BAG",
+    "JUMBO JAR",
+    "WRAP PKG",
+    "LG CAN",
+];
 const COLORS: [&str; 8] = [
     "forest", "almond", "azure", "blue", "brown", "cyan", "coral", "cream",
 ];
 
 fn year_quarter_date(rng: &mut StdRng) -> String {
     let year = rng.gen_range(1993..1998);
-    let month = [1, 4, 7, 10][rng.gen_range(0..4)];
+    let month = [1, 4, 7, 10][rng.gen_range(0..4usize)];
     format!("{year}-{month:02}-01")
 }
 
@@ -190,7 +197,9 @@ fn instantiate(id: u32, rng: &mut StdRng) -> String {
                 TYPE_PREFIX[rng.gen_range(0..TYPE_PREFIX.len())],
                 TYPE_MIDDLE[rng.gen_range(0..TYPE_MIDDLE.len())]
             );
-            let sizes: Vec<String> = (0..8).map(|_| rng.gen_range(1..51).to_string()).collect();
+            let sizes: Vec<String> = (0..8)
+                .map(|_| rng.gen_range(1..51i32).to_string())
+                .collect();
             format!(
                 "SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt \
                  FROM partsupp, part \
@@ -262,7 +271,7 @@ fn instantiate(id: u32, rng: &mut StdRng) -> String {
         22 => {
             let mut codes: Vec<String> = Vec::new();
             while codes.len() < 7 {
-                let code = rng.gen_range(10..35).to_string();
+                let code = rng.gen_range(10..35i32).to_string();
                 if !codes.contains(&code) {
                     codes.push(code);
                 }
@@ -297,10 +306,7 @@ mod tests {
 
     #[test]
     fn templates_cover_the_nine_plus_one_sublink_queries() {
-        assert_eq!(
-            query_ids(),
-            vec![2, 4, 11, 15, 16, 17, 18, 20, 21, 22]
-        );
+        assert_eq!(query_ids(), vec![2, 4, 11, 15, 16, 17, 18, 20, 21, 22]);
         let uncorrelated: Vec<u32> = sublink_queries()
             .iter()
             .filter(|q| q.class == SublinkClass::Uncorrelated)
@@ -342,16 +348,30 @@ mod tests {
             let gen = ProvenanceQuery::new(&db, &plan)
                 .strategy(Strategy::Gen)
                 .rewrite();
-            assert!(gen.is_ok(), "Gen must rewrite Q{}: {:?}", template.id, gen.err());
+            assert!(
+                gen.is_ok(),
+                "Gen must rewrite Q{}: {:?}",
+                template.id,
+                gen.err()
+            );
             let left = ProvenanceQuery::new(&db, &plan)
                 .strategy(Strategy::Left)
                 .rewrite();
             match template.class {
                 SublinkClass::Uncorrelated => {
-                    assert!(left.is_ok(), "Left must rewrite Q{}: {:?}", template.id, left.err())
+                    assert!(
+                        left.is_ok(),
+                        "Left must rewrite Q{}: {:?}",
+                        template.id,
+                        left.err()
+                    )
                 }
                 SublinkClass::Correlated => {
-                    assert!(left.is_err(), "Left must reject the correlated Q{}", template.id)
+                    assert!(
+                        left.is_err(),
+                        "Left must reject the correlated Q{}",
+                        template.id
+                    )
                 }
             }
         }

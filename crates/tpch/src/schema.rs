@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn attributes_are_qualified_with_the_table_name() {
-        assert_eq!(lineitem().resolve(Some("lineitem"), "l_orderkey").unwrap(), 0);
+        assert_eq!(
+            lineitem().resolve(Some("lineitem"), "l_orderkey").unwrap(),
+            0
+        );
         assert!(lineitem().resolve(Some("orders"), "l_orderkey").is_err());
     }
 }

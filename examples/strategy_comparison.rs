@@ -28,7 +28,9 @@ fn main() {
             let plan = build_query(&db, params, kind);
             print!("  {name:<14}");
             for strategy in Strategy::ALL {
-                let rewritten = match ProvenanceQuery::new(&db, &plan).strategy(strategy).rewrite()
+                let rewritten = match ProvenanceQuery::new(&db, &plan)
+                    .strategy(strategy)
+                    .rewrite()
                 {
                     Ok(r) => r,
                     Err(_) => {
@@ -58,8 +60,14 @@ fn main() {
     let plan = build_query(&db, params, QueryKind::Q1EqualityAny);
     println!("original q1 plan:\n{}", explain(&plan));
     for strategy in [Strategy::Unn, Strategy::Move, Strategy::Gen] {
-        if let Ok(rewritten) = ProvenanceQuery::new(&db, &plan).strategy(strategy).rewrite() {
-            println!("q1 rewritten with {strategy}:\n{}", explain(rewritten.plan()));
+        if let Ok(rewritten) = ProvenanceQuery::new(&db, &plan)
+            .strategy(strategy)
+            .rewrite()
+        {
+            println!(
+                "q1 rewritten with {strategy}:\n{}",
+                explain(rewritten.plan())
+            );
         }
     }
 }

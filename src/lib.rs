@@ -139,6 +139,8 @@ pub fn provenance_of_plan(
     plan: &perm_algebra::Plan,
     strategy: Strategy,
 ) -> Result<Relation, PermError> {
-    let rewritten = ProvenanceQuery::new(db, plan).strategy(strategy).rewrite()?;
+    let rewritten = ProvenanceQuery::new(db, plan)
+        .strategy(strategy)
+        .rewrite()?;
     Ok(Executor::new(db).execute(rewritten.plan())?)
 }

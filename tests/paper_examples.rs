@@ -41,7 +41,10 @@ fn figure3_db() -> Database {
 }
 
 fn rows(rel: &Relation) -> Vec<Vec<Value>> {
-    rel.sorted_tuples().into_iter().map(Tuple::into_values).collect()
+    rel.sorted_tuples()
+        .into_iter()
+        .map(Tuple::into_values)
+        .collect()
 }
 
 #[test]
@@ -59,8 +62,14 @@ fn figure3_q1_provenance() {
     assert_eq!(
         rows(&result),
         vec![
-            vec![1, 1, 1, 1, 1, 3].into_iter().map(Value::Int).collect::<Vec<_>>(),
-            vec![2, 1, 2, 1, 2, 4].into_iter().map(Value::Int).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1, 1, 3]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>(),
+            vec![2, 1, 2, 1, 2, 4]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>(),
         ]
     );
 }
@@ -153,9 +162,18 @@ fn section_2_5_multi_sublink_query_has_unique_definition2_provenance() {
     assert_eq!(result.len(), 1);
     let row = &result.tuples()[0];
     let schema = result.schema();
-    assert_eq!(row.get(schema.resolve(None, "prov_u_a").unwrap()), &Value::Int(5));
-    assert_eq!(row.get(schema.resolve(None, "prov_rnum_b").unwrap()), &Value::Int(5));
-    assert_eq!(row.get(schema.resolve(None, "prov_snum_c").unwrap()), &Value::Int(5));
+    assert_eq!(
+        row.get(schema.resolve(None, "prov_u_a").unwrap()),
+        &Value::Int(5)
+    );
+    assert_eq!(
+        row.get(schema.resolve(None, "prov_rnum_b").unwrap()),
+        &Value::Int(5)
+    );
+    assert_eq!(
+        row.get(schema.resolve(None, "prov_snum_c").unwrap()),
+        &Value::Int(5)
+    );
 
     // The Left and Move strategies (the sublinks are uncorrelated) and the
     // tracer agree.
@@ -190,12 +208,8 @@ fn section_3_1_example_qex_provenance_representation() {
         ),
     )
     .unwrap();
-    let result = provenance_of_sql(
-        &db,
-        "SELECT a, c FROM rx, sx WHERE a < c",
-        Strategy::Gen,
-    )
-    .unwrap();
+    let result =
+        provenance_of_sql(&db, "SELECT a, c FROM rx, sx WHERE a < c", Strategy::Gen).unwrap();
     assert_eq!(
         result.schema().names(),
         vec!["a", "c", "prov_rx_a", "prov_rx_b", "prov_sx_c"]
@@ -228,8 +242,10 @@ fn tracer_and_rewrites_agree_on_every_figure3_query() {
             // Compare as sets of named rows (column order may differ).
             let names = traced.schema().names();
             let project = |rel: &Relation| -> Vec<Vec<Value>> {
-                let positions: Vec<usize> =
-                    names.iter().map(|n| rel.schema().resolve(None, n).unwrap()).collect();
+                let positions: Vec<usize> = names
+                    .iter()
+                    .map(|n| rel.schema().resolve(None, n).unwrap())
+                    .collect();
                 let mut out: Vec<Vec<Value>> = rel
                     .tuples()
                     .iter()
@@ -239,7 +255,11 @@ fn tracer_and_rewrites_agree_on_every_figure3_query() {
                 out.dedup_by(|x, y| Tuple::new(x.clone()).null_safe_eq(&Tuple::new(y.clone())));
                 out
             };
-            assert_eq!(project(&result), project(&traced), "{strategy} vs tracer on {sql}");
+            assert_eq!(
+                project(&result),
+                project(&traced),
+                "{strategy} vs tracer on {sql}"
+            );
         }
     }
 }

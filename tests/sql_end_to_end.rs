@@ -43,7 +43,12 @@ fn provenance_keyword_triggers_the_rewrite() {
     let prov = perm::run_sql(&db, "SELECT PROVENANCE name FROM items WHERE price > 100").unwrap();
     assert_eq!(
         prov.schema().names(),
-        vec!["name", "prov_items_id", "prov_items_name", "prov_items_price"]
+        vec![
+            "name",
+            "prov_items_id",
+            "prov_items_name",
+            "prov_items_price"
+        ]
     );
     assert_eq!(plain.len(), prov.len());
 }
@@ -90,7 +95,12 @@ fn strategies_agree_through_the_sql_interface() {
     let db = shop_db();
     let sql = "SELECT name FROM items WHERE id IN (SELECT item_id FROM orders WHERE qty > 1)";
     let reference = provenance_of_sql(&db, sql, Strategy::Gen).unwrap();
-    for strategy in [Strategy::Left, Strategy::Move, Strategy::Unn, Strategy::Auto] {
+    for strategy in [
+        Strategy::Left,
+        Strategy::Move,
+        Strategy::Unn,
+        Strategy::Auto,
+    ] {
         let result = provenance_of_sql(&db, sql, strategy).unwrap();
         assert!(
             result.set_eq(&reference),

@@ -86,10 +86,7 @@ fn every_template_preserves_the_original_result_under_rewriting() {
 fn expensive_correlated_rewrites_are_well_formed() {
     let db = tiny_db();
     for id in [2u32, 17, 20, 21] {
-        let template = sublink_queries()
-            .into_iter()
-            .find(|t| t.id == id)
-            .unwrap();
+        let template = sublink_queries().into_iter().find(|t| t.id == id).unwrap();
         let sql = template.instantiate(5);
         let (plan, _) = perm_sql::compile(&db, &sql).unwrap();
         let rewritten = ProvenanceQuery::new(&db, &plan)
