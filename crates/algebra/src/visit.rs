@@ -70,6 +70,24 @@ fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
         _ => unreachable!("operators have at most two children"),
     };
 
+    for expr in plan.expressions() {
+        free_expr_columns_into(expr, &scope, out);
+    }
+    for child in plan.children() {
+        free_columns_into(child, out);
+    }
+}
+
+/// Reports the column references of `expr` that `scope` cannot resolve.
+///
+/// A sublink contributes two kinds of references, both checked against
+/// `scope`: the free columns escaping its *plan* (ordinary correlation —
+/// only references not resolvable here escape further outwards), and the
+/// references in its *test expression*, which belongs to the scope of the
+/// operator containing the sublink, not to the sublink plan's scope.
+/// [`Expr::walk`] treats sublinks as leaves, so the test expression (which
+/// may itself contain sublinks) is descended into explicitly.
+fn free_expr_columns_into(expr: &Expr, scope: &Schema, out: &mut Vec<(Option<String>, String)>) {
     let check =
         |qualifier: &Option<String>, name: &str, out: &mut Vec<(Option<String>, String)>| {
             let resolvable = scope
@@ -82,23 +100,22 @@ fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
             }
         };
 
-    for expr in plan.expressions() {
-        expr.walk(&mut |e| match e {
-            Expr::Column { qualifier, name } => check(qualifier, name, out),
-            Expr::Sublink { plan: sub, .. } => {
-                // Free columns of the sublink may be bound by this operator's
-                // scope (ordinary correlation); only references that are not
-                // resolvable here escape further outwards.
-                for (q, n) in free_columns(sub) {
-                    check(&q, &n, out);
-                }
+    expr.walk(&mut |e| match e {
+        Expr::Column { qualifier, name } => check(qualifier, name, out),
+        Expr::Sublink {
+            test_expr,
+            plan: sub,
+            ..
+        } => {
+            if let Some(test) = test_expr {
+                free_expr_columns_into(test, scope, out);
             }
-            _ => {}
-        });
-    }
-    for child in plan.children() {
-        free_columns_into(child, out);
-    }
+            for (q, n) in free_columns(sub) {
+                check(&q, &n, out);
+            }
+        }
+        _ => {}
+    });
 }
 
 /// The *set* of free correlated column references of `plan`: the distinct
@@ -283,6 +300,42 @@ mod tests {
             free_correlated_columns(&middle),
             vec![(Some("r".to_string()), "a".to_string())]
         );
+    }
+
+    #[test]
+    fn correlation_through_nested_test_expr_is_detected() {
+        let db = db();
+        // σ_{r.a = ANY(Π_c(S))}(S as s2): the *only* outer reference is the
+        // test expression of the nested ANY sublink — the sublink plan
+        // itself is closed. Used as a sublink query, this plan is correlated
+        // on `r.a` and must report it, or the executor would memoize it as
+        // uncorrelated and reuse one outer tuple's result for all bindings.
+        let inner = PlanBuilder::scan(&db, "s").unwrap().build();
+        let middle = PlanBuilder::scan_as(&db, "s", Some("s2"))
+            .unwrap()
+            .select(any_sublink(qcol("r", "a"), CompareOp::Eq, inner))
+            .build();
+        assert!(is_correlated(&middle));
+        assert_eq!(
+            free_correlated_columns(&middle),
+            vec![(Some("r".to_string()), "a".to_string())]
+        );
+
+        // The same reference resolves once the plan is embedded under a
+        // query over R, so the whole query is closed.
+        let sub = PlanBuilder::scan_as(&db, "s", Some("s3"))
+            .unwrap()
+            .select(any_sublink(
+                qcol("r", "a"),
+                CompareOp::Eq,
+                PlanBuilder::scan(&db, "s").unwrap().build(),
+            ))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+        assert!(!is_correlated(&q));
     }
 
     #[test]

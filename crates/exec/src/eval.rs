@@ -281,6 +281,29 @@ pub(crate) fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
+    // Same-type integer arithmetic is exact: the f64 route below is lossy
+    // above 2⁵³ (`Int(2⁵³) + 1` would round back to 2⁵³, making `a + 1 = a`
+    // TRUE under the engine's exact equality). Everything the checked ops
+    // decline — overflow, `/` with a fractional quotient, zero divisors —
+    // falls through to the float route and its error handling.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        let exact = match op {
+            BinaryOp::Add => a.checked_add(*b),
+            BinaryOp::Sub => a.checked_sub(*b),
+            BinaryOp::Mul => a.checked_mul(*b),
+            // Division keeps its fractional float result (`7 / 2` is 3.5 in
+            // this engine); only an integral quotient is exact here.
+            BinaryOp::Div => match a.checked_rem(*b) {
+                Some(0) => a.checked_div(*b),
+                _ => None,
+            },
+            BinaryOp::Mod => a.checked_rem(*b),
+            _ => None,
+        };
+        if let Some(i) = exact {
+            return Ok(Value::Int(i));
+        }
+    }
     let (lf, rf) = match (l.as_f64(), r.as_f64()) {
         (Some(a), Some(b)) => (a, b),
         _ => {
@@ -314,7 +337,10 @@ pub(crate) fn arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     };
     if date_result {
         Ok(Value::Date(result as i32))
-    } else if both_int && result.fract() == 0.0 {
+    } else if both_int && result.fract() == 0.0 && result.abs() < 9_223_372_036_854_775_808.0 {
+        // Int/Int pairs only reach here past the exact path above, i.e. on
+        // overflow or an inexact division; the range guard keeps overflowed
+        // results as (approximate) floats instead of saturating the cast.
         Ok(Value::Int(result as i64))
     } else {
         Ok(Value::Float(result))
@@ -397,6 +423,45 @@ mod tests {
             )
             .unwrap();
         assert!(v.is_null());
+    }
+
+    #[test]
+    fn int_arithmetic_is_exact_above_two_pow_53() {
+        const TWO_53: i64 = 1 << 53;
+        let assert_int = |op: BinaryOp, a: i64, b: i64, expect: i64| match arithmetic(
+            op,
+            &Value::Int(a),
+            &Value::Int(b),
+        )
+        .unwrap()
+        {
+            Value::Int(i) => assert_eq!(i, expect, "{a} {op} {b}"),
+            other => panic!("{a} {op} {b}: expected Int, got {other:?}"),
+        };
+        // The f64 route would round 2⁵³ + 1 back to 2⁵³, making a + 1 = a.
+        assert_int(BinaryOp::Add, TWO_53, 1, TWO_53 + 1);
+        assert_int(BinaryOp::Sub, TWO_53 + 2, 1, TWO_53 + 1);
+        assert_int(BinaryOp::Mul, TWO_53 + 1, 1, TWO_53 + 1);
+        assert_int(BinaryOp::Mod, TWO_53 + 1, TWO_53, 1);
+        // Integral quotients stay exact integers; fractional ones stay
+        // floats.
+        assert_int(BinaryOp::Div, 2 * (TWO_53 + 1), 2, TWO_53 + 1);
+        assert_eq!(
+            arithmetic(BinaryOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        // Overflow falls back to an approximate float instead of saturating
+        // an integer cast.
+        match arithmetic(BinaryOp::Add, &Value::Int(i64::MAX), &Value::Int(i64::MAX)).unwrap() {
+            Value::Float(f) => assert_eq!(f, 2.0 * i64::MAX as f64),
+            other => panic!("expected float on overflow, got {other:?}"),
+        }
+        assert!(matches!(
+            arithmetic(BinaryOp::Mod, &Value::Int(1), &Value::Int(0)),
+            Err(ExecError::DivisionByZero)
+        ));
+        // i64::MIN % -1 overflows checked_rem but is mathematically 0.
+        assert_int(BinaryOp::Mod, i64::MIN, -1, 0);
     }
 
     #[test]

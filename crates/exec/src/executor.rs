@@ -559,15 +559,22 @@ fn flatten_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
 ///   bucket, because only bucket-mates are rechecked against the full join
 ///   condition.
 ///
-/// This is why `Int`, `Float`, `Date` **and `Bool`** share one tag with an
-/// `f64` encoding: [`Value::null_safe_eq`] coerces all four numerically
-/// (`Date(3) = Int(3)` and `Bool(true) = Int(1)` are both TRUE — `strict_eq`
-/// falls through to `as_f64` for every mixed pair), so giving any of them
-/// its own tag would make the encoding *finer* than the engine's equality
-/// and silently drop cross-type join matches. The regression tests below pin
-/// this down. `-0.0` is normalised to `0.0` before taking bits for the same
-/// reason. (NaN never reaches a key: arithmetic errors out on division by
-/// zero instead of producing one.)
+/// This is why `Int`, `Float`, `Date` **and `Bool`** share one *canonical
+/// numeric* encoding: [`Value::null_safe_eq`] coerces all four numerically
+/// (`Date(3) = Int(3)` and `Bool(true) = Int(1)` are both TRUE), so giving
+/// any of them its own tag would make the encoding *finer* than the
+/// engine's equality and silently drop cross-type join matches. The
+/// canonical form is the value's [`Value::exact_int`] — the exact `i64` it
+/// denotes — whenever it denotes one (that covers `Int`, `Date`, `Bool`,
+/// integral in-range `Float`s, and in particular `±0.0`, which both denote
+/// 0); only fractional or out-of-`i64`-range floats, which can never equal
+/// an integer-valued value, fall back to raw `f64` bits under a separate
+/// tag. Encoding integers exactly instead of through `as_f64` matters above
+/// 2⁵³, where the `f64` view is lossy and would merge distinct GROUP BY
+/// groups such as `Int(2⁵³)` and `Int(2⁵³ + 1)` — grouping uses the key as
+/// the equality itself, with no recheck. The regression tests below pin
+/// both directions down. (NaN never reaches a key: arithmetic errors out on
+/// division by zero instead of producing one.)
 pub(crate) fn encode_key(values: &[Value]) -> Vec<u8> {
     encode_key_impl(values, false)
 }
@@ -606,11 +613,20 @@ fn encode_key_impl(values: &[Value], typed: bool) -> Vec<u8> {
                 out.extend_from_slice(&d.to_le_bytes());
             }
             Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Date(_) => {
-                out.push(2);
-                let f = v.as_f64().unwrap_or(0.0);
-                // +0.0 and -0.0 compare equal but differ in bits.
-                let f = if f == 0.0 { 0.0 } else { f };
-                out.extend_from_slice(&f.to_bits().to_le_bytes());
+                // Canonical numeric form, see the invariant above: one exact
+                // integer encoding for everything integer-valued, raw float
+                // bits for the rest.
+                match v.exact_int() {
+                    Some(i) => {
+                        out.push(2);
+                        out.extend_from_slice(&i.to_le_bytes());
+                    }
+                    None => {
+                        let f = v.as_f64().unwrap_or(0.0);
+                        out.push(7);
+                        out.extend_from_slice(&f.to_bits().to_le_bytes());
+                    }
+                }
             }
             Value::Str(s) => {
                 out.push(3);
@@ -1031,10 +1047,12 @@ mod tests {
     /// `null_safe_eq` (see the invariant on [`encode_key`]). The engine's
     /// equality coerces `Date` numerically, so a `Date`/`Int` hash join must
     /// find its matches and a `Date`/`Int` group-by must merge its groups —
-    /// this is exactly why `Date` shares the numeric tag instead of getting
-    /// its own.
+    /// this is exactly why all numerics share one canonical encoding instead
+    /// of per-type tags — while distinct integers above 2⁵³ must *keep*
+    /// distinct keys even though their `f64` views collide.
     #[test]
     fn encode_key_coincides_with_null_safe_eq() {
+        const TWO_53: i64 = 1 << 53;
         let same = [
             (Value::Int(3), Value::Float(3.0)),
             (Value::Int(3), Value::Date(3)),
@@ -1042,6 +1060,8 @@ mod tests {
             (Value::Float(0.0), Value::Float(-0.0)),
             (Value::Bool(true), Value::Int(1)),
             (Value::Bool(false), Value::Float(0.0)),
+            (Value::Int(TWO_53), Value::Float(TWO_53 as f64)),
+            (Value::Float(0.5), Value::Float(0.5)),
             (Value::Null, Value::Null),
         ];
         for (a, b) in same {
@@ -1059,6 +1079,14 @@ mod tests {
             (Value::Date(3), Value::Date(4)),
             (Value::Bool(true), Value::Int(0)),
             (Value::Bool(true), Value::Bool(false)),
+            // Above 2⁵³ the f64 view of an i64 is lossy: these pairs agree
+            // in `as_f64` but denote distinct integers, and must keep
+            // distinct keys (a shared key would merge their GROUP BY
+            // groups, which use the key as the equality with no recheck).
+            (Value::Int(TWO_53), Value::Int(TWO_53 + 1)),
+            (Value::Int(TWO_53 + 1), Value::Float(TWO_53 as f64)),
+            (Value::Int(i64::MAX), Value::Float(TWO_53 as f64 * 1024.0)),
+            (Value::Int(3), Value::Float(3.5)),
         ];
         for (a, b) in different {
             assert!(!a.null_safe_eq(&b), "{a:?} vs {b:?}");
@@ -1067,6 +1095,46 @@ mod tests {
                 encode_key(std::slice::from_ref(&b)),
                 "{a:?} vs {b:?} must not share a key"
             );
+        }
+    }
+
+    #[test]
+    fn group_by_keeps_large_ints_distinct() {
+        // Int(2⁵³) and Int(2⁵³ + 1) share an f64 view but are distinct
+        // values; a lossy grouping key would merge their groups.
+        const TWO_53: i64 = 1 << 53;
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Relation::from_rows(
+                Schema::new(vec![Attribute::qualified("t", "x", DataType::Int)]),
+                vec![
+                    vec![Value::Int(TWO_53)],
+                    vec![Value::Int(TWO_53 + 1)],
+                    vec![Value::Int(TWO_53)],
+                ],
+            ),
+        )
+        .unwrap();
+        let q = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .aggregate(vec![ProjectItem::column("x")], vec![count_star("n")])
+            .build();
+        for result in [
+            Executor::new(&db).execute(&q).unwrap(),
+            Executor::new(&db).execute_unoptimized(&q).unwrap(),
+        ] {
+            assert_eq!(result.len(), 2);
+            let mut groups: Vec<(i64, i64)> = result
+                .tuples()
+                .iter()
+                .map(|t| match (t.get(0), t.get(1)) {
+                    (Value::Int(x), Value::Int(n)) => (*x, *n),
+                    other => panic!("unexpected group row {other:?}"),
+                })
+                .collect();
+            groups.sort_unstable();
+            assert_eq!(groups, vec![(TWO_53, 2), (TWO_53 + 1, 1)]);
         }
     }
 

@@ -271,6 +271,45 @@ fn nested_correlated_sublinks() {
 }
 
 #[test]
+fn correlation_only_through_nested_test_expr() {
+    let db = test_db();
+    // Π_{(r.a = ANY(Π_d(S)))}(U limit 1) used as a scalar sublink: the
+    // sublink plan's *only* outer reference is the test expression of the
+    // nested ANY sublink — the ANY's own plan is closed. The correlation
+    // analysis must see through the nested test expression, or the memo
+    // treats the sublink as uncorrelated and reuses the first outer tuple's
+    // result for every binding.
+    let inner_any = any_sublink(
+        qcol("r", "a"),
+        CompareOp::Eq,
+        PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .project_columns(&["d"])
+            .build(),
+    );
+    let sub = PlanBuilder::scan(&db, "u")
+        .unwrap()
+        .limit(1)
+        .project(vec![ProjectItem::new(inner_any, "hit")])
+        .build();
+    let q = PlanBuilder::scan(&db, "r")
+        .unwrap()
+        .project(vec![
+            ProjectItem::column("a"),
+            ProjectItem::new(scalar_sublink(sub), "hit"),
+        ])
+        .build();
+    assert_execution_modes_agree(&db, &q);
+
+    // Pin the actual values: S.d holds {0, 1}, so only a = 0 and a = 1 hit —
+    // the result must vary across outer tuples, not repeat the first one.
+    let result = Executor::new(&db).execute(&q).unwrap();
+    let hits: Vec<Value> = result.tuples().iter().map(|t| t.get(1).clone()).collect();
+    let expected: Vec<Value> = (0..12).map(|i| Value::Bool(i < 2)).collect();
+    assert_eq!(hits, expected);
+}
+
+#[test]
 fn correlated_sublink_under_joins_sorts_and_set_ops() {
     let db = test_db();
     let correlated_exists = || {

@@ -171,13 +171,25 @@ impl Value {
     }
 
     /// Equality on non-NULL values with numeric coercion between `Int`,
-    /// `Float` and `Date`.
+    /// `Float` and `Date`: mixed numeric values are equal exactly when they
+    /// denote the same mathematical number.
+    ///
+    /// Mixed `Int`/`Float` pairs are compared exactly rather than through
+    /// [`Value::as_f64`]: above 2⁵³ the `f64` view of an `i64` is lossy, and
+    /// comparing through it would equate mathematically distinct values
+    /// (`Int(2⁵³ + 1)` vs `Float(2⁵³)`), making equality non-transitive —
+    /// `Int(2⁵³) ≠ Int(2⁵³ + 1)` while both would equal `Float(2⁵³)` — which
+    /// no hash key could represent. The remaining mixed pairs involve only
+    /// `Date` (`i32`) and `Bool` (0/1), whose `f64` views are exact.
     fn strict_eq(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                int_eq_float(*a, *b)
+            }
             _ => match (self.as_f64(), other.as_f64()) {
                 (Some(a), Some(b)) => a == b,
                 _ => false,
@@ -194,6 +206,12 @@ impl Value {
         match (self, other) {
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            // Integer comparisons order exactly; the f64 view below is lossy
+            // above 2⁵³ and would call distinct large values equal,
+            // contradicting `sql_eq` (all of `<`, `=`, `>` would be FALSE).
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Float(b)) => int_cmp_float(*a, *b),
+            (Value::Float(a), Value::Int(b)) => int_cmp_float(*b, *a).map(Ordering::reverse),
             _ => {
                 let a = self.as_f64()?;
                 let b = other.as_f64()?;
@@ -222,11 +240,28 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            _ => {
-                let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
-                let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
-                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
-            }
+            // Numeric values order by mathematical value, exactly — through
+            // [`Value::exact_int`] where both sides denote integers (the f64
+            // view is lossy above 2⁵³ and would interleave distinct large
+            // integers as "equal", i.e. arbitrarily, under ORDER BY).
+            _ => match (self.exact_int(), other.exact_int()) {
+                (Some(a), Some(b)) => a.cmp(&b),
+                (Some(a), None) => {
+                    let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    int_cmp_float(a, b).unwrap_or(Ordering::Equal)
+                }
+                (None, Some(b)) => {
+                    let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    int_cmp_float(b, a)
+                        .map(Ordering::reverse)
+                        .unwrap_or(Ordering::Equal)
+                }
+                (None, None) => {
+                    let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+                }
+            },
         }
     }
 
@@ -246,6 +281,57 @@ impl Value {
     pub fn format_date(days: i32) -> String {
         let (y, m, d) = civil_from_days(days as i64);
         format!("{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// 2⁶³ as an `f64` (exactly representable). Finite floats in
+/// `[-2⁶³, 2⁶³)` are the ones whose truncation fits in an `i64`.
+const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+
+/// Exact mathematical comparison of an `i64` against an `f64` (`None` only
+/// for NaN). Comparing through `i as f64` would be lossy above 2⁵³ and
+/// would break trichotomy against the exact equality: `Int(2⁵³ + 1)` must
+/// order strictly *above* `Float(2⁵³)`, not compare equal to it.
+fn int_cmp_float(i: i64, f: f64) -> Option<Ordering> {
+    if f.is_nan() {
+        return None;
+    }
+    if f >= TWO_POW_63 {
+        return Some(Ordering::Less);
+    }
+    if f < -TWO_POW_63 {
+        return Some(Ordering::Greater);
+    }
+    let t = f.trunc();
+    // In `[-2⁶³, 2⁶³)` the truncation converts exactly; when `i` equals it,
+    // the discarded fractional remainder decides (for negative `f` the
+    // truncation sits *above* `f`, so the remainder is negative).
+    Some(i.cmp(&(t as i64)).then(0.0_f64.total_cmp(&(f - t))))
+}
+
+/// `true` when `f` denotes exactly the integer `i`.
+fn int_eq_float(i: i64, f: f64) -> bool {
+    int_cmp_float(i, f) == Some(Ordering::Equal)
+}
+
+impl Value {
+    /// The exact `i64` a numeric value denotes, when it denotes one: `Int`
+    /// and `Date` directly, `Bool` as 0/1, and `Float`s that are integral
+    /// and inside `i64`'s range (the cast is exact there). `None` for
+    /// non-numeric values and for fractional, non-finite or out-of-range
+    /// floats. Two numeric values with `Some` results are
+    /// [`Value::null_safe_eq`] exactly when the results are equal — the
+    /// basis of the executor's canonical grouping/join key encoding.
+    pub fn exact_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Date(d) => Some(*d as i64),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Float(f) if f.trunc() == *f && (-TWO_POW_63..TWO_POW_63).contains(f) => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -371,6 +457,100 @@ mod tests {
         assert!(Value::Int(3).null_safe_eq(&Value::Int(3)));
         assert!(Value::Int(3).null_safe_eq(&Value::Float(3.0)));
         assert!(!Value::Str("a".into()).null_safe_eq(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn mixed_int_float_equality_is_exact_above_two_pow_53() {
+        const TWO_53: i64 = 1 << 53;
+        assert!(Value::Int(TWO_53).null_safe_eq(&Value::Float(TWO_53 as f64)));
+        // (2⁵³ + 1) as f64 rounds to 2⁵³ — a lossy comparison would call
+        // these equal, making equality non-transitive with the exact
+        // Int/Int case below.
+        assert!(!Value::Int(TWO_53 + 1).null_safe_eq(&Value::Float(TWO_53 as f64)));
+        assert!(!Value::Int(TWO_53 + 1).null_safe_eq(&Value::Int(TWO_53)));
+        assert!(!Value::Int(3).null_safe_eq(&Value::Float(3.5)));
+        // i64::MAX rounds up to 2⁶³ in f64, which is outside i64's range;
+        // i64::MIN is -2⁶³ exactly.
+        assert!(!Value::Int(i64::MAX).null_safe_eq(&Value::Float(9_223_372_036_854_775_808.0)));
+        assert!(Value::Int(i64::MIN).null_safe_eq(&Value::Float(-9_223_372_036_854_775_808.0)));
+    }
+
+    #[test]
+    fn sql_cmp_orders_large_ints_exactly() {
+        const TWO_53: i64 = 1 << 53;
+        assert_eq!(
+            Value::Int(TWO_53).sql_cmp(&Value::Int(TWO_53 + 1)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(TWO_53 + 1).sql_cmp(&Value::Int(TWO_53)),
+            Some(Ordering::Greater)
+        );
+        // Mixed Int/Float pairs order exactly too — trichotomy with the
+        // exact equality: exactly one of <, =, > holds.
+        assert_eq!(
+            Value::Int(TWO_53 + 1).sql_cmp(&Value::Float(TWO_53 as f64)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(TWO_53 as f64).sql_cmp(&Value::Int(TWO_53 + 1)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(TWO_53).sql_cmp(&Value::Float(TWO_53 as f64)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Float(9_223_372_036_854_775_808.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(-3).sql_cmp(&Value::Float(-3.5)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn sort_key_orders_large_ints_exactly() {
+        const TWO_53: i64 = 1 << 53;
+        assert_eq!(
+            Value::Int(TWO_53 + 1).sort_key(&Value::Int(TWO_53)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int(TWO_53 + 1).sort_key(&Value::Float(TWO_53 as f64)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(TWO_53 as f64).sort_key(&Value::Int(TWO_53)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Float(2.5).sort_key(&Value::Int(2)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(2.5).sort_key(&Value::Float(3.5)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn exact_int_canonicalises_integer_valued_numerics() {
+        assert_eq!(Value::Int(3).exact_int(), Some(3));
+        assert_eq!(Value::Date(3).exact_int(), Some(3));
+        assert_eq!(Value::Bool(true).exact_int(), Some(1));
+        assert_eq!(Value::Float(3.0).exact_int(), Some(3));
+        assert_eq!(Value::Float(-0.0).exact_int(), Some(0));
+        assert_eq!(Value::Float(3.5).exact_int(), None);
+        assert_eq!(Value::Float(9_223_372_036_854_775_808.0).exact_int(), None);
+        assert_eq!(Value::Float(f64::INFINITY).exact_int(), None);
+        assert_eq!(Value::str("3").exact_int(), None);
+        assert_eq!(Value::Null.exact_int(), None);
     }
 
     #[test]
