@@ -9,7 +9,8 @@
 //! harness fig7 [--max-rows N]                           # Figure 7: vary input relation
 //! harness fig8 [--max-rows N]                           # Figure 8: vary sublink relation
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
-//! harness memo [--max-rows N]                           # sublink memo on/off on q3 (Fig. 7 sweep)
+//! harness memo [--max-rows N] [--check]                 # sublink memo on/off on q3 (Fig. 7 sweep)
+//!                                                       # --check: fail unless memoized < unmemoized ops
 //! harness ablation [--rows N]                           # rewrite-structure ablation
 //! harness all                                           # everything, at the smallest scale
 //! ```
@@ -106,6 +107,7 @@ struct Options {
     seed: u64,
     max_rows: usize,
     rows: usize,
+    check: bool,
 }
 
 impl Options {
@@ -117,9 +119,15 @@ impl Options {
             seed: 42,
             max_rows: 2000,
             rows: 1000,
+            check: false,
         };
         let mut i = 0;
         while i < args.len() {
+            if args[i] == "--check" {
+                options.check = true;
+                i += 1;
+                continue;
+            }
             let value = args.get(i + 1).cloned().unwrap_or_default();
             match args[i].as_str() {
                 "--scale" => options.scale = value,
@@ -204,6 +212,53 @@ fn memo(options: &Options, config: &BenchConfig) {
     }
     println!();
     write_json("memo", &memo_results_to_json("memo", &rows));
+
+    // `--check` turns the comparison into a smoke gate for CI: the memoized
+    // path must never do *more* operator evaluations than the unmemoized
+    // one, and must do strictly fewer wherever outer rows outnumber the
+    // correlation groups (there, distinct bindings are guaranteed to
+    // repeat; at smaller points a seed can draw all-distinct bindings and
+    // a tie is legitimate). Exits non-zero on violation.
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("memo check: no points completed within the time budget");
+        }
+        let mut strict_points = 0usize;
+        for row in &rows {
+            let must_be_strict = row.r1_rows > perm_synthetic::CORRELATION_GROUPS as usize;
+            strict_points += must_be_strict as usize;
+            let violated = if must_be_strict {
+                row.ops_memoized >= row.ops_unmemoized
+            } else {
+                row.ops_memoized > row.ops_unmemoized
+            };
+            if violated {
+                eprintln!(
+                    "memo check: {} evaluated {} operators with the memo vs {} without",
+                    row.label, row.ops_memoized, row.ops_unmemoized
+                );
+                failed = true;
+            }
+        }
+        if !failed && strict_points == 0 {
+            eprintln!(
+                "memo check: no sweep point exceeded {} rows, nothing to gate on \
+                 (raise --max-rows)",
+                perm_synthetic::CORRELATION_GROUPS
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "memo check passed: memoized < unmemoized operator count at all {strict_points} \
+             points above {} rows ({} points total)",
+            perm_synthetic::CORRELATION_GROUPS,
+            rows.len()
+        );
+    }
 }
 
 fn ablation(options: &Options, config: &BenchConfig) {
@@ -231,6 +286,10 @@ fn ablation(options: &Options, config: &BenchConfig) {
 fn print_usage() {
     println!(
         "usage: harness <fig6|fig7|fig8|fig9|memo|ablation|all> [--scale xs|s|m|l] [--runs N] \
-         [--timeout SECS] [--seed N] [--max-rows N] [--rows N]"
+         [--timeout SECS] [--seed N] [--max-rows N] [--rows N] [--check]"
+    );
+    println!(
+        "  --check (memo only): exit non-zero unless the memoized path evaluates strictly \
+         fewer operators than the unmemoized path at every point"
     );
 }

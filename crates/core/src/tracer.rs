@@ -69,6 +69,15 @@ impl<'a> Tracer<'a> {
         }
     }
 
+    /// Operator evaluations performed by the embedded executor so far
+    /// (diagnostic counter). The tracer walks plans itself but delegates
+    /// every sublink evaluation to the interpreter path of the executor,
+    /// whose parameterized sublink memo runs a correlated sublink once per
+    /// *distinct* binding — the dominant cost of tracing nested queries.
+    pub fn operators_evaluated(&self) -> u64 {
+        self.executor.operators_evaluated()
+    }
+
     /// Computes the provenance of `plan` in the single-relation
     /// representation of Section 3.1: the original result tuples extended by
     /// the contributing tuple of every base relation access (duplicated per
@@ -857,6 +866,28 @@ mod tests {
         assert_eq!(row3.get(1), &Value::Bool(false));
         assert_eq!(row3.get(4), &Value::Int(2));
         assert_eq!(row3.get(5), &Value::Int(4));
+    }
+
+    #[test]
+    fn tracing_correlated_sublinks_benefits_from_the_interpreter_memo() {
+        // σ_{EXISTS(σ_{c = r.b}(S))}(R): R.b takes 2 distinct values over 3
+        // rows, so the executor inside the tracer runs the 2-operator
+        // sublink plan once per distinct binding — 4 operator evaluations,
+        // not 6 — while the tracer's own provenance walk is uncounted.
+        let db = figure3_db();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), qcol("r", "b")))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(perm_algebra::builder::exists_sublink(sub))
+            .build();
+        let mut tracer = Tracer::new(&db);
+        let result = tracer.trace(&q).unwrap();
+        // b=1 matches c=1, b=2 matches c=2: all three R rows qualify.
+        assert_eq!(result.len(), 3);
+        assert_eq!(tracer.operators_evaluated(), 2 * 2);
     }
 
     #[test]

@@ -31,16 +31,17 @@
 //! byte-identical binding.
 
 use crate::eval::{arithmetic, compare};
-use crate::executor::{encode_key, encode_key_typed, extract_equi_keys, Executor};
+use crate::executor::{extract_equi_keys, Executor};
 use crate::functions;
+use crate::physical::{self, AggSpec};
 use crate::{ExecError, Result};
 use perm_algebra::visit::free_correlated_columns;
 use perm_algebra::{
     AggFunc, BinaryOp, CompareOp, Expr, FuncName, JoinKind, Plan, SetOpKind, SublinkKind, UnaryOp,
 };
-use perm_storage::{Relation, Schema, StorageError, Truth, Tuple, Value};
+use perm_storage::{encode_key_typed, Relation, Schema, StorageError, Truth, Tuple, Value};
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A resolved column reference: how many scopes outwards, and at which
 /// attribute position there.
@@ -181,8 +182,6 @@ pub enum CompiledPlan {
         kind: JoinKind,
         condition: CompiledExpr,
         equi_keys: Vec<CompiledEquiKey>,
-        /// Arity of the right input, for NULL padding of unmatched rows.
-        right_arity: usize,
         schema: Schema,
     },
     /// Grouping and aggregation.
@@ -385,7 +384,6 @@ impl Compiler<'_> {
                     kind: *kind,
                     condition,
                     equi_keys,
-                    right_arity: r_schema.arity(),
                     schema: out_schema,
                 })
             }
@@ -557,23 +555,23 @@ impl Compiler<'_> {
 }
 
 impl Executor<'_> {
-    /// Executes a compiled plan. `frame` is the runtime scope chain for
-    /// correlated slot references (present when this plan is a sublink query
-    /// of an outer operator).
+    /// Recursive compiled-path plan evaluation: executes children, wraps
+    /// [`Executor::ceval`] into per-tuple closures over a [`Frame`] slot
+    /// chain, and delegates every operator body to [`crate::physical`] — the
+    /// same bodies the interpreter drives. `frame` is the runtime scope
+    /// chain for correlated slot references (present when this plan is a
+    /// sublink query of an outer operator).
     pub fn execute_compiled(
         &self,
         plan: &CompiledPlan,
         frame: Option<&Frame<'_>>,
     ) -> Result<Relation> {
-        *self.ops_evaluated.borrow_mut() += 1;
+        let ops = &self.ops_evaluated;
         match plan {
             CompiledPlan::Scan { table, schema } => {
-                let base = self.database().table(table)?;
-                Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
+                physical::scan(ops, self.database(), table, schema)
             }
-            CompiledPlan::Values { schema, rows } => {
-                Ok(Relation::new(schema.clone(), rows.clone())?)
-            }
+            CompiledPlan::Values { schema, rows } => physical::values(ops, schema, rows),
             CompiledPlan::Project {
                 input,
                 items,
@@ -581,29 +579,27 @@ impl Executor<'_> {
                 schema,
             } => {
                 let child = self.execute_compiled(input, frame)?;
-                let mut out = Relation::empty(schema.clone());
-                for tuple in child.tuples() {
+                physical::project(ops, &child, schema.clone(), *distinct, |tuple| {
                     let scope = Frame::new(frame, tuple);
+                    // Explicit loop, not `collect::<Result<_>>()`: the
+                    // fallible-collect machinery reports a zero lower size
+                    // hint and grows the row by realloc — measurably slower
+                    // on projection-heavy plans.
                     let mut row = Vec::with_capacity(items.len());
                     for item in items {
                         row.push(self.ceval(item, Some(&scope))?);
                     }
-                    out.push_unchecked(Tuple::new(row));
-                }
-                Ok(if *distinct { out.distinct() } else { out })
+                    Ok(row)
+                })
             }
             CompiledPlan::Select {
                 input, predicate, ..
             } => {
                 let child = self.execute_compiled(input, frame)?;
-                let mut out = Relation::empty(child.schema().clone());
-                for tuple in child.tuples() {
+                physical::select(ops, &child, |tuple| {
                     let scope = Frame::new(frame, tuple);
-                    if self.ceval(predicate, Some(&scope))?.as_truth().is_true() {
-                        out.push_unchecked(tuple.clone());
-                    }
-                }
-                Ok(out)
+                    Ok(self.ceval(predicate, Some(&scope))?.as_truth().is_true())
+                })
             }
             CompiledPlan::CrossProduct {
                 left,
@@ -612,13 +608,7 @@ impl Executor<'_> {
             } => {
                 let l = self.execute_compiled(left, frame)?;
                 let r = self.execute_compiled(right, frame)?;
-                let mut out = Relation::empty(schema.clone());
-                for lt in l.tuples() {
-                    for rt in r.tuples() {
-                        out.push_unchecked(lt.concat(rt));
-                    }
-                }
-                Ok(out)
+                Ok(physical::cross_product(ops, &l, &r, schema.clone()))
             }
             CompiledPlan::Join {
                 left,
@@ -626,24 +616,64 @@ impl Executor<'_> {
                 kind,
                 condition,
                 equi_keys,
-                right_arity,
                 schema,
-            } => self.execute_compiled_join(
-                left,
-                right,
-                *kind,
-                condition,
-                equi_keys,
-                *right_arity,
-                schema,
-                frame,
-            ),
+            } => {
+                let l = self.execute_compiled(left, frame)?;
+                let r = self.execute_compiled(right, frame)?;
+                let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
+                physical::join(
+                    ops,
+                    &l,
+                    &r,
+                    schema,
+                    *kind,
+                    &null_safe,
+                    |lt, i| {
+                        let scope = Frame::new(frame, lt);
+                        self.ceval(&equi_keys[i].left, Some(&scope))
+                    },
+                    |rt, i| {
+                        let scope = Frame::new(frame, rt);
+                        self.ceval(&equi_keys[i].right, Some(&scope))
+                    },
+                    |joined| {
+                        let scope = Frame::new(frame, joined);
+                        Ok(self.ceval(condition, Some(&scope))?.as_truth().is_true())
+                    },
+                )
+            }
             CompiledPlan::Aggregate {
                 input,
                 group_by,
                 aggregates,
                 schema,
-            } => self.execute_compiled_aggregate(input, group_by, aggregates, schema, frame),
+            } => {
+                let child = self.execute_compiled(input, frame)?;
+                let specs: Vec<AggSpec> = aggregates
+                    .iter()
+                    .map(|a| AggSpec {
+                        func: a.func,
+                        distinct: a.distinct,
+                        has_arg: a.arg.is_some(),
+                    })
+                    .collect();
+                physical::aggregate(
+                    ops,
+                    &child,
+                    schema.clone(),
+                    group_by.len(),
+                    &specs,
+                    |tuple, i| {
+                        let scope = Frame::new(frame, tuple);
+                        self.ceval(&group_by[i], Some(&scope))
+                    },
+                    |tuple, i| {
+                        let scope = Frame::new(frame, tuple);
+                        let arg = aggregates[i].arg.as_ref().expect("spec has_arg");
+                        self.ceval(arg, Some(&scope))
+                    },
+                )
+            }
             CompiledPlan::SetOp {
                 op,
                 all,
@@ -653,205 +683,25 @@ impl Executor<'_> {
             } => {
                 let l = self.execute_compiled(left, frame)?;
                 let r = self.execute_compiled(right, frame)?;
-                // Checked at execution time, not compile time, so a
-                // malformed set operation behind a short circuit stays as
-                // unreachable as it is in the interpreter.
-                if l.schema().arity() != r.schema().arity() {
-                    return Err(ExecError::Unsupported(
-                        "set operation over inputs of different arity".into(),
-                    ));
-                }
-                Ok(match (op, all) {
-                    (SetOpKind::Union, true) => l.bag_union(&r),
-                    (SetOpKind::Union, false) => l.set_union(&r),
-                    (SetOpKind::Intersect, true) => l.bag_intersect(&r),
-                    (SetOpKind::Intersect, false) => l.set_intersect(&r),
-                    (SetOpKind::Except, true) => l.bag_difference(&r),
-                    (SetOpKind::Except, false) => l.set_difference(&r),
-                })
+                physical::set_op(ops, *op, *all, &l, &r)
             }
             CompiledPlan::Sort { input, keys, .. } => {
                 let child = self.execute_compiled(input, frame)?;
-                let schema = child.schema().clone();
-                let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
-                for tuple in child.tuples() {
+                let ascending: Vec<bool> = keys.iter().map(|k| k.ascending).collect();
+                physical::sort(ops, child, &ascending, |tuple| {
                     let scope = Frame::new(frame, tuple);
                     let mut key_values = Vec::with_capacity(keys.len());
-                    for key in keys {
-                        key_values.push(self.ceval(&key.expr, Some(&scope))?);
+                    for k in keys {
+                        key_values.push(self.ceval(&k.expr, Some(&scope))?);
                     }
-                    keyed.push((key_values, tuple.clone()));
-                }
-                keyed.sort_by(|(ka, _), (kb, _)| {
-                    for (i, key) in keys.iter().enumerate() {
-                        let ord = ka[i].sort_key(&kb[i]);
-                        let ord = if key.ascending { ord } else { ord.reverse() };
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                Ok(Relation::new(
-                    schema,
-                    keyed.into_iter().map(|(_, t)| t).collect(),
-                )?)
+                    Ok(key_values)
+                })
             }
             CompiledPlan::Limit { input, limit, .. } => {
                 let child = self.execute_compiled(input, frame)?;
-                let schema = child.schema().clone();
-                let tuples = child.into_tuples().into_iter().take(*limit).collect();
-                Ok(Relation::new(schema, tuples)?)
+                physical::limit(ops, child, *limit)
             }
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_compiled_join(
-        &self,
-        left: &CompiledPlan,
-        right: &CompiledPlan,
-        kind: JoinKind,
-        condition: &CompiledExpr,
-        equi_keys: &[CompiledEquiKey],
-        right_arity: usize,
-        out_schema: &Schema,
-        frame: Option<&Frame<'_>>,
-    ) -> Result<Relation> {
-        let l = self.execute_compiled(left, frame)?;
-        let r = self.execute_compiled(right, frame)?;
-        let mut out = Relation::empty(out_schema.clone());
-
-        if !equi_keys.is_empty() {
-            // Hash join: bucket the right side by its key values. Rows with
-            // a NULL key under a plain (non-null-safe) equality can never
-            // match and are dropped from the hash table / probe.
-            let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
-            'right: for rt in r.tuples() {
-                let scope = Frame::new(frame, rt);
-                let mut key_values = Vec::with_capacity(equi_keys.len());
-                for key in equi_keys {
-                    let v = self.ceval(&key.right, Some(&scope))?;
-                    if v.is_null() && !key.null_safe {
-                        continue 'right;
-                    }
-                    key_values.push(v);
-                }
-                buckets.entry(encode_key(&key_values)).or_default().push(rt);
-            }
-            let empty: Vec<&Tuple> = Vec::new();
-            for lt in l.tuples() {
-                let scope = Frame::new(frame, lt);
-                let mut key_values = Vec::with_capacity(equi_keys.len());
-                let mut has_null_key = false;
-                for key in equi_keys {
-                    let v = self.ceval(&key.left, Some(&scope))?;
-                    if v.is_null() && !key.null_safe {
-                        has_null_key = true;
-                        break;
-                    }
-                    key_values.push(v);
-                }
-                let candidates = if has_null_key {
-                    &empty
-                } else {
-                    buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
-                };
-                let mut matched = false;
-                for rt in candidates {
-                    let joined = lt.concat(rt);
-                    let scope = Frame::new(frame, &joined);
-                    if self.ceval(condition, Some(&scope))?.as_truth().is_true() {
-                        matched = true;
-                        out.push_unchecked(joined);
-                    }
-                }
-                if !matched && kind == JoinKind::LeftOuter {
-                    out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
-                }
-            }
-            return Ok(out);
-        }
-
-        // Nested-loop join (required when the condition carries sublinks,
-        // e.g. the Jsub conditions of the Left strategy).
-        for lt in l.tuples() {
-            let mut matched = false;
-            for rt in r.tuples() {
-                let joined = lt.concat(rt);
-                let scope = Frame::new(frame, &joined);
-                if self.ceval(condition, Some(&scope))?.as_truth().is_true() {
-                    matched = true;
-                    out.push_unchecked(joined);
-                }
-            }
-            if !matched && kind == JoinKind::LeftOuter {
-                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
-            }
-        }
-        Ok(out)
-    }
-
-    fn execute_compiled_aggregate(
-        &self,
-        input: &CompiledPlan,
-        group_by: &[CompiledExpr],
-        aggregates: &[CompiledAggregate],
-        out_schema: &Schema,
-        frame: Option<&Frame<'_>>,
-    ) -> Result<Relation> {
-        use crate::aggregate::Accumulator;
-
-        let child = self.execute_compiled(input, frame)?;
-        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
-        let make_accs = || -> Vec<Accumulator> {
-            aggregates
-                .iter()
-                .map(|a| Accumulator::new(a.func, a.distinct))
-                .collect()
-        };
-
-        // A global aggregation (no GROUP BY) over an empty input still
-        // produces one tuple (e.g. `count(*)` = 0); seed the single group.
-        if group_by.is_empty() {
-            groups.push((Vec::new(), make_accs()));
-            index.insert(Vec::new(), 0);
-        }
-
-        for tuple in child.tuples() {
-            let scope = Frame::new(frame, tuple);
-            let mut key_values = Vec::with_capacity(group_by.len());
-            for g in group_by {
-                key_values.push(self.ceval(g, Some(&scope))?);
-            }
-            let key = encode_key(&key_values);
-            let group_index = match index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    groups.push((key_values, make_accs()));
-                    index.insert(key, groups.len() - 1);
-                    groups.len() - 1
-                }
-            };
-            for (acc, agg) in groups[group_index].1.iter_mut().zip(aggregates.iter()) {
-                let value = match &agg.arg {
-                    Some(arg) => self.ceval(arg, Some(&scope))?,
-                    None => Value::Int(1),
-                };
-                acc.update(&value);
-            }
-        }
-
-        let mut out = Relation::empty(out_schema.clone());
-        for (key_values, accs) in groups {
-            let mut row = key_values;
-            for acc in &accs {
-                row.push(acc.finish());
-            }
-            out.push_unchecked(Tuple::new(row));
-        }
-        Ok(out)
     }
 
     /// Evaluates a compiled expression.
@@ -957,10 +807,15 @@ impl Executor<'_> {
     }
 
     fn ceval_sublink(&self, sublink: &CompiledSublink, frame: Option<&Frame<'_>>) -> Result<Value> {
-        let result = self.execute_memoized_sublink(sublink, frame)?;
         match sublink.kind {
-            SublinkKind::Exists => Ok(Value::Bool(!result.is_empty())),
-            SublinkKind::Scalar => crate::eval::scalar_sublink_value(&result),
+            SublinkKind::Exists => {
+                let result = self.execute_memoized_sublink(sublink, frame)?;
+                Ok(Value::Bool(!result.is_empty()))
+            }
+            SublinkKind::Scalar => {
+                let result = self.execute_memoized_sublink(sublink, frame)?;
+                crate::eval::scalar_sublink_value(&result)
+            }
             SublinkKind::Any | SublinkKind::All => {
                 let test = sublink.test_expr.as_ref().ok_or_else(|| {
                     ExecError::Unsupported("ANY/ALL sublink without test expression".into())
@@ -969,30 +824,35 @@ impl Executor<'_> {
                     ExecError::Unsupported("ANY/ALL sublink without comparison operator".into())
                 })?;
                 let test_value = self.ceval(test, frame)?;
-                Ok(
-                    crate::eval::quantified_sublink_truth(sublink.kind, op, &test_value, &result)
-                        .to_value(),
-                )
+                let key = self.compiled_sublink_key(sublink, frame)?;
+                let truth = self.quantified_truth(key, sublink.kind, op, &test_value, |key| {
+                    self.execute_compiled_sublink_keyed(sublink, frame, key)
+                })?;
+                Ok(truth.to_value())
             }
         }
     }
 
-    /// Executes a compiled sublink plan, consulting the parameterized memo
-    /// when the sublink has a resolved correlation signature. The memo key
-    /// is the sublink id followed by [`encode_key_typed`] over the binding
-    /// values: unlike the join/grouping key, the memo key is *type-exact*
-    /// (`Int(3)`, `Float(3.0)` and `Date(3)` all differ), so a hit can only
-    /// ever substitute the result of a byte-identical binding — coarser
-    /// keying would be wrong for type-sensitive expressions such as string
-    /// concatenation or date arithmetic over the binding. Errors are never
-    /// cached.
-    fn execute_memoized_sublink(
+    /// The parameterized memo key of a compiled sublink: its id followed by
+    /// [`encode_key_typed`] over the binding values read from `frame` at the
+    /// slots of its correlation signature. Unlike the join/grouping key, the
+    /// memo key is *type-exact* (`Int(3)`, `Float(3.0)` and `Date(3)` all
+    /// differ), so a hit can only ever substitute the result of a
+    /// byte-identical binding — coarser keying would be wrong for
+    /// type-sensitive expressions such as string concatenation or date
+    /// arithmetic over the binding. `None` when the sublink has no resolved
+    /// signature, or the memo is disabled and the sublink is correlated —
+    /// an *uncorrelated* sublink (empty signature) keeps its per-query
+    /// InitPlan caching even in the memo-off baseline, exactly like the
+    /// interpreter path ([`Executor::interp_sublink_key`]) and the
+    /// PostgreSQL engine underneath the original Perm system.
+    fn compiled_sublink_key(
         &self,
         sublink: &CompiledSublink,
         frame: Option<&Frame<'_>>,
-    ) -> Result<Relation> {
-        let key = match &sublink.params {
-            Some(slots) if self.memo_enabled.get() => {
+    ) -> Result<Option<Vec<u8>>> {
+        match &sublink.params {
+            Some(slots) if self.memo_enabled.get() || slots.is_empty() => {
                 let bindings: Vec<Value> = slots
                     .iter()
                     .map(|&slot| match frame {
@@ -1002,20 +862,48 @@ impl Executor<'_> {
                         ))),
                     })
                     .collect::<Result<_>>()?;
-                let mut key = sublink.id.to_le_bytes().to_vec();
+                let mut key = vec![crate::executor::MEMO_TAG_COMPILED];
+                key.extend_from_slice(&sublink.id.to_le_bytes());
                 key.extend_from_slice(&encode_key_typed(&bindings));
-                Some(key)
+                Ok(Some(key))
             }
-            _ => None,
-        };
-        if let Some(key) = &key {
-            if let Some(hit) = self.sublink_memo.borrow().get(key) {
-                return Ok(hit.clone());
+            _ => Ok(None),
+        }
+    }
+
+    /// Executes a compiled sublink plan, consulting the parameterized memo
+    /// when the sublink has a resolved correlation signature (see
+    /// [`Executor::compiled_sublink_key`]). Results are shared as
+    /// `Arc<Relation>`s: a hit clones the pointer, never the tuples. Errors
+    /// are never cached.
+    fn execute_memoized_sublink(
+        &self,
+        sublink: &CompiledSublink,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Arc<Relation>> {
+        let key = self.compiled_sublink_key(sublink, frame)?;
+        self.execute_compiled_sublink_keyed(sublink, frame, key)
+    }
+
+    /// [`Executor::execute_memoized_sublink`] with a precomputed memo key
+    /// (so the `ANY`/`ALL` verdict path computes the key once for both
+    /// memos).
+    fn execute_compiled_sublink_keyed(
+        &self,
+        sublink: &CompiledSublink,
+        frame: Option<&Frame<'_>>,
+        key: Option<Vec<u8>>,
+    ) -> Result<Arc<Relation>> {
+        if let Some(k) = &key {
+            if let Some(hit) = self.sublink_memo.borrow().get(k) {
+                return Ok(Arc::clone(hit));
             }
         }
-        let result = self.execute_compiled(&sublink.plan, frame)?;
-        if let Some(key) = key {
-            self.sublink_memo.borrow_mut().insert(key, result.clone());
+        let result = Arc::new(self.execute_compiled(&sublink.plan, frame)?);
+        if let Some(k) = key {
+            self.sublink_memo
+                .borrow_mut()
+                .insert(k, Arc::clone(&result));
         }
         Ok(result)
     }
@@ -1259,6 +1147,124 @@ mod tests {
             err,
             ExecError::Storage(StorageError::UnknownAttribute(_))
         ));
+    }
+
+    /// Digs the single sublink out of a compiled `σ_{…sublink…}(scan)` plan.
+    fn select_sublink(plan: &CompiledPlan) -> &CompiledSublink {
+        match plan {
+            CompiledPlan::Select { predicate, .. } => match predicate {
+                CompiledExpr::Sublink(s) => s,
+                other => panic!("expected sublink, got {other:?}"),
+            },
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_hits_share_the_relation_allocation() {
+        // A memo hit must return the cached `Arc<Relation>` itself — the
+        // same allocation, not a deep copy of the tuples. Drive the memoized
+        // sublink executor directly with the same binding twice and compare
+        // pointers.
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&q).unwrap();
+        let sublink = select_sublink(&compiled);
+        let outer = Tuple::new(vec![Value::Int(0), Value::Int(1)]);
+        let frame = Frame::new(None, &outer);
+        let first = ex.execute_memoized_sublink(sublink, Some(&frame)).unwrap();
+        let second = ex.execute_memoized_sublink(sublink, Some(&frame)).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "memo hit must share the cached allocation"
+        );
+        // A different binding gets its own entry.
+        let other_outer = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let other_frame = Frame::new(None, &other_outer);
+        let third = ex
+            .execute_memoized_sublink(sublink, Some(&other_frame))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        // With the memo off every execution materialises afresh.
+        let off = Executor::new(&db).with_sublink_memo(false);
+        let compiled = off.prepare(&q).unwrap();
+        let sublink = select_sublink(&compiled);
+        let a = off.execute_memoized_sublink(sublink, Some(&frame)).unwrap();
+        let b = off.execute_memoized_sublink(sublink, Some(&frame)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn verdict_memo_cuts_quantifier_comparisons_on_a_correlated_any_sweep() {
+        // R(a, g) with heavily repeated (a, g) pairs: the correlated ANY
+        // sublink σ_{s.g = r.g}(S) has 3 distinct bindings and each binding
+        // sees only 4 distinct test values, so of the 60 outer rows only 12
+        // (binding, test value) pairs are distinct. The verdict memo must
+        // fold each distinct pair once; without it every outer row rescans
+        // its (memoized) sublink result.
+        let mut db = Database::new();
+        let r_rows: Vec<Vec<Value>> = (0..60)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(i % 3)])
+            .collect();
+        let s_rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+            .collect();
+        db.create_table(
+            "r",
+            Relation::from_rows(
+                Schema::new(vec![
+                    Attribute::qualified("r", "a", DataType::Int),
+                    Attribute::qualified("r", "g", DataType::Int),
+                ]),
+                r_rows,
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::from_rows(
+                Schema::new(vec![
+                    Attribute::qualified("s", "c", DataType::Int),
+                    Attribute::qualified("s", "g", DataType::Int),
+                ]),
+                s_rows,
+            ),
+        )
+        .unwrap();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(qcol("s", "g"), qcol("r", "g")))
+            .project_columns(&["c"])
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(any_sublink(col("a"), CompareOp::Eq, sub))
+            .build();
+
+        let memoized = Executor::new(&db);
+        let with_memo = memoized.execute(&q).unwrap();
+        let cmp_on = memoized.quantifier_comparisons();
+
+        let unmemoized = Executor::new(&db).with_sublink_memo(false);
+        let without_memo = unmemoized.execute(&q).unwrap();
+        let cmp_off = unmemoized.quantifier_comparisons();
+
+        assert!(with_memo.bag_eq(&without_memo));
+        assert!(
+            cmp_on * 4 <= cmp_off,
+            "verdict memo must cut fold comparisons ≥4×: {cmp_on} on vs {cmp_off} off"
+        );
+
+        // The interpreter path shares the verdict memo.
+        let interp = Executor::new(&db);
+        let interp_result = interp.execute_unoptimized(&q).unwrap();
+        assert!(interp_result.bag_eq(&with_memo));
+        assert!(
+            interp.quantifier_comparisons() * 4 <= cmp_off,
+            "interpreter verdicts must be memoized too: {} on vs {cmp_off} off",
+            interp.quantifier_comparisons()
+        );
     }
 
     #[test]

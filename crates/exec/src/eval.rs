@@ -6,6 +6,7 @@ use crate::functions;
 use crate::{ExecError, Result};
 use perm_algebra::{BinaryOp, CompareOp, Expr, FuncName, SublinkKind, UnaryOp};
 use perm_storage::{Relation, Schema, Truth, Tuple, Value};
+use std::sync::Arc;
 
 /// An evaluation environment: the current operator's input tuple plus a
 /// chain of enclosing scopes. Column references resolve innermost-first,
@@ -188,10 +189,15 @@ impl Executor<'_> {
         plan: &perm_algebra::Plan,
         env: Option<&Env<'_>>,
     ) -> Result<Value> {
-        let result = self.execute_sublink(plan, env)?;
         match kind {
-            SublinkKind::Exists => Ok(Value::Bool(!result.is_empty())),
-            SublinkKind::Scalar => scalar_sublink_value(&result),
+            SublinkKind::Exists => {
+                let result = self.execute_sublink(plan, env)?;
+                Ok(Value::Bool(!result.is_empty()))
+            }
+            SublinkKind::Scalar => {
+                let result = self.execute_sublink(plan, env)?;
+                scalar_sublink_value(&result)
+            }
             SublinkKind::Any | SublinkKind::All => {
                 let test = test_expr.ok_or_else(|| {
                     ExecError::Unsupported("ANY/ALL sublink without test expression".into())
@@ -200,9 +206,89 @@ impl Executor<'_> {
                     ExecError::Unsupported("ANY/ALL sublink without comparison operator".into())
                 })?;
                 let test_value = self.eval_expr(test, env)?;
-                Ok(quantified_sublink_truth(kind, op, &test_value, &result).to_value())
+                let key = self.interp_sublink_key(plan, env);
+                let truth = self.quantified_truth(key, kind, op, &test_value, |key| {
+                    self.execute_sublink_keyed(plan, env, key)
+                })?;
+                Ok(truth.to_value())
             }
         }
+    }
+
+    /// Folds an `ANY`/`ALL` sublink under three-valued logic, consulting
+    /// the verdict memo first. The verdict is a pure function of the
+    /// sublink's result (itself determined by the sublink identity and its
+    /// binding values, i.e. `result_key`) and the *typed* test value, so a
+    /// hit skips both the result lookup and the per-row comparison scan;
+    /// `result` is only invoked — executing or fetching the memoized
+    /// sublink relation — on a verdict miss, and receives the result-memo
+    /// key back. Shared by the interpreter and the compiled evaluator so
+    /// the folding (and its memoization) cannot drift apart. Verdict
+    /// memoization is skipped when the memo is disabled or `result_key` is
+    /// `None`.
+    ///
+    /// The verdict key is the result key extended in place with the test
+    /// value (the prefix is recovered on a miss), so the hot hit path does
+    /// not clone any key.
+    pub(crate) fn quantified_truth(
+        &self,
+        result_key: Option<Vec<u8>>,
+        kind: SublinkKind,
+        op: CompareOp,
+        test_value: &Value,
+        result: impl FnOnce(Option<Vec<u8>>) -> Result<Arc<Relation>>,
+    ) -> Result<Truth> {
+        let mut verdict_key = match result_key {
+            Some(key) if self.memo_enabled.get() => key,
+            other => {
+                // No verdict memoization; hand the untouched result key on.
+                let relation = result(other)?;
+                return Ok(self.fold_quantified(kind, op, test_value, &relation));
+            }
+        };
+        let prefix_len = verdict_key.len();
+        verdict_key.extend_from_slice(&perm_storage::encode_key_typed(std::slice::from_ref(
+            test_value,
+        )));
+        if let Some(truth) = self.verdict_memo.borrow().get(&verdict_key) {
+            return Ok(*truth);
+        }
+        let relation = result(Some(verdict_key[..prefix_len].to_vec()))?;
+        let truth = self.fold_quantified(kind, op, test_value, &relation);
+        self.verdict_memo.borrow_mut().insert(verdict_key, truth);
+        Ok(truth)
+    }
+
+    /// Folds an `ANY`/`ALL` sublink result under three-valued logic, with
+    /// early exit once the quantifier is decided. Every row comparison is
+    /// counted on [`Executor::quantifier_comparisons`].
+    fn fold_quantified(
+        &self,
+        kind: SublinkKind,
+        op: CompareOp,
+        test_value: &Value,
+        result: &Relation,
+    ) -> Truth {
+        let mut acc = if kind == SublinkKind::Any {
+            Truth::False
+        } else {
+            Truth::True
+        };
+        for row in result.tuples() {
+            self.cmp_evaluated.set(self.cmp_evaluated.get() + 1);
+            let t = compare(op, test_value, row.get(0));
+            acc = if kind == SublinkKind::Any {
+                acc.or(t)
+            } else {
+                acc.and(t)
+            };
+            if (kind == SublinkKind::Any && acc == Truth::True)
+                || (kind == SublinkKind::All && acc == Truth::False)
+            {
+                break;
+            }
+        }
+        acc
     }
 }
 
@@ -244,36 +330,6 @@ pub(crate) fn scalar_sublink_value(result: &Relation) -> Result<Value> {
             "scalar sublink produced {n} tuples"
         ))),
     }
-}
-
-/// Folds an `ANY`/`ALL` sublink result under three-valued logic, with early
-/// exit once the quantifier is decided. Shared by the interpreter and the
-/// compiled evaluator.
-pub(crate) fn quantified_sublink_truth(
-    kind: SublinkKind,
-    op: CompareOp,
-    test_value: &Value,
-    result: &Relation,
-) -> Truth {
-    let mut acc = if kind == SublinkKind::Any {
-        Truth::False
-    } else {
-        Truth::True
-    };
-    for row in result.tuples() {
-        let t = compare(op, test_value, row.get(0));
-        acc = if kind == SublinkKind::Any {
-            acc.or(t)
-        } else {
-            acc.and(t)
-        };
-        if (kind == SublinkKind::Any && acc == Truth::True)
-            || (kind == SublinkKind::All && acc == Truth::False)
-        {
-            break;
-        }
-    }
-    acc
 }
 
 /// Arithmetic with NULL propagation and integer/float coercion.

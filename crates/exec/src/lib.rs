@@ -10,20 +10,38 @@
 //! tuples, innermost scope first), exactly as Section 2.2 of the paper
 //! describes the parameterisation of `Tsub`.
 //!
-//! The default execution path ([`Executor::execute`]) first *compiles* the
-//! plan ([`compile`]): column references become positional slots and every
-//! sublink carries its resolved correlation signature, which feeds a
-//! parameterized memo — a correlated sublink runs once per *distinct*
-//! binding instead of once per outer tuple, and an uncorrelated sublink runs
-//! once per query (PostgreSQL's InitPlan behaviour). The name-resolving
-//! interpreter is retained as [`Executor::execute_unoptimized`] and serves
-//! as the reference semantics in equivalence tests.
+//! ## Architecture: one physical-operator layer, two drivers
+//!
+//! Every operator loop — hash and nested-loop joins (with left-outer NULL
+//! padding), aggregate grouping, sorting, set operations, projection and
+//! selection — is implemented exactly once, in the [`physical`] module,
+//! parameterized over *tuple-evaluator closures*. Two thin drivers share
+//! those bodies:
+//!
+//! * the default path ([`Executor::execute`]) first *compiles* the plan
+//!   ([`compile`]): column references become positional slots and every
+//!   sublink carries its resolved correlation signature; its closures index
+//!   slots through a [`compile::Frame`] chain;
+//! * the name-resolving interpreter ([`Executor::execute_unoptimized`]),
+//!   the reference semantics of the equivalence tests and the substrate of
+//!   the tracer in `perm-core`; its closures resolve names through an
+//!   [`Env`] chain, and it recovers correlation signatures at runtime.
+//!
+//! Both drivers feed the same **parameterized sublink memo** — a correlated
+//! sublink runs once per *distinct* binding instead of once per outer
+//! tuple, and an uncorrelated sublink runs once per query (PostgreSQL's
+//! InitPlan behaviour). Memoized results are shared as `Arc<Relation>`s
+//! (hits never deep-copy), and `ANY`/`ALL` *verdicts* are memoized per
+//! `(sublink, binding, test value)` on top. Since the operator bodies are
+//! shared, a semantics fix lands in one place, and the
+//! `operators_evaluated` accounting lives in the physical layer alone.
 
 pub mod aggregate;
 pub mod compile;
 pub mod eval;
 pub mod executor;
 pub mod functions;
+pub(crate) mod physical;
 
 pub use compile::CompiledPlan;
 pub use eval::Env;

@@ -1,0 +1,345 @@
+//! The single physical-operator layer shared by both execution paths.
+//!
+//! Every operator loop of the engine — projection, selection, cross
+//! product, hash and nested-loop joins (including left-outer NULL padding),
+//! grouping/aggregation, set operations, sorting and limiting — is
+//! implemented exactly once here, parameterized over *tuple-evaluator
+//! closures*. The two execution paths differ only in how an expression is
+//! evaluated against a tuple:
+//!
+//! * the name-resolving interpreter ([`crate::Executor::execute_with_env`])
+//!   builds an [`crate::eval::Env`] scope chain and resolves names per
+//!   access;
+//! * the compiled path ([`crate::Executor::execute_compiled`]) builds a
+//!   [`crate::compile::Frame`] chain and indexes slots.
+//!
+//! Both are thin drivers that execute their children, wrap their expression
+//! evaluator into closures, and delegate the loop body to this module — so
+//! a semantics fix (NULL handling in hash keys, outer-join padding, empty
+//! group seeding, …) lands in one place and cannot silently miss one path,
+//! following the closure-parameterization pattern `crate::eval` already
+//! uses for function dispatch and sublink folding.
+//!
+//! The `operators_evaluated` accounting also lives here, in one place:
+//! every physical operator counts exactly one evaluation per invocation on
+//! the shared [`OpCounter`], which is what makes sublink-memo hits (which
+//! never reach this module) measurable as missing operator evaluations.
+
+use crate::aggregate::Accumulator;
+use crate::{ExecError, Result};
+use perm_algebra::{AggFunc, JoinKind, SetOpKind};
+use perm_storage::{encode_key, Database, Relation, Schema, Tuple, Value};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// The diagnostic operator-evaluation counter both drivers share.
+pub(crate) type OpCounter = Cell<u64>;
+
+fn count(ops: &OpCounter) {
+    ops.set(ops.get() + 1);
+}
+
+/// What the physical aggregate needs to know about one aggregate
+/// computation; the argument *expression* stays behind the evaluator
+/// closure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AggSpec {
+    /// The aggregate function.
+    pub(crate) func: AggFunc,
+    /// Whether duplicates are dropped before aggregating.
+    pub(crate) distinct: bool,
+    /// `false` for `count(*)`, whose per-row contribution is the constant 1.
+    pub(crate) has_arg: bool,
+}
+
+/// Base relation access: materialises the stored table under the plan's
+/// schema (which may carry an alias qualifier).
+pub(crate) fn scan(
+    ops: &OpCounter,
+    db: &Database,
+    table: &str,
+    schema: &Schema,
+) -> Result<Relation> {
+    count(ops);
+    let base = db.table(table)?;
+    Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
+}
+
+/// Constant relation.
+pub(crate) fn values(ops: &OpCounter, schema: &Schema, rows: &[Tuple]) -> Result<Relation> {
+    count(ops);
+    Ok(Relation::new(schema.clone(), rows.to_vec())?)
+}
+
+/// Projection: `row_of` evaluates all projection items against one input
+/// tuple.
+pub(crate) fn project(
+    ops: &OpCounter,
+    child: &Relation,
+    out_schema: Schema,
+    distinct: bool,
+    mut row_of: impl FnMut(&Tuple) -> Result<Vec<Value>>,
+) -> Result<Relation> {
+    count(ops);
+    let mut out = Relation::empty(out_schema);
+    for tuple in child.tuples() {
+        out.push_unchecked(Tuple::new(row_of(tuple)?));
+    }
+    Ok(if distinct { out.distinct() } else { out })
+}
+
+/// Selection: `keep` evaluates the predicate against one input tuple
+/// (three-valued TRUE only).
+pub(crate) fn select(
+    ops: &OpCounter,
+    child: &Relation,
+    mut keep: impl FnMut(&Tuple) -> Result<bool>,
+) -> Result<Relation> {
+    count(ops);
+    let mut out = Relation::empty(child.schema().clone());
+    for tuple in child.tuples() {
+        if keep(tuple)? {
+            out.push_unchecked(tuple.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Cross product.
+pub(crate) fn cross_product(
+    ops: &OpCounter,
+    l: &Relation,
+    r: &Relation,
+    out_schema: Schema,
+) -> Relation {
+    count(ops);
+    let mut out = Relation::empty(out_schema);
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            out.push_unchecked(lt.concat(rt));
+        }
+    }
+    out
+}
+
+/// Inner or left-outer join over already-executed inputs.
+///
+/// `key_null_safe` carries one flag per extracted equi-key conjunct; when
+/// non-empty the join runs hashed — the right side is bucketed under
+/// [`encode_key`] of its key values, and only bucket-mates are rechecked
+/// against the full `condition`. Rows whose key is NULL under a plain
+/// (non-null-safe) equality can never match and are dropped from the hash
+/// table / probe. When empty (no usable equality, or the condition carries
+/// sublinks, e.g. the Jsub conditions of the Left strategy) the join falls
+/// back to a nested loop. Either way an unmatched left row of a left-outer
+/// join is padded with NULLs on the right.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn join(
+    ops: &OpCounter,
+    l: &Relation,
+    r: &Relation,
+    out_schema: &Schema,
+    kind: JoinKind,
+    key_null_safe: &[bool],
+    mut left_key: impl FnMut(&Tuple, usize) -> Result<Value>,
+    mut right_key: impl FnMut(&Tuple, usize) -> Result<Value>,
+    mut condition: impl FnMut(&Tuple) -> Result<bool>,
+) -> Result<Relation> {
+    count(ops);
+    let right_arity = r.schema().arity();
+    let mut out = Relation::empty(out_schema.clone());
+
+    if !key_null_safe.is_empty() {
+        // Hash join: bucket the right side by its key values.
+        let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
+        'right: for rt in r.tuples() {
+            let mut key_values = Vec::with_capacity(key_null_safe.len());
+            for (i, null_safe) in key_null_safe.iter().enumerate() {
+                let v = right_key(rt, i)?;
+                if v.is_null() && !null_safe {
+                    continue 'right;
+                }
+                key_values.push(v);
+            }
+            buckets.entry(encode_key(&key_values)).or_default().push(rt);
+        }
+        let empty: Vec<&Tuple> = Vec::new();
+        for lt in l.tuples() {
+            let mut key_values = Vec::with_capacity(key_null_safe.len());
+            let mut has_null_key = false;
+            for (i, null_safe) in key_null_safe.iter().enumerate() {
+                let v = left_key(lt, i)?;
+                if v.is_null() && !null_safe {
+                    has_null_key = true;
+                    break;
+                }
+                key_values.push(v);
+            }
+            let candidates = if has_null_key {
+                &empty
+            } else {
+                buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
+            };
+            let mut matched = false;
+            for rt in candidates {
+                let joined = lt.concat(rt);
+                if condition(&joined)? {
+                    matched = true;
+                    out.push_unchecked(joined);
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+            }
+        }
+        return Ok(out);
+    }
+
+    // Nested-loop join.
+    for lt in l.tuples() {
+        let mut matched = false;
+        for rt in r.tuples() {
+            let joined = lt.concat(rt);
+            if condition(&joined)? {
+                matched = true;
+                out.push_unchecked(joined);
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+        }
+    }
+    Ok(out)
+}
+
+/// Grouping and aggregation. `group_key` evaluates the `i`-th grouping
+/// expression and `agg_arg` the `i`-th aggregate's argument against one
+/// input tuple (`agg_arg` is only called for specs with `has_arg`; argless
+/// `count(*)` contributes the constant 1). Groups are keyed by
+/// [`encode_key`] — the key *is* the grouping equality, with no recheck —
+/// and emitted in first-encounter order. A global aggregation (no GROUP BY)
+/// over an empty input still produces one tuple (e.g. `count(*)` = 0): the
+/// single group is seeded up front.
+pub(crate) fn aggregate(
+    ops: &OpCounter,
+    child: &Relation,
+    out_schema: Schema,
+    group_arity: usize,
+    specs: &[AggSpec],
+    mut group_key: impl FnMut(&Tuple, usize) -> Result<Value>,
+    mut agg_arg: impl FnMut(&Tuple, usize) -> Result<Value>,
+) -> Result<Relation> {
+    count(ops);
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let make_accs = || -> Vec<Accumulator> {
+        specs
+            .iter()
+            .map(|s| Accumulator::new(s.func, s.distinct))
+            .collect()
+    };
+
+    if group_arity == 0 {
+        groups.push((Vec::new(), make_accs()));
+        index.insert(Vec::new(), 0);
+    }
+
+    for tuple in child.tuples() {
+        let mut key_values = Vec::with_capacity(group_arity);
+        for i in 0..group_arity {
+            key_values.push(group_key(tuple, i)?);
+        }
+        let key = encode_key(&key_values);
+        let group_index = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                groups.push((key_values, make_accs()));
+                index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        for (i, (acc, spec)) in groups[group_index].1.iter_mut().zip(specs).enumerate() {
+            let value = if spec.has_arg {
+                agg_arg(tuple, i)?
+            } else {
+                Value::Int(1)
+            };
+            acc.update(&value);
+        }
+    }
+
+    let mut out = Relation::empty(out_schema);
+    for (key_values, accs) in groups {
+        let mut row = key_values;
+        for acc in &accs {
+            row.push(acc.finish());
+        }
+        out.push_unchecked(Tuple::new(row));
+    }
+    Ok(out)
+}
+
+/// Set operation over already-executed inputs. The arity check happens here
+/// at execution time, not compile time, so a malformed set operation behind
+/// a short circuit stays as unreachable as it is in the interpreter.
+pub(crate) fn set_op(
+    ops: &OpCounter,
+    op: SetOpKind,
+    all: bool,
+    l: &Relation,
+    r: &Relation,
+) -> Result<Relation> {
+    count(ops);
+    if l.schema().arity() != r.schema().arity() {
+        return Err(ExecError::Unsupported(
+            "set operation over inputs of different arity".into(),
+        ));
+    }
+    Ok(match (op, all) {
+        (SetOpKind::Union, true) => l.bag_union(r),
+        (SetOpKind::Union, false) => l.set_union(r),
+        (SetOpKind::Intersect, true) => l.bag_intersect(r),
+        (SetOpKind::Intersect, false) => l.set_intersect(r),
+        (SetOpKind::Except, true) => l.bag_difference(r),
+        (SetOpKind::Except, false) => l.set_difference(r),
+    })
+}
+
+/// Sorting: `keys_of` evaluates all sort-key expressions against one tuple;
+/// `ascending` carries the per-key direction. The underlying sort is stable,
+/// so ties keep the input order — which both drivers produce identically.
+pub(crate) fn sort(
+    ops: &OpCounter,
+    child: Relation,
+    ascending: &[bool],
+    mut keys_of: impl FnMut(&Tuple) -> Result<Vec<Value>>,
+) -> Result<Relation> {
+    count(ops);
+    let schema = child.schema().clone();
+    let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
+    for tuple in child.tuples() {
+        keyed.push((keys_of(tuple)?, tuple.clone()));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, asc) in ascending.iter().enumerate() {
+            let ord = ka[i].sort_key(&kb[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::new(
+        schema,
+        keyed.into_iter().map(|(_, t)| t).collect(),
+    )?)
+}
+
+/// First-`n` truncation.
+pub(crate) fn limit(ops: &OpCounter, child: Relation, n: usize) -> Result<Relation> {
+    count(ops);
+    let schema = child.schema().clone();
+    let tuples = child.into_tuples().into_iter().take(n).collect();
+    Ok(Relation::new(schema, tuples)?)
+}

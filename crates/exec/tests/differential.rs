@@ -1,0 +1,295 @@
+//! Differential testing of the three execution modes over randomly
+//! generated nested-subquery plans.
+//!
+//! A seeded generator (the local `rand` shim, so runs are reproducible)
+//! composes plans over the synthetic tables of `perm-synthetic` —
+//! correlated and uncorrelated sublinks of every kind (`EXISTS`, `ANY`,
+//! `ALL`, scalar), optionally nested two levels deep, under selections,
+//! projections, aggregations, sorts with limits, joins and set operations.
+//! Every plan is executed through
+//!
+//! 1. `Executor::execute` — compile + parameterized sublink/verdict memos,
+//! 2. `Executor::execute_unoptimized` — the name-resolving interpreter
+//!    (which shares the parameterized memo, resolved at runtime), and
+//! 3. `Executor::execute` with the memos disabled,
+//!
+//! and the three results must agree bag-for-bag (or all three must fail).
+//! Since both drivers are thin shells over the shared physical-operator
+//! layer, a divergence here points at the evaluator closures or the memo
+//! keying — exactly the parts that are *not* shared.
+
+use perm_algebra::builder::{
+    all_sublink, and, any_sublink, between, cmp, count_star, eq, exists_sublink, lit, not, or,
+    qcol, scalar_sublink, sum, PlanBuilder,
+};
+use perm_algebra::{CompareOp, Plan, ProjectItem, SetOpKind, SortKey};
+use perm_exec::Executor;
+use perm_storage::Database;
+use perm_synthetic::build_database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PLANS: usize = 220;
+
+fn random_compare_op(rng: &mut StdRng) -> CompareOp {
+    match rng.gen_range(0..6u32) {
+        0 => CompareOp::Eq,
+        1 => CompareOp::Neq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::Le,
+        4 => CompareOp::Gt,
+        _ => CompareOp::Ge,
+    }
+}
+
+/// A random window predicate on `r2.b` (the synthetic values are Gaussian
+/// with σ = 100 · rows, so the window keeps selectivity away from 0/1).
+fn random_r2_window(rng: &mut StdRng) -> perm_algebra::Expr {
+    let low = rng.gen_range(-3000..1500i64);
+    between(
+        qcol("r2", "b"),
+        lit(low),
+        lit(low + rng.gen_range(500..3000i64)),
+    )
+}
+
+/// A random sublink query over `r2`, correlated against the enclosing scan
+/// of `r1` with the given probability; `project_a` adds the single-column
+/// projection `ANY`/`ALL`/scalar sublinks need.
+fn random_sublink_plan(db: &Database, rng: &mut StdRng, correlated: bool, nested: bool) -> Plan {
+    let corr = match rng.gen_range(0..3u32) {
+        0 => eq(qcol("r2", "g"), qcol("r1", "g")),
+        1 => cmp(CompareOp::Le, qcol("r2", "b"), qcol("r1", "b")),
+        _ => and(
+            eq(qcol("r2", "g"), qcol("r1", "g")),
+            cmp(CompareOp::Gt, qcol("r2", "a"), qcol("r1", "a")),
+        ),
+    };
+    let window = random_r2_window(rng);
+    let predicate = if correlated {
+        and(window, corr)
+    } else {
+        window
+    };
+    let builder = PlanBuilder::scan_as(db, "r2", Some("r2"))
+        .expect("r2 must exist")
+        .select(predicate);
+    if !nested {
+        return builder.build();
+    }
+    // Nest one more sublink level: the inner query scans r2 under a fresh
+    // alias and correlates against the *middle* scope (and, sometimes,
+    // through to the outermost r1 scope).
+    let inner_corr = if rng.gen_bool(0.5) {
+        eq(qcol("m", "g"), qcol("r2", "g"))
+    } else {
+        and(
+            eq(qcol("m", "g"), qcol("r2", "g")),
+            cmp(CompareOp::Lt, qcol("m", "a"), qcol("r1", "b")),
+        )
+    };
+    let inner = PlanBuilder::scan_as(db, "r2", Some("m"))
+        .expect("r2 must exist")
+        .select(inner_corr)
+        .build();
+    let inner_sublink = if rng.gen_bool(0.5) {
+        exists_sublink(inner)
+    } else {
+        not(exists_sublink(inner))
+    };
+    builder.select(inner_sublink).build()
+}
+
+/// A random sublink *expression* usable in a selection over `r1`.
+fn random_sublink_expr(db: &Database, rng: &mut StdRng) -> perm_algebra::Expr {
+    let correlated = rng.gen_bool(0.6);
+    let nested = rng.gen_bool(0.25);
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let sub = random_sublink_plan(db, rng, correlated, nested);
+            if rng.gen_bool(0.3) {
+                not(exists_sublink(sub))
+            } else {
+                exists_sublink(sub)
+            }
+        }
+        1 => {
+            let sub = PlanBuilder::from_plan(random_sublink_plan(db, rng, correlated, nested))
+                .project_columns(&["a"])
+                .build();
+            let test = if rng.gen_bool(0.5) {
+                qcol("r1", "a")
+            } else {
+                qcol("r1", "b")
+            };
+            any_sublink(test, random_compare_op(rng), sub)
+        }
+        2 => {
+            let sub = PlanBuilder::from_plan(random_sublink_plan(db, rng, correlated, nested))
+                .project_columns(&["a"])
+                .build();
+            all_sublink(qcol("r1", "a"), random_compare_op(rng), sub)
+        }
+        _ => {
+            // Scalar sublink: the global aggregate guarantees exactly one
+            // row and one attribute for every binding.
+            let agg = if rng.gen_bool(0.5) {
+                count_star("n")
+            } else {
+                sum(qcol("r2", "a"), "s")
+            };
+            let sub = PlanBuilder::from_plan(random_sublink_plan(db, rng, correlated, nested))
+                .aggregate(vec![], vec![agg])
+                .build();
+            cmp(
+                random_compare_op(rng),
+                scalar_sublink(sub),
+                lit(rng.gen_range(-4000..4000i64)),
+            )
+        }
+    }
+}
+
+/// A random selection over `r1` whose predicate combines a sublink with an
+/// optional plain range conjunct/disjunct.
+fn random_filtered_r1(db: &Database, rng: &mut StdRng) -> Plan {
+    let sublink = random_sublink_expr(db, rng);
+    let predicate = match rng.gen_range(0..3u32) {
+        0 => sublink,
+        1 => {
+            let low = rng.gen_range(-3000..2000i64);
+            and(between(qcol("r1", "b"), lit(low), lit(low + 2000)), sublink)
+        }
+        _ => {
+            let low = rng.gen_range(-3000..2000i64);
+            or(between(qcol("r1", "b"), lit(low), lit(low + 500)), sublink)
+        }
+    };
+    PlanBuilder::scan(db, "r1")
+        .expect("r1 must exist")
+        .select(predicate)
+        .build()
+}
+
+/// One full random plan: a sublink selection over `r1` under a random
+/// top-level shape.
+fn random_plan(db: &Database, rng: &mut StdRng) -> Plan {
+    let base = random_filtered_r1(db, rng);
+    match rng.gen_range(0..6u32) {
+        // The bare sublink selection.
+        0 => base,
+        // Projection, bag or set.
+        1 => {
+            let builder = PlanBuilder::from_plan(base);
+            if rng.gen_bool(0.5) {
+                builder.project_columns(&["g", "a"]).build()
+            } else {
+                builder
+                    .project_distinct(vec![ProjectItem::column("g")])
+                    .build()
+            }
+        }
+        // Aggregation over the filtered rows.
+        2 => PlanBuilder::from_plan(base)
+            .aggregate(
+                vec![ProjectItem::column("g")],
+                vec![count_star("n"), sum(qcol("r1", "a"), "total")],
+            )
+            .build(),
+        // Sort + limit (stable sort, shared loop ⇒ identical prefixes).
+        3 => PlanBuilder::from_plan(base)
+            .sort(vec![
+                SortKey::desc(qcol("r1", "b")),
+                SortKey::asc(qcol("r1", "a")),
+            ])
+            .limit(rng.gen_range(1..12usize))
+            .build(),
+        // Set operation between two independently filtered branches.
+        4 => {
+            let left = PlanBuilder::from_plan(base)
+                .project_columns(&["a", "g"])
+                .build();
+            let right = PlanBuilder::from_plan(random_filtered_r1(db, rng))
+                .project_columns(&["a", "g"])
+                .build();
+            let op = match rng.gen_range(0..3u32) {
+                0 => SetOpKind::Union,
+                1 => SetOpKind::Intersect,
+                _ => SetOpKind::Except,
+            };
+            PlanBuilder::from_plan(left)
+                .set_op(op, rng.gen_bool(0.5), right)
+                .build()
+        }
+        // Join with a sublink-bearing condition (nested-loop path) or a
+        // plain equi-join (hash path) against a second r1 alias.
+        _ => {
+            let other = PlanBuilder::scan_as(db, "r1", Some("o"))
+                .expect("r1 must exist")
+                .build();
+            let join_cond = eq(qcol("r1", "g"), qcol("o", "g"));
+            let builder = PlanBuilder::from_plan(base);
+            if rng.gen_bool(0.5) {
+                builder.join(other, join_cond).build()
+            } else {
+                builder.left_join(other, join_cond).build()
+            }
+        }
+    }
+}
+
+#[test]
+fn random_plans_agree_across_all_three_execution_modes() {
+    // Small tables keep even the ALL-sublink nested loops fast; 24 × 18
+    // rows with the 32-group correlation attribute still exercises memo
+    // hits, NULL-free bindings and empty sublink results.
+    let db = build_database(24, 18, 0xD1FF);
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut correlated_hits = 0usize;
+    for i in 0..PLANS {
+        let plan = random_plan(&db, &mut rng);
+
+        let compiled_ex = Executor::new(&db);
+        let compiled = compiled_ex.execute(&plan);
+
+        let interp_ex = Executor::new(&db);
+        let interpreted = interp_ex.execute_unoptimized(&plan);
+
+        let memo_off_ex = Executor::new(&db).with_sublink_memo(false);
+        let memo_off = memo_off_ex.execute(&plan);
+
+        match (&compiled, &interpreted, &memo_off) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                assert!(
+                    a.bag_eq(b),
+                    "plan {i}: compiled+memo disagrees with the interpreter\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+                assert!(
+                    a.bag_eq(c),
+                    "plan {i}: compiled+memo disagrees with memo-off\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+                if compiled_ex.operators_evaluated() < memo_off_ex.operators_evaluated() {
+                    correlated_hits += 1;
+                }
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            other => panic!(
+                "plan {i}: execution modes disagree on success/failure: \
+                 compiled={:?} interpreted={:?} memo_off={:?}\n{}",
+                other.0.as_ref().map(|_| "ok"),
+                other.1.as_ref().map(|_| "ok"),
+                other.2.as_ref().map(|_| "ok"),
+                perm_algebra::display::explain(&plan),
+            ),
+        }
+    }
+    // The sweep must actually exercise the memo, not just uncorrelated
+    // plans: a healthy generator produces many plans where memoization
+    // saves operator evaluations.
+    assert!(
+        correlated_hits >= PLANS / 10,
+        "only {correlated_hits}/{PLANS} plans exercised the sublink memo"
+    );
+}

@@ -11,12 +11,14 @@
 //! `perm-exec` crate without any external database.
 
 pub mod catalog;
+pub mod keys;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use catalog::Database;
+pub use keys::{encode_key, encode_key_typed, encode_tuple_key};
 pub use relation::Relation;
 pub use schema::{Attribute, DataType, Schema};
 pub use tuple::Tuple;

@@ -5,11 +5,18 @@
 //! multiplicity-aware helpers (`multiplicity`, `distinct`, bag
 //! union/intersection/difference) implement the bag operators the executor
 //! needs.
+//!
+//! The multiplicity-sensitive operators (`distinct`, bag/set intersection
+//! and difference) hash on [`crate::keys::encode_tuple_key`], whose equality
+//! coincides with [`Tuple::null_safe_eq`] — multiset counting in O(n + m)
+//! instead of the O(n·m) pairwise scans a naive implementation needs.
 
+use crate::keys::encode_tuple_key;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::{Result, StorageError};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A relation: a schema plus a bag of tuples.
@@ -107,10 +114,12 @@ impl Relation {
     }
 
     /// Duplicate-removing copy (the set-projection / `DISTINCT` primitive).
+    /// Keeps the first occurrence of each [`Tuple::null_safe_eq`] class.
     pub fn distinct(&self) -> Relation {
+        let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(self.tuples.len());
         let mut out: Vec<Tuple> = Vec::new();
         for t in &self.tuples {
-            if !out.iter().any(|o| o.null_safe_eq(t)) {
+            if seen.insert(encode_tuple_key(t)) {
                 out.push(t.clone());
             }
         }
@@ -118,6 +127,22 @@ impl Relation {
             schema: self.schema.clone(),
             tuples: out,
         }
+    }
+
+    /// Multiset count of the other side's tuples, keyed by their encoded
+    /// tuple key (the hash view the bag operators subtract from).
+    fn key_counts(&self) -> HashMap<Vec<u8>, usize> {
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            *counts.entry(encode_tuple_key(t)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Set of the other side's encoded tuple keys (the hash view the set
+    /// operators probe for membership).
+    fn key_set(&self) -> HashSet<Vec<u8>> {
+        self.tuples.iter().map(encode_tuple_key).collect()
     }
 
     /// Bag union (`∪B`): multiplicities add up.
@@ -136,13 +161,17 @@ impl Relation {
     }
 
     /// Bag intersection (`∩B`): multiplicity is the minimum of both sides.
+    /// Keeps the left side's tuples (representation and order), consuming
+    /// one unit of the right side's multiplicity per emitted tuple.
     pub fn bag_intersect(&self, other: &Relation) -> Relation {
-        let mut remaining: Vec<Tuple> = other.tuples.clone();
+        let mut remaining = other.key_counts();
         let mut tuples = Vec::new();
         for t in &self.tuples {
-            if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
-                remaining.swap_remove(pos);
-                tuples.push(t.clone());
+            if let Some(n) = remaining.get_mut(&encode_tuple_key(t)) {
+                if *n > 0 {
+                    *n -= 1;
+                    tuples.push(t.clone());
+                }
             }
         }
         Relation {
@@ -151,28 +180,15 @@ impl Relation {
         }
     }
 
-    /// Set intersection (`∩S`).
+    /// Set intersection (`∩S`): distinct left tuples present on the right.
     pub fn set_intersect(&self, other: &Relation) -> Relation {
-        let mut tuples = Vec::new();
-        for t in self.distinct().tuples {
-            if other.contains(&t) {
-                tuples.push(t);
-            }
-        }
-        Relation {
-            schema: self.schema.clone(),
-            tuples,
-        }
-    }
-
-    /// Bag difference (`−B`): multiplicities subtract (never below zero).
-    pub fn bag_difference(&self, other: &Relation) -> Relation {
-        let mut remaining: Vec<Tuple> = other.tuples.clone();
+        let present = other.key_set();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut tuples = Vec::new();
         for t in &self.tuples {
-            if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
-                remaining.swap_remove(pos);
-            } else {
+            let key = encode_tuple_key(t);
+            let keep = present.contains(&key);
+            if seen.insert(key) && keep {
                 tuples.push(t.clone());
             }
         }
@@ -182,12 +198,33 @@ impl Relation {
         }
     }
 
-    /// Set difference (`−S`).
-    pub fn set_difference(&self, other: &Relation) -> Relation {
+    /// Bag difference (`−B`): multiplicities subtract (never below zero,
+    /// i.e. saturating).
+    pub fn bag_difference(&self, other: &Relation) -> Relation {
+        let mut remaining = other.key_counts();
         let mut tuples = Vec::new();
-        for t in self.distinct().tuples {
-            if !other.contains(&t) {
-                tuples.push(t);
+        for t in &self.tuples {
+            match remaining.get_mut(&encode_tuple_key(t)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => tuples.push(t.clone()),
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Set difference (`−S`): distinct left tuples absent from the right.
+    pub fn set_difference(&self, other: &Relation) -> Relation {
+        let present = other.key_set();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            let key = encode_tuple_key(t);
+            let keep = !present.contains(&key);
+            if seen.insert(key) && keep {
+                tuples.push(t.clone());
             }
         }
         Relation {
@@ -321,5 +358,189 @@ mod tests {
         let r = Relation::new(schema, vec![Tuple::new(vec![Value::Null])]).unwrap();
         assert!(r.contains(&Tuple::new(vec![Value::Null])));
         assert_eq!(r.multiplicity(&Tuple::new(vec![Value::Null])), 1);
+    }
+
+    /// The old O(n·m) scan implementations, kept as the reference semantics
+    /// the hashed operators are differential-tested against.
+    mod reference {
+        use super::*;
+
+        pub fn bag_intersect(l: &Relation, r: &Relation) -> Relation {
+            let mut remaining: Vec<Tuple> = r.tuples().to_vec();
+            let mut out = Relation::empty(l.schema().clone());
+            for t in l.tuples() {
+                if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
+                    remaining.swap_remove(pos);
+                    out.push_unchecked(t.clone());
+                }
+            }
+            out
+        }
+
+        pub fn bag_difference(l: &Relation, r: &Relation) -> Relation {
+            let mut remaining: Vec<Tuple> = r.tuples().to_vec();
+            let mut out = Relation::empty(l.schema().clone());
+            for t in l.tuples() {
+                if let Some(pos) = remaining.iter().position(|o| o.null_safe_eq(t)) {
+                    remaining.swap_remove(pos);
+                } else {
+                    out.push_unchecked(t.clone());
+                }
+            }
+            out
+        }
+
+        pub fn distinct(rel: &Relation) -> Relation {
+            let mut out = Relation::empty(rel.schema().clone());
+            for t in rel.tuples() {
+                if !out.tuples().iter().any(|o| o.null_safe_eq(t)) {
+                    out.push_unchecked(t.clone());
+                }
+            }
+            out
+        }
+
+        pub fn set_intersect(l: &Relation, r: &Relation) -> Relation {
+            let mut out = Relation::empty(l.schema().clone());
+            for t in distinct(l).into_tuples() {
+                if r.contains(&t) {
+                    out.push_unchecked(t);
+                }
+            }
+            out
+        }
+
+        pub fn set_difference(l: &Relation, r: &Relation) -> Relation {
+            let mut out = Relation::empty(l.schema().clone());
+            for t in distinct(l).into_tuples() {
+                if !r.contains(&t) {
+                    out.push_unchecked(t);
+                }
+            }
+            out
+        }
+    }
+
+    /// Deterministic duplicate-heavy relation over a tiny value domain with
+    /// NULLs and cross-type spellings of equal values mixed in, so the
+    /// hashed operators face multiplicities well above 1 and every
+    /// `null_safe_eq` coercion class. Values are driven by a SplitMix64
+    /// stream (self-contained; the storage crate has no rand dependency).
+    fn duplicate_heavy(rows: usize, mut seed: u64) -> Relation {
+        let mut next = move || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut value = move || match next() % 6 {
+            0 => Value::Null,
+            1 => Value::Int((next() % 4) as i64),
+            2 => Value::Float((next() % 4) as f64),
+            3 => Value::Date((next() % 4) as i32),
+            4 => Value::Bool(next() % 2 == 0),
+            _ => Value::Str(((next() % 3) as u8 + b'a').to_string()),
+        };
+        let schema = Schema::from_names(&["x", "y"]);
+        let mut rel = Relation::empty(schema);
+        for _ in 0..rows {
+            rel.push_unchecked(Tuple::new(vec![value(), value()]));
+        }
+        rel
+    }
+
+    #[test]
+    fn hashed_bag_ops_match_the_scan_reference_on_duplicate_heavy_inputs() {
+        for seed in 0..8u64 {
+            let l = duplicate_heavy(120, seed);
+            let r = duplicate_heavy(90, seed.wrapping_add(1000));
+            assert!(l
+                .bag_intersect(&r)
+                .bag_eq(&reference::bag_intersect(&l, &r)));
+            assert!(l
+                .bag_difference(&r)
+                .bag_eq(&reference::bag_difference(&l, &r)));
+            assert!(l
+                .set_intersect(&r)
+                .bag_eq(&reference::set_intersect(&l, &r)));
+            assert!(l
+                .set_difference(&r)
+                .bag_eq(&reference::set_difference(&l, &r)));
+            assert!(l.distinct().bag_eq(&reference::distinct(&l)));
+        }
+    }
+
+    #[test]
+    fn hashed_bag_ops_honour_min_and_saturating_subtract_multiplicities() {
+        let l = duplicate_heavy(150, 7);
+        let r = duplicate_heavy(100, 99);
+        let inter = l.bag_intersect(&r);
+        let diff = l.bag_difference(&r);
+        for t in l.distinct().tuples() {
+            let (nl, nr) = (l.multiplicity(t), r.multiplicity(t));
+            assert_eq!(inter.multiplicity(t), nl.min(nr), "min multiplicity of {t}");
+            assert_eq!(
+                diff.multiplicity(t),
+                nl.saturating_sub(nr),
+                "saturating-subtract multiplicity of {t}"
+            );
+        }
+        // The bag laws tie the two together: |l| = |l ∩B r| + |l −B r|.
+        assert_eq!(l.len(), inter.len() + diff.len());
+    }
+
+    #[test]
+    fn nan_is_one_equality_class_across_scan_and_hashed_ops() {
+        // Stored NaNs (the engine's arithmetic never produces one, but
+        // ingestion accepts them) form a single null_safe_eq class with
+        // PostgreSQL semantics, so the hashed operators and the scan-based
+        // multiplicity/contains helpers must agree on them.
+        let schema = Schema::from_names(&["x"]);
+        let r = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Float(f64::NAN)],
+                vec![Value::Float(-f64::NAN)],
+                vec![Value::Float(1.5)],
+            ],
+        );
+        let nan = Tuple::new(vec![Value::Float(f64::NAN)]);
+        assert_eq!(r.multiplicity(&nan), 2);
+        assert!(r.contains(&nan));
+        assert_eq!(r.distinct().len(), 2);
+        let s = Relation::from_rows(schema, vec![vec![Value::Float(f64::NAN)]]);
+        assert_eq!(r.bag_intersect(&s).len(), 1);
+        assert_eq!(r.bag_difference(&s).len(), 2);
+        assert_eq!(r.set_intersect(&s).len(), 1);
+        assert_eq!(r.set_difference(&s).len(), 1);
+    }
+
+    #[test]
+    fn hashed_set_ops_cross_type_equality_matches_null_safe_eq() {
+        // Int(2), Float(2.0) and Date(2) are one null_safe_eq class: the
+        // hashed key must merge them, exactly like the scan implementation.
+        let schema = Schema::from_names(&["x"]);
+        let l = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Float(2.0)],
+                vec![Value::Null],
+                vec![Value::Int(5)],
+            ],
+        );
+        let r = Relation::from_rows(schema, vec![vec![Value::Date(2)], vec![Value::Null]]);
+        let inter = l.set_intersect(&r);
+        assert_eq!(inter.len(), 2);
+        assert!(inter.contains(&Tuple::new(vec![Value::Int(2)])));
+        assert!(inter.contains(&Tuple::new(vec![Value::Null])));
+        let diff = l.set_difference(&r);
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&Tuple::new(vec![Value::Int(5)])));
+        // Bag intersection consumes right-side multiplicity across the
+        // class: only one of the two spellings of "2" survives.
+        assert_eq!(l.bag_intersect(&r).len(), 2);
+        assert_eq!(l.bag_difference(&r).len(), 2);
     }
 }

@@ -191,7 +191,7 @@ impl Value {
                 int_eq_float(*a, *b)
             }
             _ => match (self.as_f64(), other.as_f64()) {
-                (Some(a), Some(b)) => a == b,
+                (Some(a), Some(b)) => f64_cmp_sql(a, b) == Ordering::Equal,
                 _ => false,
             },
         }
@@ -210,12 +210,12 @@ impl Value {
             // above 2⁵³ and would call distinct large values equal,
             // contradicting `sql_eq` (all of `<`, `=`, `>` would be FALSE).
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
-            (Value::Int(a), Value::Float(b)) => int_cmp_float(*a, *b),
-            (Value::Float(a), Value::Int(b)) => int_cmp_float(*b, *a).map(Ordering::reverse),
+            (Value::Int(a), Value::Float(b)) => Some(int_cmp_float(*a, *b)),
+            (Value::Float(a), Value::Int(b)) => Some(int_cmp_float(*b, *a).reverse()),
             _ => {
                 let a = self.as_f64()?;
                 let b = other.as_f64()?;
-                a.partial_cmp(&b)
+                Some(f64_cmp_sql(a, b))
             }
         }
     }
@@ -248,18 +248,16 @@ impl Value {
                 (Some(a), Some(b)) => a.cmp(&b),
                 (Some(a), None) => {
                     let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
-                    int_cmp_float(a, b).unwrap_or(Ordering::Equal)
+                    int_cmp_float(a, b)
                 }
                 (None, Some(b)) => {
                     let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
-                    int_cmp_float(b, a)
-                        .map(Ordering::reverse)
-                        .unwrap_or(Ordering::Equal)
+                    int_cmp_float(b, a).reverse()
                 }
                 (None, None) => {
                     let a = self.as_f64().unwrap_or(f64::NEG_INFINITY);
                     let b = other.as_f64().unwrap_or(f64::NEG_INFINITY);
-                    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+                    f64_cmp_sql(a, b)
                 }
             },
         }
@@ -288,30 +286,47 @@ impl Value {
 /// `[-2⁶³, 2⁶³)` are the ones whose truncation fits in an `i64`.
 const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
 
-/// Exact mathematical comparison of an `i64` against an `f64` (`None` only
-/// for NaN). Comparing through `i as f64` would be lossy above 2⁵³ and
-/// would break trichotomy against the exact equality: `Int(2⁵³ + 1)` must
-/// order strictly *above* `Float(2⁵³)`, not compare equal to it.
-fn int_cmp_float(i: i64, f: f64) -> Option<Ordering> {
+/// Total order on `f64` values matching PostgreSQL's float semantics: NaN
+/// is *equal to* NaN (whatever the bit payloads) and *greater than* every
+/// other value; otherwise the IEEE order applies (in particular `-0.0` and
+/// `0.0` compare equal). This keeps equality, ordering and the hash-key
+/// encoding of [`crate::keys`] mutually consistent for stored NaN values —
+/// NaN forms one ordinary equality class instead of being unequal even to
+/// itself.
+fn f64_cmp_sql(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both sides are non-NaN"),
+    }
+}
+
+/// Exact mathematical comparison of an `i64` against an `f64`. Comparing
+/// through `i as f64` would be lossy above 2⁵³ and would break trichotomy
+/// against the exact equality: `Int(2⁵³ + 1)` must order strictly *above*
+/// `Float(2⁵³)`, not compare equal to it. NaN orders above every integer
+/// (see [`f64_cmp_sql`]).
+fn int_cmp_float(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
-        return None;
+        return Ordering::Less;
     }
     if f >= TWO_POW_63 {
-        return Some(Ordering::Less);
+        return Ordering::Less;
     }
     if f < -TWO_POW_63 {
-        return Some(Ordering::Greater);
+        return Ordering::Greater;
     }
     let t = f.trunc();
     // In `[-2⁶³, 2⁶³)` the truncation converts exactly; when `i` equals it,
     // the discarded fractional remainder decides (for negative `f` the
     // truncation sits *above* `f`, so the remainder is negative).
-    Some(i.cmp(&(t as i64)).then(0.0_f64.total_cmp(&(f - t))))
+    i.cmp(&(t as i64)).then(0.0_f64.total_cmp(&(f - t)))
 }
 
 /// `true` when `f` denotes exactly the integer `i`.
 fn int_eq_float(i: i64, f: f64) -> bool {
-    int_cmp_float(i, f) == Some(Ordering::Equal)
+    int_cmp_float(i, f) == Ordering::Equal
 }
 
 impl Value {
@@ -439,6 +454,30 @@ mod tests {
         assert_eq!(Unknown.not(), Unknown);
         assert_eq!(True.not(), False);
         assert_eq!(False.not(), True);
+    }
+
+    #[test]
+    fn nan_is_equal_to_nan_and_greater_than_everything_numeric() {
+        // PostgreSQL float semantics for stored NaN: one equality class
+        // (whatever the sign/payload), ordered above every other number —
+        // keeping equality, ordering and the hashed key encoding mutually
+        // consistent.
+        let nan = Value::Float(f64::NAN);
+        let neg_nan = Value::Float(-f64::NAN);
+        assert_eq!(nan.sql_eq(&neg_nan), Truth::True);
+        assert!(nan.null_safe_eq(&neg_nan));
+        assert_eq!(nan.sql_eq(&Value::Float(3.0)), Truth::False);
+        assert!(!nan.null_safe_eq(&Value::Null));
+        assert_eq!(nan.sql_cmp(&neg_nan), Some(Ordering::Equal));
+        assert_eq!(
+            nan.sql_cmp(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(nan.sql_cmp(&Value::Int(i64::MAX)), Some(Ordering::Greater));
+        assert_eq!(Value::Int(5).sql_cmp(&nan), Some(Ordering::Less));
+        assert_eq!(nan.sort_key(&neg_nan), Ordering::Equal);
+        assert_eq!(nan.sort_key(&Value::Float(1.0)), Ordering::Greater);
+        assert_eq!(Value::Int(7).sort_key(&nan), Ordering::Less);
     }
 
     #[test]

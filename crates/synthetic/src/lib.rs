@@ -17,7 +17,7 @@
 pub mod generator;
 pub mod queries;
 
-pub use generator::{generate_table, SyntheticConfig};
+pub use generator::{generate_table, SyntheticConfig, CORRELATION_GROUPS};
 pub use queries::{
     build_database, build_query, query_q1, query_q2, random_range, QueryKind, RangeParams,
 };
