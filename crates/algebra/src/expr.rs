@@ -278,6 +278,12 @@ pub enum Expr {
     },
     /// A constant.
     Literal(Value),
+    /// A query parameter (`$1`, `$2`, … in SQL), stored as a 0-based index
+    /// into the parameter vector supplied at execution time. Parameters are
+    /// constant for the duration of one execution (like literals) but vary
+    /// between executions of the same prepared plan, so the executor folds
+    /// the referenced parameter values into its sublink memo keys.
+    Param(usize),
     /// Binary operation.
     Binary {
         op: BinaryOp,
@@ -357,7 +363,7 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Column { .. } | Expr::Literal(_) | Expr::Sublink { .. } => {}
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) | Expr::Sublink { .. } => {}
         }
     }
 
@@ -429,6 +435,7 @@ impl fmt::Display for Expr {
                 Value::Str(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
             },
+            Expr::Param(index) => write!(f, "${}", index + 1),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::IsNull | UnaryOp::IsNotNull => write!(f, "({expr} {op})"),

@@ -144,6 +144,58 @@ pub fn is_correlated(plan: &Plan) -> bool {
     !free_columns(plan).is_empty()
 }
 
+/// The set of query parameters (`$1`-style, 0-based indices) referenced
+/// anywhere in `plan`, *including* inside nested sublink plans and their
+/// test expressions, sorted and deduplicated.
+///
+/// Parameters are the second half of a sublink's memoization signature:
+/// unlike correlated column references they are constant within one
+/// execution, but they vary *between* executions of the same prepared plan,
+/// so the executor folds the values bound to exactly these indices into the
+/// sublink memo key alongside the correlation bindings.
+pub fn free_params(plan: &Plan) -> Vec<usize> {
+    let mut out = Vec::new();
+    free_params_plan(plan, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn free_params_plan(plan: &Plan, out: &mut Vec<usize>) {
+    for expr in plan.expressions() {
+        free_params_expr(expr, out);
+    }
+    for child in plan.children() {
+        free_params_plan(child, out);
+    }
+}
+
+fn free_params_expr(expr: &Expr, out: &mut Vec<usize>) {
+    // `Expr::walk` treats sublinks as leaves; descend into their test
+    // expressions and plans explicitly so no parameter reference is missed.
+    expr.walk(&mut |e| match e {
+        Expr::Param(index) => out.push(*index),
+        Expr::Sublink {
+            test_expr,
+            plan: sub,
+            ..
+        } => {
+            if let Some(test) = test_expr {
+                free_params_expr(test, out);
+            }
+            free_params_plan(sub, out);
+        }
+        _ => {}
+    });
+}
+
+/// Number of parameter slots a plan needs: one past the highest referenced
+/// parameter index, or 0 when the plan is parameter-free. A plan referencing
+/// only `$3` still needs three slots — the vector is positional.
+pub fn param_count(plan: &Plan) -> usize {
+    free_params(plan).last().map(|&i| i + 1).unwrap_or(0)
+}
+
 /// Replaces the `i`-th sublink (in [`Expr::walk`] order) of `expr` with
 /// `replacements[i]`, leaving everything else untouched. Used by the Move
 /// strategy (rules T1/T2) which moves sublinks into a projection and
@@ -352,6 +404,42 @@ mod tests {
         // The whole query is closed: the sublink's free column `r.b` is bound
         // by the selection's input.
         assert!(!is_correlated(&q));
+    }
+
+    #[test]
+    fn free_params_descend_into_sublink_plans_and_test_exprs() {
+        let db = db();
+        // σ_{($2 = ANY(σ_{c = $1}(S)))}(R): $1 sits inside the sublink plan,
+        // $2 in its test expression; both must be reported, sorted, once.
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), crate::Expr::Param(0)))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(crate::builder::and(
+                any_sublink(crate::Expr::Param(1), CompareOp::Eq, sub),
+                eq(crate::Expr::Param(1), crate::Expr::Param(1)),
+            ))
+            .build();
+        assert_eq!(free_params(&q), vec![0, 1]);
+        assert_eq!(param_count(&q), 2);
+        let plain = PlanBuilder::scan(&db, "r").unwrap().build();
+        assert_eq!(free_params(&plain), Vec::<usize>::new());
+        assert_eq!(param_count(&plain), 0);
+    }
+
+    #[test]
+    fn params_are_not_free_columns() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(col("c"), crate::Expr::Param(0)))
+            .build();
+        // A parameter is not a correlated column reference: the sublink is
+        // uncorrelated (InitPlan-shaped) even though it is parameterized.
+        assert!(!is_correlated(&sub));
+        assert_eq!(free_params(&sub), vec![0]);
     }
 
     #[test]

@@ -11,13 +11,16 @@
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
 //! harness memo [--max-rows N] [--check]                 # sublink memo on/off on q3 (Fig. 7 sweep)
 //!                                                       # --check: fail unless memoized < unmemoized ops
+//! harness serve [--rows N] [--execs N] [--check]        # prepared vs one-shot serving cost
+//!                                                       # --check: fail unless prepared is cheaper
 //! harness ablation [--rows N]                           # rewrite-structure ablation
 //! harness all                                           # everything, at the smallest scale
 //! ```
 
 use perm_bench::{
-    format_table, measure_ablation, measure_fig6, measure_sublink_memo, measure_synthetic_sweep,
-    memo_results_to_json, results_to_json, BenchConfig, SyntheticSweep,
+    format_table, measure_ablation, measure_fig6, measure_serve, measure_sublink_memo,
+    measure_synthetic_sweep, memo_results_to_json, results_to_json, serve_to_json, BenchConfig,
+    SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -60,6 +63,7 @@ fn main() {
             &config,
         ),
         "memo" => memo(&options, &config),
+        "serve" => serve(&options, &config),
         "ablation" => ablation(&options, &config),
         "all" => {
             fig6(&options, &config);
@@ -85,6 +89,7 @@ fn main() {
                 &config,
             );
             memo(&options, &config);
+            serve(&options, &config);
             ablation(&options, &config);
         }
         _ => print_usage(),
@@ -107,6 +112,7 @@ struct Options {
     seed: u64,
     max_rows: usize,
     rows: usize,
+    execs: usize,
     check: bool,
 }
 
@@ -119,6 +125,7 @@ impl Options {
             seed: 42,
             max_rows: 2000,
             rows: 1000,
+            execs: 25,
             check: false,
         };
         let mut i = 0;
@@ -136,6 +143,7 @@ impl Options {
                 "--seed" => options.seed = value.parse().unwrap_or(options.seed),
                 "--max-rows" => options.max_rows = value.parse().unwrap_or(options.max_rows),
                 "--rows" => options.rows = value.parse().unwrap_or(options.rows),
+                "--execs" => options.execs = value.parse().unwrap_or(options.execs),
                 other => {
                     eprintln!("unknown option {other}");
                     i += 1;
@@ -261,6 +269,68 @@ fn memo(options: &Options, config: &BenchConfig) {
     }
 }
 
+fn serve(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Serving — prepared vs one-shot execution of a parameterized correlated \
+         provenance query ({} rows, {} executions) ==\n",
+        options.rows, options.execs
+    );
+    let comparison = measure_serve(options.rows, options.execs, config);
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "path", "total [ms]", "per exec [ms]", "compiles"
+    );
+    println!(
+        "{:<10} {:>12.1} {:>14.2} {:>10}",
+        "prepared",
+        comparison.ms_prepared_total + comparison.ms_prepare,
+        comparison.ms_prepared_per_exec(),
+        comparison.prepared_compiles
+    );
+    println!(
+        "{:<10} {:>12.1} {:>14.2} {:>10}",
+        "one-shot",
+        comparison.ms_oneshot_total,
+        comparison.ms_oneshot_per_exec(),
+        comparison.oneshot_compiles
+    );
+    println!("speedup: {:.1}x amortized\n", comparison.speedup());
+    write_json("serve", &serve_to_json(&comparison));
+
+    // `--check` is the CI smoke gate for the serving redesign: prepared
+    // re-execution (including its share of the one-time prepare) must be
+    // strictly cheaper than the one-shot pipeline, and must have compiled
+    // exactly once.
+    if options.check {
+        let mut failed = false;
+        if comparison.prepared_compiles != 1 {
+            eprintln!(
+                "serve check: prepared path compiled {} times, expected 1",
+                comparison.prepared_compiles
+            );
+            failed = true;
+        }
+        if comparison.ms_prepared_total + comparison.ms_prepare >= comparison.ms_oneshot_total {
+            eprintln!(
+                "serve check: prepared path ({:.1}ms incl. prepare) is not cheaper than \
+                 one-shot ({:.1}ms)",
+                comparison.ms_prepared_total + comparison.ms_prepare,
+                comparison.ms_oneshot_total
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "serve check passed: {} prepared executions (1 compile) ran {:.1}x faster than \
+             the one-shot pipeline",
+            comparison.executions,
+            comparison.speedup()
+        );
+    }
+}
+
 fn ablation(options: &Options, config: &BenchConfig) {
     println!(
         "== Ablation — rewritten-plan structure vs. run time ({} rows) ==\n",
@@ -285,11 +355,16 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|ablation|all> [--scale xs|s|m|l] [--runs N] \
-         [--timeout SECS] [--seed N] [--max-rows N] [--rows N] [--check]"
+        "usage: harness <fig6|fig7|fig8|fig9|memo|serve|ablation|all> [--scale xs|s|m|l] \
+         [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] [--execs N] [--check]"
     );
     println!(
-        "  --check (memo only): exit non-zero unless the memoized path evaluates strictly \
+        "  --check (memo): exit non-zero unless the memoized path evaluates strictly \
          fewer operators than the unmemoized path at every point"
     );
+    println!(
+        "  --check (serve): exit non-zero unless prepared re-execution is strictly cheaper \
+         than the one-shot pipeline and compiled exactly once"
+    );
+    println!("  --execs (serve): number of executions per path (default 25)");
 }

@@ -102,7 +102,14 @@ impl std::fmt::Display for ProvenanceError {
     }
 }
 
-impl std::error::Error for ProvenanceError {}
+impl std::error::Error for ProvenanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProvenanceError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StorageError> for ProvenanceError {
     fn from(e: StorageError) -> Self {

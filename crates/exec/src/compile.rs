@@ -35,12 +35,12 @@ use crate::executor::{extract_equi_keys, Executor};
 use crate::functions;
 use crate::physical::{self, AggSpec};
 use crate::{ExecError, Result};
-use perm_algebra::visit::free_correlated_columns;
+use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{
     AggFunc, BinaryOp, CompareOp, Expr, FuncName, JoinKind, Plan, SetOpKind, SublinkKind, UnaryOp,
 };
 use perm_storage::{encode_key_typed, Relation, Schema, StorageError, Truth, Tuple, Value};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A resolved column reference: how many scopes outwards, and at which
@@ -69,6 +69,9 @@ pub enum CompiledExpr {
     },
     /// A constant.
     Literal(Value),
+    /// A query parameter (`$1` is index 0), read from the executor's bound
+    /// parameter vector at evaluation time.
+    Param(usize),
     /// Binary operation.
     Binary {
         op: BinaryOp,
@@ -113,6 +116,12 @@ pub struct CompiledSublink {
     /// every free column of the sublink plan resolved statically — the memo
     /// precondition. Empty means uncorrelated (InitPlan).
     pub params: Option<Vec<Slot>>,
+    /// The query-parameter indices the sublink plan references (transitively,
+    /// including nested sublinks), sorted. The bound values of exactly these
+    /// indices are folded into the memo key alongside the correlation
+    /// bindings, so memoization stays correct across executions of one
+    /// prepared plan with different parameter vectors.
+    pub param_refs: Vec<usize>,
 }
 
 /// One compiled hash-join key pair (see
@@ -296,18 +305,21 @@ impl<'a> Frame<'a> {
     }
 }
 
-/// Compiles a plan with an empty outer scope chain. `next_sublink_id` is
-/// shared so sublink ids stay unique across compilations.
-pub(crate) fn compile_plan(plan: &Plan, next_sublink_id: &Cell<usize>) -> Result<CompiledPlan> {
-    let mut compiler = Compiler { next_sublink_id };
+/// Source of compiled-sublink ids: process-wide, so the memo keys of plans
+/// prepared by *different* executors (e.g. two sessions sharing one engine,
+/// or a prepared statement outliving the session that compiled it) can never
+/// collide either.
+static NEXT_SUBLINK_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Compiles a plan with an empty outer scope chain.
+pub(crate) fn compile_plan(plan: &Plan) -> Result<CompiledPlan> {
+    let mut compiler = Compiler;
     compiler.plan(plan, None)
 }
 
-struct Compiler<'c> {
-    next_sublink_id: &'c Cell<usize>,
-}
+struct Compiler;
 
-impl Compiler<'_> {
+impl Compiler {
     fn plan(&mut self, plan: &Plan, outer: Option<&Scopes<'_>>) -> Result<CompiledPlan> {
         match plan {
             Plan::Scan { table, schema, .. } => Ok(CompiledPlan::Scan {
@@ -467,6 +479,7 @@ impl Compiler<'_> {
                 },
             },
             Expr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            Expr::Param(index) => CompiledExpr::Param(*index),
             Expr::Binary { op, left, right } => CompiledExpr::Binary {
                 op: *op,
                 left: Box::new(self.expr(left, scopes)?),
@@ -502,8 +515,7 @@ impl Compiler<'_> {
                 op,
                 plan,
             } => {
-                let id = self.next_sublink_id.get();
-                self.next_sublink_id.set(id + 1);
+                let id = NEXT_SUBLINK_ID.fetch_add(1, Ordering::Relaxed);
 
                 // The correlation signature: every free column of the
                 // sublink plan, resolved against the chain at the use site.
@@ -541,6 +553,7 @@ impl Compiler<'_> {
                     op: *op,
                     plan: self.sublink_plan(plan, scopes)?,
                     params,
+                    param_refs: free_params(plan),
                 }))
             }
         })
@@ -557,7 +570,7 @@ impl Compiler<'_> {
 impl Executor<'_> {
     /// Recursive compiled-path plan evaluation: executes children, wraps
     /// [`Executor::ceval`] into per-tuple closures over a [`Frame`] slot
-    /// chain, and delegates every operator body to [`crate::physical`] — the
+    /// chain, and delegates every operator body to `crate::physical` — the
     /// same bodies the interpreter drives. `frame` is the runtime scope
     /// chain for correlated slot references (present when this plan is a
     /// sublink query of an outer operator).
@@ -721,6 +734,7 @@ impl Executor<'_> {
                 }))
             }
             CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Param(index) => self.param_value(*index),
             CompiledExpr::Binary { op, left, right } => self.ceval_binary(*op, left, right, frame),
             CompiledExpr::Unary { op, expr } => {
                 let v = self.ceval(expr, frame)?;
@@ -834,18 +848,22 @@ impl Executor<'_> {
     }
 
     /// The parameterized memo key of a compiled sublink: its id followed by
-    /// [`encode_key_typed`] over the binding values read from `frame` at the
-    /// slots of its correlation signature. Unlike the join/grouping key, the
-    /// memo key is *type-exact* (`Int(3)`, `Float(3.0)` and `Date(3)` all
-    /// differ), so a hit can only ever substitute the result of a
+    /// [`encode_key_typed`] over the query-parameter values of its
+    /// `param_refs` and the binding values read from `frame` at the slots of
+    /// its correlation signature (both counts are fixed per sublink, so the
+    /// two groups concatenate unambiguously). Unlike the join/grouping key,
+    /// the memo key is *type-exact* (`Int(3)`, `Float(3.0)` and `Date(3)`
+    /// all differ), so a hit can only ever substitute the result of a
     /// byte-identical binding — coarser keying would be wrong for
     /// type-sensitive expressions such as string concatenation or date
     /// arithmetic over the binding. `None` when the sublink has no resolved
-    /// signature, or the memo is disabled and the sublink is correlated —
-    /// an *uncorrelated* sublink (empty signature) keeps its per-query
-    /// InitPlan caching even in the memo-off baseline, exactly like the
-    /// interpreter path ([`Executor::interp_sublink_key`]) and the
-    /// PostgreSQL engine underneath the original Perm system.
+    /// signature, a referenced parameter is unbound (the reference might
+    /// still sit behind a short circuit), or the memo is disabled and the
+    /// sublink is correlated — an *uncorrelated* sublink (empty signature)
+    /// keeps its per-query InitPlan caching even in the memo-off baseline,
+    /// exactly like the interpreter path
+    /// ([`Executor::interp_sublink_key`]) and the PostgreSQL engine
+    /// underneath the original Perm system.
     fn compiled_sublink_key(
         &self,
         sublink: &CompiledSublink,
@@ -853,18 +871,28 @@ impl Executor<'_> {
     ) -> Result<Option<Vec<u8>>> {
         match &sublink.params {
             Some(slots) if self.memo_enabled.get() || slots.is_empty() => {
-                let bindings: Vec<Value> = slots
-                    .iter()
-                    .map(|&slot| match frame {
-                        Some(f) => Ok(f.get(slot).clone()),
-                        None => Err(ExecError::Storage(StorageError::UnknownAttribute(
-                            "<correlated sublink without outer scope>".into(),
-                        ))),
-                    })
-                    .collect::<Result<_>>()?;
+                let params = self.params_rc();
+                let mut values: Vec<Value> =
+                    Vec::with_capacity(sublink.param_refs.len() + slots.len());
+                for &index in &sublink.param_refs {
+                    match params.get(index) {
+                        Some(v) => values.push(v.clone()),
+                        None => return Ok(None),
+                    }
+                }
+                for &slot in slots {
+                    match frame {
+                        Some(f) => values.push(f.get(slot).clone()),
+                        None => {
+                            return Err(ExecError::Storage(StorageError::UnknownAttribute(
+                                "<correlated sublink without outer scope>".into(),
+                            )))
+                        }
+                    }
+                }
                 let mut key = vec![crate::executor::MEMO_TAG_COMPILED];
                 key.extend_from_slice(&sublink.id.to_le_bytes());
-                key.extend_from_slice(&encode_key_typed(&bindings));
+                key.extend_from_slice(&encode_key_typed(&values));
                 Ok(Some(key))
             }
             _ => Ok(None),
@@ -895,8 +923,8 @@ impl Executor<'_> {
         key: Option<Vec<u8>>,
     ) -> Result<Arc<Relation>> {
         if let Some(k) = &key {
-            if let Some(hit) = self.sublink_memo.borrow().get(k) {
-                return Ok(Arc::clone(hit));
+            if let Some(hit) = self.sublink_memo.borrow_mut().get(k) {
+                return Ok(hit);
             }
         }
         let result = Arc::new(self.execute_compiled(&sublink.plan, frame)?);
@@ -1265,6 +1293,65 @@ mod tests {
             "interpreter verdicts must be memoized too: {} on vs {cmp_off} off",
             interp.quantifier_comparisons()
         );
+    }
+
+    #[test]
+    fn param_values_participate_in_sublink_memo_keys_on_both_paths() {
+        // A sublink correlated on r.g AND filtered by $1: the memo key must
+        // include the parameter value, or a retained memo would serve stale
+        // results after rebinding. Checked on the compiled and the
+        // interpreter path.
+        let db = db_with_groups();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(builder::and(
+                eq(qcol("s", "g"), qcol("r", "g")),
+                builder::cmp(CompareOp::Gt, qcol("s", "c"), perm_algebra::Expr::Param(0)),
+            ))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&q).unwrap();
+        ex.bind_params(vec![Value::Int(108)]);
+        let strict = ex.execute_compiled(&compiled, None).unwrap();
+        let after_first = ex.operators_evaluated();
+        // Same binding again: every (g, $1) pair is a memo hit.
+        let strict_again = ex.execute_compiled(&compiled, None).unwrap();
+        let after_second = ex.operators_evaluated();
+        assert_eq!(after_second - after_first, 2, "outer scan + select only");
+        assert!(strict.bag_eq(&strict_again));
+        // New binding: the sublink must re-run per distinct g, and the
+        // result must change (more s rows qualify).
+        ex.bind_params(vec![Value::Int(-1)]);
+        let loose = ex.execute_compiled(&compiled, None).unwrap();
+        assert!(ex.operators_evaluated() - after_second > 2);
+        assert!(loose.len() > strict.len());
+
+        // Interpreter path: same contract, per execution.
+        let interp = Executor::new(&db);
+        interp.bind_params(vec![Value::Int(108)]);
+        let i_strict = interp.execute_unoptimized(&q).unwrap();
+        interp.bind_params(vec![Value::Int(-1)]);
+        let i_loose = interp.execute_unoptimized(&q).unwrap();
+        assert!(i_strict.bag_eq(&strict));
+        assert!(i_loose.bag_eq(&loose));
+    }
+
+    #[test]
+    fn memo_capacity_keeps_results_correct_under_thrashing() {
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let bounded = Executor::new(&db).with_memo_capacity(Some(1));
+        let unbounded = Executor::new(&db);
+        let a = bounded.execute(&q).unwrap();
+        let b = unbounded.execute(&q).unwrap();
+        assert!(a.bag_eq(&b));
+        // 3 correlated groups vs capacity 1: evictions force re-execution.
+        assert!(bounded.operators_evaluated() >= unbounded.operators_evaluated());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Pull-based streaming execution: a [`Rows`] cursor over a compiled plan.
+//!
+//! [`Executor::open`] walks the *top spine* of a [`CompiledPlan`] and builds
+//! a cursor that yields tuples on demand instead of materialising the full
+//! result. The spine operators — `LIMIT`, non-distinct projection, selection
+//! and base-table scans — stream tuple by tuple; every other operator
+//! (joins, aggregation, sorting, set operations, `DISTINCT`) is a pipeline
+//! breaker and is materialised through the shared
+//! [`Executor::execute_compiled`] path the moment the cursor is opened.
+//!
+//! The payoff is the classic serving pattern: a `LIMIT k` query over a
+//! streamable spine evaluates its projection and selection expressions for
+//! only as many input tuples as it takes to produce `k` output tuples,
+//! instead of paying for the whole input first. Sublinks inside streamed
+//! predicates go through the same parameterized sublink memo as
+//! materialised execution, so correlated work is still shared across the
+//! tuples that *are* pulled.
+//!
+//! A cursor captures the executor's bound parameter vector when it is
+//! opened and re-asserts it on every pull, so interleaved executions on the
+//! same executor (with different `$n` bindings) cannot corrupt an open
+//! stream.
+
+use crate::compile::{CompiledExpr, CompiledPlan, Frame};
+use crate::executor::Executor;
+use crate::Result;
+use perm_storage::{Relation, Schema, Tuple, Value};
+use std::rc::Rc;
+
+/// A pull-based cursor over a query result: `Iterator<Item = Result<Tuple>>`.
+///
+/// After the first error the cursor is fused and yields `None` forever.
+pub struct Rows<'e, 'a> {
+    executor: &'e Executor<'a>,
+    /// The parameter binding captured at open time, re-asserted per pull.
+    params: Rc<[Value]>,
+    schema: Schema,
+    node: Node<'e>,
+    done: bool,
+}
+
+/// One operator of the streaming spine.
+enum Node<'e> {
+    /// A pipeline breaker, fully materialised at open time.
+    Materialized(std::vec::IntoIter<Tuple>),
+    /// Base-table scan, cloned tuple by tuple as pulled.
+    Scan(std::slice::Iter<'e, Tuple>),
+    /// Streaming selection.
+    Select {
+        input: Box<Node<'e>>,
+        predicate: &'e CompiledExpr,
+    },
+    /// Streaming (non-distinct) projection.
+    Project {
+        input: Box<Node<'e>>,
+        items: &'e [CompiledExpr],
+    },
+    /// Streaming truncation: stops pulling its input after `remaining`
+    /// tuples.
+    Limit {
+        input: Box<Node<'e>>,
+        remaining: usize,
+    },
+}
+
+impl<'a> Executor<'a> {
+    /// Opens a streaming cursor over a compiled top-level plan. Streamable
+    /// spine operators are counted on [`Executor::operators_evaluated`] once
+    /// at open time (one evaluation per operator invocation, exactly like
+    /// the materialising path); pipeline breakers below the spine execute
+    /// eagerly here.
+    pub fn open<'e>(&'e self, plan: &'e CompiledPlan) -> Result<Rows<'e, 'a>> {
+        let node = self.open_node(plan)?;
+        Ok(Rows {
+            executor: self,
+            params: self.params_rc(),
+            schema: plan.schema().clone(),
+            node,
+            done: false,
+        })
+    }
+
+    fn open_node<'e>(&'e self, plan: &'e CompiledPlan) -> Result<Node<'e>> {
+        let count = || self.ops_evaluated.set(self.ops_evaluated.get() + 1);
+        Ok(match plan {
+            CompiledPlan::Limit { input, limit, .. } => {
+                count();
+                Node::Limit {
+                    input: Box::new(self.open_node(input)?),
+                    remaining: *limit,
+                }
+            }
+            CompiledPlan::Project {
+                input,
+                items,
+                distinct: false,
+                ..
+            } => {
+                count();
+                Node::Project {
+                    input: Box::new(self.open_node(input)?),
+                    items,
+                }
+            }
+            CompiledPlan::Select {
+                input, predicate, ..
+            } => {
+                count();
+                Node::Select {
+                    input: Box::new(self.open_node(input)?),
+                    predicate,
+                }
+            }
+            CompiledPlan::Scan { table, .. } => {
+                count();
+                Node::Scan(self.database().table(table)?.tuples().iter())
+            }
+            breaker => Node::Materialized(
+                self.execute_compiled(breaker, None)?
+                    .into_tuples()
+                    .into_iter(),
+            ),
+        })
+    }
+}
+
+impl Rows<'_, '_> {
+    /// The output schema of the cursor.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Drains the cursor into a materialised relation.
+    pub fn into_relation(mut self) -> Result<Relation> {
+        let mut out = Relation::empty(self.schema.clone());
+        for tuple in &mut self {
+            out.push_unchecked(tuple?);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for Rows<'_, '_> {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Result<Tuple>> {
+        if self.done {
+            return None;
+        }
+        // Another execution on the same executor may have re-bound the
+        // parameter vector between pulls; re-assert this cursor's snapshot.
+        self.executor.rebind_params(&self.params);
+        match advance(&mut self.node, self.executor) {
+            Ok(Some(tuple)) => Some(Ok(tuple)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn advance(node: &mut Node<'_>, ex: &Executor<'_>) -> Result<Option<Tuple>> {
+    match node {
+        Node::Materialized(tuples) => Ok(tuples.next()),
+        Node::Scan(tuples) => Ok(tuples.next().cloned()),
+        Node::Select { input, predicate } => loop {
+            let Some(tuple) = advance(input, ex)? else {
+                return Ok(None);
+            };
+            let frame = Frame::new(None, &tuple);
+            if ex.ceval(predicate, Some(&frame))?.as_truth().is_true() {
+                return Ok(Some(tuple));
+            }
+        },
+        Node::Project { input, items } => {
+            let Some(tuple) = advance(input, ex)? else {
+                return Ok(None);
+            };
+            let frame = Frame::new(None, &tuple);
+            let mut row = Vec::with_capacity(items.len());
+            for item in items.iter() {
+                row.push(ex.ceval(item, Some(&frame))?);
+            }
+            Ok(Some(Tuple::new(row)))
+        }
+        Node::Limit { input, remaining } => {
+            if *remaining == 0 {
+                return Ok(None);
+            }
+            match advance(input, ex)? {
+                Some(tuple) => {
+                    *remaining -= 1;
+                    Ok(Some(tuple))
+                }
+                None => {
+                    *remaining = 0;
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecError;
+    use perm_algebra::builder::{cmp, col, eq, lit, PlanBuilder};
+    use perm_algebra::CompareOp;
+    use perm_algebra::{Expr, ProjectItem};
+    use perm_storage::{Database, Schema, Value};
+
+    fn db_with_poisoned_tail() -> Database {
+        // Row 0 passes the predicate cleanly; row 2 would divide by zero.
+        // A lazy LIMIT 1 never reaches it; eager execution must fail.
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Relation::from_rows(
+                Schema::from_names(&["x"]).with_qualifier("t"),
+                vec![
+                    vec![Value::Int(5)],
+                    vec![Value::Int(7)],
+                    vec![Value::Int(0)],
+                ],
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    fn limited_query(db: &Database, limit: usize) -> perm_algebra::Plan {
+        PlanBuilder::scan(db, "t")
+            .unwrap()
+            .select(cmp(
+                CompareOp::Gt,
+                Expr::Binary {
+                    op: perm_algebra::BinaryOp::Div,
+                    left: Box::new(lit(10)),
+                    right: Box::new(col("x")),
+                },
+                lit(0),
+            ))
+            .project(vec![ProjectItem::column("x")])
+            .limit(limit)
+            .build()
+    }
+
+    #[test]
+    fn cursor_streams_limit_without_evaluating_the_full_input() {
+        let db = db_with_poisoned_tail();
+        let plan = limited_query(&db, 2);
+        let ex = Executor::new(&db);
+
+        // Eager execution reaches the poisoned row and fails...
+        assert!(matches!(
+            Executor::new(&db).execute(&plan),
+            Err(ExecError::DivisionByZero)
+        ));
+
+        // ...while the cursor yields the two requested tuples and stops
+        // before the poisoned third row is ever evaluated.
+        let compiled = ex.prepare(&plan).unwrap();
+        let rows: Vec<Tuple> = ex
+            .open(&compiled)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Int(5));
+        assert_eq!(rows[1].get(0), &Value::Int(7));
+    }
+
+    #[test]
+    fn cursor_fuses_after_an_error() {
+        let db = db_with_poisoned_tail();
+        let plan = limited_query(&db, 10);
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&plan).unwrap();
+        let mut rows = ex.open(&compiled).unwrap();
+        assert!(rows.next().unwrap().is_ok());
+        assert!(rows.next().unwrap().is_ok());
+        assert!(matches!(rows.next(), Some(Err(ExecError::DivisionByZero))));
+        assert!(rows.next().is_none());
+        assert!(rows.next().is_none());
+    }
+
+    #[test]
+    fn cursor_matches_materialised_execution_over_a_breaker() {
+        // An aggregate below the spine is a pipeline breaker: the cursor
+        // materialises it, and the streamed result must match `execute`.
+        let db = db_with_poisoned_tail();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .aggregate(
+                vec![ProjectItem::column("x")],
+                vec![perm_algebra::builder::count_star("n")],
+            )
+            .sort(vec![perm_algebra::SortKey::asc(col("x"))])
+            .build();
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&plan).unwrap();
+        let streamed = ex.open(&compiled).unwrap().into_relation().unwrap();
+        let eager = Executor::new(&db).execute(&plan).unwrap();
+        assert!(streamed.bag_eq(&eager));
+        assert_eq!(streamed.schema().names(), eager.schema().names());
+    }
+
+    #[test]
+    fn cursor_snapshot_survives_interleaved_param_rebinding() {
+        let db = db_with_poisoned_tail();
+        // σ_{x = $1}(t): stream with $1 = 5, then rebind $1 = 7 mid-stream.
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(eq(col("x"), Expr::Param(0)))
+            .build();
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&plan).unwrap();
+        ex.bind_params(vec![Value::Int(5)]);
+        let mut rows = ex.open(&compiled).unwrap();
+        ex.bind_params(vec![Value::Int(7)]);
+        let first = rows.next().unwrap().unwrap();
+        assert_eq!(first.get(0), &Value::Int(5), "cursor must keep its binding");
+        assert!(rows.next().is_none());
+    }
+}

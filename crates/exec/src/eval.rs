@@ -82,6 +82,7 @@ impl Executor<'_> {
                 )),
             },
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(index) => self.param_value(*index),
             Expr::Binary { op, left, right } => self.eval_binary(*op, left, right, env),
             Expr::Unary { op, expr } => {
                 let v = self.eval_expr(expr, env)?;
@@ -250,8 +251,8 @@ impl Executor<'_> {
         verdict_key.extend_from_slice(&perm_storage::encode_key_typed(std::slice::from_ref(
             test_value,
         )));
-        if let Some(truth) = self.verdict_memo.borrow().get(&verdict_key) {
-            return Ok(*truth);
+        if let Some(truth) = self.verdict_memo.borrow_mut().get(&verdict_key) {
+            return Ok(truth);
         }
         let relation = result(Some(verdict_key[..prefix_len].to_vec()))?;
         let truth = self.fold_quantified(kind, op, test_value, &relation);

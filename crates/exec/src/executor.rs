@@ -35,7 +35,7 @@
 //! strategy-equivalence tests cross-check compiled against interpreted
 //! results. Both drivers delegate every operator loop — joins (hashed and
 //! nested-loop, with left-outer padding), aggregation, sorting, set
-//! operations, projection/selection — to the shared [`crate::physical`]
+//! operations, projection/selection — to the shared `crate::physical`
 //! module, so no operator body is implemented twice; the drivers differ
 //! only in the tuple-evaluator closures they pass (name lookup through an
 //! [`Env`] chain vs. slot indexing through a [`crate::compile::Frame`]
@@ -46,9 +46,10 @@
 
 use crate::compile::CompiledPlan;
 use crate::eval::Env;
+use crate::memo::MemoMap;
 use crate::physical::{self, AggSpec};
-use crate::Result;
-use perm_algebra::visit::free_correlated_columns;
+use crate::{ExecError, Result};
+use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{Expr, Plan, SortKey};
 use perm_storage::{encode_key_typed, Database, Relation, Schema, Truth, Value};
 use std::cell::{Cell, RefCell};
@@ -64,30 +65,43 @@ type FreeColumn = (Option<String>, String);
 pub struct Executor<'a> {
     db: &'a Database,
     /// Parameterized sublink memo of the compiled path: sublink results
-    /// keyed by `(compiled sublink id, typed encoding of the correlated
-    /// binding values)`, shared as `Arc`s so hits never deep-copy.
-    pub(crate) sublink_memo: RefCell<HashMap<Vec<u8>, Arc<Relation>>>,
+    /// keyed by `(compiled sublink id, typed encoding of the referenced
+    /// query-parameter values followed by the correlated binding values)`,
+    /// shared as `Arc`s so hits never deep-copy.
+    pub(crate) sublink_memo: RefCell<MemoMap<Arc<Relation>>>,
     /// Parameterized sublink memo of the interpreter path: same contract,
     /// keyed by the sublink plan's *node address* (stable for the lifetime
     /// of one query execution because plans are borrowed immutably) plus
-    /// the typed encoding of its free correlated column bindings.
-    pub(crate) interp_sublink_memo: RefCell<HashMap<Vec<u8>, Arc<Relation>>>,
+    /// the typed encoding of its referenced parameter values and free
+    /// correlated column bindings.
+    pub(crate) interp_sublink_memo: RefCell<MemoMap<Arc<Relation>>>,
     /// `ANY`/`ALL` verdict memo, shared by both paths: `Truth` keyed by the
     /// sublink's result-memo key extended with the typed test value. The
     /// namespace tag leading each result key keeps compiled ids and
     /// interpreter addresses from colliding.
-    pub(crate) verdict_memo: RefCell<HashMap<Vec<u8>, Truth>>,
+    pub(crate) verdict_memo: RefCell<MemoMap<Truth>>,
     /// Cache of free-correlated-column analyses per interpreter sublink
     /// plan address.
     free_columns_cache: RefCell<HashMap<usize, Rc<[FreeColumn]>>>,
+    /// Cache of free-parameter analyses per interpreter sublink plan
+    /// address (the parameter half of the memo signature).
+    free_params_cache: RefCell<HashMap<usize, Rc<[usize]>>>,
+    /// The query-parameter vector (`$1` is index 0) bound for the current
+    /// execution. Shared as an `Rc` so a streaming cursor can cheaply
+    /// re-assert its own binding on every pull.
+    pub(crate) params: RefCell<Rc<[Value]>>,
     /// Whether the parameterized memos may be consulted for correlated
     /// sublinks.
     pub(crate) memo_enabled: Cell<bool>,
-    /// Source of unique ids for compiled sublinks, so memo keys from
-    /// different [`Executor::prepare`] calls never collide.
-    pub(crate) next_sublink_id: Cell<usize>,
+    /// Whether [`Executor::execute`] retains the compiled-path memos across
+    /// calls instead of clearing them up front (the prepared-statement
+    /// serving policy; see [`Executor::with_memo_retention`]).
+    retain_memo: Cell<bool>,
+    /// Number of plan compilations performed by [`Executor::prepare`]
+    /// (diagnostic counter for prepared-statement tests).
+    compile_count: Cell<u64>,
     /// Number of operator evaluations performed (for tests/diagnostics);
-    /// counted inside [`crate::physical`], once per operator invocation.
+    /// counted inside `crate::physical`, once per operator invocation.
     pub(crate) ops_evaluated: Cell<u64>,
     /// Number of per-row comparisons performed while folding `ANY`/`ALL`
     /// sublink results (for tests/diagnostics; verdict-memo hits skip the
@@ -106,12 +120,15 @@ impl<'a> Executor<'a> {
     pub fn new(db: &'a Database) -> Executor<'a> {
         Executor {
             db,
-            sublink_memo: RefCell::new(HashMap::new()),
-            interp_sublink_memo: RefCell::new(HashMap::new()),
-            verdict_memo: RefCell::new(HashMap::new()),
+            sublink_memo: RefCell::new(MemoMap::new()),
+            interp_sublink_memo: RefCell::new(MemoMap::new()),
+            verdict_memo: RefCell::new(MemoMap::new()),
             free_columns_cache: RefCell::new(HashMap::new()),
+            free_params_cache: RefCell::new(HashMap::new()),
+            params: RefCell::new(Rc::from(Vec::new())),
             memo_enabled: Cell::new(true),
-            next_sublink_id: Cell::new(0),
+            retain_memo: Cell::new(false),
+            compile_count: Cell::new(0),
             ops_evaluated: Cell::new(0),
             cmp_evaluated: Cell::new(0),
         }
@@ -127,6 +144,64 @@ impl<'a> Executor<'a> {
     pub fn with_sublink_memo(self, enabled: bool) -> Executor<'a> {
         self.memo_enabled.set(enabled);
         self
+    }
+
+    /// Bounds every memo (sublink results on both paths and `ANY`/`ALL`
+    /// verdicts) to at most `capacity` entries each, evicting
+    /// least-recently-used entries — the ROADMAP follow-on for
+    /// high-cardinality correlations. `None` (the default) keeps the memos
+    /// unbounded, preserving the established behaviour.
+    pub fn with_memo_capacity(self, capacity: Option<usize>) -> Executor<'a> {
+        self.sublink_memo.borrow_mut().set_capacity(capacity);
+        self.interp_sublink_memo.borrow_mut().set_capacity(capacity);
+        self.verdict_memo.borrow_mut().set_capacity(capacity);
+        self
+    }
+
+    /// Chooses the memo policy of [`Executor::execute`]: with `retain` set,
+    /// the compiled-path memos survive across `execute` calls instead of
+    /// being cleared up front. Retention is what a prepared statement wants
+    /// — re-executing the same [`CompiledPlan`] (same sublink ids, with the
+    /// bound parameter values folded into every memo key) can then reuse
+    /// entries from earlier executions. The default (`false`) keeps the
+    /// ad-hoc clearing semantics: each `execute` mints fresh sublink ids,
+    /// so old entries could never hit again and would only accumulate.
+    pub fn with_memo_retention(self, retain: bool) -> Executor<'a> {
+        self.retain_memo.set(retain);
+        self
+    }
+
+    /// Binds the query-parameter vector (`$1` is `params[0]`) used by
+    /// subsequent executions. Parameters stay bound until rebound; plans
+    /// that reference no parameters ignore the vector entirely.
+    pub fn bind_params(&self, params: Vec<Value>) {
+        *self.params.borrow_mut() = Rc::from(params);
+    }
+
+    /// The currently bound parameter vector, shared.
+    pub(crate) fn params_rc(&self) -> Rc<[Value]> {
+        Rc::clone(&self.params.borrow())
+    }
+
+    /// Re-asserts a previously captured parameter binding (used by
+    /// streaming cursors, whose pulls may interleave with other executions
+    /// on the same executor).
+    pub(crate) fn rebind_params(&self, params: &Rc<[Value]>) {
+        *self.params.borrow_mut() = Rc::clone(params);
+    }
+
+    /// Reads the value bound to parameter index `index` (0-based), erring
+    /// like an unresolvable column when the binding is absent.
+    pub(crate) fn param_value(&self, index: usize) -> Result<Value> {
+        let params = self.params.borrow();
+        params.get(index).cloned().ok_or_else(|| {
+            ExecError::Param(format!(
+                "parameter ${} is not bound ({} parameter{} supplied)",
+                index + 1,
+                params.len(),
+                if params.len() == 1 { "" } else { "s" }
+            ))
+        })
     }
 
     /// The database this executor reads from.
@@ -148,25 +223,48 @@ impl<'a> Executor<'a> {
         self.cmp_evaluated.get()
     }
 
+    /// Number of plan compilations performed so far (diagnostic counter).
+    /// The prepared-statement contract is that re-executing a prepared plan
+    /// performs *zero* additional compilations; this counter makes that
+    /// assertable.
+    pub fn statements_compiled(&self) -> u64 {
+        self.compile_count.get()
+    }
+
     /// Compiles a plan for repeated execution: fuses residual selections
     /// over cross products, then resolves all column references to slots
-    /// and attaches correlation signatures to sublinks (see
-    /// [`crate::compile`]).
+    /// and attaches correlation signatures (plus referenced parameter
+    /// indices) to sublinks (see [`crate::compile`]). Sublink ids are drawn
+    /// from a process-wide counter, so compiled plans from different
+    /// executors can never collide in a shared memo.
     pub fn prepare(&self, plan: &Plan) -> Result<CompiledPlan> {
+        self.compile_count.set(self.compile_count.get() + 1);
         let fused = perm_algebra::optimize::fuse_select_over_cross(plan.clone());
-        crate::compile::compile_plan(&fused, &self.next_sublink_id)
+        crate::compile::compile_plan(&fused)
+    }
+
+    /// Clears the compiled-path memos (sublink results and verdicts). The
+    /// interpreter-path caches have their own lifecycle
+    /// ([`Executor::reset_interpreter_caches`]).
+    pub fn clear_compiled_memos(&self) {
+        self.sublink_memo.borrow_mut().clear();
+        self.verdict_memo.borrow_mut().clear();
     }
 
     /// Executes a top-level plan through the compile/memoize pipeline.
     ///
-    /// The compiled-path memos are cleared first: [`Executor::prepare`]
-    /// mints fresh sublink ids, so entries from earlier `execute` calls
-    /// could never hit again and would only accumulate. Callers that want
-    /// memo reuse across repeated executions of the *same* query should
-    /// `prepare` once and call [`Executor::execute_compiled`] directly.
+    /// Under the default policy the compiled-path memos are cleared first:
+    /// `execute` mints fresh sublink ids via [`Executor::prepare`], so
+    /// entries from earlier `execute` calls could never hit again and would
+    /// only accumulate. Callers that re-execute the *same* prepared
+    /// [`CompiledPlan`] — where reuse is both safe (stable sublink ids,
+    /// parameter values folded into every key) and the entire point —
+    /// should either call [`Executor::execute_compiled`] directly or switch
+    /// the policy with [`Executor::with_memo_retention`].
     pub fn execute(&self, plan: &Plan) -> Result<Relation> {
-        self.sublink_memo.borrow_mut().clear();
-        self.verdict_memo.borrow_mut().clear();
+        if !self.retain_memo.get() {
+            self.clear_compiled_memos();
+        }
         let compiled = self.prepare(plan)?;
         self.execute_compiled(&compiled, None)
     }
@@ -192,6 +290,7 @@ impl<'a> Executor<'a> {
     pub fn reset_interpreter_caches(&self) {
         self.interp_sublink_memo.borrow_mut().clear();
         self.free_columns_cache.borrow_mut().clear();
+        self.free_params_cache.borrow_mut().clear();
         // The verdict memo namespaces interpreter entries under the plan
         // address too; clearing it wholesale is conservative but safe (the
         // compiled entries it drops were only a shortcut).
@@ -199,13 +298,16 @@ impl<'a> Executor<'a> {
     }
 
     /// The parameterized memo key of an interpreter-path sublink: the plan
-    /// node address plus the typed encoding of its free correlated column
-    /// bindings resolved in `env` — the runtime analogue of the compiled
-    /// path's correlation signature. Returns `None` when the sublink is not
-    /// memoizable here: a binding does not resolve in the current scope
-    /// chain (the reference might still sit safely behind a short circuit),
-    /// or the memo is disabled and the sublink is correlated (uncorrelated
-    /// sublinks keep their InitPlan caching either way).
+    /// node address plus the typed encoding of its referenced
+    /// query-parameter values and its free correlated column bindings
+    /// resolved in `env` — the runtime analogue of the compiled path's
+    /// correlation signature. Parameter and binding counts are fixed per
+    /// plan node, so the two groups concatenate unambiguously. Returns
+    /// `None` when the sublink is not memoizable here: a binding does not
+    /// resolve in the current scope chain or a referenced parameter is
+    /// unbound (either reference might still sit safely behind a short
+    /// circuit), or the memo is disabled and the sublink is correlated
+    /// (uncorrelated sublinks keep their InitPlan caching either way).
     pub(crate) fn interp_sublink_key(&self, plan: &Plan, env: Option<&Env<'_>>) -> Option<Vec<u8>> {
         let addr = plan as *const Plan as usize;
         let free = {
@@ -218,13 +320,24 @@ impl<'a> Executor<'a> {
         if !free.is_empty() && !self.memo_enabled.get() {
             return None;
         }
-        let mut bindings = Vec::with_capacity(free.len());
+        let param_refs = {
+            let mut cache = self.free_params_cache.borrow_mut();
+            cache
+                .entry(addr)
+                .or_insert_with(|| free_params(plan).into())
+                .clone()
+        };
+        let params = self.params.borrow();
+        let mut values = Vec::with_capacity(param_refs.len() + free.len());
+        for &index in param_refs.iter() {
+            values.push(params.get(index)?.clone());
+        }
         for (qualifier, name) in free.iter() {
-            bindings.push(env?.lookup(qualifier.as_deref(), name).ok()?);
+            values.push(env?.lookup(qualifier.as_deref(), name).ok()?);
         }
         let mut key = vec![MEMO_TAG_INTERPRETED];
         key.extend_from_slice(&addr.to_le_bytes());
-        key.extend_from_slice(&encode_key_typed(&bindings));
+        key.extend_from_slice(&encode_key_typed(&values));
         Some(key)
     }
 
@@ -249,8 +362,8 @@ impl<'a> Executor<'a> {
         key: Option<Vec<u8>>,
     ) -> Result<Arc<Relation>> {
         if let Some(k) = &key {
-            if let Some(hit) = self.interp_sublink_memo.borrow().get(k) {
-                return Ok(Arc::clone(hit));
+            if let Some(hit) = self.interp_sublink_memo.borrow_mut().get(k) {
+                return Ok(hit);
             }
         }
         let result = Arc::new(self.execute_with_env(plan, env)?);
@@ -264,7 +377,7 @@ impl<'a> Executor<'a> {
 
     /// Recursive interpreter-path plan evaluation: executes children, wraps
     /// [`Executor::eval_expr`] into per-tuple closures over an [`Env`] scope
-    /// chain, and delegates every operator body to [`crate::physical`].
+    /// chain, and delegates every operator body to `crate::physical`.
     /// `env` is the enclosing correlation scope (present when this plan is a
     /// sublink query of an outer operator).
     pub fn execute_with_env(&self, plan: &Plan, env: Option<&Env<'_>>) -> Result<Relation> {

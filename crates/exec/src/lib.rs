@@ -14,7 +14,7 @@
 //!
 //! Every operator loop — hash and nested-loop joins (with left-outer NULL
 //! padding), aggregate grouping, sorting, set operations, projection and
-//! selection — is implemented exactly once, in the [`physical`] module,
+//! selection — is implemented exactly once, in the `physical` module,
 //! parameterized over *tuple-evaluator closures*. Two thin drivers share
 //! those bodies:
 //!
@@ -38,12 +38,15 @@
 
 pub mod aggregate;
 pub mod compile;
+pub mod cursor;
 pub mod eval;
 pub mod executor;
 pub mod functions;
+pub(crate) mod memo;
 pub(crate) mod physical;
 
 pub use compile::CompiledPlan;
+pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
 
@@ -61,6 +64,8 @@ pub enum ExecError {
     ScalarSublinkCardinality(String),
     /// Division by zero.
     DivisionByZero,
+    /// A `$n` query parameter was referenced but not bound.
+    Param(String),
     /// The plan is invalid or uses a feature the executor does not support.
     Unsupported(String),
 }
@@ -74,12 +79,20 @@ impl std::fmt::Display for ExecError {
                 write!(f, "scalar sublink cardinality violation: {msg}")
             }
             ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::Param(msg) => write!(f, "parameter error: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {

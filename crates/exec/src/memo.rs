@@ -1,0 +1,231 @@
+//! Capacity-bounded memo maps for the executor's sublink/verdict caches.
+//!
+//! [`MemoMap`] behaves like a plain `HashMap<Vec<u8>, V>` by default. When a
+//! capacity is configured ([`MemoMap::set_capacity`]) it becomes an LRU
+//! cache: every hit refreshes the entry's recency and an insert that pushes
+//! the map over its capacity evicts the least-recently-used entries.
+//!
+//! The LRU bookkeeping (a recency stamp per entry plus a lazily-invalidated
+//! queue of `(stamp, key)` pairs) is only maintained when a capacity is set,
+//! so the default unbounded configuration — which preserves the memo
+//! behaviour the ROADMAP's Fig. 7 measurements were taken under — pays no
+//! overhead for the bound. Queue entries left stale by a later touch of the
+//! same key are skipped at eviction time and compacted away when the queue
+//! outgrows the map by a constant factor.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One stored entry: the cached value plus the recency stamp of its last
+/// touch (0 while unbounded — stamps only mean something under a capacity).
+struct Entry<V> {
+    stamp: u64,
+    value: V,
+}
+
+/// A byte-keyed memo map with an optional LRU capacity bound.
+pub(crate) struct MemoMap<V> {
+    map: HashMap<Vec<u8>, Entry<V>>,
+    /// Recency queue, oldest first; entries whose stamp no longer matches
+    /// the map's are stale and skipped. Only maintained under a capacity.
+    queue: VecDeque<(u64, Vec<u8>)>,
+    /// Monotonic recency clock.
+    stamp: u64,
+    capacity: Option<usize>,
+}
+
+impl<V: Clone> MemoMap<V> {
+    pub(crate) fn new() -> MemoMap<V> {
+        MemoMap {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            stamp: 0,
+            capacity: None,
+        }
+    }
+
+    /// Bounds the map to at most `capacity` entries with LRU eviction, or
+    /// lifts the bound with `None`. Shrinking below the current size evicts
+    /// immediately.
+    pub(crate) fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        match capacity {
+            Some(_) => {
+                // Entries inserted while unbounded all carry stamp 0; rebuild
+                // the queue so they are evictable in arbitrary-but-valid
+                // order, then trim to the new bound.
+                self.rebuild_queue();
+                self.evict_over_capacity();
+            }
+            None => {
+                self.queue.clear();
+                self.queue.shrink_to_fit();
+            }
+        }
+    }
+
+    /// Looks up a key, refreshing its recency when a capacity is set.
+    pub(crate) fn get(&mut self, key: &[u8]) -> Option<V> {
+        if self.capacity.is_none() {
+            return self.map.get(key).map(|e| e.value.clone());
+        }
+        let stamp = self.next_stamp();
+        let value = {
+            let entry = self.map.get_mut(key)?;
+            entry.stamp = stamp;
+            entry.value.clone()
+        };
+        self.queue.push_back((stamp, key.to_vec()));
+        self.maybe_compact();
+        Some(value)
+    }
+
+    /// Inserts a key, evicting least-recently-used entries if the configured
+    /// capacity is exceeded.
+    pub(crate) fn insert(&mut self, key: Vec<u8>, value: V) {
+        if self.capacity.is_none() {
+            self.map.insert(key, Entry { stamp: 0, value });
+            return;
+        }
+        let stamp = self.next_stamp();
+        self.queue.push_back((stamp, key.clone()));
+        self.map.insert(key, Entry { stamp, value });
+        self.evict_over_capacity();
+        self.maybe_compact();
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    fn evict_over_capacity(&mut self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.map.len() > capacity {
+            match self.queue.pop_front() {
+                Some((stamp, key)) => {
+                    // Stale queue entry: the key was touched again later (or
+                    // already evicted); the fresher queue entry represents it.
+                    if self.map.get(&key).map(|e| e.stamp) == Some(stamp) {
+                        self.map.remove(&key);
+                    }
+                }
+                None => {
+                    // Defensive: under a capacity every live entry has a
+                    // queue representative, so this is unreachable; rebuild
+                    // rather than loop forever if the invariant ever breaks.
+                    self.rebuild_queue();
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops stale queue entries once they dominate the queue, keeping the
+    /// queue length proportional to the live entry count.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > self.map.len() * 4 + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(stamp, key)| map.get(key).map(|e| e.stamp) == Some(*stamp));
+        }
+    }
+
+    fn rebuild_queue(&mut self) {
+        let mut entries: Vec<(u64, Vec<u8>)> =
+            self.map.iter().map(|(k, e)| (e.stamp, k.clone())).collect();
+        entries.sort_unstable();
+        self.queue = entries.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_map_keeps_everything() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        for i in 0..100u32 {
+            m.insert(vec![i as u8], i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&[7]), Some(7));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        m.set_capacity(Some(2));
+        m.insert(vec![1], 1);
+        m.insert(vec![2], 2);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert_eq!(m.get(&[1]), Some(1));
+        m.insert(vec![3], 3);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&[1]));
+        assert!(!m.contains(&[2]));
+        assert!(m.contains(&[3]));
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_grow_the_map() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        m.set_capacity(Some(2));
+        for _ in 0..10 {
+            m.insert(vec![1], 1);
+            m.insert(vec![2], 2);
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&[1]), Some(1));
+        assert_eq!(m.get(&[2]), Some(2));
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        for i in 0..10u8 {
+            m.insert(vec![i], i as u32);
+        }
+        m.set_capacity(Some(3));
+        assert_eq!(m.len(), 3);
+        m.set_capacity(None);
+        m.insert(vec![100], 100);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn heavy_hit_traffic_stays_bounded() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        m.set_capacity(Some(4));
+        for i in 0..4u8 {
+            m.insert(vec![i], i as u32);
+        }
+        // Many hits must not let internal bookkeeping grow without bound.
+        for _ in 0..10_000 {
+            assert_eq!(m.get(&[2]), Some(2));
+        }
+        assert!(m.queue.len() <= m.map.len() * 4 + 17);
+        m.insert(vec![9], 9);
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(&[2]), "hot key must survive eviction");
+    }
+}

@@ -102,6 +102,9 @@ pub enum SqlExpr {
     Null,
     /// `TRUE` / `FALSE`.
     Bool(bool),
+    /// A `$n` query parameter (0-based index; `$1` is `Param(0)`), bound to
+    /// a value at execution time.
+    Param(usize),
     /// `*` (only valid inside `count(*)`).
     Wildcard,
     /// Binary operation.

@@ -460,6 +460,7 @@ pub fn bind_expr(db: &Database, expr: &SqlExpr) -> Result<Expr> {
         ),
         SqlExpr::Null => Expr::Literal(Value::Null),
         SqlExpr::Bool(b) => lit(*b),
+        SqlExpr::Param(index) => Expr::Param(*index),
         SqlExpr::Wildcard => {
             return Err(SqlError::Bind(
                 "`*` is only allowed in count(*) or as a select item".into(),
@@ -753,6 +754,25 @@ mod tests {
         );
         assert_eq!(result.tuples()[0].get(0), &Value::str("small"));
         assert_eq!(result.tuples()[1].get(0), &Value::str("BIG"));
+    }
+
+    #[test]
+    fn binds_and_executes_query_parameters() {
+        let db = db();
+        let (plan, _) = crate::compile(&db, "SELECT a FROM r WHERE a = $1").unwrap();
+        assert_eq!(perm_algebra::visit::param_count(&plan), 1);
+        let ex = Executor::new(&db);
+        ex.bind_params(vec![Value::Int(2)]);
+        let result = ex.execute(&plan).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0].get(0), &Value::Int(2));
+        // Rebinding changes the result without recompiling the SQL.
+        ex.bind_params(vec![Value::Int(3)]);
+        let result = ex.execute(&plan).unwrap();
+        assert_eq!(result.tuples()[0].get(0), &Value::Int(3));
+        // An unbound parameter is an execution-time error.
+        ex.bind_params(vec![]);
+        assert!(ex.execute(&plan).is_err());
     }
 
     #[test]

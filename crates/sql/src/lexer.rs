@@ -12,6 +12,9 @@ pub enum Token {
     Number(String),
     /// String literal (quotes removed, `''` unescaped).
     String(String),
+    /// A `$n` query parameter, stored as the 0-based parameter index
+    /// (`$1` lexes to `Param(0)`).
+    Param(usize),
     /// Punctuation and operators.
     Symbol(Symbol),
 }
@@ -96,6 +99,26 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 tokens.push(Token::Number(out));
+                i = j;
+            }
+            '$' => {
+                let mut j = i + 1;
+                let mut digits = String::new();
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    digits.push(bytes[j]);
+                    j += 1;
+                }
+                let number: usize = digits.parse().map_err(|_| SqlError::Lex {
+                    position: i,
+                    message: "expected a parameter number after `$` (as in `$1`)".into(),
+                })?;
+                if number == 0 {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "parameter numbers start at $1".into(),
+                    });
+                }
+                tokens.push(Token::Param(number - 1));
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -221,6 +244,22 @@ mod tests {
     fn quoted_identifiers() {
         let tokens = tokenize("SELECT \"Weird Name\" FROM r").unwrap();
         assert_eq!(tokens[1], Token::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn lexes_query_parameters() {
+        let tokens = tokenize("SELECT a FROM r WHERE b = $1 AND c < $12").unwrap();
+        let params: Vec<usize> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Param(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(params, vec![0, 11]);
+        assert!(matches!(tokenize("SELECT $"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("SELECT $0"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("SELECT $x"), Err(SqlError::Lex { .. })));
     }
 
     #[test]

@@ -508,6 +508,10 @@ impl Parser {
                 self.pos += 1;
                 Ok(SqlExpr::StringLit(s))
             }
+            Some(Token::Param(index)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Param(index))
+            }
             Some(Token::Symbol(Symbol::Star)) => {
                 self.pos += 1;
                 Ok(SqlExpr::Wildcard)
@@ -786,6 +790,30 @@ mod tests {
         .unwrap()
         .query;
         assert!(matches!(q.from[0], TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn parses_query_parameters_in_all_positions() {
+        let q = parse_query(
+            "SELECT a, $2 FROM r WHERE b = $1 AND a IN (SELECT c FROM s WHERE d < $1) LIMIT 3",
+        )
+        .unwrap()
+        .query;
+        let mut params = Vec::new();
+        q.where_clause.unwrap().walk(&mut |e| {
+            if let SqlExpr::Param(i) = e {
+                params.push(*i);
+            }
+        });
+        // walk does not descend into subqueries; the outer WHERE carries $1.
+        assert_eq!(params, vec![0]);
+        assert!(q.select.iter().any(|item| matches!(
+            item,
+            SelectItem::Expr {
+                expr: SqlExpr::Param(1),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Quickstart: compute the Why-provenance of a query with a nested subquery.
+//! Quickstart: prepare a provenance query once, serve it many times.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use perm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A tiny orders database: items and a table of flagged item ids.
+    // A tiny orders database: items and their reviews.
     let mut db = Database::new();
     db.create_table(
         "items",
@@ -30,31 +30,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     )?;
 
-    // An ordinary query: items that received a bad review (a nested
-    // subquery / sublink in the WHERE clause).
-    let sql = "SELECT name, price FROM items \
-               WHERE id IN (SELECT item_id FROM reviews WHERE stars < 3)";
-    println!("query:\n  {sql}\n");
-    let result = run_sql(&db, sql)?;
-    println!("result:\n{result}");
+    // The engine owns the data; sessions prepare and execute statements.
+    let engine = Engine::new(db);
+    let session = engine.session();
 
-    // The same query with the Perm `PROVENANCE` keyword: every result tuple
-    // is extended by the contributing tuples of every base relation — here
-    // the item itself and the bad review(s) that put it into the result.
-    let provenance = run_sql(
-        &db,
-        "SELECT PROVENANCE name, price FROM items \
-         WHERE id IN (SELECT item_id FROM reviews WHERE stars < 3)",
+    // An ordinary query with a `$1` parameter: items that received a review
+    // below a threshold (a nested subquery / sublink in the WHERE clause).
+    // `prepare` runs parse → bind → compile exactly once.
+    let bad_reviews = session.prepare(
+        "SELECT name, price FROM items \
+         WHERE id IN (SELECT item_id FROM reviews WHERE stars < $1)",
     )?;
-    println!("provenance ({} rows):\n{provenance}", provenance.len());
+    for threshold in [2, 3, 6] {
+        let result = session.execute(&bad_reviews, &[Value::Int(threshold)])?;
+        println!(
+            "items with a review below {threshold} stars: {} rows",
+            result.len()
+        );
+    }
+    println!(
+        "…served {} executions off {} compilation(s)\n",
+        session.stats().executions,
+        session.stats().compiles
+    );
 
-    // The same computation through the programmatic API, choosing the
-    // rewrite strategy explicitly.
-    for strategy in [Strategy::Gen, Strategy::Left, Strategy::Move, Strategy::Unn] {
-        match perm::provenance_of_sql(&db, sql, strategy) {
-            Ok(rel) => println!("{strategy}: {} provenance rows", rel.len()),
-            Err(e) => println!("{strategy}: not applicable ({e})"),
+    // The same query with the Perm `PROVENANCE` marker: every result tuple
+    // is extended by the contributing input tuples. `ProvenanceRows`
+    // returns them structured per base relation — no string-matching of
+    // `prov_…` column names.
+    let audited = session.prepare(
+        "SELECT PROVENANCE name, price FROM items \
+         WHERE id IN (SELECT item_id FROM reviews WHERE stars < $1)",
+    )?;
+    let witnesses = session.provenance_rows(&audited, &[Value::Int(3)])?;
+    println!(
+        "provenance of the threshold-3 result ({} rows):",
+        witnesses.len()
+    );
+    for row in witnesses.iter() {
+        println!("  output {:?}", row.output());
+        for witness in row.witnesses() {
+            match witness.tuple() {
+                Some(values) => println!("    because of {} tuple {values:?}", witness.table),
+                None => println!("    ({} did not contribute)", witness.table),
+            }
         }
+    }
+
+    // Streaming: a `LIMIT` consumer pulls tuples on demand instead of
+    // paying for the whole input.
+    let first = session.prepare("SELECT name FROM items WHERE price > $1 LIMIT 1")?;
+    if let Some(tuple) = session.rows(&first, &[Value::Int(20)])?.next() {
+        println!("\nfirst item over $20: {}", tuple?);
     }
     Ok(())
 }

@@ -1,7 +1,13 @@
 //! Strategy comparison on the synthetic workload of Section 4.2.2 — a small
 //! interactive version of Figures 7–9.
 //!
+//! This example deliberately stays on the *deprecated* pre-`Session` helper
+//! `perm::provenance_of_plan`: existing callers must keep compiling and
+//! producing the same results as before the `Engine`/`Session` redesign.
+//! (The other examples show the session API.)
+//!
 //! Run with `cargo run --release --example strategy_comparison`.
+#![allow(deprecated)]
 
 use perm::Strategy;
 use perm_algebra::display::explain;
@@ -11,7 +17,6 @@ use perm_bench_shim::*;
 /// keeps them local so the example stays a plain `perm` API consumer.
 mod perm_bench_shim {
     pub use perm_core::ProvenanceQuery;
-    pub use perm_exec::Executor;
     pub use perm_synthetic::queries::{build_database, build_query, random_range, QueryKind};
 }
 
@@ -28,26 +33,17 @@ fn main() {
             let plan = build_query(&db, params, kind);
             print!("  {name:<14}");
             for strategy in Strategy::ALL {
-                let rewritten = match ProvenanceQuery::new(&db, &plan)
-                    .strategy(strategy)
-                    .rewrite()
-                {
-                    Ok(r) => r,
-                    Err(_) => {
-                        print!("  {:>5}: {:>9}", strategy.name(), "n/a");
-                        continue;
-                    }
-                };
-                let executor = Executor::new(&db);
                 let start = std::time::Instant::now();
-                let result = executor.execute(rewritten.plan()).expect("query runs");
-                let elapsed = start.elapsed();
-                print!(
-                    "  {:>5}: {:>7.1}ms ({} rows)",
-                    strategy.name(),
-                    elapsed.as_secs_f64() * 1000.0,
-                    result.len()
-                );
+                // The legacy one-shot helper: rewrite + execute per call.
+                match perm::provenance_of_plan(&db, &plan, strategy) {
+                    Ok(result) => print!(
+                        "  {:>5}: {:>7.1}ms ({} rows)",
+                        strategy.name(),
+                        start.elapsed().as_secs_f64() * 1000.0,
+                        result.len()
+                    ),
+                    Err(_) => print!("  {:>5}: {:>9}", strategy.name(), "n/a"),
+                }
             }
             println!();
         }

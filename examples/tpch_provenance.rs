@@ -1,10 +1,9 @@
 //! TPC-H provenance: runs the paper's TPC-H sublink queries with provenance,
-//! the workload of Figure 6.
+//! the workload of Figure 6, through the `Engine`/`Session` serving API.
 //!
 //! Run with `cargo run --release --example tpch_provenance`.
 
-use perm::{ProvenanceQuery, Strategy};
-use perm_exec::Executor;
+use perm::{Engine, SessionConfig, Strategy};
 use perm_tpch::{generate, sublink_queries, SublinkClass, TpchScale};
 use std::time::Instant;
 
@@ -17,6 +16,7 @@ fn main() {
         scale.factor,
         db.total_tuples()
     );
+    let engine = Engine::new(db);
 
     for template in sublink_queries() {
         // The Gen strategy handles every sublink but is expensive; run it
@@ -26,25 +26,28 @@ fn main() {
             SublinkClass::Uncorrelated => Strategy::Move,
             SublinkClass::Correlated => Strategy::Auto,
         };
+        let session = engine.session_with(SessionConfig {
+            strategy,
+            ..SessionConfig::default()
+        });
         let sql = template.instantiate(7);
         println!("── TPC-H Q{} ({})", template.id, template.pattern);
-        let (plan, _) = match perm_sql::compile(&db, &sql) {
-            Ok(compiled) => compiled,
+
+        let plain = match session.prepare(&sql) {
+            Ok(prepared) => prepared,
             Err(e) => {
-                println!("   failed to compile: {e}\n");
+                println!("   failed to prepare: {e}\n");
                 continue;
             }
         };
-        let executor = Executor::new(&db);
-        let original = executor.execute(&plan).expect("original query runs");
+        let original = session.execute(&plain, &[]).expect("original query runs");
 
         let start = Instant::now();
-        let rewritten = ProvenanceQuery::new(&db, &plan)
-            .strategy(strategy)
-            .rewrite()
-            .expect("rewrite succeeds");
-        let provenance = executor
-            .execute(rewritten.plan())
+        let audited = session
+            .prepare_provenance(&sql)
+            .expect("provenance rewrite succeeds");
+        let provenance = session
+            .execute(&audited, &[])
             .expect("provenance query runs");
         let elapsed = start.elapsed();
 
@@ -54,7 +57,10 @@ fn main() {
             strategy.name(),
             original.len(),
             provenance.len(),
-            rewritten.descriptor().attr_count(),
+            audited
+                .descriptor()
+                .map(|d| d.attr_count())
+                .unwrap_or_default(),
             elapsed
         );
         if let Some(first) = provenance.tuples().first() {

@@ -3,7 +3,9 @@
 //! This is the scenario the paper's introduction motivates: a data warehouse
 //! report computed by a complex query (aggregation plus a nested subquery)
 //! contains a value that looks wrong, and the analyst wants to know exactly
-//! which source tuples produced it.
+//! which source tuples produced it. The audit endpoint is served through a
+//! prepared statement whose threshold is a `$1` parameter, and witnesses
+//! come back structured per source relation via `ProvenanceRows`.
 //!
 //! Run with `cargo run --example warehouse_audit`.
 
@@ -35,53 +37,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     )?;
 
+    let engine = Engine::new(db);
+    let session = engine.session();
+
     // The warehouse report: average reading per sensor, excluding readings
     // taken while the sensor was under maintenance (a correlated NOT EXISTS
     // subquery), keeping only sensors whose average is above a threshold.
-    let report_sql = "SELECT sensor, avg(value) AS avg_value, count(*) AS n \
+    // The threshold is the serving parameter.
+    let report_sql = "SELECT PROVENANCE sensor, avg(value) AS avg_value, count(*) AS n \
                       FROM readings r \
                       WHERE NOT EXISTS (SELECT * FROM maintenance m \
                                         WHERE m.sensor = r.sensor AND m.day = r.day) \
                       GROUP BY sensor \
-                      HAVING avg(value) > 10 \
+                      HAVING avg(value) > $1 \
                       ORDER BY avg_value DESC";
-    let report = run_sql(&db, report_sql)?;
-    println!("warehouse report:\n{report}");
+    let audit = session.prepare(report_sql)?;
 
-    // The first row (sensor s2) has an implausible average. Ask Perm which
-    // source tuples contributed to it: the provenance query returns the
-    // report rows extended by the contributing readings and maintenance
-    // tuples, so the spike at (s2, day 2) is immediately visible.
-    let provenance = provenance_of_sql(&db, report_sql, Strategy::Gen)?;
-    println!("report with provenance ({} rows):", provenance.len());
-    let schema = provenance.schema();
-    let sensor = schema.resolve(None, "sensor")?;
-    let prov_value = schema.resolve(None, "prov_readings_value")?;
-    for row in provenance.tuples() {
-        println!("  {row}");
-        if row.get(sensor) == &Value::str("s2") {
-            if let Some(v) = row.get(prov_value).as_f64() {
-                if v > 100.0 {
-                    println!("  ^^^ the spike that corrupted the s2 average");
+    // Plain serving view first (provenance attributes stripped): prepared
+    // once, the report can be re-run for any threshold.
+    for threshold in [10, 100] {
+        let rows = session.provenance_rows(&audit, &[Value::Int(threshold)])?;
+        println!("report rows above threshold {threshold}: {}", rows.len());
+    }
+
+    // The s2 average is implausible. Ask for the witnesses: each report row
+    // comes back with the contributing readings and maintenance tuples,
+    // grouped per source relation, so the spike is immediately visible.
+    let witnesses = session.provenance_rows(&audit, &[Value::Int(10)])?;
+    println!(
+        "\naudit of the threshold-10 report ({} witness rows):",
+        witnesses.len()
+    );
+    for row in witnesses.iter() {
+        println!("  report row {:?}", row.output());
+        for witness in row.witnesses() {
+            let Some(values) = witness.tuple() else {
+                println!("    {} did not contribute", witness.table);
+                continue;
+            };
+            println!("    from {}: {values:?}", witness.table);
+            if witness.table == "readings" {
+                if let Some(v) = values[2].as_f64() {
+                    if v > 100.0 {
+                        println!("    ^^^ the spike that corrupted the s2 average");
+                    }
                 }
             }
         }
     }
 
-    // The provenance relation is an ordinary relation: it can be filtered
-    // with SQL-style plans, stored, or joined. Count contributing readings
-    // per report row, for example:
-    let per_row: Vec<(String, usize)> = {
-        let mut counts: Vec<(String, usize)> = Vec::new();
-        for row in provenance.tuples() {
-            let key = row.get(sensor).to_string();
-            match counts.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, c)) => *c += 1,
-                None => counts.push((key, 1)),
-            }
-        }
-        counts
-    };
-    println!("\ncontributing readings per sensor: {per_row:?}");
+    // One prepared statement served every threshold and the audit itself.
+    let stats = session.stats();
+    println!(
+        "\nserved {} executions off {} parse / {} rewrite / {} compile",
+        stats.executions, stats.parses, stats.rewrites, stats.compiles
+    );
     Ok(())
 }

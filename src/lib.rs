@@ -7,23 +7,17 @@
 //! tuples that contributed to it, including through `ANY`, `ALL`, `EXISTS`
 //! and scalar subqueries (correlated, nested, or several per operator).
 //!
-//! The workspace is organised as a stack:
+//! ## The serving API: [`Engine`] and [`Session`]
 //!
-//! * [`perm_storage`] — values, tuples, schemas, relations, catalog;
-//! * [`perm_algebra`] — the relational algebra with sublinks (Figure 1);
-//! * [`perm_exec`] — a bag-semantics executor with correlated-sublink
-//!   support;
-//! * [`perm_sql`] — a SQL front end with the `SELECT PROVENANCE` extension;
-//! * [`perm_core`] — the paper's contribution: contribution definitions,
-//!   influence roles, the provenance tracer, and the Gen / Left / Move / Unn
-//!   rewrite strategies;
-//! * [`perm_tpch`] / [`perm_synthetic`] — the evaluation workloads.
-//!
-//! This facade crate re-exports the pieces a typical user needs and hosts the
-//! runnable examples and cross-crate integration tests.
+//! Because the rewrites stay inside the relational model, a provenance query
+//! is served like any other query: prepare once, execute many times.
+//! [`Session::prepare`] runs parse → bind → (optional) provenance rewrite →
+//! compile exactly once and returns a [`Prepared`] statement; executions
+//! bind `$1`-style parameters, stream through a [`Rows`] cursor, or return
+//! witnesses structured per base relation via [`ProvenanceRows`]:
 //!
 //! ```
-//! use perm::prelude::*;
+//! use perm::{Engine, Value, Database, Relation, Schema};
 //!
 //! let mut db = Database::new();
 //! db.create_table("items", Relation::from_rows(
@@ -35,16 +29,48 @@
 //!     vec![vec![Value::Int(2)]],
 //! )).unwrap();
 //!
-//! // Which `flagged` rows made an item appear in this result?
-//! let provenance = provenance_of_sql(
-//!     &db,
-//!     "SELECT PROVENANCE id FROM items WHERE id IN (SELECT item_id FROM flagged)",
-//!     Strategy::Auto,
+//! let engine = Engine::new(db);
+//! let session = engine.session();
+//!
+//! // Which `flagged` rows made an item costlier than $1 appear here?
+//! let audit = session.prepare(
+//!     "SELECT PROVENANCE id FROM items \
+//!      WHERE price > $1 AND id IN (SELECT item_id FROM flagged)",
 //! ).unwrap();
-//! assert_eq!(provenance.schema().names(),
-//!            vec!["id", "prov_items_id", "prov_items_price", "prov_flagged_item_id"]);
-//! assert_eq!(provenance.len(), 1);
+//!
+//! let witnesses = session.provenance_rows(&audit, &[Value::Int(50)]).unwrap();
+//! assert_eq!(witnesses.len(), 1);
+//! let row = witnesses.iter().next().unwrap();
+//! assert_eq!(row.output(), &[Value::Int(2)]);
+//! let flagged_witness = row.witnesses().find(|w| w.table == "flagged").unwrap();
+//! assert_eq!(flagged_witness.tuple(), Some(&[Value::Int(2)][..]));
+//!
+//! // Re-executing with a different binding costs only execution:
+//! assert!(session.provenance_rows(&audit, &[Value::Int(500)]).unwrap().is_empty());
+//! assert_eq!(session.stats().compiles, 1);
 //! ```
+//!
+//! The workspace is organised as a stack:
+//!
+//! * [`perm_storage`] — values, tuples, schemas, relations, catalog;
+//! * [`perm_algebra`] — the relational algebra with sublinks (Figure 1);
+//! * [`perm_exec`] — a bag-semantics executor with correlated-sublink
+//!   support, compiled expressions, a parameterized sublink memo and a
+//!   streaming cursor;
+//! * [`perm_sql`] — a SQL front end with the `SELECT PROVENANCE` extension
+//!   and `$n` query parameters;
+//! * [`perm_core`] — the paper's contribution: contribution definitions,
+//!   influence roles, the provenance tracer, and the Gen / Left / Move / Unn
+//!   rewrite strategies;
+//! * [`perm_tpch`] / [`perm_synthetic`] — the evaluation workloads.
+//!
+//! This facade crate hosts the [`Engine`]/[`Session`] serving layer, the
+//! runnable examples and the cross-crate integration tests. The pre-session
+//! free functions ([`run_sql`], [`provenance_of_sql`],
+//! [`provenance_of_plan`]) remain as deprecated thin wrappers over a
+//! transient [`Session`].
+
+mod session;
 
 pub use perm_algebra as algebra;
 pub use perm_core as core;
@@ -54,20 +80,31 @@ pub use perm_storage as storage;
 pub use perm_synthetic as synthetic;
 pub use perm_tpch as tpch;
 
-pub use perm_core::{ProvenanceError, ProvenanceQuery, RewriteResult, Strategy};
+pub use perm_core::{
+    ProvenanceDescriptor, ProvenanceError, ProvenanceQuery, RewriteResult, Strategy,
+};
 pub use perm_exec::Executor;
 pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
+pub use session::{
+    Engine, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig, SessionStats,
+    Witness,
+};
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::{provenance_of_plan, provenance_of_sql, run_sql};
     pub use crate::{
-        provenance_of_plan, provenance_of_sql, run_sql, Database, Executor, ProvenanceQuery,
-        Relation, Schema, Strategy, Tuple, Value,
+        Database, Engine, Executor, Prepared, ProvenanceQuery, ProvenanceRows, Relation, Rows,
+        Schema, Session, SessionConfig, Strategy, Tuple, Value, Witness,
     };
     pub use perm_algebra::{col, lit, qcol, PlanBuilder};
 }
 
-/// Errors surfaced by the high-level helpers.
+/// Errors surfaced by the high-level API. Every variant wraps the error of
+/// the pipeline stage that failed and exposes it via
+/// [`std::error::Error::source`]; `Display` names the stage and includes the
+/// cause, so e.g. SQL byte positions survive to the top level.
 #[derive(Debug)]
 pub enum PermError {
     /// SQL parsing or binding failed.
@@ -76,19 +113,31 @@ pub enum PermError {
     Provenance(perm_core::ProvenanceError),
     /// Query execution failed.
     Exec(perm_exec::ExecError),
+    /// A parameter-binding or statement-usage error at the session layer.
+    Param(String),
 }
 
 impl std::fmt::Display for PermError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PermError::Sql(e) => write!(f, "{e}"),
-            PermError::Provenance(e) => write!(f, "{e}"),
-            PermError::Exec(e) => write!(f, "{e}"),
+            PermError::Sql(e) => write!(f, "sql error: {e}"),
+            PermError::Provenance(e) => write!(f, "provenance error: {e}"),
+            PermError::Exec(e) => write!(f, "execution error: {e}"),
+            PermError::Param(msg) => write!(f, "statement error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for PermError {}
+impl std::error::Error for PermError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PermError::Sql(e) => Some(e),
+            PermError::Provenance(e) => Some(e),
+            PermError::Exec(e) => Some(e),
+            PermError::Param(_) => None,
+        }
+    }
+}
 
 impl From<perm_sql::SqlError> for PermError {
     fn from(e: perm_sql::SqlError) -> Self {
@@ -109,38 +158,56 @@ impl From<perm_exec::ExecError> for PermError {
 /// Runs an ordinary SQL query and returns its result. If the query carries
 /// the `SELECT PROVENANCE` marker it is rewritten with [`Strategy::Auto`]
 /// before execution, mirroring the behaviour of the Perm system.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Engine`/`Session` API: `Session::new(db).run(sql)` — \
+            or `Session::prepare` for repeated execution"
+)]
 pub fn run_sql(db: &Database, sql: &str) -> Result<Relation, PermError> {
-    let (plan, wants_provenance) = perm_sql::compile(db, sql)?;
-    let plan = if wants_provenance {
-        ProvenanceQuery::new(db, &plan)
-            .strategy(Strategy::Auto)
-            .rewrite()?
-            .plan
-    } else {
-        plan
-    };
-    Ok(Executor::new(db).execute(&plan)?)
+    Session::new(db).run(sql)
 }
 
 /// Computes the provenance of a SQL query with an explicit rewrite strategy.
 /// The `PROVENANCE` keyword is optional — provenance is computed either way.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Engine`/`Session` API: `Session::prepare_provenance` + \
+            `Session::execute` (configure the strategy via `SessionConfig`)"
+)]
 pub fn provenance_of_sql(
     db: &Database,
     sql: &str,
     strategy: Strategy,
 ) -> Result<Relation, PermError> {
-    let (plan, _) = perm_sql::compile(db, sql)?;
-    provenance_of_plan(db, &plan, strategy)
+    let session = Session::with_config(
+        db,
+        SessionConfig {
+            strategy,
+            ..SessionConfig::default()
+        },
+    );
+    let prepared = session.prepare_provenance(sql)?;
+    session.execute(&prepared, &[])
 }
 
 /// Computes the provenance of an algebra plan with an explicit strategy.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Engine`/`Session` API: `Session::prepare_provenance_plan` + \
+            `Session::execute`"
+)]
 pub fn provenance_of_plan(
     db: &Database,
     plan: &perm_algebra::Plan,
     strategy: Strategy,
 ) -> Result<Relation, PermError> {
-    let rewritten = ProvenanceQuery::new(db, plan)
-        .strategy(strategy)
-        .rewrite()?;
-    Ok(Executor::new(db).execute(rewritten.plan())?)
+    let session = Session::with_config(
+        db,
+        SessionConfig {
+            strategy,
+            ..SessionConfig::default()
+        },
+    );
+    let prepared = session.prepare_provenance_plan(plan)?;
+    session.execute(&prepared, &[])
 }

@@ -1,0 +1,610 @@
+//! The serving-grade API: an [`Engine`] owning the data, [`Session`]s that
+//! prepare and execute statements, [`Prepared`] statements that carry the
+//! whole parse → bind → rewrite → compile pipeline exactly once, and
+//! structured results ([`Rows`] cursors and [`ProvenanceRows`] witness
+//! views).
+//!
+//! The Perm approach computes provenance *inside* the relational model
+//! precisely so an unmodified engine can serve it like any other query.
+//! This module is the serving side of that bargain: a query — provenance or
+//! plain — is prepared once and executed many times with different `$1`-style
+//! parameter bindings, paying per execution only for execution.
+//!
+//! ```
+//! use perm::{Engine, Value};
+//! use perm::{Database, Relation, Schema};
+//!
+//! let mut db = Database::new();
+//! db.create_table("items", Relation::from_rows(
+//!     Schema::from_names(&["id", "price"]).with_qualifier("items"),
+//!     vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(99)]],
+//! )).unwrap();
+//!
+//! let engine = Engine::new(db);
+//! let session = engine.session();
+//! let expensive = session.prepare("SELECT id FROM items WHERE price > $1").unwrap();
+//! assert_eq!(session.execute(&expensive, &[Value::Int(50)]).unwrap().len(), 1);
+//! assert_eq!(session.execute(&expensive, &[Value::Int(5)]).unwrap().len(), 2);
+//! // Two executions, one compilation.
+//! assert_eq!(session.stats().compiles, 1);
+//! ```
+
+use crate::PermError;
+use perm_algebra::Plan;
+use perm_core::tracer::Tracer;
+use perm_core::{ProvenanceDescriptor, ProvenanceQuery, Strategy};
+use perm_exec::Executor;
+use perm_storage::{Database, Relation, Schema, Tuple, Value};
+use std::cell::Cell;
+
+/// Re-export of the executor's streaming cursor: `Iterator<Item =
+/// Result<Tuple, ExecError>>`. See [`Session::rows`].
+pub use perm_exec::Rows;
+
+/// The owning entry point: a database plus the default session
+/// configuration. An engine is the long-lived object of a serving process;
+/// each worker opens its own (cheap) [`Session`] against it.
+pub struct Engine {
+    db: Database,
+    config: SessionConfig,
+}
+
+impl Engine {
+    /// Creates an engine over a database with the default
+    /// [`SessionConfig`].
+    pub fn new(db: Database) -> Engine {
+        Engine {
+            db,
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// Replaces the default configuration handed to [`Engine::session`].
+    pub fn with_config(mut self, config: SessionConfig) -> Engine {
+        self.config = config;
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database (loading tables, etc.). Note that
+    /// sessions borrow the engine, so data loading happens between
+    /// sessions, not under them — exactly the exclusivity the borrow
+    /// checker enforces.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Opens a session with the engine's default configuration.
+    pub fn session(&self) -> Session<'_> {
+        Session::with_config(&self.db, self.config.clone())
+    }
+
+    /// Opens a session with an explicit configuration.
+    pub fn session_with(&self, config: SessionConfig) -> Session<'_> {
+        Session::with_config(&self.db, config)
+    }
+}
+
+/// Session configuration: every execution toggle that used to be scattered
+/// across free functions and executor builder methods, in one place.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The provenance rewrite strategy (default [`Strategy::Auto`]).
+    pub strategy: Strategy,
+    /// Whether correlated sublinks are memoized per distinct binding
+    /// (default `true`; the uncorrelated InitPlan caching stays on either
+    /// way).
+    pub sublink_memo: bool,
+    /// Optional LRU bound on each sublink/verdict memo (default `None`,
+    /// i.e. unbounded — the established behaviour). Bounding the memos
+    /// trades repeated sublink work for bounded memory on
+    /// high-cardinality correlations.
+    pub memo_capacity: Option<usize>,
+    /// Whether memo entries are retained across executions of the same
+    /// [`Prepared`] statement (default `true` — parameter values are part
+    /// of every memo key, so reuse is safe and is the point of preparing).
+    /// Ad-hoc [`Session::run`] under `false` keeps the classic
+    /// clear-per-execution semantics.
+    pub retain_memo: bool,
+    /// Compute provenance with the reference tracer instead of the rewrite
+    /// strategies (default `false`). The tracer is the paper's closed-form
+    /// characterisation evaluated tuple by tuple — the test oracle — and
+    /// does not support query parameters or streaming.
+    pub tracer: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            strategy: Strategy::Auto,
+            sublink_memo: true,
+            memo_capacity: None,
+            retain_memo: true,
+            tracer: false,
+        }
+    }
+}
+
+/// Pipeline counters of one session, for observability and for asserting
+/// the prepared-statement contract (re-execution performs zero parse, bind,
+/// rewrite or compile work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// SQL texts parsed.
+    pub parses: u64,
+    /// Parsed queries bound against the catalog.
+    pub binds: u64,
+    /// Provenance rewrites performed.
+    pub rewrites: u64,
+    /// Plans compiled to slot-resolved form.
+    pub compiles: u64,
+    /// Statement executions (materialised or streaming or traced).
+    pub executions: u64,
+}
+
+/// A session: the unit of statement preparation and execution. Holds one
+/// [`Executor`] so sublink memos persist across executions according to the
+/// configured policy. Cheap to create; not `Sync` — one session per worker.
+pub struct Session<'a> {
+    db: &'a Database,
+    config: SessionConfig,
+    executor: Executor<'a>,
+    parses: Cell<u64>,
+    binds: Cell<u64>,
+    rewrites: Cell<u64>,
+    executions: Cell<u64>,
+}
+
+/// How a prepared statement produces its result.
+#[derive(Debug)]
+enum PreparedKind {
+    /// An ordinary query.
+    Plain,
+    /// A provenance query rewritten by a strategy; the descriptor maps the
+    /// appended provenance attributes back to base-relation accesses.
+    Provenance { descriptor: ProvenanceDescriptor },
+    /// A provenance query computed by the reference tracer at execution
+    /// time (no rewrite; the logical plan is traced directly).
+    Traced { descriptor: ProvenanceDescriptor },
+}
+
+/// A prepared statement: the result of running parse → bind → (optional)
+/// provenance rewrite → compile exactly once. Executing it again costs only
+/// execution. A `Prepared` owns its compiled form and can outlive the
+/// session that prepared it (sublink identities are process-unique), but it
+/// is only valid against the database it was prepared on.
+#[derive(Debug)]
+pub struct Prepared {
+    sql: Option<String>,
+    /// The bound (and, for provenance statements, rewritten) logical plan.
+    plan: Plan,
+    /// The slot-resolved physical form; `None` only for tracer statements,
+    /// which interpret the logical plan directly.
+    compiled: Option<perm_exec::CompiledPlan>,
+    kind: PreparedKind,
+    schema: Schema,
+    param_count: usize,
+}
+
+impl Prepared {
+    /// The SQL text this statement was prepared from, when it came from
+    /// SQL.
+    pub fn sql(&self) -> Option<&str> {
+        self.sql.as_deref()
+    }
+
+    /// The output schema (for provenance statements: original attributes
+    /// followed by the provenance attributes).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of `$n` parameter slots the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The provenance descriptor, when this is a provenance statement.
+    pub fn descriptor(&self) -> Option<&ProvenanceDescriptor> {
+        match &self.kind {
+            PreparedKind::Plain => None,
+            PreparedKind::Provenance { descriptor } | PreparedKind::Traced { descriptor } => {
+                Some(descriptor)
+            }
+        }
+    }
+
+    /// The bound logical plan (rewritten form for provenance statements).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session with the default configuration directly over a
+    /// database — the escape hatch for callers that manage the database
+    /// themselves (the deprecated free functions use this).
+    pub fn new(db: &'a Database) -> Session<'a> {
+        Session::with_config(db, SessionConfig::default())
+    }
+
+    /// Opens a session with an explicit configuration.
+    pub fn with_config(db: &'a Database, config: SessionConfig) -> Session<'a> {
+        let executor = Executor::new(db)
+            .with_sublink_memo(config.sublink_memo)
+            .with_memo_capacity(config.memo_capacity)
+            .with_memo_retention(config.retain_memo);
+        Session {
+            db,
+            config,
+            executor,
+            parses: Cell::new(0),
+            binds: Cell::new(0),
+            rewrites: Cell::new(0),
+            executions: Cell::new(0),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The database this session reads.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The session's executor — diagnostic counters
+    /// ([`Executor::operators_evaluated`],
+    /// [`Executor::quantifier_comparisons`]) and low-level execution live
+    /// here.
+    pub fn executor(&self) -> &Executor<'a> {
+        &self.executor
+    }
+
+    /// A snapshot of the session's pipeline counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            parses: self.parses.get(),
+            binds: self.binds.get(),
+            rewrites: self.rewrites.get(),
+            compiles: self.executor.statements_compiled(),
+            executions: self.executions.get(),
+        }
+    }
+
+    /// Prepares a SQL statement: parse → bind → provenance rewrite (if the
+    /// query carries the `SELECT PROVENANCE` marker) → compile, once. The
+    /// returned [`Prepared`] executes many times via [`Session::execute`],
+    /// [`Session::rows`] or [`Session::provenance_rows`].
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, PermError> {
+        let (plan, wants_provenance) = self.parse_and_bind(sql)?;
+        self.prepare_inner(Some(sql), plan, wants_provenance)
+    }
+
+    /// Prepares a SQL statement for provenance computation whether or not
+    /// it carries the `PROVENANCE` keyword.
+    pub fn prepare_provenance(&self, sql: &str) -> Result<Prepared, PermError> {
+        let (plan, _) = self.parse_and_bind(sql)?;
+        self.prepare_inner(Some(sql), plan, true)
+    }
+
+    /// Prepares an algebra plan directly (no SQL front end).
+    pub fn prepare_plan(&self, plan: &Plan) -> Result<Prepared, PermError> {
+        self.prepare_inner(None, plan.clone(), false)
+    }
+
+    /// Prepares an algebra plan for provenance computation.
+    pub fn prepare_provenance_plan(&self, plan: &Plan) -> Result<Prepared, PermError> {
+        self.prepare_inner(None, plan.clone(), true)
+    }
+
+    fn parse_and_bind(&self, sql: &str) -> Result<(Plan, bool), PermError> {
+        let parsed = perm_sql::parse_query(sql)?;
+        self.parses.set(self.parses.get() + 1);
+        let provenance = parsed.provenance;
+        let bound = perm_sql::bind(self.db, &parsed)?;
+        self.binds.set(self.binds.get() + 1);
+        Ok((bound.plan, provenance))
+    }
+
+    fn prepare_inner(
+        &self,
+        sql: Option<&str>,
+        plan: Plan,
+        provenance: bool,
+    ) -> Result<Prepared, PermError> {
+        let param_count = perm_algebra::visit::param_count(&plan);
+        if provenance && self.config.tracer {
+            if param_count > 0 {
+                return Err(PermError::Param(
+                    "tracer sessions do not support query parameters; \
+                     disable `SessionConfig::tracer` to use `$n` bindings"
+                        .into(),
+                ));
+            }
+            // The tracer interprets the logical plan directly at execution
+            // time: nothing to rewrite or compile here.
+            let descriptor = Tracer::new(self.db).descriptor(&plan)?;
+            let schema = plan.schema().concat(&descriptor.schema());
+            return Ok(Prepared {
+                sql: sql.map(str::to_owned),
+                plan,
+                compiled: None,
+                kind: PreparedKind::Traced { descriptor },
+                schema,
+                param_count,
+            });
+        }
+        let (plan, kind) = if provenance {
+            let rewritten = ProvenanceQuery::new(self.db, &plan)
+                .strategy(self.config.strategy)
+                .rewrite()?;
+            self.rewrites.set(self.rewrites.get() + 1);
+            let descriptor = rewritten.descriptor;
+            (rewritten.plan, PreparedKind::Provenance { descriptor })
+        } else {
+            (plan, PreparedKind::Plain)
+        };
+        let compiled = self.executor.prepare(&plan)?;
+        let schema = compiled.schema().clone();
+        Ok(Prepared {
+            sql: sql.map(str::to_owned),
+            plan,
+            compiled: Some(compiled),
+            kind,
+            schema,
+            param_count,
+        })
+    }
+
+    /// Binds `params` and checks the arity against the statement.
+    fn bind_checked(&self, prepared: &Prepared, params: &[Value]) -> Result<(), PermError> {
+        if params.len() != prepared.param_count {
+            return Err(PermError::Param(format!(
+                "statement expects {} parameter{}, got {}",
+                prepared.param_count,
+                if prepared.param_count == 1 { "" } else { "s" },
+                params.len()
+            )));
+        }
+        self.executor.bind_params(params.to_vec());
+        if !self.config.retain_memo {
+            self.executor.clear_compiled_memos();
+        }
+        Ok(())
+    }
+
+    fn count_execution(&self) {
+        self.executions.set(self.executions.get() + 1);
+    }
+
+    /// Executes a prepared statement with the given parameter binding,
+    /// materialising the full result. No parse/bind/rewrite/compile work
+    /// happens here — only execution (assertable via [`Session::stats`]).
+    pub fn execute(&self, prepared: &Prepared, params: &[Value]) -> Result<Relation, PermError> {
+        self.bind_checked(prepared, params)?;
+        let result = match (&prepared.kind, &prepared.compiled) {
+            (PreparedKind::Traced { .. }, _) => Tracer::new(self.db).trace(&prepared.plan)?,
+            (_, Some(compiled)) => self.executor.execute_compiled(compiled, None)?,
+            (_, None) => unreachable!("non-traced statements always carry a compiled plan"),
+        };
+        self.count_execution();
+        Ok(result)
+    }
+
+    /// Opens a pull-based cursor over a prepared statement: tuples are
+    /// produced on demand, so a `LIMIT`-style consumer stops paying for
+    /// input it never looks at. The cursor captures this parameter binding;
+    /// other statements may run on the session while it is open.
+    pub fn rows<'s>(
+        &'s self,
+        prepared: &'s Prepared,
+        params: &[Value],
+    ) -> Result<Rows<'s, 'a>, PermError> {
+        let Some(compiled) = &prepared.compiled else {
+            return Err(PermError::Param(
+                "tracer sessions cannot stream; use `Session::execute` or \
+                 `Session::provenance_rows`"
+                    .into(),
+            ));
+        };
+        self.bind_checked(prepared, params)?;
+        let rows = self.executor.open(compiled)?;
+        self.count_execution();
+        Ok(rows)
+    }
+
+    /// Executes a provenance statement and returns the structured witness
+    /// view: each output tuple with its witness tuples grouped per
+    /// base-relation access, instead of a flat relation whose `prov_r_a`
+    /// column names the caller would have to string-match.
+    pub fn provenance_rows(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<ProvenanceRows, PermError> {
+        let descriptor = match &prepared.kind {
+            PreparedKind::Provenance { descriptor } | PreparedKind::Traced { descriptor } => {
+                descriptor.clone()
+            }
+            PreparedKind::Plain => {
+                return Err(PermError::Param(
+                    "statement was not prepared for provenance; use \
+                     `Session::prepare_provenance` (or the `SELECT PROVENANCE` marker)"
+                        .into(),
+                ))
+            }
+        };
+        let relation = self.execute(prepared, params)?;
+        Ok(ProvenanceRows::new(relation, &descriptor))
+    }
+
+    /// Ad-hoc convenience: prepares and executes a parameter-free SQL
+    /// statement once, honouring the `SELECT PROVENANCE` marker. For
+    /// repeated or parameterized execution, [`Session::prepare`] and keep
+    /// the [`Prepared`] around.
+    ///
+    /// The transient statement's memo entries are cleared afterwards even
+    /// under the retention policy — its sublink identities are never reused,
+    /// so retaining them would only leak. As the clearing is whole-memo, a
+    /// session interleaving `run` with prepared statements loses those
+    /// statements' warm memo entries too; keep ad-hoc traffic on its own
+    /// session when that matters.
+    pub fn run(&self, sql: &str) -> Result<Relation, PermError> {
+        let prepared = self.prepare(sql)?;
+        let result = self.execute(&prepared, &[]);
+        if self.config.retain_memo {
+            self.executor.clear_compiled_memos();
+        }
+        result
+    }
+}
+
+/// A group of provenance attributes inside the flat rewritten tuple: which
+/// base-relation access it witnesses and where its values sit.
+#[derive(Debug, Clone)]
+struct WitnessGroup {
+    table: String,
+    occurrence: usize,
+    start: usize,
+    arity: usize,
+}
+
+/// The structured view of a provenance result: every output tuple paired
+/// with its witness tuples, grouped per base-relation access of the query
+/// (in [`ProvenanceDescriptor`] order). Built by
+/// [`Session::provenance_rows`].
+#[derive(Debug, Clone)]
+pub struct ProvenanceRows {
+    schema: Schema,
+    original_arity: usize,
+    groups: Vec<WitnessGroup>,
+    tuples: Vec<Tuple>,
+}
+
+impl ProvenanceRows {
+    fn new(relation: Relation, descriptor: &ProvenanceDescriptor) -> ProvenanceRows {
+        let schema = relation.schema().clone();
+        let original_arity = schema.arity() - descriptor.attr_count();
+        let mut groups = Vec::with_capacity(descriptor.len());
+        let mut start = original_arity;
+        for entry in descriptor.entries() {
+            let arity = entry.prov_schema.arity();
+            groups.push(WitnessGroup {
+                table: entry.table.clone(),
+                occurrence: entry.occurrence,
+                start,
+                arity,
+            });
+            start += arity;
+        }
+        ProvenanceRows {
+            schema,
+            original_arity,
+            groups,
+            tuples: relation.into_tuples(),
+        }
+    }
+
+    /// The full (flat) schema: original attributes then provenance
+    /// attributes.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema of the original query (provenance attributes stripped).
+    pub fn output_schema(&self) -> Schema {
+        Schema::new(self.schema.attributes()[..self.original_arity].to_vec())
+    }
+
+    /// Number of result rows (one per witness *combination*, as in the
+    /// paper's single-relation representation).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the structured rows.
+    pub fn iter(&self) -> impl Iterator<Item = ProvenanceRow<'_>> {
+        self.tuples
+            .iter()
+            .map(move |tuple| ProvenanceRow { rows: self, tuple })
+    }
+}
+
+/// One row of a [`ProvenanceRows`] result: the original output tuple plus
+/// one witness slice per base-relation access.
+#[derive(Clone, Copy)]
+pub struct ProvenanceRow<'r> {
+    rows: &'r ProvenanceRows,
+    tuple: &'r Tuple,
+}
+
+impl<'r> ProvenanceRow<'r> {
+    /// The original output tuple (provenance attributes stripped).
+    pub fn output(&self) -> &'r [Value] {
+        &self.tuple.values()[..self.rows.original_arity]
+    }
+
+    /// The witnesses of this row, one per base-relation access, in
+    /// descriptor order.
+    pub fn witnesses(&self) -> impl Iterator<Item = Witness<'r>> + '_ {
+        let tuple = self.tuple;
+        self.rows.groups.iter().map(move |group| Witness {
+            table: &group.table,
+            occurrence: group.occurrence,
+            values: &tuple.values()[group.start..group.start + group.arity],
+        })
+    }
+
+    /// The witness for the `i`-th base-relation access of the descriptor.
+    pub fn witness(&self, i: usize) -> Option<Witness<'r>> {
+        let group = self.rows.groups.get(i)?;
+        Some(Witness {
+            table: &group.table,
+            occurrence: group.occurrence,
+            values: &self.tuple.values()[group.start..group.start + group.arity],
+        })
+    }
+}
+
+/// The contribution of one base-relation access to one output tuple: either
+/// a witness tuple of that relation, or no contribution (the rewrite's
+/// NULL-padded outer-join side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Witness<'r> {
+    /// Catalog name of the base relation.
+    pub table: &'r str,
+    /// Occurrence index of this access within the query (multiple accesses
+    /// of one relation are distinct provenance sources).
+    pub occurrence: usize,
+    values: &'r [Value],
+}
+
+impl<'r> Witness<'r> {
+    /// The witness tuple, or `None` when this base-relation access did not
+    /// contribute to the output row (every provenance attribute is NULL —
+    /// the representation the rewrites share with the paper).
+    pub fn tuple(&self) -> Option<&'r [Value]> {
+        if self.values.iter().all(|v| v.is_null()) {
+            None
+        } else {
+            Some(self.values)
+        }
+    }
+
+    /// The raw provenance attribute values, NULL-padded or not.
+    pub fn values(&self) -> &'r [Value] {
+        self.values
+    }
+}

@@ -6,6 +6,12 @@
 //!   the uniqueness restored by Definition 2.
 //! * Section 3.1 — the provenance schema/representation of `qex`.
 
+// This suite deliberately exercises the deprecated pre-`Session` helpers:
+// they must keep compiling and agreeing with the paper's examples until they
+// are removed (the Session-era equivalents are covered by
+// `sql_end_to_end.rs` and `session_api.rs`).
+#![allow(deprecated)]
+
 use perm::prelude::*;
 use perm::provenance_of_sql;
 use perm_core::tracer::Tracer;

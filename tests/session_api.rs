@@ -1,0 +1,403 @@
+//! The serving-grade API end to end: prepared statements, `$n` parameters,
+//! streaming cursors, structured provenance results, memo policy and error
+//! chains — everything `ISSUE 3` promises of the `Engine`/`Session` facade.
+
+use perm::prelude::*;
+use perm::{PermError, SessionConfig};
+use std::error::Error as _;
+
+/// R(a, g) and S(c, g): a correlated workload with a low-cardinality group
+/// attribute, mirroring the synthetic `q3` shape.
+fn grouped_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Relation::from_rows(
+            Schema::from_names(&["a", "g"]).with_qualifier("r"),
+            (0..12)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                .collect(),
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Relation::from_rows(
+            Schema::from_names(&["c", "g"]).with_qualifier("s"),
+            (0..9)
+                .map(|i| vec![Value::Int(10 * i), Value::Int(i % 3)])
+                .collect(),
+        ),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn prepared_reexecution_does_zero_frontend_work() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c FROM s) OR a < $1")
+        .unwrap();
+    let after_prepare = session.stats();
+    assert_eq!(after_prepare.parses, 1);
+    assert_eq!(after_prepare.binds, 1);
+    assert_eq!(after_prepare.rewrites, 0);
+    assert_eq!(after_prepare.compiles, 1);
+    assert_eq!(after_prepare.executions, 0);
+
+    for bound in [3, 7, 11] {
+        session.execute(&prepared, &[Value::Int(bound)]).unwrap();
+    }
+    let after = session.stats();
+    // Re-execution is execution only: the front-end counters are frozen.
+    assert_eq!(after.parses, 1);
+    assert_eq!(after.binds, 1);
+    assert_eq!(after.rewrites, 0);
+    assert_eq!(after.compiles, 1, "counters must show one compile total");
+    assert_eq!(after.executions, 3);
+}
+
+#[test]
+fn parameters_change_results_without_recompiling() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session.prepare("SELECT a FROM r WHERE a < $1").unwrap();
+    assert_eq!(prepared.param_count(), 1);
+    assert_eq!(
+        session.execute(&prepared, &[Value::Int(3)]).unwrap().len(),
+        3
+    );
+    assert_eq!(
+        session
+            .execute(&prepared, &[Value::Int(100)])
+            .unwrap()
+            .len(),
+        12
+    );
+    // Wrong arity is a statement error, not a silent NULL.
+    assert!(matches!(
+        session.execute(&prepared, &[]),
+        Err(PermError::Param(_))
+    ));
+    assert!(matches!(
+        session.execute(&prepared, &[Value::Int(1), Value::Int(2)]),
+        Err(PermError::Param(_))
+    ));
+    assert_eq!(session.stats().compiles, 1);
+}
+
+#[test]
+fn rows_cursor_streams_limit_without_full_materialisation() {
+    // Row 0 divides cleanly; the last row would divide by zero. A streaming
+    // LIMIT 1 must never evaluate it, while eager execution fails on it.
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Relation::from_rows(
+            Schema::from_names(&["x"]).with_qualifier("t"),
+            vec![vec![Value::Int(5)], vec![Value::Int(0)]],
+        ),
+    )
+    .unwrap();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT 10 / x AS y FROM t LIMIT 1")
+        .unwrap();
+
+    assert!(
+        matches!(session.execute(&prepared, &[]), Err(PermError::Exec(_))),
+        "materialised execution must reach the poisoned row"
+    );
+
+    let tuples: Vec<Tuple> = session
+        .rows(&prepared, &[])
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(tuples.len(), 1);
+    assert_eq!(tuples[0].get(0), &Value::Int(2));
+}
+
+#[test]
+fn acceptance_correlated_provenance_with_parameter_three_bindings() {
+    // The ISSUE 3 acceptance bar: a correlated `SELECT PROVENANCE` query
+    // with a `$1` parameter, prepared once, executed with three different
+    // bindings, returning correct per-binding witnesses via
+    // `ProvenanceRows`, with one compile total.
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare(
+            "SELECT PROVENANCE a FROM r \
+             WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g AND s.c > $1)",
+        )
+        .unwrap();
+    assert!(prepared.descriptor().is_some());
+    assert_eq!(prepared.param_count(), 1);
+
+    for bound in [-1i64, 30, 75] {
+        let rows = session
+            .provenance_rows(&prepared, &[Value::Int(bound)])
+            .unwrap();
+        // Reference semantics, computed directly: r-rows whose group has an
+        // s.c above the binding.
+        let db = engine.database();
+        let s = db.table("s").unwrap();
+        let r = db.table("r").unwrap();
+        let surviving: Vec<i64> = r
+            .tuples()
+            .iter()
+            .filter(|rt| {
+                s.tuples()
+                    .iter()
+                    .any(|st| st.get(1) == rt.get(1) && st.get(0).as_i64().unwrap() > bound)
+            })
+            .map(|rt| rt.get(0).as_i64().unwrap())
+            .collect();
+        let mut seen: Vec<i64> = rows
+            .iter()
+            .map(|row| row.output()[0].as_i64().unwrap())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, surviving, "wrong output set for $1 = {bound}");
+
+        // Witness structure: every row carries an `r` witness equal to its
+        // own tuple and an `s` witness that satisfies the correlated,
+        // parameterized predicate for THIS binding.
+        for row in rows.iter() {
+            let a = row.output()[0].as_i64().unwrap();
+            let g = a % 3;
+            let r_witness = row.witnesses().find(|w| w.table == "r").unwrap();
+            assert_eq!(r_witness.tuple(), Some(&[Value::Int(a), Value::Int(g)][..]));
+            let s_witness = row.witnesses().find(|w| w.table == "s").unwrap();
+            let s_values = s_witness
+                .tuple()
+                .expect("a surviving row must have an s witness");
+            assert_eq!(s_values[1], Value::Int(g), "witness from the right group");
+            assert!(
+                s_values[0].as_i64().unwrap() > bound,
+                "witness must satisfy the $1 = {bound} binding, got {:?}",
+                s_values
+            );
+        }
+    }
+    assert_eq!(session.stats().compiles, 1);
+    assert_eq!(session.stats().rewrites, 1);
+}
+
+#[test]
+fn prepared_memo_retention_is_policy_driven() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+
+    // Default policy: memos are retained across executions of one prepared
+    // statement, so the parameter-independent sublink runs once total.
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    session.execute(&prepared, &[]).unwrap();
+    let first = session.executor().operators_evaluated();
+    session.execute(&prepared, &[]).unwrap();
+    let second = session.executor().operators_evaluated() - first;
+    // First run: project + select + scan r + (project + scan s) = 5.
+    // Second run: the sublink is a memo hit — the outer three only.
+    assert_eq!(first, 5);
+    assert_eq!(second, 3, "retained memo must skip the sublink re-run");
+
+    // retain_memo = false keeps the ad-hoc clearing semantics.
+    let session = engine.session_with(SessionConfig {
+        retain_memo: false,
+        ..SessionConfig::default()
+    });
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    session.execute(&prepared, &[]).unwrap();
+    let first = session.executor().operators_evaluated();
+    session.execute(&prepared, &[]).unwrap();
+    let second = session.executor().operators_evaluated() - first;
+    assert_eq!(first, 5);
+    assert_eq!(second, 5, "clearing policy must re-run the sublink");
+}
+
+#[test]
+fn ad_hoc_run_clears_transient_memo_entries_even_under_retention() {
+    // `Session::run` serves a transient statement whose sublink identities
+    // are never reused; under the retention policy its memo entries would
+    // leak forever, so run() clears the compiled memos afterwards. The
+    // observable consequence asserted here: a previously warmed prepared
+    // statement re-runs its sublink after an interleaved run().
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    session.execute(&prepared, &[]).unwrap(); // warm: 5 ops
+    session
+        .run("SELECT a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    let before = session.executor().operators_evaluated();
+    session.execute(&prepared, &[]).unwrap();
+    assert_eq!(
+        session.executor().operators_evaluated() - before,
+        5,
+        "run() must have cleared the memos, forcing a full re-run"
+    );
+}
+
+#[test]
+fn parameter_values_participate_in_retained_memo_keys() {
+    // A parameterized (but uncorrelated) sublink: retention may reuse the
+    // result for a repeated binding but MUST recompute for a new one.
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c / 10 FROM s WHERE c > $1)")
+        .unwrap();
+
+    let run = |bound: i64| {
+        let before = session.executor().operators_evaluated();
+        let rel = session.execute(&prepared, &[Value::Int(bound)]).unwrap();
+        (session.executor().operators_evaluated() - before, rel)
+    };
+    let (ops_a, res_a) = run(30);
+    let (ops_b, res_b) = run(30); // same binding: memo hit
+    let (ops_c, res_c) = run(-1); // new binding: sublink must re-run
+    assert_eq!(ops_a, 3 + 3, "outer three ops + 3-op sublink");
+    assert_eq!(ops_b, 3, "repeated binding reuses the memo entry");
+    assert_eq!(ops_c, 3 + 3, "new binding must not reuse the old result");
+    assert!(res_a.bag_eq(&res_b));
+    assert!(!res_a.bag_eq(&res_c), "different binding, different result");
+}
+
+#[test]
+fn memo_capacity_bounds_are_configurable_and_correct() {
+    // A capacity of 1 thrashes on a 3-group correlated query but must stay
+    // correct; unbounded agrees with it.
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let sql = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)";
+
+    let bounded = engine.session_with(SessionConfig {
+        memo_capacity: Some(1),
+        ..SessionConfig::default()
+    });
+    let unbounded = engine.session();
+    let p_bounded = bounded.prepare(sql).unwrap();
+    let p_unbounded = unbounded.prepare(sql).unwrap();
+    let a = bounded.execute(&p_bounded, &[]).unwrap();
+    let b = unbounded.execute(&p_unbounded, &[]).unwrap();
+    assert!(a.bag_eq(&b));
+    // The capacity-1 session had to re-execute evicted bindings.
+    assert!(
+        bounded.executor().operators_evaluated() > unbounded.executor().operators_evaluated(),
+        "a thrashing LRU must do strictly more operator work"
+    );
+}
+
+#[test]
+fn tracer_config_subsumes_the_reference_path() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let traced_session = engine.session_with(SessionConfig {
+        tracer: true,
+        ..SessionConfig::default()
+    });
+    let rewritten_session = engine.session();
+    let sql = "SELECT PROVENANCE a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)";
+    let traced = traced_session.prepare(sql).unwrap();
+    let rewritten = rewritten_session.prepare(sql).unwrap();
+    let t = traced_session.execute(&traced, &[]).unwrap();
+    // The prepared schema must describe what execute() actually returns —
+    // original attributes followed by the provenance attributes.
+    assert_eq!(traced.schema().names(), t.schema().names());
+    // The tracer interprets the plan directly: nothing was compiled.
+    assert_eq!(traced_session.stats().compiles, 0);
+    let r = rewritten_session.execute(&rewritten, &[]).unwrap();
+    assert!(t.bag_eq(&r), "tracer and rewrite must agree:\n{t}\nvs\n{r}");
+    // The structured view works on traced results too.
+    let rows = traced_session.provenance_rows(&traced, &[]).unwrap();
+    assert_eq!(rows.len(), t.len());
+    // Tracer sessions reject parameters up front.
+    assert!(matches!(
+        traced_session.prepare("SELECT PROVENANCE a FROM r WHERE a < $1"),
+        Err(PermError::Param(_))
+    ));
+}
+
+#[test]
+fn error_chains_surface_the_underlying_cause() {
+    let db = grouped_db();
+    let session = Session::new(&db);
+
+    // Lexical error: the byte position must survive to the top-level
+    // Display and the SqlError must be reachable via source().
+    let err = session.prepare("SELECT 'oops").unwrap_err();
+    let display = err.to_string();
+    assert!(display.contains("sql error"), "{display}");
+    assert!(display.contains("byte 7"), "{display}");
+    let source = err.source().expect("PermError::Sql must have a source");
+    assert!(source.to_string().contains("unterminated"));
+
+    // Execution error: PermError -> ExecError -> StorageError, three levels.
+    let prepared = session.prepare("SELECT missing_column FROM r").unwrap();
+    let err = session.execute(&prepared, &[]).unwrap_err();
+    assert!(err.to_string().contains("execution error"), "{err}");
+    let exec = err.source().expect("PermError::Exec must have a source");
+    let storage = exec
+        .source()
+        .expect("ExecError::Storage must chain to the StorageError");
+    assert!(storage.to_string().contains("missing_column"));
+}
+
+#[test]
+fn provenance_rows_split_output_and_witness_groups() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT PROVENANCE a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    let rows = session.provenance_rows(&prepared, &[]).unwrap();
+    assert_eq!(rows.output_schema().names(), vec!["a"]);
+    let descriptor = prepared.descriptor().unwrap();
+    assert_eq!(descriptor.len(), 2, "two base-relation accesses: r and s");
+    for row in rows.iter() {
+        let tables: Vec<&str> = row.witnesses().map(|w| w.table).collect();
+        assert_eq!(tables, vec!["r", "s"]);
+        assert_eq!(row.witness(0).unwrap().tuple().unwrap().len(), 2);
+    }
+    // A plain statement refuses the provenance view.
+    let plain = session.prepare("SELECT a FROM r").unwrap();
+    assert!(matches!(
+        session.provenance_rows(&plain, &[]),
+        Err(PermError::Param(_))
+    ));
+}
+
+#[test]
+fn streaming_rows_work_with_parameters_and_provenance() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT PROVENANCE a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g AND s.c > $1)")
+        .unwrap();
+    let streamed: Vec<Tuple> = session
+        .rows(&prepared, &[Value::Int(30)])
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let materialised = session.execute(&prepared, &[Value::Int(30)]).unwrap();
+    assert_eq!(streamed.len(), materialised.len());
+}

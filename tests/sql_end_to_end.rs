@@ -2,7 +2,29 @@
 //! with nested subqueries, executed against the in-memory engine.
 
 use perm::prelude::*;
-use perm::provenance_of_sql;
+use perm::SessionConfig;
+
+/// Provenance of a SQL query through the Session API with an explicit
+/// strategy (the Session-era spelling of the old `provenance_of_sql`).
+fn provenance_of_sql(
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+) -> Result<Relation, perm::PermError> {
+    let session = Session::with_config(
+        db,
+        SessionConfig {
+            strategy,
+            ..SessionConfig::default()
+        },
+    );
+    let prepared = session.prepare_provenance(sql)?;
+    session.execute(&prepared, &[])
+}
+
+fn run(db: &Database, sql: &str) -> Result<Relation, perm::PermError> {
+    Session::new(db).run(sql)
+}
 
 fn shop_db() -> Database {
     let mut db = Database::new();
@@ -38,9 +60,9 @@ fn shop_db() -> Database {
 #[test]
 fn provenance_keyword_triggers_the_rewrite() {
     let db = shop_db();
-    let plain = perm::run_sql(&db, "SELECT name FROM items WHERE price > 100").unwrap();
+    let plain = run(&db, "SELECT name FROM items WHERE price > 100").unwrap();
     assert_eq!(plain.schema().names(), vec!["name"]);
-    let prov = perm::run_sql(&db, "SELECT PROVENANCE name FROM items WHERE price > 100").unwrap();
+    let prov = run(&db, "SELECT PROVENANCE name FROM items WHERE price > 100").unwrap();
     assert_eq!(
         prov.schema().names(),
         vec![
@@ -58,7 +80,7 @@ fn provenance_of_in_subquery_links_items_to_their_orders() {
     let db = shop_db();
     let sql = "SELECT PROVENANCE name FROM items \
                WHERE id IN (SELECT item_id FROM orders WHERE qty > 1)";
-    let result = perm::run_sql(&db, sql).unwrap();
+    let result = run(&db, sql).unwrap();
     // keyboard (order 100, qty 2), monitor (order 102, qty 3), cable (order
     // 103, qty 10) qualify; the monitor's qty-1 order must not appear.
     assert_eq!(result.len(), 3);
@@ -80,7 +102,7 @@ fn not_exists_provenance_pads_missing_orders_with_null() {
     let db = shop_db();
     let sql = "SELECT PROVENANCE name FROM items \
                WHERE NOT EXISTS (SELECT * FROM orders WHERE orders.item_id = items.id)";
-    let result = perm::run_sql(&db, sql).unwrap();
+    let result = run(&db, sql).unwrap();
     // Only the laptop has no orders.
     assert_eq!(result.len(), 1);
     let schema = result.schema();
@@ -114,7 +136,7 @@ fn aggregation_provenance_attributes_the_whole_group() {
     let db = shop_db();
     let sql = "SELECT PROVENANCE item_id, sum(qty) AS total \
                FROM orders GROUP BY item_id HAVING sum(qty) > 2";
-    let result = perm::run_sql(&db, sql).unwrap();
+    let result = run(&db, sql).unwrap();
     // Groups item 2 (qty 1+3=4) and item 3 (qty 10): item 2's group has two
     // contributing orders, item 3's group one — three provenance rows.
     assert_eq!(result.len(), 3);
@@ -135,7 +157,7 @@ fn scalar_subquery_provenance() {
     let db = shop_db();
     let sql = "SELECT PROVENANCE name FROM items \
                WHERE price = (SELECT max(price) FROM items)";
-    let result = perm::run_sql(&db, sql).unwrap();
+    let result = run(&db, sql).unwrap();
     assert_eq!(result.len(), 4, "all items feed the max() sublink");
     let schema = result.schema();
     let name = schema.resolve(None, "name").unwrap();
@@ -157,7 +179,7 @@ fn provenance_result_is_a_relation_usable_as_input() {
     .unwrap();
     let mut db2 = shop_db();
     db2.create_table("item_provenance", prov).unwrap();
-    let roundtrip = perm::run_sql(
+    let roundtrip = run(
         &db2,
         "SELECT DISTINCT prov_orders_order_id FROM item_provenance ORDER BY prov_orders_order_id",
     )
@@ -168,7 +190,7 @@ fn provenance_result_is_a_relation_usable_as_input() {
 #[test]
 fn errors_are_reported_not_panicked() {
     let db = shop_db();
-    assert!(perm::run_sql(&db, "SELECT nothing FROM missing_table").is_err());
-    assert!(perm::run_sql(&db, "THIS IS NOT SQL").is_err());
+    assert!(run(&db, "SELECT nothing FROM missing_table").is_err());
+    assert!(run(&db, "THIS IS NOT SQL").is_err());
     assert!(provenance_of_sql(&db, "SELECT * FROM items LIMIT abc", Strategy::Gen).is_err());
 }
