@@ -40,7 +40,9 @@ use std::collections::HashMap;
 /// * [`Strategy::Auto`] picks, per operator, the most specific strategy that
 ///   applies (Unn, then Move, then Gen), mimicking what a production system
 ///   would do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// `Hash` so a strategy can participate in cache keys (the engine's
+// cross-session plan cache fingerprints its `SessionConfig` with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     Gen,
     Left,

@@ -308,7 +308,26 @@ impl<'a> Frame<'a> {
 /// Source of compiled-sublink ids: process-wide, so the memo keys of plans
 /// prepared by *different* executors (e.g. two sessions sharing one engine,
 /// or a prepared statement outliving the session that compiled it) can never
-/// collide either.
+/// collide either — including when those preparations *race* on different
+/// threads.
+///
+/// Memory-ordering contract: `fetch_add(1, Ordering::Relaxed)` is a single
+/// atomic read-modify-write, so every call observes a distinct value of the
+/// counter — uniqueness needs only the atomicity of the RMW, not any
+/// ordering of *other* memory between threads. The id is then embedded in a
+/// `CompiledPlan` that reaches other threads only through a synchronising
+/// handoff (an `Arc` behind the engine's plan-cache mutex, a scoped-thread
+/// join, a channel), and that handoff provides the happens-before edge that
+/// publishes the plan's memory. `Relaxed` is therefore sufficient and the
+/// cheapest correct choice; `SeqCst` would buy nothing.
+///
+/// The memo key spaces stay collision-proof on top of unique ids because
+/// every key leads with a namespace tag: compiled keys
+/// (`MEMO_TAG_COMPILED`) embed this id; interpreter keys
+/// (`MEMO_TAG_INTERPRETED`) embed a plan node *address* and are only ever
+/// stored in executor-private maps (addresses are not stable or meaningful
+/// across executors, so they are excluded from the shared memo by
+/// construction — see `crate::memo::SharedSublinkMemo`).
 static NEXT_SUBLINK_ID: AtomicUsize = AtomicUsize::new(0);
 
 /// Compiles a plan with an empty outer scope chain.
@@ -899,12 +918,39 @@ impl Executor<'_> {
         }
     }
 
+    /// `true` when the sublink's result for the binding carried by `frame`
+    /// is already memoized (in the shared memo when one is attached,
+    /// otherwise in this executor's private memo). A cheap key-compute +
+    /// lookup with no execution — the serving layer's warm-probe, so a
+    /// parallel warming pass can skip bindings (and whole thread scopes)
+    /// that earlier executions already paid for.
+    pub fn sublink_is_memoized(
+        &self,
+        sublink: &CompiledSublink,
+        frame: Option<&Frame<'_>>,
+    ) -> bool {
+        match self.compiled_sublink_key(sublink, frame) {
+            Ok(Some(key)) => match &self.shared_memo {
+                Some(shared) => shared.get_result(&key).is_some(),
+                None => self.sublink_memo.borrow_mut().get(&key).is_some(),
+            },
+            _ => false,
+        }
+    }
+
     /// Executes a compiled sublink plan, consulting the parameterized memo
-    /// when the sublink has a resolved correlation signature (see
-    /// [`Executor::compiled_sublink_key`]). Results are shared as
-    /// `Arc<Relation>`s: a hit clones the pointer, never the tuples. Errors
-    /// are never cached.
-    fn execute_memoized_sublink(
+    /// when the sublink has a resolved correlation signature (the memo-key
+    /// contract is documented on the private `compiled_sublink_key`).
+    /// Results are shared as `Arc<Relation>`s: a hit clones the pointer,
+    /// never the tuples. Errors are never cached.
+    ///
+    /// Public because it is the *parallel-evaluation seam*: the serving
+    /// subsystem partitions the distinct correlated bindings of a sublink
+    /// across worker threads, and each worker drives exactly this method —
+    /// with a synthetic outer [`Frame`] carrying one binding — against an
+    /// executor that shares a [`crate::memo::SharedSublinkMemo`], so the
+    /// warmed entries are the very entries the final (serial) pass will hit.
+    pub fn execute_memoized_sublink(
         &self,
         sublink: &CompiledSublink,
         frame: Option<&Frame<'_>>,
@@ -922,16 +968,27 @@ impl Executor<'_> {
         frame: Option<&Frame<'_>>,
         key: Option<Vec<u8>>,
     ) -> Result<Arc<Relation>> {
+        // With a shared memo attached, compiled-path entries live there —
+        // the keys are process-unique, so cross-executor hits are safe and
+        // are the point. Without one, the executor-private memo serves.
         if let Some(k) = &key {
-            if let Some(hit) = self.sublink_memo.borrow_mut().get(k) {
+            let hit = match &self.shared_memo {
+                Some(shared) => shared.get_result(k),
+                None => self.sublink_memo.borrow_mut().get(k),
+            };
+            if let Some(hit) = hit {
                 return Ok(hit);
             }
         }
         let result = Arc::new(self.execute_compiled(&sublink.plan, frame)?);
         if let Some(k) = key {
-            self.sublink_memo
-                .borrow_mut()
-                .insert(k, Arc::clone(&result));
+            match &self.shared_memo {
+                Some(shared) => shared.insert_result(k, Arc::clone(&result)),
+                None => self
+                    .sublink_memo
+                    .borrow_mut()
+                    .insert(k, Arc::clone(&result)),
+            }
         }
         Ok(result)
     }
@@ -1352,6 +1409,135 @@ mod tests {
         assert!(a.bag_eq(&b));
         // 3 correlated groups vs capacity 1: evictions force re-execution.
         assert!(bounded.operators_evaluated() >= unbounded.operators_evaluated());
+    }
+
+    #[test]
+    fn racing_preparations_never_collide_on_sublink_ids() {
+        // The satellite fix of the concurrent serving subsystem: the
+        // process-wide sublink-id counter must hand out distinct ids under
+        // concurrent `prepare` (`fetch_add` is an atomic RMW; `Relaxed`
+        // ordering suffices for uniqueness — see `NEXT_SUBLINK_ID`). Race 8
+        // threads × 16 preparations of a nested two-sublink plan and check
+        // every id is globally unique.
+        let db = db_with_groups();
+        let inner = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(eq(qcol("s", "g"), qcol("r", "g")))
+            .project_columns(&["c"])
+            .build();
+        let sub = PlanBuilder::scan(&db, "s")
+            .unwrap()
+            .select(any_sublink(col("c"), CompareOp::Eq, inner))
+            .build();
+        let q = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+
+        fn collect_ids(plan: &CompiledPlan, out: &mut Vec<usize>) {
+            fn expr_ids(expr: &CompiledExpr, out: &mut Vec<usize>) {
+                match expr {
+                    CompiledExpr::Sublink(s) => {
+                        out.push(s.id);
+                        if let Some(t) = &s.test_expr {
+                            expr_ids(t, out);
+                        }
+                        collect_ids(&s.plan, out);
+                    }
+                    CompiledExpr::Binary { left, right, .. } => {
+                        expr_ids(left, out);
+                        expr_ids(right, out);
+                    }
+                    CompiledExpr::Unary { expr, .. } => expr_ids(expr, out),
+                    _ => {}
+                }
+            }
+            match plan {
+                CompiledPlan::Select {
+                    input, predicate, ..
+                } => {
+                    expr_ids(predicate, out);
+                    collect_ids(input, out);
+                }
+                CompiledPlan::Project { input, items, .. } => {
+                    for item in items {
+                        expr_ids(item, out);
+                    }
+                    collect_ids(input, out);
+                }
+                CompiledPlan::Scan { .. } | CompiledPlan::Values { .. } => {}
+                other => panic!("unexpected operator in test plan: {other:?}"),
+            }
+        }
+
+        let all_ids = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let ex = Executor::new(&db);
+                    let mut ids = Vec::new();
+                    for _ in 0..16 {
+                        let compiled = ex.prepare(&q).unwrap();
+                        collect_ids(&compiled, &mut ids);
+                    }
+                    all_ids.lock().unwrap().extend(ids);
+                });
+            }
+        });
+        let mut ids = all_ids.into_inner().unwrap();
+        assert_eq!(ids.len(), 8 * 16 * 2, "two sublinks per preparation");
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            before,
+            "racing preparations produced duplicate sublink ids"
+        );
+    }
+
+    #[test]
+    fn shared_memo_serves_hits_across_executors() {
+        // Two executors (think: two worker threads) attached to one shared
+        // memo: a binding warmed by the first is a hit — the same
+        // allocation — for the second, and the second's operator counter
+        // shows it did no sublink work of its own.
+        let db = db_with_groups();
+        let q = correlated_exists_query(&db);
+        let shared = crate::memo::SharedSublinkMemo::new();
+
+        let warmer = Executor::new(&db).with_shared_memo(Arc::clone(&shared));
+        let compiled = warmer.prepare(&q).unwrap();
+        let sublink = select_sublink(&compiled);
+        let outer = Tuple::new(vec![Value::Int(0), Value::Int(1)]);
+        let frame = Frame::new(None, &outer);
+        let first = warmer
+            .execute_memoized_sublink(sublink, Some(&frame))
+            .unwrap();
+        assert!(
+            shared.entry_count() > 0,
+            "warming populated the shared memo"
+        );
+
+        let server = Executor::new(&db).with_shared_memo(Arc::clone(&shared));
+        let before = server.operators_evaluated();
+        let second = server
+            .execute_memoized_sublink(sublink, Some(&frame))
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cross-executor hit must share the cached allocation"
+        );
+        assert_eq!(
+            server.operators_evaluated(),
+            before,
+            "a shared-memo hit does no operator work"
+        );
+        // Full-query check: an executor serving the same prepared plan over
+        // the warm memo produces the same result as a cold private one.
+        let warm_result = server.execute_compiled(&compiled, None).unwrap();
+        let cold_result = Executor::new(&db).execute(&q).unwrap();
+        assert!(warm_result.bag_eq(&cold_result));
     }
 
     #[test]

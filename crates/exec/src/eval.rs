@@ -251,12 +251,27 @@ impl Executor<'_> {
         verdict_key.extend_from_slice(&perm_storage::encode_key_typed(std::slice::from_ref(
             test_value,
         )));
-        if let Some(truth) = self.verdict_memo.borrow_mut().get(&verdict_key) {
+        // Compiled-path verdicts go to the shared cross-thread memo when one
+        // is attached (their keys embed a process-unique sublink id);
+        // interpreter-path verdicts are keyed by plan node address and must
+        // stay executor-private even then.
+        let shared = self
+            .shared_memo
+            .as_ref()
+            .filter(|_| verdict_key.first() == Some(&crate::executor::MEMO_TAG_COMPILED));
+        let hit = match shared {
+            Some(shared) => shared.get_verdict(&verdict_key),
+            None => self.verdict_memo.borrow_mut().get(&verdict_key),
+        };
+        if let Some(truth) = hit {
             return Ok(truth);
         }
         let relation = result(Some(verdict_key[..prefix_len].to_vec()))?;
         let truth = self.fold_quantified(kind, op, test_value, &relation);
-        self.verdict_memo.borrow_mut().insert(verdict_key, truth);
+        match shared {
+            Some(shared) => shared.insert_verdict(verdict_key, truth),
+            None => self.verdict_memo.borrow_mut().insert(verdict_key, truth),
+        }
         Ok(truth)
     }
 

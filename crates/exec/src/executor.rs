@@ -46,7 +46,7 @@
 
 use crate::compile::CompiledPlan;
 use crate::eval::Env;
-use crate::memo::MemoMap;
+use crate::memo::{MemoMap, SharedSublinkMemo};
 use crate::physical::{self, AggSpec};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
@@ -80,6 +80,14 @@ pub struct Executor<'a> {
     /// namespace tag leading each result key keeps compiled ids and
     /// interpreter addresses from colliding.
     pub(crate) verdict_memo: RefCell<MemoMap<Truth>>,
+    /// Optional cross-thread memo ([`Executor::with_shared_memo`]). When
+    /// attached, compiled-path sublink results and verdicts go to (and come
+    /// from) the shared sharded maps instead of the private memos above, so
+    /// worker threads and sibling sessions serving the same prepared
+    /// statements reuse each other's work. Interpreter-path entries stay
+    /// private either way — their keys are plan *node addresses*, which mean
+    /// nothing outside this executor.
+    pub(crate) shared_memo: Option<Arc<SharedSublinkMemo>>,
     /// Cache of free-correlated-column analyses per interpreter sublink
     /// plan address.
     free_columns_cache: RefCell<HashMap<usize, Rc<[FreeColumn]>>>,
@@ -123,6 +131,7 @@ impl<'a> Executor<'a> {
             sublink_memo: RefCell::new(MemoMap::new()),
             interp_sublink_memo: RefCell::new(MemoMap::new()),
             verdict_memo: RefCell::new(MemoMap::new()),
+            shared_memo: None,
             free_columns_cache: RefCell::new(HashMap::new()),
             free_params_cache: RefCell::new(HashMap::new()),
             params: RefCell::new(Rc::from(Vec::new())),
@@ -156,6 +165,30 @@ impl<'a> Executor<'a> {
         self.interp_sublink_memo.borrow_mut().set_capacity(capacity);
         self.verdict_memo.borrow_mut().set_capacity(capacity);
         self
+    }
+
+    /// Attaches a cross-thread [`SharedSublinkMemo`]: compiled-path sublink
+    /// results and `ANY`/`ALL` verdicts are then cached in (and served
+    /// from) the shared sharded maps instead of this executor's private
+    /// memos, so several worker executors — each still single-threaded —
+    /// jointly warm one memo. Safe because compiled memo keys embed a
+    /// process-unique sublink id plus the typed parameter and binding
+    /// values; see [`SharedSublinkMemo`] for the full contract.
+    ///
+    /// The shared memo's lifecycle belongs to its owner:
+    /// [`Executor::clear_compiled_memos`] never touches it, and ad-hoc
+    /// [`Executor::execute`] (which mints fresh sublink ids per call) would
+    /// fill it with entries that can never hit again — attach it to
+    /// executors serving *prepared* plans under memo retention, which is
+    /// what the serving subsystem does.
+    pub fn with_shared_memo(mut self, memo: Arc<SharedSublinkMemo>) -> Executor<'a> {
+        self.shared_memo = Some(memo);
+        self
+    }
+
+    /// The attached cross-thread memo, if any.
+    pub fn shared_memo(&self) -> Option<&Arc<SharedSublinkMemo>> {
+        self.shared_memo.as_ref()
     }
 
     /// Chooses the memo policy of [`Executor::execute`]: with `retain` set,
@@ -243,8 +276,11 @@ impl<'a> Executor<'a> {
         crate::compile::compile_plan(&fused)
     }
 
-    /// Clears the compiled-path memos (sublink results and verdicts). The
-    /// interpreter-path caches have their own lifecycle
+    /// Clears the compiled-path memos (sublink results and verdicts) *of
+    /// this executor*. An attached [`SharedSublinkMemo`] is deliberately
+    /// left alone — it is shared state whose lifecycle belongs to its owner
+    /// (clearing it here would drop entries other sessions are warm on).
+    /// The interpreter-path caches have their own lifecycle
     /// ([`Executor::reset_interpreter_caches`]).
     pub fn clear_compiled_memos(&self) {
         self.sublink_memo.borrow_mut().clear();

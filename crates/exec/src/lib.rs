@@ -35,6 +35,15 @@
 //! `(sublink, binding, test value)` on top. Since the operator bodies are
 //! shared, a semantics fix lands in one place, and the
 //! `operators_evaluated` accounting lives in the physical layer alone.
+//!
+//! An [`Executor`] is deliberately `!Sync` (its counters and private memos
+//! use `Cell`/`RefCell`) — concurrency happens *above* it, one executor per
+//! worker thread. What crosses threads is the read-only data: the database,
+//! compiled plans, and optionally a [`SharedSublinkMemo`]
+//! ([`Executor::with_shared_memo`]) — a sharded, lock-per-shard memo through
+//! which worker executors share compiled-path sublink results and verdicts,
+//! the substrate of the `perm-serve` crate's parallel correlated-sublink
+//! evaluation.
 
 pub mod aggregate;
 pub mod compile;
@@ -45,10 +54,11 @@ pub mod functions;
 pub(crate) mod memo;
 pub(crate) mod physical;
 
-pub use compile::CompiledPlan;
+pub use compile::{CompiledExpr, CompiledPlan, CompiledSublink, Frame, Slot};
 pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
+pub use memo::SharedSublinkMemo;
 
 use perm_storage::StorageError;
 

@@ -13,7 +13,11 @@
 //! same key are skipped at eviction time and compacted away when the queue
 //! outgrows the map by a constant factor.
 
+use perm_storage::{Relation, Truth};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex};
 
 /// One stored entry: the cached value plus the recency stamp of its last
 /// touch (0 while unbounded — stamps only mean something under a capacity).
@@ -157,6 +161,153 @@ impl<V: Clone> MemoMap<V> {
     }
 }
 
+/// An N-shard, lock-per-shard variant of [`MemoMap`]: the key's hash picks a
+/// shard, and only that shard's mutex is taken for the operation — so
+/// concurrent executors contend per shard, not on one global lock. The byte
+/// keys are the executor's typed memo keys, whose leading namespace tag and
+/// sublink identity already make them collision-proof across statements (see
+/// `crate::compile::NEXT_SUBLINK_ID`).
+pub(crate) struct ShardedMemo<V> {
+    shards: Vec<Mutex<MemoMap<V>>>,
+}
+
+impl<V: Clone> ShardedMemo<V> {
+    fn new(shards: usize, capacity: Option<usize>) -> ShardedMemo<V> {
+        let shards = shards.max(1);
+        // A per-shard capacity so the total bound is ~`capacity`; rounding up
+        // keeps a tiny bound usable rather than zero.
+        let per_shard = capacity.map(|c| c.div_ceil(shards).max(1));
+        ShardedMemo {
+            shards: (0..shards)
+                .map(|_| {
+                    let mut m = MemoMap::new();
+                    m.set_capacity(per_shard);
+                    Mutex::new(m)
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<MemoMap<V>> {
+        let mut hasher = DefaultHasher::new();
+        hasher.write(key);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(key)
+    }
+
+    fn insert(&self, key: Vec<u8>, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(key, value);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard poisoned").clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .sum()
+    }
+}
+
+/// The cross-thread sublink memo of the serving subsystem: sharded,
+/// lock-per-shard maps for compiled-path sublink *results*
+/// (`Arc<Relation>`, shared so hits never deep-copy — across threads too)
+/// and `ANY`/`ALL` *verdicts*.
+///
+/// Attached to an executor via [`crate::Executor::with_shared_memo`], it
+/// replaces the executor's private compiled-path memos, so distinct
+/// correlated bindings evaluated by *different* worker threads (or by
+/// different sessions serving the same prepared statement) populate and hit
+/// one memo. Only compiled-path entries participate: their keys embed a
+/// process-unique sublink id, so entries from different statements can never
+/// collide. Interpreter-path entries are keyed by plan *node address* —
+/// meaningless in another executor, whose plans live at other addresses —
+/// and therefore always stay executor-private.
+///
+/// Two threads that race to compute the same key both execute the sublink
+/// and both insert; the results are identical (a sublink result is a pure
+/// function of the database, the binding and the parameter values), so the
+/// last write is indistinguishable from the first. Errors are never cached.
+pub struct SharedSublinkMemo {
+    results: ShardedMemo<Arc<Relation>>,
+    verdicts: ShardedMemo<Truth>,
+}
+
+/// Default shard count of [`SharedSublinkMemo`]: enough to keep a handful of
+/// workers from serialising on one lock, small enough to stay cache-friendly.
+const DEFAULT_SHARDS: usize = 16;
+
+impl SharedSublinkMemo {
+    /// An unbounded shared memo with the default shard count.
+    pub fn new() -> Arc<SharedSublinkMemo> {
+        SharedSublinkMemo::with_config(DEFAULT_SHARDS, None)
+    }
+
+    /// A shared memo with an explicit shard count and an optional LRU
+    /// capacity bound *per map* — the result map and the (much lighter,
+    /// `Truth`-valued) verdict map are each bounded to `capacity` entries,
+    /// split evenly across their shards, so [`Self::entry_count`] can
+    /// reach `2 × capacity`. `None` = unbounded. This mirrors the per-map
+    /// semantics of `Executor::with_memo_capacity`.
+    pub fn with_config(shards: usize, capacity: Option<usize>) -> Arc<SharedSublinkMemo> {
+        Arc::new(SharedSublinkMemo {
+            results: ShardedMemo::new(shards, capacity),
+            verdicts: ShardedMemo::new(shards, capacity),
+        })
+    }
+
+    /// Drops every cached result and verdict. The owner calls this when the
+    /// underlying database changes; executors never clear a shared memo on
+    /// their own.
+    pub fn clear(&self) {
+        self.results.clear();
+        self.verdicts.clear();
+    }
+
+    /// Number of live entries across both maps and all shards (diagnostic).
+    pub fn entry_count(&self) -> usize {
+        self.results.len() + self.verdicts.len()
+    }
+
+    pub(crate) fn get_result(&self, key: &[u8]) -> Option<Arc<Relation>> {
+        self.results.get(key)
+    }
+
+    pub(crate) fn insert_result(&self, key: Vec<u8>, value: Arc<Relation>) {
+        self.results.insert(key, value);
+    }
+
+    pub(crate) fn get_verdict(&self, key: &[u8]) -> Option<Truth> {
+        self.verdicts.get(key)
+    }
+
+    pub(crate) fn insert_verdict(&self, key: Vec<u8>, value: Truth) {
+        self.verdicts.insert(key, value);
+    }
+}
+
+impl std::fmt::Debug for SharedSublinkMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSublinkMemo")
+            .field("shards", &self.results.shards.len())
+            .field("entries", &self.entry_count())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +361,42 @@ mod tests {
         m.set_capacity(None);
         m.insert(vec![100], 100);
         assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn sharded_memo_round_trips_across_threads() {
+        let memo = SharedSublinkMemo::new();
+        let rel = Arc::new(Relation::default());
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let memo = &memo;
+                let rel = &rel;
+                s.spawn(move || {
+                    for i in 0..50u8 {
+                        memo.insert_result(vec![t, i], Arc::clone(rel));
+                        memo.insert_verdict(vec![t, i], Truth::True);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.entry_count(), 2 * 4 * 50);
+        let hit = memo.get_result(&[2, 7]).expect("entry written by thread 2");
+        assert!(Arc::ptr_eq(&hit, &rel), "hits share the allocation");
+        assert_eq!(memo.get_verdict(&[3, 49]), Some(Truth::True));
+        assert_eq!(memo.get_result(&[9, 9]), None);
+        memo.clear();
+        assert_eq!(memo.entry_count(), 0);
+    }
+
+    #[test]
+    fn sharded_memo_capacity_bounds_every_shard() {
+        let memo = SharedSublinkMemo::with_config(4, Some(8));
+        for i in 0..100u8 {
+            memo.insert_result(vec![i], Arc::new(Relation::default()));
+        }
+        // Total bound is the per-shard bound × shards: ceil(8 / 4) = 2 each.
+        assert!(memo.results.len() <= 8, "got {}", memo.results.len());
+        assert!(memo.results.len() >= 4, "every shard keeps its recent keys");
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! # perm-serve — the concurrent serving subsystem
+//!
+//! Everything below the facade is deliberately single-threaded: an
+//! [`perm::Executor`] is `!Sync` (private memos and counters in
+//! `Cell`/`RefCell`), and a [`Session`] wraps exactly one of them. This
+//! crate is where concurrency lives, built from three pieces that the lower
+//! layers expose for exactly this purpose:
+//!
+//! * **Shared, immutable data.** The storage layer is `Send + Sync` plain
+//!   data; the catalog holds its relations behind `Arc`, so any number of
+//!   worker threads read one [`Database`] (or cheap snapshots of it)
+//!   without copying a tuple.
+//! * **A cross-session plan cache.** The [`Engine`] caches prepared
+//!   statements by SQL text + configuration fingerprint; whichever worker
+//!   session prepares a statement first, every other worker's `prepare` is
+//!   a shared-`Arc` hit with zero parse/bind/rewrite/compile work
+//!   ([`perm::PlanCacheStats`]).
+//! * **A shared sublink memo.** [`SharedSublinkMemo`] is the N-shard,
+//!   lock-per-shard variant of the executor's correlated-sublink memo.
+//!   Compiled memo keys embed a process-unique sublink id plus the typed
+//!   parameter and binding values, so entries computed by *any* worker are
+//!   valid for *every* worker serving the same prepared statements.
+//!
+//! [`ConcurrentEngine`] assembles them into a serving front end:
+//!
+//! * [`ConcurrentEngine::serve`] drains a queue of requests with a fixed
+//!   pool of `std::thread::scope` workers, **session-per-worker** — each
+//!   worker owns its `!Sync` session/executor core; only the engine, the
+//!   plan cache and the shared memo cross threads.
+//! * [`ConcurrentEngine::execute_parallel`] makes a *single hot query*
+//!   scale across cores: the distinct outer-binding domain of each
+//!   parallelizable correlated sublink is partitioned across the workers,
+//!   every worker evaluates its share of bindings into the shared memo
+//!   (the PR 2 memo made distinct bindings independent work units — this
+//!   is that seam, exploited), and a final serial pass over the warm memo
+//!   assembles the result. Warming is *speculative*: worker errors are
+//!   dropped, never cached, so the final pass alone defines semantics —
+//!   including short-circuits that would have shielded a binding, and the
+//!   error the query would have raised.
+//!
+//! ```
+//! use perm::{Database, Engine, Relation, Schema, Value};
+//! use perm_serve::{ConcurrentEngine, Request};
+//!
+//! let mut db = Database::new();
+//! db.create_table("t", Relation::from_rows(
+//!     Schema::from_names(&["x"]).with_qualifier("t"),
+//!     (0..8).map(|i| vec![Value::Int(i)]).collect(),
+//! )).unwrap();
+//!
+//! let engine = ConcurrentEngine::new(Engine::new(db)).with_workers(2);
+//! let requests: Vec<Request> = (0..4)
+//!     .map(|i| Request::sql("SELECT x FROM t WHERE x < $1", vec![Value::Int(i)]))
+//!     .collect();
+//! let results = engine.serve(&requests);
+//! assert_eq!(results.len(), 4);
+//! assert_eq!(results[3].as_ref().unwrap().len(), 3);
+//! // One compilation served all four requests across both workers.
+//! assert_eq!(engine.engine().plan_cache_stats().entries, 1);
+//! ```
+
+use perm::{
+    Database, Engine, PermError, Prepared, Relation, Session, SessionConfig, SharedSublinkMemo,
+    Value,
+};
+use perm_exec::{CompiledExpr, CompiledPlan, CompiledSublink, Executor, Frame};
+use perm_storage::{encode_key_typed, Tuple};
+use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+// The thread-safety contract this subsystem rests on, checked at compile
+// time: everything that crosses a worker boundary is `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<CompiledPlan>();
+    assert_send_sync::<SharedSublinkMemo>();
+    assert_send_sync::<ConcurrentEngine>();
+    assert_send_sync::<Request>();
+};
+
+/// One unit of serving work: a statement plus its parameter binding.
+#[derive(Debug, Clone)]
+pub struct Request {
+    kind: RequestKind,
+    params: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+enum RequestKind {
+    /// SQL text, prepared (or plan-cache-fetched) by the worker that claims
+    /// the request.
+    Sql(String),
+    /// An already-prepared statement, shared by reference.
+    Prepared(Arc<Prepared>),
+}
+
+impl Request {
+    /// A request carrying SQL text. Repeated texts cost one compilation
+    /// across the whole pool — workers meet in the engine's plan cache.
+    pub fn sql(sql: impl Into<String>, params: Vec<Value>) -> Request {
+        Request {
+            kind: RequestKind::Sql(sql.into()),
+            params,
+        }
+    }
+
+    /// A request executing a statement prepared up front (e.g. via
+    /// [`ConcurrentEngine::prepare`]).
+    pub fn prepared(statement: Arc<Prepared>, params: Vec<Value>) -> Request {
+        Request {
+            kind: RequestKind::Prepared(statement),
+            params,
+        }
+    }
+
+    /// The parameter binding of this request.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+}
+
+/// A shared-engine worker pool: the concurrency layer over an [`Engine`].
+///
+/// Owns the engine, a fixed worker count, and the [`SharedSublinkMemo`] its
+/// worker sessions attach. See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct ConcurrentEngine {
+    engine: Engine,
+    workers: usize,
+    shared_memo: Arc<SharedSublinkMemo>,
+}
+
+impl ConcurrentEngine {
+    /// Wraps an engine with as many workers as the machine offers
+    /// ([`std::thread::available_parallelism`]).
+    ///
+    /// Both caches default to **unbounded** — right for parameterized
+    /// statement traffic (a fixed set of texts, `$n` bindings), where every
+    /// entry keeps earning its keep. A workload of ad-hoc texts with
+    /// inlined literals makes every request a new plan-cache key and a new
+    /// set of sublink ids; bound both for such traffic:
+    /// `Engine::with_plan_cache_capacity` on the engine, and
+    /// [`ConcurrentEngine::with_memo`] +
+    /// [`SharedSublinkMemo::with_config`] for the sublink memo.
+    pub fn new(engine: Engine) -> ConcurrentEngine {
+        let workers = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        ConcurrentEngine::with_memo(engine, workers, SharedSublinkMemo::new())
+    }
+
+    /// Sets the worker count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> ConcurrentEngine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Wraps an engine with an explicit worker count and shared memo (e.g.
+    /// one bounded via [`SharedSublinkMemo::with_config`]).
+    pub fn with_memo(
+        engine: Engine,
+        workers: usize,
+        shared_memo: Arc<SharedSublinkMemo>,
+    ) -> ConcurrentEngine {
+        ConcurrentEngine {
+            engine,
+            workers: workers.max(1),
+            shared_memo,
+        }
+    }
+
+    /// The wrapped engine (plan-cache stats live here).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The database served.
+    pub fn database(&self) -> &Database {
+        self.engine.database()
+    }
+
+    /// Mutable access to the database. Clears the shared sublink memo and
+    /// (via [`Engine::database_mut`]) the plan cache: both cache functions
+    /// of the data. Exclusive access is enforced by the borrow checker —
+    /// no worker can be serving while the data changes.
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.shared_memo.clear();
+        self.engine.database_mut()
+    }
+
+    /// The number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The cross-thread sublink memo the worker sessions share.
+    pub fn shared_memo(&self) -> &Arc<SharedSublinkMemo> {
+        &self.shared_memo
+    }
+
+    /// The configuration worker sessions run under: the engine's default
+    /// configuration with the shared memo attached and memo retention on
+    /// (warm entries are the point of a serving pool).
+    fn worker_config(&self) -> SessionConfig {
+        let mut config = self.engine.config().clone();
+        config.shared_sublink_memo = Some(Arc::clone(&self.shared_memo));
+        config.retain_memo = true;
+        config
+    }
+
+    /// Opens a worker-flavoured session: plan-cache-attached (it comes from
+    /// the engine) and sharing the pool's sublink memo. The session is
+    /// `!Sync` — it belongs to the calling thread.
+    pub fn session(&self) -> Session<'_> {
+        self.engine.session_with(self.worker_config())
+    }
+
+    /// Prepares a statement through the engine's plan cache, for
+    /// [`Request::prepared`] traffic or [`ConcurrentEngine::execute_parallel`].
+    pub fn prepare(&self, sql: &str) -> Result<Arc<Prepared>, PermError> {
+        self.session().prepare(sql)
+    }
+
+    /// Serves a batch of requests on the worker pool and returns the
+    /// results **in request order**.
+    ///
+    /// The batch is a single-producer queue: each worker claims the next
+    /// unclaimed index (one atomic increment), runs it on its own session —
+    /// prepare (plan-cache hit after the first encounter of a text), bind,
+    /// execute — and writes the result slot. Errors are per-request values,
+    /// not pool failures: one bad statement leaves the other results intact.
+    pub fn serve(&self, requests: &[Request]) -> Vec<Result<Relation, PermError>> {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<Relation, PermError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..self.workers.min(requests.len().max(1)) {
+                scope.spawn(|| {
+                    let session = self.session();
+                    // Worker-local statement reuse: a text this worker has
+                    // already prepared is served without touching the
+                    // engine-wide plan-cache mutex again — the global cache
+                    // deduplicates *across* workers, this map keeps the hot
+                    // loop off that lock entirely.
+                    let mut local: HashMap<&str, Arc<Prepared>> = HashMap::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        let result = match &request.kind {
+                            RequestKind::Sql(sql) => match local.get(sql.as_str()) {
+                                Some(prepared) => session.execute(prepared, &request.params),
+                                None => session.prepare(sql).and_then(|prepared| {
+                                    local.insert(sql, Arc::clone(&prepared));
+                                    session.execute(&prepared, &request.params)
+                                }),
+                            },
+                            RequestKind::Prepared(p) => session.execute(p, &request.params),
+                        };
+                        *results[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed slot is written before its worker exits")
+            })
+            .collect()
+    }
+
+    /// Executes one prepared statement with **parallel correlated-sublink
+    /// evaluation**: the distinct outer bindings of every parallelizable
+    /// sublink are split across the pool, each worker evaluates its share
+    /// into the shared memo, and a final serial pass assembles the result
+    /// entirely from memo hits. Results — including errors — are identical
+    /// to [`Session::execute`] on the same statement: warming is
+    /// speculative and never caches errors, so the final pass alone defines
+    /// semantics.
+    ///
+    /// With one worker (or a tracer/memo-off configuration, or a statement
+    /// with no parallelizable sublink) this is exactly a serial execution.
+    pub fn execute_parallel(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<Relation, PermError> {
+        let session = self.session();
+        if self.workers > 1 && session.config().sublink_memo {
+            if let Some(compiled) = prepared.compiled_plan() {
+                // Innermost sites first (`parallel_sites` returns pre-order,
+                // outer before inner): warming a nested site before its
+                // parent means the parent's input execution — which runs the
+                // nested sublink per distinct binding — finds the memo
+                // already warm instead of computing it all on one thread.
+                for site in parallel_sites(compiled).iter().rev() {
+                    self.warm_site(site, params);
+                }
+            }
+        }
+        session.execute(prepared, params)
+    }
+
+    /// A fresh per-thread executor core attached to the pool's shared memo.
+    fn worker_executor<'d>(&self, db: &'d Database) -> Executor<'d> {
+        Executor::new(db)
+            .with_memo_retention(true)
+            .with_shared_memo(Arc::clone(&self.shared_memo))
+    }
+
+    /// Warms one parallelizable sublink site: computes the distinct binding
+    /// domain from the site's input relation, partitions it across the
+    /// pool, and lets each worker evaluate its bindings into the shared
+    /// memo. Purely speculative — any error (in the input, or for a
+    /// binding) is dropped; the final pass will either not reach it or
+    /// re-raise it.
+    fn warm_site(&self, site: &Site<'_>, params: &[Value]) {
+        let db = self.engine.database();
+        let input_executor = self.worker_executor(db);
+        input_executor.bind_params(params.to_vec());
+        let Ok(input) = input_executor.execute_compiled(site.input, None) else {
+            return;
+        };
+        let slots: Vec<usize> = site.slots.clone();
+        let arity = site.input.schema().arity();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut bindings: Vec<Tuple> = Vec::new();
+        for tuple in input.tuples() {
+            let values: Vec<Value> = slots.iter().map(|&i| tuple.get(i).clone()).collect();
+            if seen.insert(encode_key_typed(&values)) {
+                // A synthetic outer tuple carrying only the binding: the
+                // sublink's free outer references are exactly its signature
+                // slots, so the NULL padding is never read.
+                let mut row = vec![Value::Null; arity];
+                for (&slot, value) in slots.iter().zip(values) {
+                    row[slot] = value;
+                }
+                bindings.push(Tuple::new(row));
+            }
+        }
+        // Warm-probe: bindings earlier executions already paid for are
+        // dropped here, so re-running a hot statement skips the thread
+        // scope entirely instead of spawning workers to take memo hits.
+        bindings.retain(|binding| {
+            !input_executor.sublink_is_memoized(site.sublink, Some(&Frame::new(None, binding)))
+        });
+        if bindings.len() < 2 {
+            // The final pass computes a lone cold binding just as fast.
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..self.workers.min(bindings.len()) {
+                scope.spawn(|| {
+                    let executor = self.worker_executor(db);
+                    executor.bind_params(params.to_vec());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(binding) = bindings.get(i) else {
+                            break;
+                        };
+                        let frame = Frame::new(None, binding);
+                        // Speculative: ignore errors (never cached).
+                        let _ = executor.execute_memoized_sublink(site.sublink, Some(&frame));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// One parallelizable sublink site of a compiled plan: a correlated sublink
+/// whose correlation signature resolves entirely into the hosting
+/// operator's input tuple (every slot at depth 0), plus that input plan —
+/// the relation whose distinct values at `slots` form the binding domain.
+struct Site<'p> {
+    sublink: &'p CompiledSublink,
+    input: &'p CompiledPlan,
+    slots: Vec<usize>,
+}
+
+/// Walks the top-level operators of a compiled plan (never descending into
+/// sublink plans — their scopes are relative to *their* hosts) and collects
+/// every parallelizable sublink site. Sites are found on operators whose
+/// expressions are evaluated against a single input scope — Select,
+/// Project, Aggregate, Sort; join conditions see a composite scope and are
+/// left to the serial pass.
+fn parallel_sites(plan: &CompiledPlan) -> Vec<Site<'_>> {
+    let mut sites = Vec::new();
+    collect_sites(plan, &mut sites);
+    sites
+}
+
+fn collect_sites<'p>(plan: &'p CompiledPlan, sites: &mut Vec<Site<'p>>) {
+    let mut exprs: Vec<&'p CompiledExpr> = Vec::new();
+    let input: Option<&'p CompiledPlan> = match plan {
+        CompiledPlan::Select {
+            input, predicate, ..
+        } => {
+            exprs.push(predicate);
+            Some(input)
+        }
+        CompiledPlan::Project { input, items, .. } => {
+            exprs.extend(items.iter());
+            Some(input)
+        }
+        CompiledPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            ..
+        } => {
+            exprs.extend(group_by.iter());
+            exprs.extend(aggregates.iter().filter_map(|a| a.arg.as_ref()));
+            Some(input)
+        }
+        CompiledPlan::Sort { input, keys, .. } => {
+            exprs.extend(keys.iter().map(|k| &k.expr));
+            Some(input)
+        }
+        _ => None,
+    };
+    if let Some(input) = input {
+        let mut sublinks = Vec::new();
+        for expr in exprs {
+            collect_sublinks(expr, &mut sublinks);
+        }
+        for sublink in sublinks {
+            if let Some(slots) = &sublink.params {
+                if !slots.is_empty() && slots.iter().all(|s| s.depth == 0) {
+                    sites.push(Site {
+                        sublink,
+                        input,
+                        slots: slots.iter().map(|s| s.index).collect(),
+                    });
+                }
+            }
+        }
+    }
+    for child in plan_children(plan) {
+        collect_sites(child, sites);
+    }
+}
+
+/// The direct children of a compiled operator (not sublink plans).
+fn plan_children(plan: &CompiledPlan) -> Vec<&CompiledPlan> {
+    match plan {
+        CompiledPlan::Scan { .. } | CompiledPlan::Values { .. } => Vec::new(),
+        CompiledPlan::Project { input, .. }
+        | CompiledPlan::Select { input, .. }
+        | CompiledPlan::Aggregate { input, .. }
+        | CompiledPlan::Sort { input, .. }
+        | CompiledPlan::Limit { input, .. } => vec![input],
+        CompiledPlan::CrossProduct { left, right, .. }
+        | CompiledPlan::Join { left, right, .. }
+        | CompiledPlan::SetOp { left, right, .. } => vec![left, right],
+    }
+}
+
+/// Collects the sublinks of an expression, descending into test
+/// expressions (same scope as the host) but not into sublink plans (their
+/// own scopes).
+fn collect_sublinks<'p>(expr: &'p CompiledExpr, out: &mut Vec<&'p CompiledSublink>) {
+    match expr {
+        CompiledExpr::Sublink(sublink) => {
+            out.push(sublink);
+            if let Some(test) = &sublink.test_expr {
+                collect_sublinks(test, out);
+            }
+        }
+        CompiledExpr::Binary { left, right, .. } => {
+            collect_sublinks(left, out);
+            collect_sublinks(right, out);
+        }
+        CompiledExpr::Unary { expr, .. } => collect_sublinks(expr, out),
+        CompiledExpr::Func { args, .. } => {
+            for arg in args {
+                collect_sublinks(arg, out);
+            }
+        }
+        CompiledExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (condition, value) in branches {
+                collect_sublinks(condition, out);
+                collect_sublinks(value, out);
+            }
+            if let Some(else_expr) = else_expr {
+                collect_sublinks(else_expr, out);
+            }
+        }
+        CompiledExpr::Slot(_)
+        | CompiledExpr::Unresolved { .. }
+        | CompiledExpr::Literal(_)
+        | CompiledExpr::Param(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm::{Schema, SessionStats};
+
+    fn serving_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "r",
+            Relation::from_rows(
+                Schema::from_names(&["a", "g"]).with_qualifier("r"),
+                (0..30)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::from_rows(
+                Schema::from_names(&["c", "g"]).with_qualifier("s"),
+                (0..20)
+                    .map(|i| vec![Value::Int(100 + i), Value::Int(i % 5)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    const CORRELATED_SQL: &str =
+        "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g AND s.c > $1)";
+
+    #[test]
+    fn serve_preserves_request_order_and_per_request_errors() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(3);
+        let mut requests = Vec::new();
+        for i in 0..12 {
+            requests.push(Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]));
+        }
+        // A failing statement in the middle must fail alone.
+        requests.insert(5, Request::sql("SELECT nope FROM r", vec![]));
+        let results = engine.serve(&requests);
+        assert_eq!(results.len(), 13);
+        assert!(results[5].is_err(), "bad statement fails in place");
+
+        // Every good result matches a single-threaded reference session.
+        let reference = Session::new(engine.database());
+        for (i, result) in results.iter().enumerate() {
+            if i == 5 {
+                continue;
+            }
+            let request = &requests[i];
+            let prepared = reference.prepare(CORRELATED_SQL).unwrap();
+            let expected = reference.execute(&prepared, request.params()).unwrap();
+            assert!(
+                result.as_ref().unwrap().bag_eq(&expected),
+                "request {i} diverged from the single-threaded reference"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_amortizes_preparation_across_the_pool() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(4);
+        let requests: Vec<Request> = (0..40)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + (i % 4))]))
+            .collect();
+        let results = engine.serve(&requests);
+        assert!(results.iter().all(Result::is_ok));
+        let stats = engine.engine().plan_cache_stats();
+        assert_eq!(stats.entries, 1, "one text, one cached statement");
+        // Each worker consults the engine-wide cache at most once per text
+        // (its batch-local map serves the rest), so 40 requests cost at
+        // most 4 cache lookups — and however the first-preparation race
+        // falls, exactly one compilation is retained.
+        assert!(
+            stats.hits + stats.misses <= 4,
+            "global cache must be touched once per worker per text, got {stats:?}"
+        );
+        assert!(stats.hits + stats.misses >= 1, "got {stats:?}");
+    }
+
+    #[test]
+    fn prepared_requests_share_one_statement() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let statement = engine.prepare(CORRELATED_SQL).unwrap();
+        let requests: Vec<Request> = (0..10)
+            .map(|i| Request::prepared(Arc::clone(&statement), vec![Value::Int(100 + i)]))
+            .collect();
+        let results = engine.serve(&requests);
+        let reference = Session::new(engine.database());
+        let reference_stmt = reference.prepare(CORRELATED_SQL).unwrap();
+        for (i, result) in results.iter().enumerate() {
+            let expected = reference
+                .execute(&reference_stmt, requests[i].params())
+                .unwrap();
+            assert!(result.as_ref().unwrap().bag_eq(&expected));
+        }
+    }
+
+    #[test]
+    fn execute_parallel_matches_serial_execution() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(4);
+        let statement = engine.prepare(CORRELATED_SQL).unwrap();
+        let parallel = engine
+            .execute_parallel(&statement, &[Value::Int(105)])
+            .unwrap();
+
+        let reference = Session::new(engine.database());
+        let reference_stmt = reference.prepare(CORRELATED_SQL).unwrap();
+        let serial = reference
+            .execute(&reference_stmt, &[Value::Int(105)])
+            .unwrap();
+        assert!(parallel.bag_eq(&serial));
+        assert!(
+            engine.shared_memo().entry_count() > 0,
+            "warming populated the shared memo"
+        );
+
+        // Re-executing warm is idempotent: the warm-probe finds every
+        // binding cached, no new entries appear, and the result is stable.
+        let warm_entries = engine.shared_memo().entry_count();
+        let again = engine
+            .execute_parallel(&statement, &[Value::Int(105)])
+            .unwrap();
+        assert!(again.bag_eq(&serial));
+        assert_eq!(engine.shared_memo().entry_count(), warm_entries);
+    }
+
+    #[test]
+    fn execute_parallel_finds_sites_and_serves_the_final_pass_from_the_memo() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let statement = engine.prepare(CORRELATED_SQL).unwrap();
+        let sites = parallel_sites(statement.compiled_plan().unwrap());
+        assert_eq!(sites.len(), 1, "the correlated EXISTS is one site");
+        assert_eq!(sites[0].slots.len(), 1, "correlated on r.g alone");
+
+        engine
+            .execute_parallel(&statement, &[Value::Int(100)])
+            .unwrap();
+        // 5 distinct g bindings, each sublink = select + scan: the shared
+        // memo now holds every result the serial pass needs. A fresh
+        // serial executor over the warm memo does only the outer work
+        // (project a + select + scan r = 3 operators, zero sublink work).
+        let db = engine.database();
+        let warm = engine.worker_executor(db);
+        warm.bind_params(vec![Value::Int(100)]);
+        let compiled = statement.compiled_plan().unwrap();
+        warm.execute_compiled(compiled, None).unwrap();
+        assert_eq!(
+            warm.operators_evaluated(),
+            3,
+            "final pass must be pure memo hits"
+        );
+    }
+
+    #[test]
+    fn speculative_warming_never_leaks_errors_past_a_short_circuit() {
+        // The predicate shields a cardinality-violating scalar sublink
+        // behind `a < 0 AND …` (no r.a is negative): serial execution never
+        // evaluates the sublink; parallel warming evaluates it for every
+        // binding, fails, and must drop those errors silently.
+        let sql = "SELECT a FROM r \
+                   WHERE a < 0 AND a = (SELECT c FROM s WHERE s.g = r.g)";
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(3);
+        let statement = engine.prepare(sql).unwrap();
+        let parallel = engine.execute_parallel(&statement, &[]).unwrap();
+        assert!(parallel.is_empty());
+
+        // And conversely: an error the serial pass *does* raise survives.
+        let failing = "SELECT a FROM r WHERE a = (SELECT c FROM s WHERE s.g = r.g)";
+        let statement = engine.prepare(failing).unwrap();
+        assert!(engine.execute_parallel(&statement, &[]).is_err());
+    }
+
+    #[test]
+    fn worker_sessions_surface_plan_cache_traffic_in_session_stats() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(1);
+        let session = engine.session();
+        let first = session.prepare(CORRELATED_SQL).unwrap();
+        let second = session.prepare(CORRELATED_SQL).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit returns the shared statement"
+        );
+        let stats: SessionStats = session.stats();
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(stats.compiles, 1, "the hit did not recompile");
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrent differential testing of the serving subsystem: N worker
+//! threads × the seeded query corpus (the same generator the facade's
+//! single-threaded `tests/session_differential.rs` uses,
+//! `perm_synthetic::sqlgen`) must produce bag-identical results — and, for
+//! provenance statements, identical witnesses — to single-threaded
+//! execution, whether the workers share sessions hand-rolled over one
+//! engine or go through the [`ConcurrentEngine::serve`] queue.
+
+use perm::{Engine, Relation, Session, Value};
+use perm_serve::{ConcurrentEngine, Request};
+use perm_synthetic::sqlgen::{corpus_case, corpus_database};
+use std::thread;
+
+const SEEDS: u64 = 80;
+const WORKERS: usize = 4;
+
+/// Single-threaded reference results over a private database and session.
+fn reference_results() -> Vec<(String, Vec<Value>, Relation)> {
+    let db = corpus_database();
+    let session = Session::new(&db);
+    (0..SEEDS)
+        .map(|seed| {
+            let case = corpus_case(seed);
+            let prepared = session
+                .prepare(&case.sql)
+                .unwrap_or_else(|e| panic!("seed {seed}: failed to prepare `{}`: {e}", case.sql));
+            let params = case.params(prepared.param_count());
+            let result = session
+                .execute(&prepared, &params)
+                .unwrap_or_else(|e| panic!("seed {seed}: `{}` failed: {e}", case.sql));
+            (case.sql, params, result)
+        })
+        .collect()
+}
+
+#[test]
+fn worker_threads_match_single_threaded_results_on_the_corpus() {
+    let expected = reference_results();
+    let engine = ConcurrentEngine::new(Engine::new(corpus_database())).with_workers(WORKERS);
+    // Every worker runs the *whole* corpus concurrently with its siblings:
+    // all of them hammer the same plan cache and shared sublink memo, in
+    // interleavings that differ run to run — any cross-session leakage
+    // (colliding memo keys, a stale cached plan) shows up as a divergence.
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let engine = &engine;
+            let expected = &expected;
+            scope.spawn(move || {
+                let session = engine.session();
+                for (seed, (sql, params, reference)) in expected.iter().enumerate() {
+                    let prepared = session.prepare(sql).unwrap();
+                    let result = session.execute(&prepared, params).unwrap();
+                    assert!(
+                        result.bag_eq(reference),
+                        "worker {worker} seed {seed}: `{sql}` with {params:?} diverged \
+                         from single-threaded execution:\n{result}\nvs\n{reference}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.engine().plan_cache_stats();
+    assert!(
+        stats.hits > 0,
+        "the corpus repeats across workers; the plan cache must see hits: {stats:?}"
+    );
+}
+
+#[test]
+fn the_serve_queue_matches_single_threaded_results_on_the_corpus() {
+    let expected = reference_results();
+    let engine = ConcurrentEngine::new(Engine::new(corpus_database())).with_workers(WORKERS);
+    let requests: Vec<Request> = expected
+        .iter()
+        .map(|(sql, params, _)| Request::sql(sql.clone(), params.clone()))
+        .collect();
+    let results = engine.serve(&requests);
+    assert_eq!(results.len(), expected.len());
+    for (seed, (result, (sql, params, reference))) in
+        results.iter().zip(expected.iter()).enumerate()
+    {
+        let result = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed on the pool: {e}"));
+        assert!(
+            result.bag_eq(reference),
+            "seed {seed}: `{sql}` with {params:?} diverged on the serve queue"
+        );
+    }
+}
+
+/// Renders the structured witness view of a provenance result as a sorted
+/// list of lines, one per row: the output tuple plus every witness (table,
+/// occurrence, tuple-or-none). Two executions agree on provenance iff these
+/// renderings are equal as multisets — sorting makes that comparable.
+fn witness_fingerprint(rows: &perm::ProvenanceRows) -> Vec<String> {
+    let mut lines: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let witnesses: Vec<String> = row
+                .witnesses()
+                .map(|w| format!("{}#{}:{:?}", w.table, w.occurrence, w.tuple()))
+                .collect();
+            format!("{:?} <- {}", row.output(), witnesses.join(" | "))
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn concurrent_provenance_witnesses_match_single_threaded_execution() {
+    // The parameter-free subset of the corpus, forced through the
+    // provenance rewrite: witnesses computed by concurrent workers must be
+    // exactly the single-threaded ones.
+    let db = corpus_database();
+    let reference = Session::new(&db);
+    let cases: Vec<String> = (0..SEEDS)
+        .map(|seed| corpus_case(seed).sql)
+        .filter(|sql| !sql.contains('$'))
+        .collect();
+    assert!(
+        cases.len() >= 10,
+        "corpus must keep a parameter-free subset"
+    );
+    let expected: Vec<Vec<String>> = cases
+        .iter()
+        .map(|sql| {
+            let prepared = reference.prepare_provenance(sql).unwrap();
+            witness_fingerprint(&reference.provenance_rows(&prepared, &[]).unwrap())
+        })
+        .collect();
+
+    let engine = ConcurrentEngine::new(Engine::new(corpus_database())).with_workers(WORKERS);
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let engine = &engine;
+            let cases = &cases;
+            let expected = &expected;
+            scope.spawn(move || {
+                let session = engine.session();
+                for (i, sql) in cases.iter().enumerate() {
+                    let prepared = session.prepare_provenance(sql).unwrap();
+                    let rows = session.provenance_rows(&prepared, &[]).unwrap();
+                    assert_eq!(
+                        witness_fingerprint(&rows),
+                        expected[i],
+                        "worker {worker}: witnesses of `{sql}` diverged from \
+                         single-threaded execution"
+                    );
+                }
+            });
+        }
+    });
+}

@@ -1,16 +1,32 @@
 //! The in-memory catalog: a named collection of base relations.
+//!
+//! Base relations are stored behind [`Arc`], for two reasons that matter to
+//! the concurrent serving subsystem:
+//!
+//! * **Cheap snapshots.** Cloning a [`Database`] clones the catalog map and
+//!   the `Arc`s, not the tuple data — a measurement harness (or a serving
+//!   front end) can hand each worker its own `Database` value in O(#tables).
+//! * **Cross-thread sharing.** Every type in this crate is plain data
+//!   (`Send + Sync`, no interior mutability), so one `Database` can be read
+//!   concurrently from many executor threads; the `Arc` makes the same true
+//!   for snapshots taken at different times.
+//!
+//! Mutation stays copy-on-write at the granularity of whole tables:
+//! [`Database::create_table`] and friends replace the `Arc`, they never
+//! mutate a relation other readers might hold.
 
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::{Result, StorageError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An in-memory database: a mapping from (case-insensitive) relation names to
 /// base relations. This plays the role of the PostgreSQL catalog + heap in
 /// the original Perm implementation.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -25,25 +41,41 @@ impl Database {
         if self.relations.contains_key(&key) {
             return Err(StorageError::DuplicateRelation(key));
         }
-        self.relations.insert(key, relation);
+        self.relations.insert(key, Arc::new(relation));
         Ok(())
     }
 
     /// Registers or replaces a base relation.
     pub fn create_or_replace_table(&mut self, name: impl Into<String>, relation: Relation) {
         self.relations
-            .insert(name.into().to_ascii_lowercase(), relation);
+            .insert(name.into().to_ascii_lowercase(), Arc::new(relation));
     }
 
-    /// Removes a base relation, returning it if present.
+    /// Removes a base relation, returning it if present. When the relation
+    /// is still shared (e.g. by a snapshot), the returned value is a clone;
+    /// otherwise the allocation is recovered without copying.
     pub fn drop_table(&mut self, name: &str) -> Option<Relation> {
-        self.relations.remove(&name.to_ascii_lowercase())
+        self.relations
+            .remove(&name.to_ascii_lowercase())
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Looks up a base relation.
     pub fn table(&self, name: &str) -> Result<&Relation> {
         self.relations
             .get(&name.to_ascii_lowercase())
+            .map(|arc| arc.as_ref())
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a base relation as a shared handle: a clone of the `Arc`,
+    /// never of the tuples, for callers that need the relation to outlive
+    /// the catalog borrow — e.g. handing a table snapshot to another
+    /// thread while the catalog keeps evolving copy-on-write.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Relation>> {
+        self.relations
+            .get(&name.to_ascii_lowercase())
+            .cloned()
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
@@ -68,6 +100,20 @@ impl Database {
         self.relations.values().map(|r| r.len()).sum()
     }
 }
+
+// The concurrency contract of the storage layer, checked at compile time:
+// a `Database` (and everything reachable from it) can be shared across
+// threads by reference. The executor builds its own (deliberately
+// single-threaded) state on top; the *data* is never the reason a layer
+// above cannot parallelise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Schema>();
+    assert_send_sync::<crate::tuple::Tuple>();
+    assert_send_sync::<crate::value::Value>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -110,5 +156,35 @@ mod tests {
         db.create_table("S", small_rel()).unwrap();
         assert_eq!(db.total_tuples(), 4);
         assert_eq!(db.table_names(), vec!["r".to_string(), "s".to_string()]);
+    }
+
+    #[test]
+    fn clone_shares_relations_instead_of_copying() {
+        let mut db = Database::new();
+        db.create_table("R", small_rel()).unwrap();
+        let snapshot = db.clone();
+        assert!(Arc::ptr_eq(
+            &db.table_arc("r").unwrap(),
+            &snapshot.table_arc("r").unwrap()
+        ));
+        // Replacing a table in the original leaves the snapshot untouched
+        // (copy-on-write at table granularity).
+        db.create_or_replace_table(
+            "r",
+            Relation::new(Schema::from_names(&["a"]), vec![]).unwrap(),
+        );
+        assert_eq!(db.table("r").unwrap().len(), 0);
+        assert_eq!(snapshot.table("r").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_table_recovers_or_clones_shared_relations() {
+        let mut db = Database::new();
+        db.create_table("R", small_rel()).unwrap();
+        let held = db.table_arc("r").unwrap();
+        // Still shared: the drop must clone, and the held handle stays valid.
+        let dropped = db.drop_table("R").unwrap();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(held.len(), 2);
     }
 }

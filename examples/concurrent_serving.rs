@@ -1,0 +1,110 @@
+//! Concurrent serving: one engine, a pool of worker sessions, and a hot
+//! correlated provenance query scaled across cores.
+//!
+//! A reporting service keeps one [`perm::Engine`] for its data and answers
+//! many clients at once. `perm_serve::ConcurrentEngine` adds the
+//! concurrency: a fixed worker pool drains a request queue
+//! (session-per-worker), repeated SQL texts meet in the engine's
+//! cross-session plan cache, and correlated-sublink work lands in a shared
+//! memo so no two workers ever recompute the same binding.
+//!
+//! Run with `cargo run --example concurrent_serving`.
+
+use perm::{Database, Engine, Relation, Schema, Value};
+use perm_serve::{ConcurrentEngine, Request};
+
+fn build_database() -> Database {
+    let mut db = Database::new();
+    // orders(id, region, total) — the served fact table.
+    db.create_table(
+        "orders",
+        Relation::from_rows(
+            Schema::from_names(&["id", "region", "total"]).with_qualifier("orders"),
+            (0..300)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 6), Value::Int((i * 37) % 500)])
+                .collect(),
+        ),
+    )
+    .expect("fresh database");
+    // alerts(region, threshold) — per-region audit thresholds, correlated
+    // against in the hot query.
+    db.create_table(
+        "alerts",
+        Relation::from_rows(
+            Schema::from_names(&["region", "threshold"]).with_qualifier("alerts"),
+            (0..6)
+                .map(|r| vec![Value::Int(r), Value::Int(60 * r)])
+                .collect(),
+        ),
+    )
+    .expect("fresh database");
+    db
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = ConcurrentEngine::new(Engine::new(build_database()));
+    println!("pool size: {} workers\n", engine.workers());
+
+    // --- A mixed request queue, drained by the pool --------------------
+    // Two statement texts; the pool compiles each once, every later
+    // preparation anywhere in the pool is a plan-cache hit.
+    let flagged = "SELECT id, total FROM orders \
+                   WHERE EXISTS (SELECT * FROM alerts \
+                                 WHERE alerts.region = orders.region \
+                                 AND alerts.threshold < orders.total) \
+                   AND total > $1";
+    let top = "SELECT id FROM orders WHERE total > $1 ORDER BY total LIMIT 5";
+    let requests: Vec<Request> = (0..24)
+        .map(|i| {
+            if i % 2 == 0 {
+                Request::sql(flagged, vec![Value::Int(100 + 10 * (i % 5))])
+            } else {
+                Request::sql(top, vec![Value::Int(300 + i)])
+            }
+        })
+        .collect();
+
+    let results = engine.serve(&requests);
+    let answered = results.iter().filter(|r| r.is_ok()).count();
+    let cache = engine.engine().plan_cache_stats();
+    println!("served {answered}/{} requests", requests.len());
+    println!(
+        "plan cache: {} hits / {} misses / {} cached statements",
+        cache.hits, cache.misses, cache.entries
+    );
+    println!(
+        "shared sublink memo: {} warm entries\n",
+        engine.shared_memo().entry_count()
+    );
+
+    // --- One hot provenance query, parallel sublink evaluation ---------
+    // The correlated EXISTS has 6 distinct region bindings; the pool
+    // partitions them across workers, then assembles the result — with
+    // witnesses — from the warm memo.
+    let audit = engine.prepare(
+        "SELECT PROVENANCE id, total FROM orders \
+         WHERE EXISTS (SELECT * FROM alerts \
+                       WHERE alerts.region = orders.region \
+                       AND alerts.threshold < orders.total)",
+    )?;
+    let provenance = engine.execute_parallel(&audit, &[])?;
+    println!(
+        "parallel provenance audit: {} witness rows, schema `{}`",
+        provenance.len(),
+        audit
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The same statement through a plain worker session gives the same
+    // relation — parallel evaluation is a speed knob, not a semantics one.
+    let session = engine.session();
+    let serial = session.execute(&audit, &[])?;
+    assert!(provenance.bag_eq(&serial));
+    println!("parallel == serial: verified");
+    Ok(())
+}

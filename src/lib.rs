@@ -84,10 +84,11 @@ pub use perm_core::{
     ProvenanceDescriptor, ProvenanceError, ProvenanceQuery, RewriteResult, Strategy,
 };
 pub use perm_exec::Executor;
+pub use perm_exec::SharedSublinkMemo;
 pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
 pub use session::{
-    Engine, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig, SessionStats,
-    Witness,
+    Engine, PlanCacheStats, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig,
+    SessionStats, Witness,
 };
 
 /// The most commonly used items in one import.

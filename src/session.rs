@@ -33,20 +33,31 @@ use crate::PermError;
 use perm_algebra::Plan;
 use perm_core::tracer::Tracer;
 use perm_core::{ProvenanceDescriptor, ProvenanceQuery, Strategy};
-use perm_exec::Executor;
+use perm_exec::{Executor, SharedSublinkMemo};
 use perm_storage::{Database, Relation, Schema, Tuple, Value};
 use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 
 /// Re-export of the executor's streaming cursor: `Iterator<Item =
 /// Result<Tuple, ExecError>>`. See [`Session::rows`].
 pub use perm_exec::Rows;
 
 /// The owning entry point: a database plus the default session
-/// configuration. An engine is the long-lived object of a serving process;
-/// each worker opens its own (cheap) [`Session`] against it.
+/// configuration and the **cross-session plan cache**. An engine is the
+/// long-lived object of a serving process; each worker opens its own
+/// (cheap) [`Session`] against it, and a statement prepared by any of them
+/// is a cache hit for all of them.
 pub struct Engine {
     db: Database,
     config: SessionConfig,
+    plan_cache: PlanCache,
+    /// Every shared sublink memo a session of this engine has attached
+    /// (weakly, so the registry never keeps a memo alive): the set
+    /// [`Engine::database_mut`] must invalidate, since cached sublink
+    /// results are functions of the data. Deduplicated by pointer.
+    attached_memos: Mutex<Vec<Weak<SharedSublinkMemo>>>,
 }
 
 impl Engine {
@@ -56,6 +67,8 @@ impl Engine {
         Engine {
             db,
             config: SessionConfig::default(),
+            plan_cache: PlanCache::default(),
+            attached_memos: Mutex::new(Vec::new()),
         }
     }
 
@@ -65,28 +78,239 @@ impl Engine {
         self
     }
 
+    /// Bounds the cross-session plan cache to at most `capacity` cached
+    /// statements (insertion-order eviction; an evicted statement that is
+    /// still hot simply re-enters on its next preparation). `None` — the
+    /// default — keeps it unbounded, which is right when clients use `$n`
+    /// parameters; bound it when serving ad-hoc texts with inlined
+    /// literals, where every request is a new cache key.
+    pub fn with_plan_cache_capacity(self, capacity: Option<usize>) -> Engine {
+        self.plan_cache.set_capacity(capacity);
+        self
+    }
+
     /// The underlying database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The default configuration handed to [`Engine::session`].
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// Mutable access to the database (loading tables, etc.). Note that
     /// sessions borrow the engine, so data loading happens between
     /// sessions, not under them — exactly the exclusivity the borrow
     /// checker enforces.
+    ///
+    /// Taking this invalidates everything derived from the data: the
+    /// cross-session plan cache (prepared statements bind against catalog
+    /// schemas), the configured shared sublink memo, and every shared
+    /// sublink memo any session of this engine has attached (cached
+    /// sublink results are functions of the data; the engine remembers
+    /// attached memos weakly for exactly this moment).
     pub fn database_mut(&mut self) -> &mut Database {
+        self.plan_cache.clear();
+        if let Some(memo) = &self.config.shared_sublink_memo {
+            memo.clear();
+        }
+        let mut attached = self.attached_memos.lock().expect("memo registry poisoned");
+        attached.retain(|weak| match weak.upgrade() {
+            Some(memo) => {
+                memo.clear();
+                true
+            }
+            None => false,
+        });
         &mut self.db
     }
 
     /// Opens a session with the engine's default configuration.
     pub fn session(&self) -> Session<'_> {
-        Session::with_config(&self.db, self.config.clone())
+        self.session_with(self.config.clone())
     }
 
     /// Opens a session with an explicit configuration.
     pub fn session_with(&self, config: SessionConfig) -> Session<'_> {
-        Session::with_config(&self.db, config)
+        if let Some(memo) = &config.shared_sublink_memo {
+            self.register_memo(memo);
+        }
+        let mut session = Session::with_config(&self.db, config);
+        session.plan_cache = Some(&self.plan_cache);
+        session
     }
+
+    /// Remembers a session-attached shared memo (weakly, deduplicated) so
+    /// [`Engine::database_mut`] can invalidate it.
+    fn register_memo(&self, memo: &Arc<SharedSublinkMemo>) {
+        let mut attached = self.attached_memos.lock().expect("memo registry poisoned");
+        attached.retain(|weak| weak.strong_count() > 0);
+        if !attached
+            .iter()
+            .any(|weak| weak.as_ptr() == Arc::as_ptr(memo))
+        {
+            attached.push(Arc::downgrade(memo));
+        }
+    }
+
+    /// Hit/miss/entry counters of the cross-session plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drops every cached prepared statement (counters keep running).
+    /// Statements already handed out stay valid — the cache holds `Arc`s.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+}
+
+/// The cache key of one prepared statement: the SQL text plus the parts of
+/// the [`SessionConfig`] that shape the *prepared form* — the rewrite
+/// strategy and the tracer toggle, and whether provenance was forced by
+/// [`Session::prepare_provenance`] rather than the `SELECT PROVENANCE`
+/// marker (which lives in the text itself). Execution-only knobs (memo
+/// toggles, capacities, retention) are deliberately *not* part of the key:
+/// sessions differing only in those share one compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    sql: String,
+    forced_provenance: bool,
+    strategy: Strategy,
+    tracer: bool,
+}
+
+/// The engine's cross-session plan cache: SQL text (+ config fingerprint)
+/// → shared [`Prepared`]. A plain mutex-guarded map — preparation is rare
+/// and expensive next to execution, so one lock is not a bottleneck; the
+/// hot path (execution) never touches it. An optional capacity bound
+/// ([`Engine::with_plan_cache_capacity`]) evicts in insertion order.
+#[derive(Default)]
+struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    map: HashMap<PlanKey, Arc<Prepared>>,
+    /// Insertion order of the live keys, for capacity eviction. Only
+    /// maintained while a capacity is set (empty otherwise).
+    order: VecDeque<PlanKey>,
+    capacity: Option<usize>,
+}
+
+impl PlanCacheInner {
+    fn evict_over_capacity(&mut self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.map.len() > capacity.max(1) {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => {
+                    // Entries inserted while unbounded have no order record;
+                    // rebuild it (arbitrary order is a valid insertion
+                    // history for them) and retry.
+                    self.order = self.map.keys().cloned().collect();
+                    if self.order.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PlanCache {
+    fn set_capacity(&self, capacity: Option<usize>) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.capacity = capacity;
+        if capacity.is_none() {
+            inner.order.clear();
+        }
+        inner.evict_over_capacity();
+    }
+
+    fn get(&self, key: &PlanKey) -> Option<Arc<Prepared>> {
+        let hit = self
+            .inner
+            .lock()
+            .expect("plan cache poisoned")
+            .map
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts a freshly prepared statement and returns the *canonical*
+    /// one: two sessions racing to prepare the same statement both get
+    /// here, the incumbent wins, and the loser's compilation is discarded
+    /// — including by its own preparer, which adopts the returned
+    /// incumbent so every holder shares one set of sublink ids (and hence
+    /// one set of shared-memo keys).
+    fn insert(&self, key: PlanKey, prepared: Arc<Prepared>) -> Arc<Prepared> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(incumbent) = inner.map.get(&key) {
+            return Arc::clone(incumbent);
+        }
+        if inner.capacity.is_some() {
+            inner.order.push_back(key.clone());
+        }
+        inner.map.insert(key, Arc::clone(&prepared));
+        inner.evict_over_capacity();
+        prepared
+    }
+
+    fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("plan cache poisoned").map.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.stats().fmt(f)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tables", &self.db.table_names())
+            .field("config", &self.config)
+            .field("plan_cache", &self.plan_cache)
+            .finish()
+    }
+}
+
+/// Counters of the engine-wide plan cache ([`Engine::plan_cache_stats`]).
+/// Per-session views of the same traffic are on [`SessionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Preparations served from the cache (no parse/bind/rewrite/compile).
+    pub hits: u64,
+    /// Preparations that had to run the full pipeline.
+    pub misses: u64,
+    /// Statements currently cached.
+    pub entries: usize,
 }
 
 /// Session configuration: every execution toggle that used to be scattered
@@ -115,6 +339,25 @@ pub struct SessionConfig {
     /// characterisation evaluated tuple by tuple — the test oracle — and
     /// does not support query parameters or streaming.
     pub tracer: bool,
+    /// Optional cross-thread sublink memo (default `None`). When set, every
+    /// session opened with this configuration attaches the memo to its
+    /// executor ([`perm_exec::Executor::with_shared_memo`]), so compiled
+    /// correlated-sublink results and `ANY`/`ALL` verdicts are shared
+    /// between sessions — across worker threads. The concurrent serving
+    /// subsystem (`perm-serve`) sets this for its worker sessions; combine
+    /// with `retain_memo` (the default) so the warmed entries survive
+    /// between executions.
+    ///
+    /// A shared memo is engine-lifecycle state: sessions never clear it
+    /// (only [`Engine::database_mut`] or the owner does), so entries from
+    /// statements that bypass the plan cache — [`Session::prepare_plan`],
+    /// or any preparation repeated after a cache clear — are keyed by
+    /// sublink ids that later preparations never reuse and sit there as
+    /// dead weight. Serve plan-cached SQL statements through it (their ids
+    /// are stable, so entries keep hitting), and bound it with
+    /// [`SharedSublinkMemo::with_config`] when the workload also carries
+    /// ad-hoc traffic.
+    pub shared_sublink_memo: Option<Arc<SharedSublinkMemo>>,
 }
 
 impl Default for SessionConfig {
@@ -125,6 +368,7 @@ impl Default for SessionConfig {
             memo_capacity: None,
             retain_memo: true,
             tracer: false,
+            shared_sublink_memo: None,
         }
     }
 }
@@ -144,6 +388,14 @@ pub struct SessionStats {
     pub compiles: u64,
     /// Statement executions (materialised or streaming or traced).
     pub executions: u64,
+    /// Preparations this session served from the engine's cross-session
+    /// plan cache (each such prepare did zero parse/bind/rewrite/compile
+    /// work anywhere — the statement was compiled by an earlier session).
+    pub plan_cache_hits: u64,
+    /// Preparations this session ran through the full pipeline and
+    /// published to the engine's plan cache (or ran privately, for
+    /// sessions opened without an engine).
+    pub plan_cache_misses: u64,
 }
 
 /// A session: the unit of statement preparation and execution. Holds one
@@ -153,10 +405,15 @@ pub struct Session<'a> {
     db: &'a Database,
     config: SessionConfig,
     executor: Executor<'a>,
+    /// The engine's cross-session plan cache; `None` for sessions opened
+    /// directly over a database ([`Session::new`]), which prepare privately.
+    plan_cache: Option<&'a PlanCache>,
     parses: Cell<u64>,
     binds: Cell<u64>,
     rewrites: Cell<u64>,
     executions: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 /// How a prepared statement produces its result.
@@ -222,6 +479,13 @@ impl Prepared {
     pub fn plan(&self) -> &Plan {
         &self.plan
     }
+
+    /// The compiled physical form; `None` only for tracer statements. The
+    /// concurrent serving subsystem walks this to find correlated sublinks
+    /// whose binding domains it can partition across worker threads.
+    pub fn compiled_plan(&self) -> Option<&perm_exec::CompiledPlan> {
+        self.compiled.as_ref()
+    }
 }
 
 impl<'a> Session<'a> {
@@ -234,18 +498,24 @@ impl<'a> Session<'a> {
 
     /// Opens a session with an explicit configuration.
     pub fn with_config(db: &'a Database, config: SessionConfig) -> Session<'a> {
-        let executor = Executor::new(db)
+        let mut executor = Executor::new(db)
             .with_sublink_memo(config.sublink_memo)
             .with_memo_capacity(config.memo_capacity)
             .with_memo_retention(config.retain_memo);
+        if let Some(memo) = &config.shared_sublink_memo {
+            executor = executor.with_shared_memo(Arc::clone(memo));
+        }
         Session {
             db,
             config,
             executor,
+            plan_cache: None,
             parses: Cell::new(0),
             binds: Cell::new(0),
             rewrites: Cell::new(0),
             executions: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
     }
 
@@ -275,6 +545,8 @@ impl<'a> Session<'a> {
             rewrites: self.rewrites.get(),
             compiles: self.executor.statements_compiled(),
             executions: self.executions.get(),
+            plan_cache_hits: self.cache_hits.get(),
+            plan_cache_misses: self.cache_misses.get(),
         }
     }
 
@@ -282,26 +554,65 @@ impl<'a> Session<'a> {
     /// query carries the `SELECT PROVENANCE` marker) → compile, once. The
     /// returned [`Prepared`] executes many times via [`Session::execute`],
     /// [`Session::rows`] or [`Session::provenance_rows`].
-    pub fn prepare(&self, sql: &str) -> Result<Prepared, PermError> {
-        let (plan, wants_provenance) = self.parse_and_bind(sql)?;
-        self.prepare_inner(Some(sql), plan, wants_provenance)
+    ///
+    /// Sessions opened from an [`Engine`] first consult the engine's
+    /// cross-session plan cache: a statement any session of this engine
+    /// already prepared (under the same strategy/tracer configuration) is
+    /// returned as a shared handle with zero pipeline work — see
+    /// [`SessionStats::plan_cache_hits`] and [`Engine::plan_cache_stats`].
+    pub fn prepare(&self, sql: &str) -> Result<Arc<Prepared>, PermError> {
+        self.prepare_sql(sql, false)
     }
 
     /// Prepares a SQL statement for provenance computation whether or not
-    /// it carries the `PROVENANCE` keyword.
-    pub fn prepare_provenance(&self, sql: &str) -> Result<Prepared, PermError> {
-        let (plan, _) = self.parse_and_bind(sql)?;
-        self.prepare_inner(Some(sql), plan, true)
+    /// it carries the `PROVENANCE` keyword. Plan-cached like
+    /// [`Session::prepare`] (under a distinct cache key, so the same text
+    /// prepared plain and forced-provenance are two entries).
+    pub fn prepare_provenance(&self, sql: &str) -> Result<Arc<Prepared>, PermError> {
+        self.prepare_sql(sql, true)
     }
 
-    /// Prepares an algebra plan directly (no SQL front end).
-    pub fn prepare_plan(&self, plan: &Plan) -> Result<Prepared, PermError> {
-        self.prepare_inner(None, plan.clone(), false)
+    fn prepare_sql(&self, sql: &str, forced_provenance: bool) -> Result<Arc<Prepared>, PermError> {
+        let Some(cache) = self.plan_cache else {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+            return Ok(Arc::new(self.prepare_fresh(sql, forced_provenance)?));
+        };
+        let key = PlanKey {
+            sql: sql.to_owned(),
+            forced_provenance,
+            strategy: self.config.strategy,
+            tracer: self.config.tracer,
+        };
+        if let Some(hit) = cache.get(&key) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return Ok(hit);
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let prepared = Arc::new(self.prepare_fresh(sql, forced_provenance)?);
+        // `insert` returns the canonical statement — ours, unless another
+        // session won the race while we were compiling.
+        Ok(cache.insert(key, prepared))
+    }
+
+    fn prepare_fresh(&self, sql: &str, forced_provenance: bool) -> Result<Prepared, PermError> {
+        let (plan, wants_provenance) = self.parse_and_bind(sql)?;
+        self.prepare_inner(Some(sql), plan, forced_provenance || wants_provenance)
+    }
+
+    /// Prepares an algebra plan directly (no SQL front end). Plan
+    /// preparations bypass the plan cache — there is no text to key on —
+    /// so each call mints fresh sublink identities: keep the returned
+    /// statement and re-execute it rather than re-preparing in a loop,
+    /// especially on sessions with a shared sublink memo (repeated
+    /// preparation would fill it with entries no later statement can hit;
+    /// see [`SessionConfig::shared_sublink_memo`]).
+    pub fn prepare_plan(&self, plan: &Plan) -> Result<Arc<Prepared>, PermError> {
+        Ok(Arc::new(self.prepare_inner(None, plan.clone(), false)?))
     }
 
     /// Prepares an algebra plan for provenance computation.
-    pub fn prepare_provenance_plan(&self, plan: &Plan) -> Result<Prepared, PermError> {
-        self.prepare_inner(None, plan.clone(), true)
+    pub fn prepare_provenance_plan(&self, plan: &Plan) -> Result<Arc<Prepared>, PermError> {
+        Ok(Arc::new(self.prepare_inner(None, plan.clone(), true)?))
     }
 
     fn parse_and_bind(&self, sql: &str) -> Result<(Plan, bool), PermError> {
@@ -448,14 +759,17 @@ impl<'a> Session<'a> {
     /// Ad-hoc convenience: prepares and executes a parameter-free SQL
     /// statement once, honouring the `SELECT PROVENANCE` marker. For
     /// repeated or parameterized execution, [`Session::prepare`] and keep
-    /// the [`Prepared`] around.
+    /// the [`Prepared`] around. (On engine-attached sessions the transient
+    /// statement still lands in the cross-session plan cache, so repeated
+    /// ad-hoc texts at least stop paying for compilation.)
     ///
-    /// The transient statement's memo entries are cleared afterwards even
-    /// under the retention policy — its sublink identities are never reused,
-    /// so retaining them would only leak. As the clearing is whole-memo, a
-    /// session interleaving `run` with prepared statements loses those
-    /// statements' warm memo entries too; keep ad-hoc traffic on its own
-    /// session when that matters.
+    /// The session's own memo entries are cleared afterwards even under the
+    /// retention policy — ad-hoc traffic should not accumulate entries. As
+    /// the clearing is whole-memo, a session interleaving `run` with
+    /// prepared statements loses those statements' warm memo entries too;
+    /// keep ad-hoc traffic on its own session when that matters. An
+    /// attached shared sublink memo is *not* cleared (its lifecycle belongs
+    /// to the engine/serving layer).
     pub fn run(&self, sql: &str) -> Result<Relation, PermError> {
         let prepared = self.prepare(sql)?;
         let result = self.execute(&prepared, &[]);

@@ -401,3 +401,103 @@ fn streaming_rows_work_with_parameters_and_provenance() {
     let materialised = session.execute(&prepared, &[Value::Int(30)]).unwrap();
     assert_eq!(streamed.len(), materialised.len());
 }
+
+#[test]
+fn plan_cache_amortizes_preparation_across_sessions() {
+    let engine = Engine::new(grouped_db());
+    let sql = "SELECT a FROM r WHERE a IN (SELECT c FROM s WHERE s.g = r.g)";
+    let first = engine.session();
+    let stmt_a = first.prepare(sql).unwrap();
+    assert_eq!(first.stats().plan_cache_misses, 1);
+    assert_eq!(first.stats().compiles, 1);
+
+    // A *different* session gets the same statement back, compiling nothing.
+    let second = engine.session();
+    let stmt_b = second.prepare(sql).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&stmt_a, &stmt_b));
+    let stats = second.stats();
+    assert_eq!(stats.plan_cache_hits, 1);
+    assert_eq!(stats.parses, 0);
+    assert_eq!(stats.binds, 0);
+    assert_eq!(stats.compiles, 0);
+    assert_eq!(engine.plan_cache_stats().entries, 1);
+
+    // Plain and forced-provenance preparations of one text are distinct
+    // entries (they produce different plans).
+    let forced = second.prepare_provenance(sql).unwrap();
+    assert!(forced.descriptor().is_some());
+    assert!(stmt_a.descriptor().is_none());
+    assert_eq!(engine.plan_cache_stats().entries, 2);
+
+    // Sessions opened directly over the database prepare privately.
+    let detached = Session::new(engine.database());
+    let stmt_c = detached.prepare(sql).unwrap();
+    assert!(!std::sync::Arc::ptr_eq(&stmt_a, &stmt_c));
+    assert_eq!(engine.plan_cache_stats().entries, 2);
+}
+
+#[test]
+fn plan_cache_capacity_evicts_in_insertion_order() {
+    let engine = Engine::new(grouped_db()).with_plan_cache_capacity(Some(2));
+    let session = engine.session();
+    let texts = [
+        "SELECT a FROM r WHERE a < 1",
+        "SELECT a FROM r WHERE a < 2",
+        "SELECT a FROM r WHERE a < 3",
+    ];
+    for sql in texts {
+        session.prepare(sql).unwrap();
+    }
+    let stats = engine.plan_cache_stats();
+    assert_eq!(stats.entries, 2, "capacity bound holds: {stats:?}");
+    // The oldest text was evicted: preparing it again is a miss (and
+    // re-enters, evicting the then-oldest), the newest is still a hit.
+    session.prepare(texts[0]).unwrap();
+    session.prepare(texts[2]).unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.plan_cache_misses, 4);
+    assert_eq!(stats.plan_cache_hits, 1);
+}
+
+#[test]
+fn database_mut_invalidates_plan_cache_and_session_attached_shared_memos() {
+    use perm::SharedSublinkMemo;
+    use std::sync::Arc;
+
+    let mut engine = Engine::new(grouped_db());
+    let memo = SharedSublinkMemo::new();
+    let config = SessionConfig {
+        shared_sublink_memo: Some(Arc::clone(&memo)),
+        ..SessionConfig::default()
+    };
+    // The memo is attached via `session_with` only — the engine's own
+    // default config knows nothing about it. `database_mut` must still
+    // invalidate it (the engine registers attached memos weakly).
+    let sql = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)";
+    let prepared = {
+        let session = engine.session_with(config.clone());
+        let prepared = session.prepare(sql).unwrap();
+        let before = session.execute(&prepared, &[]).unwrap();
+        assert_eq!(before.len(), 12, "every r row has a matching s group");
+        prepared
+    };
+    assert!(memo.entry_count() > 0, "execution warmed the shared memo");
+    assert_eq!(engine.plan_cache_stats().entries, 1);
+
+    // Empty `s`: now *no* row of `r` has a witness.
+    engine.database_mut().create_or_replace_table(
+        "s",
+        Relation::from_rows(Schema::from_names(&["c", "g"]).with_qualifier("s"), vec![]),
+    );
+    assert_eq!(memo.entry_count(), 0, "attached memo was invalidated");
+    assert_eq!(engine.plan_cache_stats().entries, 0);
+
+    // Re-executing the *held* statement on a fresh memo-attached session
+    // must see the new data, not stale cached sublink results.
+    let session = engine.session_with(config);
+    let after = session.execute(&prepared, &[]).unwrap();
+    assert!(
+        after.is_empty(),
+        "stale shared-memo entries served: {after}"
+    );
+}

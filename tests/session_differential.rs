@@ -1,126 +1,26 @@
-//! Differential testing of the `Session` API: a seeded subset of random
-//! nested-subquery SQL (with `$n` parameters) must produce bag-identical
+//! Differential testing of the `Session` API: the seeded nested-subquery
+//! SQL corpus (shared with the concurrent differential test of
+//! `perm-serve` via [`perm_synthetic::sqlgen`]) must produce bag-identical
 //! results through `Session::prepare`/`execute`, the streaming cursor, the
 //! compiled `Executor::execute` path and the reference interpreter
 //! `Executor::execute_unoptimized`.
 
 use perm::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn test_db() -> Database {
-    let mut db = Database::new();
-    db.create_table(
-        "r",
-        Relation::from_rows(
-            Schema::from_names(&["a", "b", "g"]).with_qualifier("r"),
-            (0..20)
-                .map(|i| vec![Value::Int(i), Value::Int((i * 7) % 13), Value::Int(i % 4)])
-                .collect(),
-        ),
-    )
-    .unwrap();
-    db.create_table(
-        "s",
-        Relation::from_rows(
-            Schema::from_names(&["c", "d", "g"]).with_qualifier("s"),
-            (0..15)
-                .map(|i| {
-                    vec![
-                        Value::Int(i * 2),
-                        Value::Int((i * 5) % 11),
-                        Value::Int(i % 4),
-                    ]
-                })
-                .collect(),
-        ),
-    )
-    .unwrap();
-    db
-}
-
-/// A random scalar-vs-value operand: a literal, or `$1` (so parameters are
-/// exercised throughout the grammar).
-fn operand(rng: &mut StdRng) -> String {
-    if rng.gen_range(0..4) == 0 {
-        "$1".to_string()
-    } else {
-        format!("{}", rng.gen_range(-5..25))
-    }
-}
-
-fn comparison(rng: &mut StdRng, column: &str) -> String {
-    let op = ["<", "<=", ">", ">=", "=", "<>"][rng.gen_range(0..6usize)];
-    format!("{column} {op} {}", operand(rng))
-}
-
-/// A random subquery over `s`, possibly correlated on `r.g` and possibly
-/// nested one level deeper.
-fn subquery(rng: &mut StdRng, depth: usize) -> String {
-    let mut preds: Vec<String> = Vec::new();
-    if rng.gen_bool(0.5) {
-        preds.push(comparison(rng, "s.c"));
-    }
-    if rng.gen_bool(0.5) {
-        preds.push("s.g = r.g".to_string());
-    }
-    if depth > 0 && rng.gen_bool(0.4) {
-        preds.push(format!(
-            "s.d IN (SELECT b FROM r r2 WHERE {})",
-            comparison(rng, "r2.a")
-        ));
-    }
-    let where_clause = if preds.is_empty() {
-        String::new()
-    } else {
-        format!(" WHERE {}", preds.join(" AND "))
-    };
-    format!("SELECT c FROM s{where_clause}")
-}
-
-/// One random top-level query in the supported subset.
-fn random_sql(rng: &mut StdRng) -> String {
-    let mut preds: Vec<String> = Vec::new();
-    if rng.gen_bool(0.6) {
-        preds.push(comparison(rng, "a"));
-    }
-    match rng.gen_range(0..4) {
-        0 => preds.push(format!("a IN ({})", subquery(rng, 1))),
-        1 => preds.push(format!("a NOT IN ({})", subquery(rng, 1))),
-        2 => preds.push(format!(
-            "EXISTS (SELECT * FROM s WHERE s.g = r.g AND {})",
-            comparison(rng, "s.c")
-        )),
-        _ => preds.push(format!(
-            "b {} (SELECT min(d) FROM s WHERE {})",
-            [">", "<"][rng.gen_range(0..2usize)],
-            comparison(rng, "s.c")
-        )),
-    }
-    let where_clause = format!(" WHERE {}", preds.join(" AND "));
-    let tail = match rng.gen_range(0..3) {
-        0 => " ORDER BY a",
-        1 => " ORDER BY a LIMIT 7",
-        _ => "",
-    };
-    format!("SELECT a, b FROM r{where_clause}{tail}")
-}
+use perm_synthetic::sqlgen::{corpus_case, corpus_database};
 
 #[test]
 fn session_agrees_with_both_executor_paths_on_random_queries() {
-    let db = test_db();
+    let db = corpus_database();
     let engine = Engine::new(db);
     let session = engine.session();
     let mut checked = 0usize;
     for seed in 0..80u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let sql = random_sql(&mut rng);
+        let case = corpus_case(seed);
+        let sql = &case.sql;
         let prepared = session
-            .prepare(&sql)
+            .prepare(sql)
             .unwrap_or_else(|e| panic!("seed {seed}: failed to prepare `{sql}`: {e}"));
-        let params: Vec<Value> = (0..prepared.param_count())
-            .map(|_| Value::Int(rng.gen_range(-5..25)))
-            .collect();
+        let params = case.params(prepared.param_count());
 
         let via_session = session
             .execute(&prepared, &params)
@@ -132,7 +32,7 @@ fn session_agrees_with_both_executor_paths_on_random_queries() {
             .unwrap_or_else(|e| panic!("seed {seed}: cursor over `{sql}` failed: {e}"));
 
         // The direct executor paths, on the same bound plan.
-        let (plan, _) = perm::sql::compile(engine.database(), &sql).unwrap();
+        let (plan, _) = perm::sql::compile(engine.database(), sql).unwrap();
         let compiled_ex = Executor::new(engine.database());
         compiled_ex.bind_params(params.clone());
         let via_compiled = compiled_ex.execute(&plan).unwrap();
@@ -160,17 +60,12 @@ fn session_agrees_with_both_executor_paths_on_random_queries() {
 fn session_provenance_agrees_with_the_deprecated_helper() {
     // The compatibility bar for the deprecated wrappers: same strategy, same
     // result, old path vs new path, on a seeded subset.
-    let db = test_db();
+    let db = corpus_database();
     let engine = Engine::new(db);
-    for seed in 0..10u64 {
-        let mut rng = StdRng::seed_from_u64(1000 + seed);
-        // Parameter-free subset (the old helpers cannot bind parameters).
-        let sql = loop {
-            let candidate = random_sql(&mut rng);
-            if !candidate.contains('$') {
-                break candidate;
-            }
-        };
+    let mut checked = 0usize;
+    // Parameter-free subset (the old helpers cannot bind parameters).
+    for seed in (0..200u64).filter(|&s| !corpus_case(s).sql.contains('$')) {
+        let sql = corpus_case(seed).sql;
         let session = engine.session();
         let prepared = session.prepare_provenance(&sql).unwrap();
         let new_path = session.execute(&prepared, &[]).unwrap();
@@ -180,5 +75,10 @@ fn session_provenance_agrees_with_the_deprecated_helper() {
             new_path.bag_eq(&old_path),
             "seed {seed}: session and deprecated helper disagree on `{sql}`"
         );
+        checked += 1;
+        if checked == 10 {
+            break;
+        }
     }
+    assert_eq!(checked, 10);
 }
