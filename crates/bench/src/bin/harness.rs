@@ -11,6 +11,8 @@
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
 //! harness memo [--max-rows N] [--check]                 # sublink memo on/off on q3 (Fig. 7 sweep)
 //!                                                       # --check: fail unless memoized < unmemoized ops
+//! harness batch [--max-rows N] [--scale S] [--check]    # batched vs per-tuple execution (Fig. 7 + TPC-H)
+//!                                                       # --check: fail unless batched is no slower
 //! harness serve [--rows N] [--execs N] [--check]        # prepared vs one-shot serving cost
 //!                                                       # --check: fail unless prepared is cheaper
 //! harness ablation [--rows N]                           # rewrite-structure ablation
@@ -18,9 +20,9 @@
 //! ```
 
 use perm_bench::{
-    concurrent_to_json, format_table, measure_ablation, measure_concurrent, measure_fig6,
-    measure_serve, measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json,
-    results_to_json, serve_to_json, BenchConfig, SyntheticSweep,
+    batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
+    measure_concurrent, measure_fig6, measure_serve, measure_sublink_memo, measure_synthetic_sweep,
+    memo_results_to_json, results_to_json, serve_to_json, BatchPoint, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -63,6 +65,7 @@ fn main() {
             &config,
         ),
         "memo" => memo(&options, &config),
+        "batch" => batch(&options, &config),
         "serve" => serve(&options, &config),
         "concurrent" => concurrent(&options, &config),
         "ablation" => ablation(&options, &config),
@@ -90,6 +93,7 @@ fn main() {
                 &config,
             );
             memo(&options, &config);
+            batch(&options, &config);
             serve(&options, &config);
             concurrent(&options, &config);
             ablation(&options, &config);
@@ -271,6 +275,79 @@ fn memo(options: &Options, config: &BenchConfig) {
     }
 }
 
+fn batch(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Batched execution — vectorized batch evaluation vs per-tuple dispatch on the \
+         Fig. 7 and TPC-H workloads (Gen rewrite, {} synthetic rows, TPC-H scale {}) ==\n",
+        options.max_rows, options.scale
+    );
+    let Some(scale) = TpchScale::named(&options.scale) else {
+        eprintln!("unknown scale `{}` (expected xs, s, m or l)", options.scale);
+        std::process::exit(1);
+    };
+    let rows = measure_batch(options.max_rows, scale, config);
+    println!(
+        "{:<24} {:>14} {:>14} {:>8} {:>12} {:>10}",
+        "workload", "batched [ms]", "per-tuple [ms]", "speedup", "batches", "rows"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>14.1} {:>14.1} {:>7.2}x {:>12} {:>10}",
+            row.label,
+            row.ms_batched,
+            row.ms_per_tuple,
+            row.speedup(),
+            row.vectorized_batches,
+            row.result_rows
+        );
+    }
+    println!();
+    write_json("batch", &batch_results_to_json("batch", &rows));
+
+    // `--check` is the CI smoke gate of the batch layer. Correctness is
+    // unconditional (results bag-equal and operator counts identical
+    // between the modes — asserted inside `measure_batch`, a divergence
+    // panics). The wall-time gate uses the best *pairwise* ratio over the
+    // order-alternated measurement pairs, with 10% jitter allowance: on a
+    // noisy shared machine one quiet pair is enough to show batching is no
+    // slower, while a true regression is slower in every pair and fails.
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("batch check: no points completed within the time budget");
+        }
+        for row in &rows {
+            if row.best_pair_ratio > 1.10 {
+                eprintln!(
+                    "batch check: {} ran slower batched than per-tuple in every pair \
+                     (best ratio {:.2}, min {:.1}ms vs {:.1}ms)",
+                    row.label, row.best_pair_ratio, row.ms_batched, row.ms_per_tuple
+                );
+                failed = true;
+            }
+            if row.vectorized_batches == 0 {
+                eprintln!(
+                    "batch check: {} never reached the vectorized evaluator",
+                    row.label
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        let mean_speedup =
+            rows.iter().map(BatchPoint::speedup).sum::<f64>() / rows.len().max(1) as f64;
+        println!(
+            "batch check passed: batched execution no slower than per-tuple at all {} points \
+             (best pairwise ratio <= 1.10 everywhere, mean min-speedup {:.2}x), results and \
+             operator counts identical",
+            rows.len(),
+            mean_speedup
+        );
+    }
+}
+
 fn serve(options: &Options, config: &BenchConfig) {
     println!(
         "== Serving — prepared vs one-shot execution of a parameterized correlated \
@@ -419,13 +496,17 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|serve|concurrent|ablation|all> \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|serve|concurrent|ablation|all> \
          [--scale xs|s|m|l] [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] \
          [--execs N] [--check]"
     );
     println!(
         "  --check (memo): exit non-zero unless the memoized path evaluates strictly \
          fewer operators than the unmemoized path at every point"
+    );
+    println!(
+        "  --check (batch): exit non-zero unless batched execution is no slower than \
+         per-tuple dispatch at every point (results and operator counts always verified)"
     );
     println!(
         "  --check (serve): exit non-zero unless prepared re-execution is strictly cheaper \

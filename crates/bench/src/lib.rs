@@ -394,6 +394,235 @@ pub fn measure_sublink_memo(
     out
 }
 
+/// One point of the batched vs per-tuple executor comparison
+/// (`harness batch`): the same Gen-rewritten provenance plan executed with
+/// vectorized batch evaluation on and off.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Workload label.
+    pub label: String,
+    /// Best (minimum) wall-clock milliseconds per execution with batching
+    /// on — the minimum over runs is the noise-robust statistic on a
+    /// shared machine.
+    pub ms_batched: f64,
+    /// Best wall-clock milliseconds per execution with per-tuple dispatch.
+    pub ms_per_tuple: f64,
+    /// The best (smallest) `batched / per-tuple` wall-time ratio over the
+    /// measured pairs — the gate statistic: one quiet pair is enough to
+    /// show batching is not slower, while a true regression is slower in
+    /// *every* pair. (Each pair alternates which mode runs first, so
+    /// machine warm-up cannot systematically favour one mode.)
+    pub best_pair_ratio: f64,
+    /// Operator evaluations of one run — **identical in both modes** by
+    /// construction (asserted): the counter is per logical operator
+    /// invocation, not per batch.
+    pub operators_evaluated: u64,
+    /// Expression-over-batch evaluations of one batched run.
+    pub vectorized_batches: u64,
+    /// Result rows (identical in both modes; asserted).
+    pub result_rows: usize,
+}
+
+impl BatchPoint {
+    /// `ms_per_tuple / ms_batched` — how many times faster the batched
+    /// evaluator ran.
+    pub fn speedup(&self) -> f64 {
+        self.ms_per_tuple / self.ms_batched.max(1e-9)
+    }
+}
+
+/// Measures one plan under the Gen provenance rewrite with batching on and
+/// off (`config.runs` executions each, minimum wall time kept; results
+/// asserted bag-equal and operator counts asserted identical). `None` when
+/// the point exceeded the time budget or the rewrite is not applicable.
+fn measure_batch_plan(
+    db: &Database,
+    plan: &perm_algebra::Plan,
+    label: &str,
+    config: &BenchConfig,
+) -> Option<BatchPoint> {
+    /// Worker → driver messages: the warmup heartbeat lets the driver skip
+    /// a too-slow point after one `timeout` instead of waiting out the
+    /// whole multi-run budget.
+    enum Progress {
+        Warm,
+        Done(Option<BatchPoint>),
+    }
+    let runs = config.runs.max(1);
+    let (sender, receiver) = mpsc::channel();
+    let db = db.clone();
+    let plan = plan.clone();
+    let thread_label = label.to_string();
+    std::thread::spawn(move || {
+        let sender = &sender;
+        let send_done = |point| drop(sender.send(Progress::Done(point)));
+        let rewritten = match ProvenanceQuery::new(&db, &plan)
+            .strategy(Strategy::Gen)
+            .rewrite()
+        {
+            Ok(r) => r,
+            Err(_) => {
+                send_done(None);
+                return;
+            }
+        };
+        let run_once = |batching: bool| {
+            let executor = Executor::new(&db).with_batching(batching);
+            let start = Instant::now();
+            let relation = executor
+                .execute(rewritten.plan())
+                .expect("batch workload must run");
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            (
+                ms,
+                executor.operators_evaluated(),
+                executor.batches_vectorized(),
+                relation,
+            )
+        };
+        // One untimed warmup (doubling as the liveness probe), then the
+        // modes run in pairs whose order alternates: measuring one mode
+        // entirely before the other — or always in the same position
+        // within a pair — would hand the favoured mode a warmer allocator
+        // and page cache and bias the comparison systematically.
+        let _ = run_once(true);
+        let _ = sender.send(Progress::Warm);
+        let mut ms_batched = f64::INFINITY;
+        let mut ms_per_tuple = f64::INFINITY;
+        let mut best_pair_ratio = f64::INFINITY;
+        let mut ops_batched = 0;
+        let mut ops_per_tuple = 0;
+        let mut vectorized_batches = 0;
+        let mut batched = None;
+        let mut per_tuple = None;
+        for pair in 0..runs {
+            let batched_first = pair % 2 == 0;
+            let mut pair_ms = [0.0f64; 2];
+            for batching in [batched_first, !batched_first] {
+                let (ms, ops, batches, relation) = run_once(batching);
+                if batching {
+                    pair_ms[0] = ms;
+                    ms_batched = ms_batched.min(ms);
+                    ops_batched = ops;
+                    vectorized_batches = batches;
+                    batched = Some(relation);
+                } else {
+                    pair_ms[1] = ms;
+                    ms_per_tuple = ms_per_tuple.min(ms);
+                    ops_per_tuple = ops;
+                    per_tuple = Some(relation);
+                }
+            }
+            best_pair_ratio = best_pair_ratio.min(pair_ms[0] / pair_ms[1].max(1e-9));
+        }
+        let batched = batched.expect("runs >= 1");
+        let per_tuple = per_tuple.expect("runs >= 1");
+        assert!(
+            batched.bag_eq(&per_tuple),
+            "batched and per-tuple results must agree on {thread_label}"
+        );
+        assert_eq!(
+            ops_batched, ops_per_tuple,
+            "operators_evaluated must not depend on batching on {thread_label}"
+        );
+        send_done(Some(BatchPoint {
+            label: thread_label,
+            ms_batched,
+            ms_per_tuple,
+            best_pair_ratio,
+            operators_evaluated: ops_batched,
+            vectorized_batches,
+            result_rows: batched.len(),
+        }));
+    });
+    // Phase 1: the warmup execution must land within one `timeout` — a
+    // point that cannot even warm up is skipped immediately instead of
+    // waiting out the full multi-run budget. Phase 2: the measured runs
+    // get the remaining budget.
+    match receiver.recv_timeout(config.timeout) {
+        Ok(Progress::Warm) => {}
+        Ok(Progress::Done(point)) => return point,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("batch point {label} exceeded the warmup budget; skipped");
+            return None;
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("batch measurement worker for {label} failed")
+        }
+    }
+    match receiver.recv_timeout(config.timeout.mul_f64(2.0 * runs as f64)) {
+        Ok(Progress::Done(point)) => point,
+        Ok(Progress::Warm) => unreachable!("warmup heartbeat sent once"),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("batch point {label} exceeded the time budget; skipped");
+            None
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("batch measurement worker for {label} failed")
+        }
+    }
+}
+
+/// The batched-execution comparison (`harness batch`): the Fig. 7 synthetic
+/// workload (q1/q2/q3 under the Gen provenance rewrite at the largest sweep
+/// point) and the TPC-H sublink queries at the given scale, each executed
+/// with vectorized batch evaluation on and off. Correctness is asserted
+/// inside (`bag_eq` between the modes, identical `operators_evaluated`);
+/// the wall-time inequality is the `--check` gate's job.
+pub fn measure_batch(max_rows: usize, scale: TpchScale, config: &BenchConfig) -> Vec<BatchPoint> {
+    let mut out = Vec::new();
+    let db = build_database(max_rows, max_rows / 5, config.seed);
+    let params = random_range(max_rows, max_rows / 5, config.seed);
+    for (kind, name) in [
+        (QueryKind::Q1EqualityAny, "q1"),
+        (QueryKind::Q2InequalityAll, "q2"),
+        (QueryKind::Q3CorrelatedExists, "q3"),
+    ] {
+        let plan = build_query(&db, params, kind);
+        let label = format!("fig7 {name} |R1|={max_rows}");
+        out.extend(measure_batch_plan(&db, &plan, &label, config));
+    }
+    let tpch = generate(scale, config.seed);
+    for template in sublink_queries() {
+        let sql = template.instantiate(config.seed);
+        let Ok((plan, _)) = perm_sql::compile(&tpch, &sql) else {
+            continue;
+        };
+        let label = format!("tpch Q{}", template.id);
+        out.extend(measure_batch_plan(&tpch, &plan, &label, config));
+    }
+    out
+}
+
+/// Renders batch comparison points as JSON (`BENCH_batch.json`).
+pub fn batch_results_to_json(figure: &str, rows: &[BatchPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"ms_batched\":{:.3},\"ms_per_tuple\":{:.3},\
+             \"speedup\":{:.2},\"best_pair_ratio\":{:.3},\"operators_evaluated\":{},\
+             \"vectorized_batches\":{},\"result_rows\":{}}}",
+            json_escape(&row.label),
+            row.ms_batched,
+            row.ms_per_tuple,
+            row.speedup(),
+            row.best_pair_ratio,
+            row.operators_evaluated,
+            row.vectorized_batches,
+            row.result_rows
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// The serving comparison: repeated execution of a parameterized correlated
 /// provenance query through a prepared statement (one parse → bind →
 /// rewrite → compile, memos retained) versus the one-shot path (the full

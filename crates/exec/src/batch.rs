@@ -1,0 +1,157 @@
+//! Batch-at-a-time execution: the tuple-block representation the physical
+//! operators and the vectorized expression evaluator share.
+//!
+//! A [`Batch`] is a view over up to [`BATCH_ROWS`] consecutive tuples of a
+//! materialised input (or of an operator-owned candidate buffer, e.g. the
+//! joined rows a join is about to filter) together with an optional
+//! **selection vector**: the indices of the rows that are still *live*.
+//! Filters shrink the selection instead of copying survivors, and every
+//! evaluator produces exactly one value per live row, in selection order —
+//! so one expression is dispatched once per *batch* instead of once per
+//! *tuple*, which is the whole point of the layer (see `crate::physical`).
+//!
+//! ## Selection-vector invariants
+//!
+//! Every selection vector handled by this crate obeys, and may rely on:
+//!
+//! 1. **Ascending and duplicate-free** — indices are strictly increasing,
+//!    so iterating a batch visits rows in their input order (operator
+//!    output order is part of the engine's semantics: a stable sort above
+//!    must see both drivers produce identical tie order).
+//! 2. **In bounds** — every index is `< rows.len()`.
+//! 3. **Alignment** — an evaluator called on a batch with `n` live rows
+//!    appends exactly `n` values, the `i`-th belonging to the `i`-th live
+//!    row.
+//! 4. **Empty means untouched** — no live rows ⇒ no expression is
+//!    evaluated, so a deferred error (unresolved column, unbound
+//!    parameter) behind an empty selection is never raised, exactly like
+//!    the per-tuple evaluator that never reached those rows.
+//!
+//! Pipeline breakers (aggregation, sorting, set operations, the join build
+//! side) consume batches at their input boundary and materialise; the
+//! streamable spine (`scan → select → project → limit`) passes batches
+//! through — eagerly inside one operator invocation on the materialising
+//! path, lazily between pulls in the `crate::cursor` streaming path.
+
+use perm_storage::Tuple;
+
+/// Target number of rows per batch. Large enough to amortise one dispatch
+/// per expression per batch down to noise, small enough that a batch of
+/// wide provenance tuples stays cache-resident.
+pub const BATCH_ROWS: usize = 1024;
+
+/// A block of tuples with an optional selection vector. `None` means all
+/// rows are live (the dense fast path — no selection allocation).
+#[derive(Debug, Clone, Copy)]
+pub struct Batch<'a> {
+    rows: &'a [Tuple],
+    sel: Option<&'a [usize]>,
+}
+
+impl<'a> Batch<'a> {
+    /// A batch over `rows` with every row live.
+    pub fn dense(rows: &'a [Tuple]) -> Batch<'a> {
+        Batch { rows, sel: None }
+    }
+
+    /// A batch restricted to the rows named by `sel` (must satisfy the
+    /// module-level selection-vector invariants).
+    pub fn with_selection(rows: &'a [Tuple], sel: &'a [usize]) -> Batch<'a> {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1]),
+            "selection not ascending"
+        );
+        debug_assert!(
+            sel.iter().all(|&i| i < rows.len()),
+            "selection out of bounds"
+        );
+        Batch {
+            rows,
+            sel: Some(sel),
+        }
+    }
+
+    /// The underlying row block (live and dead rows alike).
+    pub fn rows(&self) -> &'a [Tuple] {
+        self.rows
+    }
+
+    /// The selection vector, if the batch is not dense.
+    pub fn selection(&self) -> Option<&'a [usize]> {
+        self.sel
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        match self.sel {
+            Some(sel) => sel.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    /// `true` when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th live row (0-based over the selection).
+    pub fn row(&self, i: usize) -> &'a Tuple {
+        match self.sel {
+            Some(sel) => &self.rows[sel[i]],
+            None => &self.rows[i],
+        }
+    }
+
+    /// Iterates over the live rows in selection order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// The index (into [`Batch::rows`]) of the `i`-th live row.
+    pub fn row_index(&self, i: usize) -> usize {
+        match self.sel {
+            Some(sel) => sel[i],
+            None => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_storage::Value;
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn dense_batches_expose_every_row() {
+        let r = rows(4);
+        let b = Batch::dense(&r);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.row(2).get(0), &Value::Int(2));
+        assert_eq!(b.row_index(2), 2);
+        let collected: Vec<i64> = b
+            .iter()
+            .map(|t| match t.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(collected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn selection_restricts_and_preserves_order() {
+        let r = rows(5);
+        let sel = [1usize, 3, 4];
+        let b = Batch::with_selection(&r, &sel);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.row(0).get(0), &Value::Int(1));
+        assert_eq!(b.row_index(1), 3);
+        let empty: [usize; 0] = [];
+        assert!(Batch::with_selection(&r, &empty).is_empty());
+    }
+}

@@ -30,6 +30,7 @@
 //! coerces them — so a memo hit always substitutes the result of a
 //! byte-identical binding.
 
+use crate::batch::Batch;
 use crate::eval::{arithmetic, compare};
 use crate::executor::{extract_equi_keys, Executor};
 use crate::functions;
@@ -330,6 +331,44 @@ impl<'a> Frame<'a> {
 /// construction — see `crate::memo::SharedSublinkMemo`).
 static NEXT_SUBLINK_ID: AtomicUsize = AtomicUsize::new(0);
 
+/// Applies a unary operator to an already-evaluated value. Shared by the
+/// per-tuple evaluator and the vectorized batch evaluator so their
+/// semantics cannot drift apart.
+fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    Ok(match op {
+        UnaryOp::Not => v.as_truth().not().to_value(),
+        UnaryOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            _ => return Err(ExecError::Type("cannot negate non-number".into())),
+        },
+        UnaryOp::IsNull => Value::Bool(v.is_null()),
+        UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+    })
+}
+
+/// Applies a non-logical binary operator to already-evaluated operand
+/// values (`AND`/`OR` short-circuit over unevaluated operands and are
+/// handled by the callers). Shared by the per-tuple and the vectorized
+/// evaluator.
+fn apply_binary_scalar(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            arithmetic(op, l, r)
+        }
+        BinaryOp::Cmp(cmp_op) => Ok(compare(cmp_op, l, r).to_value()),
+        BinaryOp::NullSafeEq => Ok(Value::Bool(l.null_safe_eq(r))),
+        BinaryOp::Like => Ok(functions::sql_like(l, r).to_value()),
+        BinaryOp::NotLike => Ok(functions::sql_like(l, r).not().to_value()),
+        BinaryOp::Concat => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            _ => Ok(Value::Str(format!("{l}{r}"))),
+        },
+        BinaryOp::And | BinaryOp::Or => unreachable!("logical connectives short-circuit"),
+    }
+}
+
 /// Compiles a plan with an empty outer scope chain.
 pub(crate) fn compile_plan(plan: &Plan) -> Result<CompiledPlan> {
     let mut compiler = Compiler;
@@ -586,14 +625,44 @@ impl Compiler {
     }
 }
 
+use crate::cursor::streams_lazily;
+
 impl Executor<'_> {
     /// Recursive compiled-path plan evaluation: executes children, wraps
-    /// [`Executor::ceval`] into per-tuple closures over a [`Frame`] slot
-    /// chain, and delegates every operator body to `crate::physical` — the
-    /// same bodies the interpreter drives. `frame` is the runtime scope
-    /// chain for correlated slot references (present when this plan is a
-    /// sublink query of an outer operator).
+    /// the vectorized batch evaluator (`Executor::ceval_batch`, or the
+    /// per-tuple [`Executor::ceval`] when batching is disabled) into
+    /// batch-evaluator closures over a [`Frame`] slot chain, and delegates
+    /// every operator body to `crate::physical` — the same bodies the
+    /// interpreter drives. `frame` is the runtime scope chain for
+    /// correlated slot references (present when this plan is a sublink
+    /// query of an outer operator).
+    ///
+    /// A **top-level** `LIMIT` (this entry point, no enclosing frame) over
+    /// a lazily streamable spine is routed through the `crate::cursor`
+    /// pull machinery, so the materialising path shares the cursor's
+    /// guarantee of never evaluating input beyond what the limit consumes.
+    /// The routing happens only here, never in the recursion: a limit
+    /// nested under an operator (or inside a sublink plan) executes
+    /// eagerly, exactly like the reference interpreter — only the
+    /// documented top-level case may diverge from it on an erroring tail.
     pub fn execute_compiled(
+        &self,
+        plan: &CompiledPlan,
+        frame: Option<&Frame<'_>>,
+    ) -> Result<Relation> {
+        if frame.is_none() {
+            if let CompiledPlan::Limit { input, .. } = plan {
+                if streams_lazily(input) {
+                    return self.open(plan)?.into_relation();
+                }
+            }
+        }
+        self.execute_compiled_node(plan, frame)
+    }
+
+    /// The recursive operator evaluation behind [`Executor::execute_compiled`]
+    /// (which see): no cursor routing happens at this level.
+    pub(crate) fn execute_compiled_node(
         &self,
         plan: &CompiledPlan,
         frame: Option<&Frame<'_>>,
@@ -610,27 +679,17 @@ impl Executor<'_> {
                 distinct,
                 schema,
             } => {
-                let child = self.execute_compiled(input, frame)?;
-                physical::project(ops, &child, schema.clone(), *distinct, |tuple| {
-                    let scope = Frame::new(frame, tuple);
-                    // Explicit loop, not `collect::<Result<_>>()`: the
-                    // fallible-collect machinery reports a zero lower size
-                    // hint and grows the row by realloc — measurably slower
-                    // on projection-heavy plans.
-                    let mut row = Vec::with_capacity(items.len());
-                    for item in items {
-                        row.push(self.ceval(item, Some(&scope))?);
-                    }
-                    Ok(row)
+                let child = self.execute_compiled_node(input, frame)?;
+                physical::project(ops, &child, schema.clone(), *distinct, |batch, out| {
+                    self.project_batch(items, batch, frame, out)
                 })
             }
             CompiledPlan::Select {
                 input, predicate, ..
             } => {
-                let child = self.execute_compiled(input, frame)?;
-                physical::select(ops, &child, |tuple| {
-                    let scope = Frame::new(frame, tuple);
-                    Ok(self.ceval(predicate, Some(&scope))?.as_truth().is_true())
+                let child = self.execute_compiled_node(input, frame)?;
+                physical::select(ops, &child, |batch, out| {
+                    self.predicate_batch(predicate, batch, frame, out)
                 })
             }
             CompiledPlan::CrossProduct {
@@ -638,8 +697,8 @@ impl Executor<'_> {
                 right,
                 schema,
             } => {
-                let l = self.execute_compiled(left, frame)?;
-                let r = self.execute_compiled(right, frame)?;
+                let l = self.execute_compiled_node(left, frame)?;
+                let r = self.execute_compiled_node(right, frame)?;
                 Ok(physical::cross_product(ops, &l, &r, schema.clone()))
             }
             CompiledPlan::Join {
@@ -650,8 +709,8 @@ impl Executor<'_> {
                 equi_keys,
                 schema,
             } => {
-                let l = self.execute_compiled(left, frame)?;
-                let r = self.execute_compiled(right, frame)?;
+                let l = self.execute_compiled_node(left, frame)?;
+                let r = self.execute_compiled_node(right, frame)?;
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
                 physical::join(
                     ops,
@@ -660,18 +719,9 @@ impl Executor<'_> {
                     schema,
                     *kind,
                     &null_safe,
-                    |lt, i| {
-                        let scope = Frame::new(frame, lt);
-                        self.ceval(&equi_keys[i].left, Some(&scope))
-                    },
-                    |rt, i| {
-                        let scope = Frame::new(frame, rt);
-                        self.ceval(&equi_keys[i].right, Some(&scope))
-                    },
-                    |joined| {
-                        let scope = Frame::new(frame, joined);
-                        Ok(self.ceval(condition, Some(&scope))?.as_truth().is_true())
-                    },
+                    |batch, i, col| self.expr_batch(&equi_keys[i].left, batch, frame, col),
+                    |batch, i, col| self.expr_batch(&equi_keys[i].right, batch, frame, col),
+                    |batch, out| self.predicate_batch(condition, batch, frame, out),
                 )
             }
             CompiledPlan::Aggregate {
@@ -680,7 +730,7 @@ impl Executor<'_> {
                 aggregates,
                 schema,
             } => {
-                let child = self.execute_compiled(input, frame)?;
+                let child = self.execute_compiled_node(input, frame)?;
                 let specs: Vec<AggSpec> = aggregates
                     .iter()
                     .map(|a| AggSpec {
@@ -695,14 +745,16 @@ impl Executor<'_> {
                     schema.clone(),
                     group_by.len(),
                     &specs,
-                    |tuple, i| {
-                        let scope = Frame::new(frame, tuple);
-                        self.ceval(&group_by[i], Some(&scope))
-                    },
-                    |tuple, i| {
-                        let scope = Frame::new(frame, tuple);
-                        let arg = aggregates[i].arg.as_ref().expect("spec has_arg");
-                        self.ceval(arg, Some(&scope))
+                    |batch, group_cols, agg_cols| {
+                        for (expr, col) in group_by.iter().zip(group_cols.iter_mut()) {
+                            self.expr_batch(expr, batch, frame, col)?;
+                        }
+                        for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
+                            if let Some(arg) = &a.arg {
+                                self.expr_batch(arg, batch, frame, col)?;
+                            }
+                        }
+                        Ok(())
                     },
                 )
             }
@@ -713,27 +765,426 @@ impl Executor<'_> {
                 right,
                 ..
             } => {
-                let l = self.execute_compiled(left, frame)?;
-                let r = self.execute_compiled(right, frame)?;
+                let l = self.execute_compiled_node(left, frame)?;
+                let r = self.execute_compiled_node(right, frame)?;
                 physical::set_op(ops, *op, *all, &l, &r)
             }
             CompiledPlan::Sort { input, keys, .. } => {
-                let child = self.execute_compiled(input, frame)?;
+                let child = self.execute_compiled_node(input, frame)?;
                 let ascending: Vec<bool> = keys.iter().map(|k| k.ascending).collect();
-                physical::sort(ops, child, &ascending, |tuple| {
-                    let scope = Frame::new(frame, tuple);
-                    let mut key_values = Vec::with_capacity(keys.len());
-                    for k in keys {
-                        key_values.push(self.ceval(&k.expr, Some(&scope))?);
+                physical::sort(ops, child, &ascending, |batch, cols| {
+                    for (k, col) in keys.iter().zip(cols.iter_mut()) {
+                        self.expr_batch(&k.expr, batch, frame, col)?;
                     }
-                    Ok(key_values)
+                    Ok(())
                 })
             }
             CompiledPlan::Limit { input, limit, .. } => {
-                let child = self.execute_compiled(input, frame)?;
+                // Eager truncation: the cursor routing for a *top-level*
+                // LIMIT lives in `execute_compiled` alone, so a limit
+                // nested under an operator or inside a sublink plan
+                // evaluates its whole input exactly like the interpreter.
+                let child = self.execute_compiled_node(input, frame)?;
                 physical::limit(ops, child, *limit)
             }
         }
+    }
+
+    /// The vectorized projection core, shared by the materialising driver
+    /// and the streaming cursor: every item is evaluated vectorized into a
+    /// column, and the columns are transposed into output rows
+    /// (`with_capacity` + push — fallible `collect` grows by realloc).
+    /// Appends nothing on error: all columns are fully evaluated before
+    /// the first row is emitted, which is what lets the cursor replay a
+    /// failing batch per tuple without deduplicating output.
+    pub(crate) fn project_rows_vectorized(
+        &self,
+        items: &[CompiledExpr],
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(items.len());
+        for item in items {
+            let mut col = Vec::with_capacity(batch.len());
+            self.ceval_batch(item, batch, outer, &mut col)?;
+            columns.push(col);
+        }
+        let mut column_iters: Vec<_> = columns.into_iter().map(Vec::into_iter).collect();
+        for _ in 0..batch.len() {
+            let mut row = Vec::with_capacity(items.len());
+            for it in column_iters.iter_mut() {
+                row.push(
+                    it.next()
+                        .expect("evaluator produced one value per live row"),
+                );
+            }
+            out.push(Tuple::new(row));
+        }
+        Ok(())
+    }
+
+    /// The vectorized predicate core, shared by the materialising driver
+    /// and the streaming cursor: one three-valued-TRUE verdict per live
+    /// row. Appends nothing on error.
+    pub(crate) fn predicate_truths_vectorized(
+        &self,
+        predicate: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<bool>,
+    ) -> Result<()> {
+        let mut values = Vec::with_capacity(batch.len());
+        self.ceval_batch(predicate, batch, outer, &mut values)?;
+        for v in values {
+            out.push(v.as_truth().is_true());
+        }
+        Ok(())
+    }
+
+    /// Projection over one batch for the compiled driver: vectorized, or
+    /// the classic per-tuple loop when batching is disabled.
+    fn project_batch(
+        &self,
+        items: &[CompiledExpr],
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        if !self.batch_enabled.get() {
+            for tuple in batch.iter() {
+                let scope = Frame::new(outer, tuple);
+                let mut row = Vec::with_capacity(items.len());
+                for item in items {
+                    row.push(self.ceval(item, Some(&scope))?);
+                }
+                out.push(Tuple::new(row));
+            }
+            return Ok(());
+        }
+        self.project_rows_vectorized(items, batch, outer, out)
+    }
+
+    /// Predicate over one batch for the compiled driver: one three-valued
+    /// TRUE verdict per live row.
+    fn predicate_batch(
+        &self,
+        predicate: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<bool>,
+    ) -> Result<()> {
+        if !self.batch_enabled.get() {
+            for tuple in batch.iter() {
+                let scope = Frame::new(outer, tuple);
+                out.push(self.ceval(predicate, Some(&scope))?.as_truth().is_true());
+            }
+            return Ok(());
+        }
+        self.predicate_truths_vectorized(predicate, batch, outer, out)
+    }
+
+    /// A single expression over one batch for the compiled driver (join
+    /// keys, sort keys): one value per live row.
+    fn expr_batch(
+        &self,
+        expr: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        if !self.batch_enabled.get() {
+            for tuple in batch.iter() {
+                let scope = Frame::new(outer, tuple);
+                out.push(self.ceval(expr, Some(&scope))?);
+            }
+            return Ok(());
+        }
+        self.ceval_batch(expr, batch, outer, out)
+    }
+
+    /// Evaluates a compiled expression **vectorized** over every live row
+    /// of a batch, appending one value per live row in selection order —
+    /// one dispatch per expression node per batch instead of per tuple.
+    ///
+    /// Semantics are identical to evaluating [`Executor::ceval`] row by
+    /// row, because evaluation follows the selection:
+    ///
+    /// * `AND`/`OR` evaluate their right operand only over the sub-selection
+    ///   of rows the left operand did not decide, so a FALSE left conjunct
+    ///   still shields an unresolvable (or otherwise failing) right conjunct
+    ///   for exactly the rows it shields per tuple;
+    /// * `CASE` branches narrow the selection the same way — a row that took
+    ///   an earlier branch never evaluates a later condition;
+    /// * an empty selection evaluates nothing, so deferred errors behind it
+    ///   are never raised;
+    /// * sublink-bearing subtrees fall back to the per-tuple evaluator row
+    ///   by row (see the `Sublink` arm of `ceval_cols`), leaving the
+    ///   parameterized sublink memo and the
+    ///   [`Executor::execute_memoized_sublink`] seam untouched.
+    ///
+    /// The only observable difference is *which* of several pending errors
+    /// surfaces first (per-tuple evaluation is row-major, vectorized
+    /// evaluation is expression-major): the set of evaluated (row,
+    /// subexpression) pairs — and hence whether an error occurs at all — is
+    /// identical.
+    pub(crate) fn ceval_batch(
+        &self,
+        expr: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.batches_vectorized
+            .set(self.batches_vectorized.get() + 1);
+        self.ceval_cols(expr, batch, outer, out)
+    }
+
+    /// The recursive body of [`Executor::ceval_batch`]: exactly
+    /// `batch.len()` values are appended to `out`, aligned with the live
+    /// selection. Sub-selections (undecided `AND`/`OR` rows, `CASE` branch
+    /// takers) recurse through [`Batch::with_selection`] over the same row
+    /// block.
+    fn ceval_cols(
+        &self,
+        expr: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(());
+        }
+        match expr {
+            CompiledExpr::Slot(slot) => {
+                if slot.depth == 0 {
+                    for i in 0..n {
+                        out.push(batch.row(i).get(slot.index).clone());
+                    }
+                } else {
+                    // An outer-scope slot is constant across the batch: the
+                    // evaluation scope of row `t` is `Frame::new(outer, t)`,
+                    // so depth `d > 0` resolves in the outer chain at
+                    // `d - 1` regardless of `t`.
+                    match outer {
+                        Some(frame) => {
+                            let v = frame.get(Slot {
+                                depth: slot.depth - 1,
+                                index: slot.index,
+                            });
+                            for _ in 0..n {
+                                out.push(v.clone());
+                            }
+                        }
+                        None => {
+                            return Err(ExecError::Storage(StorageError::UnknownAttribute(
+                                "<compiled slot without scope>".into(),
+                            )))
+                        }
+                    }
+                }
+            }
+            CompiledExpr::Unresolved { name, ambiguous } => {
+                return Err(ExecError::Storage(if *ambiguous {
+                    StorageError::AmbiguousAttribute(name.clone())
+                } else {
+                    StorageError::UnknownAttribute(name.clone())
+                }))
+            }
+            CompiledExpr::Literal(v) => {
+                for _ in 0..n {
+                    out.push(v.clone());
+                }
+            }
+            CompiledExpr::Param(index) => {
+                let v = self.param_value(*index)?;
+                for _ in 0..n {
+                    out.push(v.clone());
+                }
+            }
+            CompiledExpr::Binary { op, left, right }
+                if matches!(op, BinaryOp::And | BinaryOp::Or) =>
+            {
+                self.ceval_logic_cols(*op, left, right, batch, outer, out)?;
+            }
+            CompiledExpr::Binary { op, left, right } => {
+                let mut lvals = Vec::with_capacity(n);
+                self.ceval_cols(left, batch, outer, &mut lvals)?;
+                let mut rvals = Vec::with_capacity(n);
+                self.ceval_cols(right, batch, outer, &mut rvals)?;
+                for (l, r) in lvals.iter().zip(&rvals) {
+                    out.push(apply_binary_scalar(*op, l, r)?);
+                }
+            }
+            CompiledExpr::Unary { op, expr } => {
+                let mut vals = Vec::with_capacity(n);
+                self.ceval_cols(expr, batch, outer, &mut vals)?;
+                for v in vals {
+                    out.push(apply_unary(*op, v)?);
+                }
+            }
+            CompiledExpr::Func { name, args } => {
+                let mut cols: Vec<Vec<Value>> = Vec::with_capacity(args.len());
+                for a in args {
+                    let mut col = Vec::with_capacity(n);
+                    self.ceval_cols(a, batch, outer, &mut col)?;
+                    cols.push(col);
+                }
+                let mut scratch: Vec<Value> = Vec::with_capacity(args.len());
+                for i in 0..n {
+                    scratch.clear();
+                    for col in cols.iter_mut() {
+                        // Move, don't clone: each column cell is consumed
+                        // exactly once.
+                        scratch.push(std::mem::replace(&mut col[i], Value::Null));
+                    }
+                    out.push(crate::eval::apply_func(*name, &scratch)?);
+                }
+            }
+            CompiledExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut result: Vec<Option<Value>> = vec![None; n];
+                let mut remaining_rows: Vec<usize> = (0..n).map(|i| batch.row_index(i)).collect();
+                let mut remaining_pos: Vec<usize> = (0..n).collect();
+                for (cond, branch_value) in branches {
+                    if remaining_rows.is_empty() {
+                        break;
+                    }
+                    let mut cvals = Vec::with_capacity(remaining_rows.len());
+                    self.ceval_cols(
+                        cond,
+                        &Batch::with_selection(batch.rows(), &remaining_rows),
+                        outer,
+                        &mut cvals,
+                    )?;
+                    let mut take_rows = Vec::new();
+                    let mut take_pos = Vec::new();
+                    let mut keep_rows = Vec::new();
+                    let mut keep_pos = Vec::new();
+                    for (k, c) in cvals.iter().enumerate() {
+                        if c.as_truth().is_true() {
+                            take_rows.push(remaining_rows[k]);
+                            take_pos.push(remaining_pos[k]);
+                        } else {
+                            keep_rows.push(remaining_rows[k]);
+                            keep_pos.push(remaining_pos[k]);
+                        }
+                    }
+                    let mut tvals = Vec::with_capacity(take_rows.len());
+                    self.ceval_cols(
+                        branch_value,
+                        &Batch::with_selection(batch.rows(), &take_rows),
+                        outer,
+                        &mut tvals,
+                    )?;
+                    for (p, v) in take_pos.into_iter().zip(tvals) {
+                        result[p] = Some(v);
+                    }
+                    remaining_rows = keep_rows;
+                    remaining_pos = keep_pos;
+                }
+                if !remaining_rows.is_empty() {
+                    match else_expr {
+                        Some(e) => {
+                            let mut evals = Vec::with_capacity(remaining_rows.len());
+                            self.ceval_cols(
+                                e,
+                                &Batch::with_selection(batch.rows(), &remaining_rows),
+                                outer,
+                                &mut evals,
+                            )?;
+                            for (p, v) in remaining_pos.into_iter().zip(evals) {
+                                result[p] = Some(v);
+                            }
+                        }
+                        None => {
+                            for p in remaining_pos {
+                                result[p] = Some(Value::Null);
+                            }
+                        }
+                    }
+                }
+                for v in result {
+                    out.push(v.expect("every live row took a branch or the else"));
+                }
+            }
+            CompiledExpr::Sublink(sublink) => {
+                // Per-tuple fallback: sublink evaluation goes through the
+                // parameterized memo (and, for ANY/ALL, the verdict memo)
+                // exactly as in tuple-at-a-time execution.
+                for i in 0..n {
+                    let scope = Frame::new(outer, batch.row(i));
+                    out.push(self.ceval_sublink(sublink, Some(&scope))?);
+                }
+                self.batch_fallback_rows
+                    .set(self.batch_fallback_rows.get() + n as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Vectorized `AND`/`OR`: the right operand is evaluated only over the
+    /// sub-selection of rows the left operand left undecided, preserving
+    /// per-row short-circuit semantics (a FALSE left conjunct shields a
+    /// failing right conjunct for its rows and no others).
+    fn ceval_logic_cols(
+        &self,
+        op: BinaryOp,
+        left: &CompiledExpr,
+        right: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        let n = batch.len();
+        let mut lvals = Vec::with_capacity(n);
+        self.ceval_cols(left, batch, outer, &mut lvals)?;
+        let mut ltruths: Vec<Truth> = Vec::with_capacity(n);
+        let mut need_rows: Vec<usize> = Vec::new();
+        let mut need_pos: Vec<usize> = Vec::new();
+        for (i, l) in lvals.iter().enumerate() {
+            let t = l.as_truth();
+            let decided = (op == BinaryOp::And && t == Truth::False)
+                || (op == BinaryOp::Or && t == Truth::True);
+            if !decided {
+                need_rows.push(batch.row_index(i));
+                need_pos.push(i);
+            }
+            ltruths.push(t);
+        }
+        let mut rvals = Vec::with_capacity(need_rows.len());
+        self.ceval_cols(
+            right,
+            &Batch::with_selection(batch.rows(), &need_rows),
+            outer,
+            &mut rvals,
+        )?;
+        let mut right_iter = rvals.into_iter();
+        let mut pos_iter = need_pos.into_iter().peekable();
+        for (i, l) in ltruths.into_iter().enumerate() {
+            let truth = if pos_iter.peek() == Some(&i) {
+                pos_iter.next();
+                let r = right_iter
+                    .next()
+                    .expect("one right value per undecided row")
+                    .as_truth();
+                if op == BinaryOp::And {
+                    l.and(r)
+                } else {
+                    l.or(r)
+                }
+            } else {
+                l
+            };
+            out.push(truth.to_value());
+        }
+        Ok(())
     }
 
     /// Evaluates a compiled expression.
@@ -757,17 +1208,7 @@ impl Executor<'_> {
             CompiledExpr::Binary { op, left, right } => self.ceval_binary(*op, left, right, frame),
             CompiledExpr::Unary { op, expr } => {
                 let v = self.ceval(expr, frame)?;
-                Ok(match op {
-                    UnaryOp::Not => v.as_truth().not().to_value(),
-                    UnaryOp::Neg => match v {
-                        Value::Null => Value::Null,
-                        Value::Int(i) => Value::Int(-i),
-                        Value::Float(f) => Value::Float(-f),
-                        _ => return Err(ExecError::Type("cannot negate non-number".into())),
-                    },
-                    UnaryOp::IsNull => Value::Bool(v.is_null()),
-                    UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
-                })
+                apply_unary(*op, v)
             }
             CompiledExpr::Func { name, args } => {
                 let values: Vec<Value> = args
@@ -823,20 +1264,7 @@ impl Executor<'_> {
 
         let l = self.ceval(left, frame)?;
         let r = self.ceval(right, frame)?;
-        match op {
-            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
-                arithmetic(op, &l, &r)
-            }
-            BinaryOp::Cmp(cmp_op) => Ok(compare(cmp_op, &l, &r).to_value()),
-            BinaryOp::NullSafeEq => Ok(Value::Bool(l.null_safe_eq(&r))),
-            BinaryOp::Like => Ok(functions::sql_like(&l, &r).to_value()),
-            BinaryOp::NotLike => Ok(functions::sql_like(&l, &r).not().to_value()),
-            BinaryOp::Concat => match (&l, &r) {
-                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                _ => Ok(Value::Str(format!("{l}{r}"))),
-            },
-            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
-        }
+        apply_binary_scalar(op, &l, &r)
     }
 
     fn ceval_sublink(&self, sublink: &CompiledSublink, frame: Option<&Frame<'_>>) -> Result<Value> {
@@ -980,7 +1408,7 @@ impl Executor<'_> {
                 return Ok(hit);
             }
         }
-        let result = Arc::new(self.execute_compiled(&sublink.plan, frame)?);
+        let result = Arc::new(self.execute_compiled_node(&sublink.plan, frame)?);
         if let Some(k) = key {
             match &self.shared_memo {
                 Some(shared) => shared.insert_result(k, Arc::clone(&result)),

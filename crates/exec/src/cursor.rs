@@ -1,26 +1,44 @@
-//! Pull-based streaming execution: a [`Rows`] cursor over a compiled plan.
+//! Pull-based streaming execution: a [`Rows`] cursor over a compiled plan,
+//! pulling **batches** instead of single tuples.
 //!
 //! [`Executor::open`] walks the *top spine* of a [`CompiledPlan`] and builds
 //! a cursor that yields tuples on demand instead of materialising the full
 //! result. The spine operators — `LIMIT`, non-distinct projection, selection
-//! and base-table scans — stream tuple by tuple; every other operator
-//! (joins, aggregation, sorting, set operations, `DISTINCT`) is a pipeline
-//! breaker and is materialised through the shared
-//! [`Executor::execute_compiled`] path the moment the cursor is opened.
+//! and base-table scans — stream **batch by batch** (predicates and
+//! projection items are evaluated vectorized over each pulled batch, see
+//! `Executor::ceval_batch`); every other operator (joins, aggregation,
+//! sorting, set operations, `DISTINCT`) is a pipeline breaker and is
+//! materialised through the shared [`Executor::execute_compiled`] path the
+//! moment the cursor is opened.
 //!
-//! The payoff is the classic serving pattern: a `LIMIT k` query over a
-//! streamable spine evaluates its projection and selection expressions for
-//! only as many input tuples as it takes to produce `k` output tuples,
-//! instead of paying for the whole input first. Sublinks inside streamed
-//! predicates go through the same parameterized sublink memo as
-//! materialised execution, so correlated work is still shared across the
-//! tuples that *are* pulled.
+//! Batching does not weaken the cursor's laziness guarantee: every pull
+//! requests **at most as many rows as its consumer still needs**, so a
+//! `LIMIT k` query over a streamable spine evaluates its projection and
+//! selection expressions for exactly the input prefix a tuple-at-a-time
+//! pull would have touched — the spine stops at the `k`-th surviving row
+//! and the tail is never evaluated. (A selection that needs `k` more
+//! survivors pulls its input in chunks of `k`: the last chunk fills the
+//! quota only if *all* its rows survive, so the evaluated prefix ends at
+//! the `k`-th survivor in every case.) The [`Rows`] iterator itself
+//! refills geometrically — 1, 2, 4, … up to [`BATCH_ROWS`] rows per pull
+//! — so a consumer that abandons the stream early has paid for at most
+//! about twice the rows it consumed, while a full drain amortises to
+//! batch-sized pulls. Sublinks inside streamed predicates go through the
+//! same parameterized sublink memo as materialised execution, so
+//! correlated work is still shared across the tuples that *are* pulled.
+//!
+//! Error positions are preserved too: when a vectorized batch evaluation
+//! fails, the failing operator replays the batch per tuple, emits the rows
+//! a tuple-at-a-time cursor would have yielded before the error, and
+//! surfaces the same error after them ([`Rows`] buffers the prefix and is
+//! fused once the error is returned).
 //!
 //! A cursor captures the executor's bound parameter vector when it is
-//! opened and re-asserts it on every pull, so interleaved executions on the
-//! same executor (with different `$n` bindings) cannot corrupt an open
-//! stream.
+//! opened and re-asserts it on every batch refill, so interleaved
+//! executions on the same executor (with different `$n` bindings) cannot
+//! corrupt an open stream.
 
+use crate::batch::{Batch, BATCH_ROWS};
 use crate::compile::{CompiledExpr, CompiledPlan, Frame};
 use crate::executor::Executor;
 use crate::Result;
@@ -32,10 +50,20 @@ use std::rc::Rc;
 /// After the first error the cursor is fused and yields `None` forever.
 pub struct Rows<'e, 'a> {
     executor: &'e Executor<'a>,
-    /// The parameter binding captured at open time, re-asserted per pull.
+    /// The parameter binding captured at open time, re-asserted per refill.
     params: Rc<[Value]>,
     schema: Schema,
     node: Node<'e>,
+    /// Output rows buffered from the last batch refill.
+    buffered: std::vec::IntoIter<Tuple>,
+    /// An error encountered during the last refill, yielded after the rows
+    /// that precede it.
+    pending_error: Option<crate::ExecError>,
+    /// Rows requested by the next refill: starts at 1 and doubles up to
+    /// [`BATCH_ROWS`], so a consumer that stops after a few rows has paid
+    /// for at most about twice what it consumed while a full drain still
+    /// amortises to batch-sized pulls.
+    next_want: usize,
     done: bool,
 }
 
@@ -43,8 +71,8 @@ pub struct Rows<'e, 'a> {
 enum Node<'e> {
     /// A pipeline breaker, fully materialised at open time.
     Materialized(std::vec::IntoIter<Tuple>),
-    /// Base-table scan, cloned tuple by tuple as pulled.
-    Scan(std::slice::Iter<'e, Tuple>),
+    /// Base-table scan, cloned batch by batch as pulled.
+    Scan { tuples: &'e [Tuple], pos: usize },
     /// Streaming selection.
     Select {
         input: Box<Node<'e>>,
@@ -63,6 +91,24 @@ enum Node<'e> {
     },
 }
 
+/// `true` when the operator streams lazily in this module's spine (scan,
+/// selection, non-distinct projection, limit) — the shapes for which
+/// routing a top-level `LIMIT` through the cursor skips real tail work.
+/// This predicate and `open_node` below are the two sides of one
+/// definition: a shape streams lazily here **iff** `open_node` gives it a
+/// streaming node instead of materialising it (pinned by
+/// `streams_lazily_agrees_with_open_node`). Keep them in lockstep when
+/// adding spine shapes.
+pub(crate) fn streams_lazily(plan: &CompiledPlan) -> bool {
+    match plan {
+        CompiledPlan::Scan { .. } | CompiledPlan::Select { .. } | CompiledPlan::Limit { .. } => {
+            true
+        }
+        CompiledPlan::Project { distinct, .. } => !*distinct,
+        _ => false,
+    }
+}
+
 impl<'a> Executor<'a> {
     /// Opens a streaming cursor over a compiled top-level plan. Streamable
     /// spine operators are counted on [`Executor::operators_evaluated`] once
@@ -76,6 +122,9 @@ impl<'a> Executor<'a> {
             params: self.params_rc(),
             schema: plan.schema().clone(),
             node,
+            buffered: Vec::new().into_iter(),
+            pending_error: None,
+            next_want: 1,
             done: false,
         })
     }
@@ -113,10 +162,13 @@ impl<'a> Executor<'a> {
             }
             CompiledPlan::Scan { table, .. } => {
                 count();
-                Node::Scan(self.database().table(table)?.tuples().iter())
+                Node::Scan {
+                    tuples: self.database().table(table)?.tuples(),
+                    pos: 0,
+                }
             }
             breaker => Node::Materialized(
-                self.execute_compiled(breaker, None)?
+                self.execute_compiled_node(breaker, None)?
                     .into_tuples()
                     .into_iter(),
             ),
@@ -144,80 +196,195 @@ impl Iterator for Rows<'_, '_> {
     type Item = Result<Tuple>;
 
     fn next(&mut self) -> Option<Result<Tuple>> {
-        if self.done {
-            return None;
-        }
-        // Another execution on the same executor may have re-bound the
-        // parameter vector between pulls; re-assert this cursor's snapshot.
-        self.executor.rebind_params(&self.params);
-        match advance(&mut self.node, self.executor) {
-            Ok(Some(tuple)) => Some(Ok(tuple)),
-            Ok(None) => {
-                self.done = true;
-                None
+        loop {
+            if let Some(tuple) = self.buffered.next() {
+                return Some(Ok(tuple));
             }
-            Err(e) => {
+            if let Some(e) = self.pending_error.take() {
                 self.done = true;
-                Some(Err(e))
+                return Some(Err(e));
             }
+            if self.done {
+                return None;
+            }
+            // Refill a batch. Another execution on the same executor may
+            // have re-bound the parameter vector between pulls; re-assert
+            // this cursor's snapshot once per refill.
+            self.executor.rebind_params(&self.params);
+            let want = self.next_want;
+            self.next_want = (want * 2).min(BATCH_ROWS);
+            let mut batch = Vec::with_capacity(want);
+            match fill(&mut self.node, self.executor, want, &mut batch) {
+                Ok(more) => {
+                    if !more {
+                        self.done = true;
+                    }
+                }
+                Err(e) => {
+                    // `batch` holds exactly the rows a per-tuple pull would
+                    // have yielded before this error.
+                    self.pending_error = Some(e);
+                }
+            }
+            self.buffered = batch.into_iter();
         }
     }
 }
 
-fn advance(node: &mut Node<'_>, ex: &Executor<'_>) -> Result<Option<Tuple>> {
+/// Appends up to `want` output tuples of `node` to `out`. Returns `false`
+/// when the node is exhausted (no further pull can produce rows). On `Err`,
+/// the tuples already appended to `out` are exactly those a tuple-at-a-time
+/// evaluation would have yielded before the error.
+fn fill(node: &mut Node<'_>, ex: &Executor<'_>, want: usize, out: &mut Vec<Tuple>) -> Result<bool> {
+    if want == 0 {
+        return Ok(true);
+    }
     match node {
-        Node::Materialized(tuples) => Ok(tuples.next()),
-        Node::Scan(tuples) => Ok(tuples.next().cloned()),
-        Node::Select { input, predicate } => loop {
-            let Some(tuple) = advance(input, ex)? else {
-                return Ok(None);
-            };
-            let frame = Frame::new(None, &tuple);
-            if ex.ceval(predicate, Some(&frame))?.as_truth().is_true() {
-                return Ok(Some(tuple));
+        Node::Materialized(tuples) => {
+            for _ in 0..want {
+                match tuples.next() {
+                    Some(t) => out.push(t),
+                    None => return Ok(false),
+                }
             }
-        },
+            Ok(true)
+        }
+        Node::Scan { tuples, pos } => {
+            let n = want.min(tuples.len() - *pos);
+            out.extend(tuples[*pos..*pos + n].iter().cloned());
+            *pos += n;
+            Ok(*pos < tuples.len())
+        }
+        Node::Select { input, predicate } => {
+            // Pull the input in chunks of exactly the number of survivors
+            // still needed: the laziness argument in the module docs relies
+            // on the last chunk filling the quota only when all its rows
+            // survive.
+            let mut needed = want;
+            let mut in_rows: Vec<Tuple> = Vec::new();
+            loop {
+                in_rows.clear();
+                in_rows.reserve(needed);
+                let input_result = fill(input, ex, needed, &mut in_rows);
+                // Survivors of the pulled prefix are emitted before any
+                // input error (per-tuple ordering: the upstream error row
+                // is only reached after these rows flowed through).
+                needed -= select_into(ex, predicate, &mut in_rows, out)?;
+                if !input_result? {
+                    return Ok(false);
+                }
+                if needed == 0 {
+                    return Ok(true);
+                }
+            }
+        }
         Node::Project { input, items } => {
-            let Some(tuple) = advance(input, ex)? else {
-                return Ok(None);
-            };
-            let frame = Frame::new(None, &tuple);
-            let mut row = Vec::with_capacity(items.len());
-            for item in items.iter() {
-                row.push(ex.ceval(item, Some(&frame))?);
-            }
-            Ok(Some(Tuple::new(row)))
+            let mut in_rows: Vec<Tuple> = Vec::with_capacity(want);
+            let input_result = fill(input, ex, want, &mut in_rows);
+            project_into(ex, items, &in_rows, out)?;
+            input_result
         }
         Node::Limit { input, remaining } => {
             if *remaining == 0 {
-                return Ok(None);
+                return Ok(false);
             }
-            match advance(input, ex)? {
-                Some(tuple) => {
-                    *remaining -= 1;
-                    Ok(Some(tuple))
-                }
-                None => {
-                    *remaining = 0;
-                    Ok(None)
-                }
-            }
+            let before = out.len();
+            let more = fill(input, ex, want.min(*remaining), out)?;
+            *remaining -= out.len() - before;
+            Ok(more && *remaining > 0)
         }
     }
+}
+
+/// Filters `in_rows` through `predicate` (vectorized), moving survivors to
+/// `out` in order; returns the survivor count. On a vectorized error the
+/// batch is replayed per tuple so the survivors preceding the error are
+/// emitted and the error per-tuple evaluation raises first is returned.
+/// With batching disabled on the executor, the per-tuple path runs
+/// directly — the streamed path honours `Executor::with_batching` exactly
+/// like the materialising one.
+fn select_into(
+    ex: &Executor<'_>,
+    predicate: &CompiledExpr,
+    in_rows: &mut [Tuple],
+    out: &mut Vec<Tuple>,
+) -> Result<usize> {
+    if ex.batching_enabled() {
+        let mut truths = Vec::with_capacity(in_rows.len());
+        if ex
+            .predicate_truths_vectorized(predicate, &Batch::dense(in_rows), None, &mut truths)
+            .is_ok()
+        {
+            let mut survivors = 0;
+            for (idx, keep) in truths.iter().enumerate() {
+                if *keep {
+                    out.push(std::mem::take(&mut in_rows[idx]));
+                    survivors += 1;
+                }
+            }
+            return Ok(survivors);
+        }
+        // Fall through: replay per tuple for exact row/error ordering (the
+        // error set is identical; only precedence can differ — see
+        // `Executor::ceval_batch`).
+    }
+    let mut survivors = 0;
+    for row in in_rows.iter_mut() {
+        let frame = Frame::new(None, row);
+        if ex.ceval(predicate, Some(&frame))?.as_truth().is_true() {
+            out.push(std::mem::take(row));
+            survivors += 1;
+        }
+    }
+    Ok(survivors)
+}
+
+/// Projects `in_rows` through `items` (vectorized, transposing the value
+/// columns into rows), appending one tuple per input row. On a vectorized
+/// error the batch is replayed per tuple, appending the rows that precede
+/// the error before returning it; with batching disabled the per-tuple
+/// path runs directly.
+fn project_into(
+    ex: &Executor<'_>,
+    items: &[CompiledExpr],
+    in_rows: &[Tuple],
+    out: &mut Vec<Tuple>,
+) -> Result<()> {
+    if in_rows.is_empty() {
+        return Ok(());
+    }
+    if ex.batching_enabled()
+        && ex
+            .project_rows_vectorized(items, &Batch::dense(in_rows), None, out)
+            .is_ok()
+    {
+        // The shared core appends nothing on error, so falling through to
+        // the per-tuple replay below never duplicates output rows.
+        return Ok(());
+    }
+    for tuple in in_rows {
+        let frame = Frame::new(None, tuple);
+        let mut row = Vec::with_capacity(items.len());
+        for item in items {
+            row.push(ex.ceval(item, Some(&frame))?);
+        }
+        out.push(Tuple::new(row));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ExecError;
-    use perm_algebra::builder::{cmp, col, eq, lit, PlanBuilder};
+    use perm_algebra::builder::{cmp, col, eq, lit, qcol, PlanBuilder};
     use perm_algebra::CompareOp;
     use perm_algebra::{Expr, ProjectItem};
     use perm_storage::{Database, Schema, Value};
 
     fn db_with_poisoned_tail() -> Database {
         // Row 0 passes the predicate cleanly; row 2 would divide by zero.
-        // A lazy LIMIT 1 never reaches it; eager execution must fail.
+        // A lazy LIMIT 1 never reaches it; unlimited execution must fail.
         let mut db = Database::new();
         db.create_table(
             "t",
@@ -257,14 +424,8 @@ mod tests {
         let plan = limited_query(&db, 2);
         let ex = Executor::new(&db);
 
-        // Eager execution reaches the poisoned row and fails...
-        assert!(matches!(
-            Executor::new(&db).execute(&plan),
-            Err(ExecError::DivisionByZero)
-        ));
-
-        // ...while the cursor yields the two requested tuples and stops
-        // before the poisoned third row is ever evaluated.
+        // The cursor yields the two requested tuples and stops before the
+        // poisoned third row is ever evaluated.
         let compiled = ex.prepare(&plan).unwrap();
         let rows: Vec<Tuple> = ex
             .open(&compiled)
@@ -274,6 +435,172 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(0), &Value::Int(5));
         assert_eq!(rows[1].get(0), &Value::Int(7));
+
+        // The materialising path routes a top-level LIMIT over a streamable
+        // spine through the same machinery, so `execute` matches `Rows` and
+        // never evaluates the tail either...
+        let eager = Executor::new(&db).execute(&plan).unwrap();
+        assert_eq!(eager.len(), 2);
+
+        // ...while the reference interpreter (and any un-limited execution)
+        // still evaluates every row and fails on the poisoned one.
+        assert!(matches!(
+            Executor::new(&db).execute_unoptimized(&plan),
+            Err(ExecError::DivisionByZero)
+        ));
+        let unlimited = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(cmp(
+                CompareOp::Gt,
+                Expr::Binary {
+                    op: perm_algebra::BinaryOp::Div,
+                    left: Box::new(lit(10)),
+                    right: Box::new(col("x")),
+                },
+                lit(0),
+            ))
+            .project(vec![ProjectItem::column("x")])
+            .build();
+        assert!(matches!(
+            Executor::new(&db).execute(&unlimited),
+            Err(ExecError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn streams_lazily_agrees_with_open_node() {
+        // The LIMIT-routing predicate and the cursor's spine construction
+        // must share one notion of "streams lazily": a shape streams iff
+        // `open_node` gives it a non-materialised node. Check every plan
+        // shape the compiler can produce.
+        let db = db_with_poisoned_tail();
+        let scan = PlanBuilder::scan(&db, "t").unwrap().build();
+        let shapes: Vec<perm_algebra::Plan> = vec![
+            scan.clone(),
+            PlanBuilder::from_plan(scan.clone())
+                .select(eq(col("x"), lit(5)))
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .project(vec![ProjectItem::column("x")])
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .project_distinct(vec![ProjectItem::column("x")])
+                .build(),
+            PlanBuilder::from_plan(scan.clone()).limit(2).build(),
+            PlanBuilder::from_plan(scan.clone())
+                .sort(vec![perm_algebra::SortKey::asc(col("x"))])
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .aggregate(vec![], vec![perm_algebra::builder::count_star("n")])
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .cross(PlanBuilder::scan_as(&db, "t", Some("c")).unwrap().build())
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .join(
+                    PlanBuilder::scan_as(&db, "t", Some("o")).unwrap().build(),
+                    eq(qcol("t", "x"), qcol("o", "x")),
+                )
+                .build(),
+            PlanBuilder::from_plan(scan.clone())
+                .set_op(perm_algebra::SetOpKind::Union, true, scan.clone())
+                .build(),
+        ];
+        let ex = Executor::new(&db);
+        for plan in &shapes {
+            let compiled = ex.prepare(plan).unwrap();
+            let node = ex.open_node(&compiled).unwrap();
+            let streams = !matches!(node, Node::Materialized(_));
+            assert_eq!(
+                streams_lazily(&compiled),
+                streams,
+                "routing predicate and open_node disagree on {compiled:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_nested_limit_stays_eager_and_matches_the_interpreter() {
+        // Sort(Limit(Select(poisoned))): the LIMIT is nested under a
+        // pipeline breaker, so it must NOT be cursor-routed — the eager
+        // path reaches the poisoned row exactly like the reference
+        // interpreter, keeping Ok/Err agreement across execution modes.
+        let db = db_with_poisoned_tail();
+        let plan = perm_algebra::builder::PlanBuilder::from_plan(limited_query(&db, 2))
+            .sort(vec![perm_algebra::SortKey::asc(col("x"))])
+            .build();
+        assert!(matches!(
+            Executor::new(&db).execute(&plan),
+            Err(ExecError::DivisionByZero)
+        ));
+        assert!(matches!(
+            Executor::new(&db).execute_unoptimized(&plan),
+            Err(ExecError::DivisionByZero)
+        ));
+        // Inside a sublink plan the same rule applies: the correlated-free
+        // LIMIT executes eagerly (frame-less, but not top-level).
+        let sub = limited_query(&db, 2);
+        let outer = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(perm_algebra::builder::exists_sublink(sub))
+            .build();
+        let compiled = Executor::new(&db).execute(&outer);
+        let interpreted = Executor::new(&db).execute_unoptimized(&outer);
+        assert_eq!(compiled.is_err(), interpreted.is_err());
+    }
+
+    #[test]
+    fn cursor_read_ahead_grows_from_one_row() {
+        // No LIMIT in the plan: the cursor's own refill sizing must still
+        // start at a single row, so a consumer that stops after the first
+        // row never evaluates the poisoned tail.
+        let db = db_with_poisoned_tail();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(cmp(
+                CompareOp::Gt,
+                Expr::Binary {
+                    op: perm_algebra::BinaryOp::Div,
+                    left: Box::new(lit(10)),
+                    right: Box::new(col("x")),
+                },
+                lit(0),
+            ))
+            .project(vec![ProjectItem::column("x")])
+            .build();
+        let ex = Executor::new(&db);
+        let compiled = ex.prepare(&plan).unwrap();
+        let mut rows = ex.open(&compiled).unwrap();
+        let first = rows.next().unwrap().unwrap();
+        assert_eq!(
+            first.get(0),
+            &Value::Int(5),
+            "a full-batch speculative refill would have hit the division by zero instead"
+        );
+    }
+
+    #[test]
+    fn streamed_path_honours_the_batching_toggle() {
+        let db = db_with_poisoned_tail();
+        let plan = limited_query(&db, 2);
+        let ex = Executor::new(&db).with_batching(false);
+        let compiled = ex.prepare(&plan).unwrap();
+        let rows: Vec<Tuple> = ex
+            .open(&compiled)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            ex.batches_vectorized(),
+            0,
+            "with batching disabled the streamed path must dispatch per tuple"
+        );
+        // And `execute`, which routes this LIMIT through the cursor,
+        // respects the toggle the same way.
+        let eager = Executor::new(&db).with_batching(false);
+        assert_eq!(eager.execute(&plan).unwrap().len(), 2);
+        assert_eq!(eager.batches_vectorized(), 0);
     }
 
     #[test]

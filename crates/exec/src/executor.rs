@@ -51,7 +51,7 @@ use crate::physical::{self, AggSpec};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{Expr, Plan, SortKey};
-use perm_storage::{encode_key_typed, Database, Relation, Schema, Truth, Value};
+use perm_storage::{encode_key_typed, Database, Relation, Schema, Truth, Tuple, Value};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -115,6 +115,19 @@ pub struct Executor<'a> {
     /// sublink results (for tests/diagnostics; verdict-memo hits skip the
     /// fold entirely).
     pub(crate) cmp_evaluated: Cell<u64>,
+    /// Whether the compiled driver evaluates expressions *vectorized* over
+    /// whole batches (the default) or per tuple within each batch (the
+    /// measurement baseline of `harness batch`). Results are identical
+    /// either way; only the dispatch granularity differs.
+    pub(crate) batch_enabled: Cell<bool>,
+    /// Number of expression-over-batch evaluations performed by the
+    /// vectorized compiled evaluator (diagnostic; one per expression per
+    /// batch).
+    pub(crate) batches_vectorized: Cell<u64>,
+    /// Rows a vectorized batch evaluation handed back to the per-tuple
+    /// evaluator because their expression subtree carries a sublink (the
+    /// fallback that keeps the parameterized sublink memo seam untouched).
+    pub(crate) batch_fallback_rows: Cell<u64>,
 }
 
 /// Namespace tag of compiled-path memo keys.
@@ -140,7 +153,41 @@ impl<'a> Executor<'a> {
             compile_count: Cell::new(0),
             ops_evaluated: Cell::new(0),
             cmp_evaluated: Cell::new(0),
+            batch_enabled: Cell::new(true),
+            batches_vectorized: Cell::new(0),
+            batch_fallback_rows: Cell::new(0),
         }
+    }
+
+    /// Enables or disables vectorized batch evaluation on the compiled path
+    /// (enabled by default). Disabled, the compiled driver dispatches every
+    /// expression once per tuple within each batch — the pre-batching cost
+    /// profile, kept as the `harness batch` measurement baseline. Results,
+    /// errors and `operators_evaluated` are identical in both modes.
+    pub fn with_batching(self, enabled: bool) -> Executor<'a> {
+        self.batch_enabled.set(enabled);
+        self
+    }
+
+    /// Whether vectorized batch evaluation is enabled on the compiled path
+    /// (see [`Executor::with_batching`]).
+    pub fn batching_enabled(&self) -> bool {
+        self.batch_enabled.get()
+    }
+
+    /// Number of expression-over-batch evaluations performed so far by the
+    /// vectorized compiled evaluator (diagnostic counter; one per
+    /// expression per batch of up to [`crate::BATCH_ROWS`] rows).
+    pub fn batches_vectorized(&self) -> u64 {
+        self.batches_vectorized.get()
+    }
+
+    /// Number of rows vectorized batch evaluation handed back to the
+    /// per-tuple evaluator because their expression subtree carries a
+    /// sublink (diagnostic counter; those rows drive the parameterized
+    /// sublink memo exactly like tuple-at-a-time execution).
+    pub fn batch_fallback_rows(&self) -> u64 {
+        self.batch_fallback_rows.get()
     }
 
     /// Enables or disables the parameterized sublink memos (enabled by
@@ -428,25 +475,31 @@ impl<'a> Executor<'a> {
             } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::project(ops, &child, plan.schema(), *distinct, |tuple| {
-                    let scope = Env::new(env, &child_schema, tuple);
-                    // Explicit loop, not `collect::<Result<_>>()`: the
-                    // fallible-collect machinery reports a zero lower size
-                    // hint and grows the row by realloc — measurably slower
-                    // on projection-heavy plans.
-                    let mut row = Vec::with_capacity(items.len());
-                    for item in items {
-                        row.push(self.eval_expr(&item.expr, Some(&scope))?);
+                physical::project(ops, &child, plan.schema(), *distinct, |batch, out| {
+                    for tuple in batch.iter() {
+                        let scope = Env::new(env, &child_schema, tuple);
+                        // Explicit loop, not `collect::<Result<_>>()`: the
+                        // fallible-collect machinery reports a zero lower
+                        // size hint and grows the row by realloc —
+                        // measurably slower on projection-heavy plans.
+                        let mut row = Vec::with_capacity(items.len());
+                        for item in items {
+                            row.push(self.eval_expr(&item.expr, Some(&scope))?);
+                        }
+                        out.push(Tuple::new(row));
                     }
-                    Ok(row)
+                    Ok(())
                 })
             }
             Plan::Select { input, predicate } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::select(ops, &child, |tuple| {
-                    let scope = Env::new(env, &child_schema, tuple);
-                    Ok(self.eval_predicate(predicate, Some(&scope))?.is_true())
+                physical::select(ops, &child, |batch, out| {
+                    for tuple in batch.iter() {
+                        let scope = Env::new(env, &child_schema, tuple);
+                        out.push(self.eval_predicate(predicate, Some(&scope))?.is_true());
+                    }
+                    Ok(())
                 })
             }
             Plan::CrossProduct { left, right } => {
@@ -483,17 +536,26 @@ impl<'a> Executor<'a> {
                     &out_schema,
                     *kind,
                     &null_safe,
-                    |lt, i| {
-                        let scope = Env::new(env, &l_schema, lt);
-                        self.eval_expr(&equi_keys[i].left, Some(&scope))
+                    |batch, i, col| {
+                        for lt in batch.iter() {
+                            let scope = Env::new(env, &l_schema, lt);
+                            col.push(self.eval_expr(&equi_keys[i].left, Some(&scope))?);
+                        }
+                        Ok(())
                     },
-                    |rt, i| {
-                        let scope = Env::new(env, &r_schema, rt);
-                        self.eval_expr(&equi_keys[i].right, Some(&scope))
+                    |batch, i, col| {
+                        for rt in batch.iter() {
+                            let scope = Env::new(env, &r_schema, rt);
+                            col.push(self.eval_expr(&equi_keys[i].right, Some(&scope))?);
+                        }
+                        Ok(())
                     },
-                    |joined| {
-                        let scope = Env::new(env, &out_schema, joined);
-                        Ok(self.eval_predicate(condition, Some(&scope))?.is_true())
+                    |batch, out| {
+                        for joined in batch.iter() {
+                            let scope = Env::new(env, &out_schema, joined);
+                            out.push(self.eval_predicate(condition, Some(&scope))?.is_true());
+                        }
+                        Ok(())
                     },
                 )
             }
@@ -518,14 +580,19 @@ impl<'a> Executor<'a> {
                     plan.schema(),
                     group_by.len(),
                     &specs,
-                    |tuple, i| {
-                        let scope = Env::new(env, &child_schema, tuple);
-                        self.eval_expr(&group_by[i].expr, Some(&scope))
-                    },
-                    |tuple, i| {
-                        let scope = Env::new(env, &child_schema, tuple);
-                        let arg = aggregates[i].arg.as_ref().expect("spec has_arg");
-                        self.eval_expr(arg, Some(&scope))
+                    |batch, group_cols, agg_cols| {
+                        for tuple in batch.iter() {
+                            let scope = Env::new(env, &child_schema, tuple);
+                            for (g, col) in group_by.iter().zip(group_cols.iter_mut()) {
+                                col.push(self.eval_expr(&g.expr, Some(&scope))?);
+                            }
+                            for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
+                                if let Some(arg) = &a.arg {
+                                    col.push(self.eval_expr(arg, Some(&scope))?);
+                                }
+                            }
+                        }
+                        Ok(())
                     },
                 )
             }
@@ -543,13 +610,14 @@ impl<'a> Executor<'a> {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
                 let ascending: Vec<bool> = keys.iter().map(|k: &SortKey| k.ascending).collect();
-                physical::sort(ops, child, &ascending, |tuple| {
-                    let scope = Env::new(env, &child_schema, tuple);
-                    let mut key_values = Vec::with_capacity(keys.len());
-                    for k in keys {
-                        key_values.push(self.eval_expr(&k.expr, Some(&scope))?);
+                physical::sort(ops, child, &ascending, |batch, cols| {
+                    for tuple in batch.iter() {
+                        let scope = Env::new(env, &child_schema, tuple);
+                        for (k, col) in keys.iter().zip(cols.iter_mut()) {
+                            col.push(self.eval_expr(&k.expr, Some(&scope))?);
+                        }
                     }
-                    Ok(key_values)
+                    Ok(())
                 })
             }
             Plan::Limit { input, limit } => {

@@ -10,22 +10,38 @@
 //! tuples, innermost scope first), exactly as Section 2.2 of the paper
 //! describes the parameterisation of `Tsub`.
 //!
-//! ## Architecture: one physical-operator layer, two drivers
+//! ## Architecture: one batch-at-a-time physical layer, two drivers
 //!
 //! Every operator loop — hash and nested-loop joins (with left-outer NULL
 //! padding), aggregate grouping, sorting, set operations, projection and
-//! selection — is implemented exactly once, in the `physical` module,
-//! parameterized over *tuple-evaluator closures*. Two thin drivers share
-//! those bodies:
+//! selection — is implemented exactly once, in the `physical` module, and
+//! operates **batch-at-a-time**: inputs are processed in [`Batch`]es of up
+//! to [`BATCH_ROWS`] tuples carrying a selection vector (see [`batch`] for
+//! the invariants), so filters mark survivors instead of copying rows and
+//! every expression is dispatched once per batch instead of once per
+//! tuple. The loops are parameterized over *batch-evaluator closures*; two
+//! thin drivers share the bodies:
 //!
 //! * the default path ([`Executor::execute`]) first *compiles* the plan
 //!   ([`compile`]): column references become positional slots and every
-//!   sublink carries its resolved correlation signature; its closures index
-//!   slots through a [`compile::Frame`] chain;
+//!   sublink carries its resolved correlation signature. Its closures
+//!   evaluate each compiled expression **vectorized** over the whole batch
+//!   (one recursive descent per expression per batch, with `AND`/`OR` and
+//!   `CASE` narrowing the selection so per-row short-circuit semantics are
+//!   preserved exactly), falling back to per-tuple evaluation for
+//!   sublink-bearing subtrees so the memo seam is untouched;
 //! * the name-resolving interpreter ([`Executor::execute_unoptimized`]),
 //!   the reference semantics of the equivalence tests and the substrate of
-//!   the tracer in `perm-core`; its closures resolve names through an
-//!   [`Env`] chain, and it recovers correlation signatures at runtime.
+//!   the tracer in `perm-core`; its closures loop over each batch **row by
+//!   row**, resolving names through an [`Env`] chain — the unchanged
+//!   per-tuple semantics batching is differential-tested against — and it
+//!   recovers correlation signatures at runtime.
+//!
+//! Pipeline breakers (aggregation, sorting, set operations, the join build
+//! side) consume batches at their input boundary; the streamable spine
+//! (`scan → select → project → limit`) additionally streams batches lazily
+//! through the [`cursor`] pull path, which a top-level `LIMIT` also uses on
+//! the materialising path so the tail beyond the limit is never evaluated.
 //!
 //! Both drivers feed the same **parameterized sublink memo** — a correlated
 //! sublink runs once per *distinct* binding instead of once per outer
@@ -34,7 +50,9 @@
 //! (hits never deep-copy), and `ANY`/`ALL` *verdicts* are memoized per
 //! `(sublink, binding, test value)` on top. Since the operator bodies are
 //! shared, a semantics fix lands in one place, and the
-//! `operators_evaluated` accounting lives in the physical layer alone.
+//! `operators_evaluated` accounting lives in the physical layer alone —
+//! counted once per logical operator invocation, never per batch, so the
+//! counter is comparable across batch sizes and execution modes.
 //!
 //! An [`Executor`] is deliberately `!Sync` (its counters and private memos
 //! use `Cell`/`RefCell`) — concurrency happens *above* it, one executor per
@@ -46,6 +64,7 @@
 //! evaluation.
 
 pub mod aggregate;
+pub mod batch;
 pub mod compile;
 pub mod cursor;
 pub mod eval;
@@ -54,6 +73,7 @@ pub mod functions;
 pub(crate) mod memo;
 pub(crate) mod physical;
 
+pub use batch::{Batch, BATCH_ROWS};
 pub use compile::{CompiledExpr, CompiledPlan, CompiledSublink, Frame, Slot};
 pub use cursor::Rows;
 pub use eval::Env;

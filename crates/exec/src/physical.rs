@@ -1,31 +1,48 @@
-//! The single physical-operator layer shared by both execution paths.
+//! The single physical-operator layer shared by both execution paths, now
+//! **batch-at-a-time**.
 //!
 //! Every operator loop of the engine — projection, selection, cross
 //! product, hash and nested-loop joins (including left-outer NULL padding),
 //! grouping/aggregation, set operations, sorting and limiting — is
-//! implemented exactly once here, parameterized over *tuple-evaluator
-//! closures*. The two execution paths differ only in how an expression is
-//! evaluated against a tuple:
+//! implemented exactly once here, parameterized over *batch-evaluator
+//! closures*: a closure receives a [`Batch`] (up to [`BATCH_ROWS`] tuples
+//! plus a selection vector, see `crate::batch` for the invariants) and
+//! appends one result per live row. The two execution paths differ only in
+//! how those closures evaluate expressions:
 //!
 //! * the name-resolving interpreter ([`crate::Executor::execute_with_env`])
-//!   builds an [`crate::eval::Env`] scope chain and resolves names per
-//!   access;
-//! * the compiled path ([`crate::Executor::execute_compiled`]) builds a
-//!   [`crate::compile::Frame`] chain and indexes slots.
+//!   loops over the batch row by row, builds an [`crate::eval::Env`] scope
+//!   chain per row and resolves names per access — the unchanged per-tuple
+//!   reference semantics;
+//! * the compiled path ([`crate::Executor::execute_compiled`]) evaluates
+//!   each expression *vectorized* over the whole batch
+//!   (`Executor::ceval_batch`): one dispatch per expression node per batch
+//!   instead of per tuple, falling back to per-tuple evaluation for
+//!   sublink-bearing expressions so the parameterized sublink memo is
+//!   untouched.
 //!
 //! Both are thin drivers that execute their children, wrap their expression
 //! evaluator into closures, and delegate the loop body to this module — so
 //! a semantics fix (NULL handling in hash keys, outer-join padding, empty
-//! group seeding, …) lands in one place and cannot silently miss one path,
-//! following the closure-parameterization pattern `crate::eval` already
-//! uses for function dispatch and sublink folding.
+//! group seeding, …) lands in one place and cannot silently miss one path.
+//!
+//! Operator **output order** is part of the engine's observable semantics
+//! (a stable sort above an operator keeps tie order, and `LIMIT` truncates
+//! it), so the batched loops emit rows in exactly the order the classic
+//! per-tuple loops did: a join emits each left row's surviving matches in
+//! right-input order, then its NULL padding, before the next left row —
+//! candidate batches are filtered with a truth vector and drained in order,
+//! never reordered.
 //!
 //! The `operators_evaluated` accounting also lives here, in one place:
-//! every physical operator counts exactly one evaluation per invocation on
-//! the shared [`OpCounter`], which is what makes sublink-memo hits (which
-//! never reach this module) measurable as missing operator evaluations.
+//! every physical operator counts exactly one evaluation **per logical
+//! operator invocation** on the shared [`OpCounter`] — *not* per batch —
+//! which keeps the counter comparable across batch sizes and is what makes
+//! sublink-memo hits (which never reach this module) measurable as missing
+//! operator evaluations.
 
 use crate::aggregate::Accumulator;
+use crate::batch::{Batch, BATCH_ROWS};
 use crate::{ExecError, Result};
 use perm_algebra::{AggFunc, JoinKind, SetOpKind};
 use perm_storage::{encode_key, Database, Relation, Schema, Tuple, Value};
@@ -71,35 +88,49 @@ pub(crate) fn values(ops: &OpCounter, schema: &Schema, rows: &[Tuple]) -> Result
     Ok(Relation::new(schema.clone(), rows.to_vec())?)
 }
 
-/// Projection: `row_of` evaluates all projection items against one input
-/// tuple.
+/// Projection: `rows_of` evaluates all projection items over one batch,
+/// appending one output tuple per live row.
 pub(crate) fn project(
     ops: &OpCounter,
     child: &Relation,
     out_schema: Schema,
     distinct: bool,
-    mut row_of: impl FnMut(&Tuple) -> Result<Vec<Value>>,
+    mut rows_of: impl FnMut(&Batch<'_>, &mut Vec<Tuple>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     let mut out = Relation::empty(out_schema);
-    for tuple in child.tuples() {
-        out.push_unchecked(Tuple::new(row_of(tuple)?));
+    let mut buf: Vec<Tuple> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
+    for chunk in child.tuples().chunks(BATCH_ROWS) {
+        buf.clear();
+        rows_of(&Batch::dense(chunk), &mut buf)?;
+        debug_assert_eq!(buf.len(), chunk.len(), "projection must be 1:1 per batch");
+        for tuple in buf.drain(..) {
+            out.push_unchecked(tuple);
+        }
     }
     Ok(if distinct { out.distinct() } else { out })
 }
 
-/// Selection: `keep` evaluates the predicate against one input tuple
-/// (three-valued TRUE only).
+/// Selection: `keep` evaluates the predicate over one batch (three-valued
+/// TRUE only), appending one verdict per live row. Survivors are marked in
+/// a truth vector and copied once into the output — dropped rows are never
+/// materialised.
 pub(crate) fn select(
     ops: &OpCounter,
     child: &Relation,
-    mut keep: impl FnMut(&Tuple) -> Result<bool>,
+    mut keep: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     let mut out = Relation::empty(child.schema().clone());
-    for tuple in child.tuples() {
-        if keep(tuple)? {
-            out.push_unchecked(tuple.clone());
+    let mut truths: Vec<bool> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
+    for chunk in child.tuples().chunks(BATCH_ROWS) {
+        truths.clear();
+        keep(&Batch::dense(chunk), &mut truths)?;
+        debug_assert_eq!(truths.len(), chunk.len(), "one verdict per live row");
+        for (tuple, keep) in chunk.iter().zip(&truths) {
+            if *keep {
+                out.push_unchecked(tuple.clone());
+            }
         }
     }
     Ok(out)
@@ -122,17 +153,68 @@ pub(crate) fn cross_product(
     out
 }
 
+/// One left row's candidate range inside a pending joined-row buffer:
+/// the left tuple (for padding) and the half-open candidate range.
+struct JoinSegment<'l> {
+    left: &'l Tuple,
+    start: usize,
+    end: usize,
+}
+
+/// Filters a pending buffer of joined candidate rows with `condition`
+/// (evaluated batch-at-a-time) and emits, **in order**, each segment's
+/// surviving rows followed by its left-outer NULL padding when nothing
+/// survived. Drains both buffers.
+fn flush_join_segments(
+    condition: &mut impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
+    pending: &mut Vec<Tuple>,
+    segments: &mut Vec<JoinSegment<'_>>,
+    truths: &mut Vec<bool>,
+    kind: JoinKind,
+    right_arity: usize,
+    out: &mut Relation,
+) -> Result<()> {
+    truths.clear();
+    for chunk in pending.chunks(BATCH_ROWS) {
+        condition(&Batch::dense(chunk), truths)?;
+    }
+    debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
+    for segment in segments.drain(..) {
+        let mut matched = false;
+        for idx in segment.start..segment.end {
+            if truths[idx] {
+                matched = true;
+                out.push_unchecked(std::mem::take(&mut pending[idx]));
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            out.push_unchecked(
+                segment
+                    .left
+                    .concat(&Tuple::new(vec![Value::Null; right_arity])),
+            );
+        }
+    }
+    pending.clear();
+    Ok(())
+}
+
 /// Inner or left-outer join over already-executed inputs.
 ///
 /// `key_null_safe` carries one flag per extracted equi-key conjunct; when
-/// non-empty the join runs hashed — the right side is bucketed under
-/// [`encode_key`] of its key values, and only bucket-mates are rechecked
-/// against the full `condition`. Rows whose key is NULL under a plain
-/// (non-null-safe) equality can never match and are dropped from the hash
-/// table / probe. When empty (no usable equality, or the condition carries
-/// sublinks, e.g. the Jsub conditions of the Left strategy) the join falls
-/// back to a nested loop. Either way an unmatched left row of a left-outer
-/// join is padded with NULLs on the right.
+/// non-empty the join runs hashed — the right side (the **build** side, a
+/// pipeline breaker consumed batch by batch at its input boundary) is
+/// bucketed under [`encode_key`] of its key values, and only bucket-mates
+/// are rechecked against the full `condition`. Rows whose key is NULL under
+/// a plain (non-null-safe) equality can never match and are dropped from
+/// the hash table / probe. When empty (no usable equality, or the condition
+/// carries sublinks, e.g. the Jsub conditions of the Left strategy) the
+/// join falls back to a nested loop. Either way the **probe** operates
+/// batch-at-a-time: key expressions are evaluated once per batch, candidate
+/// joined rows are filtered through a batched `condition` pass, and an
+/// unmatched left row of a left-outer join is padded with NULLs on the
+/// right — in exactly the per-left-row output order of a tuple-at-a-time
+/// loop.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join(
     ops: &OpCounter,
@@ -141,68 +223,129 @@ pub(crate) fn join(
     out_schema: &Schema,
     kind: JoinKind,
     key_null_safe: &[bool],
-    mut left_key: impl FnMut(&Tuple, usize) -> Result<Value>,
-    mut right_key: impl FnMut(&Tuple, usize) -> Result<Value>,
-    mut condition: impl FnMut(&Tuple) -> Result<bool>,
+    mut left_keys: impl FnMut(&Batch<'_>, usize, &mut Vec<Value>) -> Result<()>,
+    mut right_keys: impl FnMut(&Batch<'_>, usize, &mut Vec<Value>) -> Result<()>,
+    mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     let right_arity = r.schema().arity();
+    let nkeys = key_null_safe.len();
     let mut out = Relation::empty(out_schema.clone());
+    let mut pending: Vec<Tuple> = Vec::new();
+    let mut segments: Vec<JoinSegment<'_>> = Vec::new();
+    let mut truths: Vec<bool> = Vec::new();
 
-    if !key_null_safe.is_empty() {
-        // Hash join: bucket the right side by its key values.
+    if nkeys > 0 {
+        // Build side: bucket the right rows by their encoded key values,
+        // one batch of key evaluations at a time. Evaluating every key
+        // column eagerly (where the tuple-at-a-time loop stopped at a
+        // row's first NULL non-null-safe key) is safe because equi keys
+        // are always bare column references (`extract_equi_keys` extracts
+        // only `Column = Column` conjuncts, resolution-checked against the
+        // input schemas), so key evaluation cannot raise an error the
+        // early exit would have shielded.
         let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
-        'right: for rt in r.tuples() {
-            let mut key_values = Vec::with_capacity(key_null_safe.len());
-            for (i, null_safe) in key_null_safe.iter().enumerate() {
-                let v = right_key(rt, i)?;
-                if v.is_null() && !null_safe {
-                    continue 'right;
-                }
-                key_values.push(v);
+        let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
+        for chunk in r.tuples().chunks(BATCH_ROWS) {
+            let batch = Batch::dense(chunk);
+            for (i, col) in key_cols.iter_mut().enumerate() {
+                col.clear();
+                right_keys(&batch, i, col)?;
             }
-            buckets.entry(encode_key(&key_values)).or_default().push(rt);
+            'rows: for (j, rt) in chunk.iter().enumerate() {
+                let mut key_values = Vec::with_capacity(nkeys);
+                for (col, null_safe) in key_cols.iter_mut().zip(key_null_safe) {
+                    if col[j].is_null() && !null_safe {
+                        continue 'rows;
+                    }
+                    // Move, don't clone: the column buffer is consumed once
+                    // per row (a clone here costs an allocation per string
+                    // key per row on wide provenance tuples).
+                    key_values.push(std::mem::replace(&mut col[j], Value::Null));
+                }
+                buckets.entry(encode_key(&key_values)).or_default().push(rt);
+            }
         }
+
+        // Probe side, batch-at-a-time: evaluate the key columns once per
+        // probe batch, gather each row's bucket-mates into the pending
+        // buffer, and flush (condition + ordered emission) at left-row
+        // boundaries once a batch worth of candidates has accumulated.
         let empty: Vec<&Tuple> = Vec::new();
-        for lt in l.tuples() {
-            let mut key_values = Vec::with_capacity(key_null_safe.len());
-            let mut has_null_key = false;
-            for (i, null_safe) in key_null_safe.iter().enumerate() {
-                let v = left_key(lt, i)?;
-                if v.is_null() && !null_safe {
-                    has_null_key = true;
-                    break;
-                }
-                key_values.push(v);
+        let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
+        for chunk in l.tuples().chunks(BATCH_ROWS) {
+            let batch = Batch::dense(chunk);
+            for (i, col) in key_cols.iter_mut().enumerate() {
+                col.clear();
+                left_keys(&batch, i, col)?;
             }
-            let candidates = if has_null_key {
-                &empty
-            } else {
-                buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
-            };
-            let mut matched = false;
-            for rt in candidates {
-                let joined = lt.concat(rt);
-                if condition(&joined)? {
-                    matched = true;
-                    out.push_unchecked(joined);
+            for (j, lt) in chunk.iter().enumerate() {
+                let mut key_values = Vec::with_capacity(nkeys);
+                let mut has_null_key = false;
+                for (col, null_safe) in key_cols.iter_mut().zip(key_null_safe) {
+                    if col[j].is_null() && !null_safe {
+                        has_null_key = true;
+                        break;
+                    }
+                    key_values.push(std::mem::replace(&mut col[j], Value::Null));
                 }
-            }
-            if !matched && kind == JoinKind::LeftOuter {
-                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+                let candidates = if has_null_key {
+                    &empty
+                } else {
+                    buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
+                };
+                let start = pending.len();
+                for rt in candidates {
+                    pending.push(lt.concat(rt));
+                }
+                segments.push(JoinSegment {
+                    left: lt,
+                    start,
+                    end: pending.len(),
+                });
+                if pending.len() >= BATCH_ROWS {
+                    flush_join_segments(
+                        &mut condition,
+                        &mut pending,
+                        &mut segments,
+                        &mut truths,
+                        kind,
+                        right_arity,
+                        &mut out,
+                    )?;
+                }
             }
         }
+        flush_join_segments(
+            &mut condition,
+            &mut pending,
+            &mut segments,
+            &mut truths,
+            kind,
+            right_arity,
+            &mut out,
+        )?;
         return Ok(out);
     }
 
-    // Nested-loop join.
+    // Nested-loop join: each left row's candidates are the whole right
+    // input, processed one right batch at a time (bounded memory, batched
+    // condition dispatch), with padding emitted at the row boundary.
     for lt in l.tuples() {
         let mut matched = false;
-        for rt in r.tuples() {
-            let joined = lt.concat(rt);
-            if condition(&joined)? {
-                matched = true;
-                out.push_unchecked(joined);
+        for r_chunk in r.tuples().chunks(BATCH_ROWS) {
+            pending.clear();
+            for rt in r_chunk {
+                pending.push(lt.concat(rt));
+            }
+            truths.clear();
+            condition(&Batch::dense(&pending), &mut truths)?;
+            debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
+            for (idx, keep) in truths.iter().enumerate() {
+                if *keep {
+                    matched = true;
+                    out.push_unchecked(std::mem::take(&mut pending[idx]));
+                }
             }
         }
         if !matched && kind == JoinKind::LeftOuter {
@@ -212,22 +355,22 @@ pub(crate) fn join(
     Ok(out)
 }
 
-/// Grouping and aggregation. `group_key` evaluates the `i`-th grouping
-/// expression and `agg_arg` the `i`-th aggregate's argument against one
-/// input tuple (`agg_arg` is only called for specs with `has_arg`; argless
-/// `count(*)` contributes the constant 1). Groups are keyed by
-/// [`encode_key`] — the key *is* the grouping equality, with no recheck —
-/// and emitted in first-encounter order. A global aggregation (no GROUP BY)
-/// over an empty input still produces one tuple (e.g. `count(*)` = 0): the
-/// single group is seeded up front.
+/// Grouping and aggregation — a pipeline breaker consuming its input batch
+/// by batch. `eval` evaluates, for one batch, every grouping expression
+/// into `group_cols[i]` and every aggregate argument into `agg_cols[i]`
+/// (columns for argless `count(*)` specs stay empty; their per-row
+/// contribution is the constant 1). Groups are keyed by [`encode_key`] —
+/// the key *is* the grouping equality, with no recheck — and emitted in
+/// first-encounter order. A global aggregation (no GROUP BY) over an empty
+/// input still produces one tuple (e.g. `count(*)` = 0): the single group
+/// is seeded up front.
 pub(crate) fn aggregate(
     ops: &OpCounter,
     child: &Relation,
     out_schema: Schema,
     group_arity: usize,
     specs: &[AggSpec],
-    mut group_key: impl FnMut(&Tuple, usize) -> Result<Value>,
-    mut agg_arg: impl FnMut(&Tuple, usize) -> Result<Value>,
+    mut eval: impl FnMut(&Batch<'_>, &mut [Vec<Value>], &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
@@ -244,27 +387,35 @@ pub(crate) fn aggregate(
         index.insert(Vec::new(), 0);
     }
 
-    for tuple in child.tuples() {
-        let mut key_values = Vec::with_capacity(group_arity);
-        for i in 0..group_arity {
-            key_values.push(group_key(tuple, i)?);
+    let mut group_cols: Vec<Vec<Value>> = vec![Vec::new(); group_arity];
+    let mut agg_cols: Vec<Vec<Value>> = vec![Vec::new(); specs.len()];
+    for chunk in child.tuples().chunks(BATCH_ROWS) {
+        for col in group_cols.iter_mut().chain(agg_cols.iter_mut()) {
+            col.clear();
         }
-        let key = encode_key(&key_values);
-        let group_index = match index.get(&key) {
-            Some(&i) => i,
-            None => {
-                groups.push((key_values, make_accs()));
-                index.insert(key, groups.len() - 1);
-                groups.len() - 1
+        eval(&Batch::dense(chunk), &mut group_cols, &mut agg_cols)?;
+        for j in 0..chunk.len() {
+            let mut key_values = Vec::with_capacity(group_arity);
+            for col in group_cols.iter_mut() {
+                // Move, don't clone: each column cell is consumed once.
+                key_values.push(std::mem::replace(&mut col[j], Value::Null));
             }
-        };
-        for (i, (acc, spec)) in groups[group_index].1.iter_mut().zip(specs).enumerate() {
-            let value = if spec.has_arg {
-                agg_arg(tuple, i)?
-            } else {
-                Value::Int(1)
+            let key = encode_key(&key_values);
+            let group_index = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push((key_values, make_accs()));
+                    index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
             };
-            acc.update(&value);
+            for (i, (acc, spec)) in groups[group_index].1.iter_mut().zip(specs).enumerate() {
+                if spec.has_arg {
+                    acc.update(&agg_cols[i][j]);
+                } else {
+                    acc.update(&Value::Int(1));
+                }
+            }
         }
     }
 
@@ -305,20 +456,33 @@ pub(crate) fn set_op(
     })
 }
 
-/// Sorting: `keys_of` evaluates all sort-key expressions against one tuple;
-/// `ascending` carries the per-key direction. The underlying sort is stable,
-/// so ties keep the input order — which both drivers produce identically.
+/// Sorting — a pipeline breaker consuming its input batch by batch. `keys`
+/// evaluates, for one batch, every sort-key expression into `key_cols[i]`;
+/// `ascending` carries the per-key direction. The underlying sort is
+/// stable, so ties keep the input order — which both drivers produce
+/// identically.
 pub(crate) fn sort(
     ops: &OpCounter,
     child: Relation,
     ascending: &[bool],
-    mut keys_of: impl FnMut(&Tuple) -> Result<Vec<Value>>,
+    mut keys: impl FnMut(&Batch<'_>, &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     let schema = child.schema().clone();
     let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
-    for tuple in child.tuples() {
-        keyed.push((keys_of(tuple)?, tuple.clone()));
+    let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); ascending.len()];
+    for chunk in child.tuples().chunks(BATCH_ROWS) {
+        for col in key_cols.iter_mut() {
+            col.clear();
+        }
+        keys(&Batch::dense(chunk), &mut key_cols)?;
+        for (j, tuple) in chunk.iter().enumerate() {
+            let mut key_values = Vec::with_capacity(ascending.len());
+            for col in key_cols.iter_mut() {
+                key_values.push(std::mem::replace(&mut col[j], Value::Null));
+            }
+            keyed.push((key_values, tuple.clone()));
+        }
     }
     keyed.sort_by(|(ka, _), (kb, _)| {
         for (i, asc) in ascending.iter().enumerate() {

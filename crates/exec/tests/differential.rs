@@ -23,8 +23,8 @@ use perm_algebra::builder::{
     qcol, scalar_sublink, sum, PlanBuilder,
 };
 use perm_algebra::{CompareOp, Plan, ProjectItem, SetOpKind, SortKey};
-use perm_exec::Executor;
-use perm_storage::Database;
+use perm_exec::{Executor, BATCH_ROWS};
+use perm_storage::{Attribute, DataType, Database, Relation, Schema, Value};
 use perm_synthetic::build_database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -292,4 +292,266 @@ fn random_plans_agree_across_all_three_execution_modes() {
         correlated_hits >= PLANS / 10,
         "only {correlated_hits}/{PLANS} plans exercised the sublink memo"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Batch-seam differential cases: table sizes straddling the batch size
+// (0, 1, BATCH−1, BATCH, BATCH+1 rows) with NaN keys and >2⁵³ integer keys
+// placed so they cross the first batch boundary. Four execution modes must
+// agree bag-for-bag on every plan shape that exercises a batched seam
+// (vectorized logic/CASE/function evaluation, hashed and batched join
+// probes, grouping, sort+limit tie order, sublink fallback), and the
+// vectorized and per-tuple compiled modes must report identical
+// `operators_evaluated` (the counter is per logical operator invocation,
+// not per batch).
+// ---------------------------------------------------------------------------
+
+const TWO_53: i64 = 1 << 53;
+
+/// t(a, k, g) with `rows` rows: `a` is the row number, `k` mixes small
+/// integers, NaN floats (every 97th row) and a run of 2⁵³-family integers
+/// straddling the first batch boundary, `g` is a 7-group correlation
+/// attribute. u(c, g) is a small lookup relation to correlate against.
+fn seam_database(rows: usize) -> Database {
+    let mut db = Database::new();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            let k = if i + 4 >= BATCH_ROWS && i <= BATCH_ROWS + 1 {
+                // 2⁵³−4 … 2⁵³+1: exact-integer keys whose f64 views collide
+                // at the top, crossing the first batch boundary.
+                Value::Int(TWO_53 + (i as i64 - BATCH_ROWS as i64))
+            } else if i % 97 == 0 {
+                Value::Float(f64::NAN)
+            } else {
+                Value::Int((i % 5) as i64)
+            };
+            vec![Value::Int(i as i64), k, Value::Int((i % 7) as i64)]
+        })
+        .collect();
+    db.create_table(
+        "t",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("t", "a", DataType::Int),
+                Attribute::qualified("t", "k", DataType::Any),
+                Attribute::qualified("t", "g", DataType::Int),
+            ]),
+            data,
+        ),
+    )
+    .unwrap();
+    db.create_table(
+        "u",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("u", "c", DataType::Int),
+                Attribute::qualified("u", "g", DataType::Int),
+            ]),
+            (0..21)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                .collect(),
+        ),
+    )
+    .unwrap();
+    db
+}
+
+/// Runs one plan through vectorized-compiled, per-tuple-compiled,
+/// interpreted and memo-off execution and asserts bag equality plus
+/// operator-count parity between the two compiled modes.
+fn assert_seam_modes_agree(db: &Database, plan: &Plan, label: &str) {
+    let batched_ex = Executor::new(db);
+    let batched = batched_ex.execute(plan).unwrap();
+    let per_tuple_ex = Executor::new(db).with_batching(false);
+    let per_tuple = per_tuple_ex.execute(plan).unwrap();
+    let interpreted = Executor::new(db).execute_unoptimized(plan).unwrap();
+    let memo_off = Executor::new(db)
+        .with_sublink_memo(false)
+        .execute(plan)
+        .unwrap();
+    assert!(batched.bag_eq(&per_tuple), "{label}: batched vs per-tuple");
+    assert!(
+        batched.bag_eq(&interpreted),
+        "{label}: batched vs interpreter"
+    );
+    assert!(batched.bag_eq(&memo_off), "{label}: batched vs memo-off");
+    assert_eq!(
+        batched_ex.operators_evaluated(),
+        per_tuple_ex.operators_evaluated(),
+        "{label}: operators_evaluated must not depend on batching"
+    );
+}
+
+#[test]
+fn batch_boundary_seams_agree_across_all_modes() {
+    for rows in [0, 1, BATCH_ROWS - 1, BATCH_ROWS, BATCH_ROWS + 1] {
+        let db = seam_database(rows);
+        let label = |shape: &str| format!("{shape} at {rows} rows");
+
+        // Vectorized AND/OR short-circuiting plus arithmetic over batches.
+        let select = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(or(
+                and(
+                    cmp(CompareOp::Ge, qcol("t", "k"), lit(3)),
+                    cmp(CompareOp::Lt, qcol("t", "g"), lit(5)),
+                ),
+                cmp(
+                    CompareOp::Gt,
+                    perm_algebra::builder::binary(
+                        perm_algebra::BinaryOp::Mul,
+                        qcol("t", "a"),
+                        lit(2),
+                    ),
+                    lit(rows as i64),
+                ),
+            ))
+            .build();
+        assert_seam_modes_agree(&db, &select, &label("select"));
+
+        // Vectorized CASE branch narrowing and function evaluation.
+        let project = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .project(vec![
+                ProjectItem::new(
+                    perm_algebra::builder::binary(
+                        perm_algebra::BinaryOp::Add,
+                        qcol("t", "a"),
+                        lit(1),
+                    ),
+                    "a1",
+                ),
+                ProjectItem::new(
+                    perm_algebra::Expr::Case {
+                        branches: vec![
+                            (cmp(CompareOp::Gt, qcol("t", "k"), lit(2)), lit("hi")),
+                            (cmp(CompareOp::Le, qcol("t", "k"), lit(0)), lit("lo")),
+                        ],
+                        else_expr: Some(Box::new(lit("mid"))),
+                    },
+                    "bucket",
+                ),
+                ProjectItem::new(
+                    perm_algebra::Expr::Func {
+                        name: perm_algebra::FuncName::Abs,
+                        args: vec![perm_algebra::builder::binary(
+                            perm_algebra::BinaryOp::Sub,
+                            qcol("t", "g"),
+                            lit(3),
+                        )],
+                    },
+                    "dist",
+                ),
+            ])
+            .build();
+        assert_seam_modes_agree(&db, &project, &label("project"));
+
+        // Grouping on the mixed key column: NaN forms one group, the
+        // 2⁵³-family integers stay distinct groups across the boundary.
+        let aggregate = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .aggregate(
+                vec![ProjectItem::column("k")],
+                vec![count_star("n"), sum(qcol("t", "a"), "total")],
+            )
+            .build();
+        assert_seam_modes_agree(&db, &aggregate, &label("aggregate"));
+
+        // Stable sort with heavy ties + limit at the batch boundary: tie
+        // order (input order) must survive batching identically.
+        let sort_limit = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .sort(vec![
+                SortKey::desc(qcol("t", "g")),
+                SortKey::asc(qcol("t", "k")),
+            ])
+            .limit(BATCH_ROWS)
+            .build();
+        assert_seam_modes_agree(&db, &sort_limit, &label("sort+limit"));
+
+        // Hash join whose probe side crosses the batch boundary and whose
+        // build side carries the NaN and >2⁵³ keys.
+        let boundary_rows = PlanBuilder::scan_as(&db, "t", Some("o"))
+            .unwrap()
+            .select(cmp(
+                CompareOp::Ge,
+                qcol("o", "a"),
+                lit(BATCH_ROWS as i64 - 4),
+            ))
+            .build();
+        let join = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .join(boundary_rows.clone(), eq(qcol("t", "k"), qcol("o", "k")))
+            .build();
+        assert_seam_modes_agree(&db, &join, &label("hash join"));
+
+        // Left-outer nested-loop join (no extractable equi-key): batched
+        // candidate filtering with per-left-row padding order.
+        let outer_join = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(cmp(CompareOp::Lt, qcol("t", "a"), lit(40)))
+            .left_join(
+                boundary_rows,
+                or(
+                    eq(qcol("t", "k"), qcol("o", "k")),
+                    cmp(CompareOp::Gt, qcol("t", "g"), qcol("o", "g")),
+                ),
+            )
+            .build();
+        assert_seam_modes_agree(&db, &outer_join, &label("left-outer nested-loop join"));
+
+        // Correlated EXISTS: the sublink subtree falls back per tuple and
+        // must keep driving the parameterized memo (7 distinct bindings).
+        let correlated = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .select(and(
+                exists_sublink(
+                    PlanBuilder::scan(&db, "u")
+                        .unwrap()
+                        .select(and(
+                            eq(qcol("u", "g"), qcol("t", "g")),
+                            cmp(CompareOp::Gt, qcol("u", "c"), lit(10)),
+                        ))
+                        .build(),
+                ),
+                cmp(CompareOp::Ge, qcol("t", "a"), lit(0)),
+            ))
+            .build();
+        assert_seam_modes_agree(&db, &correlated, &label("correlated exists"));
+    }
+}
+
+#[test]
+fn vectorized_fallback_rows_are_counted_and_memo_behaviour_is_unchanged() {
+    // The sublink fallback seam: on a batched execution every outer row of
+    // a sublink-bearing predicate is handed to the per-tuple evaluator
+    // (visible on `batch_fallback_rows`), while the memo still collapses
+    // the sublink to one execution per distinct binding.
+    let rows = BATCH_ROWS + 1;
+    let db = seam_database(rows);
+    let plan = PlanBuilder::scan(&db, "t")
+        .unwrap()
+        .select(exists_sublink(
+            PlanBuilder::scan(&db, "u")
+                .unwrap()
+                .select(eq(qcol("u", "g"), qcol("t", "g")))
+                .build(),
+        ))
+        .build();
+    let ex = Executor::new(&db);
+    ex.execute(&plan).unwrap();
+    assert_eq!(
+        ex.batch_fallback_rows(),
+        rows as u64,
+        "every outer row goes through the per-tuple sublink fallback"
+    );
+    assert!(ex.batches_vectorized() > 0, "the spine still vectorizes");
+    // scan t + select + 7 distinct g bindings × (select + scan u).
+    assert_eq!(ex.operators_evaluated(), 2 + 7 * 2);
+
+    // Per-tuple mode never vectorizes, and counts identically.
+    let per_tuple = Executor::new(&db).with_batching(false);
+    per_tuple.execute(&plan).unwrap();
+    assert_eq!(per_tuple.batches_vectorized(), 0);
+    assert_eq!(per_tuple.operators_evaluated(), 2 + 7 * 2);
 }

@@ -71,6 +71,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
+/// Upper bound on how many outer bindings a warming worker claims with one
+/// atomic increment in [`ConcurrentEngine::execute_parallel`]. The actual
+/// chunk adapts downward for small binding domains (see `warm_site`).
+const BINDING_CLAIM_CHUNK: usize = 64;
+
 // The thread-safety contract this subsystem rests on, checked at compile
 // time: everything that crosses a worker boundary is `Send + Sync`.
 const _: () = {
@@ -359,20 +364,31 @@ impl ConcurrentEngine {
             // The final pass computes a lone cold binding just as fast.
             return;
         }
+        // Workers claim bindings in *chunks*, not one atomic increment per
+        // binding (the ROADMAP work-stealing follow-on): one RMW per chunk
+        // cuts contention on the claim counter for large binding domains.
+        // The chunk adapts downward so small domains still spread across
+        // the pool — every worker should see ~4 claims — and is capped at
+        // BINDING_CLAIM_CHUNK so the tail imbalance stays bounded.
+        let workers = self.workers.min(bindings.len());
+        let chunk = (bindings.len() / (workers * 4)).clamp(1, BINDING_CLAIM_CHUNK);
         let next = AtomicUsize::new(0);
         thread::scope(|scope| {
-            for _ in 0..self.workers.min(bindings.len()) {
+            for _ in 0..workers {
                 scope.spawn(|| {
                     let executor = self.worker_executor(db);
                     executor.bind_params(params.to_vec());
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(binding) = bindings.get(i) else {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= bindings.len() {
                             break;
-                        };
-                        let frame = Frame::new(None, binding);
-                        // Speculative: ignore errors (never cached).
-                        let _ = executor.execute_memoized_sublink(site.sublink, Some(&frame));
+                        }
+                        let end = (start + chunk).min(bindings.len());
+                        for binding in &bindings[start..end] {
+                            let frame = Frame::new(None, binding);
+                            // Speculative: ignore errors (never cached).
+                            let _ = executor.execute_memoized_sublink(site.sublink, Some(&frame));
+                        }
                     }
                 });
             }
@@ -633,6 +649,55 @@ mod tests {
         let warm_entries = engine.shared_memo().entry_count();
         let again = engine
             .execute_parallel(&statement, &[Value::Int(105)])
+            .unwrap();
+        assert!(again.bag_eq(&serial));
+        assert_eq!(engine.shared_memo().entry_count(), warm_entries);
+    }
+
+    #[test]
+    fn execute_parallel_chunked_claims_cover_a_large_binding_domain() {
+        // 300 distinct correlation groups: with 3 workers the adaptive
+        // chunk exceeds 1, so this exercises the chunked claim path — every
+        // binding must still be warmed exactly once and the result must
+        // match serial execution.
+        let mut db = Database::new();
+        db.create_table(
+            "r",
+            Relation::from_rows(
+                Schema::from_names(&["a", "g"]).with_qualifier("r"),
+                (0..600)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 300)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Relation::from_rows(
+                Schema::from_names(&["c", "g"]).with_qualifier("s"),
+                (0..300)
+                    .map(|i| vec![Value::Int(100 + i), Value::Int(i % 300)])
+                    .collect(),
+            ),
+        )
+        .unwrap();
+        let engine = ConcurrentEngine::new(Engine::new(db)).with_workers(3);
+        let statement = engine.prepare(CORRELATED_SQL).unwrap();
+        let parallel = engine
+            .execute_parallel(&statement, &[Value::Int(150)])
+            .unwrap();
+        let reference = Session::new(engine.database());
+        let reference_stmt = reference.prepare(CORRELATED_SQL).unwrap();
+        let serial = reference
+            .execute(&reference_stmt, &[Value::Int(150)])
+            .unwrap();
+        assert!(parallel.bag_eq(&serial));
+        // One memoized result + one warmed... entry per distinct binding:
+        // re-running warm must not add entries (idempotent warm-probe).
+        let warm_entries = engine.shared_memo().entry_count();
+        assert!(warm_entries >= 300, "every distinct binding warmed");
+        let again = engine
+            .execute_parallel(&statement, &[Value::Int(150)])
             .unwrap();
         assert!(again.bag_eq(&serial));
         assert_eq!(engine.shared_memo().entry_count(), warm_entries);

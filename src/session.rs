@@ -334,6 +334,13 @@ pub struct SessionConfig {
     /// Ad-hoc [`Session::run`] under `false` keeps the classic
     /// clear-per-execution semantics.
     pub retain_memo: bool,
+    /// Whether compiled expressions are evaluated **vectorized** over tuple
+    /// batches (default `true`): one dispatch per expression per batch of
+    /// up to [`perm_exec::BATCH_ROWS`] rows instead of one per tuple.
+    /// Results and errors are identical either way; `false` restores the
+    /// per-tuple dispatch profile (the `harness batch` measurement
+    /// baseline).
+    pub batching: bool,
     /// Compute provenance with the reference tracer instead of the rewrite
     /// strategies (default `false`). The tracer is the paper's closed-form
     /// characterisation evaluated tuple by tuple — the test oracle — and
@@ -367,6 +374,7 @@ impl Default for SessionConfig {
             sublink_memo: true,
             memo_capacity: None,
             retain_memo: true,
+            batching: true,
             tracer: false,
             shared_sublink_memo: None,
         }
@@ -396,6 +404,15 @@ pub struct SessionStats {
     /// published to the engine's plan cache (or ran privately, for
     /// sessions opened without an engine).
     pub plan_cache_misses: u64,
+    /// Expression-over-batch evaluations performed by the vectorized
+    /// compiled evaluator (one per expression per batch of up to
+    /// [`perm_exec::BATCH_ROWS`] rows; zero when
+    /// [`SessionConfig::batching`] is off).
+    pub vectorized_batches: u64,
+    /// Rows a vectorized batch handed back to the per-tuple evaluator
+    /// because their expression subtree carries a sublink — the fallback
+    /// that keeps the parameterized sublink memo seam untouched.
+    pub sublink_fallback_rows: u64,
 }
 
 /// A session: the unit of statement preparation and execution. Holds one
@@ -501,7 +518,8 @@ impl<'a> Session<'a> {
         let mut executor = Executor::new(db)
             .with_sublink_memo(config.sublink_memo)
             .with_memo_capacity(config.memo_capacity)
-            .with_memo_retention(config.retain_memo);
+            .with_memo_retention(config.retain_memo)
+            .with_batching(config.batching);
         if let Some(memo) = &config.shared_sublink_memo {
             executor = executor.with_shared_memo(Arc::clone(memo));
         }
@@ -547,6 +565,8 @@ impl<'a> Session<'a> {
             executions: self.executions.get(),
             plan_cache_hits: self.cache_hits.get(),
             plan_cache_misses: self.cache_misses.get(),
+            vectorized_batches: self.executor.batches_vectorized(),
+            sublink_fallback_rows: self.executor.batch_fallback_rows(),
         }
     }
 

@@ -92,8 +92,11 @@ fn parameters_change_results_without_recompiling() {
 
 #[test]
 fn rows_cursor_streams_limit_without_full_materialisation() {
-    // Row 0 divides cleanly; the last row would divide by zero. A streaming
-    // LIMIT 1 must never evaluate it, while eager execution fails on it.
+    // Row 0 divides cleanly; the last row would divide by zero. A LIMIT 1
+    // must never evaluate it — on the streaming cursor *and* on the
+    // materialising path, which routes a top-level LIMIT over a streamable
+    // spine through the same batch-pull machinery. Without the limit the
+    // poisoned row is reached and the statement fails.
     let mut db = Database::new();
     db.create_table(
         "t",
@@ -109,9 +112,18 @@ fn rows_cursor_streams_limit_without_full_materialisation() {
         .prepare("SELECT 10 / x AS y FROM t LIMIT 1")
         .unwrap();
 
+    let materialised = session.execute(&prepared, &[]).unwrap();
+    assert_eq!(
+        materialised.len(),
+        1,
+        "execute must match Rows and never evaluate the tail"
+    );
+    assert_eq!(materialised.tuples()[0].get(0), &Value::Int(2));
+
+    let unlimited = session.prepare("SELECT 10 / x AS y FROM t").unwrap();
     assert!(
-        matches!(session.execute(&prepared, &[]), Err(PermError::Exec(_))),
-        "materialised execution must reach the poisoned row"
+        matches!(session.execute(&unlimited, &[]), Err(PermError::Exec(_))),
+        "without the limit the poisoned row is reached"
     );
 
     let tuples: Vec<Tuple> = session
