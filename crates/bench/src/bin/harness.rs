@@ -13,6 +13,9 @@
 //!                                                       # --check: fail unless memoized < unmemoized ops
 //! harness batch [--max-rows N] [--scale S] [--check]    # batched vs per-tuple execution (Fig. 7 + TPC-H)
 //!                                                       # --check: fail unless batched is no slower
+//! harness robust [--max-rows N] [--check]               # resilience machinery armed-but-idle vs absent (Fig. 7)
+//!                                                       # --check: fail unless overhead <= 5% and a mid-query
+//!                                                       #          cancel returns within one batch
 //! harness serve [--rows N] [--execs N] [--check]        # prepared vs one-shot serving cost
 //!                                                       # --check: fail unless prepared is cheaper
 //! harness ablation [--rows N]                           # rewrite-structure ablation
@@ -21,8 +24,9 @@
 
 use perm_bench::{
     batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
-    measure_concurrent, measure_fig6, measure_serve, measure_sublink_memo, measure_synthetic_sweep,
-    memo_results_to_json, results_to_json, serve_to_json, BatchPoint, BenchConfig, SyntheticSweep,
+    measure_concurrent, measure_fig6, measure_robust, measure_serve, measure_sublink_memo,
+    measure_synthetic_sweep, memo_results_to_json, results_to_json, robust_to_json, serve_to_json,
+    BatchPoint, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -66,6 +70,7 @@ fn main() {
         ),
         "memo" => memo(&options, &config),
         "batch" => batch(&options, &config),
+        "robust" => robust(&options, &config),
         "serve" => serve(&options, &config),
         "concurrent" => concurrent(&options, &config),
         "ablation" => ablation(&options, &config),
@@ -94,6 +99,7 @@ fn main() {
             );
             memo(&options, &config);
             batch(&options, &config);
+            robust(&options, &config);
             serve(&options, &config);
             concurrent(&options, &config);
             ablation(&options, &config);
@@ -348,6 +354,80 @@ fn batch(options: &Options, config: &BenchConfig) {
     }
 }
 
+fn robust(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Resilience overhead — cancel-token checkpoints and the memory accountant armed \
+         but idle vs absent, on the Fig. 7 workload (Gen rewrite, {} synthetic rows) ==\n",
+        options.max_rows
+    );
+    let rows = measure_robust(options.max_rows, config);
+    println!(
+        "{:<24} {:>13} {:>12} {:>10} {:>8} {:>12} {:>10}",
+        "workload", "guarded [ms]", "plain [ms]", "overhead", "checks", "peak [B]", "rows"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>13.1} {:>12.1} {:>9.1}% {:>8} {:>12} {:>10}",
+            row.label,
+            row.ms_guarded,
+            row.ms_plain,
+            row.overhead_pct(),
+            row.cancel_checks,
+            row.peak_bytes,
+            row.result_rows
+        );
+    }
+    println!();
+    write_json("robust", &robust_to_json("robust", &rows));
+
+    // `--check` is the CI gate of the resilience layer. Correctness is
+    // unconditional (guarded and unguarded results bag-equal, the injected
+    // cancellation surfacing as `ExecError::Cancelled` — asserted inside
+    // `measure_robust`, a divergence panics). The wall-time gate bounds the
+    // armed-but-idle machinery at 5% using the best pairwise ratio over the
+    // order-alternated pairs, as in `batch --check`: one quiet pair shows
+    // the checkpoints are cheap, while true overhead is slower in every
+    // pair. The latency gate requires zero checkpoints after the injected
+    // cancellation — the query must return within the batch it was in.
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("robust check: no points completed within the time budget");
+        }
+        for row in &rows {
+            if row.best_pair_ratio > 1.05 {
+                eprintln!(
+                    "robust check: {} paid more than 5% for the armed resilience machinery \
+                     in every pair (best ratio {:.3}, min {:.1}ms vs {:.1}ms)",
+                    row.label, row.best_pair_ratio, row.ms_guarded, row.ms_plain
+                );
+                failed = true;
+            }
+            if row.cancel_checks == 0 {
+                eprintln!("robust check: {} never reached a checkpoint", row.label);
+                failed = true;
+            }
+            if row.checkpoints_after_cancel != 0 {
+                eprintln!(
+                    "robust check: {} ran {} more checkpoints after the cancellation \
+                     injected at checkpoint {}",
+                    row.label, row.checkpoints_after_cancel, row.cancel_at
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "robust check passed: armed cancel+budget machinery within 5% of the unguarded \
+             run at all {} points (best pairwise ratio <= 1.05), and every injected \
+             mid-query cancellation returned without reaching another checkpoint",
+            rows.len()
+        );
+    }
+}
+
 fn serve(options: &Options, config: &BenchConfig) {
     println!(
         "== Serving — prepared vs one-shot execution of a parameterized correlated \
@@ -496,7 +576,7 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|serve|concurrent|ablation|all> \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|serve|concurrent|ablation|all> \
          [--scale xs|s|m|l] [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] \
          [--execs N] [--check]"
     );
@@ -507,6 +587,11 @@ fn print_usage() {
     println!(
         "  --check (batch): exit non-zero unless batched execution is no slower than \
          per-tuple dispatch at every point (results and operator counts always verified)"
+    );
+    println!(
+        "  --check (robust): exit non-zero unless the armed cancel+budget machinery stays \
+         within 5% of the unguarded run and an injected mid-query cancel returns without \
+         reaching another checkpoint"
     );
     println!(
         "  --check (serve): exit non-zero unless prepared re-execution is strictly cheaper \

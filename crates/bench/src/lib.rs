@@ -17,7 +17,7 @@
 //! of selected points.
 
 use perm_core::{ProvenanceError, ProvenanceQuery, RewriteResult, Strategy};
-use perm_exec::Executor;
+use perm_exec::{CancelToken, ExecError, Executor, FaultKind, FaultPlan, FaultSite};
 use perm_storage::Database;
 use perm_synthetic::{build_database, build_query, random_range, QueryKind};
 
@@ -616,6 +616,258 @@ pub fn batch_results_to_json(figure: &str, rows: &[BatchPoint]) -> String {
             row.best_pair_ratio,
             row.operators_evaluated,
             row.vectorized_batches,
+            row.result_rows
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One point of the resilience-overhead comparison (`harness robust`): the
+/// same Gen-rewritten provenance plan executed with the full resilience
+/// machinery armed (cancel token with a far deadline plus a never-binding
+/// memory budget, so every checkpoint and byte charge runs but nothing
+/// fires) and with no governor installed at all.
+#[derive(Debug, Clone)]
+pub struct RobustPoint {
+    /// Workload label.
+    pub label: String,
+    /// Best (minimum) wall-clock milliseconds per guarded execution.
+    pub ms_guarded: f64,
+    /// Best wall-clock milliseconds per unguarded execution.
+    pub ms_plain: f64,
+    /// The best (smallest) `guarded / plain` wall-time ratio over the
+    /// measured pairs — the gate statistic, exactly as in the batch
+    /// comparison: one quiet pair is enough to show the checkpoints are
+    /// cheap, while true overhead shows up in *every* pair. (Each pair
+    /// alternates which mode runs first.)
+    pub best_pair_ratio: f64,
+    /// Cancellation checkpoints one guarded execution passed through.
+    pub cancel_checks: u64,
+    /// Peak bytes the accountant observed during one guarded execution.
+    pub peak_bytes: u64,
+    /// The checkpoint ordinal at which the latency probe injected a
+    /// cancellation (roughly the middle of the run).
+    pub cancel_at: u64,
+    /// Checkpoints the executor still passed *after* the injected
+    /// cancellation fired. Zero means the query unwound without touching
+    /// another batch — the "returns within one batch" guarantee.
+    pub checkpoints_after_cancel: u64,
+    /// Result rows (identical in both modes; asserted).
+    pub result_rows: usize,
+}
+
+impl RobustPoint {
+    /// Best-pair overhead of the armed machinery, as a percentage.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.best_pair_ratio - 1.0) * 100.0
+    }
+}
+
+/// Measures one plan under the Gen provenance rewrite with the resilience
+/// machinery armed and absent (`config.runs` order-alternated pairs, minimum
+/// wall time kept; results asserted bag-equal), then probes cancellation
+/// latency by injecting a [`FaultKind::Cancel`] at a mid-run checkpoint and
+/// counting how many checkpoints execute after it fires. `None` when the
+/// point exceeded the time budget or the rewrite is not applicable.
+fn measure_robust_plan(
+    db: &Database,
+    plan: &perm_algebra::Plan,
+    label: &str,
+    config: &BenchConfig,
+) -> Option<RobustPoint> {
+    /// Worker → driver messages, as in the batch comparison: the warmup
+    /// heartbeat lets the driver skip a too-slow point after one `timeout`.
+    enum Progress {
+        Warm,
+        Done(Option<RobustPoint>),
+    }
+    let runs = config.runs.max(1);
+    let (sender, receiver) = mpsc::channel();
+    let db = db.clone();
+    let plan = plan.clone();
+    let thread_label = label.to_string();
+    std::thread::spawn(move || {
+        let sender = &sender;
+        let send_done = |point| drop(sender.send(Progress::Done(point)));
+        let rewritten = match ProvenanceQuery::new(&db, &plan)
+            .strategy(Strategy::Gen)
+            .rewrite()
+        {
+            Ok(r) => r,
+            Err(_) => {
+                send_done(None);
+                return;
+            }
+        };
+        // The guarded run arms everything a production deadline-bounded
+        // request pays for — a live cancel token (far deadline, so it is
+        // checked but never trips) and a memory budget large enough that
+        // the accountant charges every operator yet never rejects.
+        let run_once = |guarded: bool| {
+            let mut executor = Executor::new(&db);
+            if guarded {
+                executor = executor
+                    .with_cancel_token(CancelToken::with_deadline(Duration::from_secs(3600)))
+                    .with_memory_budget(Some(1 << 40));
+            }
+            let start = Instant::now();
+            let relation = executor
+                .execute(rewritten.plan())
+                .expect("robust workload must run");
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            (
+                ms,
+                executor.cancel_checks(),
+                executor.peak_bytes(),
+                relation,
+            )
+        };
+        // One untimed warmup (doubling as the liveness probe), then
+        // order-alternated pairs — the same protocol as the batch
+        // comparison, for the same reason: a fixed mode order would hand
+        // the favoured mode a warmer allocator and bias the ratio.
+        let _ = run_once(true);
+        let _ = sender.send(Progress::Warm);
+        let mut ms_guarded = f64::INFINITY;
+        let mut ms_plain = f64::INFINITY;
+        let mut best_pair_ratio = f64::INFINITY;
+        let mut cancel_checks = 0;
+        let mut peak_bytes = 0;
+        let mut guarded_result = None;
+        let mut plain_result = None;
+        for pair in 0..runs {
+            let guarded_first = pair % 2 == 0;
+            let mut pair_ms = [0.0f64; 2];
+            for guarded in [guarded_first, !guarded_first] {
+                let (ms, checks, peak, relation) = run_once(guarded);
+                if guarded {
+                    pair_ms[0] = ms;
+                    ms_guarded = ms_guarded.min(ms);
+                    cancel_checks = checks;
+                    peak_bytes = peak;
+                    guarded_result = Some(relation);
+                } else {
+                    pair_ms[1] = ms;
+                    ms_plain = ms_plain.min(ms);
+                    plain_result = Some(relation);
+                }
+            }
+            best_pair_ratio = best_pair_ratio.min(pair_ms[0] / pair_ms[1].max(1e-9));
+        }
+        let guarded_result = guarded_result.expect("runs >= 1");
+        let plain_result = plain_result.expect("runs >= 1");
+        assert!(
+            guarded_result.bag_eq(&plain_result),
+            "guarded and unguarded results must agree on {thread_label}"
+        );
+        assert!(
+            cancel_checks > 0,
+            "a guarded run must pass at least one checkpoint on {thread_label}"
+        );
+        // Cancellation-latency probe: inject a cancel at a mid-run
+        // checkpoint and count the checkpoints seen after it fired. The
+        // fault's event counter keeps counting if execution continues, so
+        // `events_seen == cancel_at` proves the query unwound without
+        // starting another batch.
+        let cancel_at = (cancel_checks / 2).max(1);
+        let fault = FaultPlan::new(FaultKind::Cancel, FaultSite::Checkpoint, cancel_at);
+        let executor = Executor::new(&db).with_fault_plan(fault.clone());
+        match executor.execute(rewritten.plan()) {
+            Err(ExecError::Cancelled { .. }) => {}
+            other => panic!(
+                "injected cancellation on {thread_label} produced {other:?} \
+                 instead of ExecError::Cancelled"
+            ),
+        }
+        assert!(
+            fault.fired(),
+            "the latency probe must fire on {thread_label}"
+        );
+        send_done(Some(RobustPoint {
+            label: thread_label,
+            ms_guarded,
+            ms_plain,
+            best_pair_ratio,
+            cancel_checks,
+            peak_bytes,
+            cancel_at,
+            checkpoints_after_cancel: fault.events_seen() - cancel_at,
+            result_rows: guarded_result.len(),
+        }));
+    });
+    match receiver.recv_timeout(config.timeout) {
+        Ok(Progress::Warm) => {}
+        Ok(Progress::Done(point)) => return point,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("robust point {label} exceeded the warmup budget; skipped");
+            return None;
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("robust measurement worker for {label} failed")
+        }
+    }
+    match receiver.recv_timeout(config.timeout.mul_f64(2.0 * runs as f64)) {
+        Ok(Progress::Done(point)) => point,
+        Ok(Progress::Warm) => unreachable!("warmup heartbeat sent once"),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("robust point {label} exceeded the time budget; skipped");
+            None
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("robust measurement worker for {label} failed")
+        }
+    }
+}
+
+/// The resilience-overhead comparison (`harness robust`): the Fig. 7
+/// synthetic workload (q1/q2/q3 under the Gen provenance rewrite at the
+/// largest sweep point) executed with the cancel-token and memory-budget
+/// machinery armed-but-idle versus absent, plus a cancellation-latency
+/// probe per plan. Correctness is asserted inside (`bag_eq` between the
+/// modes, the injected cancel surfacing as `ExecError::Cancelled`); the
+/// overhead inequality is the `--check` gate's job.
+pub fn measure_robust(max_rows: usize, config: &BenchConfig) -> Vec<RobustPoint> {
+    let mut out = Vec::new();
+    let db = build_database(max_rows, max_rows / 5, config.seed);
+    let params = random_range(max_rows, max_rows / 5, config.seed);
+    for (kind, name) in [
+        (QueryKind::Q1EqualityAny, "q1"),
+        (QueryKind::Q2InequalityAll, "q2"),
+        (QueryKind::Q3CorrelatedExists, "q3"),
+    ] {
+        let plan = build_query(&db, params, kind);
+        let label = format!("fig7 {name} |R1|={max_rows}");
+        out.extend(measure_robust_plan(&db, &plan, &label, config));
+    }
+    out
+}
+
+/// Renders resilience-overhead points as JSON (`BENCH_robust.json`).
+pub fn robust_to_json(figure: &str, rows: &[RobustPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"ms_guarded\":{:.3},\"ms_plain\":{:.3},\
+             \"best_pair_ratio\":{:.3},\"overhead_pct\":{:.2},\"cancel_checks\":{},\
+             \"peak_bytes\":{},\"cancel_at\":{},\"checkpoints_after_cancel\":{},\
+             \"result_rows\":{}}}",
+            json_escape(&row.label),
+            row.ms_guarded,
+            row.ms_plain,
+            row.best_pair_ratio,
+            row.overhead_pct(),
+            row.cancel_checks,
+            row.peak_bytes,
+            row.cancel_at,
+            row.checkpoints_after_cancel,
             row.result_rows
         ));
     }
@@ -1230,6 +1482,38 @@ mod tests {
         let json = serve_to_json(&comparison);
         assert!(json.contains("\"figure\":\"serve\""));
         assert!(json.contains("\"speedup\":"));
+    }
+
+    #[test]
+    fn robust_measurement_counts_checkpoints_and_cancels_within_one_batch() {
+        // Deterministic counters only: the wall-time ratio is gated by
+        // `harness robust --check` in CI. Result equality between the
+        // guarded and unguarded modes, and the injected cancel surfacing
+        // as `ExecError::Cancelled`, are asserted inside
+        // `measure_robust_plan` itself and would panic here.
+        let points = measure_robust(300, &quick_config());
+        assert_eq!(points.len(), 3, "q1, q2 and q3 must all complete");
+        for point in &points {
+            assert!(
+                point.cancel_checks > 0,
+                "{} saw no checkpoints",
+                point.label
+            );
+            assert!(point.cancel_at >= 1);
+            assert_eq!(
+                point.checkpoints_after_cancel, 0,
+                "{} kept running past the injected cancellation",
+                point.label
+            );
+        }
+        assert!(
+            points.iter().any(|p| p.peak_bytes > 0),
+            "the armed accountant must observe bytes on at least one plan"
+        );
+        let json = robust_to_json("robust", &points);
+        assert!(json.starts_with("{\"figure\":\"robust\",\"rows\":["));
+        assert!(json.contains("\"best_pair_ratio\":"));
+        assert!(json.contains("\"checkpoints_after_cancel\":0"));
     }
 
     #[test]

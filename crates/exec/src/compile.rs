@@ -668,11 +668,12 @@ impl Executor<'_> {
         frame: Option<&Frame<'_>>,
     ) -> Result<Relation> {
         let ops = &self.ops_evaluated;
+        let gov = &self.governor;
         match plan {
             CompiledPlan::Scan { table, schema } => {
-                physical::scan(ops, self.database(), table, schema)
+                physical::scan(ops, gov, self.database(), table, schema)
             }
-            CompiledPlan::Values { schema, rows } => physical::values(ops, schema, rows),
+            CompiledPlan::Values { schema, rows } => physical::values(ops, gov, schema, rows),
             CompiledPlan::Project {
                 input,
                 items,
@@ -680,7 +681,7 @@ impl Executor<'_> {
                 schema,
             } => {
                 let child = self.execute_compiled_node(input, frame)?;
-                physical::project(ops, &child, schema.clone(), *distinct, |batch, out| {
+                physical::project(ops, gov, &child, schema.clone(), *distinct, |batch, out| {
                     self.project_batch(items, batch, frame, out)
                 })
             }
@@ -688,7 +689,7 @@ impl Executor<'_> {
                 input, predicate, ..
             } => {
                 let child = self.execute_compiled_node(input, frame)?;
-                physical::select(ops, &child, |batch, out| {
+                physical::select(ops, gov, &child, |batch, out| {
                     self.predicate_batch(predicate, batch, frame, out)
                 })
             }
@@ -699,7 +700,7 @@ impl Executor<'_> {
             } => {
                 let l = self.execute_compiled_node(left, frame)?;
                 let r = self.execute_compiled_node(right, frame)?;
-                Ok(physical::cross_product(ops, &l, &r, schema.clone()))
+                physical::cross_product(ops, gov, &l, &r, schema.clone())
             }
             CompiledPlan::Join {
                 left,
@@ -714,6 +715,7 @@ impl Executor<'_> {
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
                 physical::join(
                     ops,
+                    gov,
                     &l,
                     &r,
                     schema,
@@ -741,6 +743,7 @@ impl Executor<'_> {
                     .collect();
                 physical::aggregate(
                     ops,
+                    gov,
                     &child,
                     schema.clone(),
                     group_by.len(),
@@ -767,12 +770,12 @@ impl Executor<'_> {
             } => {
                 let l = self.execute_compiled_node(left, frame)?;
                 let r = self.execute_compiled_node(right, frame)?;
-                physical::set_op(ops, *op, *all, &l, &r)
+                physical::set_op(ops, gov, *op, *all, &l, &r)
             }
             CompiledPlan::Sort { input, keys, .. } => {
                 let child = self.execute_compiled_node(input, frame)?;
                 let ascending: Vec<bool> = keys.iter().map(|k| k.ascending).collect();
-                physical::sort(ops, child, &ascending, |batch, cols| {
+                physical::sort(ops, gov, child, &ascending, |batch, cols| {
                     for (k, col) in keys.iter().zip(cols.iter_mut()) {
                         self.expr_batch(&k.expr, batch, frame, col)?;
                     }
@@ -785,7 +788,7 @@ impl Executor<'_> {
                 // nested under an operator or inside a sublink plan
                 // evaluates its whole input exactly like the interpreter.
                 let child = self.execute_compiled_node(input, frame)?;
-                physical::limit(ops, child, *limit)
+                physical::limit(ops, gov, child, *limit)
             }
         }
     }
@@ -1396,6 +1399,7 @@ impl Executor<'_> {
         frame: Option<&Frame<'_>>,
         key: Option<Vec<u8>>,
     ) -> Result<Arc<Relation>> {
+        self.governor.checkpoint("sublink")?;
         // With a shared memo attached, compiled-path entries live there —
         // the keys are process-unique, so cross-executor hits are safe and
         // are the point. Without one, the executor-private memo serves.
@@ -1410,12 +1414,15 @@ impl Executor<'_> {
         }
         let result = Arc::new(self.execute_compiled_node(&sublink.plan, frame)?);
         if let Some(k) = key {
-            match &self.shared_memo {
-                Some(shared) => shared.insert_result(k, Arc::clone(&result)),
-                None => self
-                    .sublink_memo
-                    .borrow_mut()
-                    .insert(k, Arc::clone(&result)),
+            let cost = k.len() as u64 + crate::resilience::MemoCost::cost_bytes(&result);
+            if self.governor.memo_insert_event("sublink-memo", cost)? {
+                match &self.shared_memo {
+                    Some(shared) => shared.insert_result(k, Arc::clone(&result)),
+                    None => self
+                        .sublink_memo
+                        .borrow_mut()
+                        .insert(k, Arc::clone(&result)),
+                }
             }
         }
         Ok(result)

@@ -182,6 +182,15 @@ impl Rows<'_, '_> {
         &self.schema
     }
 
+    /// A [`CancelToken`](crate::CancelToken) wired to the executor driving
+    /// this cursor. Cancelling it — from any thread — makes the next batch
+    /// refill yield [`ExecError::Cancelled`](crate::ExecError::Cancelled)
+    /// instead of rows, so a consumer holding only the `Rows` iterator can
+    /// still be interrupted mid-stream.
+    pub fn cancel_handle(&self) -> crate::CancelToken {
+        self.executor.cancel_handle()
+    }
+
     /// Drains the cursor into a materialised relation.
     pub fn into_relation(mut self) -> Result<Relation> {
         let mut out = Relation::empty(self.schema.clone());
@@ -206,6 +215,13 @@ impl Iterator for Rows<'_, '_> {
             }
             if self.done {
                 return None;
+            }
+            // A refill is a batch boundary: poll the governor here so a
+            // cancelled or past-deadline stream stops within one batch even
+            // when the spine below never materialises.
+            if let Err(e) = self.executor.governor.checkpoint("cursor") {
+                self.done = true;
+                return Some(Err(e));
             }
             // Refill a batch. Another execution on the same executor may
             // have re-bound the parameter vector between pulls; re-assert

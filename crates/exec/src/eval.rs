@@ -268,9 +268,12 @@ impl Executor<'_> {
         }
         let relation = result(Some(verdict_key[..prefix_len].to_vec()))?;
         let truth = self.fold_quantified(kind, op, test_value, &relation);
-        match shared {
-            Some(shared) => shared.insert_verdict(verdict_key, truth),
-            None => self.verdict_memo.borrow_mut().insert(verdict_key, truth),
+        let cost = verdict_key.len() as u64 + crate::resilience::MemoCost::cost_bytes(&truth);
+        if self.governor.memo_insert_event("verdict-memo", cost)? {
+            match shared {
+                Some(shared) => shared.insert_verdict(verdict_key, truth),
+                None => self.verdict_memo.borrow_mut().insert(verdict_key, truth),
+            }
         }
         Ok(truth)
     }

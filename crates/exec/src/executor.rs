@@ -48,6 +48,7 @@ use crate::compile::CompiledPlan;
 use crate::eval::Env;
 use crate::memo::{MemoMap, SharedSublinkMemo};
 use crate::physical::{self, AggSpec};
+use crate::resilience::{CancelToken, FaultPlan, Governor, MemoCost};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{Expr, Plan, SortKey};
@@ -56,6 +57,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One free correlated column reference as reported by
 /// [`free_correlated_columns`]: optional qualifier plus name.
@@ -67,19 +69,27 @@ pub struct Executor<'a> {
     /// Parameterized sublink memo of the compiled path: sublink results
     /// keyed by `(compiled sublink id, typed encoding of the referenced
     /// query-parameter values followed by the correlated binding values)`,
-    /// shared as `Arc`s so hits never deep-copy.
-    pub(crate) sublink_memo: RefCell<MemoMap<Arc<Relation>>>,
+    /// shared as `Arc`s so hits never deep-copy. Wrapped in an `Rc` so the
+    /// resilience governor can hold a reclaim handle: under memory-budget
+    /// pressure the memo is cleared (a pure speed loss) before the query is
+    /// failed.
+    pub(crate) sublink_memo: Rc<RefCell<MemoMap<Arc<Relation>>>>,
     /// Parameterized sublink memo of the interpreter path: same contract,
     /// keyed by the sublink plan's *node address* (stable for the lifetime
     /// of one query execution because plans are borrowed immutably) plus
     /// the typed encoding of its referenced parameter values and free
     /// correlated column bindings.
-    pub(crate) interp_sublink_memo: RefCell<MemoMap<Arc<Relation>>>,
+    pub(crate) interp_sublink_memo: Rc<RefCell<MemoMap<Arc<Relation>>>>,
     /// `ANY`/`ALL` verdict memo, shared by both paths: `Truth` keyed by the
     /// sublink's result-memo key extended with the typed test value. The
     /// namespace tag leading each result key keeps compiled ids and
     /// interpreter addresses from colliding.
-    pub(crate) verdict_memo: RefCell<MemoMap<Truth>>,
+    pub(crate) verdict_memo: Rc<RefCell<MemoMap<Truth>>>,
+    /// The resilience governor: installed cancel token / fault plan /
+    /// memory budget plus the `cancel_checks` and `peak_bytes` counters.
+    /// Polled at batch boundaries by `crate::physical`, at cursor refills
+    /// and at memoized-sublink entry.
+    pub(crate) governor: Governor,
     /// Optional cross-thread memo ([`Executor::with_shared_memo`]). When
     /// attached, compiled-path sublink results and verdicts go to (and come
     /// from) the shared sharded maps instead of the private memos above, so
@@ -139,11 +149,22 @@ impl<'a> Executor<'a> {
     /// Creates an executor over a database. Sublink memoization is enabled;
     /// use [`Executor::with_sublink_memo`] to switch it off.
     pub fn new(db: &'a Database) -> Executor<'a> {
+        let sublink_memo = Rc::new(RefCell::new(MemoMap::new()));
+        let interp_sublink_memo = Rc::new(RefCell::new(MemoMap::new()));
+        let verdict_memo = Rc::new(RefCell::new(MemoMap::new()));
+        let governor = Governor::new();
+        // Register every private memo for byte accounting and
+        // budget-pressure reclaim (evict first, fail only if that is not
+        // enough).
+        governor.register_memo(Box::new(Rc::clone(&sublink_memo)));
+        governor.register_memo(Box::new(Rc::clone(&interp_sublink_memo)));
+        governor.register_memo(Box::new(Rc::clone(&verdict_memo)));
         Executor {
             db,
-            sublink_memo: RefCell::new(MemoMap::new()),
-            interp_sublink_memo: RefCell::new(MemoMap::new()),
-            verdict_memo: RefCell::new(MemoMap::new()),
+            sublink_memo,
+            interp_sublink_memo,
+            verdict_memo,
+            governor,
             shared_memo: None,
             free_columns_cache: RefCell::new(HashMap::new()),
             free_params_cache: RefCell::new(HashMap::new()),
@@ -229,6 +250,10 @@ impl<'a> Executor<'a> {
     /// executors serving *prepared* plans under memo retention, which is
     /// what the serving subsystem does.
     pub fn with_shared_memo(mut self, memo: Arc<SharedSublinkMemo>) -> Executor<'a> {
+        // The shared memo participates in byte accounting and is reclaimed
+        // under budget pressure like the private memos — other sessions
+        // lose warm entries (speed), never correctness.
+        self.governor.register_memo(Box::new(Arc::clone(&memo)));
         self.shared_memo = Some(memo);
         self
     }
@@ -249,6 +274,70 @@ impl<'a> Executor<'a> {
     pub fn with_memo_retention(self, retain: bool) -> Executor<'a> {
         self.retain_memo.set(retain);
         self
+    }
+
+    /// Installs a cooperative [`CancelToken`], polled at batch boundaries,
+    /// cursor refills and memoized-sublink entry; once it trips, the
+    /// current (and any later) execution fails with
+    /// [`ExecError::Cancelled`] within one batch worth of work.
+    pub fn with_cancel_token(self, token: CancelToken) -> Executor<'a> {
+        self.governor.set_cancel_token(Some(token));
+        self
+    }
+
+    /// Installs a fresh cancel token that trips once `deadline` has passed
+    /// (a convenience over [`Executor::with_cancel_token`]).
+    pub fn with_deadline(self, deadline: Duration) -> Executor<'a> {
+        self.governor
+            .set_cancel_token(Some(CancelToken::with_deadline(deadline)));
+        self
+    }
+
+    /// Bounds the bytes this executor may hold in growing operator state
+    /// (hash-join build tables and candidate buffers, aggregation groups,
+    /// sort buffers) plus its sublink memos. On pressure the memos are
+    /// reclaimed first — losing only speed — and the query fails with
+    /// [`ExecError::ResourceExhausted`] only when that does not free
+    /// enough. `None` (the default) disables accounting entirely.
+    pub fn with_memory_budget(self, bytes: Option<u64>) -> Executor<'a> {
+        self.governor.set_budget(bytes);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] that fires a cancellation,
+    /// budget exhaustion or panic at the N-th checkpoint / memo-insert /
+    /// operator event — the crash-consistency test harness.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Executor<'a> {
+        self.governor.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Replaces the installed cancel token (or removes it with `None`)
+    /// without consuming the executor — sessions mint a fresh token per
+    /// execution so a stale cancel never leaks into the next query.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        self.governor.set_cancel_token(token);
+    }
+
+    /// The installed cancel token, creating (and installing) a fresh one if
+    /// none is present — the handle behind `Rows::cancel_handle`.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.governor.ensure_cancel_token()
+    }
+
+    /// Number of cancellation checkpoints polled so far (diagnostic
+    /// counter; deliberately separate from
+    /// [`Executor::operators_evaluated`], which counts logical operator
+    /// invocations and is pinned exactly by many tests).
+    pub fn cancel_checks(&self) -> u64 {
+        self.governor.cancel_checks()
+    }
+
+    /// High-water mark of accounted bytes (operator state plus memo
+    /// footprint) observed so far. Only grows while a memory budget is
+    /// installed or memos insert entries.
+    pub fn peak_bytes(&self) -> u64 {
+        self.governor.peak_bytes()
     }
 
     /// Binds the query-parameter vector (`$1` is `params[0]`) used by
@@ -451,9 +540,12 @@ impl<'a> Executor<'a> {
         }
         let result = Arc::new(self.execute_with_env(plan, env)?);
         if let Some(k) = key {
-            self.interp_sublink_memo
-                .borrow_mut()
-                .insert(k, Arc::clone(&result));
+            let cost = k.len() as u64 + result.cost_bytes();
+            if self.governor.memo_insert_event("sublink-memo", cost)? {
+                self.interp_sublink_memo
+                    .borrow_mut()
+                    .insert(k, Arc::clone(&result));
+            }
         }
         Ok(result)
     }
@@ -465,9 +557,10 @@ impl<'a> Executor<'a> {
     /// sublink query of an outer operator).
     pub fn execute_with_env(&self, plan: &Plan, env: Option<&Env<'_>>) -> Result<Relation> {
         let ops = &self.ops_evaluated;
+        let gov = &self.governor;
         match plan {
-            Plan::Scan { table, schema, .. } => physical::scan(ops, self.db, table, schema),
-            Plan::Values { schema, rows } => physical::values(ops, schema, rows),
+            Plan::Scan { table, schema, .. } => physical::scan(ops, gov, self.db, table, schema),
+            Plan::Values { schema, rows } => physical::values(ops, gov, schema, rows),
             Plan::Project {
                 input,
                 items,
@@ -475,7 +568,7 @@ impl<'a> Executor<'a> {
             } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::project(ops, &child, plan.schema(), *distinct, |batch, out| {
+                physical::project(ops, gov, &child, plan.schema(), *distinct, |batch, out| {
                     for tuple in batch.iter() {
                         let scope = Env::new(env, &child_schema, tuple);
                         // Explicit loop, not `collect::<Result<_>>()`: the
@@ -494,7 +587,7 @@ impl<'a> Executor<'a> {
             Plan::Select { input, predicate } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::select(ops, &child, |batch, out| {
+                physical::select(ops, gov, &child, |batch, out| {
                     for tuple in batch.iter() {
                         let scope = Env::new(env, &child_schema, tuple);
                         out.push(self.eval_predicate(predicate, Some(&scope))?.is_true());
@@ -506,7 +599,7 @@ impl<'a> Executor<'a> {
                 let l = self.execute_with_env(left, env)?;
                 let r = self.execute_with_env(right, env)?;
                 let schema = l.schema().concat(r.schema());
-                Ok(physical::cross_product(ops, &l, &r, schema))
+                physical::cross_product(ops, gov, &l, &r, schema)
             }
             Plan::Join {
                 left,
@@ -531,6 +624,7 @@ impl<'a> Executor<'a> {
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
                 physical::join(
                     ops,
+                    gov,
                     &l,
                     &r,
                     &out_schema,
@@ -576,6 +670,7 @@ impl<'a> Executor<'a> {
                     .collect();
                 physical::aggregate(
                     ops,
+                    gov,
                     &child,
                     plan.schema(),
                     group_by.len(),
@@ -604,13 +699,13 @@ impl<'a> Executor<'a> {
             } => {
                 let l = self.execute_with_env(left, env)?;
                 let r = self.execute_with_env(right, env)?;
-                physical::set_op(ops, *op, *all, &l, &r)
+                physical::set_op(ops, gov, *op, *all, &l, &r)
             }
             Plan::Sort { input, keys } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
                 let ascending: Vec<bool> = keys.iter().map(|k: &SortKey| k.ascending).collect();
-                physical::sort(ops, child, &ascending, |batch, cols| {
+                physical::sort(ops, gov, child, &ascending, |batch, cols| {
                     for tuple in batch.iter() {
                         let scope = Env::new(env, &child_schema, tuple);
                         for (k, col) in keys.iter().zip(cols.iter_mut()) {
@@ -622,7 +717,7 @@ impl<'a> Executor<'a> {
             }
             Plan::Limit { input, limit } => {
                 let child = self.execute_with_env(input, env)?;
-                physical::limit(ops, child, *limit)
+                physical::limit(ops, gov, child, *limit)
             }
         }
     }

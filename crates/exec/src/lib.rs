@@ -62,6 +62,14 @@
 //! which worker executors share compiled-path sublink results and verdicts,
 //! the substrate of the `perm-serve` crate's parallel correlated-sublink
 //! evaluation.
+//!
+//! The [`resilience`] module threads serving-grade governance through the
+//! same physical layer: cooperative cancellation and deadlines (polled at
+//! batch boundaries via a [`CancelToken`], surfacing as
+//! [`ExecError::Cancelled`]), a per-executor memory budget with byte-aware
+//! memo accounting and evict-before-fail degradation (surfacing as
+//! [`ExecError::ResourceExhausted`]), and a deterministic [`FaultPlan`]
+//! injector for crash-consistency testing.
 
 pub mod aggregate;
 pub mod batch;
@@ -72,6 +80,7 @@ pub mod executor;
 pub mod functions;
 pub(crate) mod memo;
 pub(crate) mod physical;
+pub mod resilience;
 
 pub use batch::{Batch, BATCH_ROWS};
 pub use compile::{CompiledExpr, CompiledPlan, CompiledSublink, Frame, Slot};
@@ -79,6 +88,7 @@ pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
 pub use memo::SharedSublinkMemo;
+pub use resilience::{CancelToken, FaultKind, FaultPlan, FaultSite};
 
 use perm_storage::StorageError;
 
@@ -98,6 +108,19 @@ pub enum ExecError {
     Param(String),
     /// The plan is invalid or uses a feature the executor does not support.
     Unsupported(String),
+    /// The query was cancelled cooperatively — by an explicit
+    /// [`CancelToken::cancel`], an expired deadline, or an injected fault.
+    /// Raised at a batch-boundary checkpoint, so no partial result escapes.
+    Cancelled {
+        /// Why the query was cancelled (e.g. `"deadline exceeded"`).
+        reason: String,
+    },
+    /// The memory budget was exhausted and reclaiming memos did not free
+    /// enough; names the physical operator whose state hit the limit.
+    ResourceExhausted {
+        /// The physical operator that could not grow its state.
+        operator: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -111,6 +134,10 @@ impl std::fmt::Display for ExecError {
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::Param(msg) => write!(f, "parameter error: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ExecError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
+            ExecError::ResourceExhausted { operator } => {
+                write!(f, "memory budget exhausted in operator `{operator}`")
+            }
         }
     }
 }

@@ -13,11 +13,18 @@
 //! same key are skipped at eviction time and compacted away when the queue
 //! outgrows the map by a constant factor.
 
+use crate::resilience::{MemoBytes, MemoCost};
 use perm_storage::{Relation, Truth};
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hasher;
-use std::sync::{Arc, Mutex};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Fixed per-entry bookkeeping estimate (hash-map slot, recency stamp,
+/// queue representative) added to each entry's key + value bytes.
+const ENTRY_OVERHEAD: u64 = 48;
 
 /// One stored entry: the cached value plus the recency stamp of its last
 /// touch (0 while unbounded — stamps only mean something under a capacity).
@@ -35,16 +42,30 @@ pub(crate) struct MemoMap<V> {
     /// Monotonic recency clock.
     stamp: u64,
     capacity: Option<usize>,
+    /// Approximate live bytes (keys + values + per-entry overhead), kept
+    /// exact across insert/evict/clear so the resilience governor can
+    /// account memo memory without walking the map.
+    bytes: u64,
 }
 
-impl<V: Clone> MemoMap<V> {
+impl<V: Clone + MemoCost> MemoMap<V> {
     pub(crate) fn new() -> MemoMap<V> {
         MemoMap {
             map: HashMap::new(),
             queue: VecDeque::new(),
             stamp: 0,
             capacity: None,
+            bytes: 0,
         }
+    }
+
+    /// Approximate bytes held by the live entries.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn entry_cost(key_len: usize, value: &V) -> u64 {
+        key_len as u64 + value.cost_bytes() + ENTRY_OVERHEAD
     }
 
     /// Bounds the map to at most `capacity` entries with LRU eviction, or
@@ -86,13 +107,19 @@ impl<V: Clone> MemoMap<V> {
     /// Inserts a key, evicting least-recently-used entries if the configured
     /// capacity is exceeded.
     pub(crate) fn insert(&mut self, key: Vec<u8>, value: V) {
+        let key_len = key.len();
+        self.bytes += Self::entry_cost(key_len, &value);
         if self.capacity.is_none() {
-            self.map.insert(key, Entry { stamp: 0, value });
+            if let Some(old) = self.map.insert(key, Entry { stamp: 0, value }) {
+                self.bytes -= Self::entry_cost(key_len, &old.value);
+            }
             return;
         }
         let stamp = self.next_stamp();
         self.queue.push_back((stamp, key.clone()));
-        self.map.insert(key, Entry { stamp, value });
+        if let Some(old) = self.map.insert(key, Entry { stamp, value }) {
+            self.bytes -= Self::entry_cost(key_len, &old.value);
+        }
         self.evict_over_capacity();
         self.maybe_compact();
     }
@@ -100,6 +127,7 @@ impl<V: Clone> MemoMap<V> {
     pub(crate) fn clear(&mut self) {
         self.map.clear();
         self.queue.clear();
+        self.bytes = 0;
     }
 
     #[cfg(test)]
@@ -127,7 +155,9 @@ impl<V: Clone> MemoMap<V> {
                     // Stale queue entry: the key was touched again later (or
                     // already evicted); the fresher queue entry represents it.
                     if self.map.get(&key).map(|e| e.stamp) == Some(stamp) {
-                        self.map.remove(&key);
+                        if let Some(old) = self.map.remove(&key) {
+                            self.bytes -= Self::entry_cost(key.len(), &old.value);
+                        }
                     }
                 }
                 None => {
@@ -171,7 +201,7 @@ pub(crate) struct ShardedMemo<V> {
     shards: Vec<Mutex<MemoMap<V>>>,
 }
 
-impl<V: Clone> ShardedMemo<V> {
+impl<V: Clone + MemoCost> ShardedMemo<V> {
     fn new(shards: usize, capacity: Option<usize>) -> ShardedMemo<V> {
         let shards = shards.max(1);
         // A per-shard capacity so the total bound is ~`capacity`; rounding up
@@ -194,30 +224,44 @@ impl<V: Clone> ShardedMemo<V> {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
+    // Shard locks recover from poisoning (`PoisonError::into_inner`): a
+    // panic while a shard is held cannot leave the map internally
+    // inconsistent, because every critical section is a single complete
+    // `MemoMap` operation — there is no multi-step write a panic could
+    // interrupt halfway. Propagating the poison instead would turn one
+    // panicked worker into a permanent failure for every later query whose
+    // key hashes to the same shard.
     fn get(&self, key: &[u8]) -> Option<V> {
         self.shard(key)
             .lock()
-            .expect("memo shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
     }
 
     fn insert(&self, key: Vec<u8>, value: V) {
         self.shard(&key)
             .lock()
-            .expect("memo shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, value);
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("memo shard poisoned").clear();
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
     }
 
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).bytes())
             .sum()
     }
 }
@@ -282,6 +326,13 @@ impl SharedSublinkMemo {
         self.results.len() + self.verdicts.len()
     }
 
+    /// Approximate bytes held across both maps and all shards — the memo is
+    /// byte-aware, not just entry-aware, so a memory budget can account and
+    /// reclaim it.
+    pub fn byte_size(&self) -> u64 {
+        self.results.bytes() + self.verdicts.bytes()
+    }
+
     pub(crate) fn get_result(&self, key: &[u8]) -> Option<Arc<Relation>> {
         self.results.get(key)
     }
@@ -299,6 +350,35 @@ impl SharedSublinkMemo {
     }
 }
 
+// The governor's view of an executor-private memo: byte footprint and
+// clear-everything reclaim. The `Rc<RefCell<..>>` handle is what the
+// executor itself holds, so reclaiming here is indistinguishable from the
+// executor clearing its own memo — a pure speed loss.
+impl<V: Clone + MemoCost> MemoBytes for Rc<RefCell<MemoMap<V>>> {
+    fn current_bytes(&self) -> u64 {
+        self.borrow().bytes()
+    }
+
+    fn reclaim(&self) -> u64 {
+        let mut memo = self.borrow_mut();
+        let freed = memo.bytes();
+        memo.clear();
+        freed
+    }
+}
+
+impl MemoBytes for Arc<SharedSublinkMemo> {
+    fn current_bytes(&self) -> u64 {
+        self.byte_size()
+    }
+
+    fn reclaim(&self) -> u64 {
+        let freed = self.byte_size();
+        self.clear();
+        freed
+    }
+}
+
 impl std::fmt::Debug for SharedSublinkMemo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedSublinkMemo")
@@ -311,6 +391,12 @@ impl std::fmt::Debug for SharedSublinkMemo {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    impl MemoCost for u32 {
+        fn cost_bytes(&self) -> u64 {
+            std::mem::size_of::<u32>() as u64
+        }
+    }
 
     #[test]
     fn unbounded_map_keeps_everything() {
@@ -397,6 +483,59 @@ mod tests {
         // Total bound is the per-shard bound × shards: ceil(8 / 4) = 2 each.
         assert!(memo.results.len() <= 8, "got {}", memo.results.len());
         assert!(memo.results.len() >= 4, "every shard keeps its recent keys");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_insert_replace_evict_and_clear() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        assert_eq!(m.bytes(), 0);
+        m.insert(vec![1, 2, 3], 7);
+        let one = m.bytes();
+        assert_eq!(one, 3 + 4 + ENTRY_OVERHEAD);
+        // Replacing a key must not double-count.
+        m.insert(vec![1, 2, 3], 8);
+        assert_eq!(m.bytes(), one);
+        m.insert(vec![4], 9);
+        assert!(m.bytes() > one);
+        // LRU eviction returns the evicted entries' bytes.
+        m.set_capacity(Some(1));
+        assert_eq!(m.len(), 1);
+        assert!(m.bytes() < one + (1 + 4 + ENTRY_OVERHEAD));
+        m.clear();
+        assert_eq!(m.bytes(), 0);
+
+        let shared = SharedSublinkMemo::new();
+        assert_eq!(shared.byte_size(), 0);
+        shared.insert_verdict(vec![1], Truth::True);
+        shared.insert_result(vec![2], Arc::new(Relation::default()));
+        assert!(shared.byte_size() > 0);
+        shared.clear();
+        assert_eq!(shared.byte_size(), 0);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_the_next_query() {
+        let memo = SharedSublinkMemo::new();
+        memo.insert_verdict(vec![1], Truth::True);
+        // A worker panics while holding the shard lock of key [1],
+        // poisoning the mutex.
+        let worker = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = memo.verdicts.shard(&[1]).lock().unwrap();
+                panic!("worker dies inside the critical section");
+            })
+            .join()
+        });
+        assert!(worker.is_err(), "the worker must actually panic");
+        // Every operation on that shard still succeeds: the entries are
+        // internally consistent (each write is one complete insert), so the
+        // poison is recovered rather than propagated.
+        assert_eq!(memo.get_verdict(&[1]), Some(Truth::True));
+        memo.insert_verdict(vec![1, 1], Truth::False);
+        assert_eq!(memo.get_verdict(&[1, 1]), Some(Truth::False));
+        assert!(memo.byte_size() > 0);
+        memo.clear();
+        assert_eq!(memo.entry_count(), 0);
     }
 
     #[test]

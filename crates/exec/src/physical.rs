@@ -40,9 +40,21 @@
 //! which keeps the counter comparable across batch sizes and is what makes
 //! sublink-memo hits (which never reach this module) measurable as missing
 //! operator evaluations.
+//!
+//! Every operator also cooperates with the executor's `Governor`
+//! (`crate::resilience`): a cancellation **checkpoint** runs once per batch
+//! boundary (never per row, so the ≤5% overhead budget holds), an operator
+//! event gives fault injection its hook, and the state that can actually
+//! grow without bound — hash-join build tables and candidate buffers,
+//! aggregation groups, sort buffers — is charged against the memory budget
+//! as it grows, with the charge credited back when the operator returns.
+//! The `cancel_checks` counter is deliberately separate from
+//! `operators_evaluated`: the latter is a per-invocation semantics
+//! diagnostic that many tests pin exactly.
 
 use crate::aggregate::Accumulator;
 use crate::batch::{Batch, BATCH_ROWS};
+use crate::resilience::{tuple_bytes, value_bytes, Governor};
 use crate::{ExecError, Result};
 use perm_algebra::{AggFunc, JoinKind, SetOpKind};
 use perm_storage::{encode_key, Database, Relation, Schema, Tuple, Value};
@@ -73,18 +85,28 @@ pub(crate) struct AggSpec {
 /// schema (which may carry an alias qualifier).
 pub(crate) fn scan(
     ops: &OpCounter,
+    gov: &Governor,
     db: &Database,
     table: &str,
     schema: &Schema,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("scan")?;
+    gov.checkpoint("scan")?;
     let base = db.table(table)?;
     Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
 }
 
 /// Constant relation.
-pub(crate) fn values(ops: &OpCounter, schema: &Schema, rows: &[Tuple]) -> Result<Relation> {
+pub(crate) fn values(
+    ops: &OpCounter,
+    gov: &Governor,
+    schema: &Schema,
+    rows: &[Tuple],
+) -> Result<Relation> {
     count(ops);
+    gov.operator_event("values")?;
+    gov.checkpoint("values")?;
     Ok(Relation::new(schema.clone(), rows.to_vec())?)
 }
 
@@ -92,15 +114,18 @@ pub(crate) fn values(ops: &OpCounter, schema: &Schema, rows: &[Tuple]) -> Result
 /// appending one output tuple per live row.
 pub(crate) fn project(
     ops: &OpCounter,
+    gov: &Governor,
     child: &Relation,
     out_schema: Schema,
     distinct: bool,
     mut rows_of: impl FnMut(&Batch<'_>, &mut Vec<Tuple>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("project")?;
     let mut out = Relation::empty(out_schema);
     let mut buf: Vec<Tuple> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
+        gov.checkpoint("project")?;
         buf.clear();
         rows_of(&Batch::dense(chunk), &mut buf)?;
         debug_assert_eq!(buf.len(), chunk.len(), "projection must be 1:1 per batch");
@@ -117,13 +142,16 @@ pub(crate) fn project(
 /// materialised.
 pub(crate) fn select(
     ops: &OpCounter,
+    gov: &Governor,
     child: &Relation,
     mut keep: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("select")?;
     let mut out = Relation::empty(child.schema().clone());
     let mut truths: Vec<bool> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
+        gov.checkpoint("select")?;
         truths.clear();
         keep(&Batch::dense(chunk), &mut truths)?;
         debug_assert_eq!(truths.len(), chunk.len(), "one verdict per live row");
@@ -139,18 +167,26 @@ pub(crate) fn select(
 /// Cross product.
 pub(crate) fn cross_product(
     ops: &OpCounter,
+    gov: &Governor,
     l: &Relation,
     r: &Relation,
     out_schema: Schema,
-) -> Relation {
+) -> Result<Relation> {
     count(ops);
+    gov.operator_event("cross_product")?;
     let mut out = Relation::empty(out_schema);
+    let mut since_checkpoint = 0usize;
     for lt in l.tuples() {
+        since_checkpoint += r.len();
+        if since_checkpoint >= BATCH_ROWS {
+            since_checkpoint = 0;
+            gov.checkpoint("cross_product")?;
+        }
         for rt in r.tuples() {
             out.push_unchecked(lt.concat(rt));
         }
     }
-    out
+    Ok(out)
 }
 
 /// One left row's candidate range inside a pending joined-row buffer:
@@ -165,7 +201,9 @@ struct JoinSegment<'l> {
 /// (evaluated batch-at-a-time) and emits, **in order**, each segment's
 /// surviving rows followed by its left-outer NULL padding when nothing
 /// survived. Drains both buffers.
+#[allow(clippy::too_many_arguments)]
 fn flush_join_segments(
+    gov: &Governor,
     condition: &mut impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
     pending: &mut Vec<Tuple>,
     segments: &mut Vec<JoinSegment<'_>>,
@@ -176,6 +214,7 @@ fn flush_join_segments(
 ) -> Result<()> {
     truths.clear();
     for chunk in pending.chunks(BATCH_ROWS) {
+        gov.checkpoint("join")?;
         condition(&Batch::dense(chunk), truths)?;
     }
     debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
@@ -218,6 +257,7 @@ fn flush_join_segments(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join(
     ops: &OpCounter,
+    gov: &Governor,
     l: &Relation,
     r: &Relation,
     out_schema: &Schema,
@@ -228,6 +268,8 @@ pub(crate) fn join(
     mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("join")?;
+    let mut charge = gov.transient("join");
     let right_arity = r.schema().arity();
     let nkeys = key_null_safe.len();
     let mut out = Relation::empty(out_schema.clone());
@@ -247,11 +289,13 @@ pub(crate) fn join(
         let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
         let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
         for chunk in r.tuples().chunks(BATCH_ROWS) {
+            gov.checkpoint("join")?;
             let batch = Batch::dense(chunk);
             for (i, col) in key_cols.iter_mut().enumerate() {
                 col.clear();
                 right_keys(&batch, i, col)?;
             }
+            let mut chunk_bytes = 0u64;
             'rows: for (j, rt) in chunk.iter().enumerate() {
                 let mut key_values = Vec::with_capacity(nkeys);
                 for (col, null_safe) in key_cols.iter_mut().zip(key_null_safe) {
@@ -263,7 +307,16 @@ pub(crate) fn join(
                     // key per row on wide provenance tuples).
                     key_values.push(std::mem::replace(&mut col[j], Value::Null));
                 }
-                buckets.entry(encode_key(&key_values)).or_default().push(rt);
+                let key = encode_key(&key_values);
+                if charge.is_some() {
+                    // Build-table growth: the encoded key plus the
+                    // bucket-mate reference.
+                    chunk_bytes += key.len() as u64 + std::mem::size_of::<&Tuple>() as u64;
+                }
+                buckets.entry(key).or_default().push(rt);
+            }
+            if let Some(c) = charge.as_mut() {
+                c.grow(chunk_bytes)?;
             }
         }
 
@@ -274,6 +327,7 @@ pub(crate) fn join(
         let empty: Vec<&Tuple> = Vec::new();
         let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
         for chunk in l.tuples().chunks(BATCH_ROWS) {
+            gov.checkpoint("join")?;
             let batch = Batch::dense(chunk);
             for (i, col) in key_cols.iter_mut().enumerate() {
                 col.clear();
@@ -298,6 +352,12 @@ pub(crate) fn join(
                 for rt in candidates {
                     pending.push(lt.concat(rt));
                 }
+                if let Some(c) = charge.as_mut() {
+                    // Candidate-buffer growth, which also proxies the
+                    // operator's output growth (survivors move to `out`).
+                    let grown: u64 = pending[start..].iter().map(tuple_bytes).sum();
+                    c.grow(grown)?;
+                }
                 segments.push(JoinSegment {
                     left: lt,
                     start,
@@ -305,6 +365,7 @@ pub(crate) fn join(
                 });
                 if pending.len() >= BATCH_ROWS {
                     flush_join_segments(
+                        gov,
                         &mut condition,
                         &mut pending,
                         &mut segments,
@@ -317,6 +378,7 @@ pub(crate) fn join(
             }
         }
         flush_join_segments(
+            gov,
             &mut condition,
             &mut pending,
             &mut segments,
@@ -334,6 +396,7 @@ pub(crate) fn join(
     for lt in l.tuples() {
         let mut matched = false;
         for r_chunk in r.tuples().chunks(BATCH_ROWS) {
+            gov.checkpoint("join")?;
             pending.clear();
             for rt in r_chunk {
                 pending.push(lt.concat(rt));
@@ -366,6 +429,7 @@ pub(crate) fn join(
 /// is seeded up front.
 pub(crate) fn aggregate(
     ops: &OpCounter,
+    gov: &Governor,
     child: &Relation,
     out_schema: Schema,
     group_arity: usize,
@@ -373,6 +437,8 @@ pub(crate) fn aggregate(
     mut eval: impl FnMut(&Batch<'_>, &mut [Vec<Value>], &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("aggregate")?;
+    let mut charge = gov.transient("aggregate");
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
     let make_accs = || -> Vec<Accumulator> {
@@ -390,10 +456,12 @@ pub(crate) fn aggregate(
     let mut group_cols: Vec<Vec<Value>> = vec![Vec::new(); group_arity];
     let mut agg_cols: Vec<Vec<Value>> = vec![Vec::new(); specs.len()];
     for chunk in child.tuples().chunks(BATCH_ROWS) {
+        gov.checkpoint("aggregate")?;
         for col in group_cols.iter_mut().chain(agg_cols.iter_mut()) {
             col.clear();
         }
         eval(&Batch::dense(chunk), &mut group_cols, &mut agg_cols)?;
+        let groups_before = groups.len();
         for j in 0..chunk.len() {
             let mut key_values = Vec::with_capacity(group_arity);
             for col in group_cols.iter_mut() {
@@ -417,6 +485,18 @@ pub(crate) fn aggregate(
                 }
             }
         }
+        if let Some(c) = charge.as_mut() {
+            // Group-state growth: key values plus accumulator slots for
+            // every group first seen in this chunk.
+            let grown: u64 = groups[groups_before..]
+                .iter()
+                .map(|(key, accs)| {
+                    key.iter().map(value_bytes).sum::<u64>()
+                        + (accs.len() * std::mem::size_of::<Accumulator>()) as u64
+                })
+                .sum();
+            c.grow(grown)?;
+        }
     }
 
     let mut out = Relation::empty(out_schema);
@@ -435,12 +515,15 @@ pub(crate) fn aggregate(
 /// a short circuit stays as unreachable as it is in the interpreter.
 pub(crate) fn set_op(
     ops: &OpCounter,
+    gov: &Governor,
     op: SetOpKind,
     all: bool,
     l: &Relation,
     r: &Relation,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("set_op")?;
+    gov.checkpoint("set_op")?;
     if l.schema().arity() != r.schema().arity() {
         return Err(ExecError::Unsupported(
             "set operation over inputs of different arity".into(),
@@ -463,25 +546,38 @@ pub(crate) fn set_op(
 /// identically.
 pub(crate) fn sort(
     ops: &OpCounter,
+    gov: &Governor,
     child: Relation,
     ascending: &[bool],
     mut keys: impl FnMut(&Batch<'_>, &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
+    gov.operator_event("sort")?;
+    let mut charge = gov.transient("sort");
     let schema = child.schema().clone();
     let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
     let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); ascending.len()];
     for chunk in child.tuples().chunks(BATCH_ROWS) {
+        gov.checkpoint("sort")?;
         for col in key_cols.iter_mut() {
             col.clear();
         }
         keys(&Batch::dense(chunk), &mut key_cols)?;
+        let mut chunk_bytes = 0u64;
         for (j, tuple) in chunk.iter().enumerate() {
             let mut key_values = Vec::with_capacity(ascending.len());
             for col in key_cols.iter_mut() {
                 key_values.push(std::mem::replace(&mut col[j], Value::Null));
             }
+            if charge.is_some() {
+                // Sort-buffer growth: the extracted keys plus the cloned
+                // input row.
+                chunk_bytes += key_values.iter().map(value_bytes).sum::<u64>() + tuple_bytes(tuple);
+            }
             keyed.push((key_values, tuple.clone()));
+        }
+        if let Some(c) = charge.as_mut() {
+            c.grow(chunk_bytes)?;
         }
     }
     keyed.sort_by(|(ka, _), (kb, _)| {
@@ -501,8 +597,15 @@ pub(crate) fn sort(
 }
 
 /// First-`n` truncation.
-pub(crate) fn limit(ops: &OpCounter, child: Relation, n: usize) -> Result<Relation> {
+pub(crate) fn limit(
+    ops: &OpCounter,
+    gov: &Governor,
+    child: Relation,
+    n: usize,
+) -> Result<Relation> {
     count(ops);
+    gov.operator_event("limit")?;
+    gov.checkpoint("limit")?;
     let schema = child.schema().clone();
     let tuples = child.into_tuples().into_iter().take(n).collect();
     Ok(Relation::new(schema, tuples)?)

@@ -1,0 +1,630 @@
+//! Serving-grade resilience: cooperative cancellation, deadlines, memory
+//! budgets, and deterministic fault injection.
+//!
+//! A production engine must be able to *stop* a query: a runaway correlated
+//! sublink (the exact workload the provenance rewrites amplify — Figure 7 of
+//! the paper scales operator counts superlinearly) would otherwise run to
+//! completion or exhaust memory. This module supplies the substrate that the
+//! executor threads through every physical-operator loop:
+//!
+//! * [`CancelToken`] — a cheaply clonable, thread-safe handle combining an
+//!   explicit cancel flag with an optional deadline. The executor polls it
+//!   at **batch boundaries** (every [`crate::BATCH_ROWS`] rows of operator
+//!   work), at streaming-cursor refills, and on entry to a memoized sublink
+//!   execution, so a cancelled query returns within one batch worth of work
+//!   as `ExecError::Cancelled` rather than running to completion.
+//! * A memory **budget** (installed via `Executor::with_memory_budget`):
+//!   a per-executor byte accountant charged by the operator state that can
+//!   actually grow without bound — hash-join build tables and candidate
+//!   buffers, aggregation group state, sort buffers — and by every sublink
+//!   memo insertion (both the executor-private memos and a shared
+//!   [`crate::SharedSublinkMemo`] have byte-aware accounting, not just entry
+//!   counts). On pressure the executor degrades gracefully: it first clears
+//!   the memos it is allowed to reclaim (losing only speed, never
+//!   correctness — a memo miss simply re-executes the sublink) and only
+//!   fails the query with `ExecError::ResourceExhausted`, naming the
+//!   operator, when reclaiming does not free enough.
+//! * [`FaultPlan`] — a deterministic fault injector for crash-consistency
+//!   testing: it fires a cancellation, a budget exhaustion, or an injected
+//!   panic at the *N*-th checkpoint / memo-insert / operator event.
+//!   Triggers are count-based — no wall clock, no randomness — so a fault
+//!   sweep over the differential corpus is exactly reproducible.
+//!
+//! All polling is **cooperative**: nothing is interrupted mid-batch, so an
+//! aborted query never leaves a shared memo or a worker in a partial state —
+//! the fault-injection sweep in `tests/differential.rs` pins this down by
+//! demanding either the exact reference bag or a single clean typed error.
+
+use crate::{ExecError, Result};
+use perm_storage::{Relation, Truth, Tuple, Value};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+/// How many checkpoints pass between deadline clock probes. Explicit
+/// cancellation (the atomic flag) is honoured at every checkpoint; only the
+/// `Instant::now()` comparison is strided, because on checkpoint-dense plans
+/// (a correlated sublink per outer row) the clock read alone would dominate
+/// the checkpoint's cost. A deadline therefore trips at most 63 checkpoints
+/// late — microseconds of extra work, far below batch granularity.
+const DEADLINE_STRIDE: u64 = 64;
+
+#[derive(Debug)]
+struct TokenInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    reason: OnceLock<String>,
+}
+
+/// A cooperative cancellation handle: a shared flag plus an optional
+/// deadline.
+///
+/// Cloning is cheap (an `Arc` bump) and the token is `Send + Sync`, so the
+/// handle returned by `Rows::cancel_handle` or minted for a
+/// `SessionConfig` deadline can be cancelled from another thread while the
+/// executor polls it between batches. Once cancelled (explicitly or by the
+/// deadline passing) a token stays cancelled; sessions mint a fresh token
+/// per execution so a stale cancel never leaks into the next query.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                reason: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// A token that additionally cancels itself once `deadline` has passed
+    /// (checked at every executor checkpoint).
+    pub fn with_deadline(deadline: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + deadline),
+                reason: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Requests cancellation with a human-readable reason. The first reason
+    /// wins; later calls only re-assert the flag.
+    pub fn cancel(&self, reason: &str) {
+        let _ = self.inner.reason.set(reason.to_string());
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once the token is cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Returns `Err(ExecError::Cancelled)` once cancelled, `Ok(())` before.
+    pub fn check(&self) -> Result<()> {
+        self.check_inner(true)
+    }
+
+    /// The flag-only variant the executor uses between clock strides:
+    /// reading the clock costs more than the entire rest of a checkpoint,
+    /// so the deadline is probed only every [`DEADLINE_STRIDE`]-th
+    /// checkpoint while explicit [`CancelToken::cancel`] calls (an atomic
+    /// flag) are still honoured at every single one.
+    pub(crate) fn check_flag(&self) -> Result<()> {
+        self.check_inner(false)
+    }
+
+    fn check_inner(&self, probe_clock: bool) -> Result<()> {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return Err(ExecError::Cancelled {
+                reason: self
+                    .inner
+                    .reason
+                    .get()
+                    .cloned()
+                    .unwrap_or_else(|| "cancelled".to_string()),
+            });
+        }
+        if probe_clock {
+            if let Some(d) = self.inner.deadline {
+                if Instant::now() >= d {
+                    return Err(ExecError::Cancelled {
+                        reason: "deadline exceeded".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The event returns `ExecError::Cancelled`, as if a token fired.
+    Cancel,
+    /// The event returns `ExecError::ResourceExhausted`, as if the budget
+    /// ran dry at that point.
+    Exhaust,
+    /// The event panics — the poisoned-query case `catch_unwind` isolation
+    /// and lock-poison recovery are tested against.
+    Panic,
+}
+
+/// Which executor event stream the fault counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Batch-boundary cancellation checkpoints (including cursor refills).
+    Checkpoint,
+    /// Sublink-memo insertions (private or shared).
+    MemoInsert,
+    /// Physical-operator invocations (one event per logical operator).
+    Operator,
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    kind: FaultKind,
+    site: FaultSite,
+    /// The 1-based event ordinal the fault fires at.
+    at: u64,
+    /// Events observed at the fault's site so far.
+    seen: AtomicU64,
+    fired: AtomicBool,
+}
+
+/// A deterministic, count-based fault injector.
+///
+/// `FaultPlan::new(kind, site, n)` fires `kind` at the `n`-th event of
+/// `site` (1-based). Triggers are pure event counts — no wall clock, no
+/// randomness — so an injected fault lands at exactly the same point on
+/// every run of the same plan. The handle is cheaply clonable and
+/// thread-safe; after a run, [`FaultPlan::fired`] and
+/// [`FaultPlan::events_seen`] let a test assert not only *that* the fault
+/// fired but that the executor stopped doing work immediately afterwards
+/// (no further events at the site).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<FaultInner>,
+}
+
+impl FaultPlan {
+    /// A fault of `kind` firing at the `n`-th event of `site` (1-based;
+    /// `n = 0` never fires).
+    pub fn new(kind: FaultKind, site: FaultSite, n: u64) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(FaultInner {
+                kind,
+                site,
+                at: n,
+                seen: AtomicU64::new(0),
+                fired: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// `true` once the fault has fired.
+    pub fn fired(&self) -> bool {
+        self.inner.fired.load(Ordering::Acquire)
+    }
+
+    /// Number of events observed at the fault's site so far.
+    pub fn events_seen(&self) -> u64 {
+        self.inner.seen.load(Ordering::Acquire)
+    }
+
+    /// Records one event at `site`; fires if this is the `n`-th.
+    fn observe(&self, site: FaultSite, operator: &str) -> Result<()> {
+        if site != self.inner.site || self.inner.at == 0 {
+            return Ok(());
+        }
+        let seen = self.inner.seen.fetch_add(1, Ordering::AcqRel) + 1;
+        if seen != self.inner.at {
+            return Ok(());
+        }
+        self.inner.fired.store(true, Ordering::Release);
+        match self.inner.kind {
+            FaultKind::Cancel => Err(ExecError::Cancelled {
+                reason: format!("injected cancellation at {site:?} #{seen}"),
+            }),
+            FaultKind::Exhaust => Err(ExecError::ResourceExhausted {
+                operator: operator.to_string(),
+            }),
+            FaultKind::Panic => panic!("injected panic at {site:?} #{seen} ({operator})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte estimators
+// ---------------------------------------------------------------------------
+
+/// Approximate heap footprint of one value, in bytes.
+pub(crate) fn value_bytes(v: &Value) -> u64 {
+    let base = std::mem::size_of::<Value>() as u64;
+    match v {
+        Value::Str(s) => base + s.capacity() as u64,
+        _ => base,
+    }
+}
+
+/// Approximate heap footprint of one tuple.
+pub(crate) fn tuple_bytes(t: &Tuple) -> u64 {
+    std::mem::size_of::<Tuple>() as u64 + t.values().iter().map(value_bytes).sum::<u64>()
+}
+
+/// Approximate heap footprint of a materialised relation.
+pub(crate) fn relation_bytes(r: &Relation) -> u64 {
+    std::mem::size_of::<Relation>() as u64
+        + r.tuples().iter().map(tuple_bytes).sum::<u64>()
+        + r.schema().arity() as u64 * 16
+}
+
+/// Per-entry byte cost of a memoized value — implemented by the value types
+/// the sublink memos store, so `MemoMap` / `SharedSublinkMemo` can account
+/// bytes rather than just entries.
+pub(crate) trait MemoCost {
+    /// Approximate heap footprint of this memoized value.
+    fn cost_bytes(&self) -> u64;
+}
+
+impl MemoCost for Arc<Relation> {
+    fn cost_bytes(&self) -> u64 {
+        relation_bytes(self)
+    }
+}
+
+impl MemoCost for Truth {
+    fn cost_bytes(&self) -> u64 {
+        std::mem::size_of::<Truth>() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Governor
+// ---------------------------------------------------------------------------
+
+/// Byte accounting + reclaim interface a memo exposes to the governor:
+/// current footprint, and "drop everything, report what was freed".
+pub(crate) trait MemoBytes {
+    fn current_bytes(&self) -> u64;
+    fn reclaim(&self) -> u64;
+}
+
+/// The executor's resilience state: the installed cancel token, fault plan
+/// and memory budget, plus the counters the session surfaces
+/// (`cancel_checks`, `peak_bytes`).
+///
+/// The governor is owned by the executor and polled from the shared
+/// physical-operator layer; it is deliberately `!Sync` (like the executor)
+/// — what crosses threads are the [`CancelToken`] / [`FaultPlan`] handles,
+/// not the governor itself.
+pub(crate) struct Governor {
+    cancel: RefCell<Option<CancelToken>>,
+    fault: RefCell<Option<FaultPlan>>,
+    budget: Cell<Option<u64>>,
+    /// Transient operator bytes currently charged (join/aggregate/sort
+    /// state); memo bytes are queried from the registered memos instead of
+    /// charged, so memo-internal eviction is always reflected exactly.
+    transient: Cell<u64>,
+    peak: Cell<u64>,
+    checks: Cell<u64>,
+    /// Checkpoints until the next deadline clock probe; reset whenever a
+    /// token is installed, so every execution probes at its first
+    /// checkpoint (an already-expired deadline cancels before any work).
+    until_probe: Cell<u64>,
+    memos: RefCell<Vec<Box<dyn MemoBytes>>>,
+}
+
+impl Governor {
+    pub(crate) fn new() -> Governor {
+        Governor {
+            cancel: RefCell::new(None),
+            fault: RefCell::new(None),
+            budget: Cell::new(None),
+            transient: Cell::new(0),
+            peak: Cell::new(0),
+            checks: Cell::new(0),
+            until_probe: Cell::new(0),
+            memos: RefCell::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn set_cancel_token(&self, token: Option<CancelToken>) {
+        self.until_probe.set(0);
+        *self.cancel.borrow_mut() = token;
+    }
+
+    /// Returns the installed token, installing a fresh one if none is set —
+    /// the lazy path behind `Rows::cancel_handle`.
+    pub(crate) fn ensure_cancel_token(&self) -> CancelToken {
+        let mut slot = self.cancel.borrow_mut();
+        slot.get_or_insert_with(CancelToken::new).clone()
+    }
+
+    pub(crate) fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.borrow_mut() = plan;
+    }
+
+    pub(crate) fn set_budget(&self, bytes: Option<u64>) {
+        self.budget.set(bytes);
+    }
+
+    /// Registers a memo for byte accounting and budget-pressure reclaim.
+    pub(crate) fn register_memo(&self, memo: Box<dyn MemoBytes>) {
+        self.memos.borrow_mut().push(memo);
+    }
+
+    pub(crate) fn cancel_checks(&self) -> u64 {
+        self.checks.get()
+    }
+
+    pub(crate) fn peak_bytes(&self) -> u64 {
+        self.peak.get()
+    }
+
+    fn memo_bytes(&self) -> u64 {
+        self.memos.borrow().iter().map(|m| m.current_bytes()).sum()
+    }
+
+    fn note_peak(&self) -> u64 {
+        let used = self.transient.get() + self.memo_bytes();
+        if used > self.peak.get() {
+            self.peak.set(used);
+        }
+        used
+    }
+
+    /// A batch-boundary cancellation checkpoint: counts the check, gives an
+    /// injected fault its chance to fire, then polls the token/deadline.
+    pub(crate) fn checkpoint(&self, operator: &str) -> Result<()> {
+        let n = self.checks.get() + 1;
+        self.checks.set(n);
+        if let Some(fault) = self.fault.borrow().as_ref() {
+            fault.observe(FaultSite::Checkpoint, operator)?;
+        }
+        if let Some(token) = self.cancel.borrow().as_ref() {
+            // The first checkpoint after a token is installed probes the
+            // clock (so an already-expired deadline cancels before any
+            // work), then only every stride-th one does; the cancel flag
+            // is read every time.
+            match self.until_probe.get() {
+                0 => {
+                    self.until_probe.set(DEADLINE_STRIDE - 1);
+                    token.check()?;
+                }
+                left => {
+                    self.until_probe.set(left - 1);
+                    token.check_flag()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A physical-operator invocation event (fault injection only — the
+    /// `operators_evaluated` diagnostic counter is untouched).
+    pub(crate) fn operator_event(&self, operator: &str) -> Result<()> {
+        if let Some(fault) = self.fault.borrow().as_ref() {
+            fault.observe(FaultSite::Operator, operator)?;
+        }
+        Ok(())
+    }
+
+    /// Charges `bytes` of transient operator state against the budget.
+    /// On pressure, reclaims the registered memos first (losing speed, not
+    /// correctness) and fails with `ExecError::ResourceExhausted` only if
+    /// that does not free enough.
+    pub(crate) fn charge(&self, operator: &str, bytes: u64) -> Result<()> {
+        self.transient.set(self.transient.get() + bytes);
+        let used = self.note_peak();
+        if let Some(budget) = self.budget.get() {
+            if used > budget {
+                for memo in self.memos.borrow().iter() {
+                    memo.reclaim();
+                }
+                if self.transient.get() + self.memo_bytes() > budget {
+                    return Err(ExecError::ResourceExhausted {
+                        operator: operator.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns transient bytes previously charged (operator state that was
+    /// dropped or handed off as the operator's output).
+    pub(crate) fn credit(&self, bytes: u64) {
+        self.transient
+            .set(self.transient.get().saturating_sub(bytes));
+    }
+
+    /// Returns a transient-state charge for `operator` when a budget is
+    /// installed, `None` otherwise — so operators skip byte estimation
+    /// entirely when nobody is accounting.
+    pub(crate) fn transient(&self, operator: &'static str) -> Option<TransientCharge<'_>> {
+        self.budget
+            .get()
+            .map(|_| TransientCharge::new(self, operator))
+    }
+
+    /// A memo-insertion event: gives an injected fault its chance to fire,
+    /// then checks the budget for `cost` incoming bytes — reclaiming memos
+    /// on pressure before giving up. Returns `Ok(true)` when the insert may
+    /// proceed, `Ok(false)` when the entry alone cannot fit (the caller
+    /// skips memoization — a pure speed loss).
+    pub(crate) fn memo_insert_event(&self, operator: &str, cost: u64) -> Result<bool> {
+        if let Some(fault) = self.fault.borrow().as_ref() {
+            fault.observe(FaultSite::MemoInsert, operator)?;
+        }
+        let budget = match self.budget.get() {
+            Some(b) => b,
+            None => {
+                self.note_peak();
+                return Ok(true);
+            }
+        };
+        if self.note_peak() + cost > budget {
+            for memo in self.memos.borrow().iter() {
+                memo.reclaim();
+            }
+            if self.transient.get() + self.memo_bytes() + cost > budget {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// RAII charge for one operator's transient state: grows against the budget
+/// during execution and credits everything back when the operator returns
+/// (its buffers having been dropped or moved into the output relation).
+pub(crate) struct TransientCharge<'g> {
+    gov: &'g Governor,
+    operator: &'static str,
+    charged: u64,
+}
+
+impl<'g> TransientCharge<'g> {
+    pub(crate) fn new(gov: &'g Governor, operator: &'static str) -> TransientCharge<'g> {
+        TransientCharge {
+            gov,
+            operator,
+            charged: 0,
+        }
+    }
+
+    /// Charges `bytes` more of state growth.
+    pub(crate) fn grow(&mut self, bytes: u64) -> Result<()> {
+        self.gov.charge(self.operator, bytes)?;
+        self.charged += bytes;
+        Ok(())
+    }
+}
+
+impl Drop for TransientCharge<'_> {
+    fn drop(&mut self) {
+        self.gov.credit(self.charged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_trips_once_and_keeps_its_reason() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.check().is_ok());
+        token.cancel("operator asked");
+        assert!(token.is_cancelled());
+        match token.check() {
+            Err(ExecError::Cancelled { reason }) => assert_eq!(reason, "operator asked"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // A second cancel does not overwrite the first reason.
+        token.cancel("later");
+        match token.check() {
+            Err(ExecError::Cancelled { reason }) => assert_eq!(reason, "operator asked"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_without_an_explicit_cancel() {
+        let token = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(token.is_cancelled());
+        assert!(matches!(token.check(), Err(ExecError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn fault_plan_fires_exactly_at_the_nth_event_of_its_site() {
+        let plan = FaultPlan::new(FaultKind::Cancel, FaultSite::Checkpoint, 3);
+        // Events at other sites never count.
+        assert!(plan.observe(FaultSite::Operator, "join").is_ok());
+        assert!(plan.observe(FaultSite::Checkpoint, "scan").is_ok());
+        assert!(plan.observe(FaultSite::Checkpoint, "scan").is_ok());
+        assert!(!plan.fired());
+        assert!(matches!(
+            plan.observe(FaultSite::Checkpoint, "scan"),
+            Err(ExecError::Cancelled { .. })
+        ));
+        assert!(plan.fired());
+        assert_eq!(plan.events_seen(), 3);
+    }
+
+    #[test]
+    fn governor_reclaims_memos_before_failing_a_charge() {
+        use std::rc::Rc;
+        struct FakeMemo {
+            bytes: Cell<u64>,
+        }
+        impl MemoBytes for Rc<FakeMemo> {
+            fn current_bytes(&self) -> u64 {
+                self.bytes.get()
+            }
+            fn reclaim(&self) -> u64 {
+                let freed = self.bytes.get();
+                self.bytes.set(0);
+                freed
+            }
+        }
+        let gov = Governor::new();
+        gov.set_budget(Some(1000));
+        let memo = Rc::new(FakeMemo {
+            bytes: Cell::new(900),
+        });
+        gov.register_memo(Box::new(Rc::clone(&memo)));
+        // 200 transient + 900 memo > 1000 → the memo is evicted, after
+        // which 200 fits comfortably.
+        assert!(gov.charge("join", 200).is_ok());
+        assert_eq!(memo.bytes.get(), 0, "memo reclaimed under pressure");
+        assert!(gov.peak_bytes() >= 1100, "peak saw the pressure point");
+        // A charge that cannot fit even after reclaim names the operator.
+        match gov.charge("join", 2000) {
+            Err(ExecError::ResourceExhausted { operator }) => assert_eq!(operator, "join"),
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_charge_credits_back_on_drop() {
+        let gov = Governor::new();
+        {
+            let mut charge = TransientCharge::new(&gov, "sort");
+            charge.grow(512).unwrap();
+            assert_eq!(gov.transient.get(), 512);
+        }
+        assert_eq!(gov.transient.get(), 0);
+        assert_eq!(gov.peak_bytes(), 512);
+    }
+}

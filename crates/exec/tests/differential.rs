@@ -23,7 +23,7 @@ use perm_algebra::builder::{
     qcol, scalar_sublink, sum, PlanBuilder,
 };
 use perm_algebra::{CompareOp, Plan, ProjectItem, SetOpKind, SortKey};
-use perm_exec::{Executor, BATCH_ROWS};
+use perm_exec::{ExecError, Executor, FaultKind, FaultPlan, FaultSite, BATCH_ROWS};
 use perm_storage::{Attribute, DataType, Database, Relation, Schema, Value};
 use perm_synthetic::build_database;
 use rand::rngs::StdRng;
@@ -519,6 +519,158 @@ fn batch_boundary_seams_agree_across_all_modes() {
             .build();
         assert_seam_modes_agree(&db, &correlated, &label("correlated exists"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency sweeps: the same seeded plan corpus, re-executed under
+// injected faults. The contract is binary — every faulted execution returns
+// either the exact reference bag (the fault landed after the work, or the
+// governor degraded gracefully) or one clean typed error; never a partial
+// bag, a hang, or a panic.
+// ---------------------------------------------------------------------------
+
+/// The plans of the seeded corpus, sampled every 11th (20 of 220) to keep
+/// the sweep a few seconds while still covering every top-level shape.
+fn sampled_corpus(db: &Database) -> Vec<(usize, Plan)> {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    (0..PLANS)
+        .map(|i| (i, random_plan(db, &mut rng)))
+        .step_by(11)
+        .collect()
+}
+
+#[test]
+fn cancellation_sweep_yields_exact_bags_or_a_clean_cancelled_error() {
+    let db = build_database(24, 18, 0xD1FF);
+    let mut cancelled = 0usize;
+    for (i, plan) in sampled_corpus(&db) {
+        let reference = Executor::new(&db).execute(&plan);
+        // Cancel at the k-th checkpoint, k swept geometrically until it
+        // lies beyond the plan's last checkpoint (the fault no longer
+        // fires and the run must reproduce the reference exactly).
+        let mut k = 1u64;
+        loop {
+            let fault = FaultPlan::new(FaultKind::Cancel, FaultSite::Checkpoint, k);
+            let ex = Executor::new(&db).with_fault_plan(fault.clone());
+            let result = ex.execute(&plan);
+            match (&reference, &result) {
+                (_, Err(ExecError::Cancelled { reason })) => {
+                    assert!(
+                        reason.contains("injected"),
+                        "plan {i} k={k}: cancellation must carry its reason, got {reason:?}"
+                    );
+                    cancelled += 1;
+                }
+                (Ok(want), Ok(got)) => assert!(
+                    want.bag_eq(got),
+                    "plan {i} k={k}: a survived cancellation point changed the bag"
+                ),
+                (Err(want), Err(got)) => assert_eq!(
+                    want, got,
+                    "plan {i} k={k}: the plan's own error must survive unchanged"
+                ),
+                _ => panic!(
+                    "plan {i} k={k}: fault flipped success/failure: reference \
+                     {reference:?} vs faulted {result:?}"
+                ),
+            }
+            if !fault.fired() {
+                break;
+            }
+            k *= 2;
+        }
+    }
+    assert!(
+        cancelled >= 20,
+        "the sweep must actually hit live checkpoints, got {cancelled} cancellations"
+    );
+}
+
+#[test]
+fn memory_budget_sweep_degrades_gracefully_or_fails_with_a_named_operator() {
+    let db = build_database(24, 18, 0xD1FF);
+    let mut exhausted = 0usize;
+    for (i, plan) in sampled_corpus(&db) {
+        let reference = Executor::new(&db).execute(&plan);
+        // Budgets from starvation to ample: small ones force memo skips and
+        // operator failures, large ones must change nothing.
+        for budget in [256u64, 4 << 10, 64 << 10, 4 << 20] {
+            let ex = Executor::new(&db).with_memory_budget(Some(budget));
+            let result = ex.execute(&plan);
+            match (&reference, &result) {
+                (_, Err(ExecError::ResourceExhausted { operator })) => {
+                    assert!(
+                        !operator.is_empty(),
+                        "plan {i} budget={budget}: exhaustion must name its operator"
+                    );
+                    exhausted += 1;
+                }
+                (Ok(want), Ok(got)) => assert!(
+                    want.bag_eq(got),
+                    "plan {i} budget={budget}: degraded memoization changed the bag"
+                ),
+                (Err(want), Err(got)) => assert_eq!(want, got, "plan {i} budget={budget}"),
+                _ => panic!(
+                    "plan {i} budget={budget}: budget flipped success/failure: \
+                     {reference:?} vs {result:?}"
+                ),
+            }
+        }
+    }
+    assert!(
+        exhausted > 0,
+        "the starvation budgets must exhaust at least one operator"
+    );
+}
+
+#[test]
+fn resilience_counters_are_monotone_across_executions() {
+    let db = build_database(24, 18, 0xD1FF);
+    let ex = Executor::new(&db).with_memory_budget(Some(16 << 20));
+    let mut last_checks = 0u64;
+    let mut last_peak = 0u64;
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for _ in 0..8 {
+        let plan = random_plan(&db, &mut rng);
+        let _ = ex.execute(&plan);
+        let checks = ex.cancel_checks();
+        let peak = ex.peak_bytes();
+        assert!(
+            checks > last_checks,
+            "every execution passes at least one checkpoint"
+        );
+        assert!(peak >= last_peak, "peak_bytes is a high-water mark");
+        last_checks = checks;
+        last_peak = peak;
+    }
+}
+
+#[test]
+fn streaming_cursor_honours_a_cancel_handle_mid_stream() {
+    use perm_algebra::builder::PlanBuilder;
+    let db = seam_database(BATCH_ROWS + 1);
+    let plan = PlanBuilder::scan(&db, "t")
+        .unwrap()
+        .select(cmp(CompareOp::Ge, qcol("t", "a"), lit(0)))
+        .build();
+    let ex = Executor::new(&db);
+    let compiled = ex.prepare(&plan).unwrap();
+    let mut rows = ex.open(&compiled).unwrap();
+    let handle = rows.cancel_handle();
+    assert!(rows.next().unwrap().is_ok(), "stream starts healthy");
+    handle.cancel("user abort");
+    // Buffered rows may still drain; the next refill must fail cleanly.
+    let tail_error = rows
+        .by_ref()
+        .find_map(|r| r.err())
+        .expect("a cancelled cursor must surface the cancellation");
+    assert_eq!(
+        tail_error,
+        ExecError::Cancelled {
+            reason: "user abort".into()
+        }
+    );
+    assert!(rows.next().is_none(), "a failed cursor stays terminated");
 }
 
 #[test]

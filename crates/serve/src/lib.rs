@@ -60,16 +60,18 @@
 //! ```
 
 use perm::{
-    Database, Engine, PermError, Prepared, Relation, Session, SessionConfig, SharedSublinkMemo,
-    Value,
+    Database, Engine, ExecError, PermError, Prepared, Relation, Session, SessionConfig,
+    SharedSublinkMemo, Value,
 };
 use perm_exec::{CompiledExpr, CompiledPlan, CompiledSublink, Executor, Frame};
 use perm_storage::{encode_key_typed, Tuple};
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// Upper bound on how many outer bindings a warming worker claims with one
 /// atomic increment in [`ConcurrentEngine::execute_parallel`]. The actual
@@ -88,7 +90,54 @@ const _: () = {
     assert_send_sync::<SharedSublinkMemo>();
     assert_send_sync::<ConcurrentEngine>();
     assert_send_sync::<Request>();
+    assert_send_sync::<ServeOptions>();
 };
+
+/// Resilience policy for one [`ConcurrentEngine::serve_with_options`] batch.
+/// The default is the historical behaviour: no deadline, no retries, admit
+/// everything.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Per-request deadline. Each execution attempt gets the full budget
+    /// (a fresh [`perm::CancelToken`] is minted per attempt); an attempt
+    /// that overruns is cancelled cooperatively at its next batch boundary
+    /// and surfaces as [`ExecError::Cancelled`]. Overrides any
+    /// [`SessionConfig::deadline`] on the engine's default configuration.
+    pub deadline: Option<Duration>,
+    /// How many times a failed request is re-executed before its error is
+    /// reported. Only *transient* failures are retried — a worker panic
+    /// ([`PermError::Internal`]) or a cooperative cancellation
+    /// ([`ExecError::Cancelled`], e.g. a deadline overrun that a warmer
+    /// memo may beat next time). Deterministic errors (type errors,
+    /// division by zero, budget exhaustion, SQL errors) fail immediately:
+    /// re-running them would burn pool time to reproduce the same failure.
+    pub retries: u32,
+    /// Admission limit: at most this many requests of the batch are
+    /// admitted (in request order); the rest are refused with
+    /// [`PermError::Rejected`] without executing anything — explicit load
+    /// shedding instead of unbounded queueing. `None` admits all.
+    pub admission_limit: Option<usize>,
+}
+
+/// `true` for failures worth re-executing: a panic the pool isolated or a
+/// cooperative cancellation. Everything else is deterministic.
+fn is_transient(result: &Result<Relation, PermError>) -> bool {
+    matches!(
+        result,
+        Err(PermError::Internal(_)) | Err(PermError::Exec(ExecError::Cancelled { .. }))
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_owned()
+    }
+}
 
 /// One unit of serving work: a statement plus its parameter binding.
 #[derive(Debug, Clone)]
@@ -234,41 +283,83 @@ impl ConcurrentEngine {
     }
 
     /// Serves a batch of requests on the worker pool and returns the
-    /// results **in request order**.
+    /// results **in request order**, with the default (no-op) resilience
+    /// policy — see [`ConcurrentEngine::serve_with_options`].
+    pub fn serve(&self, requests: &[Request]) -> Vec<Result<Relation, PermError>> {
+        self.serve_with_options(requests, &ServeOptions::default())
+    }
+
+    /// Serves a batch of requests on the worker pool under a resilience
+    /// policy and returns the results **in request order**.
     ///
     /// The batch is a single-producer queue: each worker claims the next
     /// unclaimed index (one atomic increment), runs it on its own session —
     /// prepare (plan-cache hit after the first encounter of a text), bind,
     /// execute — and writes the result slot. Errors are per-request values,
     /// not pool failures: one bad statement leaves the other results intact.
-    pub fn serve(&self, requests: &[Request]) -> Vec<Result<Relation, PermError>> {
+    ///
+    /// Resilience, per [`ServeOptions`]:
+    ///
+    /// * every request attempt runs under `catch_unwind`, so a **panic**
+    ///   anywhere in the pipeline is confined to its request — reported in
+    ///   place as [`PermError::Internal`] — and the worker keeps draining
+    ///   the queue on a *fresh* session (a panic may have interrupted a
+    ///   memo mid-update; replacing the `!Sync` core is cheap and removes
+    ///   the doubt);
+    /// * a per-request **deadline** cancels overrunning attempts
+    ///   cooperatively;
+    /// * transient failures are **retried** up to `options.retries` times;
+    /// * requests beyond the **admission limit** are refused with
+    ///   [`PermError::Rejected`] without executing.
+    pub fn serve_with_options(
+        &self,
+        requests: &[Request],
+        options: &ServeOptions,
+    ) -> Vec<Result<Relation, PermError>> {
+        let limit = options.admission_limit.unwrap_or(requests.len());
+        let admitted = limit.min(requests.len());
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<Relation, PermError>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<Relation, PermError>>>> = requests[..admitted]
+            .iter()
+            .map(|_| Mutex::new(None))
+            .collect();
+        let mut config = self.worker_config();
+        if options.deadline.is_some() {
+            config.deadline = options.deadline;
+        }
         thread::scope(|scope| {
-            for _ in 0..self.workers.min(requests.len().max(1)) {
+            for _ in 0..self.workers.min(admitted.max(1)) {
                 scope.spawn(|| {
-                    let session = self.session();
+                    let mut session = self.engine.session_with(config.clone());
                     // Worker-local statement reuse: a text this worker has
                     // already prepared is served without touching the
                     // engine-wide plan-cache mutex again — the global cache
                     // deduplicates *across* workers, this map keeps the hot
-                    // loop off that lock entirely.
+                    // loop off that lock entirely. (Prepared statements are
+                    // immutable, so the map survives session replacement.)
                     let mut local: HashMap<&str, Arc<Prepared>> = HashMap::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(request) = requests.get(i) else {
+                        if i >= admitted {
                             break;
-                        };
-                        let result = match &request.kind {
-                            RequestKind::Sql(sql) => match local.get(sql.as_str()) {
-                                Some(prepared) => session.execute(prepared, &request.params),
-                                None => session.prepare(sql).and_then(|prepared| {
-                                    local.insert(sql, Arc::clone(&prepared));
-                                    session.execute(&prepared, &request.params)
-                                }),
-                            },
-                            RequestKind::Prepared(p) => session.execute(p, &request.params),
+                        }
+                        let request = &requests[i];
+                        let mut attempts = 0;
+                        let result = loop {
+                            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                                Self::run_request(&session, &mut local, request)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(PermError::Internal(panic_message(payload)))
+                            });
+                            if matches!(attempt, Err(PermError::Internal(_))) {
+                                session = self.engine.session_with(config.clone());
+                            }
+                            if is_transient(&attempt) && attempts < options.retries {
+                                attempts += 1;
+                                continue;
+                            }
+                            break attempt;
                         };
                         *results[i].lock().expect("result slot poisoned") = Some(result);
                     }
@@ -282,7 +373,26 @@ impl ConcurrentEngine {
                     .expect("result slot poisoned")
                     .expect("every claimed slot is written before its worker exits")
             })
+            .chain((admitted..requests.len()).map(|_| Err(PermError::Rejected { limit })))
             .collect()
+    }
+
+    /// One execution attempt of one request on a worker session.
+    fn run_request<'r>(
+        session: &Session<'_>,
+        local: &mut HashMap<&'r str, Arc<Prepared>>,
+        request: &'r Request,
+    ) -> Result<Relation, PermError> {
+        match &request.kind {
+            RequestKind::Sql(sql) => match local.get(sql.as_str()) {
+                Some(prepared) => session.execute(prepared, &request.params),
+                None => session.prepare(sql).and_then(|prepared| {
+                    local.insert(sql, Arc::clone(&prepared));
+                    session.execute(&prepared, &request.params)
+                }),
+            },
+            RequestKind::Prepared(p) => session.execute(p, &request.params),
+        }
     }
 
     /// Executes one prepared statement with **parallel correlated-sublink
@@ -747,6 +857,143 @@ mod tests {
         let failing = "SELECT a FROM r WHERE a = (SELECT c FROM s WHERE s.g = r.g)";
         let statement = engine.prepare(failing).unwrap();
         assert!(engine.execute_parallel(&statement, &[]).is_err());
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_every_slot_is_filled_in_request_order() {
+        // One injected panic somewhere in the pool: it must be confined to
+        // the request that hit it (PermError::Internal in that slot), and
+        // every other slot must hold the same result as a single-threaded
+        // reference — order preserved, no hung or missing slots even
+        // though a worker's session died mid-batch.
+        use perm::{FaultKind, FaultPlan, FaultSite};
+        let fault = FaultPlan::new(FaultKind::Panic, FaultSite::Operator, 8);
+        let config = SessionConfig {
+            fault_plan: Some(fault.clone()),
+            ..SessionConfig::default()
+        };
+        let engine =
+            ConcurrentEngine::new(Engine::new(serving_db()).with_config(config)).with_workers(2);
+        let requests: Vec<Request> = (0..10)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        let results = engine.serve(&requests);
+        assert_eq!(results.len(), 10, "every slot filled");
+        assert!(fault.fired(), "the injected panic fired");
+        let internal: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Err(PermError::Internal(_))))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(internal.len(), 1, "exactly one request absorbed the panic");
+
+        let reference = Session::new(engine.database());
+        let statement = reference.prepare(CORRELATED_SQL).unwrap();
+        for (i, result) in results.iter().enumerate() {
+            if i == internal[0] {
+                continue;
+            }
+            let expected = reference.execute(&statement, requests[i].params()).unwrap();
+            assert!(
+                result.as_ref().unwrap().bag_eq(&expected),
+                "slot {i} diverged after a sibling request panicked"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_retry_recovers_a_transient_panic() {
+        // The same injected panic, but with one retry allowed: the fault
+        // fires exactly once (its trigger is one-shot), the retry runs on a
+        // fresh session, and the whole batch comes back clean.
+        use perm::{FaultKind, FaultPlan, FaultSite};
+        let fault = FaultPlan::new(FaultKind::Panic, FaultSite::Operator, 5);
+        let config = SessionConfig {
+            fault_plan: Some(fault.clone()),
+            ..SessionConfig::default()
+        };
+        let engine =
+            ConcurrentEngine::new(Engine::new(serving_db()).with_config(config)).with_workers(2);
+        let requests: Vec<Request> = (0..8)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        let options = ServeOptions {
+            retries: 1,
+            ..ServeOptions::default()
+        };
+        let results = engine.serve_with_options(&requests, &options);
+        assert!(fault.fired());
+        assert!(
+            results.iter().all(Result::is_ok),
+            "one retry must absorb the one-shot panic"
+        );
+    }
+
+    #[test]
+    fn deterministic_errors_are_never_retried() {
+        // A statement that fails deterministically (unknown column) must
+        // fail once per request, not burn `retries` extra executions: the
+        // session-level parse counter counts pipeline runs.
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(1);
+        let requests = vec![Request::sql("SELECT nope FROM r", vec![])];
+        let options = ServeOptions {
+            retries: 3,
+            ..ServeOptions::default()
+        };
+        let before = engine.engine().plan_cache_stats().misses;
+        let results = engine.serve_with_options(&requests, &options);
+        assert!(results[0].is_err());
+        assert!(
+            !is_transient(&results[0]),
+            "a binding failure must classify as deterministic: {:?}",
+            results[0]
+        );
+        // One preparation attempt, not 1 + retries: binding failures miss
+        // the cache exactly once per pipeline run.
+        assert_eq!(engine.engine().plan_cache_stats().misses - before, 1);
+    }
+
+    #[test]
+    fn admission_limit_sheds_excess_requests_with_a_typed_error() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let requests: Vec<Request> = (0..6)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        let options = ServeOptions {
+            admission_limit: Some(2),
+            ..ServeOptions::default()
+        };
+        let results = engine.serve_with_options(&requests, &options);
+        assert_eq!(results.len(), 6, "rejected requests still get a slot");
+        assert!(results[..2].iter().all(Result::is_ok), "admitted in order");
+        for rejected in &results[2..] {
+            assert!(
+                matches!(rejected, Err(PermError::Rejected { limit: 2 })),
+                "excess requests are shed, not queued: {rejected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_requests_cleanly() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let requests: Vec<Request> = (0..4)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        let options = ServeOptions {
+            deadline: Some(Duration::ZERO),
+            ..ServeOptions::default()
+        };
+        let results = engine.serve_with_options(&requests, &options);
+        assert_eq!(results.len(), 4);
+        for result in &results {
+            assert!(
+                matches!(result, Err(PermError::Exec(ExecError::Cancelled { .. }))),
+                "an already-expired deadline must cancel at the first \
+                 checkpoint: {result:?}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub use perm_core::{
 };
 pub use perm_exec::Executor;
 pub use perm_exec::SharedSublinkMemo;
+pub use perm_exec::{CancelToken, ExecError, FaultKind, FaultPlan, FaultSite};
 pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
 pub use session::{
     Engine, PlanCacheStats, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig,
@@ -116,6 +117,17 @@ pub enum PermError {
     Exec(perm_exec::ExecError),
     /// A parameter-binding or statement-usage error at the session layer.
     Param(String),
+    /// A worker panicked while serving the request; the panic was isolated
+    /// (caught at the request boundary) and the rest of the batch kept
+    /// going. The payload is the panic message when one was carried.
+    Internal(String),
+    /// The serving layer refused to admit the request because its in-flight
+    /// limit was reached — shed load explicitly rather than queueing
+    /// without bound.
+    Rejected {
+        /// The admission limit that was hit (requests in flight).
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for PermError {
@@ -125,6 +137,13 @@ impl std::fmt::Display for PermError {
             PermError::Provenance(e) => write!(f, "provenance error: {e}"),
             PermError::Exec(e) => write!(f, "execution error: {e}"),
             PermError::Param(msg) => write!(f, "statement error: {msg}"),
+            PermError::Internal(msg) => write!(f, "internal error: worker panicked: {msg}"),
+            PermError::Rejected { limit } => {
+                write!(
+                    f,
+                    "request rejected: admission limit of {limit} in-flight requests"
+                )
+            }
         }
     }
 }
@@ -135,7 +154,7 @@ impl std::error::Error for PermError {
             PermError::Sql(e) => Some(e),
             PermError::Provenance(e) => Some(e),
             PermError::Exec(e) => Some(e),
-            PermError::Param(_) => None,
+            PermError::Param(_) | PermError::Internal(_) | PermError::Rejected { .. } => None,
         }
     }
 }

@@ -33,12 +33,13 @@ use crate::PermError;
 use perm_algebra::Plan;
 use perm_core::tracer::Tracer;
 use perm_core::{ProvenanceDescriptor, ProvenanceQuery, Strategy};
-use perm_exec::{Executor, SharedSublinkMemo};
+use perm_exec::{CancelToken, Executor, FaultPlan, SharedSublinkMemo};
 use perm_storage::{Database, Relation, Schema, Tuple, Value};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
 
 /// Re-export of the executor's streaming cursor: `Iterator<Item =
 /// Result<Tuple, ExecError>>`. See [`Session::rows`].
@@ -365,6 +366,28 @@ pub struct SessionConfig {
     /// [`SharedSublinkMemo::with_config`] when the workload also carries
     /// ad-hoc traffic.
     pub shared_sublink_memo: Option<Arc<SharedSublinkMemo>>,
+    /// Optional per-execution deadline (default `None`). When set, every
+    /// [`Session::execute`]/[`Session::rows`] call mints a fresh
+    /// [`CancelToken`] with this time budget; an execution that overruns it
+    /// is cancelled cooperatively at the next batch boundary and surfaces
+    /// as [`perm_exec::ExecError::Cancelled`]. Per-call override:
+    /// [`Session::execute_with_deadline`]. Not part of the plan-cache key —
+    /// sessions differing only in deadline share compiled plans.
+    pub deadline: Option<Duration>,
+    /// Optional memory budget in bytes for the session's executor (default
+    /// `None` = unbounded). Execution state (join build tables, aggregation
+    /// groups, sort keys) and memo entries are accounted against it; under
+    /// pressure the memos are reclaimed first (a speed loss, not an error),
+    /// and only when an operator still cannot grow does execution fail with
+    /// [`perm_exec::ExecError::ResourceExhausted`] naming the operator.
+    /// Execution-only, like the memo knobs: not part of the plan-cache key.
+    pub memory_budget: Option<u64>,
+    /// Deterministic fault injection for resilience testing (default
+    /// `None`): the plan is installed on the session's executor and fires
+    /// at the configured N-th checkpoint/memo/operator event. Serving
+    /// tests use this to provoke cancellations, budget exhaustion and
+    /// worker panics at exact, reproducible points.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SessionConfig {
@@ -377,6 +400,9 @@ impl Default for SessionConfig {
             batching: true,
             tracer: false,
             shared_sublink_memo: None,
+            deadline: None,
+            memory_budget: None,
+            fault_plan: None,
         }
     }
 }
@@ -413,6 +439,16 @@ pub struct SessionStats {
     /// because their expression subtree carries a sublink — the fallback
     /// that keeps the parameterized sublink memo seam untouched.
     pub sublink_fallback_rows: u64,
+    /// Cancellation checkpoints polled by the executor (batch boundaries,
+    /// cursor refills, sublink entries). Monotone over the session's life;
+    /// the gap between two snapshots bounds how often a cancel or deadline
+    /// could have been observed in between.
+    pub cancel_checks: u64,
+    /// High-water mark of accounted bytes (operator state + memo entries)
+    /// seen by the executor's budget accountant. Tracked whether or not a
+    /// [`SessionConfig::memory_budget`] is set whenever memo entries exist;
+    /// transient operator state is only accounted under a budget.
+    pub peak_bytes: u64,
 }
 
 /// A session: the unit of statement preparation and execution. Holds one
@@ -431,6 +467,12 @@ pub struct Session<'a> {
     executions: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
+    /// Whether the executor's current cancel token was minted for a
+    /// deadline by [`Session::bind_checked`]. Such a token must not leak
+    /// into a later deadline-less execution (an expired deadline would
+    /// cancel it spuriously), while a token installed by the user via
+    /// [`Session::cancel_handle`] is theirs and is left in place.
+    deadline_token: Cell<bool>,
 }
 
 /// How a prepared statement produces its result.
@@ -519,9 +561,13 @@ impl<'a> Session<'a> {
             .with_sublink_memo(config.sublink_memo)
             .with_memo_capacity(config.memo_capacity)
             .with_memo_retention(config.retain_memo)
-            .with_batching(config.batching);
+            .with_batching(config.batching)
+            .with_memory_budget(config.memory_budget);
         if let Some(memo) = &config.shared_sublink_memo {
             executor = executor.with_shared_memo(Arc::clone(memo));
+        }
+        if let Some(plan) = &config.fault_plan {
+            executor = executor.with_fault_plan(plan.clone());
         }
         Session {
             db,
@@ -534,6 +580,7 @@ impl<'a> Session<'a> {
             executions: Cell::new(0),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
+            deadline_token: Cell::new(false),
         }
     }
 
@@ -567,6 +614,8 @@ impl<'a> Session<'a> {
             plan_cache_misses: self.cache_misses.get(),
             vectorized_batches: self.executor.batches_vectorized(),
             sublink_fallback_rows: self.executor.batch_fallback_rows(),
+            cancel_checks: self.executor.cancel_checks(),
+            peak_bytes: self.executor.peak_bytes(),
         }
     }
 
@@ -694,8 +743,19 @@ impl<'a> Session<'a> {
         })
     }
 
-    /// Binds `params` and checks the arity against the statement.
-    fn bind_checked(&self, prepared: &Prepared, params: &[Value]) -> Result<(), PermError> {
+    /// Binds `params`, checks the arity against the statement, and arms the
+    /// executor's governor for this execution: when a deadline applies (the
+    /// per-call override, else [`SessionConfig::deadline`]) a *fresh*
+    /// [`CancelToken`] is minted so each execution gets the full time
+    /// budget; without one, a stale deadline token from a previous
+    /// execution is removed while a token installed via
+    /// [`Session::cancel_handle`] is left in place.
+    fn bind_checked(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<(), PermError> {
         if params.len() != prepared.param_count {
             return Err(PermError::Param(format!(
                 "statement expects {} parameter{}, got {}",
@@ -703,6 +763,21 @@ impl<'a> Session<'a> {
                 if prepared.param_count == 1 { "" } else { "s" },
                 params.len()
             )));
+        }
+        match deadline.or(self.config.deadline) {
+            Some(d) => {
+                self.executor
+                    .set_cancel_token(Some(CancelToken::with_deadline(d)));
+                self.deadline_token.set(true);
+            }
+            // A deadline token from a previous execution must not survive
+            // into this one — once expired it would cancel every later
+            // request. User-installed tokens are left alone.
+            None => {
+                if self.deadline_token.replace(false) {
+                    self.executor.set_cancel_token(None);
+                }
+            }
         }
         self.executor.bind_params(params.to_vec());
         if !self.config.retain_memo {
@@ -719,7 +794,30 @@ impl<'a> Session<'a> {
     /// materialising the full result. No parse/bind/rewrite/compile work
     /// happens here — only execution (assertable via [`Session::stats`]).
     pub fn execute(&self, prepared: &Prepared, params: &[Value]) -> Result<Relation, PermError> {
-        self.bind_checked(prepared, params)?;
+        self.execute_inner(prepared, params, None)
+    }
+
+    /// [`Session::execute`] with a per-call deadline that overrides
+    /// [`SessionConfig::deadline`] for this execution only. The execution
+    /// is cancelled cooperatively at the first batch boundary past the
+    /// deadline and returns [`perm_exec::ExecError::Cancelled`] (wrapped in
+    /// [`PermError::Exec`]); no partial result escapes.
+    pub fn execute_with_deadline(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        deadline: Duration,
+    ) -> Result<Relation, PermError> {
+        self.execute_inner(prepared, params, Some(deadline))
+    }
+
+    fn execute_inner(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<Relation, PermError> {
+        self.bind_checked(prepared, params, deadline)?;
         let result = match (&prepared.kind, &prepared.compiled) {
             (PreparedKind::Traced { .. }, _) => Tracer::new(self.db).trace(&prepared.plan)?,
             (_, Some(compiled)) => self.executor.execute_compiled(compiled, None)?,
@@ -727,6 +825,17 @@ impl<'a> Session<'a> {
         };
         self.count_execution();
         Ok(result)
+    }
+
+    /// A [`CancelToken`] wired to this session's executor, installing one
+    /// if none is present: cancelling it — from any thread — stops the
+    /// session's in-flight execution at its next batch boundary. When a
+    /// deadline applies ([`SessionConfig::deadline`] or
+    /// [`Session::execute_with_deadline`]), each execution mints a fresh
+    /// token and a handle taken earlier no longer governs it; take the
+    /// handle per execution in that case.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.executor.cancel_handle()
     }
 
     /// Opens a pull-based cursor over a prepared statement: tuples are
@@ -745,7 +854,7 @@ impl<'a> Session<'a> {
                     .into(),
             ));
         };
-        self.bind_checked(prepared, params)?;
+        self.bind_checked(prepared, params, None)?;
         let rows = self.executor.open(compiled)?;
         self.count_execution();
         Ok(rows)

@@ -513,3 +513,37 @@ fn database_mut_invalidates_plan_cache_and_session_attached_shared_memos() {
         "stale shared-memo entries served: {after}"
     );
 }
+
+#[test]
+fn an_expired_deadline_does_not_poison_later_executions() {
+    use perm::ExecError;
+    use std::time::Duration;
+
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)")
+        .unwrap();
+
+    // A zero deadline cancels at the first checkpoint, before any work.
+    match session.execute_with_deadline(&prepared, &[], Duration::ZERO) {
+        Err(PermError::Exec(ExecError::Cancelled { .. })) => {}
+        other => panic!("expected a cancellation, got {other:?}"),
+    }
+
+    // The expired token must not leak into the next, deadline-less
+    // execution of the same session — deadline tokens are minted (and
+    // retired) per execution.
+    let rows = session
+        .execute(&prepared, &[])
+        .expect("the session must keep serving after a deadline expiry");
+    assert_eq!(rows.len(), 12);
+
+    // And a fresh per-call deadline gets its full budget, not the stale
+    // expired one.
+    let rows = session
+        .execute_with_deadline(&prepared, &[], Duration::from_secs(60))
+        .expect("a generous fresh deadline must not cancel");
+    assert_eq!(rows.len(), 12);
+}
