@@ -11,8 +11,8 @@
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
 //! harness memo [--max-rows N] [--check]                 # sublink memo on/off on q3 (Fig. 7 sweep)
 //!                                                       # --check: fail unless memoized < unmemoized ops
-//! harness batch [--max-rows N] [--scale S] [--check]    # batched vs per-tuple execution (Fig. 7 + TPC-H)
-//!                                                       # --check: fail unless batched is no slower
+//! harness batch [--max-rows N] [--scale S] [--check]    # columnar vs row-major vs per-tuple (Fig. 7 + TPC-H)
+//!                                                       # --check: fail unless columnar and batched are no slower
 //! harness robust [--max-rows N] [--check]               # resilience machinery armed-but-idle vs absent (Fig. 7)
 //!                                                       # --check: fail unless overhead <= 5% and a mid-query
 //!                                                       #          cancel returns within one batch
@@ -24,9 +24,9 @@
 
 use perm_bench::{
     batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
-    measure_concurrent, measure_fig6, measure_robust, measure_serve, measure_sublink_memo,
-    measure_synthetic_sweep, memo_results_to_json, results_to_json, robust_to_json, serve_to_json,
-    BatchPoint, BenchConfig, SyntheticSweep,
+    measure_concurrent, measure_fig6, measure_kernels, measure_robust, measure_serve,
+    measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json, results_to_json,
+    robust_to_json, serve_to_json, BatchPoint, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -283,8 +283,8 @@ fn memo(options: &Options, config: &BenchConfig) {
 
 fn batch(options: &Options, config: &BenchConfig) {
     println!(
-        "== Batched execution — vectorized batch evaluation vs per-tuple dispatch on the \
-         Fig. 7 and TPC-H workloads (Gen rewrite, {} synthetic rows, TPC-H scale {}) ==\n",
+        "== Batched execution — columnar blocks vs row-major batches vs per-tuple dispatch \
+         on the Fig. 7 and TPC-H workloads (Gen rewrite, {} synthetic rows, TPC-H scale {}) ==\n",
         options.max_rows, options.scale
     );
     let Some(scale) = TpchScale::named(&options.scale) else {
@@ -293,30 +293,58 @@ fn batch(options: &Options, config: &BenchConfig) {
     };
     let rows = measure_batch(options.max_rows, scale, config);
     println!(
-        "{:<24} {:>14} {:>14} {:>8} {:>12} {:>10}",
-        "workload", "batched [ms]", "per-tuple [ms]", "speedup", "batches", "rows"
+        "{:<24} {:>13} {:>14} {:>14} {:>8} {:>8} {:>10} {:>10}",
+        "workload",
+        "columnar [ms]",
+        "row-major [ms]",
+        "per-tuple [ms]",
+        "col spd",
+        "speedup",
+        "blocks",
+        "rows"
     );
     for row in &rows {
         println!(
-            "{:<24} {:>14.1} {:>14.1} {:>7.2}x {:>12} {:>10}",
+            "{:<24} {:>13.1} {:>14.1} {:>14.1} {:>7.2}x {:>7.2}x {:>10} {:>10}",
             row.label,
             row.ms_batched,
+            row.ms_row_major,
             row.ms_per_tuple,
+            row.columnar_speedup(),
             row.speedup(),
-            row.vectorized_batches,
+            row.columnar_blocks,
             row.result_rows
         );
     }
     println!();
-    write_json("batch", &batch_results_to_json("batch", &rows));
+    let kernels = measure_kernels(options.max_rows.max(1024) * 64, config);
+    println!(
+        "{:<14} {:>10} {:>16} {:>16} {:>8}",
+        "kernel", "rows", "typed [Mrow/s]", "scalar [Mrow/s]", "speedup"
+    );
+    for k in &kernels {
+        println!(
+            "{:<14} {:>10} {:>16.1} {:>16.1} {:>7.2}x",
+            k.kernel,
+            k.rows,
+            k.columnar_mrows_per_sec,
+            k.row_major_mrows_per_sec,
+            k.speedup()
+        );
+    }
+    println!();
+    write_json("batch", &batch_results_to_json("batch", &rows, &kernels));
 
     // `--check` is the CI smoke gate of the batch layer. Correctness is
     // unconditional (results bag-equal and operator counts identical
-    // between the modes — asserted inside `measure_batch`, a divergence
-    // panics). The wall-time gate uses the best *pairwise* ratio over the
-    // order-alternated measurement pairs, with 10% jitter allowance: on a
-    // noisy shared machine one quiet pair is enough to show batching is no
-    // slower, while a true regression is slower in every pair and fails.
+    // across all three modes — asserted inside `measure_batch`, a
+    // divergence panics). The wall-time gates use the best *pairwise*
+    // ratio over the order-rotated measurement triples, with 10% jitter
+    // allowance: on a noisy shared machine one quiet triple is enough to
+    // show a layer is no slower, while a true regression is slower in
+    // every triple and fails. The columnar layer additionally must be
+    // strictly no slower than row-major batches on at least one point —
+    // jitter allowance everywhere must not excuse a uniform loss.
     if options.check {
         let mut failed = rows.is_empty();
         if failed {
@@ -331,6 +359,14 @@ fn batch(options: &Options, config: &BenchConfig) {
                 );
                 failed = true;
             }
+            if row.best_columnar_ratio > 1.10 {
+                eprintln!(
+                    "batch check: {} ran slower columnar than row-major in every pair \
+                     (best ratio {:.2}, min {:.1}ms vs {:.1}ms)",
+                    row.label, row.best_columnar_ratio, row.ms_batched, row.ms_row_major
+                );
+                failed = true;
+            }
             if row.vectorized_batches == 0 {
                 eprintln!(
                     "batch check: {} never reached the vectorized evaluator",
@@ -338,18 +374,40 @@ fn batch(options: &Options, config: &BenchConfig) {
                 );
                 failed = true;
             }
+            if row.columnar_blocks == 0 {
+                eprintln!(
+                    "batch check: {} never materialised a typed column block",
+                    row.label
+                );
+                failed = true;
+            }
+        }
+        if !rows.is_empty() && !rows.iter().any(|r| r.best_columnar_ratio <= 1.0) {
+            eprintln!(
+                "batch check: columnar execution was not at least as fast as row-major \
+                 on any point (best ratios: {})",
+                rows.iter()
+                    .map(|r| format!("{} {:.2}", r.label, r.best_columnar_ratio))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            failed = true;
         }
         if failed {
             std::process::exit(1);
         }
         let mean_speedup =
             rows.iter().map(BatchPoint::speedup).sum::<f64>() / rows.len().max(1) as f64;
+        let mean_columnar =
+            rows.iter().map(BatchPoint::columnar_speedup).sum::<f64>() / rows.len().max(1) as f64;
         println!(
-            "batch check passed: batched execution no slower than per-tuple at all {} points \
-             (best pairwise ratio <= 1.10 everywhere, mean min-speedup {:.2}x), results and \
-             operator counts identical",
-            rows.len(),
-            mean_speedup
+            "batch check passed: columnar execution no slower than row-major (ratio <= 1.10 \
+             everywhere, <= 1.00 somewhere, mean min-speedup {:.2}x) and batching no slower \
+             than per-tuple (mean min-speedup {:.2}x) at all {} points, results and operator \
+             counts identical",
+            mean_columnar,
+            mean_speedup,
+            rows.len()
         );
     }
 }
@@ -585,8 +643,9 @@ fn print_usage() {
          fewer operators than the unmemoized path at every point"
     );
     println!(
-        "  --check (batch): exit non-zero unless batched execution is no slower than \
-         per-tuple dispatch at every point (results and operator counts always verified)"
+        "  --check (batch): exit non-zero unless columnar execution is no slower than \
+         row-major batches (and batching no slower than per-tuple) at every point \
+         (results and operator counts always verified)"
     );
     println!(
         "  --check (robust): exit non-zero unless the armed cancel+budget machinery stays \

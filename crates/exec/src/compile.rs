@@ -40,7 +40,9 @@ use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{
     AggFunc, BinaryOp, CompareOp, Expr, FuncName, JoinKind, Plan, SetOpKind, SublinkKind, UnaryOp,
 };
-use perm_storage::{encode_key_typed, Relation, Schema, StorageError, Truth, Tuple, Value};
+use perm_storage::{
+    encode_key_typed, ColumnVec, Relation, Schema, StorageError, Truth, Tuple, Validity, Value,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -334,7 +336,7 @@ static NEXT_SUBLINK_ID: AtomicUsize = AtomicUsize::new(0);
 /// Applies a unary operator to an already-evaluated value. Shared by the
 /// per-tuple evaluator and the vectorized batch evaluator so their
 /// semantics cannot drift apart.
-fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
     Ok(match op {
         UnaryOp::Not => v.as_truth().not().to_value(),
         UnaryOp::Neg => match v {
@@ -352,7 +354,7 @@ fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
 /// values (`AND`/`OR` short-circuit over unevaluated operands and are
 /// handled by the callers). Shared by the per-tuple and the vectorized
 /// evaluator.
-fn apply_binary_scalar(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn apply_binary_scalar(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     match op {
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
             arithmetic(op, l, r)
@@ -367,6 +369,42 @@ fn apply_binary_scalar(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
         },
         BinaryOp::And | BinaryOp::Or => unreachable!("logical connectives short-circuit"),
     }
+}
+
+/// Classifies one attribute of a batch's live rows into a column: the
+/// first non-NULL value picks the lane, mixed representations demote to
+/// the `Values` fallback lane (see `perm_storage::column`).
+fn classify_rows(batch: &Batch<'_>, index: usize) -> ColumnVec {
+    let n = batch.len();
+    let first = (0..n)
+        .map(|i| batch.row(i).get(index))
+        .find(|v| !v.is_null());
+    let mut col = match first {
+        Some(v) => ColumnVec::typed_for(v, n),
+        None => ColumnVec::values_with_capacity(n),
+    };
+    for i in 0..n {
+        col.push_value(batch.row(i).get(index).clone());
+    }
+    col
+}
+
+/// Whether the left operand's truth alone decides a logical connective
+/// for a row (FALSE decides `AND`, TRUE decides `OR`).
+fn logic_decided(op: BinaryOp, t: Truth) -> bool {
+    (op == BinaryOp::And && t == Truth::False) || (op == BinaryOp::Or && t == Truth::True)
+}
+
+/// Packs three-valued truths into a `Bool` lane (Unknown ⇒ invalid slot),
+/// the columnar image of `Truth::to_value`.
+fn truths_to_bool_lane(truths: impl Iterator<Item = Truth>, n: usize) -> ColumnVec {
+    let mut data = Vec::with_capacity(n);
+    let mut validity = Validity::with_capacity(n);
+    for t in truths {
+        validity.push(t != Truth::Unknown);
+        data.push(t == Truth::True);
+    }
+    ColumnVec::Bool { data, validity }
 }
 
 /// Compiles a plan with an empty outer scope chain.
@@ -754,7 +792,7 @@ impl Executor<'_> {
                         }
                         for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
                             if let Some(arg) = &a.arg {
-                                self.expr_batch(arg, batch, frame, col)?;
+                                self.expr_values(arg, batch, frame, col)?;
                             }
                         }
                         Ok(())
@@ -777,7 +815,7 @@ impl Executor<'_> {
                 let ascending: Vec<bool> = keys.iter().map(|k| k.ascending).collect();
                 physical::sort(ops, gov, child, &ascending, |batch, cols| {
                     for (k, col) in keys.iter().zip(cols.iter_mut()) {
-                        self.expr_batch(&k.expr, batch, frame, col)?;
+                        self.expr_values(&k.expr, batch, frame, col)?;
                     }
                     Ok(())
                 })
@@ -807,24 +845,49 @@ impl Executor<'_> {
         outer: Option<&Frame<'_>>,
         out: &mut Vec<Tuple>,
     ) -> Result<()> {
-        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(items.len());
+        let n = batch.len();
+        let mut columns: Vec<ColumnVec> = Vec::with_capacity(items.len());
         for item in items {
-            let mut col = Vec::with_capacity(batch.len());
-            self.ceval_batch(item, batch, outer, &mut col)?;
-            columns.push(col);
+            if let Some(col) = self.bare_slot_column(item, batch) {
+                columns.push(col);
+                continue;
+            }
+            columns.push(self.ceval_batch(item, batch, outer)?);
         }
-        let mut column_iters: Vec<_> = columns.into_iter().map(Vec::into_iter).collect();
-        for _ in 0..batch.len() {
+        for i in 0..n {
             let mut row = Vec::with_capacity(items.len());
-            for it in column_iters.iter_mut() {
-                row.push(
-                    it.next()
-                        .expect("evaluator produced one value per live row"),
-                );
+            for col in columns.iter_mut() {
+                // Move, don't clone: each column cell is consumed once.
+                row.push(col.take_value(i));
             }
             out.push(Tuple::new(row));
         }
         Ok(())
+    }
+
+    /// The bare-column bypass: a depth-0 `Slot` item under columnar
+    /// execution gathers its values straight from the rows instead of
+    /// round-tripping through the block's lane cache, which would cost one
+    /// extra full-column copy (gather-from-lane after classify-into-lane)
+    /// for a value that is consumed exactly once. Counts as one vectorized
+    /// batch, exactly like the dispatch it replaces.
+    fn bare_slot_column(&self, item: &CompiledExpr, batch: &Batch<'_>) -> Option<ColumnVec> {
+        if !self.columnar_enabled.get() || batch.is_empty() {
+            return None;
+        }
+        match item {
+            CompiledExpr::Slot(slot) if slot.depth == 0 => {
+                self.batches_vectorized
+                    .set(self.batches_vectorized.get() + 1);
+                let n = batch.len();
+                let mut col = Vec::with_capacity(n);
+                for i in 0..n {
+                    col.push(batch.row(i).get(slot.index).clone());
+                }
+                Some(ColumnVec::Values(col))
+            }
+            _ => None,
+        }
     }
 
     /// The vectorized predicate core, shared by the materialising driver
@@ -837,10 +900,24 @@ impl Executor<'_> {
         outer: Option<&Frame<'_>>,
         out: &mut Vec<bool>,
     ) -> Result<()> {
-        let mut values = Vec::with_capacity(batch.len());
-        self.ceval_batch(predicate, batch, outer, &mut values)?;
-        for v in values {
-            out.push(v.as_truth().is_true());
+        let values = self.ceval_batch(predicate, batch, outer)?;
+        match &values {
+            // The typed fast path: a comparison kernel's Bool lane turns
+            // into verdicts without materialising a `Value` per row.
+            ColumnVec::Bool { data, validity } => {
+                if validity.is_all_valid() {
+                    out.extend_from_slice(data);
+                } else {
+                    for (i, b) in data.iter().enumerate() {
+                        out.push(validity.get(i) && *b);
+                    }
+                }
+            }
+            other => {
+                for i in 0..other.len() {
+                    out.push(other.truth_at(i).is_true());
+                }
+            }
         }
         Ok(())
     }
@@ -888,8 +965,42 @@ impl Executor<'_> {
     }
 
     /// A single expression over one batch for the compiled driver (join
-    /// keys, sort keys): one value per live row.
+    /// keys): one value per live row, in a column. A bare depth-0 slot
+    /// classifies straight into a typed lane — the common equi-key shape,
+    /// which the column-wise key encoders then consume without a `Value`
+    /// match per row — skipping the block's lane cache (keys are read
+    /// once; the cache round-trip would cost an extra copy).
     fn expr_batch(
+        &self,
+        expr: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+        out: &mut ColumnVec,
+    ) -> Result<()> {
+        if !self.batch_enabled.get() {
+            for tuple in batch.iter() {
+                let scope = Frame::new(outer, tuple);
+                out.push_value(self.ceval(expr, Some(&scope))?);
+            }
+            return Ok(());
+        }
+        if self.columnar_enabled.get() && !batch.is_empty() {
+            if let CompiledExpr::Slot(slot) = expr {
+                if slot.depth == 0 {
+                    self.batches_vectorized
+                        .set(self.batches_vectorized.get() + 1);
+                    *out = classify_rows(batch, slot.index);
+                    return Ok(());
+                }
+            }
+        }
+        *out = self.ceval_batch(expr, batch, outer)?;
+        Ok(())
+    }
+
+    /// A single expression over one batch, appended as row-major values
+    /// (sort keys, the interpreter-compatible aggregate inputs).
+    fn expr_values(
         &self,
         expr: &CompiledExpr,
         batch: &Batch<'_>,
@@ -903,7 +1014,12 @@ impl Executor<'_> {
             }
             return Ok(());
         }
-        self.ceval_batch(expr, batch, outer, out)
+        if let Some(col) = self.bare_slot_column(expr, batch) {
+            col.append_to_values(out);
+            return Ok(());
+        }
+        self.ceval_batch(expr, batch, outer)?.append_to_values(out);
+        Ok(())
     }
 
     /// Evaluates a compiled expression **vectorized** over every live row
@@ -931,19 +1047,299 @@ impl Executor<'_> {
     /// evaluation is expression-major): the set of evaluated (row,
     /// subexpression) pairs — and hence whether an error occurs at all — is
     /// identical.
+    ///
+    /// With columnar execution enabled (the default), evaluation runs
+    /// through [`Executor::ceval_typed`] over typed [`ColumnVec`] lanes;
+    /// with it disabled, through the row-major [`Executor::ceval_cols`]
+    /// whose result is wrapped in a `Values` lane. Both produce one value
+    /// per live row in selection order.
     pub(crate) fn ceval_batch(
         &self,
         expr: &CompiledExpr,
         batch: &Batch<'_>,
         outer: Option<&Frame<'_>>,
-        out: &mut Vec<Value>,
-    ) -> Result<()> {
+    ) -> Result<ColumnVec> {
         if batch.is_empty() {
-            return Ok(());
+            return Ok(ColumnVec::default());
         }
         self.batches_vectorized
             .set(self.batches_vectorized.get() + 1);
-        self.ceval_cols(expr, batch, outer, out)
+        if self.columnar_enabled.get() {
+            self.ceval_typed(expr, batch, outer)
+        } else {
+            let mut out = Vec::with_capacity(batch.len());
+            self.ceval_cols(expr, batch, outer, &mut out)?;
+            Ok(ColumnVec::Values(out))
+        }
+    }
+
+    /// The columnar recursive body of [`Executor::ceval_batch`]: returns a
+    /// column of exactly `batch.len()` values aligned with the live
+    /// selection, evaluated by the typed kernels of [`crate::kernels`]
+    /// wherever the lane pairing has a proven scalar equivalence and by
+    /// the shared scalar appliers row by row otherwise (counted in
+    /// `columnar_fallback_rows`). Sub-selections narrow through
+    /// [`Batch::narrow`], keeping the block's lane cache reachable.
+    fn ceval_typed(
+        &self,
+        expr: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+    ) -> Result<ColumnVec> {
+        let n = batch.len();
+        if n == 0 {
+            // Empty means untouched (batch invariant 4): no lane is
+            // classified and no deferred error can surface.
+            return Ok(ColumnVec::default());
+        }
+        match expr {
+            CompiledExpr::Slot(slot) => {
+                if slot.depth == 0 {
+                    Ok(self.slot_column(slot.index, batch))
+                } else {
+                    match outer {
+                        Some(frame) => {
+                            let v = frame.get(Slot {
+                                depth: slot.depth - 1,
+                                index: slot.index,
+                            });
+                            Ok(ColumnVec::broadcast(v, n))
+                        }
+                        None => Err(ExecError::Storage(StorageError::UnknownAttribute(
+                            "<compiled slot without scope>".into(),
+                        ))),
+                    }
+                }
+            }
+            CompiledExpr::Unresolved { name, ambiguous } => {
+                Err(ExecError::Storage(if *ambiguous {
+                    StorageError::AmbiguousAttribute(name.clone())
+                } else {
+                    StorageError::UnknownAttribute(name.clone())
+                }))
+            }
+            CompiledExpr::Literal(v) => Ok(ColumnVec::broadcast(v, n)),
+            CompiledExpr::Param(index) => {
+                let v = self.param_value(*index)?;
+                Ok(ColumnVec::broadcast(&v, n))
+            }
+            CompiledExpr::Binary { op, left, right }
+                if matches!(op, BinaryOp::And | BinaryOp::Or) =>
+            {
+                self.ceval_logic_typed(*op, left, right, batch, outer)
+            }
+            CompiledExpr::Binary { op, left, right } => {
+                let l = self.ceval_typed(left, batch, outer)?;
+                let r = self.ceval_typed(right, batch, outer)?;
+                let (col, fell_back) = crate::kernels::binary_column(*op, l, r)?;
+                if fell_back {
+                    self.columnar_fallback_rows
+                        .set(self.columnar_fallback_rows.get() + n as u64);
+                }
+                Ok(col)
+            }
+            CompiledExpr::Unary { op, expr } => {
+                let v = self.ceval_typed(expr, batch, outer)?;
+                let (col, fell_back) = crate::kernels::unary_column(*op, v)?;
+                if fell_back {
+                    self.columnar_fallback_rows
+                        .set(self.columnar_fallback_rows.get() + n as u64);
+                }
+                Ok(col)
+            }
+            CompiledExpr::Func { name, args } => {
+                // Function application is row-major by nature in both
+                // modes (arguments gathered into a scratch row), so this
+                // is not counted as a columnar fallback.
+                let mut cols: Vec<ColumnVec> = Vec::with_capacity(args.len());
+                for a in args {
+                    cols.push(self.ceval_typed(a, batch, outer)?);
+                }
+                let mut scratch: Vec<Value> = Vec::with_capacity(args.len());
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    scratch.clear();
+                    for col in cols.iter_mut() {
+                        // Move, don't clone: each cell is consumed once.
+                        scratch.push(col.take_value(i));
+                    }
+                    out.push(crate::eval::apply_func(*name, &scratch)?);
+                }
+                Ok(ColumnVec::Values(out))
+            }
+            CompiledExpr::Case {
+                branches,
+                else_expr,
+            } => self.ceval_case_typed(branches, else_expr.as_deref(), batch, outer),
+            CompiledExpr::Sublink(sublink) => {
+                // Per-tuple fallback: sublink evaluation goes through the
+                // parameterized memo (and, for ANY/ALL, the verdict memo)
+                // exactly as in tuple-at-a-time execution.
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let scope = Frame::new(outer, batch.row(i));
+                    out.push(self.ceval_sublink(sublink, Some(&scope))?);
+                }
+                self.batch_fallback_rows
+                    .set(self.batch_fallback_rows.get() + n as u64);
+                self.columnar_fallback_rows
+                    .set(self.columnar_fallback_rows.get() + n as u64);
+                Ok(ColumnVec::Values(out))
+            }
+        }
+    }
+
+    /// The column for a depth-0 slot: served from the batch's shared
+    /// [`crate::batch::ColumnBlock`] lane cache when one is attached
+    /// (cloning the cached lane, or gathering the live rows from it under
+    /// a selection), classified directly from the live rows otherwise.
+    fn slot_column(&self, index: usize, batch: &Batch<'_>) -> ColumnVec {
+        if let Some(block) = batch.columns() {
+            if block.note_first_use() {
+                self.columnar_blocks.set(self.columnar_blocks.get() + 1);
+            }
+            return match batch.selection() {
+                None => block.lane(batch.rows(), index).clone(),
+                Some(sel) => match block.cached(index) {
+                    Some(lane) => lane.gather(sel),
+                    // An uncached lane under a narrow selection: classify
+                    // only the live rows rather than transposing the dead
+                    // majority of the block.
+                    None => classify_rows(batch, index),
+                },
+            };
+        }
+        classify_rows(batch, index)
+    }
+
+    /// Columnar `AND`/`OR` with fused selection handling: when the left
+    /// operand decides no rows, the right operand runs over the *same*
+    /// batch — no selection vector is allocated, so a dense block stays
+    /// dense and allocation-free; when it decides every row, the right
+    /// operand never runs; only the mixed case pays for a sub-selection
+    /// (narrowed through [`Batch::narrow`], keeping the lane cache). The
+    /// per-row short-circuit semantics are those of `ceval_logic_cols`.
+    fn ceval_logic_typed(
+        &self,
+        op: BinaryOp,
+        left: &CompiledExpr,
+        right: &CompiledExpr,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+    ) -> Result<ColumnVec> {
+        let n = batch.len();
+        let lcol = self.ceval_typed(left, batch, outer)?;
+        let mut ltruths: Vec<Truth> = Vec::with_capacity(n);
+        let mut undecided = 0usize;
+        for i in 0..n {
+            let t = lcol.truth_at(i);
+            if !logic_decided(op, t) {
+                undecided += 1;
+            }
+            ltruths.push(t);
+        }
+        let combine = |l: Truth, r: Truth| {
+            if op == BinaryOp::And {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        };
+        if undecided == n {
+            let rcol = self.ceval_typed(right, batch, outer)?;
+            return Ok(truths_to_bool_lane(
+                (0..n).map(|i| combine(ltruths[i], rcol.truth_at(i))),
+                n,
+            ));
+        }
+        if undecided == 0 {
+            return Ok(truths_to_bool_lane(ltruths.into_iter(), n));
+        }
+        let mut need_rows = Vec::with_capacity(undecided);
+        let mut need_pos = Vec::with_capacity(undecided);
+        for (i, t) in ltruths.iter().enumerate() {
+            if !logic_decided(op, *t) {
+                need_rows.push(batch.row_index(i));
+                need_pos.push(i);
+            }
+        }
+        let rcol = self.ceval_typed(right, &batch.narrow(&need_rows), outer)?;
+        let mut k = 0usize;
+        Ok(truths_to_bool_lane(
+            ltruths.iter().enumerate().map(|(i, &l)| {
+                if k < need_pos.len() && need_pos[k] == i {
+                    let r = rcol.truth_at(k);
+                    k += 1;
+                    combine(l, r)
+                } else {
+                    l
+                }
+            }),
+            n,
+        ))
+    }
+
+    /// Columnar `CASE`: identical branch-narrowing discipline to the
+    /// row-major `Case` arm of `ceval_cols` (a row that took an earlier
+    /// branch never evaluates a later condition; an exhausted selection
+    /// stops evaluating branches entirely), with sub-batches narrowed
+    /// through [`Batch::narrow`] so the lane cache stays reachable.
+    fn ceval_case_typed(
+        &self,
+        branches: &[(CompiledExpr, CompiledExpr)],
+        else_expr: Option<&CompiledExpr>,
+        batch: &Batch<'_>,
+        outer: Option<&Frame<'_>>,
+    ) -> Result<ColumnVec> {
+        let n = batch.len();
+        let mut result: Vec<Option<Value>> = vec![None; n];
+        let mut remaining_rows: Vec<usize> = (0..n).map(|i| batch.row_index(i)).collect();
+        let mut remaining_pos: Vec<usize> = (0..n).collect();
+        for (cond, branch_value) in branches {
+            if remaining_rows.is_empty() {
+                break;
+            }
+            let cvals = self.ceval_typed(cond, &batch.narrow(&remaining_rows), outer)?;
+            let mut take_rows = Vec::new();
+            let mut take_pos = Vec::new();
+            let mut keep_rows = Vec::new();
+            let mut keep_pos = Vec::new();
+            for k in 0..remaining_rows.len() {
+                if cvals.truth_at(k).is_true() {
+                    take_rows.push(remaining_rows[k]);
+                    take_pos.push(remaining_pos[k]);
+                } else {
+                    keep_rows.push(remaining_rows[k]);
+                    keep_pos.push(remaining_pos[k]);
+                }
+            }
+            let mut tvals = self.ceval_typed(branch_value, &batch.narrow(&take_rows), outer)?;
+            for (k, p) in take_pos.into_iter().enumerate() {
+                result[p] = Some(tvals.take_value(k));
+            }
+            remaining_rows = keep_rows;
+            remaining_pos = keep_pos;
+        }
+        if !remaining_rows.is_empty() {
+            match else_expr {
+                Some(e) => {
+                    let mut evals = self.ceval_typed(e, &batch.narrow(&remaining_rows), outer)?;
+                    for (k, p) in remaining_pos.into_iter().enumerate() {
+                        result[p] = Some(evals.take_value(k));
+                    }
+                }
+                None => {
+                    for p in remaining_pos {
+                        result[p] = Some(Value::Null);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for v in result {
+            out.push(v.expect("every live row took a branch or the else"));
+        }
+        Ok(ColumnVec::Values(out))
     }
 
     /// The recursive body of [`Executor::ceval_batch`]: exactly
@@ -1433,9 +1829,9 @@ impl Executor<'_> {
 mod tests {
     use super::*;
     use perm_algebra::builder::{
-        self, any_sublink, col, eq, exists_sublink, lit, qcol, scalar_sublink, PlanBuilder,
+        self, any_sublink, cmp, col, eq, exists_sublink, lit, qcol, scalar_sublink, PlanBuilder,
     };
-    use perm_algebra::ProjectItem;
+    use perm_algebra::{CompareOp, ProjectItem};
     use perm_storage::{Attribute, DataType, Database};
 
     fn db_with_groups() -> Database {
@@ -1667,6 +2063,47 @@ mod tests {
             err,
             ExecError::Storage(StorageError::UnknownAttribute(_))
         ));
+    }
+
+    #[test]
+    fn typed_lane_short_circuit_shields_deferred_errors() {
+        // The left conjunct is a typed Int-lane comparison that is FALSE
+        // for every row, so the right conjunct — a deferred unresolvable
+        // column — must never be evaluated: an all-false typed truth lane
+        // yields an empty undecided selection and the fused columnar AND
+        // skips the right side entirely.
+        let db = db_with_groups();
+        let shielded = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(perm_algebra::builder::and(
+                cmp(CompareOp::Lt, qcol("r", "a"), lit(-1)),
+                eq(col("does_not_exist"), lit(1)),
+            ))
+            .build();
+        let result = Executor::new(&db).execute(&shielded).unwrap();
+        assert!(result.is_empty());
+
+        // Same shape, but some rows pass the typed left conjunct: those
+        // rows *do* reach the right side and the deferred error surfaces,
+        // exactly as in the per-tuple modes.
+        let surfaced = PlanBuilder::scan(&db, "r")
+            .unwrap()
+            .select(perm_algebra::builder::and(
+                cmp(CompareOp::Lt, qcol("r", "a"), lit(5)),
+                eq(col("does_not_exist"), lit(1)),
+            ))
+            .build();
+        for ex in [
+            Executor::new(&db),
+            Executor::new(&db).with_columnar(false),
+            Executor::new(&db).with_batching(false),
+        ] {
+            let err = ex.execute(&surfaced).unwrap_err();
+            assert!(matches!(
+                err,
+                ExecError::Storage(StorageError::UnknownAttribute(_))
+            ));
+        }
     }
 
     /// Digs the single sublink out of a compiled `σ_{…sublink…}(scan)` plan.

@@ -38,7 +38,7 @@
 //! executions on the same executor (with different `$n` bindings) cannot
 //! corrupt an open stream.
 
-use crate::batch::{Batch, BATCH_ROWS};
+use crate::batch::{Batch, ColumnBlock, BATCH_ROWS};
 use crate::compile::{CompiledExpr, CompiledPlan, Frame};
 use crate::executor::Executor;
 use crate::Result;
@@ -327,8 +327,15 @@ fn select_into(
 ) -> Result<usize> {
     if ex.batching_enabled() {
         let mut truths = Vec::with_capacity(in_rows.len());
+        let arity = in_rows.first().map(|t| t.values().len()).unwrap_or(0);
+        let block = ColumnBlock::new(arity);
         if ex
-            .predicate_truths_vectorized(predicate, &Batch::dense(in_rows), None, &mut truths)
+            .predicate_truths_vectorized(
+                predicate,
+                &Batch::dense_with_block(in_rows, &block),
+                None,
+                &mut truths,
+            )
             .is_ok()
         {
             let mut survivors = 0;
@@ -369,9 +376,11 @@ fn project_into(
     if in_rows.is_empty() {
         return Ok(());
     }
+    let arity = in_rows.first().map(|t| t.values().len()).unwrap_or(0);
+    let block = ColumnBlock::new(arity);
     if ex.batching_enabled()
         && ex
-            .project_rows_vectorized(items, &Batch::dense(in_rows), None, out)
+            .project_rows_vectorized(items, &Batch::dense_with_block(in_rows, &block), None, out)
             .is_ok()
     {
         // The shared core appends nothing on error, so falling through to

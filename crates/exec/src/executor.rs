@@ -138,6 +138,19 @@ pub struct Executor<'a> {
     /// evaluator because their expression subtree carries a sublink (the
     /// fallback that keeps the parameterized sublink memo seam untouched).
     pub(crate) batch_fallback_rows: Cell<u64>,
+    /// Whether the vectorized compiled evaluator runs over typed columnar
+    /// lanes (the default) or row-major `Value` columns (the measurement
+    /// baseline of `harness batch`). Results are identical either way;
+    /// only the data layout under each kernel differs.
+    pub(crate) columnar_enabled: Cell<bool>,
+    /// Number of [`crate::batch::ColumnBlock`]s that served at least one
+    /// columnar lane access (diagnostic; one per block touched, not per
+    /// access).
+    pub(crate) columnar_blocks: Cell<u64>,
+    /// Rows whose columnar evaluation fell back to the row-major scalar
+    /// path: mixed-type (`Values`) lanes, lane pairings without a typed
+    /// kernel, integer-overflow retries, and sublink-bearing subtrees.
+    pub(crate) columnar_fallback_rows: Cell<u64>,
 }
 
 /// Namespace tag of compiled-path memo keys.
@@ -177,6 +190,9 @@ impl<'a> Executor<'a> {
             batch_enabled: Cell::new(true),
             batches_vectorized: Cell::new(0),
             batch_fallback_rows: Cell::new(0),
+            columnar_enabled: Cell::new(true),
+            columnar_blocks: Cell::new(0),
+            columnar_fallback_rows: Cell::new(0),
         }
     }
 
@@ -209,6 +225,40 @@ impl<'a> Executor<'a> {
     /// sublink memo exactly like tuple-at-a-time execution).
     pub fn batch_fallback_rows(&self) -> u64 {
         self.batch_fallback_rows.get()
+    }
+
+    /// Enables or disables columnar execution on the vectorized compiled
+    /// path (enabled by default). Disabled, vectorized evaluation runs the
+    /// row-major `Value`-column kernels — the data-layout measurement
+    /// baseline of `harness batch`; it has no effect when batching itself
+    /// is off. Results, errors and `operators_evaluated` are identical in
+    /// both modes.
+    pub fn with_columnar(self, enabled: bool) -> Executor<'a> {
+        self.columnar_enabled.set(enabled);
+        self
+    }
+
+    /// Whether columnar execution is enabled on the vectorized compiled
+    /// path (see [`Executor::with_columnar`]).
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar_enabled.get()
+    }
+
+    /// Number of column blocks that served at least one columnar lane
+    /// access so far (diagnostic counter; a block of up to
+    /// [`crate::BATCH_ROWS`] rows counts once however many lanes and
+    /// expressions touch it).
+    pub fn columnar_blocks(&self) -> u64 {
+        self.columnar_blocks.get()
+    }
+
+    /// Number of rows whose columnar evaluation fell back to the row-major
+    /// scalar path (diagnostic counter): mixed-type lanes, lane pairings
+    /// without a typed kernel, integer-overflow retries, and
+    /// sublink-bearing subtrees (which are also counted in
+    /// [`Executor::batch_fallback_rows`]).
+    pub fn columnar_fallback_rows(&self) -> u64 {
+        self.columnar_fallback_rows.get()
     }
 
     /// Enables or disables the parameterized sublink memos (enabled by
@@ -633,14 +683,14 @@ impl<'a> Executor<'a> {
                     |batch, i, col| {
                         for lt in batch.iter() {
                             let scope = Env::new(env, &l_schema, lt);
-                            col.push(self.eval_expr(&equi_keys[i].left, Some(&scope))?);
+                            col.push_value(self.eval_expr(&equi_keys[i].left, Some(&scope))?);
                         }
                         Ok(())
                     },
                     |batch, i, col| {
                         for rt in batch.iter() {
                             let scope = Env::new(env, &r_schema, rt);
-                            col.push(self.eval_expr(&equi_keys[i].right, Some(&scope))?);
+                            col.push_value(self.eval_expr(&equi_keys[i].right, Some(&scope))?);
                         }
                         Ok(())
                     },
@@ -679,7 +729,7 @@ impl<'a> Executor<'a> {
                         for tuple in batch.iter() {
                             let scope = Env::new(env, &child_schema, tuple);
                             for (g, col) in group_by.iter().zip(group_cols.iter_mut()) {
-                                col.push(self.eval_expr(&g.expr, Some(&scope))?);
+                                col.push_value(self.eval_expr(&g.expr, Some(&scope))?);
                             }
                             for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
                                 if let Some(arg) = &a.arg {

@@ -30,6 +30,24 @@
 //!   `CASE` narrowing the selection so per-row short-circuit semantics are
 //!   preserved exactly), falling back to per-tuple evaluation for
 //!   sublink-bearing subtrees so the memo seam is untouched;
+//!
+//!   On top of the batches the compiled path runs **column-major**: every
+//!   batch is backed by a [`ColumnBlock`] whose typed lanes (i64, f64,
+//!   date, bool and string vectors, each with a packed validity bitmap,
+//!   plus a `Value`-vector fallback lane for mixed-type columns) are
+//!   materialised lazily, one column at a time, on first access. Slot
+//!   references load a lane once per batch, the [`kernels`] module
+//!   evaluates comparisons and arithmetic as tight loops over the typed
+//!   lanes (whole-column fast paths with a per-column scalar retry on
+//!   overflow or type mixing — never a silent wrong answer), and hash-join
+//!   build/probe and aggregate grouping encode their keys **column-wise**
+//!   (`encode_key_column` in `perm-storage`, byte-identical to the
+//!   row-major encoding). Tuples are only re-materialised at pipeline
+//!   breakers, the memo seam and the [`Rows`] boundary. The layer is
+//!   observable ([`Executor::columnar_blocks`],
+//!   [`Executor::columnar_fallback_rows`]) and can be switched off
+//!   ([`Executor::with_columnar`]) — the measurement baseline of
+//!   `harness batch`, which gates columnar against row-major batches;
 //! * the name-resolving interpreter ([`Executor::execute_unoptimized`]),
 //!   the reference semantics of the equivalence tests and the substrate of
 //!   the tracer in `perm-core`; its closures loop over each batch **row by
@@ -78,11 +96,12 @@ pub mod cursor;
 pub mod eval;
 pub mod executor;
 pub mod functions;
+pub mod kernels;
 pub(crate) mod memo;
 pub(crate) mod physical;
 pub mod resilience;
 
-pub use batch::{Batch, BATCH_ROWS};
+pub use batch::{Batch, ColumnBlock, BATCH_ROWS};
 pub use compile::{CompiledExpr, CompiledPlan, CompiledSublink, Frame, Slot};
 pub use cursor::Rows;
 pub use eval::Env;

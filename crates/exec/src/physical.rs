@@ -53,11 +53,14 @@
 //! diagnostic that many tests pin exactly.
 
 use crate::aggregate::Accumulator;
-use crate::batch::{Batch, BATCH_ROWS};
+use crate::batch::{Batch, ColumnBlock, BATCH_ROWS};
 use crate::resilience::{tuple_bytes, value_bytes, Governor};
 use crate::{ExecError, Result};
 use perm_algebra::{AggFunc, JoinKind, SetOpKind};
-use perm_storage::{encode_key, Database, Relation, Schema, Tuple, Value};
+use perm_storage::{
+    encode_key_column, encode_key_column_filtered, ColumnVec, Database, Relation, Schema, Tuple,
+    Value,
+};
 use std::cell::Cell;
 use std::collections::HashMap;
 
@@ -122,12 +125,14 @@ pub(crate) fn project(
 ) -> Result<Relation> {
     count(ops);
     gov.operator_event("project")?;
+    let arity = child.schema().arity();
     let mut out = Relation::empty(out_schema);
     let mut buf: Vec<Tuple> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("project")?;
         buf.clear();
-        rows_of(&Batch::dense(chunk), &mut buf)?;
+        let block = ColumnBlock::new(arity);
+        rows_of(&Batch::dense_with_block(chunk, &block), &mut buf)?;
         debug_assert_eq!(buf.len(), chunk.len(), "projection must be 1:1 per batch");
         for tuple in buf.drain(..) {
             out.push_unchecked(tuple);
@@ -148,12 +153,14 @@ pub(crate) fn select(
 ) -> Result<Relation> {
     count(ops);
     gov.operator_event("select")?;
+    let arity = child.schema().arity();
     let mut out = Relation::empty(child.schema().clone());
     let mut truths: Vec<bool> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("select")?;
         truths.clear();
-        keep(&Batch::dense(chunk), &mut truths)?;
+        let block = ColumnBlock::new(arity);
+        keep(&Batch::dense_with_block(chunk, &block), &mut truths)?;
         debug_assert_eq!(truths.len(), chunk.len(), "one verdict per live row");
         for (tuple, keep) in chunk.iter().zip(&truths) {
             if *keep {
@@ -189,6 +196,20 @@ pub(crate) fn cross_product(
     Ok(out)
 }
 
+/// Resets the per-row key buffers for a chunk of `n` rows: every buffer is
+/// emptied (capacity kept, so steady state allocates nothing) and every row
+/// starts live. Shared by the hash-join build/probe and the aggregate.
+fn reset_key_buffers(n: usize, keys_buf: &mut Vec<Vec<u8>>, live: &mut Vec<bool>) {
+    if keys_buf.len() < n {
+        keys_buf.resize_with(n, Vec::new);
+    }
+    for key in keys_buf[..n].iter_mut() {
+        key.clear();
+    }
+    live.clear();
+    live.resize(n, true);
+}
+
 /// One left row's candidate range inside a pending joined-row buffer:
 /// the left tuple (for padding) and the half-open candidate range.
 struct JoinSegment<'l> {
@@ -209,13 +230,15 @@ fn flush_join_segments(
     segments: &mut Vec<JoinSegment<'_>>,
     truths: &mut Vec<bool>,
     kind: JoinKind,
+    join_arity: usize,
     right_arity: usize,
     out: &mut Relation,
 ) -> Result<()> {
     truths.clear();
     for chunk in pending.chunks(BATCH_ROWS) {
         gov.checkpoint("join")?;
-        condition(&Batch::dense(chunk), truths)?;
+        let block = ColumnBlock::new(join_arity);
+        condition(&Batch::dense_with_block(chunk, &block), truths)?;
     }
     debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
     for segment in segments.drain(..) {
@@ -243,17 +266,20 @@ fn flush_join_segments(
 /// `key_null_safe` carries one flag per extracted equi-key conjunct; when
 /// non-empty the join runs hashed — the right side (the **build** side, a
 /// pipeline breaker consumed batch by batch at its input boundary) is
-/// bucketed under [`encode_key`] of its key values, and only bucket-mates
-/// are rechecked against the full `condition`. Rows whose key is NULL under
-/// a plain (non-null-safe) equality can never match and are dropped from
-/// the hash table / probe. When empty (no usable equality, or the condition
-/// carries sublinks, e.g. the Jsub conditions of the Left strategy) the
-/// join falls back to a nested loop. Either way the **probe** operates
-/// batch-at-a-time: key expressions are evaluated once per batch, candidate
-/// joined rows are filtered through a batched `condition` pass, and an
-/// unmatched left row of a left-outer join is padded with NULLs on the
-/// right — in exactly the per-left-row output order of a tuple-at-a-time
-/// loop.
+/// bucketed under the column-wise key encoding
+/// ([`encode_key_column_filtered`]) of its key values: each key column is
+/// encoded in one contiguous pass, appending its bytes to every row's key
+/// buffer, and only bucket-mates are rechecked against the full
+/// `condition`. Rows whose key is NULL under a plain (non-null-safe)
+/// equality can never match and are dropped from the hash table / probe
+/// (the encoder marks them dead in the `live` mask). When empty (no usable
+/// equality, or the condition carries sublinks, e.g. the Jsub conditions
+/// of the Left strategy) the join falls back to a nested loop. Either way
+/// the **probe** operates batch-at-a-time: key expressions are evaluated
+/// once per batch into typed [`ColumnVec`] lanes, candidate joined rows
+/// are filtered through a batched `condition` pass, and an unmatched left
+/// row of a left-outer join is padded with NULLs on the right — in exactly
+/// the per-left-row output order of a tuple-at-a-time loop.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join(
     ops: &OpCounter,
@@ -263,14 +289,16 @@ pub(crate) fn join(
     out_schema: &Schema,
     kind: JoinKind,
     key_null_safe: &[bool],
-    mut left_keys: impl FnMut(&Batch<'_>, usize, &mut Vec<Value>) -> Result<()>,
-    mut right_keys: impl FnMut(&Batch<'_>, usize, &mut Vec<Value>) -> Result<()>,
+    mut left_keys: impl FnMut(&Batch<'_>, usize, &mut ColumnVec) -> Result<()>,
+    mut right_keys: impl FnMut(&Batch<'_>, usize, &mut ColumnVec) -> Result<()>,
     mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     gov.operator_event("join")?;
     let mut charge = gov.transient("join");
+    let left_arity = l.schema().arity();
     let right_arity = r.schema().arity();
+    let join_arity = out_schema.arity();
     let nkeys = key_null_safe.len();
     let mut out = Relation::empty(out_schema.clone());
     let mut pending: Vec<Tuple> = Vec::new();
@@ -287,27 +315,38 @@ pub(crate) fn join(
         // input schemas), so key evaluation cannot raise an error the
         // early exit would have shielded.
         let mut buckets: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::new();
-        let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
+        let mut key_cols: Vec<ColumnVec> = vec![ColumnVec::default(); nkeys];
+        let mut keys_buf: Vec<Vec<u8>> = Vec::new();
+        let mut live: Vec<bool> = Vec::new();
         for chunk in r.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
-            let batch = Batch::dense(chunk);
+            let block = ColumnBlock::new(right_arity);
+            let batch = Batch::dense_with_block(chunk, &block);
             for (i, col) in key_cols.iter_mut().enumerate() {
-                col.clear();
+                col.clear_values();
                 right_keys(&batch, i, col)?;
             }
+            // Column-wise key encoding: one pass per key column appends
+            // that column's bytes to every live row's key buffer; a NULL
+            // under a non-null-safe equality kills the row instead.
+            reset_key_buffers(chunk.len(), &mut keys_buf, &mut live);
+            for (col, null_safe) in key_cols.iter().zip(key_null_safe) {
+                encode_key_column_filtered(
+                    col,
+                    *null_safe,
+                    &mut live,
+                    &mut keys_buf[..chunk.len()],
+                );
+            }
             let mut chunk_bytes = 0u64;
-            'rows: for (j, rt) in chunk.iter().enumerate() {
-                let mut key_values = Vec::with_capacity(nkeys);
-                for (col, null_safe) in key_cols.iter_mut().zip(key_null_safe) {
-                    if col[j].is_null() && !null_safe {
-                        continue 'rows;
-                    }
-                    // Move, don't clone: the column buffer is consumed once
-                    // per row (a clone here costs an allocation per string
-                    // key per row on wide provenance tuples).
-                    key_values.push(std::mem::replace(&mut col[j], Value::Null));
+            for (j, rt) in chunk.iter().enumerate() {
+                if !live[j] {
+                    continue;
                 }
-                let key = encode_key(&key_values);
+                // Move, don't clone: each row's key buffer is consumed
+                // once (taking it leaves an empty Vec behind, which the
+                // next chunk's reset reuses without reallocating).
+                let key = std::mem::take(&mut keys_buf[j]);
                 if charge.is_some() {
                     // Build-table growth: the encoded key plus the
                     // bucket-mate reference.
@@ -325,28 +364,29 @@ pub(crate) fn join(
         // buffer, and flush (condition + ordered emission) at left-row
         // boundaries once a batch worth of candidates has accumulated.
         let empty: Vec<&Tuple> = Vec::new();
-        let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); nkeys];
+        let mut key_cols: Vec<ColumnVec> = vec![ColumnVec::default(); nkeys];
         for chunk in l.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
-            let batch = Batch::dense(chunk);
+            let block = ColumnBlock::new(left_arity);
+            let batch = Batch::dense_with_block(chunk, &block);
             for (i, col) in key_cols.iter_mut().enumerate() {
-                col.clear();
+                col.clear_values();
                 left_keys(&batch, i, col)?;
             }
+            reset_key_buffers(chunk.len(), &mut keys_buf, &mut live);
+            for (col, null_safe) in key_cols.iter().zip(key_null_safe) {
+                encode_key_column_filtered(
+                    col,
+                    *null_safe,
+                    &mut live,
+                    &mut keys_buf[..chunk.len()],
+                );
+            }
             for (j, lt) in chunk.iter().enumerate() {
-                let mut key_values = Vec::with_capacity(nkeys);
-                let mut has_null_key = false;
-                for (col, null_safe) in key_cols.iter_mut().zip(key_null_safe) {
-                    if col[j].is_null() && !null_safe {
-                        has_null_key = true;
-                        break;
-                    }
-                    key_values.push(std::mem::replace(&mut col[j], Value::Null));
-                }
-                let candidates = if has_null_key {
+                let candidates = if !live[j] {
                     &empty
                 } else {
-                    buckets.get(&encode_key(&key_values)).unwrap_or(&empty)
+                    buckets.get(&keys_buf[j]).unwrap_or(&empty)
                 };
                 let start = pending.len();
                 for rt in candidates {
@@ -371,6 +411,7 @@ pub(crate) fn join(
                         &mut segments,
                         &mut truths,
                         kind,
+                        join_arity,
                         right_arity,
                         &mut out,
                     )?;
@@ -384,6 +425,7 @@ pub(crate) fn join(
             &mut segments,
             &mut truths,
             kind,
+            join_arity,
             right_arity,
             &mut out,
         )?;
@@ -402,7 +444,8 @@ pub(crate) fn join(
                 pending.push(lt.concat(rt));
             }
             truths.clear();
-            condition(&Batch::dense(&pending), &mut truths)?;
+            let block = ColumnBlock::new(join_arity);
+            condition(&Batch::dense_with_block(&pending, &block), &mut truths)?;
             debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
             for (idx, keep) in truths.iter().enumerate() {
                 if *keep {
@@ -420,10 +463,11 @@ pub(crate) fn join(
 
 /// Grouping and aggregation — a pipeline breaker consuming its input batch
 /// by batch. `eval` evaluates, for one batch, every grouping expression
-/// into `group_cols[i]` and every aggregate argument into `agg_cols[i]`
-/// (columns for argless `count(*)` specs stay empty; their per-row
-/// contribution is the constant 1). Groups are keyed by [`encode_key`] —
-/// the key *is* the grouping equality, with no recheck — and emitted in
+/// into `group_cols[i]` (a typed [`ColumnVec`] lane) and every aggregate
+/// argument into `agg_cols[i]` (columns for argless `count(*)` specs stay
+/// empty; their per-row contribution is the constant 1). Groups are keyed
+/// by the column-wise key encoding ([`encode_key_column`]) — the key *is*
+/// the grouping equality, with no recheck — and emitted in
 /// first-encounter order. A global aggregation (no GROUP BY) over an empty
 /// input still produces one tuple (e.g. `count(*)` = 0): the single group
 /// is seeded up front.
@@ -434,11 +478,12 @@ pub(crate) fn aggregate(
     out_schema: Schema,
     group_arity: usize,
     specs: &[AggSpec],
-    mut eval: impl FnMut(&Batch<'_>, &mut [Vec<Value>], &mut [Vec<Value>]) -> Result<()>,
+    mut eval: impl FnMut(&Batch<'_>, &mut [ColumnVec], &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
     count(ops);
     gov.operator_event("aggregate")?;
     let mut charge = gov.transient("aggregate");
+    let in_arity = child.schema().arity();
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
     let make_accs = || -> Vec<Accumulator> {
@@ -453,25 +498,41 @@ pub(crate) fn aggregate(
         index.insert(Vec::new(), 0);
     }
 
-    let mut group_cols: Vec<Vec<Value>> = vec![Vec::new(); group_arity];
+    let mut group_cols: Vec<ColumnVec> = vec![ColumnVec::default(); group_arity];
     let mut agg_cols: Vec<Vec<Value>> = vec![Vec::new(); specs.len()];
+    let mut keys_buf: Vec<Vec<u8>> = Vec::new();
+    let mut live: Vec<bool> = Vec::new();
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("aggregate")?;
-        for col in group_cols.iter_mut().chain(agg_cols.iter_mut()) {
+        for col in group_cols.iter_mut() {
+            col.clear_values();
+        }
+        for col in agg_cols.iter_mut() {
             col.clear();
         }
-        eval(&Batch::dense(chunk), &mut group_cols, &mut agg_cols)?;
+        let block = ColumnBlock::new(in_arity);
+        eval(
+            &Batch::dense_with_block(chunk, &block),
+            &mut group_cols,
+            &mut agg_cols,
+        )?;
+        // Column-wise grouping keys: one contiguous pass per grouping
+        // column (NULLs group together, so every row stays live).
+        reset_key_buffers(chunk.len(), &mut keys_buf, &mut live);
+        for col in group_cols.iter() {
+            encode_key_column(col, &mut keys_buf[..chunk.len()]);
+        }
         let groups_before = groups.len();
         for j in 0..chunk.len() {
-            let mut key_values = Vec::with_capacity(group_arity);
-            for col in group_cols.iter_mut() {
-                // Move, don't clone: each column cell is consumed once.
-                key_values.push(std::mem::replace(&mut col[j], Value::Null));
-            }
-            let key = encode_key(&key_values);
+            let key = std::mem::take(&mut keys_buf[j]);
             let group_index = match index.get(&key) {
                 Some(&i) => i,
                 None => {
+                    // First encounter: materialise the group's
+                    // representative values out of the column lanes (moved,
+                    // not cloned — each cell is consumed at most once).
+                    let key_values: Vec<Value> =
+                        group_cols.iter_mut().map(|col| col.take_value(j)).collect();
                     groups.push((key_values, make_accs()));
                     index.insert(key, groups.len() - 1);
                     groups.len() - 1
@@ -554,6 +615,7 @@ pub(crate) fn sort(
     count(ops);
     gov.operator_event("sort")?;
     let mut charge = gov.transient("sort");
+    let arity = child.schema().arity();
     let schema = child.schema().clone();
     let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
     let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); ascending.len()];
@@ -562,7 +624,8 @@ pub(crate) fn sort(
         for col in key_cols.iter_mut() {
             col.clear();
         }
-        keys(&Batch::dense(chunk), &mut key_cols)?;
+        let block = ColumnBlock::new(arity);
+        keys(&Batch::dense_with_block(chunk, &block), &mut key_cols)?;
         let mut chunk_bytes = 0u64;
         for (j, tuple) in chunk.iter().enumerate() {
             let mut key_values = Vec::with_capacity(ascending.len());

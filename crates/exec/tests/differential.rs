@@ -1,5 +1,5 @@
-//! Differential testing of the three execution modes over randomly
-//! generated nested-subquery plans.
+//! Differential testing of the execution modes over randomly generated
+//! nested-subquery plans.
 //!
 //! A seeded generator (the local `rand` shim, so runs are reproducible)
 //! composes plans over the synthetic tables of `perm-synthetic` —
@@ -9,14 +9,19 @@
 //! Every plan is executed through
 //!
 //! 1. `Executor::execute` — compile + parameterized sublink/verdict memos,
-//! 2. `Executor::execute_unoptimized` — the name-resolving interpreter
+//!    with the default columnar batch layout,
+//! 2. `Executor::execute` with columnar off — the row-major vectorized
+//!    layout over the same batches,
+//! 3. `Executor::execute_unoptimized` — the name-resolving interpreter
 //!    (which shares the parameterized memo, resolved at runtime), and
-//! 3. `Executor::execute` with the memos disabled,
+//! 4. `Executor::execute` with the memos disabled,
 //!
-//! and the three results must agree bag-for-bag (or all three must fail).
-//! Since both drivers are thin shells over the shared physical-operator
-//! layer, a divergence here points at the evaluator closures or the memo
-//! keying — exactly the parts that are *not* shared.
+//! and all results must agree bag-for-bag (or all modes must fail). The
+//! batch-seam cases below add the fifth mode, batching off entirely (the
+//! per-tuple compiled dispatch). Since both drivers are thin shells over
+//! the shared physical-operator layer, a divergence here points at the
+//! evaluator closures, the typed kernels or the memo keying — exactly the
+//! parts that are *not* shared.
 
 use perm_algebra::builder::{
     all_sublink, and, any_sublink, between, cmp, count_star, eq, exists_sublink, lit, not, or,
@@ -239,7 +244,7 @@ fn random_plan(db: &Database, rng: &mut StdRng) -> Plan {
 }
 
 #[test]
-fn random_plans_agree_across_all_three_execution_modes() {
+fn random_plans_agree_across_all_execution_modes() {
     // Small tables keep even the ALL-sublink nested loops fast; 24 × 18
     // rows with the 32-group correlation attribute still exercises memo
     // hits, NULL-free bindings and empty sublink results.
@@ -252,14 +257,22 @@ fn random_plans_agree_across_all_three_execution_modes() {
         let compiled_ex = Executor::new(&db);
         let compiled = compiled_ex.execute(&plan);
 
+        let row_major_ex = Executor::new(&db).with_columnar(false);
+        let row_major = row_major_ex.execute(&plan);
+
         let interp_ex = Executor::new(&db);
         let interpreted = interp_ex.execute_unoptimized(&plan);
 
         let memo_off_ex = Executor::new(&db).with_sublink_memo(false);
         let memo_off = memo_off_ex.execute(&plan);
 
-        match (&compiled, &interpreted, &memo_off) {
-            (Ok(a), Ok(b), Ok(c)) => {
+        match (&compiled, &row_major, &interpreted, &memo_off) {
+            (Ok(a), Ok(r), Ok(b), Ok(c)) => {
+                assert!(
+                    a.bag_eq(r),
+                    "plan {i}: columnar disagrees with row-major vectorized\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
                 assert!(
                     a.bag_eq(b),
                     "plan {i}: compiled+memo disagrees with the interpreter\n{}",
@@ -270,17 +283,23 @@ fn random_plans_agree_across_all_three_execution_modes() {
                     "plan {i}: compiled+memo disagrees with memo-off\n{}",
                     perm_algebra::display::explain(&plan)
                 );
+                assert_eq!(
+                    compiled_ex.operators_evaluated(),
+                    row_major_ex.operators_evaluated(),
+                    "plan {i}: operators_evaluated must not depend on the column layout"
+                );
                 if compiled_ex.operators_evaluated() < memo_off_ex.operators_evaluated() {
                     correlated_hits += 1;
                 }
             }
-            (Err(_), Err(_), Err(_)) => {}
+            (Err(_), Err(_), Err(_), Err(_)) => {}
             other => panic!(
                 "plan {i}: execution modes disagree on success/failure: \
-                 compiled={:?} interpreted={:?} memo_off={:?}\n{}",
+                 compiled={:?} row_major={:?} interpreted={:?} memo_off={:?}\n{}",
                 other.0.as_ref().map(|_| "ok"),
                 other.1.as_ref().map(|_| "ok"),
                 other.2.as_ref().map(|_| "ok"),
+                other.3.as_ref().map(|_| "ok"),
                 perm_algebra::display::explain(&plan),
             ),
         }
@@ -297,8 +316,10 @@ fn random_plans_agree_across_all_three_execution_modes() {
 // ---------------------------------------------------------------------------
 // Batch-seam differential cases: table sizes straddling the batch size
 // (0, 1, BATCH−1, BATCH, BATCH+1 rows) with NaN keys and >2⁵³ integer keys
-// placed so they cross the first batch boundary. Four execution modes must
-// agree bag-for-bag on every plan shape that exercises a batched seam
+// placed so they cross the first batch boundary. Five execution modes
+// (columnar, row-major vectorized, per-tuple compiled, interpreted,
+// memo-off) must agree bag-for-bag on every plan shape that exercises a
+// batched seam
 // (vectorized logic/CASE/function evaluation, hashed and batched join
 // probes, grouping, sort+limit tie order, sublink fallback), and the
 // vectorized and per-tuple compiled modes must report identical
@@ -356,12 +377,15 @@ fn seam_database(rows: usize) -> Database {
     db
 }
 
-/// Runs one plan through vectorized-compiled, per-tuple-compiled,
+/// Runs one plan through columnar-compiled (the default), row-major
+/// vectorized (columnar off), per-tuple-compiled (batching off),
 /// interpreted and memo-off execution and asserts bag equality plus
-/// operator-count parity between the two compiled modes.
+/// operator-count parity among the three compiled modes.
 fn assert_seam_modes_agree(db: &Database, plan: &Plan, label: &str) {
     let batched_ex = Executor::new(db);
     let batched = batched_ex.execute(plan).unwrap();
+    let row_major_ex = Executor::new(db).with_columnar(false);
+    let row_major = row_major_ex.execute(plan).unwrap();
     let per_tuple_ex = Executor::new(db).with_batching(false);
     let per_tuple = per_tuple_ex.execute(plan).unwrap();
     let interpreted = Executor::new(db).execute_unoptimized(plan).unwrap();
@@ -369,6 +393,7 @@ fn assert_seam_modes_agree(db: &Database, plan: &Plan, label: &str) {
         .with_sublink_memo(false)
         .execute(plan)
         .unwrap();
+    assert!(batched.bag_eq(&row_major), "{label}: columnar vs row-major");
     assert!(batched.bag_eq(&per_tuple), "{label}: batched vs per-tuple");
     assert!(
         batched.bag_eq(&interpreted),
@@ -379,6 +404,11 @@ fn assert_seam_modes_agree(db: &Database, plan: &Plan, label: &str) {
         batched_ex.operators_evaluated(),
         per_tuple_ex.operators_evaluated(),
         "{label}: operators_evaluated must not depend on batching"
+    );
+    assert_eq!(
+        batched_ex.operators_evaluated(),
+        row_major_ex.operators_evaluated(),
+        "{label}: operators_evaluated must not depend on the column layout"
     );
 }
 
@@ -519,6 +549,98 @@ fn batch_boundary_seams_agree_across_all_modes() {
             .build();
         assert_seam_modes_agree(&db, &correlated, &label("correlated exists"));
     }
+}
+
+/// v(x, y) with `rows` rows where `x` is NULL on two runs that straddle the
+/// first and second batch boundaries (and `y` interleaves shorter NULL
+/// runs): the validity bitmap of a typed Int lane must carry whole-word
+/// NULL runs across the 1024-row seam identically to row-major `Value`s.
+fn null_run_database(rows: usize) -> Database {
+    let in_null_run = |i: usize| {
+        (i + 37 >= BATCH_ROWS && i <= BATCH_ROWS + 41)
+            || (i + 3 >= 2 * BATCH_ROWS && i <= 2 * BATCH_ROWS + 66)
+    };
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            let x = if in_null_run(i) {
+                Value::Null
+            } else {
+                Value::Int((i % 11) as i64)
+            };
+            let y = if i % 128 < 5 {
+                Value::Null
+            } else {
+                Value::Int((i % 7) as i64)
+            };
+            vec![x, y]
+        })
+        .collect();
+    let mut db = Database::new();
+    db.create_table(
+        "v",
+        Relation::from_rows(
+            Schema::new(vec![
+                Attribute::qualified("v", "x", DataType::Int),
+                Attribute::qualified("v", "y", DataType::Int),
+            ]),
+            data,
+        ),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn null_runs_crossing_the_batch_seam_agree_across_modes() {
+    let db = null_run_database(2 * BATCH_ROWS + 70);
+
+    // Typed comparison and arithmetic over the NULL runs: UNKNOWN rows are
+    // dropped by the selection in every mode.
+    let select = PlanBuilder::scan(&db, "v")
+        .unwrap()
+        .select(or(
+            cmp(
+                CompareOp::Lt,
+                perm_algebra::builder::binary(perm_algebra::BinaryOp::Add, qcol("v", "x"), lit(2)),
+                lit(6),
+            ),
+            cmp(CompareOp::Ge, qcol("v", "y"), lit(5)),
+        ))
+        .build();
+    assert_seam_modes_agree(&db, &select, "select over NULL runs");
+
+    // NULL-safe grouping: the NULL runs form one group whose key encoding
+    // must agree between the column-wise and row-major encoders.
+    let aggregate = PlanBuilder::scan(&db, "v")
+        .unwrap()
+        .aggregate(
+            vec![ProjectItem::column("x")],
+            vec![count_star("n"), sum(qcol("v", "y"), "total")],
+        )
+        .build();
+    assert_seam_modes_agree(&db, &aggregate, "aggregate over NULL runs");
+
+    // Hash join keyed on the NULL-run column: NULL keys never match under
+    // plain equality, so both runs drop out of build and probe.
+    let small = PlanBuilder::scan_as(&db, "v", Some("w"))
+        .unwrap()
+        .select(cmp(CompareOp::Ge, qcol("w", "y"), lit(4)))
+        .build();
+    let join = PlanBuilder::scan(&db, "v")
+        .unwrap()
+        .join(small, eq(qcol("v", "x"), qcol("w", "x")))
+        .build();
+    assert_seam_modes_agree(&db, &join, "hash join over NULL-run keys");
+
+    // IS NULL / IS NOT NULL straight off the validity bitmap.
+    let is_null = PlanBuilder::scan(&db, "v")
+        .unwrap()
+        .select(and(
+            perm_algebra::builder::is_null(qcol("v", "x")),
+            not(perm_algebra::builder::is_null(qcol("v", "y"))),
+        ))
+        .build();
+    assert_seam_modes_agree(&db, &is_null, "IS NULL over the validity bitmap");
 }
 
 // ---------------------------------------------------------------------------

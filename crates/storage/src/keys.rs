@@ -7,6 +7,7 @@
 //! defined here, so the equivalence each key induces is specified (and
 //! regression-tested) in exactly one place.
 
+use crate::column::ColumnVec;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -81,48 +82,260 @@ fn canonical_f64_bits(f: f64) -> u64 {
 fn encode_key_impl(values: &[Value], typed: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 9);
     for v in values {
-        match v {
-            Value::Null => out.push(0u8),
-            Value::Bool(b) if typed => {
-                out.push(1);
-                out.push(*b as u8);
-            }
-            Value::Int(i) if typed => {
-                out.push(4);
-                out.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(f) if typed => {
-                out.push(5);
-                out.extend_from_slice(&canonical_f64_bits(*f).to_le_bytes());
-            }
-            Value::Date(d) if typed => {
-                out.push(6);
-                out.extend_from_slice(&d.to_le_bytes());
-            }
-            Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Date(_) => {
-                // Canonical numeric form, see the invariant above: one exact
-                // integer encoding for everything integer-valued, raw float
-                // bits for the rest.
-                match v.exact_int() {
-                    Some(i) => {
-                        out.push(2);
-                        out.extend_from_slice(&i.to_le_bytes());
-                    }
-                    None => {
-                        let f = v.as_f64().unwrap_or(0.0);
-                        out.push(7);
-                        out.extend_from_slice(&canonical_f64_bits(f).to_le_bytes());
-                    }
+        encode_value(v, typed, &mut out);
+    }
+    out
+}
+
+fn encode_value(v: &Value, typed: bool, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0u8),
+        Value::Bool(b) if typed => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) if typed => {
+            out.push(4);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) if typed => {
+            out.push(5);
+            out.extend_from_slice(&canonical_f64_bits(*f).to_le_bytes());
+        }
+        Value::Date(d) if typed => {
+            out.push(6);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+            // Canonical numeric form, see the invariant above: one exact
+            // integer encoding for everything integer-valued, raw float
+            // bits for the rest.
+            match v.exact_int() {
+                Some(i) => {
+                    out.push(2);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                None => {
+                    let f = v.as_f64().unwrap_or(0.0);
+                    out.push(7);
+                    out.extend_from_slice(&canonical_f64_bits(f).to_le_bytes());
                 }
             }
-            Value::Str(s) => {
-                out.push(3);
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Appends the canonical float encoding (tag 2 exact-int or tag 7 raw
+/// bits) of a *valid* `f64` lane entry — the untyped-key arm that cannot
+/// be collapsed to a single memcpy because integral floats must merge
+/// with their integer spellings.
+#[inline]
+fn encode_float_untyped(f: f64, out: &mut Vec<u8>) {
+    match Value::Float(f).exact_int() {
+        Some(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        None => {
+            out.push(7);
+            out.extend_from_slice(&canonical_f64_bits(f).to_le_bytes());
+        }
+    }
+}
+
+/// Column-wise [`encode_key`]: appends the key bytes of one whole column
+/// onto per-row key buffers in a single pass, producing bytes identical to
+/// calling `encode_value` row by row. Typed lanes encode straight from the
+/// primitive slice — `Int`/`Date`/`Bool` share the canonical exact-integer
+/// form (tag 2), floats split integral/fractional per entry, strings get
+/// the length-prefixed form — so the per-row enum match disappears for the
+/// hot grouping and join-key paths.
+///
+/// `keys.len()` must equal `col.len()`; each buffer accumulates the bytes
+/// of all key columns for its row.
+pub fn encode_key_column(col: &ColumnVec, keys: &mut [Vec<u8>]) {
+    debug_assert_eq!(col.len(), keys.len());
+    match col {
+        ColumnVec::Int { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(2);
+                    key.extend_from_slice(&data[i].to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Date { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(2);
+                    key.extend_from_slice(&i64::from(data[i]).to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Bool { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(2);
+                    key.extend_from_slice(&i64::from(data[i]).to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Float { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    encode_float_untyped(data[i], key);
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Str { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    let s = &data[i];
+                    key.push(3);
+                    key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    key.extend_from_slice(s.as_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Values(vals) => {
+            for (v, key) in vals.iter().zip(keys.iter_mut()) {
+                encode_value(v, false, key);
             }
         }
     }
-    out
+}
+
+/// Column-wise [`encode_key_typed`]: the type-exact (memo-key) encoding of
+/// one whole column appended per row, byte-identical to the row-major
+/// form. Typed lanes need no per-entry branching beyond validity because
+/// the lane *is* the type tag.
+pub fn encode_key_typed_column(col: &ColumnVec, keys: &mut [Vec<u8>]) {
+    debug_assert_eq!(col.len(), keys.len());
+    match col {
+        ColumnVec::Int { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(4);
+                    key.extend_from_slice(&data[i].to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Date { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(6);
+                    key.extend_from_slice(&data[i].to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Bool { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(1);
+                    key.push(data[i] as u8);
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Float { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    key.push(5);
+                    key.extend_from_slice(&canonical_f64_bits(data[i]).to_le_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Str { data, validity } => {
+            for (i, key) in keys.iter_mut().enumerate() {
+                if validity.get(i) {
+                    let s = &data[i];
+                    key.push(3);
+                    key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    key.extend_from_slice(s.as_bytes());
+                } else {
+                    key.push(0);
+                }
+            }
+        }
+        ColumnVec::Values(vals) => {
+            for (v, key) in vals.iter().zip(keys.iter_mut()) {
+                encode_value(v, true, key);
+            }
+        }
+    }
+}
+
+/// [`encode_key_column`] with a liveness mask, for hash-join keys where a
+/// NULL in a non-null-safe key column disqualifies the whole row: rows
+/// whose `live[i]` is already `false` are skipped, and a NULL entry under
+/// `!null_safe` clears `live[i]` instead of appending bytes. A dead row's
+/// partially built key is never consulted, so live rows' keys stay
+/// byte-identical to the row-major encoding.
+pub fn encode_key_column_filtered(
+    col: &ColumnVec,
+    null_safe: bool,
+    live: &mut [bool],
+    keys: &mut [Vec<u8>],
+) {
+    debug_assert_eq!(col.len(), keys.len());
+    debug_assert_eq!(col.len(), live.len());
+    for i in 0..col.len() {
+        if !live[i] {
+            continue;
+        }
+        if col.is_null_at(i) && !null_safe {
+            live[i] = false;
+            continue;
+        }
+        match col {
+            ColumnVec::Int { data, validity } if validity.get(i) => {
+                keys[i].push(2);
+                keys[i].extend_from_slice(&data[i].to_le_bytes());
+            }
+            ColumnVec::Date { data, validity } if validity.get(i) => {
+                keys[i].push(2);
+                keys[i].extend_from_slice(&i64::from(data[i]).to_le_bytes());
+            }
+            ColumnVec::Bool { data, validity } if validity.get(i) => {
+                keys[i].push(2);
+                keys[i].extend_from_slice(&i64::from(data[i]).to_le_bytes());
+            }
+            ColumnVec::Float { data, validity } if validity.get(i) => {
+                encode_float_untyped(data[i], &mut keys[i]);
+            }
+            ColumnVec::Str { data, validity } if validity.get(i) => {
+                let s = &data[i];
+                keys[i].push(3);
+                keys[i].extend_from_slice(&(s.len() as u32).to_le_bytes());
+                keys[i].extend_from_slice(s.as_bytes());
+            }
+            ColumnVec::Values(vals) => encode_value(&vals[i], false, &mut keys[i]),
+            // Invalid typed-lane slot under `null_safe`: NULL's encoding.
+            _ => keys[i].push(0),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +435,127 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Every value that exercises a distinct arm of the row-major encoder:
+    /// NaN spellings (one equality class), ±0.0, integers above 2⁵³ (where
+    /// the f64 view is lossy), integral floats (canonical-int arm), dates,
+    /// booleans, strings with embedded NULs, and NULL.
+    fn encoder_edge_values() -> Vec<Value> {
+        const TWO_53: i64 = 1 << 53;
+        vec![
+            Value::Int(3),
+            Value::Int(TWO_53),
+            Value::Int(TWO_53 + 1),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(3.0),
+            Value::Float(3.5),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(TWO_53 as f64),
+            Value::Float(TWO_53 as f64 * 1024.0),
+            Value::Float(f64::NAN),
+            Value::Float(-f64::NAN),
+            Value::Float(f64::from_bits(0x7FF8_0000_0000_0001)),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Date(3),
+            Value::Date(-1),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::str(""),
+            Value::str("ab\0c"),
+            Value::Null,
+        ]
+    }
+
+    /// The column-wise encoders must be byte-identical to encoding each row
+    /// with the row-major `encode_key`/`encode_key_typed` — on typed lanes
+    /// (one variant + NULLs) and on the mixed-type `Values` fallback lane
+    /// alike.
+    #[test]
+    fn column_encoders_match_row_major_bytes() {
+        let everything = encoder_edge_values();
+        // One typed column per variant, NULL-interleaved, plus the whole
+        // mixed bag as a Values lane.
+        let mut columns: Vec<Vec<Value>> = Vec::new();
+        for v in &everything {
+            if v.is_null() {
+                continue;
+            }
+            let same_variant: Vec<Value> = everything
+                .iter()
+                .filter(|w| std::mem::discriminant(*w) == std::mem::discriminant(v))
+                .cloned()
+                .collect();
+            let mut with_nulls = vec![Value::Null];
+            for w in same_variant {
+                with_nulls.push(w);
+                with_nulls.push(Value::Null);
+            }
+            columns.push(with_nulls);
+        }
+        columns.push(everything);
+
+        for rows in columns {
+            let mut typed_col = ColumnVec::typed_for(&rows[1], rows.len());
+            let mut values_col = ColumnVec::values_with_capacity(rows.len());
+            for v in &rows {
+                typed_col.push_value(v.clone());
+                values_col.push_value(v.clone());
+            }
+            for col in [&typed_col, &values_col] {
+                let mut untyped = vec![Vec::new(); rows.len()];
+                encode_key_column(col, &mut untyped);
+                let mut typed = vec![Vec::new(); rows.len()];
+                encode_key_typed_column(col, &mut typed);
+                let mut live = vec![true; rows.len()];
+                let mut filtered = vec![Vec::new(); rows.len()];
+                encode_key_column_filtered(col, true, &mut live, &mut filtered);
+                for (i, v) in rows.iter().enumerate() {
+                    let row = std::slice::from_ref(v);
+                    assert_eq!(untyped[i], encode_key(row), "{v:?} untyped");
+                    assert_eq!(typed[i], encode_key_typed(row), "{v:?} typed");
+                    assert!(live[i], "{v:?} must stay live under null_safe");
+                    assert_eq!(filtered[i], encode_key(row), "{v:?} filtered");
+                }
+            }
+        }
+    }
+
+    /// Under `null_safe = false` a NULL key entry kills the row instead of
+    /// encoding, and already-dead rows are skipped entirely; live rows'
+    /// keys stay byte-identical across both key columns.
+    #[test]
+    fn filtered_encoder_drops_null_keys_and_skips_dead_rows() {
+        let first = [Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)];
+        let second = [
+            Value::str("a"),
+            Value::str("b"),
+            Value::Null,
+            Value::str("d"),
+        ];
+        let mut col1 = ColumnVec::typed_for(&Value::Int(0), 4);
+        let mut col2 = ColumnVec::typed_for(&Value::str(""), 4);
+        for v in &first {
+            col1.push_value(v.clone());
+        }
+        for v in &second {
+            col2.push_value(v.clone());
+        }
+        let mut live = vec![true; 4];
+        let mut keys = vec![Vec::new(); 4];
+        encode_key_column_filtered(&col1, false, &mut live, &mut keys);
+        encode_key_column_filtered(&col2, false, &mut live, &mut keys);
+        assert_eq!(live, vec![true, false, false, true]);
+        for i in [0usize, 3] {
+            assert_eq!(
+                keys[i],
+                encode_key(&[first[i].clone(), second[i].clone()]),
+                "live row {i}"
+            );
         }
     }
 

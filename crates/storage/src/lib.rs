@@ -11,6 +11,7 @@
 //! `perm-exec` crate without any external database.
 
 pub mod catalog;
+pub mod column;
 pub mod keys;
 pub mod relation;
 pub mod schema;
@@ -18,11 +19,15 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::Database;
-pub use keys::{encode_key, encode_key_typed, encode_tuple_key};
+pub use column::{ColumnVec, Validity};
+pub use keys::{
+    encode_key, encode_key_column, encode_key_column_filtered, encode_key_typed,
+    encode_key_typed_column, encode_tuple_key,
+};
 pub use relation::Relation;
 pub use schema::{Attribute, DataType, Schema};
 pub use tuple::Tuple;
-pub use value::{civil_from_days, days_from_civil, Truth, Value};
+pub use value::{civil_from_days, days_from_civil, f64_cmp_sql, int_cmp_float, Truth, Value};
 
 /// Errors produced by the storage layer and re-used by the rest of the
 /// workspace (expression evaluation, execution, rewriting).

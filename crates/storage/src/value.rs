@@ -293,7 +293,7 @@ const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
 /// encoding of [`crate::keys`] mutually consistent for stored NaN values —
 /// NaN forms one ordinary equality class instead of being unequal even to
 /// itself.
-fn f64_cmp_sql(a: f64, b: f64) -> Ordering {
+pub fn f64_cmp_sql(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
@@ -307,7 +307,7 @@ fn f64_cmp_sql(a: f64, b: f64) -> Ordering {
 /// against the exact equality: `Int(2⁵³ + 1)` must order strictly *above*
 /// `Float(2⁵³)`, not compare equal to it. NaN orders above every integer
 /// (see [`f64_cmp_sql`]).
-fn int_cmp_float(i: i64, f: f64) -> Ordering {
+pub fn int_cmp_float(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
         return Ordering::Less;
     }
@@ -325,7 +325,7 @@ fn int_cmp_float(i: i64, f: f64) -> Ordering {
 }
 
 /// `true` when `f` denotes exactly the integer `i`.
-fn int_eq_float(i: i64, f: f64) -> bool {
+pub fn int_eq_float(i: i64, f: f64) -> bool {
     int_cmp_float(i, f) == Ordering::Equal
 }
 

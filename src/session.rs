@@ -342,6 +342,15 @@ pub struct SessionConfig {
     /// per-tuple dispatch profile (the `harness batch` measurement
     /// baseline).
     pub batching: bool,
+    /// Whether vectorized expressions run over **typed column lanes**
+    /// (default `true`): each batch lazily transposes into a column block
+    /// of typed vectors with validity bitmaps, and comparison/arithmetic
+    /// dispatch to contiguous-slice kernels. Only meaningful while
+    /// [`SessionConfig::batching`] is on; `false` keeps the row-major
+    /// `Value`-at-a-time vectorized dispatch (the columnar measurement
+    /// baseline of `harness batch`). Results and errors are identical
+    /// either way.
+    pub columnar: bool,
     /// Compute provenance with the reference tracer instead of the rewrite
     /// strategies (default `false`). The tracer is the paper's closed-form
     /// characterisation evaluated tuple by tuple — the test oracle — and
@@ -398,6 +407,7 @@ impl Default for SessionConfig {
             memo_capacity: None,
             retain_memo: true,
             batching: true,
+            columnar: true,
             tracer: false,
             shared_sublink_memo: None,
             deadline: None,
@@ -439,6 +449,15 @@ pub struct SessionStats {
     /// because their expression subtree carries a sublink — the fallback
     /// that keeps the parameterized sublink memo seam untouched.
     pub sublink_fallback_rows: u64,
+    /// Column blocks whose typed lanes were actually materialised by the
+    /// columnar evaluator (a block is counted on first lane access, not
+    /// per batch; zero when [`SessionConfig::columnar`] is off).
+    pub columnar_blocks: u64,
+    /// Rows the columnar evaluator handed back to the row-major `Value`
+    /// path — mixed-type or otherwise untyped lanes, string/date kernels
+    /// without a typed fast path, and sublink-bearing subtrees (which also
+    /// count into [`SessionStats::sublink_fallback_rows`]).
+    pub columnar_fallback_rows: u64,
     /// Cancellation checkpoints polled by the executor (batch boundaries,
     /// cursor refills, sublink entries). Monotone over the session's life;
     /// the gap between two snapshots bounds how often a cancel or deadline
@@ -562,6 +581,7 @@ impl<'a> Session<'a> {
             .with_memo_capacity(config.memo_capacity)
             .with_memo_retention(config.retain_memo)
             .with_batching(config.batching)
+            .with_columnar(config.columnar)
             .with_memory_budget(config.memory_budget);
         if let Some(memo) = &config.shared_sublink_memo {
             executor = executor.with_shared_memo(Arc::clone(memo));
@@ -614,6 +634,8 @@ impl<'a> Session<'a> {
             plan_cache_misses: self.cache_misses.get(),
             vectorized_batches: self.executor.batches_vectorized(),
             sublink_fallback_rows: self.executor.batch_fallback_rows(),
+            columnar_blocks: self.executor.columnar_blocks(),
+            columnar_fallback_rows: self.executor.columnar_fallback_rows(),
             cancel_checks: self.executor.cancel_checks(),
             peak_bytes: self.executor.peak_bytes(),
         }

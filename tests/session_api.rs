@@ -547,3 +547,54 @@ fn an_expired_deadline_does_not_poison_later_executions() {
         .expect("a generous fresh deadline must not cancel");
     assert_eq!(rows.len(), 12);
 }
+
+#[test]
+fn columnar_stats_count_blocks_and_fallbacks() {
+    let db = grouped_db();
+    let engine = Engine::new(db);
+
+    // A sublink-free integer filter runs entirely on typed column lanes:
+    // blocks are materialised, nothing falls back.
+    let session = engine.session();
+    let prepared = session.prepare("SELECT a FROM r WHERE a < 6").unwrap();
+    let typed_rows = session.execute(&prepared, &[]).unwrap();
+    assert_eq!(typed_rows.len(), 6);
+    let stats = session.stats();
+    assert!(
+        stats.columnar_blocks > 0,
+        "the typed filter must materialise at least one column block"
+    );
+    assert_eq!(
+        stats.columnar_fallback_rows, 0,
+        "an all-Int comparison has a typed kernel — no row may fall back"
+    );
+    assert!(stats.vectorized_batches > 0);
+
+    // A sublink-bearing predicate keeps the memo seam: its rows fall back
+    // to the per-tuple evaluator and are counted on *both* fallback
+    // counters (the columnar one also covers mixed-type lanes).
+    let prepared = session
+        .prepare("SELECT a FROM r WHERE a IN (SELECT c FROM s)")
+        .unwrap();
+    session.execute(&prepared, &[]).unwrap();
+    let stats = session.stats();
+    assert!(stats.sublink_fallback_rows > 0);
+    assert!(
+        stats.columnar_fallback_rows >= stats.sublink_fallback_rows,
+        "sublink rows are a subset of the columnar fallback rows"
+    );
+
+    // Columnar off: the row-major vectorized path — same results, no
+    // blocks, no columnar fallbacks.
+    let row_major = engine.session_with(SessionConfig {
+        columnar: false,
+        ..SessionConfig::default()
+    });
+    let prepared = row_major.prepare("SELECT a FROM r WHERE a < 6").unwrap();
+    let row_major_rows = row_major.execute(&prepared, &[]).unwrap();
+    assert!(row_major_rows.bag_eq(&typed_rows));
+    let stats = row_major.stats();
+    assert_eq!(stats.columnar_blocks, 0);
+    assert_eq!(stats.columnar_fallback_rows, 0);
+    assert!(stats.vectorized_batches > 0, "batching itself stays on");
+}
