@@ -16,6 +16,9 @@
 //! harness robust [--max-rows N] [--check]               # resilience machinery armed-but-idle vs absent (Fig. 7)
 //!                                                       # --check: fail unless overhead <= 5% and a mid-query
 //!                                                       #          cancel returns within one batch
+//! harness spill [--max-rows N] [--check]                # out-of-core: starvation budgets with spill-to-disk
+//!                                                       # --check: fail unless budgets that exhaust without
+//!                                                       #          spill complete with it, at bounded slowdown
 //! harness serve [--rows N] [--execs N] [--check]        # prepared vs one-shot serving cost
 //!                                                       # --check: fail unless prepared is cheaper
 //! harness ablation [--rows N]                           # rewrite-structure ablation
@@ -25,8 +28,9 @@
 use perm_bench::{
     batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
     measure_concurrent, measure_fig6, measure_kernels, measure_robust, measure_serve,
-    measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json, results_to_json,
-    robust_to_json, serve_to_json, BatchPoint, BenchConfig, SyntheticSweep,
+    measure_spill, measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json,
+    results_to_json, robust_to_json, serve_to_json, spill_to_json, BatchPoint, BenchConfig,
+    SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -71,6 +75,7 @@ fn main() {
         "memo" => memo(&options, &config),
         "batch" => batch(&options, &config),
         "robust" => robust(&options, &config),
+        "spill" => spill(&options, &config),
         "serve" => serve(&options, &config),
         "concurrent" => concurrent(&options, &config),
         "ablation" => ablation(&options, &config),
@@ -100,6 +105,7 @@ fn main() {
             memo(&options, &config);
             batch(&options, &config);
             robust(&options, &config);
+            spill(&options, &config);
             serve(&options, &config);
             concurrent(&options, &config);
             ablation(&options, &config);
@@ -486,6 +492,101 @@ fn robust(options: &Options, config: &BenchConfig) {
     }
 }
 
+fn spill(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Out-of-core execution — starvation memory budgets with spill-to-disk enabled vs \
+         the unbudgeted reference, on the Fig. 7 workload (Gen rewrite, {} synthetic rows) ==\n",
+        options.max_rows
+    );
+    let rows = measure_spill(options.max_rows, config);
+    println!(
+        "{:<24} {:>10} {:>14} {:>12} {:>7} {:>10} {:>12} {:>7} {:>10}",
+        "workload",
+        "budget",
+        "no-spill",
+        "spilled [B]",
+        "parts",
+        "pool h/m",
+        "plain [ms]",
+        "spill",
+        "rows"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>10} {:>14} {:>12} {:>7} {:>10} {:>12.1} {:>6.1}x {:>10}",
+            row.label,
+            row.budget,
+            if row.exhausted_without_spill {
+                "exhausted"
+            } else {
+                "completed"
+            },
+            row.spilled_bytes,
+            row.spill_partitions,
+            format!("{}/{}", row.buffer_pool_hits, row.buffer_pool_misses),
+            row.ms_unbudgeted,
+            row.best_pair_ratio,
+            row.result_rows
+        );
+    }
+    println!();
+    write_json("spill", &spill_to_json("spill", &rows));
+
+    // `--check` is the CI gate of the out-of-core layer. Correctness is
+    // unconditional (every spill-enabled run must complete and be bag-equal
+    // to the unbudgeted reference — asserted inside `measure_spill`, a
+    // divergence panics). The gate additionally demands that the sweep
+    // reaches at least one budget where the budgeted-but-spill-less
+    // executor died with `ResourceExhausted` — the query class the spill
+    // paths exist to rescue — and that spilling stays a bounded constant
+    // factor over the unbudgeted run (best pairwise ratio, as in `batch
+    // --check`, so shared-machine noise only inflates it).
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("spill check: no points measured");
+        }
+        if !rows.is_empty() && !rows.iter().any(|r| r.exhausted_without_spill) {
+            eprintln!(
+                "spill check: no budget in the sweep exhausted the spill-less executor — \
+                 the sweep no longer exercises the rescued query class"
+            );
+            failed = true;
+        }
+        for row in &rows {
+            if row.exhausted_without_spill && row.spilled_bytes == 0 {
+                eprintln!(
+                    "spill check: {} budget={} completed where spill-less exhausted, \
+                     yet wrote no spill bytes",
+                    row.label, row.budget
+                );
+                failed = true;
+            }
+            // The slowdown bound is multiplicative once the query is big
+            // enough to amortize the fixed partition-file setup; a
+            // sub-25ms spilled run passes outright (creating dozens of
+            // partition files costs more than a millisecond-scale query).
+            if row.best_pair_ratio > 5.0 && row.ms_spill > 25.0 {
+                eprintln!(
+                    "spill check: {} budget={} paid more than 5x for spilling in every \
+                     pair (best ratio {:.2}, min {:.1}ms vs {:.1}ms)",
+                    row.label, row.budget, row.best_pair_ratio, row.ms_unbudgeted, row.ms_spill
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "spill check passed: all {} points bag-equal to the unbudgeted reference, \
+             budgets that exhausted the spill-less executor completed via spill, and \
+             spilling stayed within 5x of the unbudgeted run (best pairwise ratio)",
+            rows.len()
+        );
+    }
+}
+
 fn serve(options: &Options, config: &BenchConfig) {
     println!(
         "== Serving — prepared vs one-shot execution of a parameterized correlated \
@@ -634,7 +735,7 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|serve|concurrent|ablation|all> \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|spill|serve|concurrent|ablation|all> \
          [--scale xs|s|m|l] [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] \
          [--execs N] [--check]"
     );
@@ -651,6 +752,11 @@ fn print_usage() {
         "  --check (robust): exit non-zero unless the armed cancel+budget machinery stays \
          within 5% of the unguarded run and an injected mid-query cancel returns without \
          reaching another checkpoint"
+    );
+    println!(
+        "  --check (spill): exit non-zero unless at least one swept budget exhausts the \
+         spill-less executor while the spill-enabled one completes bag-equal to the \
+         unbudgeted reference within a 5x slowdown"
     );
     println!(
         "  --check (serve): exit non-zero unless prepared re-execution is strictly cheaper \

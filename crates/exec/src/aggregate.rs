@@ -1,7 +1,16 @@
 //! Aggregate function accumulators used by the `Aggregate` operator.
+//!
+//! Besides incremental [`Accumulator::update`], accumulators support
+//! [`Accumulator::merge`] (combining two partial states over disjoint input
+//! slices) and an exact binary state codec ([`Accumulator::encode_state`] /
+//! [`Accumulator::decode_state`]) — together the substrate of the
+//! partitioned out-of-core aggregation in `crate::physical`, which flushes
+//! partial group states to spill files under memory pressure and merges
+//! them per partition afterwards.
 
+use crate::Result;
 use perm_algebra::AggFunc;
-use perm_storage::Value;
+use perm_storage::{decode_row, encode_row, StorageError, Value};
 
 /// An incremental accumulator for one aggregate function.
 #[derive(Debug, Clone)]
@@ -75,6 +84,99 @@ impl Accumulator {
         }
     }
 
+    /// Folds another accumulator's partial state (over a disjoint slice of
+    /// the same group's input) into this one. Merging is order-insensitive
+    /// for every function: counts and sums add, min/max compare, and a
+    /// DISTINCT state replays the other side's `seen` values through
+    /// [`Accumulator::update`], whose dedup check makes the union exact.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(self.func, other.func);
+        debug_assert_eq!(self.distinct, other.distinct);
+        if self.func == AggFunc::CountStar {
+            self.count += other.count;
+            return;
+        }
+        if self.distinct {
+            for v in &other.seen {
+                self.update(v);
+            }
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.integral &= other.integral;
+        if let Some(v) = &other.min {
+            let replace = match &self.min {
+                None => true,
+                Some(m) => v.sql_cmp(m).map(|o| o.is_lt()).unwrap_or(false),
+            };
+            if replace {
+                self.min = Some(v.clone());
+            }
+        }
+        if let Some(v) = &other.max {
+            let replace = match &self.max {
+                None => true,
+                Some(m) => v.sql_cmp(m).map(|o| o.is_gt()).unwrap_or(false),
+            };
+            if replace {
+                self.max = Some(v.clone());
+            }
+        }
+    }
+
+    /// Appends this accumulator's exact binary state to `buf` (the spill
+    /// codec; values go through the bit-exact `perm_storage::page` codec).
+    pub fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.push(func_tag(self.func));
+        buf.push(self.distinct as u8);
+        buf.push(self.integral as u8);
+        buf.extend_from_slice(&self.count.to_le_bytes());
+        buf.extend_from_slice(&self.sum.to_bits().to_le_bytes());
+        encode_row(&self.seen, buf);
+        // `Option<Value>` as a 0- or 1-element row.
+        encode_row(self.min.as_slice(), buf);
+        encode_row(self.max.as_slice(), buf);
+    }
+
+    /// Decodes a state written by [`Accumulator::encode_state`], advancing
+    /// `pos`.
+    pub fn decode_state(record: &[u8], pos: &mut usize) -> Result<Accumulator> {
+        let corrupt = || StorageError::Corrupt("truncated accumulator state".into());
+        let header = record.get(*pos..*pos + 3).ok_or_else(corrupt)?;
+        let func = func_from_tag(header[0])
+            .ok_or_else(|| StorageError::Corrupt(format!("bad aggregate tag {}", header[0])))?;
+        let (distinct, integral) = (header[1] != 0, header[2] != 0);
+        *pos += 3;
+        let count = i64::from_le_bytes(
+            record
+                .get(*pos..*pos + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(corrupt)?,
+        );
+        *pos += 8;
+        let sum = f64::from_bits(u64::from_le_bytes(
+            record
+                .get(*pos..*pos + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(corrupt)?,
+        ));
+        *pos += 8;
+        let seen = decode_row(record, pos)?;
+        let min = decode_row(record, pos)?.pop();
+        let max = decode_row(record, pos)?.pop();
+        Ok(Accumulator {
+            func,
+            distinct,
+            seen,
+            count,
+            sum,
+            integral,
+            min,
+            max,
+        })
+    }
+
     /// Produces the aggregate result. Empty inputs yield NULL for every
     /// function except the counts, which yield `0` (SQL semantics).
     pub fn finish(&self) -> Value {
@@ -100,6 +202,31 @@ impl Accumulator {
             AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
         }
     }
+}
+
+/// Stable one-byte tags of the state codec — part of the spill-file layout,
+/// never renumbered.
+fn func_tag(func: AggFunc) -> u8 {
+    match func {
+        AggFunc::Count => 0,
+        AggFunc::CountStar => 1,
+        AggFunc::Sum => 2,
+        AggFunc::Avg => 3,
+        AggFunc::Min => 4,
+        AggFunc::Max => 5,
+    }
+}
+
+fn func_from_tag(tag: u8) -> Option<AggFunc> {
+    Some(match tag {
+        0 => AggFunc::Count,
+        1 => AggFunc::CountStar,
+        2 => AggFunc::Sum,
+        3 => AggFunc::Avg,
+        4 => AggFunc::Min,
+        5 => AggFunc::Max,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -157,5 +284,84 @@ mod tests {
     fn sum_switches_to_float_when_needed() {
         let vals = vec![Value::Int(1), Value::Float(0.5)];
         assert_eq!(run(AggFunc::Sum, false, &vals), Value::Float(1.5));
+    }
+
+    /// Splitting any input across two accumulators and merging must equal
+    /// feeding one accumulator everything.
+    #[test]
+    fn merge_equals_single_pass_for_every_function_and_split() {
+        let funcs = [
+            AggFunc::Count,
+            AggFunc::CountStar,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ];
+        let vals = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Int(5),
+            Value::Int(-3),
+            Value::Float(2.5),
+        ];
+        for func in funcs {
+            for distinct in [false, true] {
+                if distinct && func == AggFunc::CountStar {
+                    continue; // COUNT(*) never carries DISTINCT
+                }
+                for split in 0..=vals.len() {
+                    let mut whole = Accumulator::new(func, distinct);
+                    for v in &vals {
+                        whole.update(v);
+                    }
+                    let mut a = Accumulator::new(func, distinct);
+                    let mut b = Accumulator::new(func, distinct);
+                    for v in &vals[..split] {
+                        a.update(v);
+                    }
+                    for v in &vals[split..] {
+                        b.update(v);
+                    }
+                    a.merge(&b);
+                    assert_eq!(
+                        a.finish(),
+                        whole.finish(),
+                        "{func:?} distinct={distinct} split={split}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_codec_round_trips_exactly() {
+        let mut acc = Accumulator::new(AggFunc::Sum, true);
+        for v in [
+            Value::Int(7),
+            Value::Float(f64::NAN),
+            Value::Str("x".into()),
+            Value::Int(7),
+        ] {
+            acc.update(&v);
+        }
+        let mut buf = Vec::new();
+        acc.encode_state(&mut buf);
+        // A second state in the same buffer: `pos` must advance exactly.
+        let empty = Accumulator::new(AggFunc::Min, false);
+        empty.encode_state(&mut buf);
+        let mut pos = 0;
+        let back = Accumulator::decode_state(&buf, &mut pos).unwrap();
+        assert_eq!(back.func, AggFunc::Sum);
+        assert!(back.distinct);
+        assert_eq!(back.count, acc.count);
+        assert_eq!(back.sum.to_bits(), acc.sum.to_bits());
+        assert_eq!(back.seen.len(), acc.seen.len());
+        let back2 = Accumulator::decode_state(&buf, &mut pos).unwrap();
+        assert_eq!(back2.func, AggFunc::Min);
+        assert_eq!(back2.min, None);
+        assert_eq!(pos, buf.len());
+        assert!(Accumulator::decode_state(&buf[..5], &mut 0).is_err());
     }
 }

@@ -1807,6 +1807,12 @@ impl Executor<'_> {
             if let Some(hit) = hit {
                 return Ok(hit);
             }
+            // Resident miss: the entry may have been reclaimed to the spill
+            // file under budget pressure — reload it instead of
+            // re-executing the sublink (pure I/O, no recomputation).
+            if let Some(spilled) = self.governor.spill_fetch_result(k) {
+                return Ok(spilled);
+            }
         }
         let result = Arc::new(self.execute_compiled_node(&sublink.plan, frame)?);
         if let Some(k) = key {
@@ -1819,6 +1825,10 @@ impl Executor<'_> {
                         .borrow_mut()
                         .insert(k, Arc::clone(&result)),
                 }
+            } else {
+                // The entry cannot stay resident; persist it so the next
+                // miss on this key reloads instead of re-executing.
+                self.governor.spill_store_result(&k, &result);
             }
         }
         Ok(result)

@@ -48,7 +48,7 @@ use crate::compile::CompiledPlan;
 use crate::eval::Env;
 use crate::memo::{MemoMap, SharedSublinkMemo};
 use crate::physical::{self, AggSpec};
-use crate::resilience::{CancelToken, FaultPlan, Governor, MemoCost};
+use crate::resilience::{CancelToken, Degradation, FaultPlan, Governor, MemoCost};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{Expr, Plan, SortKey};
@@ -169,7 +169,15 @@ impl<'a> Executor<'a> {
         // Register every private memo for byte accounting and
         // budget-pressure reclaim (evict first, fail only if that is not
         // enough).
-        governor.register_memo(Box::new(Rc::clone(&sublink_memo)));
+        // The compiled result memo is registered through the spill-aware
+        // wrapper: under pressure with spilling enabled its entries are
+        // persisted instead of dropped (compiled keys are process-stable).
+        // The interpreter memo (keyed by plan-node *addresses*, unsafe to
+        // persist) and the verdict memo (cheap to refold) reclaim by
+        // dropping.
+        governor.register_memo(Box::new(crate::memo::SpillableResultMemo(Rc::clone(
+            &sublink_memo,
+        ))));
         governor.register_memo(Box::new(Rc::clone(&interp_sublink_memo)));
         governor.register_memo(Box::new(Rc::clone(&verdict_memo)));
         Executor {
@@ -352,6 +360,51 @@ impl<'a> Executor<'a> {
     pub fn with_memory_budget(self, bytes: Option<u64>) -> Executor<'a> {
         self.governor.set_budget(bytes);
         self
+    }
+
+    /// Enables spill-to-disk degradation (disabled by default): under
+    /// budget pressure the growing operators go out of core (grace hash
+    /// join, external merge sort, partitioned aggregation) and reclaimed
+    /// compiled-memo entries are persisted for reload instead of dropped,
+    /// demoting [`ExecError::ResourceExhausted`] to a last resort. Results
+    /// are bag- and order-identical to in-memory execution; only the spill
+    /// counters ([`Executor::spilled_bytes`] &c.) can tell the difference.
+    pub fn with_spill(self, enabled: bool) -> Executor<'a> {
+        self.governor.set_spill_enabled(enabled);
+        self
+    }
+
+    /// Base directory for spill files (`None`, the default, uses the system
+    /// temp dir). The executor creates a process-unique subdirectory inside
+    /// it and removes the subdirectory on drop.
+    pub fn with_spill_dir(self, dir: Option<std::path::PathBuf>) -> Executor<'a> {
+        self.governor.set_spill_dir(dir);
+        self
+    }
+
+    /// Worst [`Degradation`] rung reached so far under memory pressure.
+    pub fn degradation(&self) -> Degradation {
+        self.governor.degradation()
+    }
+
+    /// Total payload bytes written to spill files so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.governor.spilled_bytes()
+    }
+
+    /// Spill partition files and sort runs created so far.
+    pub fn spill_partitions(&self) -> u64 {
+        self.governor.spill_partitions()
+    }
+
+    /// Buffer-pool hits while reading spill files.
+    pub fn buffer_pool_hits(&self) -> u64 {
+        self.governor.buffer_pool_hits()
+    }
+
+    /// Buffer-pool misses (page loads from disk) while reading spill files.
+    pub fn buffer_pool_misses(&self) -> u64 {
+        self.governor.buffer_pool_misses()
     }
 
     /// Installs a deterministic [`FaultPlan`] that fires a cancellation,

@@ -85,9 +85,17 @@
 //! same physical layer: cooperative cancellation and deadlines (polled at
 //! batch boundaries via a [`CancelToken`], surfacing as
 //! [`ExecError::Cancelled`]), a per-executor memory budget with byte-aware
-//! memo accounting and evict-before-fail degradation (surfacing as
+//! memo accounting and a spill-before-reclaim-before-fail degradation
+//! ladder (surfaced as [`Degradation`]; only its last rung is
 //! [`ExecError::ResourceExhausted`]), and a deterministic [`FaultPlan`]
-//! injector for crash-consistency testing.
+//! injector for crash-consistency testing. With spilling enabled
+//! (`Executor::with_spill`) the growing operators go **out of core**
+//! instead of failing: the hash join partitions its build side to disk
+//! (grace hash join), the sort writes sorted runs and k-way-merges them,
+//! the aggregate partitions partial group states, and reclaimed
+//! compiled-memo entries are persisted and reloaded on later misses — all
+//! through the slotted-page heap files and pinning buffer pool of
+//! `perm-storage`.
 
 pub mod aggregate;
 pub mod batch;
@@ -100,6 +108,7 @@ pub mod kernels;
 pub(crate) mod memo;
 pub(crate) mod physical;
 pub mod resilience;
+pub(crate) mod spill;
 
 pub use batch::{Batch, ColumnBlock, BATCH_ROWS};
 pub use compile::{CompiledExpr, CompiledPlan, CompiledSublink, Frame, Slot};
@@ -107,7 +116,7 @@ pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
 pub use memo::SharedSublinkMemo;
-pub use resilience::{CancelToken, FaultKind, FaultPlan, FaultSite};
+pub use resilience::{CancelToken, Degradation, FaultKind, FaultPlan, FaultSite};
 
 use perm_storage::StorageError;
 

@@ -130,6 +130,14 @@ impl<V: Clone + MemoCost> MemoMap<V> {
         self.bytes = 0;
     }
 
+    /// Empties the map, handing every `(key, value)` pair to the caller —
+    /// the spill-reclaim path, which persists the entries it drains.
+    pub(crate) fn drain_entries(&mut self) -> Vec<(Vec<u8>, V)> {
+        self.queue.clear();
+        self.bytes = 0;
+        self.map.drain().map(|(k, e)| (k, e.value)).collect()
+    }
+
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.map.len()
@@ -375,6 +383,41 @@ impl MemoBytes for Arc<SharedSublinkMemo> {
     fn reclaim(&self) -> u64 {
         let freed = self.byte_size();
         self.clear();
+        freed
+    }
+}
+
+/// The compiled-path result memo wrapped for **spill-aware** reclaim: under
+/// budget pressure its entries are written to the executor's spill file
+/// (keyed by the same collision-proof compiled memo keys) instead of
+/// dropped, so a later miss reloads the relation through the buffer pool
+/// instead of re-executing the sublink.
+///
+/// Only the compiled result memo gets this treatment. Interpreter-path keys
+/// embed plan *node addresses*, which a later execution may reuse for a
+/// different plan — persisting them could alias, so they stay drop-only
+/// (the blanket impl above). Verdicts are a `Truth` each and cost nothing to
+/// refold from a reloaded result relation.
+pub(crate) struct SpillableResultMemo(pub(crate) Rc<RefCell<MemoMap<Arc<Relation>>>>);
+
+impl MemoBytes for SpillableResultMemo {
+    fn current_bytes(&self) -> u64 {
+        self.0.borrow().bytes()
+    }
+
+    fn reclaim(&self) -> u64 {
+        let mut memo = self.0.borrow_mut();
+        let freed = memo.bytes();
+        memo.clear();
+        freed
+    }
+
+    fn reclaim_to_spill(&self, spill: &crate::spill::SpillManager) -> u64 {
+        let mut memo = self.0.borrow_mut();
+        let freed = memo.bytes();
+        for (key, value) in memo.drain_entries() {
+            spill.memo_store(&key, &value);
+        }
         freed
     }
 }

@@ -51,18 +51,35 @@
 //! The `cancel_checks` counter is deliberately separate from
 //! `operators_evaluated`: the latter is a per-invocation semantics
 //! diagnostic that many tests pin exactly.
+//!
+//! With spilling enabled (`Executor::with_spill`) those growing operators
+//! go **out of core** instead of failing: when a budget charge is refused
+//! the hash join switches to a *grace hash join* (build side partitioned to
+//! heap files by [`fnv1a`] of the encoded key, probe keys routed by
+//! ordinal, per-partition rebuild + probe, survivors re-emitted in exact
+//! left-row order), the sort becomes an *external merge sort* (sorted runs
+//! on disk, k-way merge with run-index tie-break — runs are consecutive
+//! input segments, so that tie-break *is* the stable-sort order), and the
+//! aggregate flushes partial group states to hash partitions that are
+//! merged per partition afterwards ([`Accumulator::merge`]), emitting
+//! groups in global first-encounter order via per-group creation ordinals.
+//! All three produce bag- and order-identical results to their resident
+//! forms; only `SessionStats`' spill counters can tell them apart.
 
 use crate::aggregate::Accumulator;
 use crate::batch::{Batch, ColumnBlock, BATCH_ROWS};
-use crate::resilience::{tuple_bytes, value_bytes, Governor};
+use crate::resilience::{relation_bytes, tuple_bytes, value_bytes, Governor, TransientCharge};
+use crate::spill::{self, fnv1a, SpillManager};
 use crate::{ExecError, Result};
 use perm_algebra::{AggFunc, JoinKind, SetOpKind};
 use perm_storage::{
-    encode_key_column, encode_key_column_filtered, ColumnVec, Database, Relation, Schema, Tuple,
-    Value,
+    encode_key_column, encode_key_column_filtered, ColumnVec, Database, HeapFile, Relation, Schema,
+    Tuple, Value,
 };
 use std::cell::Cell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// The diagnostic operator-evaluation counter both drivers share.
 pub(crate) type OpCounter = Cell<u64>;
@@ -261,6 +278,245 @@ fn flush_join_segments(
     Ok(())
 }
 
+/// The grace-hash-join spill state: one build and one probe partition file
+/// per hash partition, plus the manager that owns them.
+struct JoinSpill {
+    mgr: Rc<SpillManager>,
+    build: Vec<Rc<HeapFile>>,
+    probe: Vec<Rc<HeapFile>>,
+}
+
+impl JoinSpill {
+    fn partition_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.build.len() as u64) as usize
+    }
+}
+
+/// Picks the grace-join partition count so one partition's build side is
+/// expected to fit in roughly a quarter of the budget — the rebuild is the
+/// ladder's last resort, so the expectation carries headroom for hash skew
+/// — clamped to a sane range.
+fn join_partition_count(budget: u64, build_side: &Relation) -> usize {
+    let bytes = relation_bytes(build_side);
+    ((4 * bytes / budget.max(1)) as usize).clamp(2, 64)
+}
+
+/// Switches the build phase to grace mode: creates the partition files and
+/// drains the in-memory buckets into them. Per-key candidate order is
+/// preserved — each bucket's rows are written in build-input order, and
+/// every row of one key lands in the same partition file.
+fn spill_join_build(
+    gov: &Governor,
+    build_side: &Relation,
+    buckets: &mut HashMap<Vec<u8>, Vec<&Tuple>>,
+) -> Result<JoinSpill> {
+    let mgr = gov
+        .spill()
+        .expect("a refused try_grow guarantees a live spill manager");
+    let parts = join_partition_count(gov.budget().unwrap_or(1), build_side);
+    let mut build = Vec::with_capacity(parts);
+    let mut probe = Vec::with_capacity(parts);
+    for p in 0..parts {
+        build.push(mgr.create_file(&format!("join-build-{p}"))?);
+        probe.push(mgr.create_file(&format!("join-probe-{p}"))?);
+    }
+    mgr.note_partitions(2 * parts as u64);
+    let js = JoinSpill { mgr, build, probe };
+    let mut buf = Vec::new();
+    for (key, mates) in buckets.drain() {
+        let p = js.partition_of(&key);
+        for rt in mates {
+            spill::encode_keyed_tuple(&key, rt, &mut buf);
+            js.build[p].append_record(&buf)?;
+            js.mgr.note_spilled(buf.len() as u64);
+        }
+    }
+    Ok(js)
+}
+
+/// Filters a pending buffer of joined candidate rows with `condition` and
+/// collects each segment's survivors as `(left ordinal, tuple)` pairs —
+/// the grace-probe counterpart of [`flush_join_segments`], which cannot
+/// emit directly because partitions scramble the probe order. Padding is
+/// deferred to the ordinal-ordered emission walk.
+fn flush_spill_candidates(
+    gov: &Governor,
+    condition: &mut impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
+    pending: &mut Vec<Tuple>,
+    segments: &mut Vec<(u64, usize, usize)>,
+    truths: &mut Vec<bool>,
+    join_arity: usize,
+    survivors: &mut Vec<(u64, Tuple)>,
+) -> Result<()> {
+    truths.clear();
+    for chunk in pending.chunks(BATCH_ROWS) {
+        gov.checkpoint("join")?;
+        let block = ColumnBlock::new(join_arity);
+        condition(&Batch::dense_with_block(chunk, &block), truths)?;
+    }
+    debug_assert_eq!(truths.len(), pending.len(), "one verdict per candidate");
+    for (ordinal, start, end) in segments.drain(..) {
+        for idx in start..end {
+            if truths[idx] {
+                survivors.push((ordinal, std::mem::take(&mut pending[idx])));
+            }
+        }
+    }
+    pending.clear();
+    Ok(())
+}
+
+/// The grace-join probe and emission phases, entered once the build side
+/// has been partitioned to disk. The left input stays resident; only its
+/// `(ordinal, key)` pairs are routed through the probe partition files, so
+/// each partition joins against exactly the build rows that can match it.
+/// Survivors are re-emitted in exact left-row order (stable sort by
+/// ordinal), with left-outer padding for ordinals nothing survived for.
+#[allow(clippy::too_many_arguments)]
+fn grace_probe(
+    gov: &Governor,
+    js: &JoinSpill,
+    l: &Relation,
+    out_schema: &Schema,
+    kind: JoinKind,
+    key_null_safe: &[bool],
+    charge: &mut Option<TransientCharge<'_>>,
+    cand_charge: &mut Option<TransientCharge<'_>>,
+    mut left_keys: impl FnMut(&Batch<'_>, usize, &mut ColumnVec) -> Result<()>,
+    mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
+) -> Result<Relation> {
+    let left_arity = l.schema().arity();
+    let right_arity = out_schema.arity() - left_arity;
+    let join_arity = out_schema.arity();
+    let nkeys = key_null_safe.len();
+
+    // Route each live left row's (ordinal, key) to its partition; rows with
+    // a NULL key under plain equality match nothing and are skipped (their
+    // left-outer padding falls out of the emission walk).
+    let mut key_cols: Vec<ColumnVec> = vec![ColumnVec::default(); nkeys];
+    let mut keys_buf: Vec<Vec<u8>> = Vec::new();
+    let mut live: Vec<bool> = Vec::new();
+    let mut buf = Vec::new();
+    let mut ordinal = 0u64;
+    for chunk in l.tuples().chunks(BATCH_ROWS) {
+        gov.checkpoint("join")?;
+        let block = ColumnBlock::new(left_arity);
+        let batch = Batch::dense_with_block(chunk, &block);
+        for (i, col) in key_cols.iter_mut().enumerate() {
+            col.clear_values();
+            left_keys(&batch, i, col)?;
+        }
+        reset_key_buffers(chunk.len(), &mut keys_buf, &mut live);
+        for (col, null_safe) in key_cols.iter().zip(key_null_safe) {
+            encode_key_column_filtered(col, *null_safe, &mut live, &mut keys_buf[..chunk.len()]);
+        }
+        for j in 0..chunk.len() {
+            if live[j] {
+                spill::encode_probe(ordinal, &keys_buf[j], &mut buf);
+                js.probe[js.partition_of(&keys_buf[j])].append_record(&buf)?;
+                js.mgr.note_spilled(buf.len() as u64);
+            }
+            ordinal += 1;
+        }
+    }
+    for file in js.build.iter().chain(js.probe.iter()) {
+        file.seal()?;
+    }
+
+    // Per partition: rebuild that partition's buckets (this is the ladder's
+    // last resort — a partition that cannot fit fails the query), then
+    // stream its probe records and collect survivors.
+    let mut survivors: Vec<(u64, Tuple)> = Vec::new();
+    let mut pending: Vec<Tuple> = Vec::new();
+    let mut segments: Vec<(u64, usize, usize)> = Vec::new();
+    let mut truths: Vec<bool> = Vec::new();
+    let l_tuples = l.tuples();
+    for p in 0..js.build.len() {
+        let mut buckets: HashMap<Vec<u8>, Vec<Tuple>> = HashMap::new();
+        let mut stream = js.mgr.pool().stream(&js.build[p]);
+        let mut since = 0usize;
+        while let Some(record) = stream.next_record()? {
+            let (key, tuple) = spill::decode_keyed_tuple(&record)?;
+            if let Some(c) = charge.as_mut() {
+                c.grow(key.len() as u64 + tuple_bytes(&tuple))?;
+            }
+            buckets.entry(key).or_default().push(tuple);
+            since += 1;
+            if since.is_multiple_of(BATCH_ROWS) {
+                gov.checkpoint("join")?;
+            }
+        }
+        let mut stream = js.mgr.pool().stream(&js.probe[p]);
+        while let Some(record) = stream.next_record()? {
+            let (ord, key) = spill::decode_probe(&record)?;
+            let lt = &l_tuples[ord as usize];
+            let start = pending.len();
+            if let Some(mates) = buckets.get(&key) {
+                for rt in mates {
+                    pending.push(lt.concat(rt));
+                }
+            }
+            let mut flush_now = false;
+            if let Some(c) = cand_charge.as_mut() {
+                let grown: u64 = pending[start..].iter().map(tuple_bytes).sum();
+                if !c.try_grow(grown)? {
+                    flush_now = true;
+                }
+            }
+            segments.push((ord, start, pending.len()));
+            if flush_now || pending.len() >= BATCH_ROWS {
+                flush_spill_candidates(
+                    gov,
+                    &mut condition,
+                    &mut pending,
+                    &mut segments,
+                    &mut truths,
+                    join_arity,
+                    &mut survivors,
+                )?;
+                if let Some(c) = cand_charge.as_mut() {
+                    c.release();
+                }
+            }
+        }
+        flush_spill_candidates(
+            gov,
+            &mut condition,
+            &mut pending,
+            &mut segments,
+            &mut truths,
+            join_arity,
+            &mut survivors,
+        )?;
+        if let Some(c) = cand_charge.as_mut() {
+            c.release();
+        }
+        if let Some(c) = charge.as_mut() {
+            // This partition's buckets are about to drop.
+            c.release();
+        }
+    }
+
+    // Emission in exact left-row order: a stable sort groups survivors by
+    // ordinal while keeping each ordinal's build-input candidate order.
+    survivors.sort_by_key(|(ord, _)| *ord);
+    let mut out = Relation::empty(out_schema.clone());
+    let mut cursor = 0usize;
+    for (ord, lt) in l_tuples.iter().enumerate() {
+        let ord = ord as u64;
+        let mut matched = false;
+        while cursor < survivors.len() && survivors[cursor].0 == ord {
+            matched = true;
+            out.push_unchecked(std::mem::take(&mut survivors[cursor].1));
+            cursor += 1;
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+        }
+    }
+    Ok(out)
+}
+
 /// Inner or left-outer join over already-executed inputs.
 ///
 /// `key_null_safe` carries one flag per extracted equi-key conjunct; when
@@ -296,6 +552,7 @@ pub(crate) fn join(
     count(ops);
     gov.operator_event("join")?;
     let mut charge = gov.transient("join");
+    let mut cand_charge = gov.transient("join");
     let left_arity = l.schema().arity();
     let right_arity = r.schema().arity();
     let join_arity = out_schema.arity();
@@ -318,6 +575,8 @@ pub(crate) fn join(
         let mut key_cols: Vec<ColumnVec> = vec![ColumnVec::default(); nkeys];
         let mut keys_buf: Vec<Vec<u8>> = Vec::new();
         let mut live: Vec<bool> = Vec::new();
+        let mut js: Option<JoinSpill> = None;
+        let mut rec_buf: Vec<u8> = Vec::new();
         for chunk in r.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
             let block = ColumnBlock::new(right_arity);
@@ -338,6 +597,19 @@ pub(crate) fn join(
                     &mut keys_buf[..chunk.len()],
                 );
             }
+            if let Some(js) = &js {
+                // Grace mode: the build table already moved to disk; route
+                // this chunk's live rows straight to their partition files.
+                for (j, rt) in chunk.iter().enumerate() {
+                    if !live[j] {
+                        continue;
+                    }
+                    spill::encode_keyed_tuple(&keys_buf[j], rt, &mut rec_buf);
+                    js.build[js.partition_of(&keys_buf[j])].append_record(&rec_buf)?;
+                    js.mgr.note_spilled(rec_buf.len() as u64);
+                }
+                continue;
+            }
             let mut chunk_bytes = 0u64;
             for (j, rt) in chunk.iter().enumerate() {
                 if !live[j] {
@@ -355,8 +627,28 @@ pub(crate) fn join(
                 buckets.entry(key).or_default().push(rt);
             }
             if let Some(c) = charge.as_mut() {
-                c.grow(chunk_bytes)?;
+                if !c.try_grow(chunk_bytes)? {
+                    // The build table no longer fits: go grace — partition
+                    // everything bucketed so far to disk and free its
+                    // budget immediately.
+                    js = Some(spill_join_build(gov, r, &mut buckets)?);
+                    c.release();
+                }
             }
+        }
+        if let Some(js) = js {
+            return grace_probe(
+                gov,
+                &js,
+                l,
+                out_schema,
+                kind,
+                key_null_safe,
+                &mut charge,
+                &mut cand_charge,
+                left_keys,
+                condition,
+            );
         }
 
         // Probe side, batch-at-a-time: evaluate the key columns once per
@@ -392,18 +684,21 @@ pub(crate) fn join(
                 for rt in candidates {
                     pending.push(lt.concat(rt));
                 }
-                if let Some(c) = charge.as_mut() {
+                let mut flush_now = false;
+                if let Some(c) = cand_charge.as_mut() {
                     // Candidate-buffer growth, which also proxies the
                     // operator's output growth (survivors move to `out`).
                     let grown: u64 = pending[start..].iter().map(tuple_bytes).sum();
-                    c.grow(grown)?;
+                    if !c.try_grow(grown)? {
+                        flush_now = true;
+                    }
                 }
                 segments.push(JoinSegment {
                     left: lt,
                     start,
                     end: pending.len(),
                 });
-                if pending.len() >= BATCH_ROWS {
+                if flush_now || pending.len() >= BATCH_ROWS {
                     flush_join_segments(
                         gov,
                         &mut condition,
@@ -415,6 +710,14 @@ pub(crate) fn join(
                         right_arity,
                         &mut out,
                     )?;
+                    if flush_now {
+                        // Only a refused charge frees the candidate budget:
+                        // the ordinary batch flush keeps the no-spill
+                        // accounting identical to the pre-spill executor.
+                        if let Some(c) = cand_charge.as_mut() {
+                            c.release();
+                        }
+                    }
                 }
             }
         }
@@ -461,6 +764,47 @@ pub(crate) fn join(
     Ok(out)
 }
 
+/// How many hash partitions the out-of-core aggregation flushes partial
+/// group states across. Fixed (unlike the grace join's estimate): the
+/// flushed records are *partial* states whose merged size is the true group
+/// count, not the input size.
+const AGG_SPILL_PARTITIONS: usize = 16;
+
+/// Flushes every resident partial group state to its hash partition file
+/// (creating the partition files on first flush) and clears the resident
+/// state. Records carry the group's creation ordinal so the merge phase can
+/// restore global first-encounter order.
+fn flush_agg_groups(
+    gov: &Governor,
+    files: &mut Option<(Rc<SpillManager>, Vec<Rc<HeapFile>>)>,
+    groups: &mut Vec<(Vec<Value>, Vec<Accumulator>)>,
+    ords: &mut Vec<u64>,
+    index: &mut HashMap<Vec<u8>, usize>,
+) -> Result<()> {
+    if files.is_none() {
+        let mgr = gov
+            .spill()
+            .expect("a refused try_grow guarantees a live spill manager");
+        let mut parts = Vec::with_capacity(AGG_SPILL_PARTITIONS);
+        for p in 0..AGG_SPILL_PARTITIONS {
+            parts.push(mgr.create_file(&format!("agg-part-{p}"))?);
+        }
+        mgr.note_partitions(AGG_SPILL_PARTITIONS as u64);
+        *files = Some((mgr, parts));
+    }
+    let (mgr, parts) = files.as_ref().expect("just created");
+    let mut buf = Vec::new();
+    for (key_bytes, idx) in index.drain() {
+        let (key_values, accs) = &groups[idx];
+        spill::encode_agg_group(ords[idx], &key_bytes, key_values, accs, &mut buf);
+        parts[(fnv1a(&key_bytes) % AGG_SPILL_PARTITIONS as u64) as usize].append_record(&buf)?;
+        mgr.note_spilled(buf.len() as u64);
+    }
+    groups.clear();
+    ords.clear();
+    Ok(())
+}
+
 /// Grouping and aggregation — a pipeline breaker consuming its input batch
 /// by batch. `eval` evaluates, for one batch, every grouping expression
 /// into `group_cols[i]` (a typed [`ColumnVec`] lane) and every aggregate
@@ -471,6 +815,12 @@ pub(crate) fn join(
 /// first-encounter order. A global aggregation (no GROUP BY) over an empty
 /// input still produces one tuple (e.g. `count(*)` = 0): the single group
 /// is seeded up front.
+///
+/// Under budget pressure with spilling enabled, partial group states are
+/// flushed to hash partition files ([`flush_agg_groups`]) and merged per
+/// partition afterwards ([`Accumulator::merge`]); global creation ordinals
+/// (monotone, never reset, so the minimum per key is its global first
+/// encounter) restore the exact first-encounter output order.
 pub(crate) fn aggregate(
     ops: &OpCounter,
     gov: &Governor,
@@ -486,6 +836,13 @@ pub(crate) fn aggregate(
     let in_arity = child.schema().arity();
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    // Per-group creation ordinals (parallel to `groups`): `next_ord` is
+    // global and monotone across flushes, so after partition merging the
+    // minimum ordinal per key is its global first encounter — unique, and
+    // sorting by it restores exact first-encounter output order.
+    let mut ords: Vec<u64> = Vec::new();
+    let mut next_ord = 0u64;
+    let mut spill_files: Option<(Rc<SpillManager>, Vec<Rc<HeapFile>>)> = None;
     let make_accs = || -> Vec<Accumulator> {
         specs
             .iter()
@@ -496,6 +853,8 @@ pub(crate) fn aggregate(
     if group_arity == 0 {
         groups.push((Vec::new(), make_accs()));
         index.insert(Vec::new(), 0);
+        ords.push(next_ord);
+        next_ord += 1;
     }
 
     let mut group_cols: Vec<ColumnVec> = vec![ColumnVec::default(); group_arity];
@@ -535,6 +894,8 @@ pub(crate) fn aggregate(
                         group_cols.iter_mut().map(|col| col.take_value(j)).collect();
                     groups.push((key_values, make_accs()));
                     index.insert(key, groups.len() - 1);
+                    ords.push(next_ord);
+                    next_ord += 1;
                     groups.len() - 1
                 }
             };
@@ -556,8 +917,90 @@ pub(crate) fn aggregate(
                         + (accs.len() * std::mem::size_of::<Accumulator>()) as u64
                 })
                 .sum();
-            c.grow(grown)?;
+            if !c.try_grow(grown)? {
+                // Group state no longer fits: flush every resident partial
+                // state to its hash partition and start over empty. A
+                // global aggregation re-seeds its single group so rows keep
+                // landing somewhere (with a fresh ordinal — the min-merge
+                // keeps the original).
+                flush_agg_groups(gov, &mut spill_files, &mut groups, &mut ords, &mut index)?;
+                c.release();
+                if group_arity == 0 {
+                    groups.push((Vec::new(), make_accs()));
+                    index.insert(Vec::new(), 0);
+                    ords.push(next_ord);
+                    next_ord += 1;
+                }
+            }
         }
+    }
+
+    if spill_files.is_some() {
+        // Out-of-core finish: flush the remainder, then merge each
+        // partition independently — every occurrence of one key hashes to
+        // the same partition, so a per-partition hash map sees all of its
+        // partial states ([`Accumulator::merge`] is order-insensitive).
+        flush_agg_groups(gov, &mut spill_files, &mut groups, &mut ords, &mut index)?;
+        if let Some(c) = charge.as_mut() {
+            c.release();
+        }
+        let (mgr, parts) = spill_files.as_ref().expect("just flushed");
+        for file in parts {
+            file.seal()?;
+        }
+        let mut merged: Vec<(u64, Tuple)> = Vec::new();
+        for file in parts {
+            let mut part: HashMap<Vec<u8>, (u64, Vec<Value>, Vec<Accumulator>)> = HashMap::new();
+            let mut stream = mgr.pool().stream(file);
+            let mut since = 0usize;
+            while let Some(record) = stream.next_record()? {
+                let (ord, key_bytes, key_values, accs) = spill::decode_agg_group(&record)?;
+                match part.entry(key_bytes) {
+                    Entry::Occupied(mut e) => {
+                        let slot = e.get_mut();
+                        slot.0 = slot.0.min(ord);
+                        for (a, b) in slot.2.iter_mut().zip(&accs) {
+                            a.merge(b);
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        if let Some(c) = charge.as_mut() {
+                            // One partition's merged state is the ladder's
+                            // last resort — a partition that cannot fit
+                            // fails the query.
+                            c.grow(
+                                key_values.iter().map(value_bytes).sum::<u64>()
+                                    + (accs.len() * std::mem::size_of::<Accumulator>()) as u64,
+                            )?;
+                        }
+                        e.insert((ord, key_values, accs));
+                    }
+                }
+                since += 1;
+                if since.is_multiple_of(BATCH_ROWS) {
+                    gov.checkpoint("aggregate")?;
+                }
+            }
+            for (ord, key_values, accs) in part.into_values() {
+                let mut row = key_values;
+                for acc in &accs {
+                    row.push(acc.finish());
+                }
+                merged.push((ord, Tuple::new(row)));
+            }
+            if let Some(c) = charge.as_mut() {
+                // This partition's map just dropped; only the finished
+                // output rows remain, which the resident path never charges
+                // either.
+                c.release();
+            }
+        }
+        merged.sort_by_key(|(ord, _)| *ord);
+        let mut out = Relation::empty(out_schema);
+        for (_, tuple) in merged {
+            out.push_unchecked(tuple);
+        }
+        return Ok(out);
     }
 
     let mut out = Relation::empty(out_schema);
@@ -600,11 +1043,56 @@ pub(crate) fn set_op(
     })
 }
 
+/// The sort-key comparator shared by the in-memory sort and the k-way run
+/// merge: per-key `Value::sort_key` with the per-key direction applied.
+fn cmp_key_rows(ka: &[Value], kb: &[Value], ascending: &[bool]) -> std::cmp::Ordering {
+    for (i, asc) in ascending.iter().enumerate() {
+        let ord = ka[i].sort_key(&kb[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sorts the resident buffer and writes it out as one sorted run file.
+/// Because a run is always a *consecutive* segment of the input, merging
+/// runs with a lowest-run-index tie-break later reproduces the stable
+/// in-memory sort order exactly.
+fn spill_sort_run(
+    gov: &Governor,
+    keyed: &mut Vec<(Vec<Value>, Tuple)>,
+    ascending: &[bool],
+    runs: &mut Vec<Rc<HeapFile>>,
+) -> Result<()> {
+    let mgr = gov
+        .spill()
+        .expect("a refused try_grow guarantees a live spill manager");
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_key_rows(ka, kb, ascending));
+    let file = mgr.create_file(&format!("sort-run-{}", runs.len()))?;
+    let mut buf = Vec::new();
+    for (key_values, tuple) in keyed.iter() {
+        spill::encode_run_row(key_values, tuple, &mut buf);
+        file.append_record(&buf)?;
+        mgr.note_spilled(buf.len() as u64);
+    }
+    file.seal()?;
+    mgr.note_partitions(1);
+    runs.push(file);
+    keyed.clear();
+    Ok(())
+}
+
 /// Sorting — a pipeline breaker consuming its input batch by batch. `keys`
 /// evaluates, for one batch, every sort-key expression into `key_cols[i]`;
 /// `ascending` carries the per-key direction. The underlying sort is
 /// stable, so ties keep the input order — which both drivers produce
-/// identically.
+/// identically. Under budget pressure with spilling enabled the operator
+/// becomes an *external merge sort*: the buffer is flushed as sorted runs
+/// ([`spill_sort_run`]) and the runs are k-way merged at the end, with ties
+/// broken toward the lowest run index — runs are consecutive input
+/// segments, so that tie-break *is* the stable order.
 pub(crate) fn sort(
     ops: &OpCounter,
     gov: &Governor,
@@ -619,6 +1107,7 @@ pub(crate) fn sort(
     let schema = child.schema().clone();
     let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(child.len());
     let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); ascending.len()];
+    let mut runs: Vec<Rc<HeapFile>> = Vec::new();
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("sort")?;
         for col in key_cols.iter_mut() {
@@ -640,23 +1129,75 @@ pub(crate) fn sort(
             keyed.push((key_values, tuple.clone()));
         }
         if let Some(c) = charge.as_mut() {
-            c.grow(chunk_bytes)?;
-        }
-    }
-    keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, asc) in ascending.iter().enumerate() {
-            let ord = ka[i].sort_key(&kb[i]);
-            let ord = if *asc { ord } else { ord.reverse() };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
+            if !c.try_grow(chunk_bytes)? {
+                spill_sort_run(gov, &mut keyed, ascending, &mut runs)?;
+                c.release();
             }
         }
-        std::cmp::Ordering::Equal
-    });
-    Ok(Relation::new(
-        schema,
-        keyed.into_iter().map(|(_, t)| t).collect(),
-    )?)
+    }
+    // The in-memory remainder is sorted either way; with runs on disk it
+    // plays the role of the final (highest-index) run in the merge.
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_key_rows(ka, kb, ascending));
+    if runs.is_empty() {
+        return Ok(Relation::new(
+            schema,
+            keyed.into_iter().map(|(_, t)| t).collect(),
+        )?);
+    }
+    let mgr = gov
+        .spill()
+        .expect("runs exist only when a spill manager is live");
+    let mut streams: Vec<_> = runs.iter().map(|f| mgr.pool().stream(f)).collect();
+    let mut heads: Vec<Option<(Vec<Value>, Tuple)>> = Vec::with_capacity(streams.len() + 1);
+    for stream in streams.iter_mut() {
+        heads.push(match stream.next_record()? {
+            Some(record) => Some(spill::decode_run_row(&record)?),
+            None => None,
+        });
+    }
+    let mut mem = std::mem::take(&mut keyed).into_iter();
+    heads.push(mem.next());
+    let mut out = Relation::empty(schema);
+    let mut emitted = 0usize;
+    loop {
+        // Linear min-scan over the run heads (the run count is small —
+        // every run paid for itself in budget pressure); strict `<` keeps
+        // the lowest run index on ties, which is the stable order.
+        let mut best: Option<usize> = None;
+        for i in 0..heads.len() {
+            if heads[i].is_none() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let ki = &heads[i].as_ref().unwrap().0;
+                    let kb = &heads[b].as_ref().unwrap().0;
+                    if cmp_key_rows(ki, kb, ascending).is_lt() {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        let (_, tuple) = heads[b].take().expect("best head is non-empty");
+        out.push_unchecked(tuple);
+        emitted += 1;
+        if emitted.is_multiple_of(BATCH_ROWS) {
+            gov.checkpoint("sort")?;
+        }
+        heads[b] = if b < streams.len() {
+            match streams[b].next_record()? {
+                Some(record) => Some(spill::decode_run_row(&record)?),
+                None => None,
+            }
+        } else {
+            mem.next()
+        };
+    }
+    Ok(out)
 }
 
 /// First-`n` truncation.

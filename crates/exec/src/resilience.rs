@@ -19,11 +19,23 @@
 //!   buffers, aggregation group state, sort buffers — and by every sublink
 //!   memo insertion (both the executor-private memos and a shared
 //!   [`crate::SharedSublinkMemo`] have byte-aware accounting, not just entry
-//!   counts). On pressure the executor degrades gracefully: it first clears
-//!   the memos it is allowed to reclaim (losing only speed, never
-//!   correctness — a memo miss simply re-executes the sublink) and only
-//!   fails the query with `ExecError::ResourceExhausted`, naming the
-//!   operator, when reclaiming does not free enough.
+//!   counts). On pressure the executor walks a **degradation ladder**, each
+//!   rung recorded on [`Degradation`] so the session can surface how far it
+//!   had to go:
+//!
+//!   1. *Spill to disk* (when enabled via `Executor::with_spill`): reclaimed
+//!      compiled sublink-memo entries are written to a spill file instead of
+//!      dropped — a later miss reloads the relation instead of re-executing
+//!      the sublink — and the growing operators move their state out of core
+//!      (grace hash join, external merge sort, partitioned aggregation in
+//!      `crate::physical`). Costs only I/O, never recomputation.
+//!   2. *Reclaim memos*: the memos that cannot be spilled (interpreter-path
+//!      entries are keyed by plan node addresses, verdicts are cheap to
+//!      refold) are cleared — losing only speed, never correctness, since a
+//!      memo miss simply re-executes the sublink.
+//!   3. *Fail*: only when neither spilling nor reclaiming frees enough does
+//!      the query fail with `ExecError::ResourceExhausted`, naming the
+//!      operator.
 //! * [`FaultPlan`] — a deterministic fault injector for crash-consistency
 //!   testing: it fires a cancellation, a budget exhaustion, or an injected
 //!   panic at the *N*-th checkpoint / memo-insert / operator event.
@@ -35,9 +47,12 @@
 //! the fault-injection sweep in `tests/differential.rs` pins this down by
 //! demanding either the exact reference bag or a single clean typed error.
 
+use crate::spill::SpillManager;
 use crate::{ExecError, Result};
 use perm_storage::{Relation, Truth, Tuple, Value};
 use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -275,9 +290,15 @@ pub(crate) fn value_bytes(v: &Value) -> u64 {
     }
 }
 
-/// Approximate heap footprint of one tuple.
+/// Approximate heap footprint of one tuple. Counts the value vector's
+/// *capacity*, not just its length — rows assembled by repeated pushes keep
+/// spare slots allocated, exactly like `Value::Str` keeps spare string
+/// capacity in [`value_bytes`].
 pub(crate) fn tuple_bytes(t: &Tuple) -> u64 {
-    std::mem::size_of::<Tuple>() as u64 + t.values().iter().map(value_bytes).sum::<u64>()
+    let spare = (t.capacity() - t.arity()) * std::mem::size_of::<Value>();
+    std::mem::size_of::<Tuple>() as u64
+        + spare as u64
+        + t.values().iter().map(value_bytes).sum::<u64>()
 }
 
 /// Approximate heap footprint of a materialised relation.
@@ -311,11 +332,43 @@ impl MemoCost for Truth {
 // Governor
 // ---------------------------------------------------------------------------
 
+/// How far the executor has degraded under memory pressure, ordered from
+/// best to worst. The governor records the worst rung reached, and the
+/// session surfaces it (`SessionStats::degradation`) so callers can tell a
+/// query that merely ran slower from one that shed cached work or died.
+///
+/// The ordering encodes the ladder's cost model: spilling to disk preserves
+/// every computed result (pure I/O cost), reclaiming memos forfeits cached
+/// sublink results (recomputation cost), and exhaustion fails the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Degradation {
+    /// The budget (if any) was never exceeded.
+    #[default]
+    None,
+    /// Operator state or reclaimed memo entries moved to spill files; every
+    /// result stayed available, only I/O was paid.
+    SpilledToDisk,
+    /// Registered memos were cleared (dropped, not spilled) under pressure —
+    /// later sublink misses re-execute.
+    ReclaimedMemos,
+    /// Spilling and reclaiming did not free enough; a query failed with
+    /// `ExecError::ResourceExhausted`.
+    Exhausted,
+}
+
 /// Byte accounting + reclaim interface a memo exposes to the governor:
 /// current footprint, and "drop everything, report what was freed".
 pub(crate) trait MemoBytes {
     fn current_bytes(&self) -> u64;
     fn reclaim(&self) -> u64;
+
+    /// Reclaim with a live spill manager available: implementations that can
+    /// persist their entries (the compiled result memo, whose keys are
+    /// process-unique) write them out before dropping; the default just
+    /// drops, like [`MemoBytes::reclaim`].
+    fn reclaim_to_spill(&self, _spill: &SpillManager) -> u64 {
+        self.reclaim()
+    }
 }
 
 /// The executor's resilience state: the installed cancel token, fault plan
@@ -341,6 +394,20 @@ pub(crate) struct Governor {
     /// checkpoint (an already-expired deadline cancels before any work).
     until_probe: Cell<u64>,
     memos: RefCell<Vec<Box<dyn MemoBytes>>>,
+    /// Whether spill-to-disk degradation is enabled (`Executor::with_spill`).
+    spill_enabled: Cell<bool>,
+    /// Base directory for spill files (`None` = system temp dir).
+    spill_dir: RefCell<Option<PathBuf>>,
+    /// The live spill manager, created lazily at the first pressure point
+    /// that needs it — an executor that never hits its budget never touches
+    /// the filesystem.
+    spill: RefCell<Option<Rc<SpillManager>>>,
+    /// Set when creating the spill directory failed once; the governor then
+    /// degrades as if spilling were disabled instead of retrying every
+    /// charge.
+    spill_failed: Cell<bool>,
+    /// Worst [`Degradation`] rung reached so far.
+    rung: Cell<Degradation>,
 }
 
 impl Governor {
@@ -354,6 +421,11 @@ impl Governor {
             checks: Cell::new(0),
             until_probe: Cell::new(0),
             memos: RefCell::new(Vec::new()),
+            spill_enabled: Cell::new(false),
+            spill_dir: RefCell::new(None),
+            spill: RefCell::new(None),
+            spill_failed: Cell::new(false),
+            rung: Cell::new(Degradation::None),
         }
     }
 
@@ -375,6 +447,93 @@ impl Governor {
 
     pub(crate) fn set_budget(&self, bytes: Option<u64>) {
         self.budget.set(bytes);
+    }
+
+    pub(crate) fn budget(&self) -> Option<u64> {
+        self.budget.get()
+    }
+
+    pub(crate) fn set_spill_enabled(&self, enabled: bool) {
+        self.spill_enabled.set(enabled);
+    }
+
+    pub(crate) fn set_spill_dir(&self, dir: Option<PathBuf>) {
+        *self.spill_dir.borrow_mut() = dir;
+    }
+
+    /// The live spill manager, creating it on first use. `None` when
+    /// spilling is disabled or the spill directory could not be created
+    /// (the latter is remembered, so a broken directory degrades to the
+    /// no-spill ladder instead of retrying on every charge).
+    pub(crate) fn spill(&self) -> Option<Rc<SpillManager>> {
+        if !self.spill_enabled.get() || self.spill_failed.get() {
+            return None;
+        }
+        if let Some(mgr) = self.spill.borrow().as_ref() {
+            return Some(Rc::clone(mgr));
+        }
+        match SpillManager::create(self.spill_dir.borrow().as_deref()) {
+            Ok(mgr) => {
+                let mgr = Rc::new(mgr);
+                *self.spill.borrow_mut() = Some(Rc::clone(&mgr));
+                Some(mgr)
+            }
+            Err(_) => {
+                self.spill_failed.set(true);
+                None
+            }
+        }
+    }
+
+    /// Records a degradation rung, keeping the worst one seen.
+    pub(crate) fn note_rung(&self, rung: Degradation) {
+        if rung > self.rung.get() {
+            self.rung.set(rung);
+        }
+    }
+
+    /// Worst degradation rung reached so far.
+    pub(crate) fn degradation(&self) -> Degradation {
+        self.rung.get()
+    }
+
+    /// Total payload bytes written to spill files so far.
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        self.spill
+            .borrow()
+            .as_ref()
+            .map_or(0, |m| m.spilled_bytes())
+    }
+
+    /// Spill partitions (grace-join, aggregate) and sort runs created.
+    pub(crate) fn spill_partitions(&self) -> u64 {
+        self.spill.borrow().as_ref().map_or(0, |m| m.partitions())
+    }
+
+    /// Buffer-pool hits of the spill manager's pool.
+    pub(crate) fn buffer_pool_hits(&self) -> u64 {
+        self.spill.borrow().as_ref().map_or(0, |m| m.pool_hits())
+    }
+
+    /// Buffer-pool misses of the spill manager's pool.
+    pub(crate) fn buffer_pool_misses(&self) -> u64 {
+        self.spill.borrow().as_ref().map_or(0, |m| m.pool_misses())
+    }
+
+    /// Looks up a previously spilled compiled-memo entry.
+    pub(crate) fn spill_fetch_result(&self, key: &[u8]) -> Option<Arc<Relation>> {
+        self.spill.borrow().as_ref()?.memo_fetch(key)
+    }
+
+    /// Writes a memo entry that could not stay resident to the spill file,
+    /// so future misses reload it instead of re-executing the sublink.
+    /// A no-op when spilling is off; I/O failures silently fall back to the
+    /// recompute-on-miss behaviour.
+    pub(crate) fn spill_store_result(&self, key: &[u8], value: &Relation) {
+        if let Some(mgr) = self.spill() {
+            mgr.memo_store(key, value);
+            self.note_rung(Degradation::SpilledToDisk);
+        }
     }
 
     /// Registers a memo for byte accounting and budget-pressure reclaim.
@@ -438,26 +597,64 @@ impl Governor {
         Ok(())
     }
 
+    /// Reclaims every registered memo — writing entries to the spill file
+    /// when a spill manager is live (or can be created), dropping them
+    /// otherwise — and records the matching degradation rung.
+    fn reclaim_memos(&self) {
+        let spill = self.spill();
+        let mut freed = 0;
+        for memo in self.memos.borrow().iter() {
+            freed += match &spill {
+                Some(mgr) => memo.reclaim_to_spill(mgr),
+                None => memo.reclaim(),
+            };
+        }
+        if freed > 0 {
+            self.note_rung(Degradation::ReclaimedMemos);
+        }
+    }
+
     /// Charges `bytes` of transient operator state against the budget.
     /// On pressure, reclaims the registered memos first (losing speed, not
     /// correctness) and fails with `ExecError::ResourceExhausted` only if
     /// that does not free enough.
     pub(crate) fn charge(&self, operator: &str, bytes: u64) -> Result<()> {
+        self.charge_inner(operator, bytes, false).map(|_| ())
+    }
+
+    /// Spill-aware charge: like [`Governor::charge`], but when the charge
+    /// cannot fit even after memo reclaim *and* spilling is available, the
+    /// bytes are backed out and `Ok(false)` tells the operator to move its
+    /// state to disk instead of failing. `Ok(false)` guarantees
+    /// [`Governor::spill`] returns a live manager.
+    pub(crate) fn try_charge(&self, operator: &str, bytes: u64) -> Result<bool> {
+        self.charge_inner(operator, bytes, true)
+    }
+
+    fn charge_inner(&self, operator: &str, bytes: u64, spillable: bool) -> Result<bool> {
         self.transient.set(self.transient.get() + bytes);
         let used = self.note_peak();
         if let Some(budget) = self.budget.get() {
             if used > budget {
-                for memo in self.memos.borrow().iter() {
-                    memo.reclaim();
-                }
+                self.reclaim_memos();
                 if self.transient.get() + self.memo_bytes() > budget {
+                    // Back the charge out either way: on `Ok(false)` the
+                    // caller's state moves to disk instead of growing, and
+                    // on error it never grew — leaking the bytes here would
+                    // poison every later charge of the session.
+                    self.credit(bytes);
+                    if spillable && self.spill().is_some() {
+                        self.note_rung(Degradation::SpilledToDisk);
+                        return Ok(false);
+                    }
+                    self.note_rung(Degradation::Exhausted);
                     return Err(ExecError::ResourceExhausted {
                         operator: operator.to_string(),
                     });
                 }
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Returns transient bytes previously charged (operator state that was
@@ -493,9 +690,7 @@ impl Governor {
             }
         };
         if self.note_peak() + cost > budget {
-            for memo in self.memos.borrow().iter() {
-                memo.reclaim();
-            }
+            self.reclaim_memos();
             if self.transient.get() + self.memo_bytes() + cost > budget {
                 return Ok(false);
             }
@@ -527,6 +722,27 @@ impl<'g> TransientCharge<'g> {
         self.gov.charge(self.operator, bytes)?;
         self.charged += bytes;
         Ok(())
+    }
+
+    /// Spill-aware growth: `Ok(true)` records the bytes like
+    /// [`TransientCharge::grow`]; `Ok(false)` means the state cannot stay
+    /// in memory and the operator should spill it (a live spill manager is
+    /// guaranteed); the error is the no-spill exhaustion.
+    pub(crate) fn try_grow(&mut self, bytes: u64) -> Result<bool> {
+        if self.gov.try_charge(self.operator, bytes)? {
+            self.charged += bytes;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Credits everything recorded so far — called when the operator's
+    /// in-memory state has just moved to disk (or been flushed to its
+    /// output), so the budget reflects the now-empty buffers immediately
+    /// instead of at operator exit.
+    pub(crate) fn release(&mut self) {
+        self.gov.credit(self.charged);
+        self.charged = 0;
     }
 }
 
@@ -626,5 +842,77 @@ mod tests {
         }
         assert_eq!(gov.transient.get(), 0);
         assert_eq!(gov.peak_bytes(), 512);
+    }
+
+    #[test]
+    fn failed_charge_backs_its_bytes_out() {
+        let gov = Governor::new();
+        gov.set_budget(Some(1000));
+        assert!(gov.charge("join", 400).is_ok());
+        assert!(matches!(
+            gov.charge("join", 5000),
+            Err(ExecError::ResourceExhausted { .. })
+        ));
+        // The rejected charge must not stay accounted: a 500-byte charge
+        // still fits under the 1000-byte budget.
+        assert_eq!(gov.transient.get(), 400);
+        assert!(gov.charge("join", 500).is_ok());
+        assert_eq!(gov.degradation(), Degradation::Exhausted);
+    }
+
+    #[test]
+    fn try_grow_reports_spill_and_release_credits_immediately() {
+        let gov = Governor::new();
+        gov.set_budget(Some(1000));
+        let dir = std::env::temp_dir();
+        gov.set_spill_enabled(true);
+        gov.set_spill_dir(Some(dir));
+        let mut charge = TransientCharge::new(&gov, "sort");
+        assert!(charge.try_grow(600).unwrap(), "fits under the budget");
+        // Over budget with spilling on: the growth is refused (not an
+        // error), the refused bytes are backed out, and a manager is live.
+        assert!(!charge.try_grow(600).unwrap());
+        assert_eq!(gov.transient.get(), 600);
+        assert!(gov.spill().is_some());
+        assert_eq!(gov.degradation(), Degradation::SpilledToDisk);
+        // The operator moved its state to disk: release frees the budget
+        // now, and the charge's drop has nothing left to credit.
+        charge.release();
+        assert_eq!(gov.transient.get(), 0);
+        assert!(charge.try_grow(600).unwrap());
+        drop(charge);
+        assert_eq!(gov.transient.get(), 0);
+    }
+
+    #[test]
+    fn try_grow_without_spill_matches_plain_charge() {
+        let gov = Governor::new();
+        gov.set_budget(Some(100));
+        let mut charge = TransientCharge::new(&gov, "aggregate");
+        match charge.try_grow(500) {
+            Err(ExecError::ResourceExhausted { operator }) => assert_eq!(operator, "aggregate"),
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert_eq!(gov.degradation(), Degradation::Exhausted);
+    }
+
+    #[test]
+    fn tuple_bytes_counts_spare_vector_and_string_capacity() {
+        let value_size = std::mem::size_of::<Value>() as u64;
+        // Spare Vec capacity is charged like live slots.
+        let mut values = Vec::with_capacity(10);
+        values.push(Value::Int(1));
+        values.push(Value::Int(2));
+        let roomy = Tuple::new(values);
+        let tight = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        assert!(roomy.capacity() >= 10);
+        assert_eq!(
+            tuple_bytes(&roomy) - tuple_bytes(&tight),
+            (roomy.capacity() - tight.capacity()) as u64 * value_size
+        );
+        // Spare String capacity is charged, not just the live length.
+        let mut s = String::with_capacity(100);
+        s.push_str("ab");
+        assert_eq!(value_bytes(&Value::Str(s)), value_size + 100);
     }
 }

@@ -1,0 +1,370 @@
+//! The executor's spill-to-disk substrate: one per-executor [`SpillManager`]
+//! owning the spill directory, the heap files the out-of-core operators
+//! write, and the spilled-memo index.
+//!
+//! Everything here is *execution state*, never durable data: the manager
+//! wraps a [`perm_storage::StorageManager`], whose directory is removed when
+//! the executor drops. Three consumers share it:
+//!
+//! * the **grace hash join** and **partitioned aggregation** in
+//!   `crate::physical`, which hash-partition their state across heap files
+//!   ([`fnv1a`] over the encoded key, so partition assignment is
+//!   deterministic across runs and processes);
+//! * the **external merge sort**, which writes sorted runs;
+//! * the **governor's memo spill** (`crate::resilience`): compiled
+//!   sublink-memo entries reclaimed under budget pressure are appended to a
+//!   dedicated heap file and indexed by their (process-unique) memo key, so
+//!   a later miss reloads the relation through the buffer pool instead of
+//!   re-executing the sublink.
+//!
+//! The record codecs bundled here frame the operator payloads — `(key,
+//! tuple)` build rows, `(ordinal, key)` probe rows, `(keys, tuple)` sort
+//! rows and `(ordinal, key, values, accumulators)` aggregate groups — on
+//! top of the exact value codec of `perm_storage::page`, so every `Value`
+//! round-trips bit-exactly (NaN spellings, `±0.0`, full-range integers).
+
+use crate::aggregate::Accumulator;
+use crate::Result;
+use perm_storage::{
+    decode_relation, decode_row, encode_relation, encode_row, BufferPool, HeapFile, RecordId,
+    Relation, StorageManager, Tuple, Value, DEFAULT_POOL_PAGES,
+};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// FNV-1a over a byte string: the deterministic partitioning hash of the
+/// spill paths. Deliberately *not* `DefaultHasher` — partition assignment is
+/// part of the on-disk layout and must not depend on `std` internals.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Owner of the executor's spill directory, files and counters.
+pub(crate) struct SpillManager {
+    store: StorageManager,
+    /// Heap file holding reclaimed memo entries, created on first store.
+    memo_file: RefCell<Option<Rc<HeapFile>>>,
+    /// Memo key → record address inside `memo_file`. A key stored twice
+    /// keeps the newest record (identical content — sublink results are
+    /// pure functions of the database, binding and parameters).
+    memo_index: RefCell<HashMap<Vec<u8>, RecordId>>,
+    /// Total payload bytes written across all spill files.
+    spilled_bytes: Cell<u64>,
+    /// Partition files and sort runs created.
+    partitions: Cell<u64>,
+}
+
+impl SpillManager {
+    /// Creates a manager over a fresh spill directory under `base` (the
+    /// system temp dir when `None`).
+    pub(crate) fn create(base: Option<&Path>) -> perm_storage::Result<SpillManager> {
+        Ok(SpillManager {
+            store: StorageManager::create(base, DEFAULT_POOL_PAGES)?,
+            memo_file: RefCell::new(None),
+            memo_index: RefCell::new(HashMap::new()),
+            spilled_bytes: Cell::new(0),
+            partitions: Cell::new(0),
+        })
+    }
+
+    /// The buffer pool every read of this manager's files goes through.
+    pub(crate) fn pool(&self) -> &BufferPool {
+        self.store.pool()
+    }
+
+    pub(crate) fn pool_hits(&self) -> u64 {
+        self.store.pool().hits()
+    }
+
+    pub(crate) fn pool_misses(&self) -> u64 {
+        self.store.pool().misses()
+    }
+
+    /// Creates a fresh heap file for a partition or run.
+    pub(crate) fn create_file(&self, label: &str) -> Result<Rc<HeapFile>> {
+        Ok(self.store.create_file(label)?)
+    }
+
+    pub(crate) fn note_spilled(&self, bytes: u64) {
+        self.spilled_bytes.set(self.spilled_bytes.get() + bytes);
+    }
+
+    pub(crate) fn note_partitions(&self, n: u64) {
+        self.partitions.set(self.partitions.get() + n);
+    }
+
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.get()
+    }
+
+    pub(crate) fn partitions(&self) -> u64 {
+        self.partitions.get()
+    }
+
+    /// Writes one reclaimed memo entry and indexes it by key. I/O failures
+    /// are swallowed: the entry is simply not spilled, and a later miss
+    /// falls back to re-executing the sublink — the pre-spill behaviour.
+    pub(crate) fn memo_store(&self, key: &[u8], value: &Relation) {
+        let file = {
+            let mut slot = self.memo_file.borrow_mut();
+            match &*slot {
+                Some(f) => Rc::clone(f),
+                None => match self.create_file("memo") {
+                    Ok(f) => {
+                        *slot = Some(Rc::clone(&f));
+                        f
+                    }
+                    Err(_) => return,
+                },
+            }
+        };
+        let mut buf = Vec::new();
+        encode_relation(value, &mut buf);
+        let Ok(rid) = file.append_record(&buf) else {
+            return;
+        };
+        // Seal per store: the entry must be readable before the next fetch,
+        // and the memo file has no batching writer to defer to.
+        if file.seal().is_err() {
+            return;
+        }
+        self.note_spilled(buf.len() as u64);
+        self.memo_index.borrow_mut().insert(key.to_vec(), rid);
+    }
+
+    /// Reloads a spilled memo entry through the buffer pool. `None` on any
+    /// failure — a reload problem degrades to recomputation, never to an
+    /// error.
+    pub(crate) fn memo_fetch(&self, key: &[u8]) -> Option<Arc<Relation>> {
+        let rid = *self.memo_index.borrow().get(key)?;
+        let file = Rc::clone(self.memo_file.borrow().as_ref()?);
+        let record = self.pool().read_record(&file, rid).ok()?;
+        let mut pos = 0;
+        decode_relation(&record, &mut pos).ok().map(Arc::new)
+    }
+
+    /// Number of live spilled-memo entries (diagnostic).
+    #[cfg(test)]
+    pub(crate) fn memo_entries(&self) -> usize {
+        self.memo_index.borrow().len()
+    }
+}
+
+impl std::fmt::Debug for SpillManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillManager")
+            .field("dir", &self.store.dir())
+            .field("spilled_bytes", &self.spilled_bytes.get())
+            .field("partitions", &self.partitions.get())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record codecs for the spill paths
+// ---------------------------------------------------------------------------
+
+fn read_u32(record: &[u8], pos: &mut usize) -> Result<u32> {
+    let bytes: [u8; 4] = record
+        .get(*pos..*pos + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| perm_storage::StorageError::Corrupt("truncated spill record".into()))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn read_u64(record: &[u8], pos: &mut usize) -> Result<u64> {
+    let bytes: [u8; 8] = record
+        .get(*pos..*pos + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| perm_storage::StorageError::Corrupt("truncated spill record".into()))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+fn read_bytes<'r>(record: &'r [u8], pos: &mut usize) -> Result<&'r [u8]> {
+    let len = read_u32(record, pos)? as usize;
+    let slice = record
+        .get(*pos..*pos + len)
+        .ok_or_else(|| perm_storage::StorageError::Corrupt("truncated spill record".into()))?;
+    *pos += len;
+    Ok(slice)
+}
+
+fn write_bytes(bytes: &[u8], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Grace-join build record: the encoded hash key plus the right tuple.
+pub(crate) fn encode_keyed_tuple(key: &[u8], tuple: &Tuple, buf: &mut Vec<u8>) {
+    buf.clear();
+    write_bytes(key, buf);
+    encode_row(tuple.values(), buf);
+}
+
+pub(crate) fn decode_keyed_tuple(record: &[u8]) -> Result<(Vec<u8>, Tuple)> {
+    let mut pos = 0;
+    let key = read_bytes(record, &mut pos)?.to_vec();
+    let values = decode_row(record, &mut pos)?;
+    Ok((key, Tuple::new(values)))
+}
+
+/// Grace-join probe record: the left row's global ordinal plus its key (the
+/// left tuples themselves stay resident, addressed by ordinal).
+pub(crate) fn encode_probe(ordinal: u64, key: &[u8], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&ordinal.to_le_bytes());
+    write_bytes(key, buf);
+}
+
+pub(crate) fn decode_probe(record: &[u8]) -> Result<(u64, Vec<u8>)> {
+    let mut pos = 0;
+    let ordinal = read_u64(record, &mut pos)?;
+    let key = read_bytes(record, &mut pos)?.to_vec();
+    Ok((ordinal, key))
+}
+
+/// External-sort run record: the extracted sort-key values plus the tuple.
+pub(crate) fn encode_run_row(keys: &[Value], tuple: &Tuple, buf: &mut Vec<u8>) {
+    buf.clear();
+    encode_row(keys, buf);
+    encode_row(tuple.values(), buf);
+}
+
+pub(crate) fn decode_run_row(record: &[u8]) -> Result<(Vec<Value>, Tuple)> {
+    let mut pos = 0;
+    let keys = decode_row(record, &mut pos)?;
+    let values = decode_row(record, &mut pos)?;
+    Ok((keys, Tuple::new(values)))
+}
+
+/// Partitioned-aggregation group record: the group's creation ordinal (for
+/// first-encounter output order), its encoded grouping key, the
+/// representative key values, and one partial accumulator state per
+/// aggregate.
+pub(crate) fn encode_agg_group(
+    ordinal: u64,
+    key: &[u8],
+    key_values: &[Value],
+    accs: &[Accumulator],
+    buf: &mut Vec<u8>,
+) {
+    buf.clear();
+    buf.extend_from_slice(&ordinal.to_le_bytes());
+    write_bytes(key, buf);
+    encode_row(key_values, buf);
+    buf.extend_from_slice(&(accs.len() as u32).to_le_bytes());
+    for acc in accs {
+        acc.encode_state(buf);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_agg_group(
+    record: &[u8],
+) -> Result<(u64, Vec<u8>, Vec<Value>, Vec<Accumulator>)> {
+    let mut pos = 0;
+    let ordinal = read_u64(record, &mut pos)?;
+    let key = read_bytes(record, &mut pos)?.to_vec();
+    let key_values = decode_row(record, &mut pos)?;
+    let n = read_u32(record, &mut pos)? as usize;
+    let mut accs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        accs.push(Accumulator::decode_state(record, &mut pos)?);
+    }
+    Ok((ordinal, key, key_values, accs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_storage::Schema;
+
+    #[test]
+    fn fnv1a_is_stable_and_spreads() {
+        // Pinned values: partition assignment is on-disk layout.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn keyed_tuple_and_probe_records_round_trip() {
+        let tuple = Tuple::new(vec![
+            Value::Int(i64::MIN),
+            Value::Float(f64::from_bits(0x7ff8_0000_0000_0001)),
+            Value::Str("käse".into()),
+            Value::Null,
+        ]);
+        let mut buf = Vec::new();
+        encode_keyed_tuple(b"key-bytes", &tuple, &mut buf);
+        let (key, back) = decode_keyed_tuple(&buf).unwrap();
+        assert_eq!(key, b"key-bytes");
+        assert_eq!(back.arity(), 4);
+        match (back.get(1), tuple.get(1)) {
+            (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            other => panic!("expected floats, got {other:?}"),
+        }
+
+        encode_probe(u64::MAX - 1, b"k", &mut buf);
+        assert_eq!(decode_probe(&buf).unwrap(), (u64::MAX - 1, b"k".to_vec()));
+
+        encode_run_row(&[Value::Int(3)], &tuple, &mut buf);
+        let (keys, t) = decode_run_row(&buf).unwrap();
+        assert_eq!(keys, vec![Value::Int(3)]);
+        assert_eq!(t.get(2), &Value::str("käse"));
+
+        assert!(decode_probe(&buf[..3]).is_err(), "truncation is an error");
+    }
+
+    #[test]
+    fn agg_group_records_round_trip() {
+        use perm_algebra::AggFunc;
+        let mut a = Accumulator::new(AggFunc::Sum, false);
+        a.update(&Value::Int(4));
+        a.update(&Value::Float(-0.0));
+        let b = Accumulator::new(AggFunc::CountStar, false);
+        let key_values = vec![Value::str("grp"), Value::Null];
+        let mut buf = Vec::new();
+        encode_agg_group(7, b"kb", &key_values, &[a, b], &mut buf);
+        let (ord, key, kv, accs) = decode_agg_group(&buf).unwrap();
+        assert_eq!(ord, 7);
+        assert_eq!(key, b"kb");
+        assert_eq!(kv, key_values);
+        assert_eq!(accs.len(), 2);
+        assert_eq!(accs[0].finish(), Value::Float(4.0));
+        assert_eq!(accs[1].finish(), Value::Int(0));
+        assert!(decode_agg_group(&buf[..9]).is_err());
+    }
+
+    #[test]
+    fn memo_store_and_fetch_round_trip_through_the_pool() {
+        let mgr = SpillManager::create(None).unwrap();
+        let rel = Relation::from_rows(
+            Schema::from_names(&["a"]),
+            (0..50).map(|i| vec![Value::Int(i)]).collect(),
+        );
+        assert!(mgr.memo_fetch(b"k1").is_none());
+        mgr.memo_store(b"k1", &rel);
+        mgr.memo_store(b"k2", &Relation::empty(Schema::from_names(&["x"])));
+        assert_eq!(mgr.memo_entries(), 2);
+        assert!(mgr.spilled_bytes() > 0);
+        let back = mgr.memo_fetch(b"k1").expect("stored entry is fetchable");
+        assert_eq!(*back, rel);
+        assert!(mgr.memo_fetch(b"k2").unwrap().is_empty());
+        assert!(mgr.memo_fetch(b"k3").is_none());
+        // Re-storing a key keeps exactly one index entry.
+        mgr.memo_store(b"k1", &rel);
+        assert_eq!(mgr.memo_entries(), 2);
+        assert_eq!(*mgr.memo_fetch(b"k1").unwrap(), rel);
+    }
+}

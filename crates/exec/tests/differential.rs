@@ -745,6 +745,139 @@ fn memory_budget_sweep_degrades_gracefully_or_fails_with_a_named_operator() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Spill-forced sixth mode: the full 220-plan corpus under a starvation
+// budget *with spilling enabled*. Queries must produce exactly the
+// unbudgeted reference bag — the out-of-core operators (grace hash join,
+// external merge sort, partitioned aggregation) and the spilled memo are
+// bag- and order-transparent — and `operators_evaluated` must match the
+// reference exactly: a spilled memo entry is reloaded, never re-executed.
+// ---------------------------------------------------------------------------
+
+/// Drives each out-of-core operator path deterministically — grace inner
+/// join, grace left-outer join (NULL padding through the ordinal walk),
+/// external merge sort over a multi-batch input, and partitioned
+/// aggregation — and demands **row-for-row identical** output, not just
+/// bag equality: out-of-core execution must be order-transparent.
+#[test]
+fn out_of_core_operators_reproduce_exact_row_order() {
+    let db = build_database(600, 400, 0xACE5);
+    // Self-join on the Gaussian `b` values: ~600 distinct keys, so grace
+    // partitioning is effective (a low-cardinality key like `g` would pack
+    // whole key groups into single partitions), and every left row matches
+    // itself, so the join output stays full-size for the sort and
+    // aggregation plans below.
+    let inner_join = || {
+        PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .join(
+                PlanBuilder::scan_as(&db, "r1", Some("o")).unwrap().build(),
+                eq(qcol("r1", "b"), qcol("o", "b")),
+            )
+            .build()
+    };
+    // Equality on the Gaussian `a` values matches almost never, so nearly
+    // every left row takes the left-outer NULL-padding path.
+    let outer_join = PlanBuilder::scan(&db, "r1")
+        .unwrap()
+        .left_join(
+            PlanBuilder::scan_as(&db, "r2", Some("o")).unwrap().build(),
+            eq(qcol("r1", "a"), qcol("o", "a")),
+        )
+        .build();
+    let sorted = PlanBuilder::from_plan(inner_join())
+        .sort(vec![
+            SortKey::desc(qcol("r1", "b")),
+            SortKey::asc(qcol("o", "a")),
+        ])
+        .build();
+    let grouped = PlanBuilder::from_plan(inner_join())
+        .aggregate(
+            vec![ProjectItem::new(qcol("r1", "g"), "g")],
+            vec![count_star("n"), sum(qcol("o", "b"), "total")],
+        )
+        .build();
+    for (label, plan) in [
+        ("grace inner join", inner_join()),
+        ("grace left-outer join", outer_join),
+        ("external merge sort", sorted),
+        ("partitioned aggregation", grouped),
+    ] {
+        let reference = Executor::new(&db).execute(&plan).unwrap();
+        let ex = Executor::new(&db)
+            .with_memory_budget(Some(4 << 10))
+            .with_spill(true);
+        let got = ex.execute(&plan).unwrap();
+        assert_eq!(
+            reference, got,
+            "{label}: out-of-core output must be row-for-row identical"
+        );
+        assert!(ex.spilled_bytes() > 0, "{label}: must actually spill");
+        assert!(
+            ex.spill_partitions() > 0,
+            "{label}: must create partition files or runs"
+        );
+        assert_eq!(
+            ex.degradation(),
+            perm_exec::Degradation::SpilledToDisk,
+            "{label}: spilling must stop the ladder at its first rung"
+        );
+        assert!(
+            ex.buffer_pool_hits() + ex.buffer_pool_misses() > 0,
+            "{label}: spilled state must be read back through the pool"
+        );
+    }
+}
+
+#[test]
+fn spill_forced_corpus_reproduces_reference_bags_and_operator_counts() {
+    let db = build_database(24, 18, 0xD1FF);
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let dir = std::env::temp_dir();
+    let mut spilled_total = 0u64;
+    let mut spilled_plans = 0usize;
+    for i in 0..PLANS {
+        let plan = random_plan(&db, &mut rng);
+        let reference_ex = Executor::new(&db);
+        let reference = reference_ex.execute(&plan);
+        let spill_ex = Executor::new(&db)
+            .with_memory_budget(Some(4 << 10))
+            .with_spill(true)
+            .with_spill_dir(Some(dir.clone()));
+        let result = spill_ex.execute(&plan);
+        match (&reference, &result) {
+            (Ok(want), Ok(got)) => {
+                assert!(
+                    want.bag_eq(got),
+                    "plan {i}: spilling changed the bag\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+                assert_eq!(
+                    reference_ex.operators_evaluated(),
+                    spill_ex.operators_evaluated(),
+                    "plan {i}: a spilled memo entry must reload, not re-execute\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+            }
+            (Err(want), Err(got)) => assert_eq!(want, got, "plan {i}"),
+            _ => panic!(
+                "plan {i}: spilling flipped success/failure: reference {reference:?} \
+                 vs spilled {result:?}\n{}",
+                perm_algebra::display::explain(&plan)
+            ),
+        }
+        if spill_ex.spilled_bytes() > 0 {
+            spilled_plans += 1;
+            spilled_total += spill_ex.spilled_bytes();
+        }
+    }
+    assert!(
+        spilled_plans >= PLANS / 10,
+        "the starvation budget must actually force spilling, \
+         got {spilled_plans}/{PLANS} plans ({spilled_total} bytes)"
+    );
+}
+
 #[test]
 fn resilience_counters_are_monotone_across_executions() {
     let db = build_database(24, 18, 0xD1FF);

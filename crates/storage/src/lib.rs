@@ -10,19 +10,30 @@
 //! equivalent data model so the rewritten queries can be executed by the
 //! `perm-exec` crate without any external database.
 
+pub mod buffer;
 pub mod catalog;
 pub mod column;
+pub mod heapfile;
 pub mod keys;
+pub mod manager;
+pub mod page;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use buffer::{BufferPool, PinnedPage, RecordStream};
 pub use catalog::Database;
 pub use column::{ColumnVec, Validity};
+pub use heapfile::{HeapFile, RecordAssembler, RecordId};
 pub use keys::{
     encode_key, encode_key_column, encode_key_column_filtered, encode_key_typed,
     encode_key_typed_column, encode_tuple_key,
+};
+pub use manager::{PagedRelation, StorageManager, DEFAULT_POOL_PAGES};
+pub use page::{
+    decode_relation, decode_row, decode_value, encode_relation, encode_row, encode_value, Page,
+    PAGE_SIZE,
 };
 pub use relation::Relation;
 pub use schema::{Attribute, DataType, Schema};
@@ -45,6 +56,10 @@ pub enum StorageError {
     ArityMismatch { expected: usize, found: usize },
     /// A value had an unexpected type for the requested operation.
     TypeError(String),
+    /// An I/O failure in the out-of-core layer (spill files, buffer pool).
+    Io(String),
+    /// An on-disk page or record failed to decode.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -63,6 +78,8 @@ impl std::fmt::Display for StorageError {
                 )
             }
             StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
         }
     }
 }

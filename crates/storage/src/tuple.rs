@@ -37,6 +37,13 @@ impl Tuple {
         &self.values
     }
 
+    /// Allocated capacity of the underlying value vector — can exceed
+    /// [`Tuple::arity`] (e.g. rows built by repeated `push`), which the
+    /// memory-budget byte estimator must account for.
+    pub fn capacity(&self) -> usize {
+        self.values.capacity()
+    }
+
     /// Consumes the tuple and returns the values.
     pub fn into_values(self) -> Vec<Value> {
         self.values

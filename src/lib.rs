@@ -85,7 +85,7 @@ pub use perm_core::{
 };
 pub use perm_exec::Executor;
 pub use perm_exec::SharedSublinkMemo;
-pub use perm_exec::{CancelToken, ExecError, FaultKind, FaultPlan, FaultSite};
+pub use perm_exec::{CancelToken, Degradation, ExecError, FaultKind, FaultPlan, FaultSite};
 pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
 pub use session::{
     Engine, PlanCacheStats, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig,

@@ -33,7 +33,7 @@ use crate::PermError;
 use perm_algebra::Plan;
 use perm_core::tracer::Tracer;
 use perm_core::{ProvenanceDescriptor, ProvenanceQuery, Strategy};
-use perm_exec::{CancelToken, Executor, FaultPlan, SharedSublinkMemo};
+use perm_exec::{CancelToken, Degradation, Executor, FaultPlan, SharedSublinkMemo};
 use perm_storage::{Database, Relation, Schema, Tuple, Value};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
@@ -391,6 +391,22 @@ pub struct SessionConfig {
     /// [`perm_exec::ExecError::ResourceExhausted`] naming the operator.
     /// Execution-only, like the memo knobs: not part of the plan-cache key.
     pub memory_budget: Option<u64>,
+    /// Whether execution may **spill to disk** under memory pressure
+    /// (default `false`). With a [`SessionConfig::memory_budget`] set and
+    /// spilling on, the growing operators go out of core instead of
+    /// failing — grace hash join, external merge sort, partitioned
+    /// aggregation — and reclaimed sublink-memo entries are persisted for
+    /// reload instead of dropped, demoting
+    /// [`perm_exec::ExecError::ResourceExhausted`] to a last resort.
+    /// Results are bag- and order-identical to in-memory execution; the
+    /// spill counters on [`SessionStats`] and
+    /// [`SessionStats::degradation`] record what happened. Execution-only:
+    /// not part of the plan-cache key.
+    pub spill: bool,
+    /// Base directory for spill files (default `None` = the system temp
+    /// dir). The session's executor creates a process-unique subdirectory
+    /// inside it and removes that subdirectory when the session drops.
+    pub spill_dir: Option<std::path::PathBuf>,
     /// Deterministic fault injection for resilience testing (default
     /// `None`): the plan is installed on the session's executor and fires
     /// at the configured N-th checkpoint/memo/operator event. Serving
@@ -412,6 +428,8 @@ impl Default for SessionConfig {
             shared_sublink_memo: None,
             deadline: None,
             memory_budget: None,
+            spill: false,
+            spill_dir: None,
             fault_plan: None,
         }
     }
@@ -468,6 +486,21 @@ pub struct SessionStats {
     /// [`SessionConfig::memory_budget`] is set whenever memo entries exist;
     /// transient operator state is only accounted under a budget.
     pub peak_bytes: u64,
+    /// Total payload bytes written to spill files (grace-join partitions,
+    /// sort runs, aggregate partitions, persisted memo entries). Zero
+    /// unless [`SessionConfig::spill`] is on and pressure occurred.
+    pub spilled_bytes: u64,
+    /// Spill partition files and sort runs created.
+    pub spill_partitions: u64,
+    /// Buffer-pool hits while reading spill files back.
+    pub buffer_pool_hits: u64,
+    /// Buffer-pool misses (page loads from disk) while reading spill files.
+    pub buffer_pool_misses: u64,
+    /// Worst [`Degradation`] rung the executor reached under memory
+    /// pressure: `None` (never over budget), `SpilledToDisk` (state moved
+    /// to disk, no work lost), `ReclaimedMemos` (cached sublink results
+    /// dropped) or `Exhausted` (a query failed).
+    pub degradation: Degradation,
 }
 
 /// A session: the unit of statement preparation and execution. Holds one
@@ -582,7 +615,9 @@ impl<'a> Session<'a> {
             .with_memo_retention(config.retain_memo)
             .with_batching(config.batching)
             .with_columnar(config.columnar)
-            .with_memory_budget(config.memory_budget);
+            .with_memory_budget(config.memory_budget)
+            .with_spill(config.spill)
+            .with_spill_dir(config.spill_dir.clone());
         if let Some(memo) = &config.shared_sublink_memo {
             executor = executor.with_shared_memo(Arc::clone(memo));
         }
@@ -638,6 +673,11 @@ impl<'a> Session<'a> {
             columnar_fallback_rows: self.executor.columnar_fallback_rows(),
             cancel_checks: self.executor.cancel_checks(),
             peak_bytes: self.executor.peak_bytes(),
+            spilled_bytes: self.executor.spilled_bytes(),
+            spill_partitions: self.executor.spill_partitions(),
+            buffer_pool_hits: self.executor.buffer_pool_hits(),
+            buffer_pool_misses: self.executor.buffer_pool_misses(),
+            degradation: self.executor.degradation(),
         }
     }
 
