@@ -19,6 +19,9 @@
 //! harness spill [--max-rows N] [--check]                # out-of-core: starvation budgets with spill-to-disk
 //!                                                       # --check: fail unless budgets that exhaust without
 //!                                                       #          spill complete with it, at bounded slowdown
+//! harness obs [--max-rows N] [--check]                  # EXPLAIN ANALYZE profiling armed vs absent (Fig. 7)
+//!                                                       # --check: fail unless overhead <= 5% and the serving
+//!                                                       #          metrics export in Prometheus line format
 //! harness serve [--rows N] [--execs N] [--check]        # prepared vs one-shot serving cost
 //!                                                       # --check: fail unless prepared is cheaper
 //! harness ablation [--rows N]                           # rewrite-structure ablation
@@ -27,10 +30,10 @@
 
 use perm_bench::{
     batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
-    measure_concurrent, measure_fig6, measure_kernels, measure_robust, measure_serve,
+    measure_concurrent, measure_fig6, measure_kernels, measure_obs, measure_robust, measure_serve,
     measure_spill, measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json,
-    results_to_json, robust_to_json, serve_to_json, spill_to_json, BatchPoint, BenchConfig,
-    SyntheticSweep,
+    obs_to_json, prometheus_format_errors, results_to_json, robust_to_json, serve_to_json,
+    spill_to_json, BatchPoint, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -76,6 +79,7 @@ fn main() {
         "batch" => batch(&options, &config),
         "robust" => robust(&options, &config),
         "spill" => spill(&options, &config),
+        "obs" => obs(&options, &config),
         "serve" => serve(&options, &config),
         "concurrent" => concurrent(&options, &config),
         "ablation" => ablation(&options, &config),
@@ -106,6 +110,7 @@ fn main() {
             batch(&options, &config);
             robust(&options, &config);
             spill(&options, &config);
+            obs(&options, &config);
             serve(&options, &config);
             concurrent(&options, &config);
             ablation(&options, &config);
@@ -587,6 +592,131 @@ fn spill(options: &Options, config: &BenchConfig) {
     }
 }
 
+fn obs(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Observability overhead — per-operator EXPLAIN ANALYZE profiling armed vs absent, \
+         on the Fig. 7 workload (Gen rewrite, {} synthetic rows) ==\n",
+        options.max_rows
+    );
+    let rows = measure_obs(options.max_rows, config);
+    println!(
+        "{:<24} {:>14} {:>12} {:>10} {:>7} {:>12} {:>10}",
+        "workload", "profiled [ms]", "plain [ms]", "overhead", "nodes", "invocations", "rows"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>14.1} {:>12.1} {:>9.1}% {:>7} {:>12} {:>10}",
+            row.label,
+            row.ms_profiled,
+            row.ms_plain,
+            row.overhead_pct(),
+            row.profile_nodes,
+            row.total_invocations,
+            row.result_rows
+        );
+    }
+    println!();
+    write_json("obs", &obs_to_json("obs", &rows));
+
+    // Serving-metrics smoke: a tiny batch through the concurrent engine,
+    // then the registry snapshot exported as Prometheus text and checked
+    // line by line. Runs unconditionally (the export must never emit a
+    // malformed line), but only `--check` turns a violation into a
+    // non-zero exit.
+    let prometheus_errors = prometheus_smoke(config);
+    match &prometheus_errors {
+        errors if errors.is_empty() => {
+            println!("prometheus export: clean line format");
+        }
+        errors => {
+            for error in errors {
+                eprintln!("prometheus export: {error}");
+            }
+        }
+    }
+
+    // `--check` is the CI gate of the observability layer. Correctness is
+    // unconditional (profiled and unprofiled results bag-equal, per-node
+    // invocation sums equal to the executor's `operators_evaluated` delta —
+    // asserted inside `measure_obs`, a divergence panics). The wall-time
+    // gate bounds the armed profile probes at 5% using the best pairwise
+    // ratio over the order-alternated pairs, as in `robust --check`: one
+    // quiet pair shows the probes are cheap, while true overhead is slower
+    // in every pair. The metrics gate requires a clean Prometheus export.
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("obs check: no points completed within the time budget");
+        }
+        for row in &rows {
+            if row.best_pair_ratio > 1.05 {
+                eprintln!(
+                    "obs check: {} paid more than 5% for the armed profile probes in \
+                     every pair (best ratio {:.3}, min {:.1}ms vs {:.1}ms)",
+                    row.label, row.best_pair_ratio, row.ms_profiled, row.ms_plain
+                );
+                failed = true;
+            }
+            if row.profile_nodes == 0 || row.total_invocations == 0 {
+                eprintln!("obs check: {} produced an empty profile", row.label);
+                failed = true;
+            }
+        }
+        if !prometheus_errors.is_empty() {
+            eprintln!(
+                "obs check: the serving metrics export violated the Prometheus line \
+                 format ({} lines)",
+                prometheus_errors.len()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "obs check passed: armed EXPLAIN ANALYZE probes within 5% of the plain run \
+             at all {} points (best pairwise ratio <= 1.05), invocation sums equal to \
+             operators_evaluated, and the serving metrics exported in clean Prometheus \
+             line format",
+            rows.len()
+        );
+    }
+}
+
+/// Serves a small batch through a [`perm_serve::ConcurrentEngine`], exports
+/// the metrics registry as Prometheus text and returns the line-format
+/// violations (plus any missing metric family), empty when clean.
+fn prometheus_smoke(config: &BenchConfig) -> Vec<String> {
+    use perm::{Engine, Value};
+    use perm_serve::{ConcurrentEngine, Request};
+
+    let db = perm_bench::synthetic_database(60, 30, config.seed);
+    let sql = "SELECT PROVENANCE a, b FROM r1 \
+               WHERE EXISTS (SELECT * FROM r2 WHERE r2.g = r1.g AND r2.b > $1)";
+    let batch: Vec<Request> = (0..4)
+        .map(|i| Request::sql(sql, vec![Value::Int(i * 100)]))
+        .collect();
+    let engine = ConcurrentEngine::new(Engine::new(db)).with_workers(2);
+    for (i, result) in engine.serve(&batch).iter().enumerate() {
+        if let Err(e) = result {
+            return vec![format!("smoke request {i} failed: {e}")];
+        }
+    }
+    let text = engine.metrics().prometheus_text();
+    let mut errors = prometheus_format_errors(&text);
+    for family in [
+        "perm_requests_served_total",
+        "perm_execution_micros_bucket",
+        "perm_queue_wait_micros_count",
+        "perm_plan_cache_hit_rate",
+    ] {
+        if !text.contains(family) {
+            errors.push(format!("metric family {family} missing from the export"));
+        }
+    }
+    errors
+}
+
 fn serve(options: &Options, config: &BenchConfig) {
     println!(
         "== Serving — prepared vs one-shot execution of a parameterized correlated \
@@ -735,7 +865,7 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|spill|serve|concurrent|ablation|all> \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|spill|obs|serve|concurrent|ablation|all> \
          [--scale xs|s|m|l] [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] \
          [--execs N] [--check]"
     );
@@ -757,6 +887,11 @@ fn print_usage() {
         "  --check (spill): exit non-zero unless at least one swept budget exhausts the \
          spill-less executor while the spill-enabled one completes bag-equal to the \
          unbudgeted reference within a 5x slowdown"
+    );
+    println!(
+        "  --check (obs): exit non-zero unless the armed EXPLAIN ANALYZE probes stay \
+         within 5% of the plain run and the serving metrics export in clean Prometheus \
+         line format (invocation sums always verified against operators_evaluated)"
     );
     println!(
         "  --check (serve): exit non-zero unless prepared re-execution is strictly cheaper \

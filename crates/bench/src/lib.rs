@@ -1073,6 +1073,10 @@ pub struct SpillPoint {
     pub buffer_pool_hits: u64,
     /// Buffer-pool misses while reading spilled state back.
     pub buffer_pool_misses: u64,
+    /// Pages the buffer pool evicted under frame pressure.
+    pub buffer_pool_evictions: u64,
+    /// Configured buffer-pool capacity in frames (a gauge, not a counter).
+    pub buffer_pool_capacity: u64,
     /// Result rows (sanity).
     pub result_rows: usize,
 }
@@ -1187,6 +1191,8 @@ pub fn measure_spill(max_rows: usize, config: &BenchConfig) -> Vec<SpillPoint> {
                 spill_partitions: counted.spill_partitions(),
                 buffer_pool_hits: counted.buffer_pool_hits(),
                 buffer_pool_misses: counted.buffer_pool_misses(),
+                buffer_pool_evictions: counted.buffer_pool_evictions(),
+                buffer_pool_capacity: counted.buffer_pool_capacity(),
                 result_rows: reference.len(),
             });
         }
@@ -1209,7 +1215,7 @@ pub fn spill_to_json(figure: &str, rows: &[SpillPoint]) -> String {
             "{{\"label\":\"{}\",\"budget\":{},\"ms_unbudgeted\":{:.3},\"ms_spill\":{:.3},\
              \"best_pair_ratio\":{:.3},\"exhausted_without_spill\":{},\"spilled_bytes\":{},\
              \"spill_partitions\":{},\"buffer_pool_hits\":{},\"buffer_pool_misses\":{},\
-             \"result_rows\":{}}}",
+             \"buffer_pool_evictions\":{},\"buffer_pool_capacity\":{},\"result_rows\":{}}}",
             json_escape(&row.label),
             row.budget,
             row.ms_unbudgeted,
@@ -1220,11 +1226,295 @@ pub fn spill_to_json(figure: &str, rows: &[SpillPoint]) -> String {
             row.spill_partitions,
             row.buffer_pool_hits,
             row.buffer_pool_misses,
+            row.buffer_pool_evictions,
+            row.buffer_pool_capacity,
             row.result_rows
         ));
     }
     out.push_str("]}");
     out
+}
+
+/// One point of the profiling-overhead comparison (`harness obs`): the same
+/// Gen-rewritten provenance plan compiled once per run, then executed
+/// through the `EXPLAIN ANALYZE` path (per-operator profile armed, every
+/// probe live) and through the plain compiled path, in order-alternated
+/// pairs.
+#[derive(Debug, Clone)]
+pub struct ObsPoint {
+    /// Workload label.
+    pub label: String,
+    /// Best (minimum) wall-clock milliseconds per profiled execution.
+    pub ms_profiled: f64,
+    /// Best wall-clock milliseconds per unprofiled execution.
+    pub ms_plain: f64,
+    /// The best (smallest) `profiled / plain` wall-time ratio over the
+    /// measured pairs — the gate statistic, exactly as in the resilience
+    /// comparison: one quiet pair is enough to show the probes are cheap,
+    /// while true overhead shows up in *every* pair. (Each pair alternates
+    /// which mode runs first.)
+    pub best_pair_ratio: f64,
+    /// Operator nodes in the profile tree (sublink subtrees included).
+    pub profile_nodes: u64,
+    /// Sum of per-node invocation counts over the profile tree.
+    pub total_invocations: u64,
+    /// The executor's `operators_evaluated` delta for the same profiled
+    /// run. Equals `total_invocations` — both are bumped at the same site —
+    /// and the measurement asserts so.
+    pub operators_evaluated: u64,
+    /// Result rows (identical in both modes; asserted).
+    pub result_rows: usize,
+}
+
+impl ObsPoint {
+    /// Best-pair overhead of the armed profile probes, as a percentage.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.best_pair_ratio - 1.0) * 100.0
+    }
+}
+
+/// Nodes in a profile tree, children and sublink subtrees included.
+fn profile_node_count(node: &perm_exec::ProfileNode) -> u64 {
+    1 + node
+        .children
+        .iter()
+        .chain(node.sublinks.iter())
+        .map(profile_node_count)
+        .sum::<u64>()
+}
+
+/// Measures one plan under the Gen provenance rewrite with a per-operator
+/// profile armed and absent (`config.runs` order-alternated pairs, minimum
+/// wall time kept; results asserted bag-equal, invocation sums asserted
+/// equal to the executor's `operators_evaluated` delta). `None` when the
+/// point exceeded the time budget or the rewrite is not applicable.
+fn measure_obs_plan(
+    db: &Database,
+    plan: &perm_algebra::Plan,
+    label: &str,
+    config: &BenchConfig,
+) -> Option<ObsPoint> {
+    /// Worker → driver messages; the warmup heartbeat lets the driver skip
+    /// a too-slow point after one `timeout`, as in the robust comparison.
+    enum Progress {
+        Warm,
+        Done(Option<ObsPoint>),
+    }
+    let runs = config.runs.max(1);
+    let (sender, receiver) = mpsc::channel();
+    let db = db.clone();
+    let plan = plan.clone();
+    let thread_label = label.to_string();
+    std::thread::spawn(move || {
+        let sender = &sender;
+        let send_done = |point| drop(sender.send(Progress::Done(point)));
+        let rewritten = match ProvenanceQuery::new(&db, &plan)
+            .strategy(Strategy::Gen)
+            .rewrite()
+        {
+            Ok(r) => r,
+            Err(_) => {
+                send_done(None);
+                return;
+            }
+        };
+        // A fresh executor per run keeps the sublink memos equally cold in
+        // both modes; compilation happens outside the timed region, as a
+        // prepared statement amortizes it.
+        let run_once = |profiled: bool| {
+            let executor = Executor::new(&db);
+            let compiled = executor
+                .prepare(rewritten.plan())
+                .expect("obs workload must compile");
+            let before = executor.operators_evaluated();
+            let start = Instant::now();
+            let (relation, profile) = if profiled {
+                let (relation, profile) = executor
+                    .execute_profiled(&compiled)
+                    .expect("obs workload must run profiled");
+                (relation, Some(profile))
+            } else {
+                let relation = executor
+                    .execute_compiled(&compiled, None)
+                    .expect("obs workload must run");
+                (relation, None)
+            };
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            let ops = executor.operators_evaluated() - before;
+            (ms, ops, relation, profile)
+        };
+        // One untimed warmup (doubling as the liveness probe), then
+        // order-alternated pairs, for the same reason as the other
+        // comparisons: a fixed mode order would hand the favoured mode a
+        // warmer allocator and bias the ratio.
+        let _ = run_once(true);
+        let _ = sender.send(Progress::Warm);
+        let mut ms_profiled = f64::INFINITY;
+        let mut ms_plain = f64::INFINITY;
+        let mut best_pair_ratio = f64::INFINITY;
+        let mut operators_evaluated = 0;
+        let mut profiled_result = None;
+        let mut plain_result = None;
+        let mut profile = None;
+        for pair in 0..runs {
+            let profiled_first = pair % 2 == 0;
+            let mut pair_ms = [0.0f64; 2];
+            for run_profiled_mode in [profiled_first, !profiled_first] {
+                let (ms, ops, relation, prof) = run_once(run_profiled_mode);
+                if run_profiled_mode {
+                    pair_ms[0] = ms;
+                    ms_profiled = ms_profiled.min(ms);
+                    operators_evaluated = ops;
+                    profiled_result = Some(relation);
+                    profile = prof;
+                } else {
+                    pair_ms[1] = ms;
+                    ms_plain = ms_plain.min(ms);
+                    plain_result = Some(relation);
+                }
+            }
+            best_pair_ratio = best_pair_ratio.min(pair_ms[0] / pair_ms[1].max(1e-9));
+        }
+        let profiled_result = profiled_result.expect("runs >= 1");
+        let plain_result = plain_result.expect("runs >= 1");
+        let profile = profile.expect("runs >= 1");
+        assert!(
+            profiled_result.bag_eq(&plain_result),
+            "profiled and unprofiled results must agree on {thread_label}"
+        );
+        let total_invocations = profile.total_invocations();
+        assert_eq!(
+            total_invocations, operators_evaluated,
+            "per-node invocation sums must equal the executor's \
+             operators_evaluated delta on {thread_label}"
+        );
+        send_done(Some(ObsPoint {
+            label: thread_label,
+            ms_profiled,
+            ms_plain,
+            best_pair_ratio,
+            profile_nodes: profile_node_count(&profile.root),
+            total_invocations,
+            operators_evaluated,
+            result_rows: profiled_result.len(),
+        }));
+    });
+    match receiver.recv_timeout(config.timeout) {
+        Ok(Progress::Warm) => {}
+        Ok(Progress::Done(point)) => return point,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("obs point {label} exceeded the warmup budget; skipped");
+            return None;
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("obs measurement worker for {label} failed")
+        }
+    }
+    match receiver.recv_timeout(config.timeout.mul_f64(2.0 * runs as f64)) {
+        Ok(Progress::Done(point)) => point,
+        Ok(Progress::Warm) => unreachable!("warmup heartbeat sent once"),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("obs point {label} exceeded the time budget; skipped");
+            None
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("obs measurement worker for {label} failed")
+        }
+    }
+}
+
+/// The profiling-overhead comparison (`harness obs`): the Fig. 7 synthetic
+/// workload (q1/q2/q3 under the Gen provenance rewrite at the largest sweep
+/// point) executed through the `EXPLAIN ANALYZE` path versus the plain
+/// compiled path. Correctness is asserted inside (`bag_eq` between the
+/// modes, invocation sums equal to `operators_evaluated`); the overhead
+/// inequality is the `--check` gate's job.
+pub fn measure_obs(max_rows: usize, config: &BenchConfig) -> Vec<ObsPoint> {
+    let mut out = Vec::new();
+    let db = build_database(max_rows, max_rows / 5, config.seed);
+    let params = random_range(max_rows, max_rows / 5, config.seed);
+    for (kind, name) in [
+        (QueryKind::Q1EqualityAny, "q1"),
+        (QueryKind::Q2InequalityAll, "q2"),
+        (QueryKind::Q3CorrelatedExists, "q3"),
+    ] {
+        let plan = build_query(&db, params, kind);
+        let label = format!("fig7 {name} |R1|={max_rows}");
+        out.extend(measure_obs_plan(&db, &plan, &label, config));
+    }
+    out
+}
+
+/// Renders profiling-overhead points as JSON (`BENCH_obs.json`).
+pub fn obs_to_json(figure: &str, rows: &[ObsPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"ms_profiled\":{:.3},\"ms_plain\":{:.3},\
+             \"best_pair_ratio\":{:.3},\"overhead_pct\":{:.2},\"profile_nodes\":{},\
+             \"total_invocations\":{},\"operators_evaluated\":{},\"result_rows\":{}}}",
+            json_escape(&row.label),
+            row.ms_profiled,
+            row.ms_plain,
+            row.best_pair_ratio,
+            row.overhead_pct(),
+            row.profile_nodes,
+            row.total_invocations,
+            row.operators_evaluated,
+            row.result_rows
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks a Prometheus text exposition for line-format violations and
+/// returns one message per offending line (empty means clean). Accepts
+/// `# HELP` / `# TYPE` comments, and for samples requires a valid metric
+/// name, a balanced optional label set, and a numeric value — the subset
+/// of the format the serving registry emits, with no label values
+/// containing spaces.
+pub fn prometheus_format_errors(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let trimmed = comment.trim_start();
+            if !(trimmed.starts_with("HELP ") || trimmed.starts_with("TYPE ")) {
+                errors.push(format!("comment is neither HELP nor TYPE: {line}"));
+            }
+            continue;
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            errors.push(format!("sample has no value: {line}"));
+            continue;
+        };
+        let name = name_part.split('{').next().unwrap_or("");
+        let valid_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid_name {
+            errors.push(format!("bad metric name: {line}"));
+        }
+        if name_part.contains('{') != name_part.ends_with('}') {
+            errors.push(format!("unbalanced label set: {line}"));
+        }
+        if value_part.parse::<f64>().is_err() {
+            errors.push(format!("non-numeric sample value: {line}"));
+        }
+    }
+    errors
 }
 
 /// The serving comparison: repeated execution of a parameterized correlated
@@ -1866,6 +2156,44 @@ mod tests {
         assert!(json.starts_with("{\"figure\":\"robust\",\"rows\":["));
         assert!(json.contains("\"best_pair_ratio\":"));
         assert!(json.contains("\"checkpoints_after_cancel\":0"));
+    }
+
+    #[test]
+    fn obs_measurement_reconciles_profiles_with_the_operator_counter() {
+        // Deterministic counters only: the wall-time ratio is gated by
+        // `harness obs --check` in CI. Bag equality between the profiled
+        // and plain modes, and the invocation-sum identity, are asserted
+        // inside `measure_obs_plan` itself and would panic here.
+        let points = measure_obs(300, &quick_config());
+        assert_eq!(points.len(), 3, "q1, q2 and q3 must all complete");
+        for point in &points {
+            assert!(point.profile_nodes > 0, "{} has no profile", point.label);
+            assert_eq!(point.total_invocations, point.operators_evaluated);
+            assert!(point.total_invocations > 0);
+            assert!(point.ms_profiled.is_finite());
+            assert!(point.ms_plain.is_finite());
+            assert!(point.best_pair_ratio.is_finite());
+        }
+        let json = obs_to_json("obs", &points);
+        assert!(json.starts_with("{\"figure\":\"obs\",\"rows\":["));
+        assert!(json.contains("\"best_pair_ratio\":"));
+        assert!(json.contains("\"total_invocations\":"));
+        assert!(json.contains("\"profile_nodes\":"));
+    }
+
+    #[test]
+    fn prometheus_checker_accepts_registry_output_and_rejects_junk() {
+        let clean = "# HELP perm_requests_served_total Requests completed.\n\
+                     # TYPE perm_requests_served_total counter\n\
+                     perm_requests_served_total 3\n\
+                     perm_execution_micros_bucket{le=\"+Inf\"} 4\n\
+                     perm_plan_cache_hit_rate 0.5\n";
+        assert!(prometheus_format_errors(clean).is_empty());
+        assert_eq!(prometheus_format_errors("no_value_here").len(), 1);
+        assert_eq!(prometheus_format_errors("9name 1").len(), 1);
+        assert_eq!(prometheus_format_errors("perm_x{le=\"1\" 2").len(), 1);
+        assert_eq!(prometheus_format_errors("perm_x abc").len(), 1);
+        assert_eq!(prometheus_format_errors("# stray comment").len(), 1);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   sublink strategies **Gen**, **Left**, **Move** and **Unn** of Figure 5,
 //!   together with applicability analysis and a provenance query API
 //!   ([`ProvenanceQuery`]).
+//! * [`trace`] — the structured execution-trace sink ([`TraceSink`] with the
+//!   bounded [`RingTraceSink`] default) that the session facade and the
+//!   executor's resilience governor emit phase spans, memo, spill,
+//!   degradation and cancellation events into.
 //!
 //! ```
 //! use perm_core::{ProvenanceQuery, Strategy};
@@ -59,11 +63,13 @@ pub mod definition;
 pub mod provschema;
 pub mod rewrite;
 pub mod roles;
+pub mod trace;
 pub mod tracer;
 
 pub use provschema::{ProvEntry, ProvenanceDescriptor};
 pub use rewrite::{ProvenanceQuery, ProvenanceRewriter, RewriteResult, Strategy};
 pub use roles::InfluenceRole;
+pub use trace::{RingTraceSink, TraceEvent, TraceKind, TraceSink};
 
 use perm_algebra::AlgebraError;
 use perm_exec::ExecError;

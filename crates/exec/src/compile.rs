@@ -35,6 +35,7 @@ use crate::eval::{arithmetic, compare};
 use crate::executor::{extract_equi_keys, Executor};
 use crate::functions;
 use crate::physical::{self, AggSpec};
+use crate::profile::{OpProbe, ProfNode, ProfileTree, QueryProfile};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{
@@ -43,6 +44,7 @@ use perm_algebra::{
 use perm_storage::{
     encode_key_typed, ColumnVec, Relation, Schema, StorageError, Truth, Tuple, Validity, Value,
 };
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -695,40 +697,111 @@ impl Executor<'_> {
                 }
             }
         }
-        self.execute_compiled_node(plan, frame)
+        self.execute_compiled_node(plan, frame, None)
+    }
+
+    /// [`Executor::execute_compiled`] with a [`ProfileTree`] armed for the
+    /// duration: the `EXPLAIN ANALYZE` entry point. Builds the zeroed
+    /// skeleton for `plan`, attaches it to the executor (weakly — see
+    /// `Executor::set_profile`) so the memoized-sublink seam can attribute
+    /// hits and misses, executes with per-node probes threaded through the
+    /// drivers, and returns the result alongside the annotated snapshot.
+    /// A *top-level* `LIMIT` over a streamable spine is cursor-routed with
+    /// the same profile tree, so the routing decision is identical to the
+    /// unprofiled path.
+    pub fn execute_profiled(&self, plan: &CompiledPlan) -> Result<(Relation, QueryProfile)> {
+        let tree = ProfileTree::for_plan(plan);
+        self.set_profile(Some(&tree));
+        let result = (|| {
+            if let CompiledPlan::Limit { input, .. } = plan {
+                if streams_lazily(input) {
+                    return self.open_with_tree(plan, Rc::clone(&tree))?.into_relation();
+                }
+            }
+            self.execute_compiled_node(plan, None, Some(&tree.root))
+        })();
+        self.set_profile(None);
+        result.map(|rel| (rel, tree.snapshot()))
+    }
+
+    /// Wraps one physical operator call when a profile node is armed:
+    /// records input rows (child cardinalities), output rows on success,
+    /// and the operator body's *deltas* of the executor's spill and
+    /// columnar-fallback counters — children have already executed when
+    /// the body runs, so a delta taken around the body alone attributes
+    /// the work to the operator that did it (sublinks evaluated inside the
+    /// body's expressions included, like nested `EXPLAIN ANALYZE` time).
+    fn profiled(
+        &self,
+        prof: Option<&ProfNode>,
+        rows_in: u64,
+        body: impl FnOnce() -> Result<Relation>,
+    ) -> Result<Relation> {
+        let Some(node) = prof else { return body() };
+        let spilled0 = self.governor.spilled_bytes();
+        let parts0 = self.governor.spill_partitions();
+        let colfb0 = self.columnar_fallback_rows();
+        let result = body();
+        let s = &node.stats;
+        s.rows_in.set(s.rows_in.get() + rows_in);
+        s.spilled_bytes
+            .set(s.spilled_bytes.get() + (self.governor.spilled_bytes() - spilled0));
+        s.spill_partitions
+            .set(s.spill_partitions.get() + (self.governor.spill_partitions() - parts0));
+        s.columnar_fallback_rows
+            .set(s.columnar_fallback_rows.get() + (self.columnar_fallback_rows() - colfb0));
+        if let Ok(rel) = &result {
+            s.rows_out.set(s.rows_out.get() + rel.len() as u64);
+        }
+        result
     }
 
     /// The recursive operator evaluation behind [`Executor::execute_compiled`]
-    /// (which see): no cursor routing happens at this level.
+    /// (which see): no cursor routing happens at this level. `prof` is the
+    /// armed profile node mirroring `plan` (`None` on every unprofiled
+    /// path); children recurse positionally into its child nodes, so the
+    /// tree stays aligned with the plan by construction.
     pub(crate) fn execute_compiled_node(
         &self,
         plan: &CompiledPlan,
         frame: Option<&Frame<'_>>,
+        prof: Option<&ProfNode>,
     ) -> Result<Relation> {
-        let ops = &self.ops_evaluated;
         let gov = &self.governor;
+        let probe = OpProbe::new(&self.ops_evaluated, prof.map(|p| &p.stats));
         match plan {
-            CompiledPlan::Scan { table, schema } => {
-                physical::scan(ops, gov, self.database(), table, schema)
+            CompiledPlan::Scan { table, schema } => self.profiled(prof, 0, || {
+                physical::scan(probe, gov, self.database(), table, schema)
+            }),
+            CompiledPlan::Values { schema, rows } => {
+                self.profiled(prof, 0, || physical::values(probe, gov, schema, rows))
             }
-            CompiledPlan::Values { schema, rows } => physical::values(ops, gov, schema, rows),
             CompiledPlan::Project {
                 input,
                 items,
                 distinct,
                 schema,
             } => {
-                let child = self.execute_compiled_node(input, frame)?;
-                physical::project(ops, gov, &child, schema.clone(), *distinct, |batch, out| {
-                    self.project_batch(items, batch, frame, out)
+                let child = self.execute_compiled_node(input, frame, prof.map(|p| p.child(0)))?;
+                self.profiled(prof, child.len() as u64, || {
+                    physical::project(
+                        probe,
+                        gov,
+                        &child,
+                        schema.clone(),
+                        *distinct,
+                        |batch, out| self.project_batch(items, batch, frame, out),
+                    )
                 })
             }
             CompiledPlan::Select {
                 input, predicate, ..
             } => {
-                let child = self.execute_compiled_node(input, frame)?;
-                physical::select(ops, gov, &child, |batch, out| {
-                    self.predicate_batch(predicate, batch, frame, out)
+                let child = self.execute_compiled_node(input, frame, prof.map(|p| p.child(0)))?;
+                self.profiled(prof, child.len() as u64, || {
+                    physical::select(probe, gov, &child, |batch, out| {
+                        self.predicate_batch(predicate, batch, frame, out)
+                    })
                 })
             }
             CompiledPlan::CrossProduct {
@@ -736,9 +809,11 @@ impl Executor<'_> {
                 right,
                 schema,
             } => {
-                let l = self.execute_compiled_node(left, frame)?;
-                let r = self.execute_compiled_node(right, frame)?;
-                physical::cross_product(ops, gov, &l, &r, schema.clone())
+                let l = self.execute_compiled_node(left, frame, prof.map(|p| p.child(0)))?;
+                let r = self.execute_compiled_node(right, frame, prof.map(|p| p.child(1)))?;
+                self.profiled(prof, (l.len() + r.len()) as u64, || {
+                    physical::cross_product(probe, gov, &l, &r, schema.clone())
+                })
             }
             CompiledPlan::Join {
                 left,
@@ -748,21 +823,23 @@ impl Executor<'_> {
                 equi_keys,
                 schema,
             } => {
-                let l = self.execute_compiled_node(left, frame)?;
-                let r = self.execute_compiled_node(right, frame)?;
+                let l = self.execute_compiled_node(left, frame, prof.map(|p| p.child(0)))?;
+                let r = self.execute_compiled_node(right, frame, prof.map(|p| p.child(1)))?;
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
-                physical::join(
-                    ops,
-                    gov,
-                    &l,
-                    &r,
-                    schema,
-                    *kind,
-                    &null_safe,
-                    |batch, i, col| self.expr_batch(&equi_keys[i].left, batch, frame, col),
-                    |batch, i, col| self.expr_batch(&equi_keys[i].right, batch, frame, col),
-                    |batch, out| self.predicate_batch(condition, batch, frame, out),
-                )
+                self.profiled(prof, (l.len() + r.len()) as u64, || {
+                    physical::join(
+                        probe,
+                        gov,
+                        &l,
+                        &r,
+                        schema,
+                        *kind,
+                        &null_safe,
+                        |batch, i, col| self.expr_batch(&equi_keys[i].left, batch, frame, col),
+                        |batch, i, col| self.expr_batch(&equi_keys[i].right, batch, frame, col),
+                        |batch, out| self.predicate_batch(condition, batch, frame, out),
+                    )
+                })
             }
             CompiledPlan::Aggregate {
                 input,
@@ -770,7 +847,7 @@ impl Executor<'_> {
                 aggregates,
                 schema,
             } => {
-                let child = self.execute_compiled_node(input, frame)?;
+                let child = self.execute_compiled_node(input, frame, prof.map(|p| p.child(0)))?;
                 let specs: Vec<AggSpec> = aggregates
                     .iter()
                     .map(|a| AggSpec {
@@ -779,25 +856,27 @@ impl Executor<'_> {
                         has_arg: a.arg.is_some(),
                     })
                     .collect();
-                physical::aggregate(
-                    ops,
-                    gov,
-                    &child,
-                    schema.clone(),
-                    group_by.len(),
-                    &specs,
-                    |batch, group_cols, agg_cols| {
-                        for (expr, col) in group_by.iter().zip(group_cols.iter_mut()) {
-                            self.expr_batch(expr, batch, frame, col)?;
-                        }
-                        for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
-                            if let Some(arg) = &a.arg {
-                                self.expr_values(arg, batch, frame, col)?;
+                self.profiled(prof, child.len() as u64, || {
+                    physical::aggregate(
+                        probe,
+                        gov,
+                        &child,
+                        schema.clone(),
+                        group_by.len(),
+                        &specs,
+                        |batch, group_cols, agg_cols| {
+                            for (expr, col) in group_by.iter().zip(group_cols.iter_mut()) {
+                                self.expr_batch(expr, batch, frame, col)?;
                             }
-                        }
-                        Ok(())
-                    },
-                )
+                            for (a, col) in aggregates.iter().zip(agg_cols.iter_mut()) {
+                                if let Some(arg) = &a.arg {
+                                    self.expr_values(arg, batch, frame, col)?;
+                                }
+                            }
+                            Ok(())
+                        },
+                    )
+                })
             }
             CompiledPlan::SetOp {
                 op,
@@ -806,18 +885,23 @@ impl Executor<'_> {
                 right,
                 ..
             } => {
-                let l = self.execute_compiled_node(left, frame)?;
-                let r = self.execute_compiled_node(right, frame)?;
-                physical::set_op(ops, gov, *op, *all, &l, &r)
+                let l = self.execute_compiled_node(left, frame, prof.map(|p| p.child(0)))?;
+                let r = self.execute_compiled_node(right, frame, prof.map(|p| p.child(1)))?;
+                self.profiled(prof, (l.len() + r.len()) as u64, || {
+                    physical::set_op(probe, gov, *op, *all, &l, &r)
+                })
             }
             CompiledPlan::Sort { input, keys, .. } => {
-                let child = self.execute_compiled_node(input, frame)?;
+                let child = self.execute_compiled_node(input, frame, prof.map(|p| p.child(0)))?;
                 let ascending: Vec<bool> = keys.iter().map(|k| k.ascending).collect();
-                physical::sort(ops, gov, child, &ascending, |batch, cols| {
-                    for (k, col) in keys.iter().zip(cols.iter_mut()) {
-                        self.expr_values(&k.expr, batch, frame, col)?;
-                    }
-                    Ok(())
+                let rows_in = child.len() as u64;
+                self.profiled(prof, rows_in, || {
+                    physical::sort(probe, gov, child, &ascending, |batch, cols| {
+                        for (k, col) in keys.iter().zip(cols.iter_mut()) {
+                            self.expr_values(&k.expr, batch, frame, col)?;
+                        }
+                        Ok(())
+                    })
                 })
             }
             CompiledPlan::Limit { input, limit, .. } => {
@@ -825,8 +909,9 @@ impl Executor<'_> {
                 // LIMIT lives in `execute_compiled` alone, so a limit
                 // nested under an operator or inside a sublink plan
                 // evaluates its whole input exactly like the interpreter.
-                let child = self.execute_compiled_node(input, frame)?;
-                physical::limit(ops, gov, child, *limit)
+                let child = self.execute_compiled_node(input, frame, prof.map(|p| p.child(0)))?;
+                let rows_in = child.len() as u64;
+                self.profiled(prof, rows_in, || physical::limit(probe, gov, child, *limit))
             }
         }
     }
@@ -1796,6 +1881,13 @@ impl Executor<'_> {
         key: Option<Vec<u8>>,
     ) -> Result<Arc<Relation>> {
         self.governor.checkpoint("sublink")?;
+        // The armed profile tree, if any, holds this sublink's subtree by
+        // id — ids are process-unique, so when a *foreign* plan executes
+        // while a tree is armed, the lookup simply misses and nothing is
+        // misattributed. The upgrade fails (and profiling is off) once the
+        // owning `execute_profiled`/`Rows` has dropped the tree.
+        let tree = self.profile.borrow().upgrade();
+        let sub_prof = tree.as_ref().and_then(|t| t.sublink(sublink.id));
         // With a shared memo attached, compiled-path entries live there —
         // the keys are process-unique, so cross-executor hits are safe and
         // are the point. Without one, the executor-private memo serves.
@@ -1805,16 +1897,31 @@ impl Executor<'_> {
                 None => self.sublink_memo.borrow_mut().get(k),
             };
             if let Some(hit) = hit {
+                if let Some(p) = sub_prof {
+                    p.stats.memo_hits.set(p.stats.memo_hits.get() + 1);
+                }
+                self.governor.trace_memo_hit("sublink-memo");
                 return Ok(hit);
             }
             // Resident miss: the entry may have been reclaimed to the spill
             // file under budget pressure — reload it instead of
             // re-executing the sublink (pure I/O, no recomputation).
             if let Some(spilled) = self.governor.spill_fetch_result(k) {
+                if let Some(p) = sub_prof {
+                    p.stats.memo_hits.set(p.stats.memo_hits.get() + 1);
+                }
+                self.governor.trace_memo_hit("sublink-memo-spilled");
                 return Ok(spilled);
             }
         }
-        let result = Arc::new(self.execute_compiled_node(&sublink.plan, frame)?);
+        if let Some(p) = sub_prof {
+            p.stats.memo_misses.set(p.stats.memo_misses.get() + 1);
+        }
+        let result = Arc::new(self.execute_compiled_node(
+            &sublink.plan,
+            frame,
+            sub_prof.map(|p| p.as_ref()),
+        )?);
         if let Some(k) = key {
             let cost = k.len() as u64 + crate::resilience::MemoCost::cost_bytes(&result);
             if self.governor.memo_insert_event("sublink-memo", cost)? {

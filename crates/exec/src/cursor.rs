@@ -41,9 +41,11 @@
 use crate::batch::{Batch, ColumnBlock, BATCH_ROWS};
 use crate::compile::{CompiledExpr, CompiledPlan, Frame};
 use crate::executor::Executor;
+use crate::profile::{self, OpProbe, ProfNode, ProfileTree, QueryProfile};
 use crate::Result;
 use perm_storage::{Relation, Schema, Tuple, Value};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// A pull-based cursor over a query result: `Iterator<Item = Result<Tuple>>`.
 ///
@@ -54,6 +56,11 @@ pub struct Rows<'e, 'a> {
     params: Rc<[Value]>,
     schema: Schema,
     node: Node<'e>,
+    /// The armed profile tree when opened via [`Executor::open_profiled`]
+    /// (`None` otherwise — the plain [`Executor::open`] path records
+    /// nothing). Re-asserted on the executor per refill, exactly like the
+    /// parameter snapshot; disarmed on drop.
+    profile: Option<Rc<ProfileTree>>,
     /// Output rows buffered from the last batch refill.
     buffered: std::vec::IntoIter<Tuple>,
     /// An error encountered during the last refill, yielded after the rows
@@ -67,28 +74,53 @@ pub struct Rows<'e, 'a> {
     done: bool,
 }
 
-/// One operator of the streaming spine.
+/// One operator of the streaming spine. Each streaming variant carries the
+/// profile node mirroring it when the cursor was opened profiled: the spine
+/// records rows and refill ticks per [`fill`] call, and its wall time
+/// *inclusively* (a pull-based parent's clock necessarily contains its
+/// children's — unlike the materialising path's self-time; the breaker
+/// below a [`Node::Materialized`] was profiled with self-times at open).
 enum Node<'e> {
     /// A pipeline breaker, fully materialised at open time.
     Materialized(std::vec::IntoIter<Tuple>),
     /// Base-table scan, cloned batch by batch as pulled.
-    Scan { tuples: &'e [Tuple], pos: usize },
+    Scan {
+        tuples: &'e [Tuple],
+        pos: usize,
+        prof: Option<Rc<ProfNode>>,
+    },
     /// Streaming selection.
     Select {
         input: Box<Node<'e>>,
         predicate: &'e CompiledExpr,
+        prof: Option<Rc<ProfNode>>,
     },
     /// Streaming (non-distinct) projection.
     Project {
         input: Box<Node<'e>>,
         items: &'e [CompiledExpr],
+        prof: Option<Rc<ProfNode>>,
     },
     /// Streaming truncation: stops pulling its input after `remaining`
     /// tuples.
     Limit {
         input: Box<Node<'e>>,
         remaining: usize,
+        prof: Option<Rc<ProfNode>>,
     },
+}
+
+impl Node<'_> {
+    /// The profile node armed for this spine operator, if any.
+    fn prof(&self) -> Option<&Rc<ProfNode>> {
+        match self {
+            Node::Materialized(_) => None,
+            Node::Scan { prof, .. }
+            | Node::Select { prof, .. }
+            | Node::Project { prof, .. }
+            | Node::Limit { prof, .. } => prof.as_ref(),
+        }
+    }
 }
 
 /// `true` when the operator streams lazily in this module's spine (scan,
@@ -116,12 +148,13 @@ impl<'a> Executor<'a> {
     /// the materialising path); pipeline breakers below the spine execute
     /// eagerly here.
     pub fn open<'e>(&'e self, plan: &'e CompiledPlan) -> Result<Rows<'e, 'a>> {
-        let node = self.open_node(plan)?;
+        let node = self.open_node(plan, None)?;
         Ok(Rows {
             executor: self,
             params: self.params_rc(),
             schema: plan.schema().clone(),
             node,
+            profile: None,
             buffered: Vec::new().into_iter(),
             pending_error: None,
             next_want: 1,
@@ -129,14 +162,65 @@ impl<'a> Executor<'a> {
         })
     }
 
-    fn open_node<'e>(&'e self, plan: &'e CompiledPlan) -> Result<Node<'e>> {
-        let count = || self.ops_evaluated.set(self.ops_evaluated.get() + 1);
+    /// [`Executor::open`] with a fresh [`ProfileTree`] armed for the
+    /// cursor's lifetime: the streaming counterpart of
+    /// [`Executor::execute_profiled`]. The annotated snapshot is available
+    /// at any point through [`Rows::profile`] — including before the stream
+    /// is drained, when it reflects only the work pulled so far.
+    pub fn open_profiled<'e>(&'e self, plan: &'e CompiledPlan) -> Result<Rows<'e, 'a>> {
+        self.open_with_tree(plan, ProfileTree::for_plan(plan))
+    }
+
+    /// The shared profiled-open: arms `tree` on the executor (for the
+    /// memoized-sublink seam) and threads its nodes through the spine.
+    pub(crate) fn open_with_tree<'e>(
+        &'e self,
+        plan: &'e CompiledPlan,
+        tree: Rc<ProfileTree>,
+    ) -> Result<Rows<'e, 'a>> {
+        self.set_profile(Some(&tree));
+        let node = match self.open_node(plan, Some(&tree.root)) {
+            Ok(node) => node,
+            Err(e) => {
+                self.set_profile(None);
+                return Err(e);
+            }
+        };
+        Ok(Rows {
+            executor: self,
+            params: self.params_rc(),
+            schema: plan.schema().clone(),
+            node,
+            profile: Some(tree),
+            buffered: Vec::new().into_iter(),
+            pending_error: None,
+            next_want: 1,
+            done: false,
+        })
+    }
+
+    fn open_node<'e>(
+        &'e self,
+        plan: &'e CompiledPlan,
+        prof: Option<&Rc<ProfNode>>,
+    ) -> Result<Node<'e>> {
+        // One evaluation per spine operator, counted at open time on the
+        // global counter *and* the armed node — the same shared site
+        // (`profile::begin`) the materialising operators use, so profiled
+        // sums stay equal to `operators_evaluated` across both paths. The
+        // timer is dropped immediately: spine wall time is recorded per
+        // refill by `fill`, not at open.
+        let count = |prof: Option<&Rc<ProfNode>>| {
+            let probe = OpProbe::new(&self.ops_evaluated, prof.map(|p| &p.stats));
+            drop(profile::begin(&probe));
+        };
         Ok(match plan {
             CompiledPlan::Limit { input, limit, .. } => {
-                count();
+                count(prof);
                 Node::Limit {
-                    input: Box::new(self.open_node(input)?),
+                    input: Box::new(self.open_node(input, prof.map(|p| &p.children[0]))?),
                     remaining: *limit,
+                    prof: prof.cloned(),
                 }
             }
             CompiledPlan::Project {
@@ -145,30 +229,33 @@ impl<'a> Executor<'a> {
                 distinct: false,
                 ..
             } => {
-                count();
+                count(prof);
                 Node::Project {
-                    input: Box::new(self.open_node(input)?),
+                    input: Box::new(self.open_node(input, prof.map(|p| &p.children[0]))?),
                     items,
+                    prof: prof.cloned(),
                 }
             }
             CompiledPlan::Select {
                 input, predicate, ..
             } => {
-                count();
+                count(prof);
                 Node::Select {
-                    input: Box::new(self.open_node(input)?),
+                    input: Box::new(self.open_node(input, prof.map(|p| &p.children[0]))?),
                     predicate,
+                    prof: prof.cloned(),
                 }
             }
             CompiledPlan::Scan { table, .. } => {
-                count();
+                count(prof);
                 Node::Scan {
                     tuples: self.database().table(table)?.tuples(),
                     pos: 0,
+                    prof: prof.cloned(),
                 }
             }
             breaker => Node::Materialized(
-                self.execute_compiled_node(breaker, None)?
+                self.execute_compiled_node(breaker, None, prof.map(|p| p.as_ref()))?
                     .into_tuples()
                     .into_iter(),
             ),
@@ -199,6 +286,25 @@ impl Rows<'_, '_> {
         }
         Ok(out)
     }
+
+    /// The annotated execution profile, when the cursor was opened through
+    /// [`Executor::open_profiled`] (`None` otherwise). The snapshot covers
+    /// the work pulled *so far* — a partially consumed stream reports
+    /// partial actuals, which is exactly the laziness the cursor promises.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.profile.as_ref().map(|tree| tree.snapshot())
+    }
+}
+
+impl Drop for Rows<'_, '_> {
+    fn drop(&mut self) {
+        // Disarm the executor's weak profile reference when a profiled
+        // cursor goes away, so a later unrelated execution cannot
+        // attribute sublink-memo traffic to this tree.
+        if self.profile.is_some() {
+            self.executor.set_profile(None);
+        }
+    }
 }
 
 impl Iterator for Rows<'_, '_> {
@@ -224,9 +330,13 @@ impl Iterator for Rows<'_, '_> {
                 return Some(Err(e));
             }
             // Refill a batch. Another execution on the same executor may
-            // have re-bound the parameter vector between pulls; re-assert
-            // this cursor's snapshot once per refill.
+            // have re-bound the parameter vector (or re-armed the profile)
+            // between pulls; re-assert this cursor's snapshots once per
+            // refill.
             self.executor.rebind_params(&self.params);
+            if let Some(tree) = &self.profile {
+                self.executor.set_profile(Some(tree));
+            }
             let want = self.next_want;
             self.next_want = (want * 2).min(BATCH_ROWS);
             let mut batch = Vec::with_capacity(want);
@@ -251,10 +361,39 @@ impl Iterator for Rows<'_, '_> {
 /// when the node is exhausted (no further pull can produce rows). On `Err`,
 /// the tuples already appended to `out` are exactly those a tuple-at-a-time
 /// evaluation would have yielded before the error.
+///
+/// When the node carries a profile node, each call records one refill tick,
+/// the rows appended, and the (inclusive) wall time of the pull — armed
+/// cursors only; the unprofiled path takes the `prof() == None` branch and
+/// never reads the clock.
 fn fill(node: &mut Node<'_>, ex: &Executor<'_>, want: usize, out: &mut Vec<Tuple>) -> Result<bool> {
     if want == 0 {
         return Ok(true);
     }
+    let prof = node.prof().cloned();
+    let start = prof.as_ref().map(|_| Instant::now());
+    let before = out.len();
+    let result = fill_node(node, ex, want, out);
+    if let Some(p) = prof {
+        let s = &p.stats;
+        s.batches.set(s.batches.get() + 1);
+        s.rows_out
+            .set(s.rows_out.get() + (out.len() - before) as u64);
+        if let Some(start) = start {
+            s.wall_nanos
+                .set(s.wall_nanos.get() + start.elapsed().as_nanos() as u64);
+        }
+    }
+    result
+}
+
+/// The operator bodies behind [`fill`].
+fn fill_node(
+    node: &mut Node<'_>,
+    ex: &Executor<'_>,
+    want: usize,
+    out: &mut Vec<Tuple>,
+) -> Result<bool> {
     match node {
         Node::Materialized(tuples) => {
             for _ in 0..want {
@@ -265,13 +404,17 @@ fn fill(node: &mut Node<'_>, ex: &Executor<'_>, want: usize, out: &mut Vec<Tuple
             }
             Ok(true)
         }
-        Node::Scan { tuples, pos } => {
+        Node::Scan { tuples, pos, .. } => {
             let n = want.min(tuples.len() - *pos);
             out.extend(tuples[*pos..*pos + n].iter().cloned());
             *pos += n;
             Ok(*pos < tuples.len())
         }
-        Node::Select { input, predicate } => {
+        Node::Select {
+            input,
+            predicate,
+            prof,
+        } => {
             // Pull the input in chunks of exactly the number of survivors
             // still needed: the laziness argument in the module docs relies
             // on the last chunk filling the quota only when all its rows
@@ -282,6 +425,10 @@ fn fill(node: &mut Node<'_>, ex: &Executor<'_>, want: usize, out: &mut Vec<Tuple
                 in_rows.clear();
                 in_rows.reserve(needed);
                 let input_result = fill(input, ex, needed, &mut in_rows);
+                if let Some(p) = prof {
+                    let s = &p.stats;
+                    s.rows_in.set(s.rows_in.get() + in_rows.len() as u64);
+                }
                 // Survivors of the pulled prefix are emitted before any
                 // input error (per-tuple ordering: the upstream error row
                 // is only reached after these rows flowed through).
@@ -294,19 +441,32 @@ fn fill(node: &mut Node<'_>, ex: &Executor<'_>, want: usize, out: &mut Vec<Tuple
                 }
             }
         }
-        Node::Project { input, items } => {
+        Node::Project { input, items, prof } => {
             let mut in_rows: Vec<Tuple> = Vec::with_capacity(want);
             let input_result = fill(input, ex, want, &mut in_rows);
+            if let Some(p) = prof {
+                let s = &p.stats;
+                s.rows_in.set(s.rows_in.get() + in_rows.len() as u64);
+            }
             project_into(ex, items, &in_rows, out)?;
             input_result
         }
-        Node::Limit { input, remaining } => {
+        Node::Limit {
+            input,
+            remaining,
+            prof,
+        } => {
             if *remaining == 0 {
                 return Ok(false);
             }
             let before = out.len();
             let more = fill(input, ex, want.min(*remaining), out)?;
-            *remaining -= out.len() - before;
+            let pulled = out.len() - before;
+            if let Some(p) = prof {
+                let s = &p.stats;
+                s.rows_in.set(s.rows_in.get() + pulled as u64);
+            }
+            *remaining -= pulled;
             Ok(more && *remaining > 0)
         }
     }
@@ -534,7 +694,7 @@ mod tests {
         let ex = Executor::new(&db);
         for plan in &shapes {
             let compiled = ex.prepare(plan).unwrap();
-            let node = ex.open_node(&compiled).unwrap();
+            let node = ex.open_node(&compiled, None).unwrap();
             let streams = !matches!(node, Node::Materialized(_));
             assert_eq!(
                 streams_lazily(&compiled),

@@ -48,14 +48,15 @@ use crate::compile::CompiledPlan;
 use crate::eval::Env;
 use crate::memo::{MemoMap, SharedSublinkMemo};
 use crate::physical::{self, AggSpec};
-use crate::resilience::{CancelToken, Degradation, FaultPlan, Governor, MemoCost};
+use crate::profile::{OpProbe, ProfileTree};
+use crate::resilience::{CancelToken, Degradation, FaultPlan, Governor, MemoCost, TraceSignal};
 use crate::{ExecError, Result};
 use perm_algebra::visit::{free_correlated_columns, free_params};
 use perm_algebra::{Expr, Plan, SortKey};
 use perm_storage::{encode_key_typed, Database, Relation, Schema, Truth, Tuple, Value};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -151,6 +152,14 @@ pub struct Executor<'a> {
     /// path: mixed-type (`Values`) lanes, lane pairings without a typed
     /// kernel, integer-overflow retries, and sublink-bearing subtrees.
     pub(crate) columnar_fallback_rows: Cell<u64>,
+    /// The armed `EXPLAIN ANALYZE` profile tree, held weakly: only the
+    /// memoized-sublink seam reads it (to attribute memo hits/misses and
+    /// sublink executions by sublink id — ids are process-unique, so a plan
+    /// the tree was not armed for simply misses the lookup); the operator
+    /// tree itself is threaded positionally by the profiled driver. A
+    /// `Weak` means a dropped profile degrades to unarmed execution with no
+    /// bookkeeping.
+    pub(crate) profile: RefCell<Weak<ProfileTree>>,
 }
 
 /// Namespace tag of compiled-path memo keys.
@@ -201,7 +210,17 @@ impl<'a> Executor<'a> {
             columnar_enabled: Cell::new(true),
             columnar_blocks: Cell::new(0),
             columnar_fallback_rows: Cell::new(0),
+            profile: RefCell::new(Weak::new()),
         }
+    }
+
+    /// Arms (or, with `None`, disarms) the `EXPLAIN ANALYZE` profile for
+    /// subsequent profiled executions. Held weakly — see the field docs.
+    pub(crate) fn set_profile(&self, tree: Option<&Rc<ProfileTree>>) {
+        *self.profile.borrow_mut() = match tree {
+            Some(tree) => Rc::downgrade(tree),
+            None => Weak::new(),
+        };
     }
 
     /// Enables or disables vectorized batch evaluation on the compiled path
@@ -405,6 +424,27 @@ impl<'a> Executor<'a> {
     /// Buffer-pool misses (page loads from disk) while reading spill files.
     pub fn buffer_pool_misses(&self) -> u64 {
         self.governor.buffer_pool_misses()
+    }
+
+    /// Buffer-pool frame evictions while reading spill files.
+    pub fn buffer_pool_evictions(&self) -> u64 {
+        self.governor.buffer_pool_evictions()
+    }
+
+    /// Installs (or clears, with `None`) a structured-trace hook: the
+    /// governor and the memoized-sublink seams call it with a
+    /// [`TraceSignal`] on memo inserts and hits, spill writes, degradation
+    /// rung transitions, and cancellation checkpoints that fired. The
+    /// session facade bridges these into its `TraceSink`; with no hook
+    /// installed the emission sites cost one `Option` check.
+    pub fn set_trace_hook(&self, hook: Option<Rc<dyn Fn(TraceSignal)>>) {
+        self.governor.set_trace_hook(hook);
+    }
+
+    /// Configured buffer-pool frame capacity (0 until a spill manager — and
+    /// with it a pool — has been created).
+    pub fn buffer_pool_capacity(&self) -> u64 {
+        self.governor.buffer_pool_capacity()
     }
 
     /// Installs a deterministic [`FaultPlan`] that fires a cancellation,
@@ -638,6 +678,7 @@ impl<'a> Executor<'a> {
     ) -> Result<Arc<Relation>> {
         if let Some(k) = &key {
             if let Some(hit) = self.interp_sublink_memo.borrow_mut().get(k) {
+                self.governor.trace_memo_hit("interp-sublink-memo");
                 return Ok(hit);
             }
         }
@@ -659,11 +700,13 @@ impl<'a> Executor<'a> {
     /// `env` is the enclosing correlation scope (present when this plan is a
     /// sublink query of an outer operator).
     pub fn execute_with_env(&self, plan: &Plan, env: Option<&Env<'_>>) -> Result<Relation> {
-        let ops = &self.ops_evaluated;
+        // The interpreter path runs unprofiled (profiles mirror *compiled*
+        // plans); the probe still carries the shared global counter.
+        let probe = OpProbe::new(&self.ops_evaluated, None);
         let gov = &self.governor;
         match plan {
-            Plan::Scan { table, schema, .. } => physical::scan(ops, gov, self.db, table, schema),
-            Plan::Values { schema, rows } => physical::values(ops, gov, schema, rows),
+            Plan::Scan { table, schema, .. } => physical::scan(probe, gov, self.db, table, schema),
+            Plan::Values { schema, rows } => physical::values(probe, gov, schema, rows),
             Plan::Project {
                 input,
                 items,
@@ -671,26 +714,33 @@ impl<'a> Executor<'a> {
             } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::project(ops, gov, &child, plan.schema(), *distinct, |batch, out| {
-                    for tuple in batch.iter() {
-                        let scope = Env::new(env, &child_schema, tuple);
-                        // Explicit loop, not `collect::<Result<_>>()`: the
-                        // fallible-collect machinery reports a zero lower
-                        // size hint and grows the row by realloc —
-                        // measurably slower on projection-heavy plans.
-                        let mut row = Vec::with_capacity(items.len());
-                        for item in items {
-                            row.push(self.eval_expr(&item.expr, Some(&scope))?);
+                physical::project(
+                    probe,
+                    gov,
+                    &child,
+                    plan.schema(),
+                    *distinct,
+                    |batch, out| {
+                        for tuple in batch.iter() {
+                            let scope = Env::new(env, &child_schema, tuple);
+                            // Explicit loop, not `collect::<Result<_>>()`: the
+                            // fallible-collect machinery reports a zero lower
+                            // size hint and grows the row by realloc —
+                            // measurably slower on projection-heavy plans.
+                            let mut row = Vec::with_capacity(items.len());
+                            for item in items {
+                                row.push(self.eval_expr(&item.expr, Some(&scope))?);
+                            }
+                            out.push(Tuple::new(row));
                         }
-                        out.push(Tuple::new(row));
-                    }
-                    Ok(())
-                })
+                        Ok(())
+                    },
+                )
             }
             Plan::Select { input, predicate } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
-                physical::select(ops, gov, &child, |batch, out| {
+                physical::select(probe, gov, &child, |batch, out| {
                     for tuple in batch.iter() {
                         let scope = Env::new(env, &child_schema, tuple);
                         out.push(self.eval_predicate(predicate, Some(&scope))?.is_true());
@@ -702,7 +752,7 @@ impl<'a> Executor<'a> {
                 let l = self.execute_with_env(left, env)?;
                 let r = self.execute_with_env(right, env)?;
                 let schema = l.schema().concat(r.schema());
-                physical::cross_product(ops, gov, &l, &r, schema)
+                physical::cross_product(probe, gov, &l, &r, schema)
             }
             Plan::Join {
                 left,
@@ -726,7 +776,7 @@ impl<'a> Executor<'a> {
                 };
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
                 physical::join(
-                    ops,
+                    probe,
                     gov,
                     &l,
                     &r,
@@ -772,7 +822,7 @@ impl<'a> Executor<'a> {
                     })
                     .collect();
                 physical::aggregate(
-                    ops,
+                    probe,
                     gov,
                     &child,
                     plan.schema(),
@@ -802,13 +852,13 @@ impl<'a> Executor<'a> {
             } => {
                 let l = self.execute_with_env(left, env)?;
                 let r = self.execute_with_env(right, env)?;
-                physical::set_op(ops, gov, *op, *all, &l, &r)
+                physical::set_op(probe, gov, *op, *all, &l, &r)
             }
             Plan::Sort { input, keys } => {
                 let child = self.execute_with_env(input, env)?;
                 let child_schema = child.schema().clone();
                 let ascending: Vec<bool> = keys.iter().map(|k: &SortKey| k.ascending).collect();
-                physical::sort(ops, gov, child, &ascending, |batch, cols| {
+                physical::sort(probe, gov, child, &ascending, |batch, cols| {
                     for tuple in batch.iter() {
                         let scope = Env::new(env, &child_schema, tuple);
                         for (k, col) in keys.iter().zip(cols.iter_mut()) {
@@ -820,7 +870,7 @@ impl<'a> Executor<'a> {
             }
             Plan::Limit { input, limit } => {
                 let child = self.execute_with_env(input, env)?;
-                physical::limit(ops, gov, child, *limit)
+                physical::limit(probe, gov, child, *limit)
             }
         }
     }

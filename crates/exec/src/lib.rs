@@ -107,6 +107,7 @@ pub mod functions;
 pub mod kernels;
 pub(crate) mod memo;
 pub(crate) mod physical;
+pub mod profile;
 pub mod resilience;
 pub(crate) mod spill;
 
@@ -116,7 +117,8 @@ pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
 pub use memo::SharedSublinkMemo;
-pub use resilience::{CancelToken, Degradation, FaultKind, FaultPlan, FaultSite};
+pub use profile::{ProfileNode, QueryProfile};
+pub use resilience::{CancelToken, Degradation, FaultKind, FaultPlan, FaultSite, TraceSignal};
 
 use perm_storage::StorageError;
 

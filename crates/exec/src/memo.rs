@@ -20,6 +20,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hasher;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Fixed per-entry bookkeeping estimate (hash-map slot, recency stamp,
@@ -296,6 +297,12 @@ impl<V: Clone + MemoCost> ShardedMemo<V> {
 pub struct SharedSublinkMemo {
     results: ShardedMemo<Arc<Relation>>,
     verdicts: ShardedMemo<Truth>,
+    /// Result-map lookups that found an entry / came up empty, across all
+    /// workers — the serving metrics registry's shared-memo hit rate.
+    /// Relaxed atomics: these are monotone diagnostics, not
+    /// synchronisation.
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
 }
 
 /// Default shard count of [`SharedSublinkMemo`]: enough to keep a handful of
@@ -318,6 +325,8 @@ impl SharedSublinkMemo {
         Arc::new(SharedSublinkMemo {
             results: ShardedMemo::new(shards, capacity),
             verdicts: ShardedMemo::new(shards, capacity),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
         })
     }
 
@@ -341,8 +350,23 @@ impl SharedSublinkMemo {
         self.results.bytes() + self.verdicts.bytes()
     }
 
+    /// Result-map hits observed so far (across all sharing executors).
+    pub fn result_hits(&self) -> u64 {
+        self.result_hits.load(Ordering::Relaxed)
+    }
+
+    /// Result-map misses observed so far (across all sharing executors).
+    pub fn result_misses(&self) -> u64 {
+        self.result_misses.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn get_result(&self, key: &[u8]) -> Option<Arc<Relation>> {
-        self.results.get(key)
+        let hit = self.results.get(key);
+        match &hit {
+            Some(_) => self.result_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.result_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
     pub(crate) fn insert_result(&self, key: Vec<u8>, value: Arc<Relation>) {

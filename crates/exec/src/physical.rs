@@ -36,8 +36,11 @@
 //!
 //! The `operators_evaluated` accounting also lives here, in one place:
 //! every physical operator counts exactly one evaluation **per logical
-//! operator invocation** on the shared [`OpCounter`] — *not* per batch —
-//! which keeps the counter comparable across batch sizes and is what makes
+//! operator invocation** through its [`OpProbe`] (the shared [`OpCounter`]
+//! plus, when an `EXPLAIN ANALYZE` profile is armed, the operator's
+//! per-node stats — both incremented at the same site, so per-node profile
+//! sums always equal the global counter) — *not* per batch — which keeps
+//! the counter comparable across batch sizes and is what makes
 //! sublink-memo hits (which never reach this module) measurable as missing
 //! operator evaluations.
 //!
@@ -68,6 +71,7 @@
 
 use crate::aggregate::Accumulator;
 use crate::batch::{Batch, ColumnBlock, BATCH_ROWS};
+use crate::profile::{self, OpProbe};
 use crate::resilience::{relation_bytes, tuple_bytes, value_bytes, Governor, TransientCharge};
 use crate::spill::{self, fnv1a, SpillManager};
 use crate::{ExecError, Result};
@@ -83,10 +87,6 @@ use std::rc::Rc;
 
 /// The diagnostic operator-evaluation counter both drivers share.
 pub(crate) type OpCounter = Cell<u64>;
-
-fn count(ops: &OpCounter) {
-    ops.set(ops.get() + 1);
-}
 
 /// What the physical aggregate needs to know about one aggregate
 /// computation; the argument *expression* stays behind the evaluator
@@ -104,49 +104,52 @@ pub(crate) struct AggSpec {
 /// Base relation access: materialises the stored table under the plan's
 /// schema (which may carry an alias qualifier).
 pub(crate) fn scan(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     db: &Database,
     table: &str,
     schema: &Schema,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("scan")?;
     gov.checkpoint("scan")?;
+    probe.batch();
     let base = db.table(table)?;
     Ok(Relation::new(schema.clone(), base.tuples().to_vec())?)
 }
 
 /// Constant relation.
 pub(crate) fn values(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     schema: &Schema,
     rows: &[Tuple],
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("values")?;
     gov.checkpoint("values")?;
+    probe.batch();
     Ok(Relation::new(schema.clone(), rows.to_vec())?)
 }
 
 /// Projection: `rows_of` evaluates all projection items over one batch,
 /// appending one output tuple per live row.
 pub(crate) fn project(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     child: &Relation,
     out_schema: Schema,
     distinct: bool,
     mut rows_of: impl FnMut(&Batch<'_>, &mut Vec<Tuple>) -> Result<()>,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("project")?;
     let arity = child.schema().arity();
     let mut out = Relation::empty(out_schema);
     let mut buf: Vec<Tuple> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("project")?;
+        probe.batch();
         buf.clear();
         let block = ColumnBlock::new(arity);
         rows_of(&Batch::dense_with_block(chunk, &block), &mut buf)?;
@@ -163,18 +166,19 @@ pub(crate) fn project(
 /// a truth vector and copied once into the output — dropped rows are never
 /// materialised.
 pub(crate) fn select(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     child: &Relation,
     mut keep: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("select")?;
     let arity = child.schema().arity();
     let mut out = Relation::empty(child.schema().clone());
     let mut truths: Vec<bool> = Vec::with_capacity(BATCH_ROWS.min(child.len()));
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("select")?;
+        probe.batch();
         truths.clear();
         let block = ColumnBlock::new(arity);
         keep(&Batch::dense_with_block(chunk, &block), &mut truths)?;
@@ -190,13 +194,13 @@ pub(crate) fn select(
 
 /// Cross product.
 pub(crate) fn cross_product(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     l: &Relation,
     r: &Relation,
     out_schema: Schema,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("cross_product")?;
     let mut out = Relation::empty(out_schema);
     let mut since_checkpoint = 0usize;
@@ -205,6 +209,7 @@ pub(crate) fn cross_product(
         if since_checkpoint >= BATCH_ROWS {
             since_checkpoint = 0;
             gov.checkpoint("cross_product")?;
+            probe.batch();
         }
         for rt in r.tuples() {
             out.push_unchecked(lt.concat(rt));
@@ -241,6 +246,7 @@ struct JoinSegment<'l> {
 /// survived. Drains both buffers.
 #[allow(clippy::too_many_arguments)]
 fn flush_join_segments(
+    probe: OpProbe<'_>,
     gov: &Governor,
     condition: &mut impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
     pending: &mut Vec<Tuple>,
@@ -254,6 +260,7 @@ fn flush_join_segments(
     truths.clear();
     for chunk in pending.chunks(BATCH_ROWS) {
         gov.checkpoint("join")?;
+        probe.batch();
         let block = ColumnBlock::new(join_arity);
         condition(&Batch::dense_with_block(chunk, &block), truths)?;
     }
@@ -339,7 +346,9 @@ fn spill_join_build(
 /// the grace-probe counterpart of [`flush_join_segments`], which cannot
 /// emit directly because partitions scramble the probe order. Padding is
 /// deferred to the ordinal-ordered emission walk.
+#[allow(clippy::too_many_arguments)]
 fn flush_spill_candidates(
+    probe: OpProbe<'_>,
     gov: &Governor,
     condition: &mut impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
     pending: &mut Vec<Tuple>,
@@ -351,6 +360,7 @@ fn flush_spill_candidates(
     truths.clear();
     for chunk in pending.chunks(BATCH_ROWS) {
         gov.checkpoint("join")?;
+        probe.batch();
         let block = ColumnBlock::new(join_arity);
         condition(&Batch::dense_with_block(chunk, &block), truths)?;
     }
@@ -374,6 +384,7 @@ fn flush_spill_candidates(
 /// ordinal), with left-outer padding for ordinals nothing survived for.
 #[allow(clippy::too_many_arguments)]
 fn grace_probe(
+    probe: OpProbe<'_>,
     gov: &Governor,
     js: &JoinSpill,
     l: &Relation,
@@ -400,6 +411,7 @@ fn grace_probe(
     let mut ordinal = 0u64;
     for chunk in l.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("join")?;
+        probe.batch();
         let block = ColumnBlock::new(left_arity);
         let batch = Batch::dense_with_block(chunk, &block);
         for (i, col) in key_cols.iter_mut().enumerate() {
@@ -444,6 +456,7 @@ fn grace_probe(
             since += 1;
             if since.is_multiple_of(BATCH_ROWS) {
                 gov.checkpoint("join")?;
+                probe.batch();
             }
         }
         let mut stream = js.mgr.pool().stream(&js.probe[p]);
@@ -466,6 +479,7 @@ fn grace_probe(
             segments.push((ord, start, pending.len()));
             if flush_now || pending.len() >= BATCH_ROWS {
                 flush_spill_candidates(
+                    probe,
                     gov,
                     &mut condition,
                     &mut pending,
@@ -480,6 +494,7 @@ fn grace_probe(
             }
         }
         flush_spill_candidates(
+            probe,
             gov,
             &mut condition,
             &mut pending,
@@ -538,7 +553,7 @@ fn grace_probe(
 /// the per-left-row output order of a tuple-at-a-time loop.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     l: &Relation,
     r: &Relation,
@@ -549,7 +564,7 @@ pub(crate) fn join(
     mut right_keys: impl FnMut(&Batch<'_>, usize, &mut ColumnVec) -> Result<()>,
     mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("join")?;
     let mut charge = gov.transient("join");
     let mut cand_charge = gov.transient("join");
@@ -579,6 +594,7 @@ pub(crate) fn join(
         let mut rec_buf: Vec<u8> = Vec::new();
         for chunk in r.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
+            probe.batch();
             let block = ColumnBlock::new(right_arity);
             let batch = Batch::dense_with_block(chunk, &block);
             for (i, col) in key_cols.iter_mut().enumerate() {
@@ -638,6 +654,7 @@ pub(crate) fn join(
         }
         if let Some(js) = js {
             return grace_probe(
+                probe,
                 gov,
                 &js,
                 l,
@@ -659,6 +676,7 @@ pub(crate) fn join(
         let mut key_cols: Vec<ColumnVec> = vec![ColumnVec::default(); nkeys];
         for chunk in l.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
+            probe.batch();
             let block = ColumnBlock::new(left_arity);
             let batch = Batch::dense_with_block(chunk, &block);
             for (i, col) in key_cols.iter_mut().enumerate() {
@@ -700,6 +718,7 @@ pub(crate) fn join(
                 });
                 if flush_now || pending.len() >= BATCH_ROWS {
                     flush_join_segments(
+                        probe,
                         gov,
                         &mut condition,
                         &mut pending,
@@ -722,6 +741,7 @@ pub(crate) fn join(
             }
         }
         flush_join_segments(
+            probe,
             gov,
             &mut condition,
             &mut pending,
@@ -742,6 +762,7 @@ pub(crate) fn join(
         let mut matched = false;
         for r_chunk in r.tuples().chunks(BATCH_ROWS) {
             gov.checkpoint("join")?;
+            probe.batch();
             pending.clear();
             for rt in r_chunk {
                 pending.push(lt.concat(rt));
@@ -822,7 +843,7 @@ fn flush_agg_groups(
 /// (monotone, never reset, so the minimum per key is its global first
 /// encounter) restore the exact first-encounter output order.
 pub(crate) fn aggregate(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     child: &Relation,
     out_schema: Schema,
@@ -830,7 +851,7 @@ pub(crate) fn aggregate(
     specs: &[AggSpec],
     mut eval: impl FnMut(&Batch<'_>, &mut [ColumnVec], &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("aggregate")?;
     let mut charge = gov.transient("aggregate");
     let in_arity = child.schema().arity();
@@ -863,6 +884,7 @@ pub(crate) fn aggregate(
     let mut live: Vec<bool> = Vec::new();
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("aggregate")?;
+        probe.batch();
         for col in group_cols.iter_mut() {
             col.clear_values();
         }
@@ -979,6 +1001,7 @@ pub(crate) fn aggregate(
                 since += 1;
                 if since.is_multiple_of(BATCH_ROWS) {
                     gov.checkpoint("aggregate")?;
+                    probe.batch();
                 }
             }
             for (ord, key_values, accs) in part.into_values() {
@@ -1018,16 +1041,17 @@ pub(crate) fn aggregate(
 /// at execution time, not compile time, so a malformed set operation behind
 /// a short circuit stays as unreachable as it is in the interpreter.
 pub(crate) fn set_op(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     op: SetOpKind,
     all: bool,
     l: &Relation,
     r: &Relation,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("set_op")?;
     gov.checkpoint("set_op")?;
+    probe.batch();
     if l.schema().arity() != r.schema().arity() {
         return Err(ExecError::Unsupported(
             "set operation over inputs of different arity".into(),
@@ -1094,13 +1118,13 @@ fn spill_sort_run(
 /// broken toward the lowest run index — runs are consecutive input
 /// segments, so that tie-break *is* the stable order.
 pub(crate) fn sort(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     child: Relation,
     ascending: &[bool],
     mut keys: impl FnMut(&Batch<'_>, &mut [Vec<Value>]) -> Result<()>,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("sort")?;
     let mut charge = gov.transient("sort");
     let arity = child.schema().arity();
@@ -1110,6 +1134,7 @@ pub(crate) fn sort(
     let mut runs: Vec<Rc<HeapFile>> = Vec::new();
     for chunk in child.tuples().chunks(BATCH_ROWS) {
         gov.checkpoint("sort")?;
+        probe.batch();
         for col in key_cols.iter_mut() {
             col.clear();
         }
@@ -1187,6 +1212,7 @@ pub(crate) fn sort(
         emitted += 1;
         if emitted.is_multiple_of(BATCH_ROWS) {
             gov.checkpoint("sort")?;
+            probe.batch();
         }
         heads[b] = if b < streams.len() {
             match streams[b].next_record()? {
@@ -1202,14 +1228,15 @@ pub(crate) fn sort(
 
 /// First-`n` truncation.
 pub(crate) fn limit(
-    ops: &OpCounter,
+    probe: OpProbe<'_>,
     gov: &Governor,
     child: Relation,
     n: usize,
 ) -> Result<Relation> {
-    count(ops);
+    let _timer = profile::begin(&probe);
     gov.operator_event("limit")?;
     gov.checkpoint("limit")?;
+    probe.batch();
     let schema = child.schema().clone();
     let tuples = child.into_tuples().into_iter().take(n).collect();
     Ok(Relation::new(schema, tuples)?)

@@ -329,6 +329,51 @@ impl MemoCost for Truth {
 }
 
 // ---------------------------------------------------------------------------
+// Trace signals
+// ---------------------------------------------------------------------------
+
+/// One structured execution event emitted by the governor (and the memo
+/// seams through it) when a trace hook is installed. This is the
+/// executor-side half of the tracing seam: `perm-exec` cannot depend on
+/// `perm-core`, so the session facade bridges these signals into
+/// `perm_core::trace::TraceEvent`s for the configured sink. With no hook
+/// installed nothing is allocated or emitted — the constructors below run
+/// only inside the governor's hook-present emission branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSignal {
+    /// A sublink-memo insertion of an entry costing `bytes`.
+    MemoInsert {
+        /// The memo site label (e.g. `"sublink-memo"`).
+        label: String,
+        /// Estimated heap cost of the inserted entry.
+        bytes: u64,
+    },
+    /// A sublink-memo hit: a result served without re-executing the plan.
+    MemoHit {
+        /// The memo site label.
+        label: String,
+    },
+    /// Spill-file write of `bytes` payload.
+    Spill {
+        /// What was spilled (e.g. `"memo-entry"`).
+        label: String,
+        /// Payload bytes written.
+        bytes: u64,
+    },
+    /// The degradation ladder moved to a worse rung.
+    Rung {
+        /// The rung just reached.
+        rung: Degradation,
+    },
+    /// A cancellation checkpoint fired (explicit cancel, deadline, or an
+    /// injected fault) inside `operator`.
+    CancelFired {
+        /// The operator whose checkpoint observed the cancellation.
+        operator: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
 // Governor
 // ---------------------------------------------------------------------------
 
@@ -408,7 +453,16 @@ pub(crate) struct Governor {
     spill_failed: Cell<bool>,
     /// Worst [`Degradation`] rung reached so far.
     rung: Cell<Degradation>,
+    /// The installed trace hook, if any — the bridge through which the
+    /// session facade forwards [`TraceSignal`]s into its configured
+    /// `TraceSink`. `Rc`, not `Arc`: the governor is `!Sync` like its
+    /// executor, and hooks are installed per executor.
+    trace: RefCell<Option<TraceHook>>,
 }
+
+/// The installed form of a trace hook: a shared closure the emission sites
+/// call with each [`TraceSignal`].
+pub type TraceHook = Rc<dyn Fn(TraceSignal)>;
 
 impl Governor {
     pub(crate) fn new() -> Governor {
@@ -426,6 +480,22 @@ impl Governor {
             spill: RefCell::new(None),
             spill_failed: Cell::new(false),
             rung: Cell::new(Degradation::None),
+            trace: RefCell::new(None),
+        }
+    }
+
+    /// Installs (or clears) the trace hook the governor and memo seams emit
+    /// [`TraceSignal`]s through.
+    pub(crate) fn set_trace_hook(&self, hook: Option<TraceHook>) {
+        *self.trace.borrow_mut() = hook;
+    }
+
+    /// Emits a trace signal when (and only when) a hook is installed — the
+    /// closure defers any allocation the signal needs to the hook-present
+    /// branch, so unhooked executions pay one `Option` check.
+    pub(crate) fn emit(&self, signal: impl FnOnce() -> TraceSignal) {
+        if let Some(hook) = self.trace.borrow().as_ref() {
+            hook(signal());
         }
     }
 
@@ -485,10 +555,12 @@ impl Governor {
         }
     }
 
-    /// Records a degradation rung, keeping the worst one seen.
+    /// Records a degradation rung, keeping the worst one seen; a transition
+    /// to a worse rung is traced.
     pub(crate) fn note_rung(&self, rung: Degradation) {
         if rung > self.rung.get() {
             self.rung.set(rung);
+            self.emit(|| TraceSignal::Rung { rung });
         }
     }
 
@@ -520,6 +592,31 @@ impl Governor {
         self.spill.borrow().as_ref().map_or(0, |m| m.pool_misses())
     }
 
+    /// Frames evicted from the spill manager's buffer pool.
+    pub(crate) fn buffer_pool_evictions(&self) -> u64 {
+        self.spill
+            .borrow()
+            .as_ref()
+            .map_or(0, |m| m.pool_evictions())
+    }
+
+    /// Configured frame capacity of the spill manager's buffer pool (0
+    /// until a spill manager exists — no pool has been sized yet).
+    pub(crate) fn buffer_pool_capacity(&self) -> u64 {
+        self.spill
+            .borrow()
+            .as_ref()
+            .map_or(0, |m| m.pool_capacity())
+    }
+
+    /// Traces a sublink-memo hit — called from the memo seams, which see
+    /// the hit; the governor only carries the hook.
+    pub(crate) fn trace_memo_hit(&self, label: &'static str) {
+        self.emit(|| TraceSignal::MemoHit {
+            label: label.to_string(),
+        });
+    }
+
     /// Looks up a previously spilled compiled-memo entry.
     pub(crate) fn spill_fetch_result(&self, key: &[u8]) -> Option<Arc<Relation>> {
         self.spill.borrow().as_ref()?.memo_fetch(key)
@@ -533,6 +630,10 @@ impl Governor {
         if let Some(mgr) = self.spill() {
             mgr.memo_store(key, value);
             self.note_rung(Degradation::SpilledToDisk);
+            self.emit(|| TraceSignal::Spill {
+                label: "memo-entry".to_string(),
+                bytes: relation_bytes(value),
+            });
         }
     }
 
@@ -563,7 +664,19 @@ impl Governor {
 
     /// A batch-boundary cancellation checkpoint: counts the check, gives an
     /// injected fault its chance to fire, then polls the token/deadline.
+    /// A checkpoint that *fires* (returns `Err`) is traced — the trace
+    /// records where a cancellation actually landed, not every poll.
     pub(crate) fn checkpoint(&self, operator: &str) -> Result<()> {
+        let result = self.checkpoint_inner(operator);
+        if result.is_err() {
+            self.emit(|| TraceSignal::CancelFired {
+                operator: operator.to_string(),
+            });
+        }
+        result
+    }
+
+    fn checkpoint_inner(&self, operator: &str) -> Result<()> {
         let n = self.checks.get() + 1;
         self.checks.set(n);
         if let Some(fault) = self.fault.borrow().as_ref() {
@@ -682,6 +795,10 @@ impl Governor {
         if let Some(fault) = self.fault.borrow().as_ref() {
             fault.observe(FaultSite::MemoInsert, operator)?;
         }
+        self.emit(|| TraceSignal::MemoInsert {
+            label: operator.to_string(),
+            bytes: cost,
+        });
         let budget = match self.budget.get() {
             Some(b) => b,
             None => {

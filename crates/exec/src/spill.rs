@@ -88,6 +88,14 @@ impl SpillManager {
         self.store.pool().misses()
     }
 
+    pub(crate) fn pool_evictions(&self) -> u64 {
+        self.store.pool().evictions()
+    }
+
+    pub(crate) fn pool_capacity(&self) -> u64 {
+        self.store.pool().capacity() as u64
+    }
+
     /// Creates a fresh heap file for a partition or run.
     pub(crate) fn create_file(&self, label: &str) -> Result<Rc<HeapFile>> {
         Ok(self.store.create_file(label)?)

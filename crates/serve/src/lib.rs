@@ -68,10 +68,10 @@ use perm_storage::{encode_key_typed, Tuple};
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on how many outer bindings a warming worker claims with one
 /// atomic increment in [`ConcurrentEngine::execute_parallel`]. The actual
@@ -117,6 +117,242 @@ pub struct ServeOptions {
     /// [`PermError::Rejected`] without executing anything — explicit load
     /// shedding instead of unbounded queueing. `None` admits all.
     pub admission_limit: Option<usize>,
+}
+
+/// Number of log2 latency buckets: bucket `i` counts observations of
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 counts zero-µs observations), so
+/// the top finite boundary is `2^24 - 1` µs ≈ 16.8 s and the last bucket is
+/// the `+Inf` overflow. Fixed boundaries — no configuration, no allocation,
+/// one relaxed increment per observation.
+const LATENCY_BUCKETS: usize = 26;
+
+/// A fixed-bucket log2 latency histogram over microseconds. `Sync` by
+/// construction (relaxed atomics): every pool worker records into the same
+/// instance. Snapshots are monotone but not atomic across fields — a reader
+/// racing a writer may see a sum without its count, which is the usual (and
+/// here acceptable) scrape-time skew.
+#[derive(Debug, Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let index = ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one of the registry's latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `i` holds observations of
+    /// `[2^(i-1), 2^i)` µs, the last bucket everything beyond the finite
+    /// boundaries.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of all observed latencies in microseconds.
+    pub sum_micros: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Appends this histogram in Prometheus text format (cumulative `le`
+    /// buckets, `_sum`, `_count`) under `name`.
+    fn prometheus_into(&self, name: &str, help: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if i + 1 == LATENCY_BUCKETS {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            } else {
+                // Bucket i holds observations ≤ 2^i - 1 µs, so that is its
+                // exact cumulative upper bound.
+                let le = (1u64 << i) - 1;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum_micros);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+/// The pool-wide counters [`ConcurrentEngine::serve_with_options`] maintains:
+/// request outcomes, retry/panic/restart counts, and the two latency
+/// histograms. All relaxed atomics — serving never blocks on metrics.
+#[derive(Debug, Default)]
+struct MetricsRegistry {
+    requests_served: AtomicU64,
+    requests_failed: AtomicU64,
+    requests_rejected: AtomicU64,
+    requests_retried: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    queue_wait: LatencyHistogram,
+    execution: LatencyHistogram,
+}
+
+/// A point-in-time view of the serving metrics
+/// ([`ConcurrentEngine::metrics`]): request outcomes, latency histograms,
+/// and the hit/miss traffic of the two cross-worker caches. Exportable as
+/// Prometheus text via [`MetricsSnapshot::prometheus_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests that completed with a result.
+    pub requests_served: u64,
+    /// Requests that completed with an error (after any retries).
+    pub requests_failed: u64,
+    /// Requests refused at admission ([`ServeOptions::admission_limit`]).
+    pub requests_rejected: u64,
+    /// Transient-failure re-executions performed ([`ServeOptions::retries`]).
+    pub requests_retried: u64,
+    /// Worker panics isolated at the request boundary.
+    pub worker_panics: u64,
+    /// Worker sessions replaced after a panic.
+    pub worker_restarts: u64,
+    /// Time from batch submission to a worker claiming the request.
+    pub queue_wait: HistogramSnapshot,
+    /// Wall time of each execution attempt.
+    pub execution: HistogramSnapshot,
+    /// Engine-wide plan-cache hits ([`perm::PlanCacheStats`]).
+    pub plan_cache_hits: u64,
+    /// Engine-wide plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Result lookups served by the pool's shared sublink memo.
+    pub shared_memo_hits: u64,
+    /// Result lookups the shared sublink memo could not serve.
+    pub shared_memo_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Plan-cache hit rate in `[0, 1]`; zero before any traffic.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        hit_rate(self.plan_cache_hits, self.plan_cache_misses)
+    }
+
+    /// Shared-memo result hit rate in `[0, 1]`; zero before any traffic.
+    pub fn shared_memo_hit_rate(&self) -> f64 {
+        hit_rate(self.shared_memo_hits, self.shared_memo_misses)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# HELP`/`# TYPE` headers, plain counters, two histograms with
+    /// cumulative `le` buckets, and the two hit rates as gauges. Hand
+    /// rolled — the format is lines of `name{labels} value`, no external
+    /// crate needed.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &str, u64); 10] = [
+            (
+                "perm_requests_served_total",
+                "Requests completed with a result.",
+                self.requests_served,
+            ),
+            (
+                "perm_requests_failed_total",
+                "Requests completed with an error after any retries.",
+                self.requests_failed,
+            ),
+            (
+                "perm_requests_rejected_total",
+                "Requests refused at admission (load shedding).",
+                self.requests_rejected,
+            ),
+            (
+                "perm_requests_retried_total",
+                "Transient-failure re-executions performed.",
+                self.requests_retried,
+            ),
+            (
+                "perm_worker_panics_total",
+                "Worker panics isolated at the request boundary.",
+                self.worker_panics,
+            ),
+            (
+                "perm_worker_restarts_total",
+                "Worker sessions replaced after a panic.",
+                self.worker_restarts,
+            ),
+            (
+                "perm_plan_cache_hits_total",
+                "Engine-wide plan cache hits.",
+                self.plan_cache_hits,
+            ),
+            (
+                "perm_plan_cache_misses_total",
+                "Engine-wide plan cache misses.",
+                self.plan_cache_misses,
+            ),
+            (
+                "perm_shared_memo_hits_total",
+                "Shared sublink-memo result hits.",
+                self.shared_memo_hits,
+            ),
+            (
+                "perm_shared_memo_misses_total",
+                "Shared sublink-memo result misses.",
+                self.shared_memo_misses,
+            ),
+        ];
+        use std::fmt::Write;
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        self.queue_wait.prometheus_into(
+            "perm_queue_wait_micros",
+            "Time from batch submission to a worker claiming the request.",
+            &mut out,
+        );
+        self.execution.prometheus_into(
+            "perm_execution_micros",
+            "Wall time of each execution attempt.",
+            &mut out,
+        );
+        let gauges: [(&str, &str, f64); 2] = [
+            (
+                "perm_plan_cache_hit_rate",
+                "Plan-cache hit rate in [0, 1].",
+                self.plan_cache_hit_rate(),
+            ),
+            (
+                "perm_shared_memo_hit_rate",
+                "Shared sublink-memo result hit rate in [0, 1].",
+                self.shared_memo_hit_rate(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
 }
 
 /// `true` for failures worth re-executing: a panic the pool isolated or a
@@ -189,6 +425,7 @@ pub struct ConcurrentEngine {
     engine: Engine,
     workers: usize,
     shared_memo: Arc<SharedSublinkMemo>,
+    metrics: MetricsRegistry,
 }
 
 impl ConcurrentEngine {
@@ -227,6 +464,29 @@ impl ConcurrentEngine {
             engine,
             workers: workers.max(1),
             shared_memo,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// A point-in-time snapshot of the pool's serving metrics: request
+    /// outcomes, queue-wait and execution-latency histograms, and the hit
+    /// traffic of the plan cache and the shared sublink memo. Cheap (a few
+    /// relaxed loads); export with [`MetricsSnapshot::prometheus_text`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let plan_cache = self.engine.plan_cache_stats();
+        MetricsSnapshot {
+            requests_served: self.metrics.requests_served.load(Ordering::Relaxed),
+            requests_failed: self.metrics.requests_failed.load(Ordering::Relaxed),
+            requests_rejected: self.metrics.requests_rejected.load(Ordering::Relaxed),
+            requests_retried: self.metrics.requests_retried.load(Ordering::Relaxed),
+            worker_panics: self.metrics.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.metrics.worker_restarts.load(Ordering::Relaxed),
+            queue_wait: self.metrics.queue_wait.snapshot(),
+            execution: self.metrics.execution.snapshot(),
+            plan_cache_hits: plan_cache.hits,
+            plan_cache_misses: plan_cache.misses,
+            shared_memo_hits: self.shared_memo.result_hits(),
+            shared_memo_misses: self.shared_memo.result_misses(),
         }
     }
 
@@ -318,6 +578,10 @@ impl ConcurrentEngine {
     ) -> Vec<Result<Relation, PermError>> {
         let limit = options.admission_limit.unwrap_or(requests.len());
         let admitted = limit.min(requests.len());
+        self.metrics
+            .requests_rejected
+            .fetch_add((requests.len() - admitted) as u64, Ordering::Relaxed);
+        let batch_start = Instant::now();
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<Relation, PermError>>>> = requests[..admitted]
             .iter()
@@ -343,24 +607,37 @@ impl ConcurrentEngine {
                         if i >= admitted {
                             break;
                         }
+                        self.metrics.queue_wait.record(batch_start.elapsed());
                         let request = &requests[i];
                         let mut attempts = 0;
                         let result = loop {
+                            let attempt_start = Instant::now();
                             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
                                 Self::run_request(&session, &mut local, request)
                             }))
                             .unwrap_or_else(|payload| {
                                 Err(PermError::Internal(panic_message(payload)))
                             });
+                            self.metrics.execution.record(attempt_start.elapsed());
                             if matches!(attempt, Err(PermError::Internal(_))) {
+                                self.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                                 session = self.engine.session_with(config.clone());
+                                self.metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
                             }
                             if is_transient(&attempt) && attempts < options.retries {
                                 attempts += 1;
+                                self.metrics
+                                    .requests_retried
+                                    .fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             break attempt;
                         };
+                        let outcome = match &result {
+                            Ok(_) => &self.metrics.requests_served,
+                            Err(_) => &self.metrics.requests_failed,
+                        };
+                        outcome.fetch_add(1, Ordering::Relaxed);
                         *results[i].lock().expect("result slot poisoned") = Some(result);
                     }
                 });
@@ -994,6 +1271,131 @@ mod tests {
                  checkpoint: {result:?}"
             );
         }
+    }
+
+    /// Minimal Prometheus text-format line check, mirroring the harness
+    /// smoke test: every non-comment, non-empty line is `name[{labels}]
+    /// value` with a parseable numeric value.
+    fn assert_prometheus_parses(text: &str) {
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("metric line without value: {line:?}"));
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line:?}"
+            );
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                !bare.is_empty()
+                    && bare
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "invalid metric name in line: {line:?}"
+            );
+            if let Some(rest) = name.split_once('{').map(|(_, r)| r) {
+                assert!(rest.ends_with('}'), "unterminated labels: {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_count_request_outcomes_latencies_and_cache_traffic() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let mut requests: Vec<Request> = (0..6)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        requests.push(Request::sql("SELECT nope FROM r", vec![]));
+        let results = engine.serve(&requests);
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 6);
+
+        // One extra batch under an admission limit: one more served, two
+        // shed.
+        let options = ServeOptions {
+            admission_limit: Some(1),
+            ..ServeOptions::default()
+        };
+        engine.serve_with_options(
+            &[
+                Request::sql(CORRELATED_SQL, vec![Value::Int(100)]),
+                Request::sql(CORRELATED_SQL, vec![Value::Int(101)]),
+                Request::sql(CORRELATED_SQL, vec![Value::Int(102)]),
+            ],
+            &options,
+        );
+
+        let metrics = engine.metrics();
+        assert_eq!(metrics.requests_served, 7);
+        assert_eq!(metrics.requests_failed, 1);
+        assert_eq!(metrics.requests_rejected, 2);
+        assert_eq!(metrics.requests_retried, 0);
+        assert_eq!(metrics.worker_panics, 0);
+        // One queue-wait and one execution observation per admitted request.
+        assert_eq!(metrics.queue_wait.count, 8);
+        assert_eq!(metrics.execution.count, 8);
+        assert_eq!(metrics.queue_wait.buckets.iter().sum::<u64>(), 8);
+        // The correlated statement drove shared-memo traffic, and repeated
+        // bindings hit.
+        assert!(metrics.shared_memo_hits + metrics.shared_memo_misses > 0);
+        assert!(metrics.plan_cache_hits + metrics.plan_cache_misses > 0);
+        assert!(metrics.plan_cache_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn metrics_record_panics_restarts_and_retries() {
+        use perm::{FaultKind, FaultPlan, FaultSite};
+        let fault = FaultPlan::new(FaultKind::Panic, FaultSite::Operator, 5);
+        let config = SessionConfig {
+            fault_plan: Some(fault.clone()),
+            ..SessionConfig::default()
+        };
+        let engine =
+            ConcurrentEngine::new(Engine::new(serving_db()).with_config(config)).with_workers(2);
+        let requests: Vec<Request> = (0..8)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        let options = ServeOptions {
+            retries: 1,
+            ..ServeOptions::default()
+        };
+        let results = engine.serve_with_options(&requests, &options);
+        assert!(fault.fired());
+        assert!(results.iter().all(Result::is_ok));
+        let metrics = engine.metrics();
+        assert_eq!(metrics.worker_panics, 1);
+        assert_eq!(metrics.worker_restarts, 1);
+        assert_eq!(metrics.requests_retried, 1);
+        assert_eq!(metrics.requests_served, 8);
+        // The panicked attempt still cost an execution observation.
+        assert_eq!(metrics.execution.count, 9);
+    }
+
+    #[test]
+    fn prometheus_export_is_line_format_clean_and_covers_the_families() {
+        let engine = ConcurrentEngine::new(Engine::new(serving_db())).with_workers(2);
+        let requests: Vec<Request> = (0..4)
+            .map(|i| Request::sql(CORRELATED_SQL, vec![Value::Int(100 + i)]))
+            .collect();
+        engine.serve(&requests);
+        let text = engine.metrics().prometheus_text();
+        assert_prometheus_parses(&text);
+        for family in [
+            "perm_requests_served_total",
+            "perm_requests_rejected_total",
+            "perm_queue_wait_micros_bucket",
+            "perm_execution_micros_sum",
+            "perm_execution_micros_count",
+            "perm_plan_cache_hit_rate",
+            "perm_shared_memo_hit_rate",
+        ] {
+            assert!(text.contains(family), "missing metric family {family}");
+        }
+        // Cumulative buckets end at +Inf with the total count.
+        assert!(text.contains("perm_execution_micros_bucket{le=\"+Inf\"} 4"));
     }
 
     #[test]

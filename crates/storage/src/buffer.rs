@@ -113,6 +113,12 @@ impl BufferPool {
         self.evictions.get()
     }
 
+    /// The configured frame capacity (the clamp [`BufferPool::new`]
+    /// applied included).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Times the pool had to exceed its capacity because every frame was
     /// pinned (growth instead of deadlock).
     pub fn overflow_frames(&self) -> u64 {

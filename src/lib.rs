@@ -50,6 +50,37 @@
 //! assert_eq!(session.stats().compiles, 1);
 //! ```
 //!
+//! ## Observability
+//!
+//! Every layer of the stack reports on itself without external
+//! dependencies:
+//!
+//! * **Per-operator profiles** — [`Session::explain`] returns the physical
+//!   plan shape of a statement as a [`QueryProfile`] tree (no execution);
+//!   [`Session::explain_analyze`] executes it and annotates every node
+//!   with actuals: invocations, rows in/out, batches, wall time, sublink
+//!   memo hits/misses, spill bytes and partitions, columnar-fallback rows.
+//!   [`Session::execute_profiled`] keeps the result rows alongside the
+//!   profile, and [`Session::rows_profiled`] arms a streaming cursor whose
+//!   [`Rows::profile`](perm_exec::Rows::profile) can be snapshotted
+//!   mid-stream. Profiles render as text ([`QueryProfile::render`]) or
+//!   JSON ([`QueryProfile::to_json`]), and the sum of per-node invocation
+//!   counts equals the executor's `operators_evaluated` counter by
+//!   construction.
+//! * **Structured traces** — attach any [`TraceSink`] (the bundled
+//!   [`RingTraceSink`] is a bounded ring buffer) via
+//!   [`SessionConfig::trace_sink`] to receive [`TraceEvent`]s: pipeline
+//!   phase spans (parse, bind, rewrite, compile, execute with wall times),
+//!   sublink-memo inserts and hits, spill writes, degradation-rung
+//!   transitions, and cancellation checkpoints that fired.
+//! * **Session counters** — [`Session::stats`] snapshots the monotone
+//!   [`SessionStats`] counters (see its *Counter semantics* section).
+//! * **Serving metrics** — the `perm-serve` crate aggregates per-worker
+//!   counters and latency histograms into a registry snapshot exportable
+//!   in Prometheus text format.
+//!
+//! The `examples/observability.rs` example walks all four tiers.
+//!
 //! The workspace is organised as a stack:
 //!
 //! * [`perm_storage`] — values, tuples, schemas, relations, catalog;
@@ -83,9 +114,11 @@ pub use perm_tpch as tpch;
 pub use perm_core::{
     ProvenanceDescriptor, ProvenanceError, ProvenanceQuery, RewriteResult, Strategy,
 };
+pub use perm_core::{RingTraceSink, TraceEvent, TraceKind, TraceSink};
 pub use perm_exec::Executor;
 pub use perm_exec::SharedSublinkMemo;
 pub use perm_exec::{CancelToken, Degradation, ExecError, FaultKind, FaultPlan, FaultSite};
+pub use perm_exec::{ProfileNode, QueryProfile};
 pub use perm_storage::{Database, Relation, Schema, Tuple, Value};
 pub use session::{
     Engine, PlanCacheStats, Prepared, ProvenanceRow, ProvenanceRows, Rows, Session, SessionConfig,
@@ -97,8 +130,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::{provenance_of_plan, provenance_of_sql, run_sql};
     pub use crate::{
-        Database, Engine, Executor, Prepared, ProvenanceQuery, ProvenanceRows, Relation, Rows,
-        Schema, Session, SessionConfig, Strategy, Tuple, Value, Witness,
+        Database, Engine, Executor, Prepared, ProvenanceQuery, ProvenanceRows, QueryProfile,
+        Relation, Rows, Schema, Session, SessionConfig, Strategy, Tuple, Value, Witness,
     };
     pub use perm_algebra::{col, lit, qcol, PlanBuilder};
 }

@@ -33,13 +33,17 @@ use crate::PermError;
 use perm_algebra::Plan;
 use perm_core::tracer::Tracer;
 use perm_core::{ProvenanceDescriptor, ProvenanceQuery, Strategy};
-use perm_exec::{CancelToken, Degradation, Executor, FaultPlan, SharedSublinkMemo};
+use perm_core::{TraceEvent, TraceKind, TraceSink};
+use perm_exec::{
+    CancelToken, Degradation, Executor, FaultPlan, QueryProfile, SharedSublinkMemo, TraceSignal,
+};
 use perm_storage::{Database, Relation, Schema, Tuple, Value};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Re-export of the executor's streaming cursor: `Iterator<Item =
 /// Result<Tuple, ExecError>>`. See [`Session::rows`].
@@ -316,7 +320,7 @@ pub struct PlanCacheStats {
 
 /// Session configuration: every execution toggle that used to be scattered
 /// across free functions and executor builder methods, in one place.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SessionConfig {
     /// The provenance rewrite strategy (default [`Strategy::Auto`]).
     pub strategy: Strategy,
@@ -413,6 +417,20 @@ pub struct SessionConfig {
     /// tests use this to provoke cancellations, budget exhaustion and
     /// worker panics at exact, reproducible points.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional structured-trace sink (default `None`). When set, every
+    /// session opened with this configuration records
+    /// [`perm_core::TraceEvent`]s into it: one [`TraceKind::Phase`] span
+    /// per completed pipeline phase (`parse`, `bind`, `rewrite`, `compile`,
+    /// `execute`, each carrying its wall time in nanoseconds), plus the
+    /// executor's resilience events — sublink-memo inserts and hits, spill
+    /// writes, degradation-rung transitions, and cancellation checkpoints
+    /// that actually fired. With no sink attached the executor's emission
+    /// seam is a single `Option` check; nothing is allocated or recorded.
+    /// The bundled [`perm_core::RingTraceSink`] keeps the most recent
+    /// events in a bounded ring; the trait is `Send + Sync`, so one sink
+    /// may observe many sessions (the serving worker pool does exactly
+    /// that). Execution-only: not part of the plan-cache key.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for SessionConfig {
@@ -431,6 +449,47 @@ impl Default for SessionConfig {
             spill: false,
             spill_dir: None,
             fault_plan: None,
+            trace_sink: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual only because `dyn TraceSink` has no `Debug`; every other
+        // field is shown as the derive would.
+        f.debug_struct("SessionConfig")
+            .field("strategy", &self.strategy)
+            .field("sublink_memo", &self.sublink_memo)
+            .field("memo_capacity", &self.memo_capacity)
+            .field("retain_memo", &self.retain_memo)
+            .field("batching", &self.batching)
+            .field("columnar", &self.columnar)
+            .field("tracer", &self.tracer)
+            .field("shared_sublink_memo", &self.shared_sublink_memo)
+            .field("deadline", &self.deadline)
+            .field("memory_budget", &self.memory_budget)
+            .field("spill", &self.spill)
+            .field("spill_dir", &self.spill_dir)
+            .field("fault_plan", &self.fault_plan)
+            .field("trace_sink", &self.trace_sink.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+/// Bridges the executor-side [`TraceSignal`] (emitted by the resilience
+/// governor, which cannot depend on `perm-core`) into the sink-side
+/// [`TraceEvent`]. Runs only when a sink is attached.
+fn bridge_signal(signal: TraceSignal) -> TraceEvent {
+    match signal {
+        TraceSignal::MemoInsert { label, bytes } => {
+            TraceEvent::new(TraceKind::MemoInsert, label, bytes)
+        }
+        TraceSignal::MemoHit { label } => TraceEvent::new(TraceKind::MemoHit, label, 0),
+        TraceSignal::Spill { label, bytes } => TraceEvent::new(TraceKind::Spill, label, bytes),
+        TraceSignal::Rung { rung } => TraceEvent::new(TraceKind::Rung, format!("{rung:?}"), 0),
+        TraceSignal::CancelFired { operator } => {
+            TraceEvent::new(TraceKind::CancelFired, operator, 0)
         }
     }
 }
@@ -438,6 +497,24 @@ impl Default for SessionConfig {
 /// Pipeline counters of one session, for observability and for asserting
 /// the prepared-statement contract (re-execution performs zero parse, bind,
 /// rewrite or compile work).
+///
+/// # Counter semantics
+///
+/// Every counter **accumulates monotonically over the session's lifetime**.
+/// Nothing resets between executions — not between two executions of one
+/// [`Prepared`] statement, not across statements, not when
+/// [`Session::run`] clears ad-hoc memo entries. Differencing two snapshots
+/// therefore attributes work to exactly the executions in between, which
+/// is how the prepared-statement contract is asserted: after a prepare,
+/// re-executing must advance `executions` (and execution-side counters
+/// like `vectorized_batches` and `cancel_checks`) while `parses`, `binds`,
+/// `rewrites` and `compiles` stay put.
+///
+/// Three fields are not event counters but still move monotonically:
+/// [`SessionStats::peak_bytes`] and [`SessionStats::degradation`] are
+/// high-water marks (the worst value ever observed, under byte and rung
+/// ordering respectively), and [`SessionStats::buffer_pool_capacity`] is a
+/// configuration gauge — constant for the session's life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// SQL texts parsed.
@@ -496,6 +573,13 @@ pub struct SessionStats {
     pub buffer_pool_hits: u64,
     /// Buffer-pool misses (page loads from disk) while reading spill files.
     pub buffer_pool_misses: u64,
+    /// Pages evicted from the spill-file buffer pool to admit new ones —
+    /// the churn signal that, next to the hit/miss split, tells an
+    /// undersized pool from a cold one.
+    pub buffer_pool_evictions: u64,
+    /// Configured frame capacity of the spill-file buffer pool (a gauge,
+    /// not a counter; zero when the session has no spill manager).
+    pub buffer_pool_capacity: u64,
     /// Worst [`Degradation`] rung the executor reached under memory
     /// pressure: `None` (never over budget), `SpilledToDisk` (state moved
     /// to disk, no work lost), `ReclaimedMemos` (cached sublink results
@@ -624,6 +708,12 @@ impl<'a> Session<'a> {
         if let Some(plan) = &config.fault_plan {
             executor = executor.with_fault_plan(plan.clone());
         }
+        if let Some(sink) = &config.trace_sink {
+            let sink = Arc::clone(sink);
+            executor.set_trace_hook(Some(Rc::new(move |signal| {
+                sink.record(bridge_signal(signal))
+            })));
+        }
         Session {
             db,
             config,
@@ -657,6 +747,19 @@ impl<'a> Session<'a> {
         &self.executor
     }
 
+    /// Records one completed pipeline phase into the configured trace sink
+    /// (a no-op without one). Only *completed* phases are recorded: a phase
+    /// that errors contributes no span.
+    fn trace_phase(&self, phase: &'static str, start: Instant) {
+        if let Some(sink) = &self.config.trace_sink {
+            sink.record(TraceEvent::new(
+                TraceKind::Phase,
+                phase,
+                start.elapsed().as_nanos() as u64,
+            ));
+        }
+    }
+
     /// A snapshot of the session's pipeline counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -677,6 +780,8 @@ impl<'a> Session<'a> {
             spill_partitions: self.executor.spill_partitions(),
             buffer_pool_hits: self.executor.buffer_pool_hits(),
             buffer_pool_misses: self.executor.buffer_pool_misses(),
+            buffer_pool_evictions: self.executor.buffer_pool_evictions(),
+            buffer_pool_capacity: self.executor.buffer_pool_capacity(),
             degradation: self.executor.degradation(),
         }
     }
@@ -747,11 +852,15 @@ impl<'a> Session<'a> {
     }
 
     fn parse_and_bind(&self, sql: &str) -> Result<(Plan, bool), PermError> {
+        let start = Instant::now();
         let parsed = perm_sql::parse_query(sql)?;
         self.parses.set(self.parses.get() + 1);
+        self.trace_phase("parse", start);
         let provenance = parsed.provenance;
+        let start = Instant::now();
         let bound = perm_sql::bind(self.db, &parsed)?;
         self.binds.set(self.binds.get() + 1);
+        self.trace_phase("bind", start);
         Ok((bound.plan, provenance))
     }
 
@@ -784,16 +893,20 @@ impl<'a> Session<'a> {
             });
         }
         let (plan, kind) = if provenance {
+            let start = Instant::now();
             let rewritten = ProvenanceQuery::new(self.db, &plan)
                 .strategy(self.config.strategy)
                 .rewrite()?;
             self.rewrites.set(self.rewrites.get() + 1);
+            self.trace_phase("rewrite", start);
             let descriptor = rewritten.descriptor;
             (rewritten.plan, PreparedKind::Provenance { descriptor })
         } else {
             (plan, PreparedKind::Plain)
         };
+        let start = Instant::now();
         let compiled = self.executor.prepare(&plan)?;
+        self.trace_phase("compile", start);
         let schema = compiled.schema().clone();
         Ok(Prepared {
             sql: sql.map(str::to_owned),
@@ -880,11 +993,13 @@ impl<'a> Session<'a> {
         deadline: Option<Duration>,
     ) -> Result<Relation, PermError> {
         self.bind_checked(prepared, params, deadline)?;
+        let start = Instant::now();
         let result = match (&prepared.kind, &prepared.compiled) {
             (PreparedKind::Traced { .. }, _) => Tracer::new(self.db).trace(&prepared.plan)?,
             (_, Some(compiled)) => self.executor.execute_compiled(compiled, None)?,
             (_, None) => unreachable!("non-traced statements always carry a compiled plan"),
         };
+        self.trace_phase("execute", start);
         self.count_execution();
         Ok(result)
     }
@@ -920,6 +1035,89 @@ impl<'a> Session<'a> {
         let rows = self.executor.open(compiled)?;
         self.count_execution();
         Ok(rows)
+    }
+
+    /// `EXPLAIN`: prepares `sql` (plan-cached like [`Session::prepare`])
+    /// and returns the shape of its physical plan as a [`QueryProfile`]
+    /// whose counters are all zero — **nothing is executed**. The same
+    /// tree, annotated with actuals, comes back from
+    /// [`Session::explain_analyze`]; render either with
+    /// [`QueryProfile::render`] or encode it with
+    /// [`QueryProfile::to_json`].
+    pub fn explain(&self, sql: &str) -> Result<QueryProfile, PermError> {
+        let prepared = self.prepare(sql)?;
+        let compiled = Self::profilable(&prepared)?;
+        Ok(perm_exec::profile::ProfileTree::for_plan(compiled).snapshot())
+    }
+
+    /// `EXPLAIN ANALYZE`: prepares and executes a parameter-free `sql`
+    /// statement and returns its [`QueryProfile`] — the physical plan tree
+    /// annotated with per-operator actuals (invocations, rows in/out,
+    /// batches, wall time, memo hits/misses, spill bytes/partitions,
+    /// columnar-fallback rows). The result rows are discarded, as in SQL
+    /// `EXPLAIN ANALYZE`; use [`Session::execute_profiled`] to keep them,
+    /// or [`Session::rows_profiled`] to profile a streaming cursor.
+    ///
+    /// Like [`Session::run`], this is the ad-hoc path: the session's own
+    /// memo entries are cleared afterwards under the retention policy so
+    /// one-off analysis does not accumulate entries.
+    pub fn explain_analyze(&self, sql: &str) -> Result<QueryProfile, PermError> {
+        let prepared = self.prepare(sql)?;
+        let result = self.execute_profiled(&prepared, &[]);
+        if self.config.retain_memo {
+            self.executor.clear_compiled_memos();
+        }
+        result.map(|(_, profile)| profile)
+    }
+
+    /// Executes a prepared statement with profiling armed, returning both
+    /// the result and the [`QueryProfile`] of this execution. Semantically
+    /// identical to [`Session::execute`] — same rows, same errors, same
+    /// memo/deadline behaviour — plus per-operator actuals. Profiling cost
+    /// is a strided clock probe per operator invocation (see the
+    /// `perm_exec::profile` docs); the `harness obs --check` gate pins it.
+    pub fn execute_profiled(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<(Relation, QueryProfile), PermError> {
+        let compiled = Self::profilable(prepared)?;
+        self.bind_checked(prepared, params, None)?;
+        let start = Instant::now();
+        let (relation, profile) = self.executor.execute_profiled(compiled)?;
+        self.trace_phase("execute", start);
+        self.count_execution();
+        Ok((relation, profile))
+    }
+
+    /// [`Session::rows`] with profiling armed: the returned cursor records
+    /// per-operator actuals as it is pulled, and [`Rows::profile`] snapshots
+    /// them at any point — typically after exhaustion, but a mid-stream
+    /// snapshot of a `LIMIT`-style consumer is exactly how much the
+    /// early-out actually saved.
+    pub fn rows_profiled<'s>(
+        &'s self,
+        prepared: &'s Prepared,
+        params: &[Value],
+    ) -> Result<Rows<'s, 'a>, PermError> {
+        let compiled = Self::profilable(prepared)?;
+        self.bind_checked(prepared, params, None)?;
+        let rows = self.executor.open_profiled(compiled)?;
+        self.count_execution();
+        Ok(rows)
+    }
+
+    /// The compiled form of a statement, or the uniform error for tracer
+    /// statements (which interpret the logical plan and have no physical
+    /// operators to profile).
+    fn profilable(prepared: &Prepared) -> Result<&perm_exec::CompiledPlan, PermError> {
+        prepared.compiled.as_ref().ok_or_else(|| {
+            PermError::Param(
+                "tracer statements have no physical plan to profile; \
+                 disable `SessionConfig::tracer` to use EXPLAIN/EXPLAIN ANALYZE"
+                    .into(),
+            )
+        })
     }
 
     /// Executes a provenance statement and returns the structured witness

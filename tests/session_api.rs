@@ -598,3 +598,107 @@ fn columnar_stats_count_blocks_and_fallbacks() {
     assert_eq!(stats.columnar_fallback_rows, 0);
     assert!(stats.vectorized_batches > 0, "batching itself stays on");
 }
+
+#[test]
+fn stats_counters_accumulate_monotonically_over_the_session_life() {
+    // The documented contract (`SessionStats` — *Counter semantics*):
+    // nothing resets between executions. Totals accumulate over the
+    // session's life, `peak_bytes` and `degradation` are high-water marks,
+    // and `buffer_pool_capacity` is a configuration gauge — so every
+    // numeric field must be non-decreasing across consecutive snapshots.
+    use perm::SessionStats;
+    type Counter = (&'static str, fn(&SessionStats) -> u64);
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let counters: &[Counter] = &[
+        ("parses", |s| s.parses),
+        ("binds", |s| s.binds),
+        ("rewrites", |s| s.rewrites),
+        ("compiles", |s| s.compiles),
+        ("executions", |s| s.executions),
+        ("plan_cache_hits", |s| s.plan_cache_hits),
+        ("plan_cache_misses", |s| s.plan_cache_misses),
+        ("vectorized_batches", |s| s.vectorized_batches),
+        ("sublink_fallback_rows", |s| s.sublink_fallback_rows),
+        ("columnar_blocks", |s| s.columnar_blocks),
+        ("columnar_fallback_rows", |s| s.columnar_fallback_rows),
+        ("cancel_checks", |s| s.cancel_checks),
+        ("peak_bytes", |s| s.peak_bytes),
+        ("spilled_bytes", |s| s.spilled_bytes),
+        ("spill_partitions", |s| s.spill_partitions),
+        ("buffer_pool_hits", |s| s.buffer_pool_hits),
+        ("buffer_pool_misses", |s| s.buffer_pool_misses),
+        ("buffer_pool_evictions", |s| s.buffer_pool_evictions),
+        ("buffer_pool_capacity", |s| s.buffer_pool_capacity),
+    ];
+    let mut previous = session.stats();
+    for sql in [
+        "SELECT a FROM r WHERE a IN (SELECT c FROM s)",
+        "SELECT PROVENANCE a FROM r WHERE a < 9",
+        "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)",
+        "SELECT g FROM r",
+    ] {
+        let prepared = session.prepare(sql).unwrap();
+        session.execute(&prepared, &[]).unwrap();
+        let current = session.stats();
+        for (name, get) in counters {
+            assert!(
+                get(&current) >= get(&previous),
+                "{name} decreased between executions ({} -> {}) after `{sql}`",
+                get(&previous),
+                get(&current)
+            );
+        }
+        assert!(
+            current.degradation >= previous.degradation,
+            "the degradation high-water mark moved back after `{sql}`"
+        );
+        assert_eq!(current.executions, previous.executions + 1);
+        previous = current;
+    }
+    assert_eq!(previous.parses, 4);
+    assert_eq!(previous.executions, 4);
+    assert_eq!(previous.rewrites, 1, "one statement carried PROVENANCE");
+}
+
+#[test]
+fn spill_sessions_report_buffer_pool_churn_and_capacity() {
+    // The buffer-pool fields on `SessionStats`: a starvation budget with
+    // spill enabled must surface the configured pool capacity (a gauge,
+    // zero until a spill manager exists) and the pool traffic incurred
+    // while reading runs back.
+    let mut db = Database::new();
+    db.create_table(
+        "big",
+        Relation::from_rows(
+            Schema::from_names(&["k", "v"]).with_qualifier("big"),
+            (0..3000)
+                .map(|i| vec![Value::Int((i * 37) % 1000), Value::Int(i)])
+                .collect(),
+        ),
+    )
+    .unwrap();
+    let engine = Engine::new(db);
+    let session = engine.session_with(SessionConfig {
+        memory_budget: Some(8 << 10),
+        spill: true,
+        ..SessionConfig::default()
+    });
+    let prepared = session.prepare("SELECT k, v FROM big ORDER BY k").unwrap();
+    let rows = session.execute(&prepared, &[]).unwrap();
+    assert_eq!(rows.len(), 3000);
+    let stats = session.stats();
+    assert!(
+        stats.spilled_bytes > 0,
+        "an 8KB budget must push the sort out of core"
+    );
+    assert!(
+        stats.buffer_pool_capacity > 0,
+        "a spill manager must bring a configured pool capacity"
+    );
+    assert!(
+        stats.buffer_pool_hits + stats.buffer_pool_misses > 0,
+        "reading spilled runs back must go through the buffer pool"
+    );
+}
