@@ -346,6 +346,30 @@ impl PlanBuilder {
         }
     }
 
+    /// Semi join with another plan (left tuples with at least one match).
+    pub fn semi_join(self, other: Plan, condition: Expr) -> PlanBuilder {
+        PlanBuilder {
+            plan: Plan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(other),
+                kind: JoinKind::Semi,
+                condition,
+            },
+        }
+    }
+
+    /// Anti join with another plan (left tuples with no match).
+    pub fn anti_join(self, other: Plan, condition: Expr) -> PlanBuilder {
+        PlanBuilder {
+            plan: Plan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(other),
+                kind: JoinKind::Anti,
+                condition,
+            },
+        }
+    }
+
     /// Aggregation.
     pub fn aggregate(
         self,

@@ -66,11 +66,27 @@ impl ProjectItem {
 }
 
 /// Join kinds supported by the engine. `LeftOuter` is required by the Left
-/// and Move rewrite strategies (rules L1/L2 and T1/T2).
+/// and Move rewrite strategies (rules L1/L2 and T1/T2). `Semi` and `Anti`
+/// are produced only by the optimizer's sublink decorrelation rule: both
+/// output left-side tuples unchanged (the right side exists purely as a
+/// match domain), so their output schema is the left input's schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
     Inner,
     LeftOuter,
+    /// Emits each left tuple at most once, iff at least one right tuple
+    /// satisfies the join condition.
+    Semi,
+    /// Emits each left tuple at most once, iff no right tuple satisfies the
+    /// join condition.
+    Anti,
+}
+
+impl JoinKind {
+    /// `true` for join kinds whose output schema is the left input alone.
+    pub fn left_only_output(self) -> bool {
+        matches!(self, JoinKind::Semi | JoinKind::Anti)
+    }
 }
 
 impl fmt::Display for JoinKind {
@@ -78,6 +94,8 @@ impl fmt::Display for JoinKind {
         match self {
             JoinKind::Inner => write!(f, "⋈"),
             JoinKind::LeftOuter => write!(f, "⟕"),
+            JoinKind::Semi => write!(f, "⋉"),
+            JoinKind::Anti => write!(f, "▷"),
         }
     }
 }
@@ -203,7 +221,15 @@ impl Plan {
             ),
             Plan::Select { input, .. } => input.schema(),
             Plan::CrossProduct { left, right } => left.schema().concat(&right.schema()),
-            Plan::Join { left, right, .. } => left.schema().concat(&right.schema()),
+            Plan::Join {
+                left, right, kind, ..
+            } => {
+                if kind.left_only_output() {
+                    left.schema()
+                } else {
+                    left.schema().concat(&right.schema())
+                }
+            }
             Plan::Aggregate {
                 group_by,
                 aggregates,

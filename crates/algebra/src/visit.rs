@@ -78,6 +78,16 @@ fn free_columns_into(plan: &Plan, out: &mut Vec<(Option<String>, String)>) {
     }
 }
 
+/// Reports the column references of `expr` that `scope` cannot resolve —
+/// the expression-level counterpart of [`free_columns`]. The optimizer uses
+/// this to decide which conjuncts of a correlated sublink's predicate refer
+/// to the enclosing scope.
+pub fn free_expr_columns(expr: &Expr, scope: &Schema) -> Vec<(Option<String>, String)> {
+    let mut out = Vec::new();
+    free_expr_columns_into(expr, scope, &mut out);
+    out
+}
+
 /// Reports the column references of `expr` that `scope` cannot resolve.
 ///
 /// A sublink contributes two kinds of references, both checked against

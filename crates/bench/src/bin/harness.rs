@@ -11,6 +11,10 @@
 //! harness fig9 [--max-rows N]                           # Figure 9: vary both relations
 //! harness memo [--max-rows N] [--check]                 # sublink memo on/off on q3 (Fig. 7 sweep)
 //!                                                       # --check: fail unless memoized < unmemoized ops
+//! harness opt [--max-rows N] [--scale S] [--check]      # optimizer decorrelation vs memo-only (Fig. 7 + TPC-H Q4)
+//!                                                       # --check: fail unless optimized < baseline ops at every
+//!                                                       #          point with more outer rows than the correlation
+//!                                                       #          groups
 //! harness batch [--max-rows N] [--scale S] [--check]    # columnar vs row-major vs per-tuple (Fig. 7 + TPC-H)
 //!                                                       # --check: fail unless columnar and batched are no slower
 //! harness robust [--max-rows N] [--check]               # resilience machinery armed-but-idle vs absent (Fig. 7)
@@ -30,10 +34,10 @@
 
 use perm_bench::{
     batch_results_to_json, concurrent_to_json, format_table, measure_ablation, measure_batch,
-    measure_concurrent, measure_fig6, measure_kernels, measure_obs, measure_robust, measure_serve,
-    measure_spill, measure_sublink_memo, measure_synthetic_sweep, memo_results_to_json,
-    obs_to_json, prometheus_format_errors, results_to_json, robust_to_json, serve_to_json,
-    spill_to_json, BatchPoint, BenchConfig, SyntheticSweep,
+    measure_concurrent, measure_fig6, measure_kernels, measure_obs, measure_opt, measure_robust,
+    measure_serve, measure_spill, measure_sublink_memo, measure_synthetic_sweep,
+    memo_results_to_json, obs_to_json, opt_to_json, prometheus_format_errors, results_to_json,
+    robust_to_json, serve_to_json, spill_to_json, BatchPoint, BenchConfig, SyntheticSweep,
 };
 use perm_tpch::TpchScale;
 use std::time::Duration;
@@ -76,6 +80,7 @@ fn main() {
             &config,
         ),
         "memo" => memo(&options, &config),
+        "opt" => opt(&options, &config),
         "batch" => batch(&options, &config),
         "robust" => robust(&options, &config),
         "spill" => spill(&options, &config),
@@ -107,6 +112,7 @@ fn main() {
                 &config,
             );
             memo(&options, &config);
+            opt(&options, &config);
             batch(&options, &config);
             robust(&options, &config);
             spill(&options, &config);
@@ -286,6 +292,91 @@ fn memo(options: &Options, config: &BenchConfig) {
         println!(
             "memo check passed: memoized < unmemoized operator count at all {strict_points} \
              points above {} rows ({} points total)",
+            perm_synthetic::CORRELATION_GROUPS,
+            rows.len()
+        );
+    }
+}
+
+fn opt(options: &Options, config: &BenchConfig) {
+    println!(
+        "== Optimizer decorrelation — correlated sublinks as semi/anti joins vs the \
+         memo-only baseline (Fig. 7 q3 up to {} rows, TPC-H Q4 at scale {}) ==\n",
+        options.max_rows, options.scale
+    );
+    let Some(scale) = TpchScale::named(&options.scale) else {
+        eprintln!("unknown scale `{}` (expected xs, s, m or l)", options.scale);
+        std::process::exit(1);
+    };
+    let rows = measure_opt(SyntheticSweep::VaryInput, options.max_rows, scale, config);
+    println!(
+        "{:<28} {:>9} {:>10} {:>10} {:>8} {:>10} {:>10} {:>6}",
+        "workload", "outer", "ops opt", "ops base", "ratio", "ms opt", "ms base", "decorr"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>9} {:>10} {:>10} {:>7.1}x {:>10.1} {:>10.1} {:>6}",
+            row.label,
+            row.outer_rows,
+            row.ops_optimized,
+            row.ops_baseline,
+            row.ops_ratio(),
+            row.ms_optimized,
+            row.ms_baseline,
+            row.sublinks_decorrelated
+        );
+    }
+    println!();
+    write_json("opt", &opt_to_json("opt", &rows));
+
+    // `--check` turns the comparison into a CI gate, mirroring `memo
+    // --check`: the optimized plan must never evaluate *more* operators
+    // than the memo-only baseline, must decorrelate every point, and must
+    // win strictly wherever outer rows outnumber the correlation groups
+    // (there, the memo's amortisation is saturated and static unnesting
+    // still has to beat it; at tiny points a tie is legitimate).
+    if options.check {
+        let mut failed = rows.is_empty();
+        if failed {
+            eprintln!("opt check: no points completed within the time budget");
+        }
+        let mut strict_points = 0usize;
+        for row in &rows {
+            strict_points += row.must_be_strict as usize;
+            let violated = if row.must_be_strict {
+                row.ops_optimized >= row.ops_baseline
+            } else {
+                row.ops_optimized > row.ops_baseline
+            };
+            if violated {
+                eprintln!(
+                    "opt check: {} evaluated {} operators optimized vs {} on the baseline",
+                    row.label, row.ops_optimized, row.ops_baseline
+                );
+                failed = true;
+            }
+            if row.sublinks_decorrelated == 0 {
+                eprintln!(
+                    "opt check: {} decorrelated no sublink — the headline rule did not fire",
+                    row.label
+                );
+                failed = true;
+            }
+        }
+        if !failed && strict_points == 0 {
+            eprintln!(
+                "opt check: no point exceeded {} outer rows, nothing to gate on \
+                 (raise --max-rows)",
+                perm_synthetic::CORRELATION_GROUPS
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "opt check passed: optimized < baseline operator count at all {strict_points} \
+             points above {} outer rows ({} points total, every point decorrelated)",
             perm_synthetic::CORRELATION_GROUPS,
             rows.len()
         );
@@ -865,13 +956,18 @@ fn ablation(options: &Options, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "usage: harness <fig6|fig7|fig8|fig9|memo|batch|robust|spill|obs|serve|concurrent|ablation|all> \
+        "usage: harness <fig6|fig7|fig8|fig9|memo|opt|batch|robust|spill|obs|serve|concurrent|ablation|all> \
          [--scale xs|s|m|l] [--runs N] [--timeout SECS] [--seed N] [--max-rows N] [--rows N] \
          [--execs N] [--check]"
     );
     println!(
         "  --check (memo): exit non-zero unless the memoized path evaluates strictly \
          fewer operators than the unmemoized path at every point"
+    );
+    println!(
+        "  --check (opt): exit non-zero unless the decorrelating optimizer evaluates \
+         strictly fewer operators than the memo-only baseline at every point with more \
+         outer rows than the correlation groups (and decorrelates every point)"
     );
     println!(
         "  --check (batch): exit non-zero unless columnar execution is no slower than \

@@ -79,6 +79,12 @@ pub struct ResultRow {
     pub label: String,
     /// Strategy used.
     pub strategy: Strategy,
+    /// Plan-shape fingerprint of the bound (pre-rewrite) plan — a stable
+    /// hash of the operator tree (`perm_exec::plan_fingerprint`), so a PR
+    /// that changes what a benchmark point *executes* is visible in the
+    /// JSON artefact diff even when the timings drift. Zero when the
+    /// statement failed to compile.
+    pub fingerprint: u64,
     /// Outcome.
     pub measurement: Measurement,
 }
@@ -208,15 +214,18 @@ pub fn measure_fig6(scale: TpchScale, config: &BenchConfig) -> Vec<ResultRow> {
                 rows.push(ResultRow {
                     label: format!("Q{}", template.id),
                     strategy: Strategy::Gen,
+                    fingerprint: 0,
                     measurement: Measurement::Failed(e.to_string()),
                 });
                 continue;
             }
         };
+        let fingerprint = perm_exec::plan_fingerprint(&plan);
         for strategy in Strategy::ALL {
             rows.push(ResultRow {
                 label: format!("Q{}", template.id),
                 strategy,
+                fingerprint,
                 measurement: measure_plan(&db, &plan, strategy, config),
             });
         }
@@ -279,10 +288,12 @@ pub fn measure_synthetic_sweep(
             (QueryKind::Q3CorrelatedExists, "q3"),
         ] {
             let plan = build_query(&db, params, kind);
+            let fingerprint = perm_exec::plan_fingerprint(&plan);
             for strategy in Strategy::ALL {
                 rows.push(ResultRow {
                     label: format!("{name} |R1|={r1_rows} |R2|={r2_rows}"),
                     strategy,
+                    fingerprint,
                     measurement: measure_plan(&db, &plan, strategy, config),
                 });
             }
@@ -309,6 +320,8 @@ pub struct MemoComparison {
     pub ms_memoized: f64,
     /// Wall-clock milliseconds with the memo disabled.
     pub ms_unmemoized: f64,
+    /// Plan-shape fingerprint of the measured plan.
+    pub fingerprint: u64,
     /// Result rows (identical in both modes; asserted).
     pub result_rows: usize,
 }
@@ -373,6 +386,7 @@ pub fn measure_sublink_memo(
                 ops_unmemoized,
                 ms_memoized,
                 ms_unmemoized,
+                fingerprint: perm_exec::plan_fingerprint(&plan),
                 result_rows: with_memo.len(),
             });
         });
@@ -388,6 +402,159 @@ pub fn measure_sublink_memo(
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 panic!("memo measurement worker for |R1|={r1_rows} |R2|={r2_rows} failed")
+            }
+        }
+    }
+    out
+}
+
+/// One point of the optimizer comparison (`harness opt`): a correlated
+/// workload executed with the decorrelating optimizer on (sublinks become
+/// semi/anti joins) and off (the memo-only baseline — PR 1's parameterized
+/// sublink memo is enabled in both modes, so the comparison isolates what
+/// static decorrelation buys *on top of* runtime memoization).
+#[derive(Debug, Clone)]
+pub struct OptComparison {
+    /// Workload label.
+    pub label: String,
+    /// Outer relation size (|R1| for the synthetic points; the `orders`
+    /// table for TPC-H Q4).
+    pub outer_rows: usize,
+    /// Whether the `--check` gate demands a *strict* operator-count win at
+    /// this point: outer rows exceed the correlation-group count, so the
+    /// memo's amortisation is saturated and decorrelation must still beat
+    /// it. At smaller points a tie is legitimate.
+    pub must_be_strict: bool,
+    /// Operator evaluations with the optimizer on.
+    pub ops_optimized: u64,
+    /// Operator evaluations on the memo-only baseline.
+    pub ops_baseline: u64,
+    /// Wall-clock milliseconds with the optimizer on.
+    pub ms_optimized: f64,
+    /// Wall-clock milliseconds on the memo-only baseline.
+    pub ms_baseline: f64,
+    /// Sublinks the optimizer decorrelated in this plan.
+    pub sublinks_decorrelated: u64,
+    /// Plan-shape fingerprint of the bound plan.
+    pub fingerprint_bound: u64,
+    /// Plan-shape fingerprint of the optimized plan.
+    pub fingerprint_optimized: u64,
+    /// Result rows (identical in both modes; asserted).
+    pub result_rows: usize,
+}
+
+impl OptComparison {
+    /// `ops_baseline / ops_optimized` — the factor by which decorrelation
+    /// cuts operator evaluations beyond the memo.
+    pub fn ops_ratio(&self) -> f64 {
+        self.ops_baseline as f64 / self.ops_optimized.max(1) as f64
+    }
+}
+
+/// Measures one correlated plan with the optimizer on and off under the
+/// time budget, asserting bag-equal results. `None` on timeout.
+fn measure_opt_plan(
+    db: &Database,
+    plan: &perm_algebra::Plan,
+    label: &str,
+    outer_rows: usize,
+    must_be_strict: bool,
+    config: &BenchConfig,
+) -> Option<OptComparison> {
+    let runs = config.runs.max(1);
+    let (sender, receiver) = mpsc::channel();
+    let db = db.clone();
+    let plan = plan.clone();
+    let label_owned = label.to_string();
+    std::thread::spawn(move || {
+        let measure = |optimizer: bool| {
+            let mut total_ms = 0.0;
+            let mut ops = 0;
+            let mut result = None;
+            for _ in 0..runs {
+                let executor = Executor::new(&db).with_optimizer(optimizer);
+                let start = Instant::now();
+                let relation = executor
+                    .execute(&plan)
+                    .expect("correlated workload must run");
+                total_ms += start.elapsed().as_secs_f64() * 1000.0;
+                ops = executor.operators_evaluated();
+                result = Some(relation);
+            }
+            (total_ms / runs as f64, ops, result.expect("runs >= 1"))
+        };
+        let (ms_optimized, ops_optimized, optimized) = measure(true);
+        let (ms_baseline, ops_baseline, baseline) = measure(false);
+        assert!(
+            optimized.bag_eq(&baseline),
+            "optimized and memo-only results must agree on {label_owned}"
+        );
+        let (optimized_plan, report) = perm_exec::optimize(&plan);
+        let _ = sender.send(OptComparison {
+            label: label_owned,
+            outer_rows,
+            must_be_strict,
+            ops_optimized,
+            ops_baseline,
+            ms_optimized,
+            ms_baseline,
+            sublinks_decorrelated: report.sublinks_decorrelated,
+            fingerprint_bound: perm_exec::plan_fingerprint(&plan),
+            fingerprint_optimized: perm_exec::plan_fingerprint(&optimized_plan),
+            result_rows: optimized.len(),
+        });
+    });
+    match receiver.recv_timeout(config.timeout.mul_f64(2.0 * runs as f64)) {
+        Ok(comparison) => Some(comparison),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("opt point {label} exceeded the time budget; skipping");
+            None
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("opt measurement worker for {label} failed")
+        }
+    }
+}
+
+/// Measures the optimizer's sublink decorrelation against the memo-only
+/// baseline (`harness opt`): the correlated `q3` query along a Fig. 7-style
+/// sweep, plus the correlated TPC-H Q4 (`EXISTS` over `lineitem` keyed on
+/// `o_orderkey`) at the given scale. Results are asserted bag-equal per
+/// point; points that exceed the time budget end the synthetic sweep early
+/// (larger points would only time out too).
+pub fn measure_opt(
+    sweep: SyntheticSweep,
+    max_rows: usize,
+    scale: TpchScale,
+    config: &BenchConfig,
+) -> Vec<OptComparison> {
+    let mut out = Vec::new();
+    let groups = perm_synthetic::CORRELATION_GROUPS as usize;
+    for (r1_rows, r2_rows) in sweep.points(max_rows) {
+        let db = build_database(r1_rows, r2_rows, config.seed);
+        let params = random_range(r1_rows, r2_rows, config.seed);
+        let plan = build_query(&db, params, QueryKind::Q3CorrelatedExists);
+        let label = format!("q3 |R1|={r1_rows} |R2|={r2_rows}");
+        match measure_opt_plan(&db, &plan, &label, r1_rows, r1_rows > groups, config) {
+            Some(point) => out.push(point),
+            None => break,
+        }
+    }
+    let tpch = generate(scale, config.seed);
+    let outer_rows = tpch.table("orders").map(|t| t.len()).unwrap_or(0);
+    if let Some(template) = sublink_queries().into_iter().find(|t| t.id == 4) {
+        let sql = template.instantiate(config.seed);
+        if let Ok((plan, _)) = perm_sql::compile(&tpch, &sql) {
+            let label = "tpch Q4".to_string();
+            if let Some(point) = measure_opt_plan(
+                &tpch,
+                &plan,
+                &label,
+                outer_rows,
+                outer_rows > groups,
+                config,
+            ) {
+                out.push(point);
             }
         }
     }
@@ -1955,9 +2122,10 @@ pub fn results_to_json(figure: &str, rows: &[ResultRow]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"label\":\"{}\",\"strategy\":\"{}\",",
+            "{{\"label\":\"{}\",\"strategy\":\"{}\",\"fingerprint\":\"{:016x}\",",
             json_escape(&row.label),
-            row.strategy.name()
+            row.strategy.name(),
+            row.fingerprint
         ));
         match &row.measurement {
             Measurement::Completed {
@@ -2005,7 +2173,7 @@ pub fn memo_results_to_json(figure: &str, rows: &[MemoComparison]) -> String {
         out.push_str(&format!(
             "{{\"label\":\"{}\",\"r1_rows\":{},\"r2_rows\":{},\"ops_memoized\":{},\
              \"ops_unmemoized\":{},\"ops_ratio\":{:.2},\"ms_memoized\":{:.3},\
-             \"ms_unmemoized\":{:.3},\"result_rows\":{}}}",
+             \"ms_unmemoized\":{:.3},\"fingerprint\":\"{:016x}\",\"result_rows\":{}}}",
             json_escape(&row.label),
             row.r1_rows,
             row.r2_rows,
@@ -2014,6 +2182,44 @@ pub fn memo_results_to_json(figure: &str, rows: &[MemoComparison]) -> String {
             row.ops_ratio(),
             row.ms_memoized,
             row.ms_unmemoized,
+            row.fingerprint,
+            row.result_rows
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders optimizer comparison points as JSON (`BENCH_opt.json`).
+/// Fingerprints are emitted as 16-digit hex strings — a u64 does not fit a
+/// JSON double losslessly.
+pub fn opt_to_json(figure: &str, rows: &[OptComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\":\"{}\",\"rows\":[",
+        json_escape(figure)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"outer_rows\":{},\"must_be_strict\":{},\
+             \"ops_optimized\":{},\"ops_baseline\":{},\"ops_ratio\":{:.2},\
+             \"ms_optimized\":{:.3},\"ms_baseline\":{:.3},\
+             \"sublinks_decorrelated\":{},\"fingerprint_bound\":\"{:016x}\",\
+             \"fingerprint_optimized\":\"{:016x}\",\"result_rows\":{}}}",
+            json_escape(&row.label),
+            row.outer_rows,
+            row.must_be_strict,
+            row.ops_optimized,
+            row.ops_baseline,
+            row.ops_ratio(),
+            row.ms_optimized,
+            row.ms_baseline,
+            row.sublinks_decorrelated,
+            row.fingerprint_bound,
+            row.fingerprint_optimized,
             row.result_rows
         ));
     }

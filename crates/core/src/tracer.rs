@@ -410,6 +410,13 @@ impl<'a> Tracer<'a> {
         condition: Option<&Expr>,
         env: Option<&Env<'_>>,
     ) -> Result<Traced> {
+        if kind.left_only_output() {
+            // Semi/anti joins exist only in optimizer output, which the
+            // tracer never receives: it interprets the bound user plan.
+            return Err(ProvenanceError::Unsupported(format!(
+                "tracer does not support {kind} joins"
+            )));
+        }
         self.descriptor(plan)?;
         let l = self.trace_plan(left, env)?;
         let r = self.trace_plan(right, env)?;

@@ -469,7 +469,14 @@ impl Compiler {
             } => {
                 let l_schema = left.schema();
                 let r_schema = right.schema();
-                let out_schema = l_schema.concat(&r_schema);
+                // The condition always sees the concatenated candidate row;
+                // the stored output schema is left-only for semi/anti joins.
+                let cond_schema = l_schema.concat(&r_schema);
+                let out_schema = if kind.left_only_output() {
+                    l_schema.clone()
+                } else {
+                    cond_schema.clone()
+                };
 
                 // Hash keys only for sublink-free conditions, as in the
                 // interpreter. Each side compiles against its own input
@@ -486,7 +493,7 @@ impl Compiler {
                         });
                     }
                 }
-                let scope = Scopes::nest(outer, &out_schema);
+                let scope = Scopes::nest(outer, &cond_schema);
                 let condition = self.expr(condition, Some(&scope))?;
                 Ok(CompiledPlan::Join {
                     left: Box::new(self.plan(left, outer)?),
@@ -824,6 +831,13 @@ impl Executor<'_> {
                 schema,
             } => {
                 let l = self.execute_compiled_node(left, frame, prof.map(|p| p.child(0)))?;
+                if l.is_empty() && kind.left_only_output() {
+                    // A decorrelated sublink's inner plan never ran when the
+                    // outer input was empty; skipping the build side keeps
+                    // the operator count and error surface of the reference
+                    // per-binding evaluation.
+                    return Ok(Relation::empty(schema.clone()));
+                }
                 let r = self.execute_compiled_node(right, frame, prof.map(|p| p.child(1)))?;
                 let null_safe: Vec<bool> = equi_keys.iter().map(|k| k.null_safe).collect();
                 self.profiled(prof, (l.len() + r.len()) as u64, || {

@@ -47,6 +47,7 @@
 use crate::compile::CompiledPlan;
 use crate::eval::Env;
 use crate::memo::{MemoMap, SharedSublinkMemo};
+use crate::optimize::OptimizerReport;
 use crate::physical::{self, AggSpec};
 use crate::profile::{OpProbe, ProfileTree};
 use crate::resilience::{CancelToken, Degradation, FaultPlan, Governor, MemoCost, TraceSignal};
@@ -119,6 +120,14 @@ pub struct Executor<'a> {
     /// Number of plan compilations performed by [`Executor::prepare`]
     /// (diagnostic counter for prepared-statement tests).
     compile_count: Cell<u64>,
+    /// Whether [`Executor::prepare`] runs the algebraic optimizer
+    /// ([`crate::optimize`]) before compiling (off by default — sessions
+    /// run the optimizer themselves so they can diff the plans; this switch
+    /// serves executor-direct callers such as the differential harness).
+    optimizer_enabled: Cell<bool>,
+    /// What the optimizer did during the most recent [`Executor::prepare`]
+    /// with the optimizer enabled.
+    optimizer_report: Cell<OptimizerReport>,
     /// Number of operator evaluations performed (for tests/diagnostics);
     /// counted inside `crate::physical`, once per operator invocation.
     pub(crate) ops_evaluated: Cell<u64>,
@@ -202,6 +211,8 @@ impl<'a> Executor<'a> {
             memo_enabled: Cell::new(true),
             retain_memo: Cell::new(false),
             compile_count: Cell::new(0),
+            optimizer_enabled: Cell::new(false),
+            optimizer_report: Cell::new(OptimizerReport::default()),
             ops_evaluated: Cell::new(0),
             cmp_evaluated: Cell::new(0),
             batch_enabled: Cell::new(true),
@@ -551,8 +562,37 @@ impl<'a> Executor<'a> {
     /// executors can never collide in a shared memo.
     pub fn prepare(&self, plan: &Plan) -> Result<CompiledPlan> {
         self.compile_count.set(self.compile_count.get() + 1);
+        let optimized;
+        let plan = if self.optimizer_enabled.get() {
+            let (p, report) = crate::optimize::optimize(plan);
+            self.optimizer_report.set(report);
+            optimized = p;
+            &optimized
+        } else {
+            plan
+        };
         let fused = perm_algebra::optimize::fuse_select_over_cross(plan.clone());
         crate::compile::compile_plan(&fused)
+    }
+
+    /// Enables or disables the algebraic optimizer pass in
+    /// [`Executor::prepare`] (disabled by default; see the field docs for
+    /// why sessions keep it off and run [`crate::optimize::optimize`]
+    /// themselves).
+    pub fn with_optimizer(self, enabled: bool) -> Executor<'a> {
+        self.optimizer_enabled.set(enabled);
+        self
+    }
+
+    /// Whether [`Executor::prepare`] runs the algebraic optimizer.
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimizer_enabled.get()
+    }
+
+    /// The rule-application report of the most recent optimizer run in
+    /// [`Executor::prepare`] (all-zero when the optimizer never ran).
+    pub fn optimizer_report(&self) -> OptimizerReport {
+        self.optimizer_report.get()
     }
 
     /// Clears the compiled-path memos (sublink results and verdicts) *of
@@ -761,10 +801,22 @@ impl<'a> Executor<'a> {
                 condition,
             } => {
                 let l = self.execute_with_env(left, env)?;
+                if l.is_empty() && kind.left_only_output() {
+                    // Mirror the per-binding reference: with no outer rows
+                    // the decorrelated inner plan never runs.
+                    return Ok(Relation::empty(l.schema().clone()));
+                }
                 let r = self.execute_with_env(right, env)?;
                 let l_schema = l.schema().clone();
                 let r_schema = r.schema().clone();
-                let out_schema = l_schema.concat(&r_schema);
+                // The condition is evaluated over the concatenated candidate
+                // row even for semi/anti joins, whose output is left-only.
+                let cond_schema = l_schema.concat(&r_schema);
+                let out_schema = if kind.left_only_output() {
+                    l_schema.clone()
+                } else {
+                    cond_schema.clone()
+                };
                 // Hash keys only for sublink-free conditions: a condition
                 // carrying sublinks falls back to the nested loop, which is
                 // exactly the cost profile the paper discusses for the Left
@@ -799,7 +851,7 @@ impl<'a> Executor<'a> {
                     },
                     |batch, out| {
                         for joined in batch.iter() {
-                            let scope = Env::new(env, &out_schema, joined);
+                            let scope = Env::new(env, &cond_schema, joined);
                             out.push(self.eval_predicate(condition, Some(&scope))?.is_true());
                         }
                         Ok(())

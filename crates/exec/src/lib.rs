@@ -72,6 +72,20 @@
 //! counted once per logical operator invocation, never per batch, so the
 //! counter is comparable across batch sizes and execution modes.
 //!
+//! Ahead of compilation sits the **optimizer layer** ([`mod@optimize`]) — a
+//! fixpoint of cost-free logical rewrites over the bound algebra: correlated
+//! `EXISTS`/`NOT EXISTS`/`IN`-equality sublinks in top-scope selections are
+//! *decorrelated* into hash semi/anti joins (the static counterpart of the
+//! runtime memo above — shapes the rules cannot prove safe simply keep the
+//! memo path), selections push toward the scans, projection columns nobody
+//! reads are pruned, and constant subexpressions fold. Every rule preserves
+//! result bags, the error set *and* the `operators_evaluated` bound; the
+//! module documentation spells out the three observables. The `Session`
+//! facade runs the phase between the provenance rewrite and [`compile`]
+//! (so witness columns are ordinary columns by then); executor-direct
+//! callers opt in with [`Executor::with_optimizer`], and `harness opt
+//! --check` gates the decorrelated plans against the memo-only baseline.
+//!
 //! An [`Executor`] is deliberately `!Sync` (its counters and private memos
 //! use `Cell`/`RefCell`) — concurrency happens *above* it, one executor per
 //! worker thread. What crosses threads is the read-only data: the database,
@@ -106,6 +120,7 @@ pub mod executor;
 pub mod functions;
 pub mod kernels;
 pub(crate) mod memo;
+pub mod optimize;
 pub(crate) mod physical;
 pub mod profile;
 pub mod resilience;
@@ -117,6 +132,7 @@ pub use cursor::Rows;
 pub use eval::Env;
 pub use executor::Executor;
 pub use memo::SharedSublinkMemo;
+pub use optimize::{optimize, plan_fingerprint, OptimizerReport};
 pub use profile::{ProfileNode, QueryProfile};
 pub use resilience::{CancelToken, Degradation, FaultKind, FaultPlan, FaultSite, TraceSignal};
 

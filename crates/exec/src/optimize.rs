@@ -1,0 +1,1783 @@
+//! The optimizer layer between bind/rewrite and compile: cost-free,
+//! semantics-preserving rewrite rules over the bound algebra.
+//!
+//! The headline rule is **sublink decorrelation**: `EXISTS` / `NOT EXISTS` /
+//! `IN` / `= ANY` sublinks appearing as top-level conjuncts of a selection
+//! are unnested into hash semi joins (`⋉`) and anti joins (`▷`) over the
+//! sublink's body, with the correlated comparison conjuncts hoisted into the
+//! join condition. This is the static counterpart of the runtime binding
+//! memo: where the memo re-executes the sublink once per distinct outer
+//! binding, the decorrelated plan executes the body exactly once and lets
+//! the (hash) join machinery distribute it over the outer rows. Shapes the
+//! rule cannot prove safe — scalar sublinks, `ALL`, negated `ANY`,
+//! non-comparison correlation, correlation that crosses more than one scope
+//! — are left untouched and keep the memo path.
+//!
+//! Supporting rules in the same fixpoint driver: constant folding over
+//! predicates, predicate pushdown through projections / `INTERSECT` /
+//! `EXCEPT` / semi- and anti-join probe sides, and projection pruning off
+//! column liveness.
+//!
+//! # Equivalence discipline
+//!
+//! Every rule preserves three observables of the reference interpreter
+//! ([`crate::Executor::execute_unoptimized`]):
+//!
+//! 1. **Result bags** (and therefore provenance witness bags — the
+//!    provenance rewrite runs *before* the optimizer, so witness attributes
+//!    are ordinary columns here).
+//! 2. **The error set.** The engine's `AND` evaluates its right operand
+//!    when the left is `UNKNOWN` (only `FALSE` short-circuits), so moving,
+//!    dropping, or re-ordering a conjunct changes *which expressions are
+//!    evaluated on which rows*. Rules therefore only move expressions that
+//!    are *total* (see `expr_is_total`) — provably unable to raise an evaluation
+//!    error — unless the move provably keeps the evaluation set intact
+//!    (e.g. an `EXISTS` verdict is never `UNKNOWN`, so a leading `EXISTS`
+//!    conjunct gates its successors exactly like the semi join it becomes).
+//! 3. **Operator invocations**: no rule may increase
+//!    `operators_evaluated` on a plan it fires on; decorrelation lowers it
+//!    on every correlated point with more than a handful of bindings.
+//!
+//! The differential suites enforce all three over the full random corpus
+//! (optimizer-on vs optimizer-off, result and witness bags bag-identical).
+
+use perm_algebra::builder::{cmp, conjunction};
+use perm_algebra::expr::{BinaryOp, CompareOp, UnaryOp};
+use perm_algebra::visit::{free_columns, free_expr_columns};
+use perm_algebra::{AggFunc, Expr, JoinKind, Plan, ProjectItem, SublinkKind};
+use perm_storage::{Schema, Value};
+
+/// Upper bound on fixpoint iterations; each pass applies every rule once.
+const MAX_PASSES: usize = 4;
+
+/// What the optimizer did to one plan: per-rule fire counts, reported
+/// through `SessionStats` and rendered by `EXPLAIN`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerReport {
+    /// Sublinks unnested into semi/anti joins.
+    pub sublinks_decorrelated: u64,
+    /// Constant subexpressions folded (including selections proven
+    /// always-true or always-false).
+    pub constants_folded: u64,
+    /// Selections pushed through a projection, set operation, or semi/anti
+    /// join probe side.
+    pub predicates_pushed: u64,
+    /// Projections narrowed by the liveness pass.
+    pub projections_pruned: u64,
+    /// Fixpoint passes run (diagnostic).
+    pub passes: u64,
+}
+
+impl OptimizerReport {
+    /// Total rule applications across all rules.
+    pub fn rules_fired(&self) -> u64 {
+        self.sublinks_decorrelated
+            + self.constants_folded
+            + self.predicates_pushed
+            + self.projections_pruned
+    }
+
+    /// One-line human-readable summary (`decorrelate×2 pushdown×1`), or
+    /// `"no rules fired"`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, n) in [
+            ("decorrelate", self.sublinks_decorrelated),
+            ("fold", self.constants_folded),
+            ("pushdown", self.predicates_pushed),
+            ("prune", self.projections_pruned),
+        ] {
+            if n > 0 {
+                parts.push(format!("{name}×{n}"));
+            }
+        }
+        if parts.is_empty() {
+            "no rules fired".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Optimizes a bound (or provenance-rewritten) plan. Pure plan-to-plan:
+/// the input is the reference shape, the output is what gets compiled.
+pub fn optimize(plan: &Plan) -> (Plan, OptimizerReport) {
+    let mut rep = OptimizerReport::default();
+    let mut fresh = 0usize;
+    let mut current = plan.clone();
+    for _ in 0..MAX_PASSES {
+        let before = current.clone();
+        current = fold_pass(&current, &mut rep);
+        current = decorrelate_pass(&current, &[], &mut rep, &mut fresh);
+        current = pushdown_pass(&current, &mut rep);
+        current = prune_pass(&current, None, &mut rep);
+        rep.passes += 1;
+        if current == before {
+            break;
+        }
+    }
+    (current, rep)
+}
+
+/// A stable structural fingerprint of the operator tree (FNV-1a over the
+/// operator tags, join/set-op kinds, expression renderings, and sublink
+/// plans), recorded in bench rows so measured speedups are attributable to
+/// plan-shape changes. Stable across processes: nothing address- or
+/// hash-map-ordering-dependent goes into it.
+pub fn plan_fingerprint(plan: &Plan) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fingerprint_into(plan, &mut h);
+    h
+}
+
+fn fnv1a_step(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+fn fingerprint_into(plan: &Plan, h: &mut u64) {
+    let tag: &str = match plan {
+        Plan::Scan { table, alias, .. } => {
+            fnv1a_step(h, b"scan:");
+            fnv1a_step(h, table.as_bytes());
+            if let Some(a) = alias {
+                fnv1a_step(h, a.as_bytes());
+            }
+            return;
+        }
+        Plan::Values { rows, .. } => {
+            fnv1a_step(h, b"values:");
+            fnv1a_step(h, &(rows.len() as u64).to_le_bytes());
+            return;
+        }
+        Plan::Project { distinct, .. } => {
+            if *distinct {
+                "project-distinct"
+            } else {
+                "project"
+            }
+        }
+        Plan::Select { .. } => "select",
+        Plan::CrossProduct { .. } => "cross",
+        Plan::Join { kind, .. } => match kind {
+            JoinKind::Inner => "join-inner",
+            JoinKind::LeftOuter => "join-left",
+            JoinKind::Semi => "join-semi",
+            JoinKind::Anti => "join-anti",
+        },
+        Plan::Aggregate { .. } => "aggregate",
+        Plan::SetOp { op, all, .. } => match (op, all) {
+            (perm_algebra::SetOpKind::Union, true) => "union-all",
+            (perm_algebra::SetOpKind::Union, false) => "union",
+            (perm_algebra::SetOpKind::Intersect, true) => "intersect-all",
+            (perm_algebra::SetOpKind::Intersect, false) => "intersect",
+            (perm_algebra::SetOpKind::Except, true) => "except-all",
+            (perm_algebra::SetOpKind::Except, false) => "except",
+        },
+        Plan::Sort { .. } => "sort",
+        Plan::Limit { .. } => "limit",
+    };
+    fnv1a_step(h, tag.as_bytes());
+    fnv1a_step(h, b"(");
+    for expr in plan.expressions() {
+        fnv1a_step(h, expr.to_string().as_bytes());
+        for sub in expr.sublinks() {
+            if let Expr::Sublink { plan: sp, .. } = sub {
+                fnv1a_step(h, b"[");
+                fingerprint_into(sp, h);
+                fnv1a_step(h, b"]");
+            }
+        }
+    }
+    for child in plan.children() {
+        fnv1a_step(h, b",");
+        fingerprint_into(child, h);
+    }
+    fnv1a_step(h, b")");
+}
+
+// ---------------------------------------------------------------------------
+// Totality analysis
+// ---------------------------------------------------------------------------
+
+/// How a column reference resolves against a scope chain (innermost first),
+/// mirroring [`crate::eval::Env::lookup`]: the first scope that knows the
+/// name wins, ambiguity *within* a scope is an evaluation error.
+fn resolves(scopes: &[Schema], qualifier: Option<&str>, name: &str) -> bool {
+    for scope in scopes {
+        match scope.try_resolve(qualifier, name) {
+            Ok(Some(_)) => return true,
+            Ok(None) => continue,
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+/// `true` when evaluating `expr` under the scope chain `scopes` (innermost
+/// first) can never raise an error, for any row. This is the contract that
+/// lets a rule move the expression to a place where it is evaluated on a
+/// different set of rows. Deliberately conservative: arithmetic (division,
+/// overflow-checked ops), function calls, parameters (which may be unbound)
+/// and scalar sublinks (cardinality errors) are never total.
+pub(crate) fn expr_is_total(expr: &Expr, scopes: &[Schema]) -> bool {
+    match expr {
+        Expr::Column { qualifier, name } => resolves(scopes, qualifier.as_deref(), name),
+        Expr::Literal(_) => true,
+        Expr::Param(_) => false,
+        Expr::Binary { op, left, right } => {
+            let ops_total = matches!(
+                op,
+                BinaryOp::And
+                    | BinaryOp::Or
+                    | BinaryOp::Cmp(_)
+                    | BinaryOp::NullSafeEq
+                    | BinaryOp::Like
+                    | BinaryOp::NotLike
+                    | BinaryOp::Concat
+            );
+            ops_total && expr_is_total(left, scopes) && expr_is_total(right, scopes)
+        }
+        Expr::Unary { op, expr } => {
+            matches!(op, UnaryOp::Not | UnaryOp::IsNull | UnaryOp::IsNotNull)
+                && expr_is_total(expr, scopes)
+        }
+        Expr::Func { .. } => false,
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .all(|(c, v)| expr_is_total(c, scopes) && expr_is_total(v, scopes))
+                && else_expr
+                    .as_deref()
+                    .map(|e| expr_is_total(e, scopes))
+                    .unwrap_or(true)
+        }
+        Expr::Sublink {
+            kind,
+            test_expr,
+            plan,
+            ..
+        } => match kind {
+            SublinkKind::Scalar => false,
+            SublinkKind::Exists => plan_is_total(plan, scopes),
+            SublinkKind::Any | SublinkKind::All => {
+                test_expr
+                    .as_deref()
+                    .map(|t| expr_is_total(t, scopes))
+                    .unwrap_or(false)
+                    && plan_is_total(plan, scopes)
+            }
+        },
+    }
+}
+
+/// `true` when executing `plan` (with enclosing scopes `outers`, innermost
+/// first) can never raise an evaluation error. `Sum`/`Avg` aggregates are
+/// excluded (arithmetic over non-numeric values errors); comparisons, hash
+/// encodings and sorting are error-free in this engine.
+pub(crate) fn plan_is_total(plan: &Plan, outers: &[Schema]) -> bool {
+    let with_local = |local: Schema| -> Vec<Schema> {
+        let mut chain = vec![local];
+        chain.extend_from_slice(outers);
+        chain
+    };
+    match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => true,
+        Plan::Select { input, predicate } => {
+            plan_is_total(input, outers) && expr_is_total(predicate, &with_local(input.schema()))
+        }
+        Plan::Project { input, items, .. } => {
+            let chain = with_local(input.schema());
+            plan_is_total(input, outers) && items.iter().all(|i| expr_is_total(&i.expr, &chain))
+        }
+        Plan::CrossProduct { left, right } => {
+            plan_is_total(left, outers) && plan_is_total(right, outers)
+        }
+        Plan::Join {
+            left,
+            right,
+            condition,
+            ..
+        } => {
+            plan_is_total(left, outers)
+                && plan_is_total(right, outers)
+                && expr_is_total(
+                    condition,
+                    &with_local(left.schema().concat(&right.schema())),
+                )
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let chain = with_local(input.schema());
+            plan_is_total(input, outers)
+                && group_by.iter().all(|g| expr_is_total(&g.expr, &chain))
+                && aggregates.iter().all(|a| {
+                    matches!(
+                        a.func,
+                        AggFunc::Count | AggFunc::CountStar | AggFunc::Min | AggFunc::Max
+                    ) && a
+                        .arg
+                        .as_ref()
+                        .map(|e| expr_is_total(e, &chain))
+                        .unwrap_or(true)
+                })
+        }
+        Plan::SetOp { left, right, .. } => {
+            plan_is_total(left, outers) && plan_is_total(right, outers)
+        }
+        Plan::Sort { input, keys } => {
+            let chain = with_local(input.schema());
+            plan_is_total(input, outers) && keys.iter().all(|k| expr_is_total(&k.expr, &chain))
+        }
+        Plan::Limit { input, .. } => plan_is_total(input, outers),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped traversal
+// ---------------------------------------------------------------------------
+
+/// Rebuilds every sublink plan inside `expr` with `f`, handing each the
+/// scope chain `scopes` (the chain its plan executes under). Descends into
+/// `ANY`/`ALL` test expressions, which [`Expr::transform`] treats as opaque.
+fn map_sublink_plans(
+    expr: &Expr,
+    scopes: &[Schema],
+    f: &mut impl FnMut(&Plan, &[Schema]) -> Plan,
+) -> Expr {
+    expr.clone().transform(&mut |e| match e {
+        Expr::Sublink {
+            kind,
+            test_expr,
+            op,
+            plan,
+        } => Expr::Sublink {
+            kind,
+            test_expr: test_expr.map(|t| Box::new(map_sublink_plans(&t, scopes, f))),
+            op,
+            plan: Box::new(f(&plan, scopes)),
+        },
+        other => other,
+    })
+}
+
+/// The scope chain a sublink embedded in this operator's expressions
+/// executes under: the operator's own expression scope pushed onto the
+/// enclosing chain.
+fn child_chain(local: Schema, outers: &[Schema]) -> Vec<Schema> {
+    let mut chain = vec![local];
+    chain.extend_from_slice(outers);
+    chain
+}
+
+// ---------------------------------------------------------------------------
+// Rule: sublink decorrelation
+// ---------------------------------------------------------------------------
+
+/// Bottom-up decorrelation sweep. `outers` is the enclosing sublink scope
+/// chain (innermost first) — empty at the top level.
+fn decorrelate_pass(
+    plan: &Plan,
+    outers: &[Schema],
+    rep: &mut OptimizerReport,
+    fresh: &mut usize,
+) -> Plan {
+    let rebuilt = match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => plan.clone(),
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => {
+            let chain = child_chain(input.schema(), outers);
+            let input = decorrelate_pass(input, outers, rep, fresh);
+            Plan::Project {
+                items: items
+                    .iter()
+                    .map(|i| ProjectItem {
+                        expr: map_sublink_plans(&i.expr, &chain, &mut |p, s| {
+                            decorrelate_pass(p, s, rep, fresh)
+                        }),
+                        alias: i.alias.clone(),
+                        qualifier: i.qualifier.clone(),
+                    })
+                    .collect(),
+                distinct: *distinct,
+                input: Box::new(input),
+            }
+        }
+        Plan::Select { input, predicate } => {
+            let chain = child_chain(input.schema(), outers);
+            Plan::Select {
+                predicate: map_sublink_plans(predicate, &chain, &mut |p, s| {
+                    decorrelate_pass(p, s, rep, fresh)
+                }),
+                input: Box::new(decorrelate_pass(input, outers, rep, fresh)),
+            }
+        }
+        Plan::CrossProduct { left, right } => Plan::CrossProduct {
+            left: Box::new(decorrelate_pass(left, outers, rep, fresh)),
+            right: Box::new(decorrelate_pass(right, outers, rep, fresh)),
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => {
+            let chain = child_chain(left.schema().concat(&right.schema()), outers);
+            Plan::Join {
+                condition: map_sublink_plans(condition, &chain, &mut |p, s| {
+                    decorrelate_pass(p, s, rep, fresh)
+                }),
+                left: Box::new(decorrelate_pass(left, outers, rep, fresh)),
+                right: Box::new(decorrelate_pass(right, outers, rep, fresh)),
+                kind: *kind,
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(decorrelate_pass(input, outers, rep, fresh)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Plan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(decorrelate_pass(left, outers, rep, fresh)),
+            right: Box::new(decorrelate_pass(right, outers, rep, fresh)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(decorrelate_pass(input, outers, rep, fresh)),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(decorrelate_pass(input, outers, rep, fresh)),
+            limit: *limit,
+        },
+    };
+    // Only top-scope selections decorrelate. A sublink nested inside
+    // another sublink's plan re-executes with every enclosing binding, and
+    // there the memo amortizes its body across bindings while a join would
+    // rebuild per run — decorrelation can *cost* operators in that
+    // position.
+    if !outers.is_empty() {
+        return rebuilt;
+    }
+    if let Plan::Select { input, predicate } = rebuilt {
+        match try_decorrelate(*input, predicate, outers, rep, fresh) {
+            Ok(plan) => plan,
+            Err(untouched) => {
+                let (input, predicate) = *untouched;
+                Plan::Select {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+    } else {
+        rebuilt
+    }
+}
+
+/// The join kind and pieces of one decorrelatable sublink conjunct.
+struct Candidate<'a> {
+    kind: JoinKind,
+    /// `ANY` test expression (`None` for `EXISTS` variants).
+    test: Option<&'a Expr>,
+    sub: &'a Plan,
+    /// `true` for the `EXISTS` variants, whose verdict is never `UNKNOWN`.
+    exists_like: bool,
+}
+
+fn classify_sublink(conjunct: &Expr) -> Option<Candidate<'_>> {
+    match conjunct {
+        Expr::Sublink {
+            kind: SublinkKind::Exists,
+            plan,
+            ..
+        } => Some(Candidate {
+            kind: JoinKind::Semi,
+            test: None,
+            sub: plan,
+            exists_like: true,
+        }),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Sublink {
+                kind: SublinkKind::Exists,
+                plan,
+                ..
+            } => Some(Candidate {
+                kind: JoinKind::Anti,
+                test: None,
+                sub: plan,
+                exists_like: true,
+            }),
+            _ => None,
+        },
+        // `IN` lowers to `= ANY` in the binder, so this covers both. The
+        // negated forms (`NOT IN`, `<> ALL`) are NOT safe: a NULL element
+        // makes the reference verdict UNKNOWN (row dropped) while an anti
+        // join would keep the row.
+        Expr::Sublink {
+            kind: SublinkKind::Any,
+            test_expr: Some(test),
+            op: Some(CompareOp::Eq),
+            plan,
+        } => Some(Candidate {
+            kind: JoinKind::Semi,
+            test: Some(test),
+            sub: plan,
+            exists_like: false,
+        }),
+        _ => None,
+    }
+}
+
+/// One correlated conjunct hoisted out of the sublink body.
+enum Hoisted {
+    /// `outer_expr ⟨op⟩ inner_expr`, normalised with the outer side left.
+    Pair {
+        outer: Expr,
+        op: BinaryOp,
+        inner: Expr,
+    },
+    /// A conjunct referencing the outer scope only — moves verbatim into
+    /// the join condition (NOT into a selection above the join: for an anti
+    /// join, a false outer-only conjunct must *keep* the outer row).
+    OuterOnly(Expr),
+}
+
+/// Which single scope an expression's references live in.
+enum Side {
+    Outer,
+    Inner,
+    Mixed,
+}
+
+fn side_of(expr: &Expr, outer: &Schema, local: &Schema) -> Side {
+    if expr.has_sublink() {
+        return Side::Mixed;
+    }
+    let refs = expr.column_refs();
+    let mut any_outer = false;
+    let mut any_inner = false;
+    for (q, n) in &refs {
+        let in_local = local.try_resolve(q.as_deref(), n);
+        let in_outer = outer.try_resolve(q.as_deref(), n);
+        match (in_local, in_outer) {
+            // Innermost scope wins at runtime, so a locally resolvable
+            // reference is an inner reference.
+            (Ok(Some(_)), _) => any_inner = true,
+            (Ok(None), Ok(Some(_))) => any_outer = true,
+            _ => return Side::Mixed,
+        }
+    }
+    match (any_outer, any_inner) {
+        (true, false) => Side::Outer,
+        (false, _) => Side::Inner,
+        (true, true) => Side::Mixed,
+    }
+}
+
+/// Tries to decorrelate one sublink conjunct of `Select(input, predicate)`.
+/// Returns the transformed plan, or the untouched pieces when no conjunct
+/// qualifies (the memo fallback).
+fn try_decorrelate(
+    input: Plan,
+    predicate: Expr,
+    outers: &[Schema],
+    rep: &mut OptimizerReport,
+    fresh: &mut usize,
+) -> Result<Plan, Box<(Plan, Expr)>> {
+    let conjuncts = perm_algebra::optimize::split_conjuncts(&predicate);
+    let outer_schema = input.schema();
+    let pred_chain = child_chain(outer_schema.clone(), outers);
+
+    for (i, conjunct) in conjuncts.iter().enumerate() {
+        let Some(cand) = classify_sublink(conjunct) else {
+            continue;
+        };
+        // Error-parity gate 1: the conjuncts that move to the selection
+        // above the join are evaluated on (at most) the join's survivors
+        // instead of their original rows, so they must be total — except
+        // when a leading EXISTS gate makes the survivor set exactly the
+        // reference evaluation set (an EXISTS verdict is never UNKNOWN, so
+        // `AND` gates its successors precisely like the semi/anti join).
+        let exists_first = cand.exists_like && i == 0;
+        if !exists_first {
+            let others_total = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .all(|(_, c)| expr_is_total(c, &pred_chain));
+            if !others_total {
+                continue;
+            }
+        }
+        // ANY test expressions are re-evaluated as a join input; they must
+        // be total and resolve entirely in the immediate outer scope.
+        if let Some(test) = cand.test {
+            if !expr_is_total(test, std::slice::from_ref(&outer_schema)) {
+                continue;
+            }
+        }
+        if let Some(built) = build_decorrelated(&cand, &outer_schema, outers, i == 0, fresh) {
+            let others: Vec<Expr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let join = Plan::Join {
+                left: Box::new(input),
+                right: Box::new(built.right),
+                kind: cand.kind,
+                condition: built.condition,
+            };
+            rep.sublinks_decorrelated += 1;
+            return Ok(if others.is_empty() {
+                join
+            } else {
+                Plan::Select {
+                    input: Box::new(join),
+                    predicate: conjunction(others),
+                }
+            });
+        }
+    }
+    Err(Box::new((input, predicate)))
+}
+
+struct Decorrelated {
+    right: Plan,
+    condition: Expr,
+}
+
+/// Builds the join's right side and condition for one eligible sublink, or
+/// `None` when a safety precondition fails (the caller falls back to the
+/// memo path).
+fn build_decorrelated(
+    cand: &Candidate<'_>,
+    outer_schema: &Schema,
+    outers: &[Schema],
+    is_first_conjunct: bool,
+    fresh: &mut usize,
+) -> Option<Decorrelated> {
+    let corr = perm_algebra::visit::free_correlated_columns(cand.sub);
+    // Correlation must target the immediate outer scope, and nothing
+    // deeper: every escaping reference resolves (unambiguously) in the
+    // outer schema.
+    for (q, n) in &corr {
+        if !matches!(outer_schema.try_resolve(q.as_deref(), n), Ok(Some(_))) {
+            return None;
+        }
+    }
+
+    if corr.is_empty() {
+        // An uncorrelated sublink already runs exactly once per query —
+        // the InitPlan memo, which retention even shares across executions
+        // of a prepared statement. Decorrelating it gains nothing and
+        // rebuilds the join's hash table every execution.
+        return None;
+    }
+
+    let qual = format!("__dcl{}", *fresh);
+    let mut cond_conjuncts: Vec<Expr> = Vec::new();
+    let right;
+
+    {
+        // Peel the body down to its selection chain, hoist the correlated
+        // comparison conjuncts, and re-project the inner sides as join
+        // keys under a fresh qualifier.
+        let (proj_items, sel_conjuncts, base) = peel_body(cand)?;
+        let base_schema = base.schema();
+        // Scope chain the body's expressions originally evaluated under.
+        let mut body_chain = vec![base_schema.clone(), outer_schema.clone()];
+        body_chain.extend_from_slice(outers);
+
+        let mut hoisted: Vec<(usize, Hoisted)> = Vec::new();
+        let mut residual: Vec<(usize, Expr)> = Vec::new();
+        for (j, c) in sel_conjuncts.iter().enumerate() {
+            if free_expr_columns(c, &base_schema).is_empty() {
+                residual.push((j, c.clone()));
+                continue;
+            }
+            hoisted.push((j, hoist_conjunct(c, outer_schema, &base_schema)?));
+        }
+        if hoisted.is_empty() {
+            // The correlation lives somewhere the rule cannot reach
+            // (projection items, nested sublinks, the base plan).
+            return None;
+        }
+        // Error-parity gate 2: removing a conjunct changes which *later*
+        // conjuncts are evaluated on which rows (AND only short-circuits
+        // on FALSE), so every residual conjunct after the first hoisted
+        // one must be total.
+        let first_hoist = hoisted.first().map(|(j, _)| *j).unwrap_or(0);
+        if !residual
+            .iter()
+            .filter(|(j, _)| *j > first_hoist)
+            .all(|(_, c)| expr_is_total(c, &body_chain))
+        {
+            return None;
+        }
+        // Every hoisted side must be total: outer sides are re-evaluated
+        // per probe row, inner sides per build row, both outside their
+        // original AND chain.
+        let outer_chain = std::slice::from_ref(outer_schema);
+        let inner_chain = std::slice::from_ref(&base_schema);
+        // Every peeled projection item's evaluation disappears (EXISTS) or
+        // moves to residual survivors (the ANY value, item 0) — all of
+        // them must be total.
+        if !proj_items
+            .iter()
+            .all(|item| expr_is_total(&item.expr, inner_chain))
+        {
+            return None;
+        }
+        let mut items: Vec<ProjectItem> = Vec::new();
+        if let (Some(item), Some(_)) = (proj_items.first(), cand.test) {
+            // The reference fold compares the ANY test against column 0 of
+            // the sublink output — the first projection item.
+            items.push(ProjectItem::new(item.expr.clone(), "v").with_qualifier(qual.clone()));
+            cond_conjuncts.push(cmp(
+                CompareOp::Eq,
+                cand.test?.clone(),
+                Expr::Column {
+                    qualifier: Some(qual.clone()),
+                    name: "v".to_string(),
+                },
+            ));
+        } else if cand.test.is_some() {
+            // Correlated ANY without a projection wrapper: the value
+            // column is the base's first attribute.
+            let first = base_schema.attributes().first()?;
+            if !matches!(
+                base_schema.try_resolve(first.qualifier.as_deref(), &first.name),
+                Ok(Some(0))
+            ) {
+                return None;
+            }
+            let value_ref = Expr::Column {
+                qualifier: first.qualifier.clone(),
+                name: first.name.clone(),
+            };
+            items.push(ProjectItem::new(value_ref, "v").with_qualifier(qual.clone()));
+            cond_conjuncts.push(cmp(
+                CompareOp::Eq,
+                cand.test?.clone(),
+                Expr::Column {
+                    qualifier: Some(qual.clone()),
+                    name: "v".to_string(),
+                },
+            ));
+        }
+        for (idx, (_, h)) in hoisted.iter().enumerate() {
+            match h {
+                Hoisted::Pair { outer, op, inner } => {
+                    if !expr_is_total(outer, outer_chain) || !expr_is_total(inner, inner_chain) {
+                        return None;
+                    }
+                    let key = format!("k{idx}");
+                    items.push(
+                        ProjectItem::new(inner.clone(), key.clone()).with_qualifier(qual.clone()),
+                    );
+                    cond_conjuncts.push(Expr::Binary {
+                        op: *op,
+                        left: Box::new(outer.clone()),
+                        right: Box::new(Expr::Column {
+                            qualifier: Some(qual.clone()),
+                            name: key,
+                        }),
+                    });
+                }
+                Hoisted::OuterOnly(c) => {
+                    if !expr_is_total(c, outer_chain) {
+                        return None;
+                    }
+                    cond_conjuncts.push(c.clone());
+                }
+            }
+        }
+        if items.is_empty() {
+            // EXISTS with only outer-only correlation: keep the body's
+            // rows flowing but project a constant key so the join's right
+            // side has a well-defined, collision-free schema.
+            items.push(
+                ProjectItem::new(Expr::Literal(Value::Int(1)), "k0").with_qualifier(qual.clone()),
+            );
+        }
+        let inner_input = if residual.is_empty() {
+            base
+        } else {
+            Plan::Select {
+                input: Box::new(base),
+                predicate: conjunction(residual.into_iter().map(|(_, c)| c)),
+            }
+        };
+        right = Plan::Project {
+            input: Box::new(inner_input),
+            items,
+            distinct: false,
+        };
+    }
+
+    // Error-parity gate 3: the reference evaluates the sublink body only
+    // for rows that reach the sublink conjunct. A leading conjunct is
+    // reached by every input row (and the executor skips the build side on
+    // an empty probe side), so any body is safe there; otherwise the body
+    // must be total.
+    if !is_first_conjunct && !plan_is_total(&right, outers) {
+        return None;
+    }
+    // Resolution safety: the transformed right side must be fully
+    // self-contained, and no outer-side reference of the join condition may
+    // (also) resolve against the right schema — that would make it
+    // ambiguous in the join's concatenated condition scope.
+    if !free_columns(&right).is_empty() {
+        return None;
+    }
+    let right_schema = right.schema();
+    for c in &cond_conjuncts {
+        for (q, n) in c.column_refs() {
+            let in_outer = matches!(outer_schema.try_resolve(q.as_deref(), &n), Ok(Some(_)));
+            let in_right = matches!(right_schema.try_resolve(q.as_deref(), &n), Ok(Some(_)));
+            if in_outer && in_right {
+                return None;
+            }
+            if !in_outer && !in_right {
+                return None;
+            }
+        }
+    }
+    *fresh += 1;
+    Some(Decorrelated {
+        right,
+        condition: conjunction(cond_conjuncts),
+    })
+}
+
+/// Peels a sublink body down to `(ANY value item, selection conjuncts,
+/// base plan)`. Accepts an optional projection wrapper over a chain of
+/// selections; anything else is out of reach for the hoisting rule.
+///
+/// Peeling a selection *chain* into one conjunct list preserves the
+/// left-to-right evaluation order (outer selections run last), and the
+/// caller's totality gates ensure merging cannot change the error set.
+fn peel_body(cand: &Candidate<'_>) -> Option<(Vec<ProjectItem>, Vec<Expr>, Plan)> {
+    let mut proj_items = Vec::new();
+    let mut body = cand.sub;
+    if let Plan::Project {
+        input,
+        items,
+        distinct: _,
+    } = body
+    {
+        // The projection wrapper can be dropped: EXISTS ignores the output
+        // entirely, ANY reads column 0 (which the caller re-projects as the
+        // join value), and `distinct` changes neither emptiness nor the
+        // existence of an equal element. The caller checks that every
+        // dropped item expression is total — their evaluation disappears.
+        proj_items = items.clone();
+        body = input;
+    }
+    let mut conjuncts = Vec::new();
+    // Outer selections evaluate after inner ones; collect inner-first so
+    // the flattened list reads in evaluation order.
+    let mut stack = Vec::new();
+    while let Plan::Select { input, predicate } = body {
+        stack.push(predicate);
+        body = input;
+    }
+    for predicate in stack.into_iter().rev() {
+        conjuncts.extend(perm_algebra::optimize::split_conjuncts(predicate));
+    }
+    if conjuncts.is_empty() {
+        return None;
+    }
+    Some((proj_items, conjuncts, body.clone()))
+}
+
+/// Classifies one correlated conjunct for hoisting: a comparison with one
+/// side entirely in the outer scope and the other entirely in the sublink's
+/// local scope (normalised outer-left), or a conjunct referencing the outer
+/// scope only.
+fn hoist_conjunct(c: &Expr, outer: &Schema, local: &Schema) -> Option<Hoisted> {
+    if let Side::Outer = side_of(c, outer, local) {
+        return Some(Hoisted::OuterOnly(c.clone()));
+    }
+    let Expr::Binary { op, left, right } = c else {
+        return None;
+    };
+    let op_ok = matches!(op, BinaryOp::Cmp(_) | BinaryOp::NullSafeEq);
+    if !op_ok {
+        return None;
+    }
+    match (side_of(left, outer, local), side_of(right, outer, local)) {
+        (Side::Outer, Side::Inner) => Some(Hoisted::Pair {
+            outer: (**left).clone(),
+            op: *op,
+            inner: (**right).clone(),
+        }),
+        (Side::Inner, Side::Outer) => {
+            let flipped = match op {
+                BinaryOp::Cmp(c) => BinaryOp::Cmp(c.flip()),
+                BinaryOp::NullSafeEq => BinaryOp::NullSafeEq,
+                _ => return None,
+            };
+            Some(Hoisted::Pair {
+                outer: (**right).clone(),
+                op: flipped,
+                inner: (**left).clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: constant folding
+// ---------------------------------------------------------------------------
+
+fn fold_pass(plan: &Plan, rep: &mut OptimizerReport) -> Plan {
+    match plan {
+        Plan::Select { input, predicate } => {
+            let folded = fold_expr(predicate, rep);
+            let input = fold_pass(input, rep);
+            match &folded {
+                Expr::Literal(Value::Bool(true)) => {
+                    rep.constants_folded += 1;
+                    return input;
+                }
+                Expr::Literal(v)
+                    if (v.is_null() || *v == Value::Bool(false))
+                    // Dropping the input skips all of its evaluations, so
+                    // it must be provably error-free.
+                    && plan_is_total(&input, &[]) =>
+                {
+                    rep.constants_folded += 1;
+                    return Plan::Values {
+                        schema: input.schema(),
+                        rows: Vec::new(),
+                    };
+                }
+                _ => {}
+            }
+            Plan::Select {
+                input: Box::new(input),
+                predicate: folded,
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => Plan::Join {
+            left: Box::new(fold_pass(left, rep)),
+            right: Box::new(fold_pass(right, rep)),
+            kind: *kind,
+            condition: fold_expr(condition, rep),
+        },
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => Plan::Project {
+            input: Box::new(fold_pass(input, rep)),
+            items: items.clone(),
+            distinct: *distinct,
+        },
+        Plan::CrossProduct { left, right } => Plan::CrossProduct {
+            left: Box::new(fold_pass(left, rep)),
+            right: Box::new(fold_pass(right, rep)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(fold_pass(input, rep)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Plan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(fold_pass(left, rep)),
+            right: Box::new(fold_pass(right, rep)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(fold_pass(input, rep)),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(fold_pass(input, rep)),
+            limit: *limit,
+        },
+        Plan::Scan { .. } | Plan::Values { .. } => plan.clone(),
+    }
+}
+
+/// Shielding-exact constant folds over a predicate. Only folds that cannot
+/// change which subexpressions are evaluated fire unconditionally; folds
+/// that would *skip* evaluating an operand require it to be total.
+fn fold_expr(expr: &Expr, rep: &mut OptimizerReport) -> Expr {
+    expr.clone().transform(&mut |e| match &e {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            // AND short-circuits on a FALSE left operand, so these mirror
+            // evaluation exactly.
+            (Expr::Literal(Value::Bool(false)), _) => {
+                rep.constants_folded += 1;
+                Expr::Literal(Value::Bool(false))
+            }
+            (Expr::Literal(Value::Bool(true)), r) => {
+                rep.constants_folded += 1;
+                r.clone()
+            }
+            (l, Expr::Literal(Value::Bool(true))) => {
+                rep.constants_folded += 1;
+                l.clone()
+            }
+            _ => e,
+        },
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Literal(Value::Bool(true)), _) => {
+                rep.constants_folded += 1;
+                Expr::Literal(Value::Bool(true))
+            }
+            (Expr::Literal(Value::Bool(false)), r) => {
+                rep.constants_folded += 1;
+                r.clone()
+            }
+            (l, Expr::Literal(Value::Bool(false))) => {
+                rep.constants_folded += 1;
+                l.clone()
+            }
+            _ => e,
+        },
+        Expr::Binary {
+            op: BinaryOp::Cmp(cop),
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Literal(l), Expr::Literal(r)) => {
+                rep.constants_folded += 1;
+                crate::eval::compare(*cop, l, r).to_value_expr()
+            }
+            _ => e,
+        },
+        // Constant arithmetic (e.g. a bound `date '…' + interval '90' day`)
+        // evaluates deterministically, so a successful fold is exact — and
+        // it turns the surrounding comparison into a *total* expression,
+        // unblocking decorrelation past it. An erroring constant (division
+        // by zero) stays in place to keep erroring at runtime.
+        Expr::Binary { op, left, right }
+            if matches!(
+                op,
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+            ) =>
+        {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Literal(l), Expr::Literal(r)) => match crate::eval::arithmetic(*op, l, r) {
+                    Ok(v) => {
+                        rep.constants_folded += 1;
+                        Expr::Literal(v)
+                    }
+                    Err(_) => e,
+                },
+                _ => e,
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Literal(Value::Bool(b)) => {
+                rep.constants_folded += 1;
+                Expr::Literal(Value::Bool(!b))
+            }
+            _ => e,
+        },
+        _ => e,
+    })
+}
+
+/// Renders a [`perm_storage::Truth`] as a literal expression.
+trait TruthExpr {
+    fn to_value_expr(self) -> Expr;
+}
+
+impl TruthExpr for perm_storage::Truth {
+    fn to_value_expr(self) -> Expr {
+        Expr::Literal(self.to_value())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: predicate pushdown extensions
+// ---------------------------------------------------------------------------
+
+/// Pushes whole selections through operators the name-level pass in
+/// `perm_algebra::optimize` does not handle: projections (by substituting
+/// item expressions for output names), `INTERSECT`/`EXCEPT` left branches,
+/// and semi/anti-join probe sides. A selection only moves when *all* its
+/// conjuncts are total and the move keeps the operator count flat — so
+/// neither the error set nor `operators_evaluated` can regress.
+fn pushdown_pass(plan: &Plan, rep: &mut OptimizerReport) -> Plan {
+    let rebuilt = match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => plan.clone(),
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => Plan::Project {
+            input: Box::new(pushdown_pass(input, rep)),
+            items: items.clone(),
+            distinct: *distinct,
+        },
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(pushdown_pass(input, rep)),
+            predicate: predicate.clone(),
+        },
+        Plan::CrossProduct { left, right } => Plan::CrossProduct {
+            left: Box::new(pushdown_pass(left, rep)),
+            right: Box::new(pushdown_pass(right, rep)),
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => Plan::Join {
+            left: Box::new(pushdown_pass(left, rep)),
+            right: Box::new(pushdown_pass(right, rep)),
+            kind: *kind,
+            condition: condition.clone(),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(pushdown_pass(input, rep)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Plan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(pushdown_pass(left, rep)),
+            right: Box::new(pushdown_pass(right, rep)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(pushdown_pass(input, rep)),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(pushdown_pass(input, rep)),
+            limit: *limit,
+        },
+    };
+    if let Plan::Select { input, predicate } = rebuilt {
+        push_select(*input, predicate, rep)
+    } else {
+        rebuilt
+    }
+}
+
+fn push_select(input: Plan, predicate: Expr, rep: &mut OptimizerReport) -> Plan {
+    let keep = |input: Plan, predicate: Expr| Plan::Select {
+        input: Box::new(input),
+        predicate,
+    };
+    if predicate.has_sublink() {
+        // Sublink-bearing selections stay put: moving one changes how
+        // often the (expensive, operator-counted) sublink body runs, and
+        // decorrelation wants to see them where they are.
+        return keep(input, predicate);
+    }
+    let out_schema = input.schema();
+    if !expr_is_total(&predicate, std::slice::from_ref(&out_schema)) {
+        return keep(input, predicate);
+    }
+    match input {
+        // σ_p(Π_items(T)) → Π_items(σ_p'(T)) with output names substituted
+        // by their defining expressions. Projection items are evaluated on
+        // the filtered rows afterwards, so they must be total; for a
+        // distinct projection the predicate additionally runs pre-dedup,
+        // which is harmless because it is total and value-deterministic.
+        Plan::Project {
+            input: inner,
+            items,
+            distinct,
+        } => {
+            let inner_schema = inner.schema();
+            let items_total = items
+                .iter()
+                .all(|i| expr_is_total(&i.expr, std::slice::from_ref(&inner_schema)));
+            let substituted = items_total
+                .then(|| substitute_through(&predicate, &out_schema, &items))
+                .flatten()
+                .filter(|p| expr_is_total(p, std::slice::from_ref(&inner_schema)));
+            match substituted {
+                Some(pushed) => {
+                    rep.predicates_pushed += 1;
+                    Plan::Project {
+                        input: Box::new(push_select(*inner, pushed, rep)),
+                        items,
+                        distinct,
+                    }
+                }
+                None => keep(
+                    Plan::Project {
+                        input: inner,
+                        items,
+                        distinct,
+                    },
+                    predicate,
+                ),
+            }
+        }
+        // σ_p(L ∩ R) → σ_p(L) ∩ R and σ_p(L − R) → σ_p(L) − R: membership
+        // of a row in the result is decided by the same row values the
+        // predicate reads, so filtering the left branch first is bag-exact
+        // and keeps the operator count flat (UNION would need the
+        // predicate on both branches — one extra operator — and is
+        // deliberately skipped).
+        Plan::SetOp {
+            op: op @ (perm_algebra::SetOpKind::Intersect | perm_algebra::SetOpKind::Except),
+            all,
+            left,
+            right,
+        } => {
+            let left_schema = left.schema();
+            let refs_ok = predicate
+                .column_refs()
+                .iter()
+                .all(|(q, n)| matches!(left_schema.try_resolve(q.as_deref(), n), Ok(Some(_))));
+            if refs_ok && expr_is_total(&predicate, std::slice::from_ref(&left_schema)) {
+                rep.predicates_pushed += 1;
+                Plan::SetOp {
+                    op,
+                    all,
+                    left: Box::new(push_select(*left, predicate, rep)),
+                    right,
+                }
+            } else {
+                keep(
+                    Plan::SetOp {
+                        op,
+                        all,
+                        left,
+                        right,
+                    },
+                    predicate,
+                )
+            }
+        }
+        // σ_p(L ⋉ R) → σ_p(L) ⋉ R (and ▷): the join emits left rows
+        // verbatim, so a total predicate over them commutes with the join
+        // and shrinks the probe side.
+        Plan::Join {
+            left,
+            right,
+            kind: kind @ (JoinKind::Semi | JoinKind::Anti),
+            condition,
+        } => {
+            let left_schema = left.schema();
+            let refs_ok = predicate
+                .column_refs()
+                .iter()
+                .all(|(q, n)| matches!(left_schema.try_resolve(q.as_deref(), n), Ok(Some(_))));
+            if refs_ok && expr_is_total(&predicate, std::slice::from_ref(&left_schema)) {
+                rep.predicates_pushed += 1;
+                Plan::Join {
+                    left: Box::new(push_select(*left, predicate, rep)),
+                    right,
+                    kind,
+                    condition,
+                }
+            } else {
+                keep(
+                    Plan::Join {
+                        left,
+                        right,
+                        kind,
+                        condition,
+                    },
+                    predicate,
+                )
+            }
+        }
+        other => keep(other, predicate),
+    }
+}
+
+/// Rewrites `predicate` (over a projection's output schema) into an
+/// equivalent predicate over the projection's *input* by substituting each
+/// output-column reference with its defining item expression. `None` when
+/// any reference does not resolve against the projection schema.
+fn substitute_through(
+    predicate: &Expr,
+    proj_schema: &Schema,
+    items: &[ProjectItem],
+) -> Option<Expr> {
+    let mut ok = true;
+    let rewritten = predicate.clone().transform(&mut |e| match &e {
+        Expr::Column { qualifier, name } => {
+            match proj_schema.try_resolve(qualifier.as_deref(), name) {
+                Ok(Some(idx)) => items[idx].expr.clone(),
+                _ => {
+                    ok = false;
+                    e
+                }
+            }
+        }
+        _ => e,
+    });
+    ok.then_some(rewritten)
+}
+
+// ---------------------------------------------------------------------------
+// Rule: projection pruning
+// ---------------------------------------------------------------------------
+
+/// Top-down liveness pass: narrows non-distinct projections to the columns
+/// something above actually references. `required == None` means "every
+/// column" — the root (whose positional layout the provenance descriptor
+/// depends on), set-operation branches (positional arity contract) and
+/// sublink bodies keep their full width.
+fn prune_pass(
+    plan: &Plan,
+    required: Option<&[(Option<String>, String)]>,
+    rep: &mut OptimizerReport,
+) -> Plan {
+    // Collects every column reference an expression needs from below,
+    // including references escaping embedded sublink plans.
+    let refs_of = |exprs: &[&Expr]| -> Vec<(Option<String>, String)> {
+        let empty = Schema::empty();
+        let mut out = Vec::new();
+        for e in exprs {
+            out.extend(free_expr_columns(e, &empty));
+        }
+        out
+    };
+    let prune_exprs = |e: &Expr, rep: &mut OptimizerReport| -> Expr {
+        map_sublink_plans(e, &[], &mut |p, _| prune_pass(p, None, rep))
+    };
+    match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => plan.clone(),
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => {
+            let input_schema = input.schema();
+            let kept: Vec<ProjectItem> = match (required, *distinct) {
+                (Some(req), false) => {
+                    let mut kept: Vec<ProjectItem> = items
+                        .iter()
+                        .filter(|item| {
+                            item_required(req, item)
+                                // A non-total item's evaluation errors are
+                                // observable even if nothing reads it.
+                                || !expr_is_total(
+                                    &item.expr,
+                                    std::slice::from_ref(&input_schema),
+                                )
+                        })
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        kept.push(items[0].clone());
+                    }
+                    if kept.len() < items.len() {
+                        rep.projections_pruned += 1;
+                    }
+                    kept
+                }
+                _ => items.clone(),
+            };
+            let child_req = refs_of(&kept.iter().map(|i| &i.expr).collect::<Vec<_>>());
+            Plan::Project {
+                input: Box::new(prune_pass(input, Some(&child_req), rep)),
+                items: kept
+                    .into_iter()
+                    .map(|i| ProjectItem {
+                        expr: prune_exprs(&i.expr, rep),
+                        alias: i.alias,
+                        qualifier: i.qualifier,
+                    })
+                    .collect(),
+                distinct: *distinct,
+            }
+        }
+        Plan::Select { input, predicate } => {
+            let child_req = required.map(|req| {
+                let mut r = req.to_vec();
+                r.extend(refs_of(&[predicate]));
+                r
+            });
+            Plan::Select {
+                input: Box::new(prune_pass(input, child_req.as_deref(), rep)),
+                predicate: prune_exprs(predicate, rep),
+            }
+        }
+        Plan::CrossProduct { left, right } => {
+            // Both sides contribute to the output positionally via concat;
+            // pass the requirement through to both (loose name matching
+            // keeps anything either side might satisfy).
+            Plan::CrossProduct {
+                left: Box::new(prune_pass(left, required, rep)),
+                right: Box::new(prune_pass(right, required, rep)),
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => {
+            let with_cond = |base: Option<&[(Option<String>, String)]>| {
+                base.map(|req| {
+                    let mut r = req.to_vec();
+                    r.extend(refs_of(&[condition]));
+                    r
+                })
+            };
+            let left_req = with_cond(required);
+            // Semi/anti joins emit left rows only: the right side exists
+            // purely for the condition.
+            let right_req = if kind.left_only_output() {
+                Some(refs_of(&[condition]))
+            } else {
+                with_cond(required)
+            };
+            Plan::Join {
+                left: Box::new(prune_pass(left, left_req.as_deref(), rep)),
+                right: Box::new(prune_pass(right, right_req.as_deref(), rep)),
+                kind: *kind,
+                condition: prune_exprs(condition, rep),
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let mut exprs: Vec<&Expr> = group_by.iter().map(|g| &g.expr).collect();
+            exprs.extend(aggregates.iter().filter_map(|a| a.arg.as_ref()));
+            let child_req = refs_of(&exprs);
+            Plan::Aggregate {
+                input: Box::new(prune_pass(input, Some(&child_req), rep)),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            }
+        }
+        Plan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Plan::SetOp {
+            op: *op,
+            all: *all,
+            // Branch outputs correspond positionally; pruning either would
+            // break the arity contract.
+            left: Box::new(prune_pass(left, None, rep)),
+            right: Box::new(prune_pass(right, None, rep)),
+        },
+        Plan::Sort { input, keys } => {
+            let child_req = required.map(|req| {
+                let mut r = req.to_vec();
+                r.extend(refs_of(&keys.iter().map(|k| &k.expr).collect::<Vec<_>>()));
+                r
+            });
+            Plan::Sort {
+                input: Box::new(prune_pass(input, child_req.as_deref(), rep)),
+                keys: keys.clone(),
+            }
+        }
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(prune_pass(input, required, rep)),
+            limit: *limit,
+        },
+    }
+}
+
+/// Loose, ambiguity-preserving match: a projection item is required when
+/// any needed reference could resolve to it. Two same-named items are both
+/// kept, so a reference that was ambiguous (a runtime error) stays
+/// ambiguous.
+fn item_required(required: &[(Option<String>, String)], item: &ProjectItem) -> bool {
+    required.iter().any(|(q, n)| {
+        n == &item.alias
+            && match (q, &item.qualifier) {
+                (Some(q), Some(iq)) => q == iq,
+                _ => true,
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+    use perm_algebra::builder::{
+        and, between, col, eq, exists_sublink, lit, not, qcol, PlanBuilder,
+    };
+    use perm_storage::{Database, Relation, Schema, Tuple};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r1 = Relation::empty(Schema::from_names(&["a", "g"]).with_qualifier("r1"));
+        let mut r2 = Relation::empty(Schema::from_names(&["b", "g"]).with_qualifier("r2"));
+        for i in 0..20i64 {
+            r1.push(Tuple::new(vec![Value::Int(i), Value::Int(i % 4)]))
+                .unwrap();
+            r2.push(Tuple::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .unwrap();
+        }
+        db.create_table("r1", r1).unwrap();
+        db.create_table("r2", r2).unwrap();
+        db
+    }
+
+    fn correlated_exists(db: &Database) -> Plan {
+        let sub = PlanBuilder::scan(db, "r2")
+            .unwrap()
+            .select(and(
+                between(qcol("r2", "b"), lit(2), lit(15)),
+                eq(qcol("r2", "g"), qcol("r1", "g")),
+            ))
+            .build();
+        PlanBuilder::scan(db, "r1")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build()
+    }
+
+    fn bags_equal(mut a: Vec<String>, mut b: Vec<String>) -> bool {
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    fn rows(r: &Relation) -> Vec<String> {
+        r.tuples().iter().map(|t| format!("{t:?}")).collect()
+    }
+
+    #[test]
+    fn decorrelates_correlated_exists_into_semi_join() {
+        let db = db();
+        let plan = correlated_exists(&db);
+        let (optimized, rep) = optimize(&plan);
+        assert_eq!(rep.sublinks_decorrelated, 1);
+        fn has_semi(p: &Plan) -> bool {
+            if let Plan::Join {
+                kind: JoinKind::Semi,
+                ..
+            } = p
+            {
+                return true;
+            }
+            p.children().iter().any(|c| has_semi(c))
+        }
+        assert!(has_semi(&optimized), "expected a semi join:\n{optimized:?}");
+        let exec = Executor::new(&db);
+        let reference = exec.execute_unoptimized(&plan).unwrap();
+        let got = exec.execute(&optimized).unwrap();
+        assert!(bags_equal(rows(&reference), rows(&got)));
+    }
+
+    #[test]
+    fn decorrelates_not_exists_into_anti_join() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "r2")
+            .unwrap()
+            .select(eq(qcol("r2", "g"), qcol("r1", "g")))
+            .build();
+        let plan = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .select(not(exists_sublink(sub)))
+            .build();
+        let (optimized, rep) = optimize(&plan);
+        assert_eq!(rep.sublinks_decorrelated, 1);
+        let exec = Executor::new(&db);
+        let reference = exec.execute_unoptimized(&plan).unwrap();
+        let got = exec.execute(&optimized).unwrap();
+        assert!(bags_equal(rows(&reference), rows(&got)));
+    }
+
+    #[test]
+    fn decorrelates_any_equality_into_semi_join() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "r2")
+            .unwrap()
+            .select(and(
+                eq(qcol("r2", "g"), qcol("r1", "g")),
+                between(qcol("r2", "b"), lit(2), lit(15)),
+            ))
+            .project_columns(&["b"])
+            .build();
+        let plan = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .select(perm_algebra::builder::any_sublink(
+                qcol("r1", "a"),
+                CompareOp::Eq,
+                sub,
+            ))
+            .build();
+        let (optimized, rep) = optimize(&plan);
+        assert_eq!(rep.sublinks_decorrelated, 1);
+        let exec = Executor::new(&db);
+        let reference = exec.execute_unoptimized(&plan).unwrap();
+        let got = exec.execute(&optimized).unwrap();
+        assert!(bags_equal(rows(&reference), rows(&got)));
+    }
+
+    #[test]
+    fn decorrelates_exists_with_star_projection() {
+        // The SQL binder wraps `EXISTS (SELECT * ...)` bodies in a
+        // multi-item passthrough projection; peeling must drop it.
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "r2")
+            .unwrap()
+            .select(eq(qcol("r2", "g"), qcol("r1", "g")))
+            .project(vec![
+                ProjectItem::new(qcol("r2", "b"), "b"),
+                ProjectItem::new(qcol("r2", "g"), "g"),
+            ])
+            .build();
+        let plan = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .select(exists_sublink(sub))
+            .build();
+        let (optimized, rep) = optimize(&plan);
+        assert_eq!(rep.sublinks_decorrelated, 1);
+        let exec = Executor::new(&db);
+        let reference = exec.execute_unoptimized(&plan).unwrap();
+        let got = exec.execute(&optimized).unwrap();
+        assert!(bags_equal(rows(&reference), rows(&got)));
+    }
+
+    #[test]
+    fn falls_back_on_all_sublinks() {
+        let db = db();
+        let sub = PlanBuilder::scan(&db, "r2")
+            .unwrap()
+            .project_columns(&["b"])
+            .build();
+        let plan = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .select(perm_algebra::builder::all_sublink(
+                qcol("r1", "a"),
+                CompareOp::Lt,
+                sub,
+            ))
+            .build();
+        let (optimized, rep) = optimize(&plan);
+        assert_eq!(rep.sublinks_decorrelated, 0);
+        assert_eq!(optimized, plan);
+    }
+
+    #[test]
+    fn decorrelation_lowers_operator_count() {
+        let db = db();
+        let plan = correlated_exists(&db);
+        let (optimized, _) = optimize(&plan);
+        let exec = Executor::new(&db);
+        exec.execute_unoptimized(&plan).unwrap();
+        let ops_ref = exec.operators_evaluated();
+        let exec2 = Executor::new(&db);
+        exec2.execute(&optimized).unwrap();
+        let ops_opt = exec2.operators_evaluated();
+        assert!(
+            ops_opt < ops_ref,
+            "decorrelated {ops_opt} ops vs reference {ops_ref}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_shape_sensitive() {
+        let db = db();
+        let plan = correlated_exists(&db);
+        let (optimized, _) = optimize(&plan);
+        assert_eq!(plan_fingerprint(&plan), plan_fingerprint(&plan));
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&optimized));
+    }
+
+    #[test]
+    fn prunes_unused_projection_columns() {
+        let db = db();
+        let wide = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .project(vec![
+                ProjectItem::new(qcol("r1", "a"), "a"),
+                ProjectItem::new(qcol("r1", "g"), "g"),
+            ])
+            .build();
+        let plan = Plan::Project {
+            input: Box::new(wide),
+            items: vec![ProjectItem::new(col("a"), "a")],
+            distinct: false,
+        };
+        let (optimized, rep) = optimize(&plan);
+        assert!(rep.projections_pruned >= 1, "{rep:?}");
+        let exec = Executor::new(&db);
+        let reference = exec.execute_unoptimized(&plan).unwrap();
+        let got = exec.execute(&optimized).unwrap();
+        assert!(bags_equal(rows(&reference), rows(&got)));
+    }
+
+    #[test]
+    fn folds_constant_selections() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "r1")
+            .unwrap()
+            .select(lit(false))
+            .build();
+        let (optimized, rep) = optimize(&plan);
+        assert!(rep.constants_folded >= 1);
+        assert!(matches!(optimized, Plan::Values { .. }));
+    }
+}

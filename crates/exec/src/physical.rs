@@ -270,15 +270,23 @@ fn flush_join_segments(
         for idx in segment.start..segment.end {
             if truths[idx] {
                 matched = true;
+                if kind.left_only_output() {
+                    break;
+                }
                 out.push_unchecked(std::mem::take(&mut pending[idx]));
             }
         }
-        if !matched && kind == JoinKind::LeftOuter {
-            out.push_unchecked(
+        match kind {
+            JoinKind::LeftOuter if !matched => out.push_unchecked(
                 segment
                     .left
                     .concat(&Tuple::new(vec![Value::Null; right_arity])),
-            );
+            ),
+            // Semi/anti joins emit the left tuple alone — at most once —
+            // depending on whether any candidate satisfied the condition.
+            JoinKind::Semi if matched => out.push_unchecked(segment.left.clone()),
+            JoinKind::Anti if !matched => out.push_unchecked(segment.left.clone()),
+            _ => {}
         }
     }
     pending.clear();
@@ -390,6 +398,7 @@ fn grace_probe(
     l: &Relation,
     out_schema: &Schema,
     kind: JoinKind,
+    right_arity: usize,
     key_null_safe: &[bool],
     charge: &mut Option<TransientCharge<'_>>,
     cand_charge: &mut Option<TransientCharge<'_>>,
@@ -397,8 +406,7 @@ fn grace_probe(
     mut condition: impl FnMut(&Batch<'_>, &mut Vec<bool>) -> Result<()>,
 ) -> Result<Relation> {
     let left_arity = l.schema().arity();
-    let right_arity = out_schema.arity() - left_arity;
-    let join_arity = out_schema.arity();
+    let join_arity = left_arity + right_arity;
     let nkeys = key_null_safe.len();
 
     // Route each live left row's (ordinal, key) to its partition; rows with
@@ -522,11 +530,23 @@ fn grace_probe(
         let mut matched = false;
         while cursor < survivors.len() && survivors[cursor].0 == ord {
             matched = true;
+            if kind.left_only_output() {
+                // Survivors only signal a match here; the emitted tuple is
+                // the bare left row.
+                survivors[cursor].1 = Tuple::new(Vec::new());
+                cursor += 1;
+                continue;
+            }
             out.push_unchecked(std::mem::take(&mut survivors[cursor].1));
             cursor += 1;
         }
-        if !matched && kind == JoinKind::LeftOuter {
-            out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+        match kind {
+            JoinKind::LeftOuter if !matched => {
+                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+            }
+            JoinKind::Semi if matched => out.push_unchecked(lt.clone()),
+            JoinKind::Anti if !matched => out.push_unchecked(lt.clone()),
+            _ => {}
         }
     }
     Ok(out)
@@ -570,7 +590,9 @@ pub(crate) fn join(
     let mut cand_charge = gov.transient("join");
     let left_arity = l.schema().arity();
     let right_arity = r.schema().arity();
-    let join_arity = out_schema.arity();
+    // Candidate rows are always left⧺right, even for semi/anti joins whose
+    // *output* schema is the left input alone.
+    let join_arity = left_arity + right_arity;
     let nkeys = key_null_safe.len();
     let mut out = Relation::empty(out_schema.clone());
     let mut pending: Vec<Tuple> = Vec::new();
@@ -660,6 +682,7 @@ pub(crate) fn join(
                 l,
                 out_schema,
                 kind,
+                right_arity,
                 key_null_safe,
                 &mut charge,
                 &mut cand_charge,
@@ -774,12 +797,27 @@ pub(crate) fn join(
             for (idx, keep) in truths.iter().enumerate() {
                 if *keep {
                     matched = true;
+                    if kind.left_only_output() {
+                        break;
+                    }
                     out.push_unchecked(std::mem::take(&mut pending[idx]));
                 }
             }
+            // One match decides a semi/anti join's verdict for this left
+            // row; the remaining right chunks cannot change it. (The
+            // optimizer only builds semi/anti joins over total conditions,
+            // so skipping them drops no evaluation errors.)
+            if matched && kind.left_only_output() {
+                break;
+            }
         }
-        if !matched && kind == JoinKind::LeftOuter {
-            out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+        match kind {
+            JoinKind::LeftOuter if !matched => {
+                out.push_unchecked(lt.concat(&Tuple::new(vec![Value::Null; right_arity])));
+            }
+            JoinKind::Semi if matched => out.push_unchecked(lt.clone()),
+            JoinKind::Anti if !matched => out.push_unchecked(lt.clone()),
+            _ => {}
         }
     }
     Ok(out)

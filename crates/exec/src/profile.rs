@@ -115,6 +115,9 @@ impl ProfileTree {
     pub fn snapshot(&self) -> QueryProfile {
         QueryProfile {
             root: snapshot_node(&self.root),
+            bound_plan: None,
+            optimized_plan: None,
+            optimizer: None,
         }
     }
 }
@@ -538,6 +541,18 @@ fn json_escape(s: &str) -> String {
 pub struct QueryProfile {
     /// The root operator.
     pub root: ProfileNode,
+    /// Rendering of the **pre-optimization** bound logical plan, when the
+    /// caller went through a session pipeline that ran the algebraic
+    /// optimizer (`None` for executor-level profiles). Shown by
+    /// [`QueryProfile::render`] so one `EXPLAIN` call exposes the
+    /// bound-vs-optimized diff.
+    pub bound_plan: Option<String>,
+    /// Rendering of the optimized logical plan that was compiled
+    /// (`None` when the optimizer did not run).
+    pub optimized_plan: Option<String>,
+    /// One-line optimizer rule summary (e.g. `decorrelate×1 pushdown×2`;
+    /// `None` when the optimizer did not run).
+    pub optimizer: Option<String>,
 }
 
 impl QueryProfile {
@@ -549,17 +564,60 @@ impl QueryProfile {
         self.root.total_invocations()
     }
 
-    /// A human-readable indented tree.
+    /// A human-readable indented tree. When the optimizer annotations are
+    /// present, the physical tree is preceded by the bound logical plan,
+    /// the optimized logical plan, and the rule summary — the full
+    /// before/after diff in one rendering.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if let Some(bound) = &self.bound_plan {
+            out.push_str("bound plan:\n");
+            for line in bound.lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if let Some(optimized) = &self.optimized_plan {
+            out.push_str("optimized plan");
+            if let Some(rules) = &self.optimizer {
+                let _ = write!(out, " ({rules})");
+            }
+            out.push_str(":\n");
+            for line in optimized.lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("physical plan:\n");
+        }
         self.root.render_into(&mut out, 0, "");
         out
     }
 
     /// A self-contained JSON encoding (hand-rolled; no external crates).
+    /// Without optimizer annotations this is the root operator object
+    /// (the established shape); with them it is an envelope
+    /// `{"bound_plan": .., "optimized_plan": .., "optimizer": .., "root": ..}`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
+        if self.bound_plan.is_none() && self.optimized_plan.is_none() && self.optimizer.is_none() {
+            self.root.json_into(&mut out);
+            return out;
+        }
+        out.push('{');
+        for (key, value) in [
+            ("bound_plan", &self.bound_plan),
+            ("optimized_plan", &self.optimized_plan),
+            ("optimizer", &self.optimizer),
+        ] {
+            if let Some(value) = value {
+                let _ = write!(out, "\"{key}\":\"{}\",", json_escape(value));
+            }
+        }
+        out.push_str("\"root\":");
         self.root.json_into(&mut out);
+        out.push('}');
         out
     }
 }

@@ -313,6 +313,75 @@ fn random_plans_agree_across_all_execution_modes() {
     );
 }
 
+/// The seventh differential mode: the full random corpus with the
+/// **algebraic optimizer** on versus the memo-only reference. Result bags
+/// must agree (or both modes must fail), and the optimizer must never cost
+/// operator evaluations beyond the decorrelation allowance — a
+/// decorrelated plan may spend up to two extra operators (the join and the
+/// fresh key projection) at trivial scale, and must *win* operators on a
+/// healthy share of correlated plans, where one join replaces a
+/// per-binding sublink re-execution.
+#[test]
+fn optimizer_on_agrees_with_reference_and_never_costs_operators() {
+    let db = build_database(24, 18, 0xD1FF);
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut decorrelated_plans = 0usize;
+    let mut strict_wins = 0usize;
+    for i in 0..PLANS {
+        let plan = random_plan(&db, &mut rng);
+
+        let ref_ex = Executor::new(&db);
+        let reference = ref_ex.execute(&plan);
+
+        let opt_ex = Executor::new(&db).with_optimizer(true);
+        let optimized = opt_ex.execute(&plan);
+
+        match (&reference, &optimized) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    a.bag_eq(b),
+                    "plan {i}: optimizer-on disagrees with memo-only reference\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+                let report = opt_ex.optimizer_report();
+                let slack = 2 * report.sublinks_decorrelated;
+                let (ops_ref, ops_opt) =
+                    (ref_ex.operators_evaluated(), opt_ex.operators_evaluated());
+                assert!(
+                    ops_opt <= ops_ref + slack,
+                    "plan {i}: optimizer-on evaluated {ops_opt} operators vs {ops_ref} \
+                     reference (allowance {slack}); report {report:?}\n{}",
+                    perm_algebra::display::explain(&plan)
+                );
+                if report.sublinks_decorrelated > 0 {
+                    decorrelated_plans += 1;
+                    if ops_opt < ops_ref {
+                        strict_wins += 1;
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!(
+                "plan {i}: optimizer changed the error outcome: reference={:?} optimized={:?}\n{}",
+                other.0.as_ref().map(|_| "ok"),
+                other.1.as_ref().map(|_| "ok"),
+                perm_algebra::display::explain(&plan),
+            ),
+        }
+    }
+    // The corpus must actually exercise decorrelation, and decorrelation
+    // must actually pay: most correlated points have more bindings than
+    // the 2-operator allowance.
+    assert!(
+        decorrelated_plans >= PLANS / 10,
+        "only {decorrelated_plans}/{PLANS} plans decorrelated a sublink"
+    );
+    assert!(
+        strict_wins * 2 >= decorrelated_plans,
+        "decorrelation won operators on only {strict_wins}/{decorrelated_plans} plans"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Batch-seam differential cases: table sizes straddling the batch size
 // (0, 1, BATCH−1, BATCH, BATCH+1 rows) with NaN keys and >2⁵³ integer keys

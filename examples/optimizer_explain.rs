@@ -1,0 +1,73 @@
+//! The optimizer layer, watched through `EXPLAIN`: a correlated `EXISTS`
+//! sublink is decorrelated into a hash semi join, and one `explain` call
+//! shows the bound plan, the optimized plan and the rules that fired —
+//! alongside the operator-count difference against the memo-only baseline.
+//!
+//! Run with `cargo run --example optimizer_explain`.
+
+use perm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Customers and their orders: a classic correlated-EXISTS shape.
+    let mut db = Database::new();
+    db.create_table(
+        "customers",
+        Relation::from_rows(
+            Schema::from_names(&["id", "name"]).with_qualifier("customers"),
+            (0..200)
+                .map(|i| vec![Value::Int(i), Value::str(format!("customer-{i}"))])
+                .collect(),
+        ),
+    )?;
+    db.create_table(
+        "orders",
+        Relation::from_rows(
+            Schema::from_names(&["customer_id", "total"]).with_qualifier("orders"),
+            (0..400)
+                .map(|i| vec![Value::Int(i % 50), Value::Int(10 + i)])
+                .collect(),
+        ),
+    )?;
+    let engine = Engine::new(db);
+
+    // Customers with at least one order over $300 — the sublink is
+    // correlated on `customers.id`, so without the optimizer it runs once
+    // per distinct binding through the parameterized sublink memo.
+    let sql = "SELECT name FROM customers \
+               WHERE EXISTS (SELECT * FROM orders \
+                             WHERE orders.customer_id = customers.id \
+                               AND orders.total > 300)";
+
+    // One `explain` call surfaces the before/after diff: the bound plan
+    // still holds the EXISTS sublink, the optimized plan holds a semi join.
+    let session = engine.session();
+    let profile = session.explain(sql)?;
+    println!("{}", profile.render());
+
+    // The counters record what the optimizer did at prepare time.
+    let stats = session.stats();
+    println!(
+        "optimizer_rules_fired = {}, sublinks_decorrelated = {}\n",
+        stats.optimizer_rules_fired, stats.sublinks_decorrelated
+    );
+
+    // And the operator count tells the perf story: the decorrelated plan
+    // evaluates a fixed handful of operators, the memo-only baseline one
+    // sublink execution per distinct correlation binding.
+    let baseline = engine.session_with(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    let optimized = session.prepare(sql)?;
+    let memo_only = baseline.prepare(sql)?;
+    let fast = session.execute(&optimized, &[])?;
+    let slow = baseline.execute(&memo_only, &[])?;
+    assert!(fast.bag_eq(&slow), "the optimizer must not change results");
+    println!(
+        "operators evaluated: {} optimized vs {} memo-only ({} rows either way)",
+        session.executor().operators_evaluated(),
+        baseline.executor().operators_evaluated(),
+        fast.len()
+    );
+    Ok(())
+}

@@ -12,7 +12,15 @@
 //! Because the rewrites stay inside the relational model, a provenance query
 //! is served like any other query: prepare once, execute many times.
 //! [`Session::prepare`] runs parse → bind → (optional) provenance rewrite →
-//! compile exactly once and returns a [`Prepared`] statement; executions
+//! optimize → compile exactly once and returns a [`Prepared`] statement.
+//! The optimize phase ([`mod@perm_exec::optimize`]) is a fixpoint of cost-free
+//! logical rewrites — correlated `EXISTS`/`NOT EXISTS`/`IN` sublinks become
+//! hash semi/anti joins, predicates push toward scans, dead projection
+//! columns drop, constants fold — and because the provenance rewrite runs
+//! *before* it, witness columns are ordinary columns the optimizer
+//! preserves like any other. [`SessionConfig::optimize`] turns the phase
+//! off (the memo-only baseline); [`Session::explain`] shows the bound plan,
+//! the optimized plan and which rules fired, side by side. Executions
 //! bind `$1`-style parameters, stream through a [`Rows`] cursor, or return
 //! witnesses structured per base relation via [`ProvenanceRows`]:
 //!
@@ -86,8 +94,9 @@
 //! * [`perm_storage`] — values, tuples, schemas, relations, catalog;
 //! * [`perm_algebra`] — the relational algebra with sublinks (Figure 1);
 //! * [`perm_exec`] — a bag-semantics executor with correlated-sublink
-//!   support, compiled expressions, a parameterized sublink memo and a
-//!   streaming cursor;
+//!   support, compiled expressions, a parameterized sublink memo, an
+//!   optimizer layer (sublink decorrelation, predicate pushdown, projection
+//!   pruning, constant folding) and a streaming cursor;
 //! * [`perm_sql`] — a SQL front end with the `SELECT PROVENANCE` extension
 //!   and `$n` query parameters;
 //! * [`perm_core`] — the paper's contribution: contribution definitions,

@@ -184,6 +184,7 @@ struct PlanKey {
     forced_provenance: bool,
     strategy: Strategy,
     tracer: bool,
+    optimize: bool,
 }
 
 /// The engine's cross-session plan cache: SQL text (+ config fingerprint)
@@ -355,6 +356,17 @@ pub struct SessionConfig {
     /// baseline of `harness batch`). Results and errors are identical
     /// either way.
     pub columnar: bool,
+    /// Whether prepared plans run through the algebraic optimizer
+    /// ([`perm_exec::optimize()`]) between the (provenance) rewrite and
+    /// compilation (default `true`). The headline rule decorrelates
+    /// `EXISTS` / `NOT EXISTS` / `IN` / `= ANY` sublinks into hash
+    /// semi/anti joins; predicate pushdown, projection pruning and constant
+    /// folding ride in the same fixpoint. Results, errors and provenance
+    /// witnesses are identical either way (differentially tested); `false`
+    /// keeps the memo-only plan shape — the measurement baseline of
+    /// `harness opt`. Part of the plan-cache key: the prepared form
+    /// differs.
+    pub optimize: bool,
     /// Compute provenance with the reference tracer instead of the rewrite
     /// strategies (default `false`). The tracer is the paper's closed-form
     /// characterisation evaluated tuple by tuple — the test oracle — and
@@ -442,6 +454,7 @@ impl Default for SessionConfig {
             retain_memo: true,
             batching: true,
             columnar: true,
+            optimize: true,
             tracer: false,
             shared_sublink_memo: None,
             deadline: None,
@@ -465,6 +478,7 @@ impl std::fmt::Debug for SessionConfig {
             .field("retain_memo", &self.retain_memo)
             .field("batching", &self.batching)
             .field("columnar", &self.columnar)
+            .field("optimize", &self.optimize)
             .field("tracer", &self.tracer)
             .field("shared_sublink_memo", &self.shared_sublink_memo)
             .field("deadline", &self.deadline)
@@ -523,6 +537,15 @@ pub struct SessionStats {
     pub binds: u64,
     /// Provenance rewrites performed.
     pub rewrites: u64,
+    /// Optimizer rule applications across this session's fresh
+    /// preparations (decorrelations + constant folds + predicate pushes +
+    /// projection prunes). Like `compiles`, a plan-cache hit advances
+    /// nothing — the cached statement was optimized by the session that
+    /// prepared it.
+    pub optimizer_rules_fired: u64,
+    /// Sublinks this session's fresh preparations decorrelated into
+    /// semi/anti joins (a subset of `optimizer_rules_fired`).
+    pub sublinks_decorrelated: u64,
     /// Plans compiled to slot-resolved form.
     pub compiles: u64,
     /// Statement executions (materialised or streaming or traced).
@@ -600,6 +623,8 @@ pub struct Session<'a> {
     parses: Cell<u64>,
     binds: Cell<u64>,
     rewrites: Cell<u64>,
+    optimizer_rules_fired: Cell<u64>,
+    sublinks_decorrelated: Cell<u64>,
     executions: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
@@ -632,7 +657,15 @@ enum PreparedKind {
 #[derive(Debug)]
 pub struct Prepared {
     sql: Option<String>,
-    /// The bound (and, for provenance statements, rewritten) logical plan.
+    /// The bound (and, for provenance statements, rewritten) logical plan
+    /// as it entered the optimizer — the reference shape.
+    bound_plan: Plan,
+    /// What the optimizer did to [`Prepared::bound_plan`]; all-zero when
+    /// [`SessionConfig::optimize`] was off (then `plan == bound_plan`).
+    optimizer: perm_exec::OptimizerReport,
+    /// The logical plan that was compiled: the optimized form of
+    /// [`Prepared::bound_plan`] (identical when the optimizer was off or
+    /// fired no rule).
     plan: Plan,
     /// The slot-resolved physical form; `None` only for tracer statements,
     /// which interpret the logical plan directly.
@@ -670,9 +703,25 @@ impl Prepared {
         }
     }
 
-    /// The bound logical plan (rewritten form for provenance statements).
+    /// The logical plan that was compiled: for sessions with
+    /// [`SessionConfig::optimize`] on (the default), the *optimized* form
+    /// of the bound plan. The pre-optimization shape is
+    /// [`Prepared::bound_plan`].
     pub fn plan(&self) -> &Plan {
         &self.plan
+    }
+
+    /// The bound (and, for provenance statements, rewritten) logical plan
+    /// *before* the optimizer ran — the reference shape
+    /// [`Session::explain`] diffs against.
+    pub fn bound_plan(&self) -> &Plan {
+        &self.bound_plan
+    }
+
+    /// What the optimizer did to this statement (all-zero when
+    /// [`SessionConfig::optimize`] was off or no rule fired).
+    pub fn optimizer_report(&self) -> perm_exec::OptimizerReport {
+        self.optimizer
     }
 
     /// The compiled physical form; `None` only for tracer statements. The
@@ -722,6 +771,8 @@ impl<'a> Session<'a> {
             parses: Cell::new(0),
             binds: Cell::new(0),
             rewrites: Cell::new(0),
+            optimizer_rules_fired: Cell::new(0),
+            sublinks_decorrelated: Cell::new(0),
             executions: Cell::new(0),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
@@ -766,6 +817,8 @@ impl<'a> Session<'a> {
             parses: self.parses.get(),
             binds: self.binds.get(),
             rewrites: self.rewrites.get(),
+            optimizer_rules_fired: self.optimizer_rules_fired.get(),
+            sublinks_decorrelated: self.sublinks_decorrelated.get(),
             compiles: self.executor.statements_compiled(),
             executions: self.executions.get(),
             plan_cache_hits: self.cache_hits.get(),
@@ -818,6 +871,7 @@ impl<'a> Session<'a> {
             forced_provenance,
             strategy: self.config.strategy,
             tracer: self.config.tracer,
+            optimize: self.config.optimize,
         };
         if let Some(hit) = cache.get(&key) {
             self.cache_hits.set(self.cache_hits.get() + 1);
@@ -883,8 +937,14 @@ impl<'a> Session<'a> {
             // time: nothing to rewrite or compile here.
             let descriptor = Tracer::new(self.db).descriptor(&plan)?;
             let schema = plan.schema().concat(&descriptor.schema());
+            // The tracer interprets the bound plan as-is; the optimizer
+            // never runs for traced statements (it may introduce semi/anti
+            // joins the tracer's closed-form characterisation does not
+            // cover).
             return Ok(Prepared {
                 sql: sql.map(str::to_owned),
+                bound_plan: plan.clone(),
+                optimizer: perm_exec::OptimizerReport::default(),
                 plan,
                 compiled: None,
                 kind: PreparedKind::Traced { descriptor },
@@ -904,12 +964,27 @@ impl<'a> Session<'a> {
         } else {
             (plan, PreparedKind::Plain)
         };
+        let bound_plan = plan.clone();
+        let (plan, report) = if self.config.optimize {
+            let start = Instant::now();
+            let (optimized, report) = perm_exec::optimize::optimize(&plan);
+            self.optimizer_rules_fired
+                .set(self.optimizer_rules_fired.get() + report.rules_fired());
+            self.sublinks_decorrelated
+                .set(self.sublinks_decorrelated.get() + report.sublinks_decorrelated);
+            self.trace_phase("optimize", start);
+            (optimized, report)
+        } else {
+            (plan, perm_exec::OptimizerReport::default())
+        };
         let start = Instant::now();
         let compiled = self.executor.prepare(&plan)?;
         self.trace_phase("compile", start);
         let schema = compiled.schema().clone();
         Ok(Prepared {
             sql: sql.map(str::to_owned),
+            bound_plan,
+            optimizer: report,
             plan,
             compiled: Some(compiled),
             kind,
@@ -1047,7 +1122,21 @@ impl<'a> Session<'a> {
     pub fn explain(&self, sql: &str) -> Result<QueryProfile, PermError> {
         let prepared = self.prepare(sql)?;
         let compiled = Self::profilable(&prepared)?;
-        Ok(perm_exec::profile::ProfileTree::for_plan(compiled).snapshot())
+        let mut profile = perm_exec::profile::ProfileTree::for_plan(compiled).snapshot();
+        self.annotate_optimizer(&mut profile, &prepared);
+        Ok(profile)
+    }
+
+    /// Attaches the bound-vs-optimized logical plan diff and the rule
+    /// summary to an `EXPLAIN` profile (sessions with
+    /// [`SessionConfig::optimize`] off keep the bare physical tree).
+    fn annotate_optimizer(&self, profile: &mut QueryProfile, prepared: &Prepared) {
+        if !self.config.optimize {
+            return;
+        }
+        profile.bound_plan = Some(perm_algebra::display::explain(prepared.bound_plan()));
+        profile.optimized_plan = Some(perm_algebra::display::explain(prepared.plan()));
+        profile.optimizer = Some(prepared.optimizer_report().summary());
     }
 
     /// `EXPLAIN ANALYZE`: prepares and executes a parameter-free `sql`
@@ -1067,7 +1156,10 @@ impl<'a> Session<'a> {
         if self.config.retain_memo {
             self.executor.clear_compiled_memos();
         }
-        result.map(|(_, profile)| profile)
+        result.map(|(_, mut profile)| {
+            self.annotate_optimizer(&mut profile, &prepared);
+            profile
+        })
     }
 
     /// Executes a prepared statement with profiling armed, returning both

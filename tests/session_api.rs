@@ -300,11 +300,17 @@ fn memo_capacity_bounds_are_configurable_and_correct() {
     let engine = Engine::new(db);
     let sql = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)";
 
+    // Memo-path test: keep the sublink a sublink (the optimizer would
+    // decorrelate this shape into a semi join and never touch the memo).
     let bounded = engine.session_with(SessionConfig {
         memo_capacity: Some(1),
+        optimize: false,
         ..SessionConfig::default()
     });
-    let unbounded = engine.session();
+    let unbounded = engine.session_with(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
     let p_bounded = bounded.prepare(sql).unwrap();
     let p_unbounded = unbounded.prepare(sql).unwrap();
     let a = bounded.execute(&p_bounded, &[]).unwrap();
@@ -478,8 +484,11 @@ fn database_mut_invalidates_plan_cache_and_session_attached_shared_memos() {
 
     let mut engine = Engine::new(grouped_db());
     let memo = SharedSublinkMemo::new();
+    // Memo-path test: disable the optimizer so the correlated EXISTS stays
+    // a sublink and actually warms the shared memo.
     let config = SessionConfig {
         shared_sublink_memo: Some(Arc::clone(&memo)),
+        optimize: false,
         ..SessionConfig::default()
     };
     // The memo is attached via `session_with` only — the engine's own
@@ -615,6 +624,8 @@ fn stats_counters_accumulate_monotonically_over_the_session_life() {
         ("parses", |s| s.parses),
         ("binds", |s| s.binds),
         ("rewrites", |s| s.rewrites),
+        ("optimizer_rules_fired", |s| s.optimizer_rules_fired),
+        ("sublinks_decorrelated", |s| s.sublinks_decorrelated),
         ("compiles", |s| s.compiles),
         ("executions", |s| s.executions),
         ("plan_cache_hits", |s| s.plan_cache_hits),
@@ -660,6 +671,108 @@ fn stats_counters_accumulate_monotonically_over_the_session_life() {
     assert_eq!(previous.parses, 4);
     assert_eq!(previous.executions, 4);
     assert_eq!(previous.rewrites, 1, "one statement carried PROVENANCE");
+}
+
+#[test]
+fn optimizer_counters_advance_on_prepare_and_freeze_like_compiles() {
+    // `optimizer_rules_fired` / `sublinks_decorrelated` follow the same
+    // contract as `compiles`: they advance when a statement is prepared
+    // fresh, and neither execution nor a plan-cache hit moves them.
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+
+    let correlated = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)";
+    let prepared = session.prepare(correlated).unwrap();
+    let after_prepare = session.stats();
+    assert_eq!(
+        after_prepare.sublinks_decorrelated, 1,
+        "the correlated EXISTS must decorrelate into a semi join"
+    );
+    assert!(after_prepare.optimizer_rules_fired >= after_prepare.sublinks_decorrelated);
+
+    for _ in 0..3 {
+        session.execute(&prepared, &[]).unwrap();
+    }
+    // Re-preparing the same text is a plan-cache hit: no optimizer work.
+    let _again = session.prepare(correlated).unwrap();
+    let after = session.stats();
+    assert_eq!(after.sublinks_decorrelated, 1);
+    assert_eq!(
+        after.optimizer_rules_fired,
+        after_prepare.optimizer_rules_fired
+    );
+    assert!(after.plan_cache_hits > 0);
+
+    // With the optimizer off, both counters stay at zero — and the results
+    // still agree with the optimized session.
+    let off = engine.session_with(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    let p_off = off.prepare(correlated).unwrap();
+    let r_off = off.execute(&p_off, &[]).unwrap();
+    assert_eq!(off.stats().optimizer_rules_fired, 0);
+    assert_eq!(off.stats().sublinks_decorrelated, 0);
+    let r_on = session.execute(&prepared, &[]).unwrap();
+    assert!(r_on.bag_eq(&r_off));
+}
+
+#[test]
+fn explain_surfaces_the_bound_to_optimized_plan_diff() {
+    // One `explain` call shows the pre-optimization bound shape, the
+    // optimized logical plan and the rules that fired — so the
+    // decorrelation diff is visible without a second session.
+    let db = grouped_db();
+    let engine = Engine::new(db);
+    let session = engine.session();
+    let profile = session
+        .explain("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)")
+        .unwrap();
+    let bound = profile.bound_plan.as_deref().expect("bound plan annotated");
+    let optimized = profile
+        .optimized_plan
+        .as_deref()
+        .expect("optimized plan annotated");
+    let rules = profile
+        .optimizer
+        .as_deref()
+        .expect("rule summary annotated");
+    assert!(
+        bound.contains("EXISTS") || bound.to_lowercase().contains("sublink"),
+        "bound shape keeps the sublink:\n{bound}"
+    );
+    assert!(
+        optimized.contains('⋉') || optimized.to_lowercase().contains("semi"),
+        "optimized shape shows the semi join:\n{optimized}"
+    );
+    assert!(
+        rules.contains("decorrelate"),
+        "summary names the rule: {rules}"
+    );
+    let rendered = profile.render();
+    for header in ["bound plan:", "optimized plan", "physical plan:"] {
+        assert!(
+            rendered.contains(header),
+            "render misses `{header}`:\n{rendered}"
+        );
+    }
+
+    // EXPLAIN ANALYZE carries the same annotations alongside actuals.
+    let analyzed = session
+        .explain_analyze("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)")
+        .unwrap();
+    assert!(analyzed.bound_plan.is_some() && analyzed.optimizer.is_some());
+
+    // With the optimizer off there is no diff to show.
+    let off = engine.session_with(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    let bare = off
+        .explain("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.g = r.g)")
+        .unwrap();
+    assert!(bare.bound_plan.is_none() && bare.optimized_plan.is_none() && bare.optimizer.is_none());
 }
 
 #[test]

@@ -57,6 +57,57 @@ fn session_agrees_with_both_executor_paths_on_random_queries() {
 }
 
 #[test]
+fn optimizer_preserves_results_and_witnesses_on_the_sql_corpus() {
+    // Seventh differential mode, SQL half: the optimizer must be invisible in
+    // both observables — plain result bags and provenance witness bags — on
+    // the full 80-seed corpus.
+    let db = corpus_database();
+    let engine = Engine::new(db);
+    let on = engine.session();
+    let off = engine.session_with(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    assert!(on.config().optimize, "optimizer should default on");
+    let mut checked = 0usize;
+    for seed in 0..80u64 {
+        let case = corpus_case(seed);
+        let sql = &case.sql;
+
+        let p_on = on.prepare(sql).unwrap();
+        let p_off = off.prepare(sql).unwrap();
+        let params = case.params(p_on.param_count());
+        let r_on = on
+            .execute(&p_on, &params)
+            .unwrap_or_else(|e| panic!("seed {seed}: optimized `{sql}` failed: {e}"));
+        let r_off = off
+            .execute(&p_off, &params)
+            .unwrap_or_else(|e| panic!("seed {seed}: memo-only `{sql}` failed: {e}"));
+        assert!(
+            r_on.bag_eq(&r_off),
+            "seed {seed}: optimizer changed the result bag of `{sql}` \
+             with {params:?}:\n{r_on}\nvs\n{r_off}"
+        );
+
+        // Witness bags: the full provenance relation (result columns plus
+        // witness columns) must also be bag-identical. The provenance rewrite
+        // runs before the optimizer, so witnesses are ordinary columns here.
+        if !sql.contains('$') {
+            let pv_on = on.prepare_provenance(sql).unwrap();
+            let pv_off = off.prepare_provenance(sql).unwrap();
+            let w_on = on.execute(&pv_on, &[]).unwrap();
+            let w_off = off.execute(&pv_off, &[]).unwrap();
+            assert!(
+                w_on.bag_eq(&w_off),
+                "seed {seed}: optimizer changed the witness bag of `{sql}`:\n{w_on}\nvs\n{w_off}"
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 80);
+}
+
+#[test]
 fn session_provenance_agrees_with_the_deprecated_helper() {
     // The compatibility bar for the deprecated wrappers: same strategy, same
     // result, old path vs new path, on a seeded subset.
